@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Ablation: end-to-end ECC retries under transmission-line bit errors
+ * (paper Section 4). Sweeps the per-response detected-error rate and
+ * shows that even pessimistic error rates cost almost no performance
+ * — the justification for repairing residual faults with ECC instead
+ * of heavier signalling schemes.
+ */
+
+#include <iostream>
+
+#include "harness/system.hh"
+#include "sim/table.hh"
+#include "tlc/tlccache.hh"
+#include "workload/generator.hh"
+
+using namespace tlsim;
+
+namespace
+{
+
+struct Result
+{
+    double retriesPer1kLookups;
+    double meanLookup;
+    double ipc;
+};
+
+Result
+run(double error_rate, const workload::BenchmarkProfile &profile)
+{
+    EventQueue eq;
+    stats::StatGroup root("root");
+    mem::Dram dram(eq, &root);
+    tlc::TlcConfig cfg = tlc::baseTlc();
+    cfg.lineErrorRate = error_rate;
+    tlc::TlcCache cache(eq, &root, dram, phys::tech45(), cfg);
+    mem::L1Cache l1i("l1i", eq, &root, cache, 64 * 1024, 2, 3, 4);
+    mem::L1Cache l1d("l1d", eq, &root, cache, 64 * 1024, 2, 3, 8);
+    cpu::CoreConfig core_cfg;
+    core_cfg.fetchQuanta = profile.ilpQuanta;
+    cpu::OoOCore core(eq, &root, l1i, l1d, core_cfg);
+
+    workload::TraceGenerator gen(profile, 0);
+    for (std::uint64_t i = 0; i < 30'000'000;) {
+        auto rec = gen.next();
+        i += rec.gap + (rec.isIFetch ? 0 : 1);
+        if (rec.isIFetch) {
+            l1i.accessFunctional(rec.blockAddr,
+                                 mem::AccessType::InstFetch);
+        } else {
+            l1d.accessFunctional(rec.blockAddr, rec.type);
+        }
+    }
+    root.resetStats();
+    cache.beginMeasurement();
+    std::uint64_t cycles = core.run(gen, 2'000'000);
+
+    Result result;
+    double lookups = std::max(
+        1.0, static_cast<double>(cache.lookupLatency.count()));
+    result.retriesPer1kLookups =
+        1000.0 * cache.eccRetries.value() / lookups;
+    result.meanLookup = cache.lookupLatency.mean();
+    result.ipc = 2'000'000.0 / static_cast<double>(cycles);
+    return result;
+}
+
+} // namespace
+
+int
+main()
+{
+    const auto &profile = workload::profileByName("gcc");
+
+    TextTable table("Ablation: end-to-end ECC retry rate (gcc, base "
+                    "TLC)");
+    table.setHeader({"detected error rate", "retries/1K lookups",
+                     "mean lookup [cyc]", "IPC", "IPC loss [%]"});
+
+    double base_ipc = 0.0;
+    for (double rate : {0.0, 1e-4, 1e-3, 1e-2, 5e-2}) {
+        std::cerr << "  error rate " << rate << "...\n";
+        Result r = run(rate, profile);
+        if (base_ipc == 0.0)
+            base_ipc = r.ipc;
+        std::ostringstream os;
+        os.precision(0);
+        os << std::scientific << rate;
+        table.addRow({rate == 0.0 ? "0" : os.str(),
+                      TextTable::num(r.retriesPer1kLookups, 2),
+                      TextTable::num(r.meanLookup, 2),
+                      TextTable::num(r.ipc, 3),
+                      TextTable::num(
+                          100.0 * (1.0 - r.ipc / base_ipc), 2)});
+    }
+    table.print(std::cout);
+    std::cout << "\nExpected: even a 1e-2 detected-error rate costs "
+                 "well under 1% IPC — ECC repair is effectively free, "
+                 "as the paper argues.\n";
+    return 0;
+}

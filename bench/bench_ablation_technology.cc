@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Ablation: technology scaling (the paper's Section 1/2 premise).
+ * Sweeps the clock from 2 to 16 GHz at fixed geometry and reports how
+ * many cycles a 1.3 cm transmission line vs a repeated RC wire costs:
+ * the TL's absolute flight time is fixed by the dielectric, so its
+ * *cycle* cost stays ~1 while RC wires blow up — the wire-delay wall
+ * that motivates both NUCA and TLC.
+ */
+
+#include <cmath>
+#include <iostream>
+
+#include "phys/fieldsolver.hh"
+#include "phys/geometry.hh"
+#include "phys/rcwire.hh"
+#include "phys/technology.hh"
+#include "sim/table.hh"
+
+using namespace tlsim;
+using namespace tlsim::phys;
+
+int
+main()
+{
+    TextTable table("Ablation: clock scaling at 45 nm (1.3 cm global "
+                    "signal)");
+    table.setHeader({"Clock [GHz]", "cycle [ps]", "TL [cycles]",
+                     "repeated RC [cycles]", "2cm die crossing [cyc]",
+                     "TL advantage"});
+
+    for (double ghz : {2.0, 4.0, 6.0, 8.0, 10.0, 12.0, 16.0}) {
+        Technology tech = tech45();
+        tech.clockFreq = ghz * 1e9;
+
+        FieldSolver solver(tech);
+        const auto &spec = specForLength(1.3e-2);
+        LineParams params = solver.extract(spec.geometry);
+        double tl_cycles =
+            std::ceil(1.3e-2 / params.velocity() / tech.cycleTime());
+
+        RcWireModel wire(tech, conventionalGlobalWire());
+        double rc_cycles =
+            std::ceil(wire.delay(1.3e-2) / tech.cycleTime());
+        double die_cycles = wire.delay(2e-2) / tech.cycleTime();
+
+        table.addRow({TextTable::num(ghz, 0),
+                      TextTable::num(1e12 / (ghz * 1e9), 0),
+                      TextTable::num(tl_cycles, 0),
+                      TextTable::num(rc_cycles, 0),
+                      TextTable::num(die_cycles, 1),
+                      TextTable::num(rc_cycles / tl_cycles, 1) + "x"});
+    }
+    table.print(std::cout);
+    std::cout << "\nExpected: at the paper's 10 GHz design point a "
+                 "1.3 cm line is 1 cycle by transmission line vs "
+                 "~12 by repeated RC; the gap widens with clock.\n";
+    return 0;
+}

@@ -1,0 +1,119 @@
+/**
+ * @file
+ * Google-benchmark microbenchmarks of the simulation engine itself:
+ * event queue, tag arrays, bank-set search, FFT, and end-to-end
+ * simulated instruction throughput.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "harness/system.hh"
+#include "mem/setassoc.hh"
+#include "nuca/bankset.hh"
+#include "phys/fft.hh"
+#include "sim/eventq.hh"
+#include "sim/rng.hh"
+#include "workload/generator.hh"
+
+using namespace tlsim;
+
+static void
+BM_EventQueueScheduleRun(benchmark::State &state)
+{
+    for (auto _ : state) {
+        EventQueue eq;
+        int fired = 0;
+        for (int i = 0; i < 1000; ++i)
+            eq.scheduleFunc(static_cast<Tick>((i * 37) % 500 + 1),
+                            [&fired]() { ++fired; });
+        eq.run();
+        benchmark::DoNotOptimize(fired);
+    }
+    state.SetItemsProcessed(state.iterations() * 1000);
+}
+BENCHMARK(BM_EventQueueScheduleRun);
+
+static void
+BM_SetAssocLookup(benchmark::State &state)
+{
+    mem::SetAssocArray array(2048, 4);
+    Rng rng(1);
+    std::uint64_t counter = 0;
+    for (int i = 0; i < 8192; ++i)
+        array.insert(rng.below(1 << 16), ++counter, false);
+    for (auto _ : state) {
+        auto way = array.lookup(rng.below(1 << 16));
+        benchmark::DoNotOptimize(way);
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_SetAssocLookup);
+
+static void
+BM_BankSetSearch(benchmark::State &state)
+{
+    nuca::BankSetArray array(nuca::BankSetConfig{});
+    Rng rng(2);
+    std::uint64_t counter = 0;
+    for (int i = 0; i < 100000; ++i)
+        array.insertAtTail(rng.below(1 << 18), ++counter, false);
+    for (auto _ : state) {
+        auto loc = array.lookup(rng.below(1 << 18));
+        benchmark::DoNotOptimize(loc);
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_BankSetSearch);
+
+static void
+BM_Fft4096(benchmark::State &state)
+{
+    Rng rng(3);
+    std::vector<std::complex<double>> data(4096);
+    for (auto &x : data)
+        x = {rng.real(), 0.0};
+    for (auto _ : state) {
+        auto copy = data;
+        phys::fft(copy);
+        benchmark::DoNotOptimize(copy);
+    }
+}
+BENCHMARK(BM_Fft4096);
+
+static void
+BM_TraceGeneration(benchmark::State &state)
+{
+    workload::TraceGenerator gen(workload::profileByName("gcc"), 0);
+    for (auto _ : state) {
+        auto rec = gen.next();
+        benchmark::DoNotOptimize(rec);
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_TraceGeneration);
+
+static void
+BM_FullSystemSimulation(benchmark::State &state)
+{
+    // Simulated instructions per wall-clock second, end to end.
+    harness::System system(harness::DesignKind::TlcBase);
+    workload::TraceGenerator gen(workload::profileByName("gcc"), 0);
+    system.functionalWarm(gen, 2'000'000);
+    for (auto _ : state)
+        system.core().run(gen, 100'000);
+    state.SetItemsProcessed(state.iterations() * 100'000);
+}
+BENCHMARK(BM_FullSystemSimulation);
+
+static void
+BM_FunctionalWarmRate(benchmark::State &state)
+{
+    harness::System system(harness::DesignKind::Dnuca);
+    workload::TraceGenerator gen(workload::profileByName("mcf"), 0);
+    for (auto _ : state)
+        system.functionalWarm(gen, 100'000);
+    state.SetItemsProcessed(state.iterations() * 100'000);
+}
+BENCHMARK(BM_FunctionalWarmRate);
+
+BENCHMARK_MAIN();

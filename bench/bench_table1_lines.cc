@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Reproduces paper Table 1 / Figure 3: the three transmission-line
+ * design points, their extracted electrical parameters, and the
+ * HSPICE-style signal-integrity validation (>= 75% Vdd amplitude,
+ * >= 40% cycle pulse width at 10 GHz).
+ */
+
+#include <iostream>
+
+#include "phys/fieldsolver.hh"
+#include "phys/geometry.hh"
+#include "phys/pulse.hh"
+#include "phys/technology.hh"
+#include "sim/table.hh"
+
+using namespace tlsim;
+using namespace tlsim::phys;
+
+int
+main()
+{
+    const Technology &tech = tech45();
+    FieldSolver solver(tech);
+    PulseSimulator pulses(tech);
+
+    TextTable table("Table 1: Transmission line design points "
+                    "(dimensions from the paper; electricals derived)");
+    table.setHeader({"Length [cm]", "W [um]", "S [um]", "H [um]",
+                     "T [um]", "Z0 [Ohm]", "v [mm/ps]", "flight [ps]",
+                     "peak [%Vdd]", "width [%cycle]", "passes"});
+
+    for (const auto &spec : paperTable1Lines()) {
+        LineParams params = solver.extract(spec.geometry);
+        PulseResult pulse = pulses.simulate(spec.geometry, spec.length);
+        table.addRow({
+            TextTable::num(spec.length * 100.0, 1),
+            TextTable::num(spec.geometry.width * 1e6, 1),
+            TextTable::num(spec.geometry.spacing * 1e6, 1),
+            TextTable::num(spec.geometry.height * 1e6, 2),
+            TextTable::num(spec.geometry.thickness * 1e6, 1),
+            TextTable::num(params.z0(), 1),
+            TextTable::num(params.velocity() * 1e-12 * 1e3, 4),
+            TextTable::num(pulse.delay / 1e-12, 1),
+            TextTable::num(100.0 * pulse.peakAmplitude, 1),
+            TextTable::num(100.0 * pulse.pulseWidth /
+                               tech.cycleTime(),
+                           1),
+            pulse.passes() ? "yes" : "NO",
+        });
+    }
+    table.print(std::cout);
+
+    std::cout << "\nPaper requirements: amplitude >= 75% Vdd, pulse "
+                 "width >= 40% of the cycle.\n";
+    return 0;
+}

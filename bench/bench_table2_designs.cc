@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Reproduces paper Table 2: the design parameters of the TLC family
+ * and the NUCA baselines, with the uncontended latency ranges and
+ * bank access times computed from the physical models (floorplan,
+ * transmission lines, mesh hops, CACTI-lite banks).
+ */
+
+#include <iostream>
+#include <memory>
+
+#include "paperdata.hh"
+#include "harness/system.hh"
+#include "nuca/dnuca.hh"
+#include "nuca/snuca.hh"
+#include "phys/technology.hh"
+#include "sim/table.hh"
+#include "tlc/tlccache.hh"
+
+using namespace tlsim;
+
+int
+main()
+{
+    EventQueue eq;
+    stats::StatGroup root("root");
+    mem::Dram dram(eq, &root);
+    const auto &tech = phys::tech45();
+
+    TextTable table("Table 2: Design Parameters (measured (paper))");
+    table.setHeader({"Design", "Banks", "Banks/Block", "Bank Size",
+                     "Lines/Pair", "Total Lines",
+                     "Uncontended Latency", "Bank Access"});
+
+    auto row = [&](const std::string &name, int banks, int bpb,
+                   const char *size, int lpp, int total,
+                   std::pair<Cycles, Cycles> range, int access) {
+        const paperdata::Table2Row *paper = nullptr;
+        for (const auto &r : paperdata::table2) {
+            if (name == r.design)
+                paper = &r;
+        }
+        std::string lat =
+            std::to_string(range.first) + "-" +
+            std::to_string(range.second);
+        if (paper) {
+            lat += " (" + std::to_string(paper->latencyLo) + "-" +
+                   std::to_string(paper->latencyHi) + ")";
+        }
+        std::string acc = std::to_string(access);
+        if (paper)
+            acc += " (" + std::to_string(paper->bankAccess) + ")";
+        table.addRow({name, std::to_string(banks),
+                      std::to_string(bpb), size,
+                      lpp ? std::to_string(lpp) : "n/a",
+                      total ? std::to_string(total) : "n/a", lat, acc});
+    };
+
+    for (const auto &cfg : {tlc::baseTlc(), tlc::tlcOpt1000(),
+                            tlc::tlcOpt500(), tlc::tlcOpt350()}) {
+        tlc::TlcCache cache(eq, &root, dram, tech, cfg);
+        row(cfg.name, cfg.banks, cfg.banksPerBlock,
+            cfg.bankBytes == 512 * 1024 ? "512 KB" : "1 MB",
+            cfg.linesPerPair, cfg.totalLines(), cache.latencyRange(),
+            cache.bankAccessCycles());
+    }
+    {
+        nuca::SnucaCache cache(eq, &root, dram, tech);
+        row("SNUCA2", 32, 1, "512 KB", 0, 0, cache.latencyRange(),
+            cache.bankAccessCycles());
+    }
+    {
+        nuca::DnucaCache cache(eq, &root, dram, tech);
+        row("DNUCA", 256, 1, "64 KB", 0, 0, cache.latencyRange(),
+            cache.bankAccessCycles());
+    }
+
+    table.print(std::cout);
+    return 0;
+}

@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Reproduces paper Table 7: consumed substrate area of the DNUCA and
+ * base TLC designs (storage / channel / controller / total), from the
+ * CACTI-lite bank model, the RC-wire repeater model, the switch
+ * model, and the TLC floorplan.
+ */
+
+#include <iostream>
+
+#include "paperdata.hh"
+#include "harness/papermodels.hh"
+#include "phys/technology.hh"
+#include "sim/table.hh"
+
+using namespace tlsim;
+using harness::AreaBreakdown;
+
+int
+main()
+{
+    const auto &tech = phys::tech45();
+    AreaBreakdown dnuca = harness::dnucaArea(tech);
+    AreaBreakdown tlc = harness::tlcArea(tech);
+
+    TextTable table("Table 7: Consumed Substrate Area [mm^2] "
+                    "(measured (paper))");
+    table.setHeader({"Design", "Storage", "Channel", "Controller",
+                     "Total"});
+
+    auto row = [&](const char *name, const AreaBreakdown &area) {
+        const paperdata::Table7Row *paper = nullptr;
+        for (const auto &r : paperdata::table7) {
+            if (std::string(name) == r.design)
+                paper = &r;
+        }
+        auto cell = [&](double model_m2, double paper_mm2) {
+            return TextTable::num(model_m2 / 1e-6, 1) + " (" +
+                   TextTable::num(paper_mm2, 1) + ")";
+        };
+        table.addRow({name, cell(area.storage, paper->storage),
+                      cell(area.channel, paper->channel),
+                      cell(area.controller, paper->controller),
+                      cell(area.total(), paper->total)});
+    };
+    row("DNUCA", dnuca);
+    row("TLC", tlc);
+    table.print(std::cout);
+
+    double saving = 100.0 * (1.0 - tlc.total() / dnuca.total());
+    std::cout << "\nTLC substrate saving vs DNUCA: "
+              << TextTable::num(saving, 1) << "% (paper: 18%)\n";
+    return 0;
+}

@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Reproduces paper Table 8: transistor count and total gate width of
+ * the two communication networks — DNUCA's switched mesh (switches,
+ * repeaters, latches) vs TLC's transmission-line drivers/receivers.
+ */
+
+#include <iostream>
+
+#include "paperdata.hh"
+#include "harness/papermodels.hh"
+#include "phys/technology.hh"
+#include "sim/table.hh"
+
+using namespace tlsim;
+
+namespace
+{
+
+std::string
+sci(double v)
+{
+    std::ostringstream os;
+    os.precision(2);
+    os << std::scientific << v;
+    return os.str();
+}
+
+} // namespace
+
+int
+main()
+{
+    const auto &tech = phys::tech45();
+    auto dnuca = harness::dnucaNetworkCircuit(tech);
+    auto tlc = harness::tlcNetworkCircuit(tech);
+
+    TextTable table("Table 8: Cache Communication Network "
+                    "Characteristics (measured (paper))");
+    table.setHeader({"Design", "Total Transistors",
+                     "Total Gate Width [lambda]"});
+    table.addRow({"DNUCA",
+                  sci(static_cast<double>(dnuca.transistors)) + " (" +
+                      sci(paperdata::table8[0].transistors) + ")",
+                  sci(dnuca.gateWidthLambda) + " (" +
+                      sci(paperdata::table8[0].gateWidthLambda) + ")"});
+    table.addRow({"TLC",
+                  sci(static_cast<double>(tlc.transistors)) + " (" +
+                      sci(paperdata::table8[1].transistors) + ")",
+                  sci(tlc.gateWidthLambda) + " (" +
+                      sci(paperdata::table8[1].gateWidthLambda) + ")"});
+    table.print(std::cout);
+
+    std::cout << "\nTransistor reduction: "
+              << TextTable::num(static_cast<double>(dnuca.transistors) /
+                                    static_cast<double>(
+                                        tlc.transistors),
+                                0)
+              << "x (paper: >50x); gate width reduction: "
+              << TextTable::num(dnuca.gateWidthLambda /
+                                    tlc.gateWidthLambda,
+                                0)
+              << "x (paper: >20x)\n";
+    return 0;
+}

@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Reproduces the paper's headline wire-latency claim (Section 1 /
+ * Section 3): on-chip transmission lines beat conventional RC wires
+ * by a large factor for global distances — "up to a factor of 30"
+ * against the wires conventional designs would use — while the
+ * advantage vanishes below a few millimetres.
+ */
+
+#include <iostream>
+
+#include "phys/fieldsolver.hh"
+#include "phys/geometry.hh"
+#include "phys/rcwire.hh"
+#include "phys/technology.hh"
+#include "sim/table.hh"
+
+using namespace tlsim;
+using namespace tlsim::phys;
+
+int
+main()
+{
+    const Technology &tech = tech45();
+    RcWireModel repeated(tech, conventionalGlobalWire());
+    FieldSolver solver(tech);
+
+    TextTable table("Wire latency: transmission line vs conventional "
+                    "RC (45 nm, 10 GHz)");
+    table.setHeader({"Length [mm]", "TL flight [ps]",
+                     "repeated RC [ps]", "unrepeated RC [ps]",
+                     "TL speedup (rep)", "TL speedup (unrep)"});
+
+    for (double mm : {0.5, 1.0, 2.0, 5.0, 10.0, 13.0, 20.0}) {
+        double length = mm * 1e-3;
+        const auto &spec = specForLength(length);
+        LineParams params = solver.extract(spec.geometry);
+        double tl_ps = length / params.velocity() / 1e-12;
+        double rep_ps = repeated.delay(length) / 1e-12;
+        double unrep_ps = repeated.unrepeatedDelay(length) / 1e-12;
+        table.addRow({TextTable::num(mm, 1), TextTable::num(tl_ps, 1),
+                      TextTable::num(rep_ps, 1),
+                      TextTable::num(unrep_ps, 1),
+                      TextTable::num(rep_ps / tl_ps, 1) + "x",
+                      TextTable::num(unrep_ps / tl_ps, 1) + "x"});
+    }
+    table.print(std::cout);
+
+    double die = 2e-2;
+    double cycles = repeated.delay(die) / tech.cycleTime();
+    std::cout << "\nCrossing a 2 cm die on repeated RC wire: "
+              << TextTable::num(cycles, 1)
+              << " cycles (paper premise: 25+)\n";
+    return 0;
+}

@@ -1,0 +1,158 @@
+/**
+ * @file
+ * Shared helpers for the table/figure reproduction benches.
+ */
+
+#ifndef TLSIM_BENCH_BENCHCOMMON_HH
+#define TLSIM_BENCH_BENCHCOMMON_HH
+
+#include <cstdint>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <sstream>
+#include <string>
+
+#include "harness/system.hh"
+#include "sim/table.hh"
+#include "workload/profile.hh"
+
+namespace benchcommon
+{
+
+/**
+ * On-disk cache of RunResults shared between bench binaries: several
+ * tables/figures sweep identical (design, benchmark) configurations,
+ * and every run is deterministic, so results can be reused. Delete
+ * the cache file after changing simulator code.
+ */
+class RunCache
+{
+  public:
+    RunCache()
+    {
+        const char *env = std::getenv("TLSIM_RUN_CACHE");
+        path = env ? env : "tlsim_run_cache.txt";
+        load();
+    }
+
+    const tlsim::harness::RunResult *
+    find(const std::string &key) const
+    {
+        auto it = entries.find(key);
+        return it == entries.end() ? nullptr : &it->second;
+    }
+
+    void
+    store(const std::string &key,
+          const tlsim::harness::RunResult &result)
+    {
+        entries[key] = result;
+        std::ofstream out(path, std::ios::app);
+        out << key << ' ' << result.design << ' ' << result.benchmark
+            << ' ' << result.cycles << ' ' << result.instructions
+            << ' ' << result.ipc << ' ' << result.l2RequestsPer1k
+            << ' ' << result.l2MissesPer1k << ' '
+            << result.meanLookupLatency << ' ' << result.predictablePct
+            << ' ' << result.banksPerRequest << ' '
+            << result.networkPowerMw << ' '
+            << result.linkUtilizationPct << ' ' << result.closeHitPct
+            << ' ' << result.promotesPerInsert << ' '
+            << result.fastMissPct << ' ' << result.multiMatchPct
+            << '\n';
+    }
+
+  private:
+    void
+    load()
+    {
+        std::ifstream in(path);
+        std::string line;
+        while (std::getline(in, line)) {
+            std::istringstream is(line);
+            std::string key;
+            tlsim::harness::RunResult r;
+            if (is >> key >> r.design >> r.benchmark >> r.cycles >>
+                r.instructions >> r.ipc >> r.l2RequestsPer1k >>
+                r.l2MissesPer1k >> r.meanLookupLatency >>
+                r.predictablePct >> r.banksPerRequest >>
+                r.networkPowerMw >> r.linkUtilizationPct >>
+                r.closeHitPct >> r.promotesPerInsert >>
+                r.fastMissPct >> r.multiMatchPct) {
+                entries[key] = r;
+            }
+        }
+    }
+
+    std::string path;
+    std::map<std::string, tlsim::harness::RunResult> entries;
+};
+
+/** Instruction budgets; honour TLSIM_FAST=1 for quick smoke runs. */
+inline std::uint64_t
+warmupInstructions()
+{
+    const char *fast = std::getenv("TLSIM_FAST");
+    return (fast && fast[0] == '1') ? 2'000'000
+                                    : tlsim::harness::defaultWarmup;
+}
+
+inline std::uint64_t
+measureInstructions()
+{
+    const char *fast = std::getenv("TLSIM_FAST");
+    return (fast && fast[0] == '1') ? 1'000'000
+                                    : tlsim::harness::defaultMeasure;
+}
+
+inline std::uint64_t
+functionalWarmupInstructions()
+{
+    const char *fast = std::getenv("TLSIM_FAST");
+    return (fast && fast[0] == '1')
+               ? 20'000'000
+               : tlsim::harness::defaultFunctionalWarmup;
+}
+
+/** Key for caching run results within one bench process. */
+using RunKey = std::pair<tlsim::harness::DesignKind, std::string>;
+
+/**
+ * Run (or fetch the cached result of) one benchmark on one design.
+ */
+inline const tlsim::harness::RunResult &
+cachedRun(tlsim::harness::DesignKind kind, const std::string &bench)
+{
+    static std::map<RunKey, tlsim::harness::RunResult> cache;
+    static RunCache disk_cache;
+    RunKey key{kind, bench};
+    auto it = cache.find(key);
+    if (it == cache.end()) {
+        std::string disk_key = tlsim::harness::designName(kind) + "/" +
+                               bench + "/" +
+                               std::to_string(warmupInstructions()) +
+                               "/" +
+                               std::to_string(measureInstructions()) +
+                               "/" +
+                               std::to_string(
+                                   functionalWarmupInstructions());
+        if (const auto *hit = disk_cache.find(disk_key)) {
+            it = cache.emplace(key, *hit).first;
+            return it->second;
+        }
+        const auto &profile = tlsim::workload::profileByName(bench);
+        std::cerr << "  running " << tlsim::harness::designName(kind)
+                  << " / " << bench << "..." << std::endl;
+        auto result = tlsim::harness::runBenchmark(
+            kind, profile, warmupInstructions(), measureInstructions(),
+            0, functionalWarmupInstructions());
+        disk_cache.store(disk_key, result);
+        it = cache.emplace(key, std::move(result)).first;
+    }
+    return it->second;
+}
+
+} // namespace benchcommon
+
+#endif // TLSIM_BENCH_BENCHCOMMON_HH

@@ -1,0 +1,175 @@
+/**
+ * @file
+ * Reference values transcribed from the paper's tables and figures,
+ * used by every bench to print paper-vs-measured comparisons.
+ */
+
+#ifndef TLSIM_BENCH_PAPERDATA_HH
+#define TLSIM_BENCH_PAPERDATA_HH
+
+#include <string>
+#include <vector>
+
+namespace paperdata
+{
+
+/** Benchmark order used throughout the paper. */
+inline const std::vector<std::string> benchmarks = {
+    "bzip", "gcc", "mcf", "perl", "equake", "swim",
+    "applu", "lucas", "apache", "zeus", "sjbb", "oltp",
+};
+
+/** One row of paper Table 6. */
+struct Table6Row
+{
+    const char *bench;
+    double totalL2Requests; // absolute count over the paper's run
+    double tlcMissPer1k;
+    double dnucaMissPer1k;
+    double dnucaCloseHitPct;
+    double dnucaPromotesPerInsert;
+    double tlcPredictablePct;
+    double dnucaPredictablePct;
+};
+
+inline const std::vector<Table6Row> table6 = {
+    {"bzip", 4.8e6, 0.051, 0.052, 81.0, 64.0, 92.0, 56.0},
+    {"gcc", 3.8e7, 0.068, 0.070, 99.0, 610.0, 99.0, 62.0},
+    {"mcf", 5.5e7, 0.019, 0.019, 48.0, 12000.0, 82.0, 24.0},
+    {"perl", 2.6e6, 0.028, 0.028, 97.0, 9.7, 96.0, 90.0},
+    {"equake", 6.2e6, 6.8, 5.2, 16.0, 0.55, 90.0, 38.0},
+    {"swim", 2.4e7, 40.0, 38.0, 0.7, 0.15, 98.0, 39.0},
+    {"applu", 9.0e6, 16.0, 16.0, 1.0, 0.06, 98.0, 38.0},
+    {"lucas", 7.8e6, 13.0, 12.0, 7.2, 0.15, 99.0, 49.0},
+    {"apache", 1.5e7, 4.8, 3.8, 67.0, 3.7, 98.0, 61.0},
+    {"zeus", 1.4e7, 6.4, 4.8, 60.0, 2.5, 97.0, 57.0},
+    {"sjbb", 7.1e6, 2.3, 2.3, 58.0, 1.9, 93.0, 59.0},
+    {"oltp", 3.3e6, 0.93, 0.79, 89.0, 13.0, 98.0, 77.0},
+};
+
+/** Paper instruction/transaction budgets: L2 requests per 1K instr.
+ *  SPEC runs executed 500M instructions; commercial runs are
+ *  approximated with the same normalization used in the text. */
+inline double
+table6RequestsPer1k(const Table6Row &row)
+{
+    // SPEC rows executed 500M instructions (Table 4).
+    return row.totalL2Requests / 500e6 * 1000.0;
+}
+
+/** One row of paper Table 9. */
+struct Table9Row
+{
+    const char *bench;
+    double dnucaBanksPerRequest;
+    double tlcBanksPerRequest;
+    double dnucaNetworkPowerMw;
+    double tlcNetworkPowerMw;
+};
+
+inline const std::vector<Table9Row> table9 = {
+    {"bzip", 2.3, 1.0, 150.0, 56.0},
+    {"gcc", 2.0, 1.0, 150.0, 100.0},
+    {"mcf", 2.6, 1.0, 350.0, 150.0},
+    {"perl", 2.0, 1.0, 63.0, 36.0},
+    {"equake", 2.5, 1.0, 87.0, 23.0},
+    {"swim", 2.5, 1.0, 190.0, 56.0},
+    {"applu", 2.5, 1.0, 110.0, 34.0},
+    {"lucas", 2.5, 1.0, 57.0, 17.0},
+    {"apache", 2.4, 1.0, 200.0, 67.0},
+    {"zeus", 2.4, 1.0, 170.0, 53.0},
+    {"sjbb", 2.4, 1.0, 130.0, 43.0},
+    {"oltp", 2.1, 1.0, 220.0, 90.0},
+};
+
+/** Paper Table 7: consumed substrate area [mm^2]. */
+struct Table7Row
+{
+    const char *design;
+    double storage;
+    double channel;
+    double controller;
+    double total;
+};
+
+inline const std::vector<Table7Row> table7 = {
+    {"DNUCA", 92.0, 17.0, 1.1, 110.0},
+    {"TLC", 77.0, 3.1, 10.0, 91.0},
+};
+
+/** Paper Table 8: communication network circuit totals. */
+struct Table8Row
+{
+    const char *design;
+    double transistors;
+    double gateWidthLambda;
+};
+
+inline const std::vector<Table8Row> table8 = {
+    {"DNUCA", 1.2e7, 440e6},
+    {"TLC", 1.9e5, 20e6},
+};
+
+/** Paper Table 2: design parameters. */
+struct Table2Row
+{
+    const char *design;
+    int banks;
+    int banksPerBlock;
+    const char *bankSize;
+    int linesPerPair; // 0 for NUCA designs
+    int totalLines;
+    int latencyLo;
+    int latencyHi;
+    int bankAccess;
+};
+
+inline const std::vector<Table2Row> table2 = {
+    {"TLC", 32, 1, "512 KB", 128, 2048, 10, 16, 8},
+    {"TLCopt1000", 16, 2, "1 MB", 126, 1008, 12, 13, 10},
+    {"TLCopt500", 16, 4, "1 MB", 64, 512, 12, 12, 10},
+    {"TLCopt350", 16, 8, "1 MB", 44, 352, 12, 12, 10},
+    {"SNUCA2", 32, 1, "512 KB", 0, 0, 9, 32, 8},
+    {"DNUCA", 256, 1, "64 KB", 0, 0, 3, 47, 3},
+};
+
+/**
+ * Figure 5 (read off the plot, approximate): normalized execution
+ * time vs SNUCA2.
+ */
+struct Fig5Row
+{
+    const char *bench;
+    double dnuca;
+    double tlc;
+};
+
+inline const std::vector<Fig5Row> fig5 = {
+    {"bzip", 0.93, 0.95},   {"gcc", 0.87, 0.90},
+    {"mcf", 0.85, 0.80},    {"perl", 0.95, 0.96},
+    {"equake", 0.93, 1.02}, {"swim", 1.00, 0.99},
+    {"applu", 1.00, 1.00},  {"lucas", 1.00, 1.00},
+    {"apache", 0.89, 0.91}, {"zeus", 0.90, 0.92},
+    {"sjbb", 0.92, 0.93},   {"oltp", 0.91, 0.93},
+};
+
+/** Figure 6 (read off the plot): mean lookup latency [cycles]. */
+struct Fig6Row
+{
+    const char *bench;
+    double dnuca;
+    double tlc;
+};
+
+inline const std::vector<Fig6Row> fig6 = {
+    {"bzip", 12.0, 13.0},  {"gcc", 10.0, 13.0},
+    {"mcf", 22.0, 14.0},   {"perl", 10.0, 13.0},
+    {"equake", 30.0, 13.0}, {"swim", 35.0, 13.5},
+    {"applu", 33.0, 13.0}, {"lucas", 30.0, 13.0},
+    {"apache", 15.0, 13.0}, {"zeus", 16.0, 13.0},
+    {"sjbb", 16.0, 13.0},  {"oltp", 13.0, 13.0},
+};
+
+} // namespace paperdata
+
+#endif // TLSIM_BENCH_PAPERDATA_HH

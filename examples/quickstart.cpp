@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Quickstart: build a complete simulated system around the base
+ * Transmission Line Cache, run a benchmark on it, and read out the
+ * headline metrics.
+ *
+ *   $ ./examples/quickstart [benchmark] [instructions]
+ *
+ * Defaults to 2M measured instructions of "gcc".
+ */
+
+#include <cstdlib>
+#include <iostream>
+
+#include "harness/system.hh"
+#include "sim/table.hh"
+
+using namespace tlsim;
+
+int
+main(int argc, char **argv)
+{
+    std::string bench = argc > 1 ? argv[1] : "gcc";
+    std::uint64_t instructions =
+        argc > 2 ? std::strtoull(argv[2], nullptr, 10) : 2'000'000;
+
+    // 1. Pick a workload profile (the 12 paper benchmarks ship with
+    //    the library; see workload::paperBenchmarks()).
+    const auto &profile = workload::profileByName(bench);
+
+    // 2. Run it on the base TLC design. runBenchmark() assembles the
+    //    whole machine: 4-wide OoO core, split 64 KB L1s, the 16 MB
+    //    L2 design under test, and DRAM; warms the caches; measures.
+    harness::RunResult result = harness::runBenchmark(
+        harness::DesignKind::TlcBase, profile,
+        /*warm_instructions=*/1'000'000, instructions,
+        /*run_seed=*/0, /*functional_warm=*/50'000'000);
+
+    // 3. Read out the metrics the paper's evaluation is built from.
+    TextTable table("Quickstart: " + bench + " on the base TLC");
+    table.setHeader({"Metric", "Value"});
+    table.addRow({"instructions", std::to_string(result.instructions)});
+    table.addRow({"cycles", std::to_string(result.cycles)});
+    table.addRow({"IPC", TextTable::num(result.ipc, 3)});
+    table.addRow({"L2 requests / 1K instr",
+                  TextTable::num(result.l2RequestsPer1k, 1)});
+    table.addRow({"L2 misses / 1K instr",
+                  TextTable::num(result.l2MissesPer1k, 3)});
+    table.addRow({"mean L2 lookup latency [cycles]",
+                  TextTable::num(result.meanLookupLatency, 1)});
+    table.addRow({"predictable lookups [%]",
+                  TextTable::num(result.predictablePct, 1)});
+    table.addRow({"link utilization [%]",
+                  TextTable::num(result.linkUtilizationPct, 2)});
+    table.addRow({"network dynamic power [mW]",
+                  TextTable::num(result.networkPowerMw, 1)});
+    table.print(std::cout);
+
+    std::cout << "\nTry: quickstart mcf, or compare designs with the "
+                 "cache_compare example.\n";
+    return 0;
+}

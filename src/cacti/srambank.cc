@@ -1,0 +1,83 @@
+#include "cacti/srambank.hh"
+
+#include <cmath>
+
+#include "sim/logging.hh"
+
+namespace tlsim
+{
+namespace cacti
+{
+
+namespace
+{
+
+// Calibrated access-time decomposition, in seconds, as a function of
+// capacity in KB. The constant term covers decoder + sense + output
+// stages; the sqrt term covers the wordline/bitline RC growth with
+// array edge length. Fit so 64 KB -> ~299 ps, 512 KB -> ~724 ps,
+// 1 MB -> ~997 ps (3 / 8 / 10 cycles at 10 GHz).
+constexpr double accessBase = 66.0e-12;
+constexpr double accessSqrtKb = 29.10e-12;
+
+} // namespace
+
+SramBankModel::SramBankModel(const phys::Technology &tech_,
+                             std::uint64_t capacity_bytes, int assoc_,
+                             int block_bytes)
+    : tech(tech_), capacityBytes(capacity_bytes), assoc(assoc_),
+      blockBytes(block_bytes)
+{
+    TLSIM_ASSERT(capacity_bytes >= 1024, "bank too small: {} B",
+                 capacity_bytes);
+    TLSIM_ASSERT(assoc_ > 0 && block_bytes > 0, "bad bank params");
+}
+
+double
+SramBankModel::accessTime() const
+{
+    double kb = static_cast<double>(capacityBytes) / 1024.0;
+    return accessBase + accessSqrtKb * std::sqrt(kb);
+}
+
+int
+SramBankModel::accessCycles() const
+{
+    return static_cast<int>(std::ceil(accessTime() / tech.cycleTime()));
+}
+
+double
+SramBankModel::area() const
+{
+    // Data bits plus tag bits (tag ~ 30 bits per block at 16 MB /
+    // 64 B), times cell area, times a periphery overhead factor that
+    // shrinks for larger banks (decoders/sense amps amortize).
+    double data_bits = static_cast<double>(capacityBytes) * 8.0;
+    double blocks = static_cast<double>(capacityBytes) / blockBytes;
+    double tag_bits = blocks * 30.0;
+    double kb = static_cast<double>(capacityBytes) / 1024.0;
+    double overhead = 2.06 + 5.45 / std::sqrt(kb);
+    return (data_bits + tag_bits) * tech.sramCellArea * overhead;
+}
+
+double
+SramBankModel::readEnergy() const
+{
+    // Bitline + sense energy scales with the array edge (sqrt of
+    // capacity); roughly 50 pJ for a 64 KB bank at 45 nm.
+    double kb = static_cast<double>(capacityBytes) / 1024.0;
+    return 6.25e-12 * std::sqrt(kb);
+}
+
+long
+SramBankModel::transistorCount() const
+{
+    double data_bits = static_cast<double>(capacityBytes) * 8.0;
+    double blocks = static_cast<double>(capacityBytes) / blockBytes;
+    double tag_bits = blocks * 30.0;
+    // 6T cells plus ~6% periphery devices.
+    return static_cast<long>((data_bits + tag_bits) * 6.0 * 1.06);
+}
+
+} // namespace cacti
+} // namespace tlsim

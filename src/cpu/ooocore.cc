@@ -1,0 +1,206 @@
+#include "cpu/ooocore.hh"
+
+#include <algorithm>
+
+namespace tlsim
+{
+namespace cpu
+{
+
+OoOCore::OoOCore(EventQueue &eq, stats::StatGroup *parent,
+                 mem::L1Cache &icache_, mem::L1Cache &dcache_,
+                 const CoreConfig &config)
+    : stats::StatGroup("core", parent), eventq(eq), icache(icache_),
+      dcache(dcache_), cfg(config),
+      completeQ(static_cast<std::size_t>(config.robEntries), 0),
+      retireQ(static_cast<std::size_t>(config.robEntries), 0),
+      pending(static_cast<std::size_t>(config.robEntries), false),
+      cycles(this, "cycles", "execution cycles"),
+      instructions(this, "instructions", "retired instructions"),
+      loads(this, "loads", "data loads issued"),
+      stores(this, "stores", "data stores issued"),
+      ifetchStalls(this, "ifetch_stalls",
+                   "fetch stalls due to instruction-cache misses"),
+      mispredicts(this, "mispredicts", "branch mispredictions"),
+      ipc(this, "ipc", "instructions per cycle", [this]() {
+          double c = cycles.value();
+          return c > 0.0 ? instructions.value() / c : 0.0;
+      })
+{}
+
+OoOCore::QTick
+OoOCore::nextFetchSlot()
+{
+    QTick slot = fetchQ + static_cast<QTick>(cfg.fetchQuanta);
+    std::uint64_t rob = static_cast<std::uint64_t>(cfg.robEntries);
+    if (nextIndex >= rob) {
+        std::uint64_t oldest = nextIndex - rob;
+        ensureRetired(oldest);
+        slot = std::max(slot, retireQ[oldest % rob]);
+    }
+    slot = std::max(slot, ifetchReadyQ);
+    return slot;
+}
+
+void
+OoOCore::ensureRetired(std::uint64_t idx)
+{
+    std::uint64_t rob = static_cast<std::uint64_t>(cfg.robEntries);
+    while (retireUpto <= idx) {
+        std::uint64_t j = retireUpto;
+        std::size_t slot = j % rob;
+        if (pending[slot])
+            waitForCompletion(j);
+        QTick complete = completeQ[slot];
+        lastRetireQ = std::max(lastRetireQ + 1, complete);
+        retireQ[slot] = lastRetireQ;
+        ++retireUpto;
+        ++retiredCount;
+    }
+}
+
+void
+OoOCore::waitForCompletion(std::uint64_t idx)
+{
+    std::uint64_t rob = static_cast<std::uint64_t>(cfg.robEntries);
+    std::size_t slot = idx % rob;
+    while (pending[slot]) {
+        Tick next = eventq.nextTick();
+        TLSIM_ASSERT(next != MaxTick,
+                     "deadlock: waiting on instruction {} with an "
+                     "empty event queue", idx);
+        eventq.advanceTo(next);
+    }
+}
+
+void
+OoOCore::stepNonMem()
+{
+    std::uint64_t i = nextIndex++;
+    std::size_t slot = i % static_cast<std::uint64_t>(cfg.robEntries);
+    fetchQ = nextFetchSlot();
+    pending[slot] = false;
+    completeQ[slot] = fetchQ + 4 * cfg.opLatency;
+}
+
+void
+OoOCore::stepMemOp(const TraceRecord &record)
+{
+    std::uint64_t i = nextIndex++;
+    std::uint64_t rob = static_cast<std::uint64_t>(cfg.robEntries);
+    std::size_t slot = i % rob;
+    fetchQ = nextFetchSlot();
+
+    // Address dependence on the previous load (pointer chasing):
+    // the operation cannot issue until that load's data returns.
+    if (record.dependsOnPrev && prevLoadIdx != ~std::uint64_t(0) &&
+        prevLoadIdx + rob > i) {
+        std::size_t prev_slot = prevLoadIdx % rob;
+        if (pending[prev_slot])
+            waitForCompletion(prevLoadIdx);
+        fetchQ = std::max(fetchQ, completeQ[prev_slot]);
+    }
+
+    Tick cycle = fetchQ / 4;
+    eventq.advanceTo(cycle);
+
+    if (record.type == mem::AccessType::Store) {
+        ++stores;
+        // Stores retire through the store buffer; the write itself
+        // drains to the cache in the background.
+        pending[slot] = false;
+        completeQ[slot] = fetchQ + 4 * cfg.opLatency;
+        dcache.access(record.blockAddr, mem::AccessType::Store, cycle,
+                      [](Tick) {});
+        return;
+    }
+
+    ++loads;
+    pending[slot] = true;
+    completeQ[slot] = 0;
+    prevLoadIdx = i;
+    dcache.access(record.blockAddr, mem::AccessType::Load, cycle,
+                  [this, slot](Tick done) {
+                      pending[slot] = false;
+                      completeQ[slot] = done * 4;
+                  });
+}
+
+void
+OoOCore::stepIFetch(const TraceRecord &record)
+{
+    // The in-order frontend redirects to a new instruction block; a
+    // miss stalls fetch until the fill returns. The frontend can be
+    // ahead of fetchQ after a long backend stall, so clamp to the
+    // current simulated time.
+    Tick cycle = std::max(fetchQ / 4, eventq.now());
+    eventq.advanceTo(cycle);
+
+    bool resolved = false;
+    Tick ready = cycle;
+    icache.access(record.blockAddr, mem::AccessType::InstFetch, cycle,
+                  [&resolved, &ready](Tick done) {
+                      resolved = true;
+                      ready = done;
+                  });
+    while (!resolved) {
+        Tick next = eventq.nextTick();
+        TLSIM_ASSERT(next != MaxTick,
+                     "deadlock: ifetch miss never completed");
+        eventq.advanceTo(next);
+    }
+    // Hits are pipelined and do not stall the frontend.
+    if (ready > cycle + 3) {
+        ++ifetchStalls;
+        ifetchReadyQ = std::max(ifetchReadyQ, ready * 4);
+    }
+
+    // A mispredicted branch pays the pipeline refill penalty (deep
+    // 30-stage pipeline, paper Table 3) on top of any cache stall.
+    if (record.mispredict) {
+        ++mispredicts;
+        Tick redirect = std::max(ready, cycle) + cfg.mispredictPenalty;
+        ifetchReadyQ = std::max(ifetchReadyQ, redirect * 4);
+    }
+}
+
+std::uint64_t
+OoOCore::run(TraceSource &source, std::uint64_t num_instructions)
+{
+    std::uint64_t start_cycle = lastRetireQ / 4;
+    std::uint64_t executed = 0;
+
+    while (executed < num_instructions) {
+        TraceRecord record = source.next();
+        std::uint64_t gap = std::min<std::uint64_t>(
+            record.gap, num_instructions - executed);
+        for (std::uint64_t k = 0; k < gap; ++k)
+            stepNonMem();
+        executed += gap;
+        if (executed >= num_instructions)
+            break;
+        if (record.isIFetch) {
+            stepIFetch(record);
+        } else {
+            stepMemOp(record);
+            ++executed;
+        }
+    }
+
+    // Drain: retire everything fetched. Fetch resumes no earlier than
+    // the drain point (retires are monotone, so lastRetireQ bounds the
+    // event queue's current time).
+    if (nextIndex > 0) {
+        ensureRetired(nextIndex - 1);
+        fetchQ = std::max(fetchQ, lastRetireQ);
+    }
+
+    std::uint64_t end_cycle = lastRetireQ / 4;
+    std::uint64_t elapsed = end_cycle - start_cycle;
+    cycles += static_cast<double>(elapsed);
+    instructions += static_cast<double>(executed);
+    return elapsed;
+}
+
+} // namespace cpu
+} // namespace tlsim

@@ -1,0 +1,129 @@
+/**
+ * @file
+ * Trace-driven out-of-order core timing model (paper Table 3).
+ *
+ * Substitutes for the paper's Simics+timing-first SPARC V9 processor.
+ * The model captures the mechanisms that translate L2 latency and
+ * miss behaviour into execution time: a 128-entry reorder buffer,
+ * 4-wide fetch/retire, loads issued at fetch (addresses known from
+ * the trace) completing out of order, in-order retirement blocking on
+ * incomplete loads, stores draining through a store buffer, and an
+ * in-order frontend that stalls on instruction-cache misses. MSHR and
+ * memory-controller limits come from the attached cache hierarchy.
+ *
+ * Internally the core counts time in "quarter cycles" (one fetch/
+ * retire slot of the 4-wide machine) and converts to cycles at the
+ * memory interface.
+ */
+
+#ifndef TLSIM_CPU_OOOCORE_HH
+#define TLSIM_CPU_OOOCORE_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "cpu/trace.hh"
+#include "mem/l1cache.hh"
+#include "sim/eventq.hh"
+#include "sim/stats.hh"
+
+namespace tlsim
+{
+namespace cpu
+{
+
+/** Core configuration (defaults follow paper Table 3). */
+struct CoreConfig
+{
+    int robEntries = 128;
+    int width = 4;
+    /** Latency assumed for non-memory instructions [cycles]. */
+    Cycles opLatency = 1;
+    /** Pipeline refill penalty after a branch mispredict [cycles]. */
+    Cycles mispredictPenalty = 25;
+    /**
+     * Quarter-cycle fetch slots consumed per instruction: 1 gives the
+     * ideal 4-wide ceiling; larger values model dependence-chain ILP
+     * limits (see workload::BenchmarkProfile::ilpQuanta).
+     */
+    int fetchQuanta = 1;
+};
+
+/**
+ * The out-of-order core.
+ */
+class OoOCore : public stats::StatGroup
+{
+  public:
+    OoOCore(EventQueue &eq, stats::StatGroup *parent,
+            mem::L1Cache &icache, mem::L1Cache &dcache,
+            const CoreConfig &config = CoreConfig{});
+
+    /**
+     * Execute @p num_instructions from the trace source.
+     * @return The cycle count consumed (end cycle - start cycle).
+     */
+    std::uint64_t run(TraceSource &source,
+                      std::uint64_t num_instructions);
+
+    /** Total retired instructions across all run() calls. */
+    std::uint64_t instructionsRetired() const { return retiredCount; }
+
+    /** Current end-of-execution cycle. */
+    std::uint64_t currentCycle() const { return lastRetireQ / 4; }
+
+  private:
+    /** Quarter-cycle ticks: 4 per clock cycle (one per pipeline slot). */
+    using QTick = std::uint64_t;
+
+    EventQueue &eventq;
+    mem::L1Cache &icache;
+    mem::L1Cache &dcache;
+    CoreConfig cfg;
+
+    /** Ring buffers over the ROB window. */
+    std::vector<QTick> completeQ;
+    std::vector<QTick> retireQ;
+    std::vector<bool> pending;
+
+  public:
+    stats::Scalar cycles;
+    stats::Scalar instructions;
+    stats::Scalar loads;
+    stats::Scalar stores;
+    stats::Scalar ifetchStalls;
+    stats::Scalar mispredicts;
+    stats::Formula ipc;
+
+  private:
+    /** Advance the retire chain up to and including instruction idx. */
+    void ensureRetired(std::uint64_t idx);
+
+    /** Fetch-time of the next instruction honoring ROB occupancy. */
+    QTick nextFetchSlot();
+
+    /** Process one non-memory instruction. */
+    void stepNonMem();
+
+    /** Process one data memory instruction. */
+    void stepMemOp(const TraceRecord &record);
+
+    /** Process an instruction-fetch block transition. */
+    void stepIFetch(const TraceRecord &record);
+
+    /** Run the event queue until a pending completion is posted. */
+    void waitForCompletion(std::uint64_t idx);
+
+    std::uint64_t nextIndex = 0; // next instruction to fetch
+    std::uint64_t prevLoadIdx = ~std::uint64_t(0); // last load fetched
+    std::uint64_t retireUpto = 0; // instructions whose retire is known
+    QTick fetchQ = 0;
+    QTick lastRetireQ = 0;
+    QTick ifetchReadyQ = 0;
+    std::uint64_t retiredCount = 0;
+};
+
+} // namespace cpu
+} // namespace tlsim
+
+#endif // TLSIM_CPU_OOOCORE_HH

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Trace record types connecting workload generators to the CPU model.
+ */
+
+#ifndef TLSIM_CPU_TRACE_HH
+#define TLSIM_CPU_TRACE_HH
+
+#include <cstdint>
+
+#include "mem/request.hh"
+#include "sim/types.hh"
+
+namespace tlsim
+{
+namespace cpu
+{
+
+/**
+ * One event in an instruction trace: either a data memory operation
+ * or an instruction-fetch block transition, preceded by @c gap
+ * non-memory instructions.
+ */
+struct TraceRecord
+{
+    /** Non-memory instructions preceding this event. */
+    std::uint32_t gap = 0;
+    /** True for an instruction-fetch block transition. */
+    bool isIFetch = false;
+    /** Load or Store for data events. */
+    mem::AccessType type = mem::AccessType::Load;
+    /** Data block address, or the new instruction block for ifetch. */
+    Addr blockAddr = 0;
+    /**
+     * True if this memory operation's address depends on the value
+     * of the previous load (pointer chasing): it cannot issue until
+     * that load completes, limiting memory-level parallelism.
+     */
+    bool dependsOnPrev = false;
+    /**
+     * For ifetch records: the jump was a mispredicted branch; the
+     * frontend pays the pipeline refill penalty.
+     */
+    bool mispredict = false;
+};
+
+/**
+ * Source of trace records; implemented by the workload generators.
+ */
+class TraceSource
+{
+  public:
+    virtual ~TraceSource() = default;
+
+    /** Produce the next record (infinite stream). */
+    virtual TraceRecord next() = 0;
+};
+
+} // namespace cpu
+} // namespace tlsim
+
+#endif // TLSIM_CPU_TRACE_HH

@@ -1,0 +1,133 @@
+#include "harness/papermodels.hh"
+
+#include "cacti/srambank.hh"
+#include "phys/geometry.hh"
+#include "phys/rcwire.hh"
+#include "phys/switchmodel.hh"
+#include "phys/transline.hh"
+#include "tlc/config.hh"
+#include "tlc/floorplan.hh"
+
+namespace tlsim
+{
+namespace harness
+{
+
+namespace
+{
+
+/** DNUCA mesh facts shared by the area and circuit roll-ups. */
+struct DnucaMeshFacts
+{
+    int switches = 256;
+    int rows = 16;
+    int cols = 16;
+    int flitBits = 128;
+    /** Sideband wires per link (flow control, address tags). */
+    int sidebandWires = 16;
+    double hopLength = 0.6e-3;
+
+    int wiresPerLink() const { return flitBits + sidebandWires; }
+
+    /** Unidirectional inter-switch links. */
+    int
+    linkCount() const
+    {
+        return 2 * cols * (rows - 1) + 2 * (cols - 1);
+    }
+};
+
+} // namespace
+
+AreaBreakdown
+dnucaArea(const phys::Technology &tech)
+{
+    DnucaMeshFacts mesh;
+    AreaBreakdown area;
+
+    // Storage: 256 x 64 KB 2-way banks.
+    cacti::SramBankModel bank(tech, 64 * 1024, 2, 64);
+    area.storage = 256.0 * bank.area();
+
+    // Channel: dedicated wiring tracks (with keep-out) plus the
+    // repeater farms of every link, plus the switches themselves.
+    phys::RcWireModel wire(tech, phys::conventionalGlobalWire());
+    double wires = static_cast<double>(mesh.linkCount()) *
+                   mesh.wiresPerLink();
+    double track_area = wires * mesh.hopLength *
+                        phys::conventionalGlobalWire().pitch() /
+                        (1.0 - tech.channelBlockageFraction);
+    double repeater_area = wires * wire.repeaterArea(mesh.hopLength);
+    phys::SwitchModel sw(tech, 5, mesh.flitBits, 4);
+    double switch_area = mesh.switches * sw.area();
+    area.channel = track_area + repeater_area + switch_area;
+
+    // Controller: the centralized 6-bit partial tag structure for
+    // 256K blocks (plus valid bits and comparators).
+    cacti::SramBankModel ptags(tech, 256 * 1024, 16, 64);
+    area.controller = ptags.area() * 0.85; // tags + comparators
+    return area;
+}
+
+AreaBreakdown
+tlcArea(const phys::Technology &tech)
+{
+    AreaBreakdown area;
+
+    // Storage: 32 x 512 KB 4-way banks (denser than DNUCA's).
+    cacti::SramBankModel bank(tech, 512 * 1024, 4, 64);
+    area.storage = 32.0 * bank.area();
+
+    // Channel & controller: from the floorplan model. Transmission
+    // lines route above the banks and consume no substrate.
+    tlc::TlcFloorplan floorplan(tech, tlc::baseTlc());
+    area.channel = floorplan.channelArea();
+    area.controller = floorplan.controllerArea();
+    return area;
+}
+
+CircuitTotals
+dnucaNetworkCircuit(const phys::Technology &tech)
+{
+    DnucaMeshFacts mesh;
+    CircuitTotals totals;
+
+    phys::SwitchModel sw(tech, 5, mesh.flitBits, 4);
+    totals.transistors = mesh.switches * sw.transistorCount();
+    totals.gateWidthLambda = mesh.switches * sw.gateWidthLambda();
+
+    // Repeaters and pipeline latches on every link wire.
+    phys::RcWireModel wire(tech, phys::conventionalGlobalWire());
+    double wires = static_cast<double>(mesh.linkCount()) *
+                   mesh.wiresPerLink();
+    totals.transistors += static_cast<long>(
+        wires * wire.transistorCount(mesh.hopLength));
+    totals.gateWidthLambda += wires *
+                              wire.gateWidthLambda(mesh.hopLength);
+    // One staging latch per wire per link (12 devices, ~4x width).
+    totals.transistors += static_cast<long>(wires * 12.0);
+    totals.gateWidthLambda += wires * 12.0 * 4.0 *
+                              tech.minInverterWidthLambda / 10.0;
+    return totals;
+}
+
+CircuitTotals
+tlcNetworkCircuit(const phys::Technology &tech)
+{
+    CircuitTotals totals;
+    tlc::TlcConfig cfg = tlc::baseTlc();
+    tlc::TlcFloorplan floorplan(tech, cfg);
+
+    for (int p = 0; p < floorplan.pairs(); ++p) {
+        phys::TransmissionLine line(tech, floorplan.pair(p).length);
+        totals.transistors +=
+            static_cast<long>(cfg.linesPerPair) *
+            phys::TransmissionLine::transistorsPerLine();
+        totals.gateWidthLambda += cfg.linesPerPair *
+                                  line.gateWidthLambda();
+    }
+    return totals;
+}
+
+} // namespace harness
+} // namespace tlsim

@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Physical-design roll-ups for the paper's Table 7 (substrate area)
+ * and Table 8 (communication-network circuit totals), derived from
+ * the phys/cacti component models.
+ */
+
+#ifndef TLSIM_HARNESS_PAPERMODELS_HH
+#define TLSIM_HARNESS_PAPERMODELS_HH
+
+#include "phys/technology.hh"
+
+namespace tlsim
+{
+namespace harness
+{
+
+/** Substrate area breakdown of one cache design [m^2] (Table 7). */
+struct AreaBreakdown
+{
+    double storage = 0.0;
+    double channel = 0.0;
+    double controller = 0.0;
+
+    double total() const { return storage + channel + controller; }
+};
+
+/** Communication-network circuit totals (Table 8). */
+struct CircuitTotals
+{
+    long transistors = 0;
+    double gateWidthLambda = 0.0;
+};
+
+/** Area breakdown of the DNUCA design (256 x 64 KB over a mesh). */
+AreaBreakdown dnucaArea(const phys::Technology &tech);
+
+/** Area breakdown of the base TLC design (32 x 512 KB over lines). */
+AreaBreakdown tlcArea(const phys::Technology &tech);
+
+/** Circuit totals of the DNUCA mesh (switches + repeated links). */
+CircuitTotals dnucaNetworkCircuit(const phys::Technology &tech);
+
+/** Circuit totals of the base TLC line interface. */
+CircuitTotals tlcNetworkCircuit(const phys::Technology &tech);
+
+} // namespace harness
+} // namespace tlsim
+
+#endif // TLSIM_HARNESS_PAPERMODELS_HH

@@ -1,0 +1,197 @@
+#include "harness/system.hh"
+
+#include "nuca/dnuca.hh"
+#include "nuca/snuca.hh"
+#include "phys/technology.hh"
+#include "tlc/tlccache.hh"
+
+namespace tlsim
+{
+namespace harness
+{
+
+const std::vector<DesignKind> &
+allDesigns()
+{
+    static const std::vector<DesignKind> designs = {
+        DesignKind::Snuca2,     DesignKind::Dnuca,
+        DesignKind::TlcBase,    DesignKind::TlcOpt1000,
+        DesignKind::TlcOpt500,  DesignKind::TlcOpt350,
+    };
+    return designs;
+}
+
+const std::vector<DesignKind> &
+tlcFamily()
+{
+    static const std::vector<DesignKind> designs = {
+        DesignKind::TlcBase, DesignKind::TlcOpt1000,
+        DesignKind::TlcOpt500, DesignKind::TlcOpt350,
+    };
+    return designs;
+}
+
+std::string
+designName(DesignKind kind)
+{
+    switch (kind) {
+      case DesignKind::Snuca2:
+        return "SNUCA2";
+      case DesignKind::Dnuca:
+        return "DNUCA";
+      case DesignKind::TlcBase:
+        return "TLC";
+      case DesignKind::TlcOpt1000:
+        return "TLCopt1000";
+      case DesignKind::TlcOpt500:
+        return "TLCopt500";
+      case DesignKind::TlcOpt350:
+        return "TLCopt350";
+    }
+    panic("unknown design kind");
+}
+
+namespace
+{
+
+std::unique_ptr<mem::L2Cache>
+buildL2(DesignKind kind, EventQueue &eq, stats::StatGroup *parent,
+        mem::Dram &dram)
+{
+    const phys::Technology &tech = phys::tech45();
+    switch (kind) {
+      case DesignKind::Snuca2:
+        return std::make_unique<nuca::SnucaCache>(eq, parent, dram,
+                                                  tech);
+      case DesignKind::Dnuca:
+        return std::make_unique<nuca::DnucaCache>(eq, parent, dram,
+                                                  tech);
+      case DesignKind::TlcBase:
+        return std::make_unique<tlc::TlcCache>(eq, parent, dram, tech,
+                                               tlc::baseTlc());
+      case DesignKind::TlcOpt1000:
+        return std::make_unique<tlc::TlcCache>(eq, parent, dram, tech,
+                                               tlc::tlcOpt1000());
+      case DesignKind::TlcOpt500:
+        return std::make_unique<tlc::TlcCache>(eq, parent, dram, tech,
+                                               tlc::tlcOpt500());
+      case DesignKind::TlcOpt350:
+        return std::make_unique<tlc::TlcCache>(eq, parent, dram, tech,
+                                               tlc::tlcOpt350());
+    }
+    panic("unknown design kind");
+}
+
+} // namespace
+
+System::System(DesignKind kind, const cpu::CoreConfig &core_config)
+    : rootGroup("system")
+{
+    dramModel = std::make_unique<mem::Dram>(eq, &rootGroup);
+    l2Cache = buildL2(kind, eq, &rootGroup, *dramModel);
+    icache = std::make_unique<mem::L1Cache>(
+        "l1i", eq, &rootGroup, *l2Cache, 64 * 1024, 2, 3, 4);
+    dcache = std::make_unique<mem::L1Cache>(
+        "l1d", eq, &rootGroup, *l2Cache, 64 * 1024, 2, 3, 8);
+    cpuCore = std::make_unique<cpu::OoOCore>(eq, &rootGroup, *icache,
+                                             *dcache, core_config);
+}
+
+System::~System() = default;
+
+void
+System::beginMeasurement()
+{
+    rootGroup.resetStats();
+    l2Cache->beginMeasurement();
+}
+
+void
+System::functionalWarm(cpu::TraceSource &source,
+                       std::uint64_t instructions)
+{
+    std::uint64_t executed = 0;
+    while (executed < instructions) {
+        cpu::TraceRecord record = source.next();
+        executed += record.gap;
+        if (record.isIFetch) {
+            icache->accessFunctional(record.blockAddr,
+                                     mem::AccessType::InstFetch);
+        } else {
+            dcache->accessFunctional(record.blockAddr, record.type);
+            ++executed;
+        }
+    }
+}
+
+RunResult
+runBenchmark(DesignKind kind, const workload::BenchmarkProfile &profile,
+             std::uint64_t warm_instructions,
+             std::uint64_t measure_instructions, std::uint64_t run_seed,
+             std::uint64_t functional_warm)
+{
+    cpu::CoreConfig core_config;
+    core_config.fetchQuanta = profile.ilpQuanta;
+    System system(kind, core_config);
+    workload::TraceGenerator gen(profile, run_seed);
+
+    // Long functional warmup (paper methodology: caches warmed over
+    // hundreds of millions of instructions), then a short timed
+    // warmup to populate contention state.
+    if (functional_warm > 0)
+        system.functionalWarm(gen, functional_warm);
+    if (warm_instructions > 0)
+        system.core().run(gen, warm_instructions);
+
+    system.beginMeasurement();
+    std::uint64_t cycles =
+        system.core().run(gen, measure_instructions);
+    system.l2().syncStats();
+
+    mem::L2Cache &l2 = system.l2();
+    RunResult result;
+    result.design = l2.designName();
+    result.benchmark = profile.name;
+    result.cycles = cycles;
+    result.instructions = measure_instructions;
+    result.ipc = cycles > 0
+                     ? static_cast<double>(measure_instructions) /
+                           static_cast<double>(cycles)
+                     : 0.0;
+
+    double instr_k =
+        static_cast<double>(measure_instructions) / 1000.0;
+    result.l2RequestsPer1k = l2.demandRequests.value() / instr_k;
+    result.l2MissesPer1k = l2.misses.value() / instr_k;
+    result.meanLookupLatency = l2.lookupLatency.mean();
+    double lookups = l2.lookupLatency.count()
+                         ? static_cast<double>(l2.lookupLatency.count())
+                         : 1.0;
+    result.predictablePct =
+        100.0 * l2.predictableLookups.value() / lookups;
+    result.banksPerRequest = l2.banksAccessed.mean();
+
+    const phys::Technology &tech = phys::tech45();
+    double seconds = static_cast<double>(cycles) * tech.cycleTime();
+    result.networkPowerMw =
+        seconds > 0.0 ? 1000.0 * l2.networkEnergy.value() / seconds
+                      : 0.0;
+    result.linkUtilizationPct = 100.0 * l2.linkUtilization(cycles);
+
+    if (auto *dnuca = dynamic_cast<nuca::DnucaCache *>(&l2)) {
+        // Close-hit rate is reported against all lookups (Table 6).
+        result.closeHitPct = 100.0 * dnuca->closeHits.value() / lookups;
+        double ins = l2.inserts.value() > 0 ? l2.inserts.value() : 1.0;
+        result.promotesPerInsert = dnuca->promotions.value() / ins;
+        double dm = l2.misses.value() > 0 ? l2.misses.value() : 1.0;
+        result.fastMissPct = 100.0 * dnuca->fastMisses.value() / dm;
+    }
+    if (auto *tlc_cache = dynamic_cast<tlc::TlcCache *>(&l2)) {
+        result.multiMatchPct =
+            100.0 * tlc_cache->multiMatches.value() / lookups;
+    }
+    return result;
+}
+
+} // namespace harness
+} // namespace tlsim

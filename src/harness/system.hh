@@ -1,0 +1,141 @@
+/**
+ * @file
+ * System builder: assembles a complete simulated machine (OoO core,
+ * split L1s, one of the six L2 designs, DRAM) for one benchmark run,
+ * and the benchmark runner used by every table/figure experiment.
+ */
+
+#ifndef TLSIM_HARNESS_SYSTEM_HH
+#define TLSIM_HARNESS_SYSTEM_HH
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cpu/ooocore.hh"
+#include "mem/dram.hh"
+#include "mem/l1cache.hh"
+#include "mem/l2cache.hh"
+#include "sim/eventq.hh"
+#include "sim/stats.hh"
+#include "workload/generator.hh"
+#include "workload/profile.hh"
+
+namespace tlsim
+{
+namespace harness
+{
+
+/** The six cache designs compared in the paper. */
+enum class DesignKind
+{
+    Snuca2,
+    Dnuca,
+    TlcBase,
+    TlcOpt1000,
+    TlcOpt500,
+    TlcOpt350,
+};
+
+/** All designs, in paper order. */
+const std::vector<DesignKind> &allDesigns();
+
+/** The TLC family only (Figures 7 and 8). */
+const std::vector<DesignKind> &tlcFamily();
+
+/** Human-readable design name. */
+std::string designName(DesignKind kind);
+
+/**
+ * One fully wired simulated machine.
+ */
+class System
+{
+  public:
+    explicit System(DesignKind kind,
+                    const cpu::CoreConfig &core_config = {});
+    ~System();
+
+    EventQueue &eventQueue() { return eq; }
+    mem::L2Cache &l2() { return *l2Cache; }
+    cpu::OoOCore &core() { return *cpuCore; }
+    mem::L1Cache &l1d() { return *dcache; }
+    mem::L1Cache &l1i() { return *icache; }
+    mem::Dram &dram() { return *dramModel; }
+    stats::StatGroup &root() { return rootGroup; }
+
+    /** Reset all statistics at a measurement boundary. */
+    void beginMeasurement();
+
+    /**
+     * Functionally warm the cache hierarchy over @p instructions
+     * trace instructions (no timing, no events). Mirrors the paper's
+     * long warmup phases at a fraction of the cost.
+     */
+    void functionalWarm(cpu::TraceSource &source,
+                        std::uint64_t instructions);
+
+  private:
+    EventQueue eq;
+    stats::StatGroup rootGroup;
+    std::unique_ptr<mem::Dram> dramModel;
+    std::unique_ptr<mem::L2Cache> l2Cache;
+    std::unique_ptr<mem::L1Cache> icache;
+    std::unique_ptr<mem::L1Cache> dcache;
+    std::unique_ptr<cpu::OoOCore> cpuCore;
+};
+
+/** Metrics extracted from the measured phase of one run. */
+struct RunResult
+{
+    std::string design;
+    std::string benchmark;
+
+    std::uint64_t cycles = 0;
+    std::uint64_t instructions = 0;
+    double ipc = 0.0;
+
+    double l2RequestsPer1k = 0.0;
+    double l2MissesPer1k = 0.0;
+    double meanLookupLatency = 0.0;
+    double predictablePct = 0.0;
+    double banksPerRequest = 0.0;
+    double networkPowerMw = 0.0;
+    double linkUtilizationPct = 0.0;
+
+    // DNUCA-specific (zero for other designs).
+    double closeHitPct = 0.0;
+    double promotesPerInsert = 0.0;
+    double fastMissPct = 0.0;
+
+    // TLCopt-specific.
+    double multiMatchPct = 0.0;
+};
+
+/**
+ * Run one benchmark on one design: warm up, then measure.
+ *
+ * @param kind Cache design to build.
+ * @param profile Workload profile.
+ * @param warm_instructions Instructions executed before measurement.
+ * @param measure_instructions Instructions measured.
+ * @param run_seed Extra seed entropy (same seed -> same trace for
+ *                 every design, enabling normalized comparisons).
+ */
+/** Default instruction budgets used by the table/figure benches. */
+constexpr std::uint64_t defaultFunctionalWarmup = 200'000'000;
+constexpr std::uint64_t defaultWarmup = 3'000'000;
+constexpr std::uint64_t defaultMeasure = 10'000'000;
+
+RunResult runBenchmark(DesignKind kind,
+                       const workload::BenchmarkProfile &profile,
+                       std::uint64_t warm_instructions,
+                       std::uint64_t measure_instructions,
+                       std::uint64_t run_seed = 0,
+                       std::uint64_t functional_warm =
+                           defaultFunctionalWarmup);
+
+} // namespace harness
+} // namespace tlsim
+
+#endif // TLSIM_HARNESS_SYSTEM_HH

@@ -1,0 +1,62 @@
+#include "mem/dram.hh"
+
+namespace tlsim
+{
+namespace mem
+{
+
+Dram::Dram(EventQueue &eq, stats::StatGroup *parent, Cycles latency_,
+           int max_outstanding)
+    : stats::StatGroup("dram", parent), eventq(eq), latency(latency_),
+      maxOutstanding(max_outstanding),
+      reads(this, "reads", "DRAM read requests"),
+      writes(this, "writes", "DRAM writeback requests"),
+      queueDelay(this, "queue_delay",
+                 "cycles spent waiting for an outstanding slot")
+{}
+
+void
+Dram::read(Addr block_addr, Tick now, RespCallback cb)
+{
+    (void)block_addr;
+    ++reads;
+    waiting.push_back(Pending{now, std::move(cb)});
+    startNext(now);
+}
+
+void
+Dram::write(Addr block_addr, Tick now)
+{
+    (void)block_addr;
+    ++writes;
+    waiting.push_back(Pending{now, RespCallback{}});
+    startNext(now);
+}
+
+void
+Dram::startNext(Tick now)
+{
+    while (outstanding < maxOutstanding && !waiting.empty()) {
+        Pending pending = std::move(waiting.front());
+        waiting.pop_front();
+        queueDelay.sample(static_cast<double>(now - pending.ready));
+        ++outstanding;
+        Tick done = now + latency;
+        RespCallback cb = std::move(pending.cb);
+        eventq.scheduleFunc(done, [this, cb = std::move(cb), done]() {
+            finish(done, cb);
+        });
+    }
+}
+
+void
+Dram::finish(Tick now, RespCallback cb)
+{
+    --outstanding;
+    if (cb)
+        cb(now);
+    startNext(now);
+}
+
+} // namespace mem
+} // namespace tlsim

@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Main-memory model: fixed 300-cycle access latency with a limit of
+ * 8 outstanding requests (paper Table 3); excess requests queue.
+ */
+
+#ifndef TLSIM_MEM_DRAM_HH
+#define TLSIM_MEM_DRAM_HH
+
+#include <cstdint>
+#include <deque>
+
+#include "mem/request.hh"
+#include "sim/eventq.hh"
+#include "sim/stats.hh"
+
+namespace tlsim
+{
+namespace mem
+{
+
+/**
+ * A bandwidth-limited fixed-latency DRAM.
+ */
+class Dram : public stats::StatGroup
+{
+  public:
+    /**
+     * @param eq Event queue driving the simulation.
+     * @param parent Parent stats group.
+     * @param latency Access latency in cycles.
+     * @param max_outstanding Maximum requests in service at once.
+     */
+    Dram(EventQueue &eq, stats::StatGroup *parent,
+         Cycles latency = 300, int max_outstanding = 8);
+
+    /**
+     * Issue a read; @p cb fires when the data is back on chip.
+     */
+    void read(Addr block_addr, Tick now, RespCallback cb);
+
+    /**
+     * Issue a writeback; fire-and-forget but consumes an outstanding
+     * slot (dirty evictions contend with demand misses).
+     */
+    void write(Addr block_addr, Tick now);
+
+    /** Requests currently in service. */
+    int inService() const { return outstanding; }
+
+  private:
+    EventQueue &eventq;
+    Cycles latency;
+    int maxOutstanding;
+
+  public:
+    stats::Scalar reads;
+    stats::Scalar writes;
+    stats::Average queueDelay;
+
+  private:
+    struct Pending
+    {
+        Tick ready; // earliest start (arrival at the controller)
+        RespCallback cb; // empty for writes
+    };
+
+    void startNext(Tick now);
+    void finish(Tick now, RespCallback cb);
+
+    int outstanding = 0;
+    std::deque<Pending> waiting;
+};
+
+} // namespace mem
+} // namespace tlsim
+
+#endif // TLSIM_MEM_DRAM_HH

@@ -1,0 +1,141 @@
+#include "mem/l1cache.hh"
+
+namespace tlsim
+{
+namespace mem
+{
+
+namespace
+{
+
+std::uint32_t
+setsFor(std::uint64_t capacity, int ways)
+{
+    return static_cast<std::uint32_t>(
+        capacity / (static_cast<std::uint64_t>(blockBytes) * ways));
+}
+
+} // namespace
+
+L1Cache::L1Cache(const std::string &name, EventQueue &eq,
+                 stats::StatGroup *parent, L2Cache &l2_,
+                 std::uint64_t capacity_bytes, int ways,
+                 Cycles hit_latency, int num_mshrs)
+    : stats::StatGroup(name, parent), eventq(eq), l2(l2_),
+      array(setsFor(capacity_bytes, ways), ways),
+      hitLatency(hit_latency), numMshrs(num_mshrs),
+      accesses(this, "accesses", "L1 accesses"),
+      hits(this, "hits", "L1 hits"),
+      misses(this, "misses", "L1 misses sent to L2"),
+      coalescedMisses(this, "coalesced_misses",
+                      "misses merged into an existing MSHR"),
+      writebacks(this, "writebacks", "dirty victims written to L2"),
+      mshrStallCycles(this, "mshr_stall_cycles",
+                      "cycles requests waited for a free MSHR")
+{}
+
+void
+L1Cache::access(Addr block_addr, AccessType type, Tick now,
+                RespCallback cb)
+{
+    ++accesses;
+    ++useCounter;
+
+    auto way = array.lookup(block_addr);
+    if (way) {
+        ++hits;
+        array.touch(block_addr, *way, useCounter, isWrite(type));
+        cb(now + hitLatency);
+        return;
+    }
+
+    // Miss: coalesce onto an existing MSHR if one tracks this block.
+    auto it = mshrs.find(block_addr);
+    if (it != mshrs.end()) {
+        ++coalescedMisses;
+        it->second.storeMiss |= isWrite(type);
+        it->second.targets.push_back(std::move(cb));
+        return;
+    }
+
+    ++misses;
+    if (static_cast<int>(mshrs.size()) >= numMshrs) {
+        waitQueue.push_back(
+            WaitingAccess{block_addr, type, now, std::move(cb)});
+        return;
+    }
+
+    Mshr &mshr = mshrs[block_addr];
+    mshr.storeMiss = isWrite(type);
+    mshr.targets.push_back(std::move(cb));
+    startMiss(block_addr, type, now);
+}
+
+void
+L1Cache::accessFunctional(Addr block_addr, AccessType type)
+{
+    ++useCounter;
+    auto way = array.lookup(block_addr);
+    if (way) {
+        array.touch(block_addr, *way, useCounter, isWrite(type));
+        return;
+    }
+    l2.accessFunctional(block_addr, type == AccessType::Store
+                                        ? AccessType::Load
+                                        : type);
+    auto evicted = array.insert(block_addr, useCounter, isWrite(type));
+    if (evicted && evicted->dirty)
+        l2.accessFunctional(evicted->blockAddr, AccessType::Store);
+}
+
+void
+L1Cache::startMiss(Addr block_addr, AccessType type, Tick now)
+{
+    // The L2 request leaves after the L1 tag check.
+    Tick depart = now + hitLatency;
+    AccessType l2_type =
+        type == AccessType::Store ? AccessType::Load : type;
+    eventq.scheduleFunc(depart, [this, block_addr, l2_type, depart]() {
+        l2.access(block_addr, l2_type, depart, [this, block_addr](
+                                                   Tick done) {
+            handleFill(block_addr, done);
+        });
+    });
+}
+
+void
+L1Cache::handleFill(Addr block_addr, Tick now)
+{
+    auto it = mshrs.find(block_addr);
+    TLSIM_ASSERT(it != mshrs.end(), "fill without MSHR");
+    Mshr mshr = std::move(it->second);
+    mshrs.erase(it);
+
+    ++useCounter;
+    auto evicted = array.insert(block_addr, useCounter, mshr.storeMiss);
+    if (evicted && evicted->dirty) {
+        ++writebacks;
+        l2.access(evicted->blockAddr, AccessType::Store, now,
+                  [](Tick) {});
+    }
+
+    for (auto &target : mshr.targets)
+        target(now);
+
+    // Admit a waiting access now that an MSHR is free. Re-run the
+    // full access path: it may now hit (same block) or re-miss.
+    if (!waitQueue.empty() &&
+        static_cast<int>(mshrs.size()) < numMshrs) {
+        WaitingAccess waiting = std::move(waitQueue.front());
+        waitQueue.pop_front();
+        mshrStallCycles += static_cast<double>(now - waiting.queuedAt);
+        // Undo the double-count: this access was already counted.
+        accesses += -1.0;
+        misses += -1.0;
+        access(waiting.blockAddr, waiting.type, now,
+               std::move(waiting.cb));
+    }
+}
+
+} // namespace mem
+} // namespace tlsim

@@ -1,0 +1,116 @@
+/**
+ * @file
+ * First-level cache model (64 KB, 2-way, 3-cycle hit; paper Table 3)
+ * with MSHR-based miss handling in front of a pluggable L2 design.
+ */
+
+#ifndef TLSIM_MEM_L1CACHE_HH
+#define TLSIM_MEM_L1CACHE_HH
+
+#include <cstdint>
+#include <deque>
+#include <unordered_map>
+#include <vector>
+
+#include "mem/l2cache.hh"
+#include "mem/request.hh"
+#include "mem/setassoc.hh"
+#include "sim/eventq.hh"
+#include "sim/stats.hh"
+
+namespace tlsim
+{
+namespace mem
+{
+
+/**
+ * A blocking-free L1 cache: hits complete in a fixed latency, misses
+ * allocate an MSHR and fetch the block from the L2. Requests to a
+ * block with an outstanding MSHR coalesce onto it; when all MSHRs are
+ * busy, further misses queue until one frees.
+ *
+ * Dirty victims are written back to the L2 (which treats them as
+ * tag-comparison-free stores, per the paper).
+ */
+class L1Cache : public stats::StatGroup
+{
+  public:
+    /**
+     * @param name Stats name ("l1d" / "l1i").
+     * @param eq Event queue.
+     * @param parent Parent stats group.
+     * @param l2 The L2 design behind this cache.
+     * @param capacity_bytes Capacity (default 64 KB).
+     * @param ways Associativity (default 2).
+     * @param hit_latency Hit latency in cycles (default 3).
+     * @param num_mshrs Outstanding misses supported (default 8).
+     */
+    L1Cache(const std::string &name, EventQueue &eq,
+            stats::StatGroup *parent, L2Cache &l2,
+            std::uint64_t capacity_bytes = 64 * 1024, int ways = 2,
+            Cycles hit_latency = 3, int num_mshrs = 8);
+
+    /**
+     * Access the cache at block granularity.
+     * @param block_addr Block address.
+     * @param type Access kind.
+     * @param now Issue tick.
+     * @param cb Fires when the data is available (loads) or the
+     *           write is accepted (stores).
+     */
+    void access(Addr block_addr, AccessType type, Tick now,
+                RespCallback cb);
+
+    /**
+     * Timing-free access for functional warmup: updates the tag
+     * array and forwards misses and dirty writebacks to the L2's
+     * functional interface.
+     */
+    void accessFunctional(Addr block_addr, AccessType type);
+
+    /** Number of misses currently outstanding. */
+    int outstandingMisses() const { return static_cast<int>(
+        mshrs.size()); }
+
+  private:
+    EventQueue &eventq;
+    L2Cache &l2;
+    SetAssocArray array;
+    Cycles hitLatency;
+    int numMshrs;
+
+  public:
+    stats::Scalar accesses;
+    stats::Scalar hits;
+    stats::Scalar misses;
+    stats::Scalar coalescedMisses;
+    stats::Scalar writebacks;
+    stats::Scalar mshrStallCycles;
+
+  private:
+    struct Mshr
+    {
+        bool storeMiss = false;
+        std::vector<RespCallback> targets;
+    };
+
+    struct WaitingAccess
+    {
+        Addr blockAddr;
+        AccessType type;
+        Tick queuedAt;
+        RespCallback cb;
+    };
+
+    void startMiss(Addr block_addr, AccessType type, Tick now);
+    void handleFill(Addr block_addr, Tick now);
+
+    std::uint64_t useCounter = 0;
+    std::unordered_map<Addr, Mshr> mshrs;
+    std::deque<WaitingAccess> waitQueue;
+};
+
+} // namespace mem
+} // namespace tlsim
+
+#endif // TLSIM_MEM_L1CACHE_HH

@@ -1,0 +1,133 @@
+/**
+ * @file
+ * Abstract interface and shared statistics for the 16 MB L2 cache
+ * designs compared in the paper (SNUCA2, DNUCA, TLC family).
+ */
+
+#ifndef TLSIM_MEM_L2CACHE_HH
+#define TLSIM_MEM_L2CACHE_HH
+
+#include <string>
+
+#include "mem/dram.hh"
+#include "mem/request.hh"
+#include "sim/eventq.hh"
+#include "sim/stats.hh"
+
+namespace tlsim
+{
+namespace mem
+{
+
+/**
+ * Base class for all L2 designs.
+ *
+ * A design receives block-granularity accesses from the L1s, models
+ * its internal interconnect/bank timing, fetches misses from DRAM,
+ * and fires the callback when the critical word is delivered to the
+ * requester. Writes (L1 writebacks) are fire-and-forget: the callback
+ * is invoked when the write is accepted.
+ *
+ * Subclasses must sample the shared stats so the Table 6 / Table 9 /
+ * Figure 6 / Figure 7 experiments can treat designs uniformly.
+ */
+class L2Cache : public stats::StatGroup
+{
+  protected:
+    EventQueue &eventq;
+    Dram &dram;
+
+  public:
+    L2Cache(const std::string &name, EventQueue &eq,
+            stats::StatGroup *parent, Dram &dram_)
+        : stats::StatGroup(name, parent), eventq(eq), dram(dram_),
+          requests(this, "requests", "L2 requests received"),
+          demandRequests(this, "demand_requests",
+                         "L2 read (load/ifetch) requests"),
+          hits(this, "hits", "L2 hits"),
+          misses(this, "misses", "L2 demand misses"),
+          inserts(this, "inserts", "blocks inserted from memory"),
+          writebacksToMemory(this, "writebacks",
+                             "dirty L2 victims written to memory"),
+          lookupLatency(this, "lookup_latency",
+                        "cycles from L2 access to hit delivery or "
+                        "miss determination"),
+          predictableLookups(this, "predictable_lookups",
+                             "lookups whose latency matched the "
+                             "static prediction"),
+          banksAccessed(this, "banks_accessed",
+                        "cache banks touched per request"),
+          networkEnergy(this, "network_energy",
+                        "dynamic energy dissipated in the L2 "
+                        "communication network [J]"),
+          linkBusyCycles(this, "link_busy_cycles",
+                         "total busy cycles summed over all links")
+    {}
+
+    ~L2Cache() override = default;
+
+    /**
+     * Access the L2.
+     * @param block_addr Block address (byte addr >> 6).
+     * @param type Access kind.
+     * @param now Issue tick.
+     * @param cb Fires when the access completes (see class comment).
+     */
+    virtual void access(Addr block_addr, AccessType type, Tick now,
+                        RespCallback cb) = 0;
+
+    /** Total number of links in the design's network (for Fig 7). */
+    virtual int linkCount() const = 0;
+
+    /** Human-readable design name ("TLC", "DNUCA", ...). */
+    virtual std::string designName() const = 0;
+
+    /**
+     * Timing-free access used for fast functional warmup (the paper
+     * warms caches over 0.5-1 B instructions before measuring; doing
+     * that with full timing would dominate simulation time). Updates
+     * the design's replacement/placement state exactly as a timed
+     * access would, without any events, contention, or stats.
+     */
+    virtual void accessFunctional(Addr block_addr, AccessType type) = 0;
+
+    /**
+     * Copy design-internal counters (mesh/link occupancy, network
+     * energy) into the shared stats; call before reading them.
+     */
+    virtual void syncStats() {}
+
+    /**
+     * Reset design-internal counters at a measurement boundary (the
+     * StatGroup reset handles the registered stats themselves).
+     */
+    virtual void beginMeasurement() {}
+
+    /** Average link utilization over an interval of elapsed cycles. */
+    double
+    linkUtilization(Tick elapsed) const
+    {
+        if (elapsed == 0 || linkCount() == 0)
+            return 0.0;
+        return linkBusyCycles.value() /
+               (static_cast<double>(linkCount()) *
+                static_cast<double>(elapsed));
+    }
+
+    stats::Scalar requests;
+    stats::Scalar demandRequests;
+    stats::Scalar hits;
+    stats::Scalar misses;
+    stats::Scalar inserts;
+    stats::Scalar writebacksToMemory;
+    stats::Average lookupLatency;
+    stats::Scalar predictableLookups;
+    stats::Average banksAccessed;
+    stats::Scalar networkEnergy;
+    stats::Scalar linkBusyCycles;
+};
+
+} // namespace mem
+} // namespace tlsim
+
+#endif // TLSIM_MEM_L2CACHE_HH

@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Memory request types shared across the cache hierarchy.
+ */
+
+#ifndef TLSIM_MEM_REQUEST_HH
+#define TLSIM_MEM_REQUEST_HH
+
+#include <functional>
+
+#include "sim/types.hh"
+
+namespace tlsim
+{
+namespace mem
+{
+
+/** Cache block size used throughout the paper's designs (64 B). */
+constexpr int blockBytes = 64;
+constexpr int blockShift = 6;
+
+/** Block-align a byte address. */
+inline Addr
+blockAlign(Addr addr)
+{
+    return addr >> blockShift;
+}
+
+/** Access kind: instruction fetch, data load, or data store. */
+enum class AccessType
+{
+    InstFetch,
+    Load,
+    Store,
+};
+
+inline bool
+isWrite(AccessType type)
+{
+    return type == AccessType::Store;
+}
+
+/** Callback signature: invoked with the tick a request completed. */
+using RespCallback = std::function<void(Tick)>;
+
+/** One memory request flowing through the hierarchy. */
+struct MemRequest
+{
+    /** Block address (byte address >> blockShift). */
+    Addr blockAddr;
+    /** Kind of access. */
+    AccessType type;
+    /** Tick the request was issued. */
+    Tick issued;
+};
+
+} // namespace mem
+} // namespace tlsim
+
+#endif // TLSIM_MEM_REQUEST_HH

@@ -1,0 +1,72 @@
+/**
+ * @file
+ * A unidirectional communication link with busy-until contention.
+ *
+ * Shared by the NUCA mesh (inter-switch links) and the TLC designs
+ * (point-to-point transmission-line links). A message reserves the
+ * link for its serialization time; overlapping reservations queue in
+ * FIFO order by simply starting when the link frees.
+ */
+
+#ifndef TLSIM_NOC_LINK_HH
+#define TLSIM_NOC_LINK_HH
+
+#include <algorithm>
+#include <cstdint>
+
+#include "sim/types.hh"
+
+namespace tlsim
+{
+namespace noc
+{
+
+/**
+ * Busy-until occupancy tracking for one unidirectional link.
+ */
+class Link
+{
+  public:
+    Link() = default;
+
+    /**
+     * Reserve the link for @p duration cycles at or after @p now.
+     * @return The tick at which the reservation actually starts.
+     */
+    Tick
+    reserve(Tick now, Cycles duration)
+    {
+        Tick start = std::max(now, busyUntil);
+        busyUntil = start + duration;
+        busy += duration;
+        ++messages;
+        return start;
+    }
+
+    /** Tick until which the link is occupied. */
+    Tick freeAt() const { return busyUntil; }
+
+    /** Total cycles this link has been occupied. */
+    std::uint64_t busyCycles() const { return busy; }
+
+    /** Number of reservations made. */
+    std::uint64_t messageCount() const { return messages; }
+
+    /** Clear occupancy statistics (not the busy horizon). */
+    void
+    resetStats()
+    {
+        busy = 0;
+        messages = 0;
+    }
+
+  private:
+    Tick busyUntil = 0;
+    std::uint64_t busy = 0;
+    std::uint64_t messages = 0;
+};
+
+} // namespace noc
+} // namespace tlsim
+
+#endif // TLSIM_NOC_LINK_HH

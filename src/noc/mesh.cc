@@ -1,0 +1,230 @@
+#include "noc/mesh.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdlib>
+
+#include "phys/geometry.hh"
+#include "sim/logging.hh"
+
+namespace tlsim
+{
+namespace noc
+{
+
+Mesh::Mesh(EventQueue &eq, const phys::Technology &tech,
+           const MeshConfig &config_)
+    : eventq(eq), config(config_)
+{
+    TLSIM_ASSERT(config.rows > 0 && config.cols > 1,
+                 "mesh needs a positive grid");
+
+    // Link layout (all unidirectional):
+    //   [0] controller -> mesh injection
+    //   [1] mesh -> controller ejection
+    //   vertical up/down per column between adjacent rows
+    //   horizontal east/west along row 0 between adjacent columns
+    int vertical = config.cols * (config.rows - 1);
+    int horizontal = config.cols - 1;
+    links.resize(2 + 2 * vertical + 2 * horizontal);
+
+    // Energy of one flit crossing one hop: link wires + switch.
+    phys::RcWireModel wire(tech, phys::conventionalGlobalWire());
+    phys::SwitchModel sw(tech, 5, config.flitBits, 4);
+    flitHopEnergyJ = config.flitBits * tech.activityFactor *
+                         wire.energyPerTransition(config.hopLength) +
+                     sw.energyPerFlit();
+}
+
+int
+Mesh::linkIndex(Coord from, Coord to)
+{
+    int vertical = config.cols * (config.rows - 1);
+    if (from.col == to.col) {
+        int low = std::min(from.row, to.row);
+        TLSIM_ASSERT(std::abs(from.row - to.row) == 1,
+                     "non-adjacent vertical hop");
+        int base = 2 + from.col * (config.rows - 1) + low;
+        bool up = to.row > from.row;
+        return up ? base : base + vertical;
+    }
+    TLSIM_ASSERT(from.row == to.row && from.row == 0 &&
+                     std::abs(from.col - to.col) == 1,
+                 "invalid horizontal hop");
+    int low = std::min(from.col, to.col);
+    int base = 2 + 2 * vertical + low;
+    bool east = to.col > from.col;
+    return east ? base : base + horizontalCount();
+}
+
+std::vector<int>
+Mesh::buildRoute(Coord from, Coord to)
+{
+    std::vector<int> route;
+    Coord cur = from;
+    // Horizontal links exist only along row 0: inbound messages ride
+    // the column down first, outbound ride row 0 first.
+    auto move_vertical = [&](int target_row) {
+        while (cur.row != target_row) {
+            Coord next{cur.row + (target_row > cur.row ? 1 : -1),
+                       cur.col};
+            route.push_back(linkIndex(cur, next));
+            cur = next;
+        }
+    };
+    auto move_horizontal = [&]() {
+        while (cur.col != to.col) {
+            Coord next{cur.row, cur.col + (to.col > cur.col ? 1 : -1)};
+            route.push_back(linkIndex(cur, next));
+            cur = next;
+        }
+    };
+    if (from.col == to.col) {
+        move_vertical(to.row);
+    } else if (from.row == 0) {
+        move_horizontal();
+        move_vertical(to.row);
+    } else {
+        move_vertical(0);
+        move_horizontal();
+        move_vertical(to.row);
+    }
+    return route;
+}
+
+double
+Mesh::hopsTo(Coord bank) const
+{
+    double horiz = std::abs(bank.col - controllerCol()) - 0.5;
+    if (horiz < 0.0)
+        horiz = 0.0;
+    return bank.row + horiz;
+}
+
+Tick
+Mesh::routeMessage(const std::vector<int> &path, int flits, Tick now)
+{
+    Tick head = now;
+    for (int li : path) {
+        head = links[static_cast<std::size_t>(li)].reserve(
+            head, static_cast<Cycles>(flits));
+        head += config.hopLatency;
+    }
+    energy += static_cast<double>(flits) *
+              static_cast<double>(path.size()) * flitHopEnergyJ;
+    // Tail flit trails the head by the serialization time.
+    return head + static_cast<Tick>(flits - 1);
+}
+
+namespace
+{
+
+/** Column of the bottom-row switch the controller attaches to. */
+int
+injectColumnFor(int dst_col, double controller_col)
+{
+    return dst_col <= controller_col
+               ? static_cast<int>(std::floor(controller_col))
+               : static_cast<int>(std::ceil(controller_col));
+}
+
+} // namespace
+
+void
+Mesh::sendToBank(Coord dst, int flits, Tick now, DeliverCallback cb)
+{
+    // The controller spans the cache edge, so its boundary is wide:
+    // injection costs energy but does not serialize (contention is
+    // modelled in the row-0 and column links).
+    int inject_col = injectColumnFor(dst.col, controllerCol());
+    auto route = buildRoute(Coord{0, inject_col}, dst);
+    Tick tail = routeMessage(route, flits, now);
+    energy += static_cast<double>(flits) * flitHopEnergyJ * 0.5;
+    eventq.scheduleFunc(tail, [cb = std::move(cb), tail]() { cb(tail); });
+}
+
+void
+Mesh::sendToController(Coord src, int flits, Tick now,
+                       DeliverCallback cb)
+{
+    int eject_col = injectColumnFor(src.col, controllerCol());
+    auto route = buildRoute(src, Coord{0, eject_col});
+    Tick tail = routeMessage(route, flits, now);
+    energy += static_cast<double>(flits) * flitHopEnergyJ * 0.5;
+    eventq.scheduleFunc(tail, [cb = std::move(cb), tail]() { cb(tail); });
+}
+
+void
+Mesh::multicastToColumn(int col, const std::vector<int> &rows,
+                        int flits, Tick now,
+                        std::function<void(int, Tick)> cb)
+{
+    TLSIM_ASSERT(!rows.empty(), "multicast needs at least one row");
+    int far_row = *std::max_element(rows.begin(), rows.end());
+
+    int inject_col = injectColumnFor(col, controllerCol());
+    Tick head = now;
+    energy += static_cast<double>(flits) * flitHopEnergyJ * 0.5;
+
+    // Horizontal portion along row 0.
+    Coord cur{0, inject_col};
+    int hops = 0;
+    while (cur.col != col) {
+        Coord next{0, cur.col + (col > cur.col ? 1 : -1)};
+        head = links[static_cast<std::size_t>(linkIndex(cur, next))]
+                   .reserve(head, static_cast<Cycles>(flits));
+        head += config.hopLatency;
+        cur = next;
+        ++hops;
+    }
+
+    // Vertical portion: record the head's arrival at every row.
+    std::vector<Tick> arrival(static_cast<std::size_t>(far_row) + 1);
+    arrival[0] = head;
+    while (cur.row != far_row) {
+        Coord next{cur.row + 1, cur.col};
+        head = links[static_cast<std::size_t>(linkIndex(cur, next))]
+                   .reserve(head, static_cast<Cycles>(flits));
+        head += config.hopLatency;
+        cur = next;
+        ++hops;
+        arrival[static_cast<std::size_t>(cur.row)] = head;
+    }
+    energy += static_cast<double>(flits) * hops * flitHopEnergyJ;
+
+    for (int row : rows) {
+        Tick tail = arrival[static_cast<std::size_t>(row)] +
+                    static_cast<Tick>(flits - 1);
+        eventq.scheduleFunc(tail,
+                            [cb, row, tail]() { cb(row, tail); });
+    }
+}
+
+void
+Mesh::sendBankToBank(Coord src, Coord dst, int flits, Tick now,
+                     DeliverCallback cb)
+{
+    auto route = buildRoute(src, dst);
+    Tick tail = routeMessage(route, flits, now);
+    eventq.scheduleFunc(tail, [cb = std::move(cb), tail]() { cb(tail); });
+}
+
+std::uint64_t
+Mesh::totalBusyCycles() const
+{
+    std::uint64_t total = 0;
+    for (const auto &link : links)
+        total += link.busyCycles();
+    return total;
+}
+
+void
+Mesh::resetStats()
+{
+    for (auto &link : links)
+        link.resetStats();
+    energy = 0.0;
+}
+
+} // namespace noc
+} // namespace tlsim

@@ -1,0 +1,171 @@
+/**
+ * @file
+ * 2-D switched mesh interconnect used by the NUCA cache designs.
+ *
+ * The mesh is a grid of wormhole switches connected by repeated RC
+ * links (src/phys/rcwire). The cache controller injects at a port on
+ * the bottom edge, centered between the two middle columns — this
+ * reproduces the NUCA hop-count spectrum (DNUCA: 0..22 one-way hops
+ * over a 16x16 grid). Messages are modeled per-hop with link
+ * occupancy (contention) and tail-flit serialization at delivery.
+ */
+
+#ifndef TLSIM_NOC_MESH_HH
+#define TLSIM_NOC_MESH_HH
+
+#include <cmath>
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "noc/link.hh"
+#include "phys/rcwire.hh"
+#include "phys/switchmodel.hh"
+#include "phys/technology.hh"
+#include "sim/eventq.hh"
+#include "sim/stats.hh"
+#include "sim/types.hh"
+
+namespace tlsim
+{
+namespace noc
+{
+
+/** Grid coordinate of a switch/bank. */
+struct Coord
+{
+    int row; // 0 == closest to the controller edge
+    int col;
+
+    bool operator==(const Coord &other) const = default;
+};
+
+/**
+ * Configuration of one mesh instance.
+ */
+struct MeshConfig
+{
+    int rows;
+    int cols;
+    /** Per-hop latency in cycles (link + switch traversal). */
+    Cycles hopLatency;
+    /** Link datapath width in bits. */
+    int flitBits;
+    /** Physical link length per hop [m] (for energy accounting). */
+    double hopLength;
+};
+
+/**
+ * The mesh: computes routes, reserves per-hop links, delivers
+ * messages via the event queue, and accounts energy/occupancy.
+ */
+class Mesh
+{
+  public:
+    /**
+     * @param eq Event queue.
+     * @param tech Technology (for link/switch energy).
+     * @param config Grid geometry and timing.
+     */
+    Mesh(EventQueue &eq, const phys::Technology &tech,
+         const MeshConfig &config);
+
+    /** Delivery callback: fires when the message tail arrives. */
+    using DeliverCallback = std::function<void(Tick)>;
+
+    /**
+     * Send a message from the controller to a bank.
+     * @param dst Destination bank coordinate.
+     * @param flits Message length in flits.
+     * @param now Injection tick.
+     * @param cb Fires at tail delivery.
+     */
+    void sendToBank(Coord dst, int flits, Tick now, DeliverCallback cb);
+
+    /** Send a message from a bank back to the controller. */
+    void sendToController(Coord src, int flits, Tick now,
+                          DeliverCallback cb);
+
+    /**
+     * Send a message between two banks in the same column (used for
+     * DNUCA promotion swaps).
+     */
+    void sendBankToBank(Coord src, Coord dst, int flits, Tick now,
+                        DeliverCallback cb);
+
+    /**
+     * Multicast a message from the controller up one column: the
+     * message rides to the farthest requested row, dropping a copy
+     * at each requested bank as it passes. @p cb fires once per
+     * requested row, at that row's tail-arrival tick.
+     */
+    void multicastToColumn(int col, const std::vector<int> &rows,
+                           int flits, Tick now,
+                           std::function<void(int, Tick)> cb);
+
+    /**
+     * One-way hop count between the controller port and a bank
+     * (fractional hops model the injection half-link).
+     */
+    double hopsTo(Coord bank) const;
+
+    /** Uncontended one-way latency to a bank, in cycles. */
+    Cycles
+    uncontendedLatency(Coord bank) const
+    {
+        return static_cast<Cycles>(
+            std::llround(hopsTo(bank) * config.hopLatency));
+    }
+
+    /** Total unidirectional links in the mesh. */
+    int linkCount() const { return static_cast<int>(links.size()); }
+
+    /** Sum of busy cycles across all links. */
+    std::uint64_t totalBusyCycles() const;
+
+    /** Dynamic energy consumed so far [J]. */
+    double energyConsumed() const { return energy; }
+
+    /** Energy of one flit traversing one hop (link + switch) [J]. */
+    double flitHopEnergy() const { return flitHopEnergyJ; }
+
+    /** Reset occupancy/energy statistics. */
+    void resetStats();
+
+    const MeshConfig &configuration() const { return config; }
+
+  private:
+    /**
+     * Route a message over a given number of hops, reserving each
+     * directional link in sequence.
+     * @return Tick at which the tail flit arrives at the endpoint.
+     */
+    Tick routeMessage(const std::vector<int> &path, int flits, Tick now);
+
+    /** Link index for the hop between two adjacent nodes. */
+    int linkIndex(Coord from, Coord to);
+
+    /** Build the XY route (list of link indices) between two nodes. */
+    std::vector<int> buildRoute(Coord from, Coord to);
+
+    /** Controller attach point: between the two middle columns. */
+    double controllerCol() const { return (config.cols - 1) / 2.0; }
+
+    /** Number of horizontal links per direction. */
+    int horizontalCount() const { return config.cols - 1; }
+
+    EventQueue &eventq;
+    MeshConfig config;
+    std::vector<Link> links;
+    // Injection/ejection links between the controller and the two
+    // middle bottom-row switches.
+    Link injectLink;
+    Link ejectLink;
+    double energy = 0.0;
+    double flitHopEnergyJ = 0.0;
+};
+
+} // namespace noc
+} // namespace tlsim
+
+#endif // TLSIM_NOC_MESH_HH

@@ -1,0 +1,381 @@
+#include "nuca/dnuca.hh"
+
+#include <algorithm>
+#include <memory>
+
+namespace tlsim
+{
+namespace nuca
+{
+
+namespace
+{
+
+constexpr int addrFlits = 1;
+
+int
+dataFlits(int flit_bits)
+{
+    return (mem::blockBytes * 8 + flit_bits - 1) / flit_bits;
+}
+
+} // namespace
+
+DnucaCache::DnucaCache(EventQueue &eq, stats::StatGroup *parent,
+                       mem::Dram &dram, const phys::Technology &tech,
+                       const DnucaConfig &config)
+    : mem::L2Cache("dnuca", eq, parent, dram), cfg(config),
+      mesh(eq, tech,
+           noc::MeshConfig{static_cast<int>(config.bankSets.banksPerSet),
+                           static_cast<int>(config.bankSets.numBankSets),
+                           config.hopLatency, config.flitBits,
+                           config.hopLength}),
+      bankModel(tech, config.bankBytes,
+                static_cast<int>(config.bankSets.waysPerBank),
+                mem::blockBytes),
+      bankCycles(bankModel.accessCycles()),
+      array(config.bankSets),
+      bankPorts(static_cast<std::size_t>(config.bankSets.banksPerSet) *
+                config.bankSets.numBankSets),
+      closeHits(this, "close_hits", "hits in the closest banks"),
+      promotions(this, "promotions", "generational promotion swaps"),
+      fastMisses(this, "fast_misses",
+                 "misses resolved by the partial tags alone"),
+      searches(this, "searches", "banks searched beyond the closest")
+{}
+
+Cycles
+DnucaCache::uncontendedLatency(std::uint32_t bank_row,
+                               std::uint32_t column) const
+{
+    return 2 * mesh.uncontendedLatency(coordOf(bank_row, column)) +
+           bankCycles;
+}
+
+std::pair<Cycles, Cycles>
+DnucaCache::latencyRange() const
+{
+    Cycles lo = ~Cycles(0), hi = 0;
+    for (std::uint32_t row = 0; row < cfg.bankSets.banksPerSet; ++row) {
+        for (std::uint32_t col = 0; col < cfg.bankSets.numBankSets;
+             ++col) {
+            Cycles lat = uncontendedLatency(row, col);
+            lo = std::min(lo, lat);
+            hi = std::max(hi, lat);
+        }
+    }
+    return {lo, hi};
+}
+
+int
+DnucaCache::linkCount() const
+{
+    return mesh.linkCount();
+}
+
+void
+DnucaCache::access(Addr block_addr, mem::AccessType type, Tick now,
+                   mem::RespCallback cb)
+{
+    ++requests;
+
+    if (type == mem::AccessType::Store) {
+        auto loc = array.lookup(block_addr);
+        banksAccessed.sample(1.0);
+        if (loc) {
+            // Write to the holding bank; no promotion for writebacks.
+            ++useCounter;
+            array.touch(*loc, useCounter, true);
+            int flits = dataFlits(cfg.flitBits);
+            std::uint32_t row = loc->bank, col = loc->bankSet;
+            mesh.sendToBank(coordOf(row, col), flits, now,
+                            [this, row, col](Tick arrival) {
+                                bankPort(row, col).reserve(arrival,
+                                                           bankCycles);
+                            });
+        } else {
+            installAtTail(block_addr, now, true);
+        }
+        cb(now);
+        return;
+    }
+
+    ++demandRequests;
+    auto loc = array.lookup(block_addr);
+    std::uint32_t column = array.bankSetOf(block_addr);
+
+    // Phase 1: the two closest banks and the partial-tag structure
+    // are probed in parallel. The close-bank probe is one multicast
+    // address message riding up the column, dropping a copy at each
+    // of the closest banks.
+    Tick close_resolved = now + cfg.partialTagLatency;
+    std::uint32_t probed = std::min(cfg.closeBanks,
+                                    cfg.bankSets.banksPerSet);
+    bool close_hit = loc && loc->bank < probed;
+    std::uint32_t far_row = probed - 1;
+
+    for (std::uint32_t row = 0; row < probed; ++row) {
+        Tick resp = now + uncontendedLatency(row, column);
+        if (!(loc && loc->bank == row))
+            close_resolved = std::max(close_resolved, resp);
+    }
+
+    std::vector<int> probe_rows;
+    for (std::uint32_t row = 0; row < probed; ++row)
+        probe_rows.push_back(static_cast<int>(row));
+
+    if (close_hit) {
+        ++hits;
+        ++closeHits;
+        banksAccessed.sample(static_cast<double>(probed));
+        auto shared_cb =
+            std::make_shared<mem::RespCallback>(std::move(cb));
+        mesh.multicastToColumn(
+            static_cast<int>(column), probe_rows, addrFlits, now,
+            [this, loc = *loc, column, now, shared_cb](int row,
+                                                       Tick arrival) {
+                Tick start = bankPort(static_cast<std::uint32_t>(row),
+                                      column)
+                                 .reserve(arrival, bankCycles);
+                if (loc.bank == static_cast<std::uint32_t>(row)) {
+                    deliverHit(loc, start + bankCycles, now, true,
+                               std::move(*shared_cb));
+                }
+            });
+        return;
+    }
+
+    // Close miss: the probed banks answer with short miss notices.
+    mesh.multicastToColumn(
+        static_cast<int>(column), probe_rows, addrFlits, now,
+        [this, column](int row, Tick arrival) {
+            Tick start =
+                bankPort(static_cast<std::uint32_t>(row), column)
+                    .reserve(arrival, bankCycles);
+            mesh.sendToController(
+                coordOf(static_cast<std::uint32_t>(row), column),
+                addrFlits, start + bankCycles, [](Tick) {});
+        });
+
+    // Consult the partial tags.
+    auto candidates = array.partialTagCandidates(block_addr, probed);
+    if (candidates.empty()) {
+        // Fast miss: no other bank can hold the block.
+        TLSIM_ASSERT(!loc, "holder not found by partial tags");
+        ++fastMisses;
+        banksAccessed.sample(static_cast<double>(probed));
+        Tick latency = close_resolved - now;
+        lookupLatency.sample(static_cast<double>(latency));
+        if (latency == uncontendedLatency(0, column))
+            ++predictableLookups;
+        handleMiss(block_addr, close_resolved, std::move(cb));
+        return;
+    }
+
+    banksAccessed.sample(static_cast<double>(probed) +
+                         static_cast<double>(candidates.size()));
+    // The centralized partial tags name the candidate banks at
+    // now + partialTagLatency; the search multicast launches then,
+    // without waiting for the close banks' miss notices. A miss is
+    // still only *declared* once the close banks have answered.
+    searchCandidates(block_addr, candidates, loc,
+                     now + cfg.partialTagLatency, close_resolved, now,
+                     std::move(cb));
+}
+
+void
+DnucaCache::accessFunctional(Addr block_addr, mem::AccessType type)
+{
+    ++useCounter;
+    auto loc = array.lookup(block_addr);
+    if (loc) {
+        array.touch(*loc, useCounter, mem::isWrite(type));
+        if (!mem::isWrite(type) && cfg.promoteOnHit && loc->bank > 0) {
+            BankLocation cur = array.promote(*loc, useCounter);
+            for (std::uint32_t step = 1;
+                 step < cfg.promotionDistance && cur.bank > 0; ++step) {
+                cur = array.promote(cur, useCounter);
+            }
+        }
+        return;
+    }
+    array.insertAt(block_addr,
+                   std::min(cfg.insertionBank,
+                            cfg.bankSets.banksPerSet - 1),
+                   useCounter, mem::isWrite(type));
+}
+
+void
+DnucaCache::deliverHit(const BankLocation &loc, Tick bank_done,
+                       Tick issue, bool promote_ok, mem::RespCallback cb)
+{
+    ++useCounter;
+    array.touch(loc, useCounter, false);
+
+    int flits = dataFlits(cfg.flitBits);
+    std::uint32_t row = loc.bank, col = loc.bankSet;
+    mesh.sendToController(
+        coordOf(row, col), flits, bank_done,
+        [this, row, col, issue, flits, cb = std::move(cb)](Tick tail) {
+            Tick first_word = tail - (flits - 1);
+            Tick latency = first_word - issue;
+            lookupLatency.sample(static_cast<double>(latency));
+            // Schedulers predict the closest-bank hit latency.
+            if (latency == uncontendedLatency(0, col))
+                ++predictableLookups;
+            cb(first_word);
+        });
+
+    if (promote_ok && cfg.promoteOnHit && loc.bank > 0)
+        doPromotion(loc, bank_done);
+}
+
+void
+DnucaCache::doPromotion(const BankLocation &loc, Tick now)
+{
+    ++promotions;
+    ++useCounter;
+    BankLocation dst = array.promote(loc, useCounter);
+    for (std::uint32_t step = 1;
+         step < cfg.promotionDistance && dst.bank > 0; ++step) {
+        dst = array.promote(dst, useCounter);
+    }
+
+    // Swap traffic: one data message each way between the adjacent
+    // banks. The promoted block's data was already read by the hit
+    // itself; only the destination's read-and-write is a new bank
+    // occupancy (the source's write of the demoted victim comes back
+    // with the return message).
+    int flits = dataFlits(cfg.flitBits);
+    std::uint32_t col = loc.bankSet;
+    noc::Coord from = coordOf(loc.bank, col);
+    noc::Coord to = coordOf(dst.bank, col);
+    mesh.sendBankToBank(from, to, flits, now,
+                        [this, dst, col](Tick arrival) {
+                            bankPort(dst.bank, col).reserve(arrival,
+                                                            bankCycles);
+                        });
+    mesh.sendBankToBank(to, from, flits, now,
+                        [this, loc, col](Tick arrival) {
+                            bankPort(loc.bank, col).reserve(arrival,
+                                                            bankCycles);
+                        });
+}
+
+void
+DnucaCache::searchCandidates(
+    Addr block_addr, const std::vector<std::uint32_t> &candidates,
+    std::optional<BankLocation> loc, Tick start, Tick close_resolved,
+    Tick issue, mem::RespCallback cb)
+{
+    searches += static_cast<double>(candidates.size());
+    std::uint32_t column = array.bankSetOf(block_addr);
+
+    // One multicast search message rides the column to the farthest
+    // candidate, dropping a copy at each candidate bank in passing.
+    // The holder (if resident) returns data; false positives return
+    // short miss notifications.
+    bool found_holder = loc.has_value();
+    if (found_holder)
+        ++hits;
+
+    std::vector<int> search_rows;
+    for (std::uint32_t row : candidates)
+        search_rows.push_back(static_cast<int>(row));
+
+    auto shared_cb = std::make_shared<mem::RespCallback>();
+    if (found_holder)
+        *shared_cb = std::move(cb);
+    mesh.multicastToColumn(
+        static_cast<int>(column), search_rows, addrFlits, start,
+        [this, loc, column, issue, shared_cb](int row_i, Tick arrival) {
+            std::uint32_t row = static_cast<std::uint32_t>(row_i);
+            Tick bank_start =
+                bankPort(row, column).reserve(arrival, bankCycles);
+            if (loc && loc->bank == row) {
+                deliverHit(*loc, bank_start + bankCycles, issue, true,
+                           std::move(*shared_cb));
+            } else {
+                // False positive: short miss notification.
+                mesh.sendToController(coordOf(row, column), addrFlits,
+                                      bank_start + bankCycles,
+                                      [](Tick) {});
+            }
+        });
+
+    Tick last_response = close_resolved;
+    for (std::uint32_t row : candidates) {
+        if (!(loc && loc->bank == row)) {
+            last_response = std::max(
+                last_response, start + uncontendedLatency(row, column));
+        }
+    }
+    if (found_holder)
+        return;
+
+    // All candidates were false partial-tag matches: slow miss.
+    Tick latency = last_response - issue;
+    lookupLatency.sample(static_cast<double>(latency));
+    if (latency == uncontendedLatency(0, column))
+        ++predictableLookups;
+    handleMiss(block_addr, last_response, std::move(cb));
+}
+
+void
+DnucaCache::handleMiss(Addr block_addr, Tick miss_time,
+                       mem::RespCallback cb)
+{
+    ++misses;
+    dram.read(block_addr, miss_time,
+              [this, block_addr, cb = std::move(cb)](Tick ready) {
+                  cb(ready);
+                  installAtTail(block_addr, ready, false);
+              });
+}
+
+void
+DnucaCache::installAtTail(Addr block_addr, Tick now, bool dirty)
+{
+    ++inserts;
+    ++useCounter;
+    std::uint32_t tail = std::min(cfg.insertionBank,
+                                  cfg.bankSets.banksPerSet - 1);
+    auto evicted = array.insertAt(block_addr, tail, useCounter, dirty);
+
+    std::uint32_t column = array.bankSetOf(block_addr);
+    int flits = dataFlits(cfg.flitBits);
+    mesh.sendToBank(coordOf(tail, column), flits, now,
+                    [this, tail, column](Tick arrival) {
+                        bankPort(tail, column).reserve(arrival,
+                                                       bankCycles);
+                    });
+
+    if (evicted && evicted->dirty) {
+        ++writebacksToMemory;
+        Tick depart = now + mesh.uncontendedLatency(
+                                coordOf(tail, column)) + bankCycles;
+        mesh.sendToController(coordOf(tail, column), flits, depart,
+                              [this, victim = evicted->blockAddr](
+                                  Tick tick) {
+                                  dram.write(victim, tick);
+                              });
+    }
+}
+
+void
+DnucaCache::beginMeasurement()
+{
+    mesh.resetStats();
+    for (auto &port : bankPorts)
+        port.resetStats();
+}
+
+void
+DnucaCache::syncStats()
+{
+    linkBusyCycles = static_cast<double>(mesh.totalBusyCycles());
+    networkEnergy = mesh.energyConsumed();
+}
+
+} // namespace nuca
+} // namespace tlsim

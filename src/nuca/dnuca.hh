@@ -1,0 +1,152 @@
+/**
+ * @file
+ * DNUCA: the Dynamic Non-Uniform Cache Architecture baseline
+ * (Kim et al., ASPLOS 2002; paper Section 2 and Table 2).
+ *
+ * 256 banks of 64 KB on a 16x16 switched mesh. Each mesh column is a
+ * bank set; a block maps to a column and may live in any of its 16
+ * banks (x2 ways each). A request searches the two closest banks and
+ * the controller's 6-bit partial-tag structure in parallel; a miss in
+ * the close banks triggers a multicast search of the partial-tag
+ * candidate banks, or a fast miss if there are none. Hits promote the
+ * block one bank closer (generational promotion, implemented as a
+ * swap). Fills insert at the farthest (tail) bank.
+ */
+
+#ifndef TLSIM_NUCA_DNUCA_HH
+#define TLSIM_NUCA_DNUCA_HH
+
+#include <vector>
+
+#include "cacti/srambank.hh"
+#include "mem/l2cache.hh"
+#include "noc/link.hh"
+#include "noc/mesh.hh"
+#include "nuca/bankset.hh"
+#include "phys/technology.hh"
+
+namespace tlsim
+{
+namespace nuca
+{
+
+/** Configuration of the DNUCA design. */
+struct DnucaConfig
+{
+    BankSetConfig bankSets{};
+    Cycles hopLatency = 1;
+    int flitBits = 128;
+    /** Physical hop length [m] (64 KB bank pitch). */
+    double hopLength = 0.6e-3;
+    /** Banks searched in parallel with the partial tags. */
+    std::uint32_t closeBanks = 2;
+    /** Partial tag structure access latency [cycles]. */
+    Cycles partialTagLatency = 3;
+    /** Generational promotion on hits (ablation knob). */
+    bool promoteOnHit = true;
+    /** Banks moved per promotion (Kim et al. design space). */
+    std::uint32_t promotionDistance = 1;
+    /**
+     * Bank new blocks are inserted into; defaults to the tail
+     * (banksPerSet - 1). Kim et al. also evaluated middle/head
+     * insertion.
+     */
+    std::uint32_t insertionBank = 15;
+    std::uint64_t bankBytes = 64 * 1024;
+};
+
+/**
+ * The DNUCA cache design.
+ */
+class DnucaCache : public mem::L2Cache
+{
+  public:
+    DnucaCache(EventQueue &eq, stats::StatGroup *parent,
+               mem::Dram &dram, const phys::Technology &tech,
+               const DnucaConfig &config = DnucaConfig{});
+
+    void access(Addr block_addr, mem::AccessType type, Tick now,
+                mem::RespCallback cb) override;
+
+    void accessFunctional(Addr block_addr,
+                          mem::AccessType type) override;
+
+    int linkCount() const override;
+    std::string designName() const override { return "DNUCA"; }
+
+    void syncStats() override;
+
+    void beginMeasurement() override;
+
+    /** Uncontended round-trip latency to a bank row of a column. */
+    Cycles uncontendedLatency(std::uint32_t bank_row,
+                              std::uint32_t column) const;
+
+    int bankAccessCycles() const { return bankCycles; }
+
+    /** Min/max uncontended latencies over all banks (Table 2). */
+    std::pair<Cycles, Cycles> latencyRange() const;
+
+  private:
+    DnucaConfig cfg;
+    noc::Mesh mesh;
+    cacti::SramBankModel bankModel;
+    int bankCycles;
+    BankSetArray array;
+    std::vector<noc::Link> bankPorts;
+
+  public:
+    /** DNUCA-specific stats (Table 6). */
+    stats::Scalar closeHits;
+    stats::Scalar promotions;
+    stats::Scalar fastMisses;
+    stats::Scalar searches;
+
+  private:
+    noc::Coord
+    coordOf(std::uint32_t bank_row, std::uint32_t column) const
+    {
+        return noc::Coord{static_cast<int>(bank_row),
+                          static_cast<int>(column)};
+    }
+
+    noc::Link &
+    bankPort(std::uint32_t bank_row, std::uint32_t column)
+    {
+        return bankPorts[static_cast<std::size_t>(bank_row) *
+                             cfg.bankSets.numBankSets + column];
+    }
+
+    /** Deliver a hit from a bank and maybe promote the block. */
+    void deliverHit(const BankLocation &loc, Tick bank_done, Tick issue,
+                    bool promote_ok, mem::RespCallback cb);
+
+    /** Swap a block one bank closer; models the swap traffic. */
+    void doPromotion(const BankLocation &loc, Tick now);
+
+    /**
+     * Multicast search of the partial-tag candidate banks. Launches
+     * at @p start (when the partial tags resolve); a miss is only
+     * declared once both the searches and the close banks
+     * (@p close_resolved) have answered.
+     */
+    void searchCandidates(Addr block_addr,
+                          const std::vector<std::uint32_t> &candidates,
+                          std::optional<BankLocation> loc, Tick start,
+                          Tick close_resolved, Tick issue,
+                          mem::RespCallback cb);
+
+    /** Miss path: DRAM fetch, tail insert, respond. */
+    void handleMiss(Addr block_addr, Tick miss_time,
+                    mem::RespCallback cb);
+
+    /** Insert a block at the tail bank, modelling the traffic. */
+    void installAtTail(Addr block_addr, Tick now, bool dirty);
+
+    std::uint64_t useCounter = 0;
+};
+
+} // namespace nuca
+} // namespace tlsim
+
+#endif // TLSIM_NUCA_DNUCA_HH

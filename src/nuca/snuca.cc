@@ -1,0 +1,236 @@
+#include "nuca/snuca.hh"
+
+#include <cmath>
+
+namespace tlsim
+{
+namespace nuca
+{
+
+namespace
+{
+
+constexpr int addrFlits = 1;
+
+int
+dataFlits(int flit_bits)
+{
+    return (mem::blockBytes * 8 + flit_bits - 1) / flit_bits;
+}
+
+} // namespace
+
+SnucaCache::SnucaCache(EventQueue &eq, stats::StatGroup *parent,
+                       mem::Dram &dram, const phys::Technology &tech,
+                       const SnucaConfig &config)
+    : mem::L2Cache("snuca2", eq, parent, dram), cfg(config),
+      mesh(eq, tech,
+           noc::MeshConfig{config.rows, config.cols, config.hopLatency,
+                           config.flitBits, config.hopLength}),
+      bankModel(tech, config.bankBytes, config.ways, mem::blockBytes),
+      bankCycles(bankModel.accessCycles()),
+      bankPorts(static_cast<std::size_t>(config.banks))
+{
+    TLSIM_ASSERT(cfg.banks == cfg.rows * cfg.cols,
+                 "bank count must match the mesh grid");
+    std::uint32_t sets = static_cast<std::uint32_t>(
+        cfg.bankBytes / (static_cast<std::uint64_t>(mem::blockBytes) *
+                         cfg.ways));
+    arrays.reserve(cfg.banks);
+    for (int i = 0; i < cfg.banks; ++i)
+        arrays.emplace_back(sets, cfg.ways);
+}
+
+int
+SnucaCache::bankOf(Addr block_addr) const
+{
+    return static_cast<int>(block_addr &
+                            static_cast<Addr>(cfg.banks - 1));
+}
+
+noc::Coord
+SnucaCache::coordOf(int bank) const
+{
+    return noc::Coord{bank / cfg.cols, bank % cfg.cols};
+}
+
+Cycles
+SnucaCache::uncontendedLatency(int bank) const
+{
+    return 2 * mesh.uncontendedLatency(coordOf(bank)) +
+           roundTripInjection + bankCycles;
+}
+
+std::pair<Cycles, Cycles>
+SnucaCache::latencyRange() const
+{
+    Cycles lo = ~Cycles(0), hi = 0;
+    for (int b = 0; b < cfg.banks; ++b) {
+        Cycles lat = uncontendedLatency(b);
+        lo = std::min(lo, lat);
+        hi = std::max(hi, lat);
+    }
+    return {lo, hi};
+}
+
+int
+SnucaCache::linkCount() const
+{
+    return mesh.linkCount();
+}
+
+void
+SnucaCache::access(Addr block_addr, mem::AccessType type, Tick now,
+                   mem::RespCallback cb)
+{
+    ++requests;
+    int bank = bankOf(block_addr);
+
+    if (type == mem::AccessType::Store) {
+        // Writebacks carry data to the bank and complete immediately
+        // from the sender's point of view.
+        banksAccessed.sample(1.0);
+        int flits = dataFlits(cfg.flitBits);
+        mesh.sendToBank(coordOf(bank), flits, now,
+                        [this, block_addr, bank](Tick arrival) {
+                            installBlock(block_addr, bank, arrival,
+                                         true);
+                        });
+        cb(now);
+        return;
+    }
+
+    ++demandRequests;
+    banksAccessed.sample(1.0);
+    mesh.sendToBank(coordOf(bank), addrFlits, now,
+                    [this, block_addr, bank, now,
+                     cb = std::move(cb)](Tick arrival) {
+                        handleRead(block_addr, bank, arrival, now, cb);
+                    });
+}
+
+void
+SnucaCache::accessFunctional(Addr block_addr, mem::AccessType type)
+{
+    int bank = bankOf(block_addr);
+    auto &array = arrays[static_cast<std::size_t>(bank)];
+    Addr frame_addr = block_addr >> __builtin_ctz(cfg.banks);
+    ++useCounter;
+    auto way = array.lookup(frame_addr);
+    if (way) {
+        array.touch(frame_addr, *way, useCounter, isWrite(type));
+        return;
+    }
+    array.insert(frame_addr, useCounter, isWrite(type));
+}
+
+void
+SnucaCache::handleRead(Addr block_addr, int bank, Tick arrival,
+                       Tick issue, mem::RespCallback cb)
+{
+    auto &array = arrays[static_cast<std::size_t>(bank)];
+    Addr frame_addr = block_addr >> __builtin_ctz(cfg.banks);
+    Tick start = bankPorts[static_cast<std::size_t>(bank)].reserve(
+        arrival, bankCycles);
+    Tick done = start + bankCycles;
+
+    auto way = array.lookup(frame_addr);
+    if (way) {
+        ++hits;
+        ++useCounter;
+        array.touch(frame_addr, *way, useCounter, false);
+        int flits = dataFlits(cfg.flitBits);
+        mesh.sendToController(
+            coordOf(bank), flits, done,
+            [this, issue, bank, flits, cb = std::move(cb)](Tick tail) {
+                Tick first_word = tail - (flits - 1);
+                Tick latency = first_word - issue;
+                lookupLatency.sample(static_cast<double>(latency));
+                if (latency == uncontendedLatency(bank))
+                    ++predictableLookups;
+                cb(first_word);
+            });
+        return;
+    }
+
+    // Miss: a short response tells the controller to go to memory.
+    mesh.sendToController(
+        coordOf(bank), addrFlits, done,
+        [this, block_addr, bank, issue, cb = std::move(cb)](Tick tick) {
+            Tick latency = tick - issue;
+            lookupLatency.sample(static_cast<double>(latency));
+            if (latency == uncontendedLatency(bank))
+                ++predictableLookups;
+            handleMiss(block_addr, bank, tick, issue, cb);
+        });
+}
+
+void
+SnucaCache::handleMiss(Addr block_addr, int bank, Tick miss_time,
+                       Tick issue, mem::RespCallback cb)
+{
+    (void)issue;
+    ++misses;
+    dram.read(block_addr, miss_time,
+              [this, block_addr, bank, cb = std::move(cb)](Tick ready) {
+                  // Deliver to the requester and install in parallel.
+                  cb(ready);
+                  ++inserts;
+                  int flits = dataFlits(cfg.flitBits);
+                  mesh.sendToBank(coordOf(bank), flits, ready,
+                                  [this, block_addr, bank](
+                                      Tick arrival) {
+                                      installBlock(block_addr, bank,
+                                                   arrival, false);
+                                  });
+              });
+}
+
+void
+SnucaCache::installBlock(Addr block_addr, int bank, Tick now, bool dirty)
+{
+    auto &array = arrays[static_cast<std::size_t>(bank)];
+    Addr frame_addr = block_addr >> __builtin_ctz(cfg.banks);
+    bankPorts[static_cast<std::size_t>(bank)].reserve(now, bankCycles);
+
+    ++useCounter;
+    auto way = array.lookup(frame_addr);
+    if (way) {
+        array.touch(frame_addr, *way, useCounter, dirty);
+        return;
+    }
+    auto evicted = array.insert(frame_addr, useCounter, dirty);
+    if (evicted && evicted->dirty) {
+        ++writebacksToMemory;
+        Addr victim_addr =
+            (evicted->blockAddr << __builtin_ctz(cfg.banks)) |
+            static_cast<Addr>(bank);
+        int flits = dataFlits(cfg.flitBits);
+        mesh.sendToController(coordOf(bank), flits, now,
+                              [this, victim_addr](Tick tick) {
+                                  dram.write(victim_addr, tick);
+                              });
+    }
+}
+
+void
+SnucaCache::beginMeasurement()
+{
+    mesh.resetStats();
+    for (auto &port : bankPorts)
+        port.resetStats();
+}
+
+void
+SnucaCache::syncStats()
+{
+    std::uint64_t bank_busy = 0;
+    for (const auto &port : bankPorts)
+        bank_busy += port.busyCycles();
+    (void)bank_busy; // bank occupancy is not a link stat
+    linkBusyCycles = static_cast<double>(mesh.totalBusyCycles());
+    networkEnergy = mesh.energyConsumed();
+}
+
+} // namespace nuca
+} // namespace tlsim

@@ -1,0 +1,103 @@
+/**
+ * @file
+ * SNUCA2: the statically-partitioned NUCA baseline (paper Table 2).
+ *
+ * 32 banks of 512 KB on a 2-D switched mesh; low-order block-address
+ * bits select the bank; 4-way LRU sets within each bank. Uncontended
+ * latency spans ~9-32 cycles depending on bank distance.
+ */
+
+#ifndef TLSIM_NUCA_SNUCA_HH
+#define TLSIM_NUCA_SNUCA_HH
+
+#include <vector>
+
+#include "cacti/srambank.hh"
+#include "mem/l2cache.hh"
+#include "mem/setassoc.hh"
+#include "noc/link.hh"
+#include "noc/mesh.hh"
+#include "phys/technology.hh"
+
+namespace tlsim
+{
+namespace nuca
+{
+
+/** Configuration of the SNUCA2 design. */
+struct SnucaConfig
+{
+    int banks = 32;
+    int rows = 4;
+    int cols = 8;
+    std::uint64_t bankBytes = 512 * 1024;
+    int ways = 4;
+    Cycles hopLatency = 2;
+    int flitBits = 128;
+    /** Physical hop length [m] (bank pitch for 512 KB banks). */
+    double hopLength = 1.6e-3;
+};
+
+/**
+ * The SNUCA2 cache design.
+ */
+class SnucaCache : public mem::L2Cache
+{
+  public:
+    SnucaCache(EventQueue &eq, stats::StatGroup *parent,
+               mem::Dram &dram, const phys::Technology &tech,
+               const SnucaConfig &config = SnucaConfig{});
+
+    void access(Addr block_addr, mem::AccessType type, Tick now,
+                mem::RespCallback cb) override;
+
+    void accessFunctional(Addr block_addr,
+                          mem::AccessType type) override;
+
+    int linkCount() const override;
+    std::string designName() const override { return "SNUCA2"; }
+
+    /** Copy network occupancy/energy into the shared stats. */
+    void syncStats() override;
+
+    void beginMeasurement() override;
+
+    /** Uncontended round-trip latency to a bank (Table 2). */
+    Cycles uncontendedLatency(int bank) const;
+
+    /** Bank access latency in cycles. */
+    int bankAccessCycles() const { return bankCycles; }
+
+    /** Min/max uncontended latencies over all banks (Table 2). */
+    std::pair<Cycles, Cycles> latencyRange() const;
+
+  private:
+    int bankOf(Addr block_addr) const;
+    noc::Coord coordOf(int bank) const;
+
+    /** Handle a demand read at the bank side. */
+    void handleRead(Addr block_addr, int bank, Tick arrival, Tick issue,
+                    mem::RespCallback cb);
+
+    /** Miss path: fetch from memory, insert, respond. */
+    void handleMiss(Addr block_addr, int bank, Tick miss_time,
+                    Tick issue, mem::RespCallback cb);
+
+    /** Write a block into a bank (fill or store), evicting as needed. */
+    void installBlock(Addr block_addr, int bank, Tick now, bool dirty);
+
+    SnucaConfig cfg;
+    noc::Mesh mesh;
+    cacti::SramBankModel bankModel;
+    int bankCycles;
+    std::vector<mem::SetAssocArray> arrays;
+    std::vector<noc::Link> bankPorts;
+    std::uint64_t useCounter = 0;
+    /** Extra round-trip cycles for controller injection/ejection. */
+    Tick roundTripInjection = 0;
+};
+
+} // namespace nuca
+} // namespace tlsim
+
+#endif // TLSIM_NUCA_SNUCA_HH

@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Coupled-line crosstalk analysis for the transmission-line bundles.
+ *
+ * The paper (Section 3) routes an alternating power/ground shield
+ * line between every pair of signal lines, on top of the reference
+ * planes, to control capacitive and inductive coupling. This module
+ * quantifies that choice: classic weakly-coupled-line theory gives
+ * the near-end (backward) and far-end (forward) crosstalk amplitudes
+ * from the capacitive and inductive coupling ratios, with and without
+ * the shield.
+ */
+
+#ifndef TLSIM_PHYS_CROSSTALK_HH
+#define TLSIM_PHYS_CROSSTALK_HH
+
+#include <algorithm>
+
+#include "phys/fieldsolver.hh"
+#include "phys/geometry.hh"
+#include "phys/technology.hh"
+
+namespace tlsim
+{
+namespace phys
+{
+
+/** Crosstalk summary for one aggressor-victim pair. */
+struct CrosstalkResult
+{
+    /** Capacitive coupling ratio Cm/C. */
+    double capacitiveRatio = 0.0;
+    /** Inductive coupling ratio Lm/L. */
+    double inductiveRatio = 0.0;
+    /** Near-end (backward) crosstalk amplitude [fraction of Vdd]. */
+    double nearEnd = 0.0;
+    /** Far-end (forward) crosstalk amplitude [fraction of Vdd]. */
+    double farEnd = 0.0;
+    /** Shield line present between aggressor and victim? */
+    bool shielded = false;
+
+    /** Worst coupled noise on the victim [fraction of Vdd]. */
+    double
+    worstNoise() const
+    {
+        return std::max(nearEnd, farEnd);
+    }
+
+    /**
+     * Within the noise budget? The paper reserves 25% of Vdd for all
+     * noise sources; we allot 15% of Vdd to neighbour crosstalk.
+     */
+    bool withinBudget() const { return worstNoise() <= 0.15; }
+};
+
+/**
+ * Weakly-coupled-line crosstalk estimator.
+ */
+class CrosstalkModel
+{
+  public:
+    explicit CrosstalkModel(const Technology &tech);
+
+    /**
+     * Analyze the aggressor->victim coupling for two parallel lines
+     * of the given geometry and routed length.
+     *
+     * @param geom Cross-section of both lines (TLC bundles use equal
+     *             signal and shield geometry).
+     * @param length Coupled length [m].
+     * @param shielded True if a grounded shield line separates them
+     *                 (the victim then sits at 2*pitch, behind the
+     *                 shield).
+     * @param rise_time Aggressor edge rate [s].
+     */
+    CrosstalkResult analyze(const WireGeometry &geom, double length,
+                            bool shielded,
+                            double rise_time = 10e-12) const;
+
+  private:
+    const Technology &tech;
+    FieldSolver solver;
+};
+
+} // namespace phys
+} // namespace tlsim
+
+#endif // TLSIM_PHYS_CROSSTALK_HH

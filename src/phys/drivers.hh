@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Transmission-line driver/receiver signalling schemes.
+ *
+ * The paper's base design uses single-ended voltage-mode signalling
+ * with source termination (Section 3), and names two higher-immunity
+ * alternatives it chose not to pay for: differential signalling with
+ * a sinusoidal carrier (Chang et al. [8]) and current-mode drivers
+ * (Dally & Poulton [10]). This module models the energy, wire, and
+ * circuit cost of all three so the trade can be quantified (see
+ * bench_ablation_drivers).
+ */
+
+#ifndef TLSIM_PHYS_DRIVERS_HH
+#define TLSIM_PHYS_DRIVERS_HH
+
+#include <string>
+#include <vector>
+
+#include "phys/transline.hh"
+
+namespace tlsim
+{
+namespace phys
+{
+
+/** Signalling schemes for on-chip transmission lines. */
+enum class DriverKind
+{
+    /** Single-ended voltage mode, source-terminated (TLC's choice). */
+    VoltageMode,
+    /** Current-mode driver with low-impedance receiver termination. */
+    CurrentMode,
+    /** Differential pair modulating a sinusoidal carrier. */
+    DifferentialCarrier,
+};
+
+/** Cost/robustness summary of one scheme on one line. */
+struct DriverProfile
+{
+    DriverKind kind;
+    std::string name;
+    /** Wires consumed per logical signal. */
+    int wiresPerSignal;
+    /** Dynamic energy per transmitted bit [J]. */
+    double dynamicEnergyPerBit;
+    /** Static power while idle [W] (bias/termination current). */
+    double staticPower;
+    /** Driver+receiver transistors per logical signal. */
+    int transistors;
+    /** Relative noise margin (1.0 == voltage-mode baseline). */
+    double noiseMargin;
+};
+
+/**
+ * Evaluate a signalling scheme for a transmission line.
+ */
+DriverProfile evaluateDriver(const Technology &tech,
+                             const TransmissionLine &line,
+                             DriverKind kind);
+
+/** All modeled schemes. */
+const std::vector<DriverKind> &allDriverKinds();
+
+} // namespace phys
+} // namespace tlsim
+
+#endif // TLSIM_PHYS_DRIVERS_HH

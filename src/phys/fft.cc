@@ -1,0 +1,77 @@
+#include "phys/fft.hh"
+
+#include <cmath>
+
+#include "sim/logging.hh"
+
+namespace tlsim
+{
+namespace phys
+{
+
+bool
+isPowerOfTwo(std::size_t n)
+{
+    return n != 0 && (n & (n - 1)) == 0;
+}
+
+namespace
+{
+
+void
+transform(std::vector<std::complex<double>> &data, bool inverse)
+{
+    const std::size_t n = data.size();
+    TLSIM_ASSERT(isPowerOfTwo(n), "FFT size {} is not a power of two", n);
+
+    // Bit-reversal permutation.
+    for (std::size_t i = 1, j = 0; i < n; ++i) {
+        std::size_t bit = n >> 1;
+        for (; j & bit; bit >>= 1)
+            j ^= bit;
+        j ^= bit;
+        if (i < j)
+            std::swap(data[i], data[j]);
+    }
+
+    // Danielson-Lanczos butterflies.
+    for (std::size_t len = 2; len <= n; len <<= 1) {
+        double angle = 2.0 * M_PI / static_cast<double>(len);
+        if (!inverse)
+            angle = -angle;
+        std::complex<double> wlen(std::cos(angle), std::sin(angle));
+        for (std::size_t i = 0; i < n; i += len) {
+            std::complex<double> w(1.0, 0.0);
+            for (std::size_t k = 0; k < len / 2; ++k) {
+                std::complex<double> u = data[i + k];
+                std::complex<double> v = data[i + k + len / 2] * w;
+                data[i + k] = u + v;
+                data[i + k + len / 2] = u - v;
+                w *= wlen;
+            }
+        }
+    }
+
+    if (inverse) {
+        double inv_n = 1.0 / static_cast<double>(n);
+        for (auto &x : data)
+            x *= inv_n;
+    }
+}
+
+} // namespace
+
+void
+fft(std::vector<std::complex<double>> &data)
+{
+    transform(data, false);
+}
+
+void
+ifft(std::vector<std::complex<double>> &data)
+{
+    transform(data, true);
+}
+
+} // namespace phys
+} // namespace tlsim

@@ -1,0 +1,29 @@
+/**
+ * @file
+ * Minimal iterative radix-2 complex FFT used by the pulse simulator.
+ */
+
+#ifndef TLSIM_PHYS_FFT_HH
+#define TLSIM_PHYS_FFT_HH
+
+#include <complex>
+#include <vector>
+
+namespace tlsim
+{
+namespace phys
+{
+
+/** In-place forward FFT; size must be a power of two. */
+void fft(std::vector<std::complex<double>> &data);
+
+/** In-place inverse FFT (includes the 1/N normalization). */
+void ifft(std::vector<std::complex<double>> &data);
+
+/** True if n is a power of two (and nonzero). */
+bool isPowerOfTwo(std::size_t n);
+
+} // namespace phys
+} // namespace tlsim
+
+#endif // TLSIM_PHYS_FFT_HH

@@ -1,0 +1,103 @@
+#include "phys/fieldsolver.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "sim/logging.hh"
+
+namespace tlsim
+{
+namespace phys
+{
+
+double
+LineParams::z0() const
+{
+    return std::sqrt(inductance / capacitance);
+}
+
+double
+LineParams::velocity() const
+{
+    return 1.0 / std::sqrt(inductance * capacitance);
+}
+
+FieldSolver::FieldSolver(const Technology &tech_)
+    : tech(tech_)
+{}
+
+LineParams
+FieldSolver::extract(const WireGeometry &geom) const
+{
+    TLSIM_ASSERT(geom.width > 0 && geom.height > 0, "bad geometry");
+
+    LineParams params;
+    params.resistance = tech.bulkCopperResistivity / geom.crossSection();
+
+    // Symmetric stripline characteristic impedance (Cohn/Wheeler
+    // closed form): ground-plane separation b, effective width
+    // correcting for finite thickness.
+    const double b = 2.0 * geom.height + geom.thickness;
+    const double t_over_b = geom.thickness / b;
+    double w_eff = geom.width;
+    if (t_over_b > 0.0) {
+        // Thickness correction increases the effective width.
+        w_eff += (geom.thickness / M_PI) *
+                 (1.0 + std::log(2.0 * b / geom.thickness));
+    }
+    double z0_lossless =
+        (30.0 * M_PI / tech.sqrtK()) * b / (w_eff + 0.441 * b);
+
+    // Side shield lines add capacitance, lowering Z0 somewhat. Only
+    // a fraction of the lateral field terminates on the shields (the
+    // reference planes capture most of it), hence the 0.5 factor.
+    const double eps = tech.dielectricK * constants::epsilon0;
+    double shield_cap = 0.5 * 2.0 * eps * geom.thickness / geom.spacing;
+
+    // Convert Z0 to L and C using the TEM relations, then add the
+    // shield capacitance (inductance is reduced correspondingly
+    // because the shields carry return current).
+    double v = tech.dielectricVelocity();
+    double c_plane = 1.0 / (z0_lossless * v);
+    double c_total = c_plane + shield_cap;
+    double l_plane = z0_lossless / v;
+    // Shield return paths reduce the loop inductance ~10%.
+    double l_total = 0.90 * l_plane;
+
+    params.capacitance = c_total;
+    params.inductance = l_total;
+    return params;
+}
+
+double
+FieldSolver::skinDepth(double freq) const
+{
+    TLSIM_ASSERT(freq > 0, "skin depth needs positive frequency");
+    return std::sqrt(tech.copperResistivity /
+                     (M_PI * freq * constants::mu0));
+}
+
+double
+FieldSolver::acResistance(const WireGeometry &geom, double freq) const
+{
+    double r_dc = tech.bulkCopperResistivity / geom.crossSection();
+    if (freq <= 0.0)
+        return r_dc;
+
+    double delta = skinDepth(freq);
+    // Current crowds into a shell of depth delta around the
+    // conductor perimeter. When delta reaches half the smaller
+    // conductor dimension the current fully penetrates and the
+    // resistance is simply the DC value.
+    double w = geom.width;
+    double t = geom.thickness;
+    if (2.0 * delta >= std::min(w, t))
+        return r_dc;
+    double shell = 2.0 * delta * (w + t) - 4.0 * delta * delta;
+    shell = std::clamp(shell, 1e-18, geom.crossSection());
+    double r_ac = tech.bulkCopperResistivity / shell;
+    return std::max(r_dc, r_ac);
+}
+
+} // namespace phys
+} // namespace tlsim

@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Closed-form RLC extraction for shielded on-chip striplines.
+ *
+ * Substitutes for the Linpar 2-D field solver used in the paper: the
+ * downstream analysis consumes only the per-unit-length R, L, C of a
+ * signal line laid out stripline-fashion between reference planes
+ * with power/ground shield lines on both sides. Wheeler/Cohn-style
+ * closed forms reproduce those parameters to the accuracy the delay,
+ * impedance, and attenuation analysis requires.
+ */
+
+#ifndef TLSIM_PHYS_FIELDSOLVER_HH
+#define TLSIM_PHYS_FIELDSOLVER_HH
+
+#include "phys/geometry.hh"
+#include "phys/technology.hh"
+
+namespace tlsim
+{
+namespace phys
+{
+
+/** Per-unit-length electrical parameters of a line. */
+struct LineParams
+{
+    /** DC resistance [Ohm/m]. */
+    double resistance;
+    /** Loop inductance [H/m]. */
+    double inductance;
+    /** Total capacitance [F/m]. */
+    double capacitance;
+
+    /** Lossless characteristic impedance sqrt(L/C) [Ohm]. */
+    double z0() const;
+
+    /** Propagation velocity 1/sqrt(L*C) [m/s]. */
+    double velocity() const;
+};
+
+/**
+ * Closed-form extractor for shielded stripline geometries.
+ */
+class FieldSolver
+{
+  public:
+    explicit FieldSolver(const Technology &tech);
+
+    /**
+     * Extract per-unit-length R, L, C for a stripline of the given
+     * cross-section (reference planes above/below at distance
+     * geometry.height, shield lines at geometry.spacing laterally).
+     */
+    LineParams extract(const WireGeometry &geometry) const;
+
+    /**
+     * Skin depth at frequency f [m].
+     */
+    double skinDepth(double freq) const;
+
+    /**
+     * Frequency-dependent series resistance per meter, accounting
+     * for the skin effect confining current to the conductor surface
+     * (never less than the DC resistance).
+     */
+    double acResistance(const WireGeometry &geometry, double freq) const;
+
+  private:
+    const Technology &tech;
+};
+
+} // namespace phys
+} // namespace tlsim
+
+#endif // TLSIM_PHYS_FIELDSOLVER_HH

@@ -1,0 +1,54 @@
+#include "phys/geometry.hh"
+
+#include "sim/logging.hh"
+
+namespace tlsim
+{
+namespace phys
+{
+
+const std::vector<TransmissionLineSpec> &
+paperTable1Lines()
+{
+    // Paper Table 1: length, W, S, H, T.
+    static const std::vector<TransmissionLineSpec> specs = {
+        {0.9e-2, {2.0e-6, 2.0e-6, 1.75e-6, 3.0e-6}},
+        {1.1e-2, {2.5e-6, 2.5e-6, 1.75e-6, 3.0e-6}},
+        {1.3e-2, {3.0e-6, 3.0e-6, 1.75e-6, 3.0e-6}},
+    };
+    return specs;
+}
+
+const TransmissionLineSpec &
+specForLength(double length)
+{
+    const auto &specs = paperTable1Lines();
+    for (const auto &spec : specs) {
+        if (length <= spec.length + 1e-9)
+            return spec;
+    }
+    // Longer than Table 1's longest: use the widest geometry.
+    return specs.back();
+}
+
+WireGeometry
+conventionalGlobalWire()
+{
+    // Repeated global wire at 45 nm (ITRS-class minimum global
+    // pitch): a much smaller cross-section than the transmission
+    // lines (Figure 3). Yields ~90 ps/mm repeated — consistent with
+    // the paper's "25+ cycles across a 2 cm die at 10 GHz" premise.
+    return {0.10e-6, 0.10e-6, 0.20e-6, 0.15e-6};
+}
+
+WireGeometry
+conventionalSemiGlobalWire()
+{
+    // Fatter intra-controller wires (~60 ps/mm repeated), used for
+    // the TLC controller's internal routing between the transmission
+    // line landings and the central controller logic.
+    return {0.15e-6, 0.15e-6, 0.25e-6, 0.25e-6};
+}
+
+} // namespace phys
+} // namespace tlsim

@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Wire cross-section geometries (paper Figure 3 / Table 1).
+ */
+
+#ifndef TLSIM_PHYS_GEOMETRY_HH
+#define TLSIM_PHYS_GEOMETRY_HH
+
+#include <vector>
+
+namespace tlsim
+{
+namespace phys
+{
+
+/**
+ * Cross-sectional geometry of an on-chip wire (stripline for
+ * transmission lines, conventional stack for RC wires). All
+ * dimensions in meters, matching the W/S/H/T notation of Figure 3.
+ */
+struct WireGeometry
+{
+    /** Signal conductor width W [m]. */
+    double width;
+    /** Spacing S to the adjacent (shield) conductor [m]. */
+    double spacing;
+    /** Dielectric height H to the reference plane [m]. */
+    double height;
+    /** Conductor thickness T [m]. */
+    double thickness;
+
+    /** Conductor cross-sectional area [m^2]. */
+    double crossSection() const { return width * thickness; }
+
+    /** Signal pitch (width + spacing) [m]. */
+    double pitch() const { return width + spacing; }
+};
+
+/**
+ * One row of paper Table 1: a transmission line of a given routed
+ * length with the geometry chosen to keep R and C appropriate.
+ */
+struct TransmissionLineSpec
+{
+    /** Routed length [m]. */
+    double length;
+    /** Cross-section geometry. */
+    WireGeometry geometry;
+};
+
+/**
+ * The three transmission-line design points of paper Table 1
+ * (0.9 cm / 1.1 cm / 1.3 cm with widths 2.0 / 2.5 / 3.0 um).
+ */
+const std::vector<TransmissionLineSpec> &paperTable1Lines();
+
+/**
+ * Pick the Table 1 geometry appropriate for a given routed length:
+ * the shortest spec whose length is >= the requested length (longer
+ * lines need wider conductors).
+ */
+const TransmissionLineSpec &specForLength(double length);
+
+/** Conventional 45 nm global RC wire (DNUCA links, Figure 3 top). */
+WireGeometry conventionalGlobalWire();
+
+/** Conventional 45 nm semi-global wire (intra-controller routing). */
+WireGeometry conventionalSemiGlobalWire();
+
+} // namespace phys
+} // namespace tlsim
+
+#endif // TLSIM_PHYS_GEOMETRY_HH

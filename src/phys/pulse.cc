@@ -1,0 +1,281 @@
+#include "phys/pulse.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <complex>
+
+#include "phys/fft.hh"
+#include "sim/logging.hh"
+#include "sim/rng.hh"
+
+namespace tlsim
+{
+namespace phys
+{
+
+using Complex = std::complex<double>;
+
+PulseSimulator::PulseSimulator(const Technology &tech_,
+                               std::size_t num_samples, double window_)
+    : tech(tech_), solver(tech_), numSamples(num_samples),
+      window(window_ > 0.0 ? window_ : 8.0 * tech_.cycleTime())
+{
+    TLSIM_ASSERT(isPowerOfTwo(numSamples), "FFT size must be 2^k");
+}
+
+std::vector<double>
+PulseSimulator::propagate(std::vector<Complex> signal,
+                          const WireGeometry &geom, double length,
+                          double source_r) const
+{
+    const LineParams params = solver.extract(geom);
+    const double z0_nominal = params.z0();
+    const double rs = source_r > 0.0 ? source_r : z0_nominal;
+    const std::size_t n = signal.size();
+    const double span = static_cast<double>(n) /
+                        static_cast<double>(numSamples) * window;
+
+    fft(signal);
+
+    // Apply the telegrapher transfer function per frequency bin:
+    //   H = 2 Z0(w) / (Z0(w) + Rs) * e^{-gl} / (1 - Gs e^{-2gl})
+    // with an open (fully reflecting) receiver.
+    for (std::size_t k = 0; k <= n / 2; ++k) {
+        Complex h(1.0, 0.0);
+        if (k > 0) {
+            double freq = static_cast<double>(k) / span;
+            double omega = 2.0 * M_PI * freq;
+            double r_ac = solver.acResistance(geom, freq);
+            Complex series(r_ac, omega * params.inductance);
+            Complex shunt(0.0, omega * params.capacitance);
+            Complex gamma = std::sqrt(series * shunt);
+            Complex z0 = std::sqrt(series / shunt);
+            Complex gs = (Complex(rs, 0.0) - z0) /
+                         (Complex(rs, 0.0) + z0);
+            Complex prop = std::exp(-gamma * length);
+            Complex denom = Complex(1.0, 0.0) - gs * prop * prop;
+            h = 2.0 * z0 / (z0 + Complex(rs, 0.0)) * prop / denom;
+        }
+        signal[k] *= h;
+        if (k > 0 && k < n / 2) {
+            // Maintain conjugate symmetry for a real output signal.
+            signal[n - k] *= std::conj(h);
+        }
+    }
+
+    ifft(signal);
+    std::vector<double> out(n);
+    for (std::size_t i = 0; i < n; ++i)
+        out[i] = signal[i].real();
+    return out;
+}
+
+std::vector<Complex>
+PulseSimulator::computeSpectrum(const WireGeometry &geom, double length,
+                                double source_r) const
+{
+    // Build the driver-side trapezoidal pulse: one bit time wide,
+    // 10 ps edges, amplitude Vdd.
+    const double t_bit = tech.cycleTime();
+    const double t_edge = 10e-12;
+    const double dt = window / static_cast<double>(numSamples);
+
+    std::vector<Complex> signal(numSamples, Complex(0.0, 0.0));
+    for (std::size_t i = 0; i < numSamples; ++i) {
+        double t = static_cast<double>(i) * dt;
+        double v = 0.0;
+        if (t < t_edge) {
+            v = t / t_edge;
+        } else if (t < t_bit) {
+            v = 1.0;
+        } else if (t < t_bit + t_edge) {
+            v = 1.0 - (t - t_bit) / t_edge;
+        }
+        signal[i] = Complex(v * tech.vdd, 0.0);
+    }
+    auto wave = propagate(std::move(signal), geom, length, source_r);
+    std::vector<Complex> out(numSamples);
+    for (std::size_t i = 0; i < numSamples; ++i)
+        out[i] = Complex(wave[i], 0.0);
+    return out;
+}
+
+std::vector<double>
+PulseSimulator::waveform(const WireGeometry &geom, double length,
+                         double source_r) const
+{
+    auto spectrum = computeSpectrum(geom, length, source_r);
+    std::vector<double> out(numSamples);
+    for (std::size_t i = 0; i < numSamples; ++i)
+        out[i] = spectrum[i].real();
+    return out;
+}
+
+PulseResult
+PulseSimulator::simulate(const WireGeometry &geom, double length,
+                         double source_r) const
+{
+    auto wave = waveform(geom, length, source_r);
+    const double dt = window / static_cast<double>(numSamples);
+    const double half = 0.5 * tech.vdd;
+    const double t_edge = 10e-12;
+
+    PulseResult result;
+
+    // Peak amplitude.
+    double peak = 0.0;
+    for (double v : wave)
+        peak = std::max(peak, v);
+    result.peakAmplitude = peak / tech.vdd;
+
+    // First 50% crossing (receiver) relative to the driver's 50%
+    // crossing at t_edge/2.
+    double t_cross = -1.0;
+    for (std::size_t i = 1; i < wave.size(); ++i) {
+        if (wave[i - 1] < half && wave[i] >= half) {
+            double frac = (half - wave[i - 1]) / (wave[i] - wave[i - 1]);
+            t_cross = (static_cast<double>(i - 1) + frac) * dt;
+            break;
+        }
+    }
+    if (t_cross >= 0.0)
+        result.delay = t_cross - 0.5 * t_edge;
+
+    // Time spent above 50% of Vdd (contiguous from first crossing).
+    double width = 0.0;
+    for (std::size_t i = 0; i < wave.size(); ++i) {
+        if (wave[i] >= half)
+            width += dt;
+    }
+    result.pulseWidth = width;
+
+    result.amplitudeOk = result.peakAmplitude >= 0.75;
+    result.widthOk = result.pulseWidth >= 0.40 * tech.cycleTime();
+    return result;
+}
+
+std::vector<double>
+PulseSimulator::trainWaveform(const WireGeometry &geom, double length,
+                              int num_bits, std::uint64_t seed) const
+{
+    TLSIM_ASSERT(num_bits > 0, "train needs at least one bit");
+    const double t_bit = tech.cycleTime();
+    const double t_edge = 10e-12;
+
+    // Size the sample count so the train plus a settling tail fits at
+    // the simulator's fixed sampling rate (propagate() derives bin
+    // frequencies from the sample count relative to the base window).
+    const double dt_base = window / static_cast<double>(numSamples);
+    auto samples_per_bit =
+        static_cast<std::size_t>(std::ceil(t_bit / dt_base));
+    std::size_t n = 1;
+    while (n < static_cast<std::size_t>(num_bits + 8) * samples_per_bit)
+        n <<= 1;
+
+    // Build the NRZ bit train with linear edges.
+    Rng rng(seed);
+    std::vector<int> bits(static_cast<std::size_t>(num_bits));
+    for (auto &b : bits)
+        b = rng.chance(0.5) ? 1 : 0;
+    auto bit_at = [&](int idx) {
+        return (idx >= 0 && idx < num_bits)
+                   ? bits[static_cast<std::size_t>(idx)]
+                   : 0;
+    };
+
+    const double total = static_cast<double>(n) /
+                         static_cast<double>(numSamples) * window;
+    const double dt = total / static_cast<double>(n);
+    std::vector<Complex> signal(n, Complex(0.0, 0.0));
+    for (std::size_t i = 0; i < n; ++i) {
+        double t = static_cast<double>(i) * dt;
+        int idx = static_cast<int>(t / t_bit);
+        double phase = t - idx * t_bit;
+        int cur = bit_at(idx);
+        int before = bit_at(idx - 1);
+        double v = cur;
+        if (phase < t_edge && cur != before)
+            v = before + (cur - before) * (phase / t_edge);
+        signal[i] = Complex(v * tech.vdd, 0.0);
+    }
+
+    return propagate(std::move(signal), geom, length, -1.0);
+}
+
+EyeResult
+PulseSimulator::eyeDiagram(const WireGeometry &geom, double length,
+                           int num_bits, std::uint64_t seed) const
+{
+    auto wave = trainWaveform(geom, length, num_bits, seed);
+
+    // Recover the bit pattern (same deterministic draw).
+    Rng rng(seed);
+    std::vector<int> bits(static_cast<std::size_t>(num_bits));
+    for (auto &b : bits)
+        b = rng.chance(0.5) ? 1 : 0;
+
+    const double t_bit = tech.cycleTime();
+    const double total = static_cast<double>(wave.size()) /
+                         static_cast<double>(numSamples) * window;
+    const double dt = total / static_cast<double>(wave.size());
+
+    // Align on the line's flight delay.
+    PulseResult single = simulate(geom, length);
+    const double t0 = single.delay;
+
+    auto sample_at = [&](double t) {
+        auto idx = static_cast<std::size_t>(t / dt);
+        if (idx >= wave.size())
+            idx = wave.size() - 1;
+        return wave[idx];
+    };
+
+    EyeResult eye;
+    // Centre-of-eye levels over the steady part of the train.
+    double worst_high = tech.vdd, worst_low = 0.0;
+    bool saw_high = false, saw_low = false;
+    const int skip = 4;
+    for (int i = skip; i < num_bits; ++i) {
+        double t = t0 + (i + 0.5) * t_bit;
+        double v = sample_at(t);
+        if (bits[static_cast<std::size_t>(i)]) {
+            worst_high = std::min(worst_high, v);
+            saw_high = true;
+        } else {
+            worst_low = std::max(worst_low, v);
+            saw_low = true;
+        }
+    }
+    if (!saw_high)
+        worst_high = tech.vdd;
+    if (!saw_low)
+        worst_low = 0.0;
+    eye.worstHigh = worst_high;
+    eye.worstLow = worst_low;
+    eye.eyeHeight = std::max(0.0, (worst_high - worst_low) / tech.vdd);
+
+    // Eye width: fraction of intra-bit offsets where highs and lows
+    // stay separated around Vdd/2 with a 5% guard band.
+    const int offsets = 32;
+    int open = 0;
+    for (int o = 0; o < offsets; ++o) {
+        double tau = (o + 0.5) / offsets;
+        double lo_high = tech.vdd;
+        double hi_low = 0.0;
+        for (int i = skip; i < num_bits; ++i) {
+            double t = t0 + (i + tau) * t_bit;
+            double v = sample_at(t);
+            if (bits[static_cast<std::size_t>(i)])
+                lo_high = std::min(lo_high, v);
+            else
+                hi_low = std::max(hi_low, v);
+        }
+        if (lo_high >= 0.55 * tech.vdd && hi_low <= 0.45 * tech.vdd)
+            ++open;
+    }
+    eye.eyeWidth = static_cast<double>(open) / offsets;
+    return eye;
+}
+
+} // namespace phys
+} // namespace tlsim

@@ -1,0 +1,146 @@
+/**
+ * @file
+ * Frequency-domain lossy transmission-line pulse simulator.
+ *
+ * Substitutes for the paper's HSPICE W-element runs: a trapezoidal
+ * 10 GHz pulse is launched through a source-terminated driver into a
+ * lossy line with frequency-dependent (skin effect) resistance; the
+ * receiver is a high-impedance (open) termination. The received
+ * waveform is computed via the telegrapher-equation transfer function
+ * evaluated per frequency bin and inverse-FFT'd, then checked against
+ * the paper's signalling requirements: received amplitude >= 75% Vdd
+ * and pulse width >= 40% of the clock cycle.
+ */
+
+#ifndef TLSIM_PHYS_PULSE_HH
+#define TLSIM_PHYS_PULSE_HH
+
+#include <complex>
+#include <cstddef>
+#include <vector>
+
+#include "phys/fieldsolver.hh"
+#include "phys/geometry.hh"
+#include "phys/technology.hh"
+
+namespace tlsim
+{
+namespace phys
+{
+
+/** Eye-diagram metrics for a random bit train through one line. */
+struct EyeResult
+{
+    /** Worst-case high level sampled at the eye centre [V]. */
+    double worstHigh = 0.0;
+    /** Worst-case low level sampled at the eye centre [V]. */
+    double worstLow = 0.0;
+    /** Eye opening (worstHigh - worstLow) as a fraction of Vdd. */
+    double eyeHeight = 0.0;
+    /** Fraction of the bit time the eye stays open at Vdd/2. */
+    double eyeWidth = 0.0;
+
+    /** The paper's 40%-of-cycle setup/hold margin, train edition. */
+    bool
+    passes() const
+    {
+        return eyeHeight >= 0.5 && eyeWidth >= 0.40;
+    }
+};
+
+/** Result of simulating one pulse through one line. */
+struct PulseResult
+{
+    /** Flight latency: 50% crossing at receiver minus at driver [s]. */
+    double delay = 0.0;
+    /** Peak received voltage as a fraction of Vdd. */
+    double peakAmplitude = 0.0;
+    /** Time the received waveform spends above Vdd/2 [s]. */
+    double pulseWidth = 0.0;
+    /** Amplitude >= 75% of Vdd? (paper's amplitude requirement) */
+    bool amplitudeOk = false;
+    /** Width >= 40% of the cycle? (paper's setup/hold requirement) */
+    bool widthOk = false;
+
+    bool passes() const { return amplitudeOk && widthOk; }
+};
+
+/**
+ * Simulates single-ended voltage-mode pulses over lossy striplines.
+ */
+class PulseSimulator
+{
+  public:
+    /**
+     * @param tech Technology assumptions (Vdd, clock, resistivity).
+     * @param num_samples FFT size (power of two).
+     * @param window Simulated time window [s]; defaults to 8 cycles.
+     */
+    explicit PulseSimulator(const Technology &tech,
+                            std::size_t num_samples = 4096,
+                            double window = 0.0);
+
+    /**
+     * Simulate one isolated pulse of one bit time through the line.
+     *
+     * @param geom Line cross-section (shielded stripline).
+     * @param length Routed length [m].
+     * @param source_r Driver source resistance [Ohm]; pass <= 0 for
+     *                 a digitally-tuned matched termination (== Z0).
+     */
+    PulseResult simulate(const WireGeometry &geom, double length,
+                         double source_r = -1.0) const;
+
+    /**
+     * The received waveform itself (volts at each sample), for
+     * plotting/inspection; same settings as simulate().
+     */
+    std::vector<double> waveform(const WireGeometry &geom, double length,
+                                 double source_r = -1.0) const;
+
+    /**
+     * Drive a pseudo-random bit train through the line and fold the
+     * received waveform into an eye diagram: inter-symbol
+     * interference from the dispersive (skin-effect) tail closes the
+     * eye on marginal lines even when a single pulse looks clean.
+     *
+     * @param geom Line cross-section.
+     * @param length Routed length [m].
+     * @param num_bits Bits in the train (<= numSamples per window).
+     * @param seed Pattern seed (deterministic).
+     */
+    EyeResult eyeDiagram(const WireGeometry &geom, double length,
+                         int num_bits = 64,
+                         std::uint64_t seed = 1) const;
+
+    /**
+     * The raw received bit-train waveform used by eyeDiagram().
+     */
+    std::vector<double> trainWaveform(const WireGeometry &geom,
+                                      double length, int num_bits,
+                                      std::uint64_t seed) const;
+
+    /** Sample spacing of the simulated waveform [s]. */
+    double sampleTime() const { return window / numSamples; }
+
+  private:
+    std::vector<std::complex<double>>
+    computeSpectrum(const WireGeometry &geom, double length,
+                    double source_r) const;
+
+    /** Apply the line transfer function to a time-domain signal. */
+    std::vector<double>
+    propagate(std::vector<std::complex<double>> signal,
+              const WireGeometry &geom, double length,
+              double source_r) const;
+
+    const Technology &tech;
+    FieldSolver solver;
+    std::size_t numSamples;
+    double window;
+};
+
+} // namespace phys
+} // namespace tlsim
+
+#endif // TLSIM_PHYS_PULSE_HH

@@ -1,0 +1,106 @@
+#include "phys/rcwire.hh"
+
+#include <cmath>
+
+#include "sim/logging.hh"
+
+namespace tlsim
+{
+namespace phys
+{
+
+RcWireModel::RcWireModel(const Technology &tech_, const WireGeometry &geom)
+    : tech(tech_), geometry(geom)
+{
+    TLSIM_ASSERT(geom.width > 0 && geom.thickness > 0,
+                 "degenerate wire geometry");
+
+    rPerM = tech.copperResistivity / geom.crossSection();
+
+    // Capacitance: parallel-plate to the planes above/below plus
+    // lateral coupling to neighbours plus a fringing allowance.
+    const double eps = tech.dielectricK * constants::epsilon0;
+    double plate = 2.0 * eps * geom.width / geom.height;
+    double coupling = 2.0 * eps * geom.thickness / geom.spacing;
+    double fringe = 1.5 * eps; // ~ constant fringe term per meter scale
+    cPerM = plate + coupling + fringe;
+
+    // Bakoglu delay-optimal repeater insertion.
+    const double r0 = tech.minInverterResistance;
+    const double c0 = tech.minInverterCapacitance +
+                      tech.minInverterParasitic;
+    repSpacing = std::sqrt(2.0 * r0 * c0 / (rPerM * cPerM));
+    repSize = std::sqrt(r0 * cPerM / (rPerM * c0));
+}
+
+double
+RcWireModel::delay(double length) const
+{
+    // Per-segment Elmore delay of the optimally repeated line:
+    //   ~ 2.5 * sqrt(r0 c0 r c) per meter (Bakoglu-style constant).
+    const double r0 = tech.minInverterResistance;
+    const double c0 = tech.minInverterCapacitance +
+                      tech.minInverterParasitic;
+    double per_meter = 2.5 * std::sqrt(r0 * c0 * rPerM * cPerM);
+    return per_meter * length;
+}
+
+double
+RcWireModel::unrepeatedDelay(double length) const
+{
+    // Distributed RC delay (0.38 factor) plus the driver charging the
+    // whole line through its output resistance.
+    const double r0 = tech.minInverterResistance;
+    double rc = rPerM * cPerM * length * length;
+    return 0.38 * rc + 0.69 * r0 * cPerM * length;
+}
+
+double
+RcWireModel::velocity() const
+{
+    return 1.0 / (delay(1.0));
+}
+
+int
+RcWireModel::repeaterCount(double length) const
+{
+    if (length <= repSpacing)
+        return 1; // at least the driver
+    return static_cast<int>(std::ceil(length / repSpacing));
+}
+
+long
+RcWireModel::transistorCount(double length) const
+{
+    return static_cast<long>(repeaterCount(length)) *
+           Technology::transistorsPerInverter;
+}
+
+double
+RcWireModel::gateWidthLambda(double length) const
+{
+    return repeaterCount(length) * repSize * tech.minInverterWidthLambda;
+}
+
+double
+RcWireModel::repeaterArea(double length) const
+{
+    // Approximate repeater footprint: gate width times a fixed cell
+    // depth of 40 lambda (diffusion, contacts, spacing).
+    double width_m = gateWidthLambda(length) * tech.lambda;
+    double depth_m = 40.0 * tech.lambda;
+    return width_m * depth_m;
+}
+
+double
+RcWireModel::energyPerTransition(double length) const
+{
+    double wire_cap = cPerM * length;
+    double rep_cap = repeaterCount(length) * repSize *
+                     (tech.minInverterCapacitance +
+                      tech.minInverterParasitic);
+    return (wire_cap + rep_cap) * tech.vdd * tech.vdd;
+}
+
+} // namespace phys
+} // namespace tlsim

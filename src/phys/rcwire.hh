@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Conventional repeated RC wire model.
+ *
+ * Models the global wires used by the (S/D)NUCA interconnect:
+ * distributed RC delay with optimal repeater insertion (Bakoglu),
+ * plus the repeater area / transistor / energy accounting consumed by
+ * the Table 7/8/9 experiments.
+ */
+
+#ifndef TLSIM_PHYS_RCWIRE_HH
+#define TLSIM_PHYS_RCWIRE_HH
+
+#include "phys/geometry.hh"
+#include "phys/technology.hh"
+
+namespace tlsim
+{
+namespace phys
+{
+
+/**
+ * A repeated RC wire of a given cross-section in a given technology.
+ *
+ * The model computes per-unit-length R and C from geometry, then
+ * derives the delay-optimal repeater spacing and sizing, yielding the
+ * wire's latency per unit length, its dynamic energy per bit, and the
+ * substrate cost of its repeaters.
+ */
+class RcWireModel
+{
+  public:
+    RcWireModel(const Technology &tech, const WireGeometry &geom);
+
+    /** Resistance per meter [Ohm/m]. */
+    double resistancePerMeter() const { return rPerM; }
+
+    /** Capacitance per meter [F/m] (plate + fringe + coupling). */
+    double capacitancePerMeter() const { return cPerM; }
+
+    /** Delay-optimal repeater spacing [m]. */
+    double repeaterSpacing() const { return repSpacing; }
+
+    /** Delay-optimal repeater size (multiple of minimum inverter). */
+    double repeaterSize() const { return repSize; }
+
+    /** End-to-end delay of a repeated wire of given length [s]. */
+    double delay(double length) const;
+
+    /** Delay of the wire left unrepeated (0.38*R*C*l^2 + ...) [s]. */
+    double unrepeatedDelay(double length) const;
+
+    /** Signal velocity on the repeated wire [m/s]. */
+    double velocity() const;
+
+    /** Number of repeaters needed for a wire of given length. */
+    int repeaterCount(double length) const;
+
+    /** Transistor count of all repeaters on a wire of given length. */
+    long transistorCount(double length) const;
+
+    /** Total repeater gate width for the wire, in lambda. */
+    double gateWidthLambda(double length) const;
+
+    /** Substrate area of the repeaters for a wire of length l [m^2]. */
+    double repeaterArea(double length) const;
+
+    /**
+     * Dynamic energy to send one bit transition across the full wire
+     * (wire capacitance + repeater input/parasitic caps) [J].
+     */
+    double energyPerTransition(double length) const;
+
+  private:
+    const Technology &tech;
+    WireGeometry geometry;
+    double rPerM = 0.0;
+    double cPerM = 0.0;
+    double repSpacing = 0.0;
+    double repSize = 1.0;
+};
+
+} // namespace phys
+} // namespace tlsim
+
+#endif // TLSIM_PHYS_RCWIRE_HH

@@ -1,0 +1,71 @@
+#include "phys/switchmodel.hh"
+
+#include "sim/logging.hh"
+
+namespace tlsim
+{
+namespace phys
+{
+
+SwitchModel::SwitchModel(const Technology &tech_, int ports,
+                         int flit_bits, int buffer_depth)
+    : tech(tech_), _ports(ports), _flitBits(flit_bits),
+      _bufferDepth(buffer_depth)
+{
+    TLSIM_ASSERT(ports > 0 && flit_bits > 0 && buffer_depth > 0,
+                 "bad switch configuration");
+}
+
+long
+SwitchModel::transistorCount() const
+{
+    // Input buffers: 6T cell + read/write ports per bit.
+    long buffer_bits = static_cast<long>(_ports) * _bufferDepth *
+                       _flitBits;
+    long buffers = buffer_bits * 10;
+    // Crossbar: one tristate driver (4T) per input-output bit pair.
+    long crossbar = static_cast<long>(_ports) * _ports * _flitBits * 4;
+    // Arbiter + control: ~200 devices per port.
+    long control = static_cast<long>(_ports) * 200;
+    // Output latches/drivers: 12T per bit.
+    long output = static_cast<long>(_ports) * _flitBits * 12;
+    return buffers + crossbar + control + output;
+}
+
+double
+SwitchModel::gateWidthLambda() const
+{
+    // Crossbar and output drivers are sized up (~8x min) to drive the
+    // inter-switch links; buffers are near minimum size.
+    long buffer_bits = static_cast<long>(_ports) * _bufferDepth *
+                       _flitBits;
+    double buffer_w = buffer_bits * 10 * 2.0;
+    double crossbar_w = static_cast<double>(_ports) * _ports *
+                        _flitBits * 4 * 6.0;
+    double output_w = static_cast<double>(_ports) * _flitBits * 12 * 8.0;
+    double control_w = static_cast<double>(_ports) * 200 * 3.0;
+    return buffer_w + crossbar_w + output_w + control_w;
+}
+
+double
+SwitchModel::area() const
+{
+    // Layout density: ~800 lambda^2 of substrate per transistor for
+    // dense datapath-style logic (devices + local wiring).
+    double lam2 = tech.lambda * tech.lambda;
+    return static_cast<double>(transistorCount()) * 800.0 * lam2;
+}
+
+double
+SwitchModel::energyPerFlit() const
+{
+    // Buffer write+read, crossbar traversal, and output latch: model
+    // as toggling an effective capacitance proportional to the flit
+    // width, at the assumed activity factor.
+    double cap_per_bit = 18.0 * tech.minInverterCapacitance * 8.0;
+    double c_eff = cap_per_bit * _flitBits;
+    return tech.activityFactor * c_eff * tech.vdd * tech.vdd;
+}
+
+} // namespace phys
+} // namespace tlsim

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Mesh switch circuit model (Orion-style accounting).
+ *
+ * Provides the transistor count, gate width, area, and per-traversal
+ * dynamic energy of the wormhole switches used by the NUCA mesh
+ * interconnect, for the Table 7/8/9 experiments.
+ */
+
+#ifndef TLSIM_PHYS_SWITCHMODEL_HH
+#define TLSIM_PHYS_SWITCHMODEL_HH
+
+#include "phys/technology.hh"
+
+namespace tlsim
+{
+namespace phys
+{
+
+/**
+ * A virtual-channel-less wormhole switch: input FIFOs, a crossbar,
+ * and round-robin arbiters, with the paper/NUCA configuration of
+ * narrow address links and 16-byte data links.
+ */
+class SwitchModel
+{
+  public:
+    /**
+     * @param tech Technology assumptions.
+     * @param ports Number of bidirectional ports (5 for a mesh node).
+     * @param flit_bits Datapath width in bits.
+     * @param buffer_depth FIFO entries per input port.
+     */
+    SwitchModel(const Technology &tech, int ports, int flit_bits,
+                int buffer_depth);
+
+    int ports() const { return _ports; }
+    int flitBits() const { return _flitBits; }
+
+    /** Total transistors in this switch. */
+    long transistorCount() const;
+
+    /** Total transistor gate width, in lambda. */
+    double gateWidthLambda() const;
+
+    /** Substrate area of the switch [m^2]. */
+    double area() const;
+
+    /** Dynamic energy for one flit to traverse the switch [J]. */
+    double energyPerFlit() const;
+
+  private:
+    const Technology &tech;
+    int _ports;
+    int _flitBits;
+    int _bufferDepth;
+};
+
+} // namespace phys
+} // namespace tlsim
+
+#endif // TLSIM_PHYS_SWITCHMODEL_HH

@@ -1,0 +1,24 @@
+#include "phys/technology.hh"
+
+#include <cmath>
+
+namespace tlsim
+{
+namespace phys
+{
+
+double
+Technology::sqrtK() const
+{
+    return std::sqrt(dielectricK);
+}
+
+const Technology &
+tech45()
+{
+    static const Technology tech{};
+    return tech;
+}
+
+} // namespace phys
+} // namespace tlsim

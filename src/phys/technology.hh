@@ -1,0 +1,112 @@
+/**
+ * @file
+ * Technology parameters for the 45 nm design point targeted by the
+ * paper (ITRS-2002-style projections, 10 GHz aggressive clock).
+ *
+ * All physical models in src/phys and src/cacti read their constants
+ * from a Technology instance so experiments can sweep the technology
+ * assumptions (e.g. dielectric constant, supply voltage) coherently.
+ */
+
+#ifndef TLSIM_PHYS_TECHNOLOGY_HH
+#define TLSIM_PHYS_TECHNOLOGY_HH
+
+namespace tlsim
+{
+namespace phys
+{
+
+/** Physical constants (SI units). */
+namespace constants
+{
+/** Speed of light in vacuum [m/s]. */
+constexpr double speedOfLight = 2.998e8;
+/** Vacuum permittivity [F/m]. */
+constexpr double epsilon0 = 8.854e-12;
+/** Vacuum permeability [H/m]. */
+constexpr double mu0 = 1.2566e-6;
+} // namespace constants
+
+/**
+ * Process/technology assumptions for one design point.
+ *
+ * Defaults model the paper's 45 nm / 10 GHz target. Linear dimensions
+ * are in meters, times in seconds, unless noted otherwise.
+ */
+struct Technology
+{
+    /** Feature size [m]. */
+    double featureSize = 45e-9;
+
+    /** Lambda (half the feature size), the layout unit [m]. */
+    double lambda = 22.5e-9;
+
+    /** Supply voltage [V]. */
+    double vdd = 1.0;
+
+    /** Target clock frequency [Hz]. */
+    double clockFreq = 10e9;
+
+    /** Clock cycle time [s]. */
+    double cycleTime() const { return 1.0 / clockFreq; }
+
+    /** Effective copper resistivity incl. barriers/scattering [Ohm*m]. */
+    double copperResistivity = 2.2e-8;
+
+    /**
+     * Bulk copper resistivity [Ohm*m]: applies to the fat upper-layer
+     * transmission lines where barrier layers and surface scattering
+     * are negligible.
+     */
+    double bulkCopperResistivity = 1.7e-8;
+
+    /** Relative permittivity of the low-k interlayer dielectric. */
+    double dielectricK = 2.4;
+
+    /**
+     * Equivalent output resistance of a minimum-sized inverter [Ohm].
+     */
+    double minInverterResistance = 25e3;
+
+    /** Input capacitance of a minimum-sized inverter [F]. */
+    double minInverterCapacitance = 0.15e-15;
+
+    /** Intrinsic (parasitic) output cap of a minimum inverter [F]. */
+    double minInverterParasitic = 0.15e-15;
+
+    /** SRAM cell area at this node [m^2]. */
+    double sramCellArea = 0.236e-12;
+
+    /** Transistors in a minimum inverter. */
+    static constexpr int transistorsPerInverter = 2;
+
+    /** Gate width of a minimum inverter, in lambda (n + p device). */
+    double minInverterWidthLambda = 10.0;
+
+    /** Signal activity factor assumed for data wires. */
+    double activityFactor = 0.5;
+
+    /**
+     * Fraction of a substrate wiring channel's footprint that cannot
+     * be reclaimed for logic (repeater farms, via blockage).
+     */
+    double channelBlockageFraction = 0.20;
+
+    /** Propagation speed in the dielectric [m/s]. */
+    double
+    dielectricVelocity() const
+    {
+        return constants::speedOfLight / sqrtK();
+    }
+
+    /** sqrt(dielectricK), cached-by-formula. */
+    double sqrtK() const;
+};
+
+/** The default 45 nm / 10 GHz technology used throughout the paper. */
+const Technology &tech45();
+
+} // namespace phys
+} // namespace tlsim
+
+#endif // TLSIM_PHYS_TECHNOLOGY_HH

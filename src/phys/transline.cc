@@ -1,0 +1,61 @@
+#include "phys/transline.hh"
+
+#include <cmath>
+
+#include "sim/logging.hh"
+
+namespace tlsim
+{
+namespace phys
+{
+
+TransmissionLine::TransmissionLine(const Technology &tech_, double length)
+    : tech(tech_), _length(length), spec(specForLength(length))
+{
+    TLSIM_ASSERT(length > 0.0, "transmission line needs positive length");
+    FieldSolver solver(tech);
+    params = solver.extract(spec.geometry);
+}
+
+int
+TransmissionLine::flightCycles() const
+{
+    return static_cast<int>(std::ceil(flightTime() / tech.cycleTime()));
+}
+
+double
+TransmissionLine::incidentAttenuation() const
+{
+    double alpha = params.resistance / (2.0 * params.z0());
+    return std::exp(-alpha * _length);
+}
+
+double
+TransmissionLine::energyPerBit() const
+{
+    double rd = params.z0(); // matched source termination
+    double t_bit = tech.cycleTime();
+    return t_bit * tech.vdd * tech.vdd / (rd + params.z0());
+}
+
+int
+TransmissionLine::transistorsPerLine()
+{
+    // Driver: output stage + 4-bit digitally tuned source resistance
+    // (binary-weighted legs) + predriver: ~56 devices. Receiver:
+    // high-impedance comparator + latch: ~34 devices.
+    return 56 + 34;
+}
+
+double
+TransmissionLine::gateWidthLambda() const
+{
+    // The driver's source termination must match Z0, so its output
+    // stage is ~R0/Z0 times a minimum device; the high-impedance
+    // receiver adds a small comparator/latch.
+    double driver_scale = tech.minInverterResistance / params.z0();
+    return (driver_scale + 8.0) * tech.minInverterWidthLambda;
+}
+
+} // namespace phys
+} // namespace tlsim

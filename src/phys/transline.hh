@@ -1,0 +1,78 @@
+/**
+ * @file
+ * On-chip transmission line: the latency / power / circuit-cost view
+ * consumed by the TLC cache models.
+ */
+
+#ifndef TLSIM_PHYS_TRANSLINE_HH
+#define TLSIM_PHYS_TRANSLINE_HH
+
+#include "phys/fieldsolver.hh"
+#include "phys/geometry.hh"
+#include "phys/technology.hh"
+
+namespace tlsim
+{
+namespace phys
+{
+
+/**
+ * A point-to-point source-terminated on-chip transmission line of a
+ * given length, using the paper's Table 1 geometry for that length.
+ *
+ * Derives flight latency (in seconds and clock cycles), dynamic
+ * energy per transmitted bit, and driver/receiver circuit cost.
+ */
+class TransmissionLine
+{
+  public:
+    /**
+     * @param tech Technology assumptions.
+     * @param length Routed length [m]; picks the Table 1 geometry.
+     */
+    TransmissionLine(const Technology &tech, double length);
+
+    double length() const { return _length; }
+    const WireGeometry &geometry() const { return spec.geometry; }
+
+    /** Lossless characteristic impedance [Ohm]. */
+    double z0() const { return params.z0(); }
+
+    /** Wave velocity on the line [m/s]. */
+    double velocity() const { return params.velocity(); }
+
+    /** One-way flight time [s]. */
+    double flightTime() const { return _length / velocity(); }
+
+    /** One-way flight latency in (ceil) clock cycles. */
+    int flightCycles() const;
+
+    /** DC attenuation factor e^{-alpha*l} of the incident wave. */
+    double incidentAttenuation() const;
+
+    /**
+     * Dynamic energy to signal one '1' bit for one bit time:
+     * E = t_b * V^2 / (Rd + Z0), with a matched driver Rd == Z0.
+     */
+    double energyPerBit() const;
+
+    /**
+     * Transistors in one driver (source-terminated with
+     * digitally-tuned resistance) plus one receiver.
+     */
+    static int transistorsPerLine();
+
+    /** Total driver+receiver gate width for one line, in lambda. */
+    double gateWidthLambda() const;
+
+  private:
+    const Technology &tech;
+    double _length;
+    TransmissionLineSpec spec;
+    LineParams params;
+};
+
+} // namespace phys
+} // namespace tlsim
+
+#endif // TLSIM_PHYS_TRANSLINE_HH

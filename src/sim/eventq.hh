@@ -1,0 +1,290 @@
+/**
+ * @file
+ * Discrete-event simulation kernel.
+ *
+ * A single EventQueue orders Event objects by (tick, priority,
+ * insertion sequence); ties are broken deterministically so runs are
+ * exactly reproducible. Events may be one-shot lambdas (see
+ * EventQueue::scheduleFunc) or long-lived Event subclasses that are
+ * rescheduled repeatedly without allocation.
+ */
+
+#ifndef TLSIM_SIM_EVENTQ_HH
+#define TLSIM_SIM_EVENTQ_HH
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "sim/logging.hh"
+#include "sim/types.hh"
+
+namespace tlsim
+{
+
+class EventQueue;
+
+/** Debug hook invoked just before a past-scheduling panic. */
+inline void (*scheduleViolationHook)() = nullptr;
+
+/**
+ * Base class for all schedulable events.
+ *
+ * An Event may be scheduled on at most one queue at a time. The queue
+ * never owns the event; lifetime is the scheduler's responsibility.
+ */
+class Event
+{
+  public:
+    /** Default scheduling priority; lower value runs first at a tick. */
+    static constexpr int defaultPriority = 0;
+
+    explicit Event(int priority = defaultPriority)
+        : _priority(priority)
+    {}
+
+    virtual ~Event() = default;
+
+    Event(const Event &) = delete;
+    Event &operator=(const Event &) = delete;
+
+    /** Invoked by the queue when the event's tick is reached. */
+    virtual void process() = 0;
+
+    /** Human-readable name for diagnostics. */
+    virtual const char *name() const { return "Event"; }
+
+    /** True if the event sits in a queue awaiting dispatch. */
+    bool scheduled() const { return _scheduled; }
+
+    /** Tick at which the event will fire (valid while scheduled). */
+    Tick when() const { return _when; }
+
+    int priority() const { return _priority; }
+
+  private:
+    friend class EventQueue;
+
+    Tick _when = 0;
+    std::uint64_t _sequence = 0;
+    int _priority;
+    bool _scheduled = false;
+};
+
+/** One-shot event wrapping a callable; deletes itself after firing. */
+class LambdaEvent : public Event
+{
+  public:
+    explicit LambdaEvent(std::function<void()> fn,
+                         int priority = Event::defaultPriority)
+        : Event(priority), func(std::move(fn))
+    {}
+
+    void
+    process() override
+    {
+        auto fn = std::move(func);
+        delete this;
+        fn();
+    }
+
+    const char *name() const override { return "LambdaEvent"; }
+
+  private:
+    std::function<void()> func;
+};
+
+/**
+ * Deterministic discrete-event queue.
+ *
+ * Deschedule is implemented by squashing: the heap entry stays but is
+ * skipped on pop, so deschedule/reschedule are O(log n) amortized.
+ */
+class EventQueue
+{
+  public:
+    EventQueue() = default;
+
+    /** Current simulated time in ticks. */
+    Tick now() const { return curTick; }
+
+    /** Number of events pending (excluding squashed entries). */
+    std::size_t size() const { return liveCount; }
+
+    bool empty() const { return liveCount == 0; }
+
+    /**
+     * Schedule an event at an absolute tick >= now().
+     * @param event Event to schedule; must not already be scheduled.
+     * @param when Absolute tick at which to fire.
+     */
+    void
+    schedule(Event *event, Tick when)
+    {
+        TLSIM_ASSERT(event != nullptr, "null event");
+        TLSIM_ASSERT(!event->_scheduled, "event '{}' already scheduled",
+                     event->name());
+        if (when < curTick && scheduleViolationHook)
+            scheduleViolationHook();
+        TLSIM_ASSERT(when >= curTick,
+                     "scheduling event '{}' at {} in the past (now {})",
+                     event->name(), when, curTick);
+        event->_when = when;
+        event->_sequence = nextSequence++;
+        event->_scheduled = true;
+        heap.push(Entry{when, event->_priority, event->_sequence, event});
+        ++liveCount;
+    }
+
+    /**
+     * Remove a scheduled event from the queue without firing it.
+     *
+     * The stale heap entry is lazily discarded; the Event object must
+     * stay alive until the queue drops that entry (LambdaEvents are
+     * reclaimed automatically).
+     */
+    void
+    deschedule(Event *event)
+    {
+        TLSIM_ASSERT(event && event->_scheduled,
+                     "descheduling an unscheduled event");
+        event->_scheduled = false;
+        --liveCount;
+    }
+
+    /** Deschedule (if needed) and schedule at a new tick. */
+    void
+    reschedule(Event *event, Tick when)
+    {
+        if (event->_scheduled)
+            deschedule(event);
+        schedule(event, when);
+    }
+
+    /**
+     * Convenience: schedule a self-deleting one-shot callable.
+     * @return The created event (owned by the queue machinery).
+     */
+    Event *
+    scheduleFunc(Tick when, std::function<void()> fn,
+                 int priority = Event::defaultPriority)
+    {
+        auto *ev = new LambdaEvent(std::move(fn), priority);
+        schedule(ev, when);
+        return ev;
+    }
+
+    /**
+     * Execute events with tick <= limit, in order.
+     * Afterwards now() == max(limit, previous now()).
+     * @return Number of events processed.
+     */
+    std::uint64_t
+    advanceTo(Tick limit)
+    {
+        std::uint64_t processed = 0;
+        while (!heap.empty()) {
+            const Entry &top = heap.top();
+            Event *ev = top.event;
+            if (isStale(top)) {
+                heap.pop();
+                maybeDeleteSquashed(ev);
+                continue;
+            }
+            if (top.when > limit)
+                break;
+            curTick = top.when;
+            heap.pop();
+            ev->_scheduled = false;
+            --liveCount;
+            ev->process();
+            ++processed;
+        }
+        if (limit > curTick)
+            curTick = limit;
+        return processed;
+    }
+
+    /** Run until the queue drains or maxTick is reached. */
+    std::uint64_t
+    run(Tick max_tick = MaxTick)
+    {
+        std::uint64_t processed = 0;
+        while (!empty()) {
+            Tick next = nextTick();
+            if (next > max_tick)
+                break;
+            processed += advanceTo(next);
+        }
+        if (max_tick != MaxTick && max_tick > curTick)
+            curTick = max_tick;
+        return processed;
+    }
+
+    /** Tick of the earliest live event, or MaxTick when empty. */
+    Tick
+    nextTick()
+    {
+        while (!heap.empty()) {
+            const Entry &top = heap.top();
+            Event *ev = top.event;
+            if (isStale(top)) {
+                heap.pop();
+                maybeDeleteSquashed(ev);
+                continue;
+            }
+            return top.when;
+        }
+        return MaxTick;
+    }
+
+  private:
+    struct Entry
+    {
+        Tick when;
+        int priority;
+        std::uint64_t sequence;
+        Event *event;
+    };
+
+    struct Later
+    {
+        bool
+        operator()(const Entry &a, const Entry &b) const
+        {
+            if (a.when != b.when)
+                return a.when > b.when;
+            if (a.priority != b.priority)
+                return a.priority > b.priority;
+            return a.sequence > b.sequence;
+        }
+    };
+
+    /** A heap entry is stale if its event was descheduled or moved. */
+    static bool
+    isStale(const Entry &entry)
+    {
+        return !entry.event->_scheduled ||
+               entry.event->_sequence != entry.sequence;
+    }
+
+    static void
+    maybeDeleteSquashed(Event *ev)
+    {
+        // LambdaEvents delete themselves in process(); if one was
+        // descheduled instead, reclaim it when its entry is dropped.
+        // Only safe when the event is not live elsewhere.
+        if (!ev->_scheduled && dynamic_cast<LambdaEvent *>(ev))
+            delete ev;
+    }
+
+    std::priority_queue<Entry, std::vector<Entry>, Later> heap;
+    Tick curTick = 0;
+    std::uint64_t nextSequence = 0;
+    std::size_t liveCount = 0;
+};
+
+} // namespace tlsim
+
+#endif // TLSIM_SIM_EVENTQ_HH

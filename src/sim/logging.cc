@@ -1,0 +1,21 @@
+#include "sim/logging.hh"
+
+#include <iostream>
+
+namespace tlsim
+{
+namespace logging_detail
+{
+
+bool quiet = false;
+
+void
+emitMessage(const char *tag, const std::string &msg)
+{
+    if (quiet && (std::string(tag) == "warn" || std::string(tag) == "info"))
+        return;
+    std::cerr << tag << ": " << msg << std::endl;
+}
+
+} // namespace logging_detail
+} // namespace tlsim

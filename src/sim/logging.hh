@@ -1,0 +1,137 @@
+/**
+ * @file
+ * Logging and error-reporting primitives for the TLC simulator.
+ *
+ * Follows the gem5 convention: panic() for internal simulator bugs
+ * (aborts), fatal() for user/configuration errors (clean exit),
+ * warn()/inform() for non-fatal status messages.
+ *
+ * Messages use a lightweight "{}" placeholder syntax: each "{}" in the
+ * format string is replaced by the next argument streamed through
+ * operator<<.
+ */
+
+#ifndef TLSIM_SIM_LOGGING_HH
+#define TLSIM_SIM_LOGGING_HH
+
+#include <cstdlib>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace tlsim
+{
+
+/**
+ * Format a string by substituting "{}" placeholders with arguments.
+ *
+ * Surplus arguments are appended at the end separated by spaces;
+ * surplus placeholders are left verbatim.
+ *
+ * @param fmt Format string containing zero or more "{}" placeholders.
+ * @param args Values streamed via operator<< into the placeholders.
+ * @return The formatted string.
+ */
+template <typename... Args>
+std::string
+csprintf(const std::string &fmt, const Args &...args)
+{
+    std::ostringstream out;
+    std::size_t pos = 0;
+    // Stream one argument into the next "{}"; used via fold expression.
+    [[maybe_unused]] auto emit_one = [&](const auto &arg) {
+        std::size_t next = fmt.find("{}", pos);
+        if (next == std::string::npos) {
+            out << ' ' << arg;
+        } else {
+            out.write(fmt.data() + pos, next - pos);
+            out << arg;
+            pos = next + 2;
+        }
+    };
+    (emit_one(args), ...);
+    out.write(fmt.data() + pos, fmt.size() - pos);
+    return out.str();
+}
+
+/** Exception thrown by panic(); carries the formatted message. */
+class PanicError : public std::runtime_error
+{
+  public:
+    explicit PanicError(const std::string &msg)
+        : std::runtime_error(msg)
+    {}
+};
+
+/** Exception thrown by fatal(); carries the formatted message. */
+class FatalError : public std::runtime_error
+{
+  public:
+    explicit FatalError(const std::string &msg)
+        : std::runtime_error(msg)
+    {}
+};
+
+namespace logging_detail
+{
+/** Print a tagged message to stderr (used by warn/inform/panic/fatal). */
+void emitMessage(const char *tag, const std::string &msg);
+
+/** If true, warn()/inform() output is suppressed (used in tests). */
+extern bool quiet;
+} // namespace logging_detail
+
+/**
+ * Report an internal simulator bug and throw PanicError.
+ *
+ * Use when something happens that should never happen regardless of
+ * user input. Throws (rather than abort()) so tests can assert on it.
+ */
+template <typename... Args>
+[[noreturn]] void
+panic(const std::string &fmt, const Args &...args)
+{
+    std::string msg = csprintf(fmt, args...);
+    logging_detail::emitMessage("panic", msg);
+    throw PanicError(msg);
+}
+
+/**
+ * Report an unrecoverable user/configuration error and throw
+ * FatalError.
+ */
+template <typename... Args>
+[[noreturn]] void
+fatal(const std::string &fmt, const Args &...args)
+{
+    std::string msg = csprintf(fmt, args...);
+    logging_detail::emitMessage("fatal", msg);
+    throw FatalError(msg);
+}
+
+/** Report a suspicious but survivable condition. */
+template <typename... Args>
+void
+warn(const std::string &fmt, const Args &...args)
+{
+    logging_detail::emitMessage("warn", csprintf(fmt, args...));
+}
+
+/** Report normal operating status. */
+template <typename... Args>
+void
+inform(const std::string &fmt, const Args &...args)
+{
+    logging_detail::emitMessage("info", csprintf(fmt, args...));
+}
+
+/** panic() unless the condition holds. */
+#define TLSIM_ASSERT(cond, ...)                                           \
+    do {                                                                  \
+        if (!(cond))                                                      \
+            ::tlsim::panic("assertion '" #cond "' failed: " __VA_ARGS__); \
+    } while (0)
+
+} // namespace tlsim
+
+#endif // TLSIM_SIM_LOGGING_HH

@@ -1,0 +1,169 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generation.
+ *
+ * Implements xoshiro256++ seeded via splitmix64 so that every
+ * experiment is exactly reproducible from a single integer seed,
+ * independent of the platform's std::mt19937 implementation details.
+ */
+
+#ifndef TLSIM_SIM_RNG_HH
+#define TLSIM_SIM_RNG_HH
+
+#include <cmath>
+#include <cstdint>
+
+#include "sim/logging.hh"
+
+namespace tlsim
+{
+
+/**
+ * xoshiro256++ pseudo-random generator with convenience distributions.
+ *
+ * All workload generators and randomized policies in the simulator
+ * draw from instances of this class; two runs with equal seeds produce
+ * bit-identical traces.
+ */
+class Rng
+{
+  public:
+    /** Construct from a 64-bit seed, expanded via splitmix64. */
+    explicit Rng(std::uint64_t seed = 0x5eed'cafe'f00d'd00dULL)
+    {
+        reseed(seed);
+    }
+
+    /** Re-initialize the state from a new seed. */
+    void
+    reseed(std::uint64_t seed)
+    {
+        std::uint64_t x = seed;
+        for (auto &word : state) {
+            // splitmix64 step.
+            x += 0x9e3779b97f4a7c15ULL;
+            std::uint64_t z = x;
+            z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+            z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+            word = z ^ (z >> 31);
+        }
+    }
+
+    /** Next raw 64-bit value. */
+    std::uint64_t
+    next()
+    {
+        const std::uint64_t result =
+            rotl(state[0] + state[3], 23) + state[0];
+        const std::uint64_t t = state[1] << 17;
+        state[2] ^= state[0];
+        state[3] ^= state[1];
+        state[1] ^= state[2];
+        state[0] ^= state[3];
+        state[2] ^= t;
+        state[3] = rotl(state[3], 45);
+        return result;
+    }
+
+    /** Uniform integer in [0, bound). bound must be > 0. */
+    std::uint64_t
+    below(std::uint64_t bound)
+    {
+        TLSIM_ASSERT(bound > 0, "Rng::below bound must be positive");
+        // Lemire's multiply-shift rejection method (unbiased).
+        std::uint64_t x = next();
+        __uint128_t m = static_cast<__uint128_t>(x) * bound;
+        std::uint64_t lo = static_cast<std::uint64_t>(m);
+        if (lo < bound) {
+            std::uint64_t threshold = (-bound) % bound;
+            while (lo < threshold) {
+                x = next();
+                m = static_cast<__uint128_t>(x) * bound;
+                lo = static_cast<std::uint64_t>(m);
+            }
+        }
+        return static_cast<std::uint64_t>(m >> 64);
+    }
+
+    /** Uniform integer in [lo, hi] inclusive. */
+    std::uint64_t
+    range(std::uint64_t lo, std::uint64_t hi)
+    {
+        TLSIM_ASSERT(lo <= hi, "Rng::range requires lo <= hi");
+        return lo + below(hi - lo + 1);
+    }
+
+    /** Uniform double in [0, 1). */
+    double
+    real()
+    {
+        return (next() >> 11) * 0x1.0p-53;
+    }
+
+    /** Bernoulli trial with success probability p. */
+    bool
+    chance(double p)
+    {
+        return real() < p;
+    }
+
+    /**
+     * Geometrically distributed count with mean @p mean (>= 0).
+     * Used for "instructions until next event" style draws.
+     */
+    std::uint64_t
+    geometric(double mean)
+    {
+        if (mean <= 0.0)
+            return 0;
+        double p = 1.0 / (mean + 1.0);
+        double u = real();
+        if (u >= 1.0)
+            u = 0.9999999999999999;
+        // Inverse-CDF of the geometric distribution on {0, 1, 2, ...}.
+        double g = std::log(1.0 - u) / std::log(1.0 - p);
+        if (g > 1e18)
+            g = 1e18;
+        return static_cast<std::uint64_t>(g);
+    }
+
+    /**
+     * Zipf-like rank selection over n items with exponent s, using a
+     * fast approximate inverse-CDF (good enough for workload skew).
+     */
+    std::uint64_t
+    zipf(std::uint64_t n, double s)
+    {
+        TLSIM_ASSERT(n > 0, "Rng::zipf requires n > 0");
+        if (s <= 0.0)
+            return below(n);
+        // Approximate inverse CDF for the continuous analogue.
+        double u = real();
+        double one_minus_s = 1.0 - s;
+        double nn = static_cast<double>(n);
+        double rank;
+        if (one_minus_s > 1e-9 || one_minus_s < -1e-9) {
+            double max_cdf = std::pow(nn, one_minus_s) - 1.0;
+            rank = std::pow(1.0 + u * max_cdf, 1.0 / one_minus_s);
+        } else {
+            rank = std::exp(u * std::log(nn));
+        }
+        std::uint64_t r = static_cast<std::uint64_t>(rank);
+        if (r >= n)
+            r = n - 1;
+        return r;
+    }
+
+  private:
+    static std::uint64_t
+    rotl(std::uint64_t x, int k)
+    {
+        return (x << k) | (x >> (64 - k));
+    }
+
+    std::uint64_t state[4];
+};
+
+} // namespace tlsim
+
+#endif // TLSIM_SIM_RNG_HH

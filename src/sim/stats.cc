@@ -1,0 +1,120 @@
+#include "sim/stats.hh"
+
+#include <array>
+#include <iomanip>
+
+namespace tlsim
+{
+namespace stats
+{
+
+StatBase::StatBase(StatGroup *parent, std::string name, std::string desc)
+    : _name(std::move(name)), _desc(std::move(desc))
+{
+    TLSIM_ASSERT(parent != nullptr, "stat '{}' requires a parent group",
+                 _name);
+    parent->addStat(this);
+}
+
+StatGroup::StatGroup(std::string name, StatGroup *parent)
+    : _name(std::move(name))
+{
+    if (parent)
+        parent->addChild(this);
+}
+
+void
+StatGroup::resetStats()
+{
+    for (auto *stat : stats)
+        stat->reset();
+    for (auto *child : children)
+        child->resetStats();
+}
+
+void
+StatGroup::dumpStats(std::ostream &os, const std::string &prefix) const
+{
+    std::string full = prefix.empty() ? _name : prefix + "." + _name;
+    for (const auto *stat : stats)
+        stat->dump(os, full);
+    for (const auto *child : children)
+        child->dumpStats(os, full);
+}
+
+namespace
+{
+
+void
+emitLine(std::ostream &os, const std::string &prefix,
+         const std::string &name, double value, const std::string &desc)
+{
+    std::string full = prefix.empty() ? name : prefix + "." + name;
+    os << std::left << std::setw(48) << full << ' '
+       << std::right << std::setw(16) << value
+       << "  # " << desc << '\n';
+}
+
+} // namespace
+
+void
+Scalar::dump(std::ostream &os, const std::string &prefix) const
+{
+    emitLine(os, prefix, name(), _value, desc());
+}
+
+void
+Average::dump(std::ostream &os, const std::string &prefix) const
+{
+    emitLine(os, prefix, name() + ".mean", mean(), desc());
+    emitLine(os, prefix, name() + ".count",
+             static_cast<double>(_count), desc() + " (samples)");
+}
+
+double
+Distribution::quantile(double q) const
+{
+    std::uint64_t in_range = _count - _underflow - _overflow;
+    if (in_range == 0)
+        return _lo;
+    double target = q * static_cast<double>(in_range);
+    double cum = 0.0;
+    for (std::size_t i = 0; i < buckets.size(); ++i) {
+        double next = cum + static_cast<double>(buckets[i]);
+        if (next >= target && buckets[i] > 0) {
+            double frac = (target - cum) / buckets[i];
+            return _lo + (static_cast<double>(i) + frac) * _bucketWidth;
+        }
+        cum = next;
+    }
+    return _hi;
+}
+
+void
+Distribution::dump(std::ostream &os, const std::string &prefix) const
+{
+    emitLine(os, prefix, name() + ".mean", mean(), desc());
+    emitLine(os, prefix, name() + ".count",
+             static_cast<double>(_count), desc() + " (samples)");
+    emitLine(os, prefix, name() + ".underflow",
+             static_cast<double>(_underflow), desc() + " (< lo)");
+    emitLine(os, prefix, name() + ".overflow",
+             static_cast<double>(_overflow), desc() + " (>= hi)");
+}
+
+void
+Histogram::dump(std::ostream &os, const std::string &prefix) const
+{
+    emitLine(os, prefix, name() + ".mean", mean(), desc());
+    emitLine(os, prefix, name() + ".count",
+             static_cast<double>(_count), desc() + " (samples)");
+}
+
+void
+Formula::dump(std::ostream &os, const std::string &prefix) const
+{
+    emitLine(os, prefix, name(), value(), desc());
+}
+
+} // namespace stats
+} // namespace tlsim

@@ -1,0 +1,295 @@
+/**
+ * @file
+ * Lightweight statistics package in the spirit of gem5's Stats.
+ *
+ * Statistics register themselves with a StatGroup at construction;
+ * groups form a tree and can dump all values with names/descriptions.
+ * Supported kinds: Scalar (counter), Average (mean of samples),
+ * Distribution (bucketed range), Histogram (log2 buckets), and
+ * Formula (a named lambda over other stats, evaluated at dump time).
+ */
+
+#ifndef TLSIM_SIM_STATS_HH
+#define TLSIM_SIM_STATS_HH
+
+#include <algorithm>
+#include <array>
+#include <cstdint>
+#include <functional>
+#include <limits>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "sim/logging.hh"
+
+namespace tlsim
+{
+namespace stats
+{
+
+class StatGroup;
+
+/** Abstract base for all statistics. */
+class StatBase
+{
+  public:
+    StatBase(StatGroup *parent, std::string name, std::string desc);
+    virtual ~StatBase() = default;
+
+    StatBase(const StatBase &) = delete;
+    StatBase &operator=(const StatBase &) = delete;
+
+    const std::string &name() const { return _name; }
+    const std::string &desc() const { return _desc; }
+
+    /** Reset to the freshly-constructed state. */
+    virtual void reset() = 0;
+
+    /** Write "name value # desc" lines to the stream. */
+    virtual void dump(std::ostream &os,
+                      const std::string &prefix) const = 0;
+
+  private:
+    std::string _name;
+    std::string _desc;
+};
+
+/**
+ * A named collection of statistics; groups nest to form a hierarchy.
+ */
+class StatGroup
+{
+  public:
+    explicit StatGroup(std::string name, StatGroup *parent = nullptr);
+    virtual ~StatGroup() = default;
+
+    StatGroup(const StatGroup &) = delete;
+    StatGroup &operator=(const StatGroup &) = delete;
+
+    const std::string &groupName() const { return _name; }
+
+    /** Reset every stat in this group and all child groups. */
+    void resetStats();
+
+    /** Dump every stat (and children) as "prefix.name value # desc". */
+    void dumpStats(std::ostream &os, const std::string &prefix = "") const;
+
+  private:
+    friend class StatBase;
+
+    void addStat(StatBase *stat) { stats.push_back(stat); }
+    void addChild(StatGroup *child) { children.push_back(child); }
+
+    std::string _name;
+    std::vector<StatBase *> stats;
+    std::vector<StatGroup *> children;
+};
+
+/** Monotonic counter, also usable as a gauge. */
+class Scalar : public StatBase
+{
+  public:
+    Scalar(StatGroup *parent, std::string name, std::string desc)
+        : StatBase(parent, std::move(name), std::move(desc))
+    {}
+
+    Scalar &operator++() { ++_value; return *this; }
+    Scalar &operator+=(double v) { _value += v; return *this; }
+    Scalar &operator=(double v) { _value = v; return *this; }
+
+    double value() const { return _value; }
+
+    void reset() override { _value = 0.0; }
+
+    void
+    dump(std::ostream &os, const std::string &prefix) const override;
+
+  private:
+    double _value = 0.0;
+};
+
+/** Arithmetic mean (and count) of a stream of samples. */
+class Average : public StatBase
+{
+  public:
+    Average(StatGroup *parent, std::string name, std::string desc)
+        : StatBase(parent, std::move(name), std::move(desc))
+    {}
+
+    void
+    sample(double v)
+    {
+        _sum += v;
+        _sumSq += v * v;
+        ++_count;
+        _min = std::min(_min, v);
+        _max = std::max(_max, v);
+    }
+
+    std::uint64_t count() const { return _count; }
+    double sum() const { return _sum; }
+    double mean() const { return _count ? _sum / _count : 0.0; }
+    double minValue() const { return _count ? _min : 0.0; }
+    double maxValue() const { return _count ? _max : 0.0; }
+
+    /** Population variance of the samples. */
+    double
+    variance() const
+    {
+        if (_count == 0)
+            return 0.0;
+        double m = mean();
+        double v = _sumSq / _count - m * m;
+        return v > 0.0 ? v : 0.0;
+    }
+
+    void
+    reset() override
+    {
+        _sum = _sumSq = 0.0;
+        _count = 0;
+        _min = std::numeric_limits<double>::infinity();
+        _max = -std::numeric_limits<double>::infinity();
+    }
+
+    void
+    dump(std::ostream &os, const std::string &prefix) const override;
+
+  private:
+    double _sum = 0.0;
+    double _sumSq = 0.0;
+    std::uint64_t _count = 0;
+    double _min = std::numeric_limits<double>::infinity();
+    double _max = -std::numeric_limits<double>::infinity();
+};
+
+/** Fixed-range bucketed distribution with underflow/overflow bins. */
+class Distribution : public StatBase
+{
+  public:
+    Distribution(StatGroup *parent, std::string name, std::string desc,
+                 double lo, double hi, std::size_t num_buckets)
+        : StatBase(parent, std::move(name), std::move(desc)),
+          _lo(lo), _hi(hi), buckets(num_buckets, 0)
+    {
+        TLSIM_ASSERT(hi > lo && num_buckets > 0,
+                     "bad Distribution bounds");
+        _bucketWidth = (hi - lo) / static_cast<double>(num_buckets);
+    }
+
+    void
+    sample(double v)
+    {
+        ++_count;
+        _sum += v;
+        if (v < _lo) {
+            ++_underflow;
+        } else if (v >= _hi) {
+            ++_overflow;
+        } else {
+            auto idx = static_cast<std::size_t>((v - _lo) / _bucketWidth);
+            if (idx >= buckets.size())
+                idx = buckets.size() - 1;
+            ++buckets[idx];
+        }
+    }
+
+    std::uint64_t count() const { return _count; }
+    double mean() const { return _count ? _sum / _count : 0.0; }
+    std::uint64_t underflow() const { return _underflow; }
+    std::uint64_t overflow() const { return _overflow; }
+    std::uint64_t bucket(std::size_t i) const { return buckets.at(i); }
+    std::size_t numBuckets() const { return buckets.size(); }
+
+    /**
+     * Value below which fraction @p q of in-range samples fall
+     * (linear interpolation within a bucket).
+     */
+    double quantile(double q) const;
+
+    void
+    reset() override
+    {
+        _count = _underflow = _overflow = 0;
+        _sum = 0.0;
+        std::fill(buckets.begin(), buckets.end(), 0);
+    }
+
+    void
+    dump(std::ostream &os, const std::string &prefix) const override;
+
+  private:
+    double _lo, _hi, _bucketWidth = 1.0;
+    double _sum = 0.0;
+    std::uint64_t _count = 0;
+    std::uint64_t _underflow = 0;
+    std::uint64_t _overflow = 0;
+    std::vector<std::uint64_t> buckets;
+};
+
+/** Power-of-two bucketed histogram for unbounded positive samples. */
+class Histogram : public StatBase
+{
+  public:
+    Histogram(StatGroup *parent, std::string name, std::string desc)
+        : StatBase(parent, std::move(name), std::move(desc))
+    {
+        buckets.fill(0);
+    }
+
+    void
+    sample(std::uint64_t v)
+    {
+        ++_count;
+        _sum += static_cast<double>(v);
+        int bucket = v == 0 ? 0 : 64 - __builtin_clzll(v);
+        ++buckets[static_cast<std::size_t>(bucket)];
+    }
+
+    std::uint64_t count() const { return _count; }
+    double mean() const { return _count ? _sum / _count : 0.0; }
+    std::uint64_t bucket(std::size_t i) const { return buckets.at(i); }
+
+    void
+    reset() override
+    {
+        _count = 0;
+        _sum = 0.0;
+        buckets.fill(0);
+    }
+
+    void
+    dump(std::ostream &os, const std::string &prefix) const override;
+
+  private:
+    std::uint64_t _count = 0;
+    double _sum = 0.0;
+    std::array<std::uint64_t, 65> buckets{};
+};
+
+/** Derived value computed from other stats at dump time. */
+class Formula : public StatBase
+{
+  public:
+    Formula(StatGroup *parent, std::string name, std::string desc,
+            std::function<double()> fn)
+        : StatBase(parent, std::move(name), std::move(desc)),
+          func(std::move(fn))
+    {}
+
+    double value() const { return func ? func() : 0.0; }
+
+    void reset() override {}
+
+    void
+    dump(std::ostream &os, const std::string &prefix) const override;
+
+  private:
+    std::function<double()> func;
+};
+
+} // namespace stats
+} // namespace tlsim
+
+#endif // TLSIM_SIM_STATS_HH

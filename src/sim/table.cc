@@ -1,0 +1,62 @@
+#include "sim/table.hh"
+
+#include <algorithm>
+
+namespace tlsim
+{
+
+void
+TextTable::print(std::ostream &os) const
+{
+    std::vector<std::size_t> widths;
+    auto grow = [&](const std::vector<std::string> &row) {
+        if (row.size() > widths.size())
+            widths.resize(row.size(), 0);
+        for (std::size_t i = 0; i < row.size(); ++i)
+            widths[i] = std::max(widths[i], row[i].size());
+    };
+    grow(_header);
+    for (const auto &row : _rows)
+        grow(row);
+
+    if (!_title.empty())
+        os << "== " << _title << " ==\n";
+
+    auto emit = [&](const std::vector<std::string> &row) {
+        for (std::size_t i = 0; i < row.size(); ++i) {
+            os << std::left << std::setw(static_cast<int>(widths[i]) + 2)
+               << row[i];
+        }
+        os << '\n';
+    };
+    if (!_header.empty()) {
+        emit(_header);
+        std::size_t total = 0;
+        for (auto w : widths)
+            total += w + 2;
+        os << std::string(total, '-') << '\n';
+    }
+    for (const auto &row : _rows)
+        emit(row);
+    os.flush();
+}
+
+void
+TextTable::printCsv(std::ostream &os) const
+{
+    auto emit = [&](const std::vector<std::string> &row) {
+        for (std::size_t i = 0; i < row.size(); ++i) {
+            if (i)
+                os << ',';
+            os << row[i];
+        }
+        os << '\n';
+    };
+    if (!_header.empty())
+        emit(_header);
+    for (const auto &row : _rows)
+        emit(row);
+    os.flush();
+}
+
+} // namespace tlsim

@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Plain-text table formatter used by the benchmark harness to print
+ * paper-style tables (aligned columns, optional CSV emission).
+ */
+
+#ifndef TLSIM_SIM_TABLE_HH
+#define TLSIM_SIM_TABLE_HH
+
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace tlsim
+{
+
+/**
+ * A simple column-aligned text table.
+ *
+ * Build with setHeader()/addRow(), then print() for human-readable
+ * output or printCsv() for machine-readable output.
+ */
+class TextTable
+{
+  public:
+    explicit TextTable(std::string title = "")
+        : _title(std::move(title))
+    {}
+
+    /** Set the column headers (defines the column count). */
+    void
+    setHeader(std::vector<std::string> header)
+    {
+        _header = std::move(header);
+    }
+
+    /** Append a pre-formatted row of cells. */
+    void
+    addRow(std::vector<std::string> row)
+    {
+        _rows.push_back(std::move(row));
+    }
+
+    /** Format a double with the given precision. */
+    static std::string
+    num(double v, int precision = 2)
+    {
+        std::ostringstream os;
+        os << std::fixed << std::setprecision(precision) << v;
+        return os.str();
+    }
+
+    std::size_t numRows() const { return _rows.size(); }
+
+    /** Pretty-print with aligned columns and a rule under the header. */
+    void print(std::ostream &os) const;
+
+    /** Emit as comma-separated values (header first). */
+    void printCsv(std::ostream &os) const;
+
+  private:
+    std::string _title;
+    std::vector<std::string> _header;
+    std::vector<std::vector<std::string>> _rows;
+};
+
+} // namespace tlsim
+
+#endif // TLSIM_SIM_TABLE_HH

@@ -1,0 +1,28 @@
+/**
+ * @file
+ * Fundamental simulator types shared by all modules.
+ */
+
+#ifndef TLSIM_SIM_TYPES_HH
+#define TLSIM_SIM_TYPES_HH
+
+#include <cstdint>
+
+namespace tlsim
+{
+
+/** Simulated time, in CPU clock cycles (10 GHz target clock). */
+using Tick = std::uint64_t;
+
+/** A relative number of clock cycles. */
+using Cycles = std::uint64_t;
+
+/** A physical memory address (byte granularity). */
+using Addr = std::uint64_t;
+
+/** Sentinel for "no tick scheduled". */
+constexpr Tick MaxTick = ~Tick(0);
+
+} // namespace tlsim
+
+#endif // TLSIM_SIM_TYPES_HH

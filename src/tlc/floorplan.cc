@@ -1,0 +1,88 @@
+#include "tlc/floorplan.hh"
+
+#include <cmath>
+
+#include "phys/geometry.hh"
+#include "phys/rcwire.hh"
+#include "sim/logging.hh"
+
+namespace tlsim
+{
+namespace tlc
+{
+
+TlcFloorplan::TlcFloorplan(const phys::Technology &tech_,
+                           const TlcConfig &config)
+    : tech(tech_), cfg(config)
+{
+    TLSIM_ASSERT(cfg.pairs() >= 2 && cfg.pairs() % 2 == 0,
+                 "floorplan needs an even number of pairs >= 2");
+
+    const int pairs_per_face = cfg.pairs() / 2;
+
+    // Controller-internal conventional wires (semi-global class).
+    phys::RcWireModel internal_wire(tech,
+                                    phys::conventionalSemiGlobalWire());
+    const double cycles_per_meter =
+        internal_wire.delay(1.0) / tech.cycleTime();
+
+    layout.resize(static_cast<std::size_t>(cfg.pairs()));
+
+    // Per-face stacking: pairs are assigned alternately above/below
+    // the face center, innermost (shortest lines) first. Both faces
+    // are identical; we lay out face 0 and mirror.
+    for (int face = 0; face < 2; ++face) {
+        double above = 0.0, below = 0.0;
+        for (int r = 0; r < pairs_per_face; ++r) {
+            int index = face * pairs_per_face + r;
+            PairLayout &p = layout[static_cast<std::size_t>(index)];
+
+            // Routed length grows with the pair's position: the
+            // innermost pair reaches the nearest bank (0.9 cm), the
+            // outermost the farthest (1.3 cm).
+            double frac = pairs_per_face > 1
+                              ? static_cast<double>(r) /
+                                    (pairs_per_face - 1)
+                              : 0.5;
+            p.length = 0.9e-2 + 0.4e-2 * frac;
+
+            // Bundle height: every signal line is flanked by a shield
+            // line of the same pitch (alternating power/ground).
+            const auto &spec = phys::specForLength(p.length);
+            double line_pitch = 2.0 * spec.geometry.pitch();
+            p.bundleHeight = cfg.linesPerPair * line_pitch;
+
+            // Stack alternately above/below the face center.
+            double &side = (r % 2 == 0) ? above : below;
+            p.offset = side + p.bundleHeight / 2.0;
+            side += p.bundleHeight;
+
+            // Latencies and energy.
+            phys::TransmissionLine line(tech, p.length);
+            p.flightCycles = line.flightCycles();
+            p.energyPerBit = line.energyPerBit();
+            // Internal delay: conservative routing estimate with a
+            // +0.3-cycle guard band, truncated to whole cycles.
+            double raw = p.offset * cycles_per_meter;
+            p.internalCycles = static_cast<int>(raw + 0.3);
+        }
+        if (face == 0)
+            faceHeight = above + below;
+    }
+}
+
+double
+TlcFloorplan::channelArea() const
+{
+    // Conventional wires from each landing to the controller center:
+    // linesPerPair wires of length |offset| at semi-global pitch,
+    // doubled for routing blockage / repeater keep-out.
+    const double pitch = phys::conventionalSemiGlobalWire().pitch();
+    double area = 0.0;
+    for (const auto &p : layout)
+        area += cfg.linesPerPair * p.offset * pitch;
+    return 2.0 * area;
+}
+
+} // namespace tlc
+} // namespace tlsim

@@ -1,0 +1,101 @@
+/**
+ * @file
+ * TLC physical floorplan (paper Figures 2 and 4).
+ *
+ * Banks line two die edges; the controller sits at the die center.
+ * Each bank pair's transmission-line bundle lands on one of the
+ * controller's two faces; bundles stack vertically, innermost pairs
+ * nearest the controller's center. The floorplan derives, per pair:
+ *
+ *  - the routed transmission-line length (0.9-1.3 cm) and thus the
+ *    Table 1 geometry, flight latency, and per-bit signalling energy;
+ *  - the controller-internal conventional-wire delay (0-3 cycles)
+ *    from the bundle's landing offset;
+ *
+ * and, for the whole design: the controller dimensions/area and the
+ * conventional-wiring channel area (Table 7).
+ */
+
+#ifndef TLSIM_TLC_FLOORPLAN_HH
+#define TLSIM_TLC_FLOORPLAN_HH
+
+#include <vector>
+
+#include "phys/technology.hh"
+#include "phys/transline.hh"
+#include "tlc/config.hh"
+
+namespace tlsim
+{
+namespace tlc
+{
+
+/** Physical layout facts for one bank pair's link bundle. */
+struct PairLayout
+{
+    /** Routed transmission-line length [m]. */
+    double length;
+    /** One-way transmission-line flight latency [cycles]. */
+    int flightCycles;
+    /** One-way controller-internal wire delay [cycles]. */
+    int internalCycles;
+    /** Vertical landing offset from the controller center [m]. */
+    double offset;
+    /** Bundle height on the controller face [m]. */
+    double bundleHeight;
+    /** Dynamic energy to signal one bit on this pair's lines [J]. */
+    double energyPerBit;
+};
+
+/**
+ * Floorplan calculator for one TLC family member.
+ */
+class TlcFloorplan
+{
+  public:
+    TlcFloorplan(const phys::Technology &tech, const TlcConfig &config);
+
+    int pairs() const { return static_cast<int>(layout.size()); }
+
+    const PairLayout &pair(int index) const { return layout.at(
+        static_cast<std::size_t>(index)); }
+
+    /** Height of one controller face [m]. */
+    double controllerHeight() const { return faceHeight; }
+
+    /** Controller width [m] (fixed by the datapath/logic spine). */
+    double controllerWidth() const { return 1.0e-3; }
+
+    /** Controller substrate area [m^2] (Table 7, column 4). */
+    double
+    controllerArea() const
+    {
+        return controllerHeight() * controllerWidth();
+    }
+
+    /**
+     * Substrate consumed by the conventional wiring between the
+     * transmission-line landings and the controller center, including
+     * routing blockage (Table 7, column 3).
+     */
+    double channelArea() const;
+
+    /** One-way uncontended latency: flight + internal, per pair. */
+    int
+    oneWayCycles(int pair_index) const
+    {
+        const PairLayout &p = pair(pair_index);
+        return p.flightCycles + p.internalCycles;
+    }
+
+  private:
+    const phys::Technology &tech;
+    TlcConfig cfg;
+    std::vector<PairLayout> layout;
+    double faceHeight = 0.0;
+};
+
+} // namespace tlc
+} // namespace tlsim
+
+#endif // TLSIM_TLC_FLOORPLAN_HH

@@ -1,0 +1,342 @@
+#include "tlc/tlccache.hh"
+
+#include <algorithm>
+#include <cmath>
+
+namespace tlsim
+{
+namespace tlc
+{
+
+namespace
+{
+
+int
+ceilDiv(int a, int b)
+{
+    return (a + b - 1) / b;
+}
+
+/** Address bits carried by a request (set index + tag info + cmd). */
+constexpr int requestBits = 48;
+
+} // namespace
+
+TlcCache::TlcCache(EventQueue &eq, stats::StatGroup *parent,
+                   mem::Dram &dram, const phys::Technology &tech,
+                   const TlcConfig &config)
+    : mem::L2Cache(config.name, eq, parent, dram), cfg(config),
+      floorplan(tech, config),
+      bankModel(tech, config.bankBytes, config.ways, mem::blockBytes),
+      bankCycles(bankModel.accessCycles()),
+      downLinks(static_cast<std::size_t>(config.pairs())),
+      upLinks(static_cast<std::size_t>(config.pairs())),
+      bankPorts(static_cast<std::size_t>(config.banks)),
+      multiMatches(this, "multi_matches",
+                   "lookups with multiple partial-tag matches"),
+      falseMatches(this, "false_matches",
+                   "partial-tag matches that failed the full-tag "
+                   "comparison"),
+      eccRetries(this, "ecc_retries",
+                 "responses re-requested after an end-to-end ECC "
+                 "failure")
+{
+    const int block_bits = mem::blockBytes * 8;
+    const int slice_bits = block_bits / cfg.banksPerBlock;
+    reqCycles = ceilDiv(std::min(requestBits, 8 * cfg.downBits),
+                        cfg.downBits);
+    int resp_payload =
+        slice_bits + (cfg.banksPerBlock > 1 ? cfg.highTagBits : 0);
+    respCycles = ceilDiv(resp_payload, cfg.upBits);
+    dataDownCycles = ceilDiv(slice_bits, cfg.downBits);
+
+    std::uint32_t sets = static_cast<std::uint32_t>(
+        cfg.capacity() /
+        (static_cast<std::uint64_t>(cfg.groups()) * cfg.ways *
+         mem::blockBytes));
+    arrays.reserve(static_cast<std::size_t>(cfg.groups()));
+    for (int g = 0; g < cfg.groups(); ++g)
+        arrays.emplace_back(sets, cfg.ways);
+}
+
+Cycles
+TlcCache::uncontendedLoadLatency(Addr block_addr) const
+{
+    int group = groupOf(block_addr);
+    Cycles worst = 0;
+    for (int m = 0; m < cfg.banksPerBlock; ++m) {
+        int pair = pairOf(bankOf(group, m));
+        Cycles one_way =
+            static_cast<Cycles>(floorplan.oneWayCycles(pair));
+        worst = std::max(worst, 2 * one_way + bankCycles);
+    }
+    return worst;
+}
+
+std::pair<Cycles, Cycles>
+TlcCache::latencyRange() const
+{
+    Cycles lo = ~Cycles(0), hi = 0;
+    for (int g = 0; g < cfg.groups(); ++g) {
+        Cycles lat = uncontendedLoadLatency(static_cast<Addr>(g));
+        lo = std::min(lo, lat);
+        hi = std::max(hi, lat);
+    }
+    return {lo, hi};
+}
+
+std::vector<Tick>
+TlcCache::sendRequests(int group, Tick now, int req_cycles)
+{
+    std::vector<Tick> done(static_cast<std::size_t>(cfg.banksPerBlock));
+    for (int m = 0; m < cfg.banksPerBlock; ++m) {
+        int bank = bankOf(group, m);
+        int pair = pairOf(bank);
+        const PairLayout &lay = floorplan.pair(pair);
+        Tick start = downLinks[static_cast<std::size_t>(pair)].reserve(
+            now, static_cast<Cycles>(req_cycles));
+        Tick arrival = start + static_cast<Tick>(req_cycles - 1) +
+                       static_cast<Tick>(floorplan.oneWayCycles(pair));
+        Tick bank_start =
+            bankPorts[static_cast<std::size_t>(bank)].reserve(
+                arrival, static_cast<Cycles>(bankCycles));
+        done[static_cast<std::size_t>(m)] = bank_start + bankCycles;
+        networkEnergy += req_cycles * cfg.downBits * 0.5 *
+                         lay.energyPerBit;
+    }
+    return done;
+}
+
+Tick
+TlcCache::collectResponses(int group, const std::vector<Tick> &bank_done,
+                           int resp_cycles, int payload_bits)
+{
+    Tick resolved = 0;
+    for (int m = 0; m < cfg.banksPerBlock; ++m) {
+        int bank = bankOf(group, m);
+        int pair = pairOf(bank);
+        const PairLayout &lay = floorplan.pair(pair);
+        Tick start = upLinks[static_cast<std::size_t>(pair)].reserve(
+            bank_done[static_cast<std::size_t>(m)],
+            static_cast<Cycles>(resp_cycles));
+        Tick first_word =
+            start + static_cast<Tick>(floorplan.oneWayCycles(pair));
+        resolved = std::max(resolved, first_word);
+        networkEnergy += payload_bits * 0.5 * lay.energyPerBit;
+    }
+    return resolved;
+}
+
+void
+TlcCache::access(Addr block_addr, mem::AccessType type, Tick now,
+                 mem::RespCallback cb)
+{
+    ++requests;
+    if (type == mem::AccessType::Store) {
+        banksAccessed.sample(static_cast<double>(cfg.banksPerBlock));
+        handleWrite(block_addr, now, false);
+        cb(now);
+        return;
+    }
+    ++demandRequests;
+    banksAccessed.sample(static_cast<double>(cfg.banksPerBlock));
+    handleLoad(block_addr, now, std::move(cb));
+}
+
+void
+TlcCache::accessFunctional(Addr block_addr, mem::AccessType type)
+{
+    int group = groupOf(block_addr);
+    auto &array = arrays[static_cast<std::size_t>(group)];
+    Addr frame = frameAddr(block_addr);
+    ++useCounter;
+    auto way = array.lookup(frame);
+    if (way) {
+        array.touch(frame, *way, useCounter, mem::isWrite(type));
+        return;
+    }
+    array.insert(frame, useCounter, mem::isWrite(type));
+}
+
+void
+TlcCache::handleLoad(Addr block_addr, Tick now, mem::RespCallback cb)
+{
+    int group = groupOf(block_addr);
+    auto &array = arrays[static_cast<std::size_t>(group)];
+    Addr frame = frameAddr(block_addr);
+
+    auto way = array.lookup(frame);
+    int ptag_matches =
+        cfg.banksPerBlock > 1
+            ? array.partialTagMatches(frame, cfg.partialTagBits)
+            : (way ? 1 : 0);
+
+    auto bank_done = sendRequests(group, now, reqCycles);
+    const int slice_bits =
+        mem::blockBytes * 8 / cfg.banksPerBlock +
+        (cfg.banksPerBlock > 1 ? cfg.highTagBits : 0);
+
+    Tick resolved;
+    bool second_round = false;
+    if (ptag_matches == 0) {
+        // Every bank reports "no match" in a single beat.
+        resolved = collectResponses(group, bank_done, 1, 8);
+    } else if (ptag_matches == 1 || cfg.banksPerBlock == 1) {
+        // The common case: banks return the (single) matching way's
+        // data slice plus its high tag bits.
+        resolved =
+            collectResponses(group, bank_done, respCycles, slice_bits);
+        if (!way)
+            ++falseMatches;
+    } else {
+        // Multiple partial-tag matches: banks return only the high
+        // tag bits of all matching ways; if the block is resident the
+        // controller issues a second request for the chosen way.
+        ++multiMatches;
+        resolved = collectResponses(group, bank_done, 1,
+                                    ptag_matches * cfg.highTagBits);
+        if (way) {
+            resolved = secondRoundTrip(group, resolved);
+            second_round = true;
+        }
+    }
+
+    // End-to-end ECC: a corrupted response is detected at the
+    // controller and fetched again (paper Section 4).
+    if (cfg.lineErrorRate > 0.0 &&
+        errorRng.chance(cfg.lineErrorRate)) {
+        ++eccRetries;
+        resolved = secondRoundTrip(group, resolved);
+        second_round = true;
+    }
+
+    Tick latency = resolved - now;
+    lookupLatency.sample(static_cast<double>(latency));
+    if (!second_round && latency == uncontendedLoadLatency(block_addr))
+        ++predictableLookups;
+
+    if (way) {
+        ++hits;
+        ++useCounter;
+        array.touch(frame, *way, useCounter, false);
+        // Deliver through the event queue so the L1 observes the fill
+        // at the correct simulated time (keeping its MSHR open until
+        // then for coalescing).
+        eventq.scheduleFunc(resolved, [cb = std::move(cb), resolved]() {
+            cb(resolved);
+        });
+    } else {
+        handleMiss(block_addr, resolved, std::move(cb));
+    }
+}
+
+Tick
+TlcCache::secondRoundTrip(int group, Tick start)
+{
+    auto bank_done = sendRequests(group, start, reqCycles);
+    const int slice_bits = mem::blockBytes * 8 / cfg.banksPerBlock;
+    return collectResponses(group, bank_done, respCycles, slice_bits);
+}
+
+void
+TlcCache::handleWrite(Addr block_addr, Tick now, bool is_fill)
+{
+    int group = groupOf(block_addr);
+    auto &array = arrays[static_cast<std::size_t>(group)];
+    Addr frame = frameAddr(block_addr);
+    const int slice_bits = mem::blockBytes * 8 / cfg.banksPerBlock;
+
+    // Push the slices down to the banks (no tag comparison needed:
+    // the TLC designs are exclusive write-back caches).
+    std::vector<Tick> arrivals(
+        static_cast<std::size_t>(cfg.banksPerBlock));
+    for (int m = 0; m < cfg.banksPerBlock; ++m) {
+        int bank = bankOf(group, m);
+        int pair = pairOf(bank);
+        const PairLayout &lay = floorplan.pair(pair);
+        Tick start = downLinks[static_cast<std::size_t>(pair)].reserve(
+            now, static_cast<Cycles>(reqCycles + dataDownCycles));
+        Tick arrival =
+            start + static_cast<Tick>(reqCycles + dataDownCycles - 1) +
+            static_cast<Tick>(floorplan.oneWayCycles(pair));
+        bankPorts[static_cast<std::size_t>(bank)].reserve(
+            arrival, static_cast<Cycles>(bankCycles));
+        arrivals[static_cast<std::size_t>(m)] = arrival;
+        networkEnergy += (requestBits + slice_bits) * 0.5 *
+                         lay.energyPerBit;
+    }
+
+    ++useCounter;
+    auto way = array.lookup(frame);
+    if (way) {
+        array.touch(frame, *way, useCounter, !is_fill);
+        return;
+    }
+
+    if (is_fill)
+        ++inserts;
+    auto evicted = array.insert(frame, useCounter, !is_fill);
+    if (evicted && evicted->dirty) {
+        ++writebacksToMemory;
+        // Victim slices travel up to the controller, then to memory.
+        Tick victim_ready = 0;
+        for (int m = 0; m < cfg.banksPerBlock; ++m) {
+            int bank = bankOf(group, m);
+            int pair = pairOf(bank);
+            const PairLayout &lay = floorplan.pair(pair);
+            Tick avail = arrivals[static_cast<std::size_t>(m)] +
+                         static_cast<Tick>(bankCycles);
+            Tick start =
+                upLinks[static_cast<std::size_t>(pair)].reserve(
+                    avail, static_cast<Cycles>(respCycles));
+            Tick done = start + static_cast<Tick>(respCycles - 1) +
+                        static_cast<Tick>(floorplan.oneWayCycles(pair));
+            victim_ready = std::max(victim_ready, done);
+            networkEnergy += slice_bits * 0.5 * lay.energyPerBit;
+        }
+        Addr victim_addr =
+            (evicted->blockAddr << __builtin_ctz(cfg.groups())) |
+            static_cast<Addr>(group);
+        eventq.scheduleFunc(victim_ready,
+                            [this, victim_addr, victim_ready]() {
+                                dram.write(victim_addr, victim_ready);
+                            });
+    }
+}
+
+void
+TlcCache::handleMiss(Addr block_addr, Tick miss_time,
+                     mem::RespCallback cb)
+{
+    ++misses;
+    dram.read(block_addr, miss_time,
+              [this, block_addr, cb = std::move(cb)](Tick ready) {
+                  cb(ready);
+                  handleWrite(block_addr, ready, true);
+              });
+}
+
+void
+TlcCache::beginMeasurement()
+{
+    for (auto &link : downLinks)
+        link.resetStats();
+    for (auto &link : upLinks)
+        link.resetStats();
+    for (auto &port : bankPorts)
+        port.resetStats();
+}
+
+void
+TlcCache::syncStats()
+{
+    std::uint64_t busy = 0;
+    for (const auto &link : downLinks)
+        busy += link.busyCycles();
+    for (const auto &link : upLinks)
+        busy += link.busyCycles();
+    linkBusyCycles = static_cast<double>(busy);
+}
+
+} // namespace tlc
+} // namespace tlsim

@@ -1,0 +1,151 @@
+/**
+ * @file
+ * The Transmission Line Cache designs (paper Section 4).
+ *
+ * A TLC decouples storage from the controller: banks on the die edges
+ * talk to a central controller over point-to-point transmission-line
+ * links shared by bank pairs. The base design stores whole blocks in
+ * one bank; the optimized designs stripe blocks across banksPerBlock
+ * banks (each on a different pair, so slices move in parallel), check
+ * a 6-bit partial tag at the bank, and resolve the full tag at the
+ * controller — including the rare multiple-partial-match second round
+ * trip.
+ */
+
+#ifndef TLSIM_TLC_TLCCACHE_HH
+#define TLSIM_TLC_TLCCACHE_HH
+
+#include <vector>
+
+#include "cacti/srambank.hh"
+#include "mem/l2cache.hh"
+#include "mem/setassoc.hh"
+#include "noc/link.hh"
+#include "phys/technology.hh"
+#include "sim/rng.hh"
+#include "tlc/config.hh"
+#include "tlc/floorplan.hh"
+
+namespace tlsim
+{
+namespace tlc
+{
+
+/**
+ * A member of the TLC design family (base or optimized).
+ */
+class TlcCache : public mem::L2Cache
+{
+  public:
+    TlcCache(EventQueue &eq, stats::StatGroup *parent, mem::Dram &dram,
+             const phys::Technology &tech, const TlcConfig &config);
+
+    void access(Addr block_addr, mem::AccessType type, Tick now,
+                mem::RespCallback cb) override;
+
+    void accessFunctional(Addr block_addr,
+                          mem::AccessType type) override;
+
+    int linkCount() const override { return 2 * cfg.pairs(); }
+    std::string designName() const override { return cfg.name; }
+
+    void syncStats() override;
+
+    void beginMeasurement() override;
+
+    const TlcConfig &config() const { return cfg; }
+    const TlcFloorplan &layout() const { return floorplan; }
+
+    int bankAccessCycles() const { return bankCycles; }
+
+    /** Uncontended load latency for a specific block. */
+    Cycles uncontendedLoadLatency(Addr block_addr) const;
+
+    /** Min/max uncontended load latency over all groups (Table 2). */
+    std::pair<Cycles, Cycles> latencyRange() const;
+
+  private:
+    TlcConfig cfg;
+    TlcFloorplan floorplan;
+    cacti::SramBankModel bankModel;
+    int bankCycles;
+    /** Per-pair down (controller->banks) and up links. */
+    std::vector<noc::Link> downLinks;
+    std::vector<noc::Link> upLinks;
+    std::vector<noc::Link> bankPorts;
+
+  public:
+    /** Optimized-design stats. */
+    stats::Scalar multiMatches;
+    stats::Scalar falseMatches;
+    /** End-to-end ECC retries (lineErrorRate > 0). */
+    stats::Scalar eccRetries;
+
+  private:
+    /** Bank group a block maps to. */
+    int
+    groupOf(Addr block_addr) const
+    {
+        return static_cast<int>(block_addr &
+                                static_cast<Addr>(cfg.groups() - 1));
+    }
+
+    /** Address presented to the group's set-associative array. */
+    Addr
+    frameAddr(Addr block_addr) const
+    {
+        return block_addr >> __builtin_ctz(cfg.groups());
+    }
+
+    /** Member bank m of group g. */
+    int
+    bankOf(int group, int member) const
+    {
+        return group * cfg.banksPerBlock + member;
+    }
+
+    /** Pair whose links serve a bank (members span distinct pairs). */
+    int pairOf(int bank) const { return bank % cfg.pairs(); }
+
+    /** Handle a demand read. */
+    void handleLoad(Addr block_addr, Tick now, mem::RespCallback cb);
+
+    /** Handle a store / writeback (also used for fills). */
+    void handleWrite(Addr block_addr, Tick now, bool is_fill);
+
+    /** Second round trip after a multiple partial-tag match. */
+    Tick secondRoundTrip(int group, Tick start);
+
+    /** Miss path: DRAM fetch, fill, respond. */
+    void handleMiss(Addr block_addr, Tick miss_time,
+                    mem::RespCallback cb);
+
+    /**
+     * Reserve the request path to every member bank and return, per
+     * member, the tick its bank access completes; also accounts
+     * request energy.
+     */
+    std::vector<Tick> sendRequests(int group, Tick now, int req_cycles);
+
+    /**
+     * Reserve response paths of @p resp_cycles for every member and
+     * return the max first-word arrival at the controller.
+     */
+    Tick collectResponses(int group, const std::vector<Tick> &bank_done,
+                          int resp_cycles, int payload_bits);
+
+    std::vector<mem::SetAssocArray> arrays;
+    std::uint64_t useCounter = 0;
+    /** Deterministic error-injection source. */
+    Rng errorRng{0xecc5eedULL};
+
+    /** Serialization constants (cycles). */
+    int reqCycles;
+    int respCycles; // per-bank read response
+    int dataDownCycles; // per-bank fill/store payload
+};
+
+} // namespace tlc
+} // namespace tlsim
+
+#endif // TLSIM_TLC_TLCCACHE_HH

@@ -1,0 +1,145 @@
+#include "workload/generator.hh"
+
+#include <algorithm>
+
+namespace tlsim
+{
+namespace workload
+{
+
+TraceGenerator::TraceGenerator(const BenchmarkProfile &profile,
+                               std::uint64_t run_seed)
+    : prof(profile),
+      rng(profile.seed * 0x9e3779b97f4a7c15ULL + run_seed),
+      curIBlock(instrBase)
+{
+    TLSIM_ASSERT(prof.hotFrac + prof.warmFrac <= 1.0,
+                 "profile '{}' fractions exceed 1", prof.name);
+    instrToNextIFetch =
+        1 + rng.geometric(std::max(1.0, prof.instrPerIBlock) - 1.0);
+
+    // Convert mispredicts/1K-instr into a per-jump probability.
+    double jumps_per_1k =
+        1000.0 / std::max(1.0, prof.instrPerIBlock) * prof.jumpProb;
+    if (jumps_per_1k > 0.0) {
+        mispredictPerJump =
+            std::min(1.0, prof.mispredictsPer1k / jumps_per_1k);
+    }
+}
+
+std::uint64_t
+TraceGenerator::scramble(std::uint64_t r, std::uint64_t n)
+{
+    if (n <= 2)
+        return r;
+    std::uint64_t m = 1;
+    while (m < n)
+        m <<= 1;
+    do {
+        r = (r * 0x9E3779B97F4A7C15ULL) & (m - 1);
+    } while (r >= n);
+    return r;
+}
+
+Addr
+TraceGenerator::tagScramble(Addr block)
+{
+    // XOR bits 16..23 with a hash of the untouched bits: injective,
+    // keeps the block in its (>= 2^24-spaced) region, preserves
+    // every design's set-index bits (< 16), and gives the tag bits
+    // the random low-order structure real address streams have —
+    // without it the power-of-two-aligned regions would collide
+    // systematically in the 6-bit partial tags.
+    constexpr Addr mask = Addr(0xFF) << 16;
+    Addr keep = block & ~mask;
+    std::uint64_t h = keep * 0x9E3779B97F4A7C15ULL;
+    return block ^ ((h >> 32) & mask);
+}
+
+void
+TraceGenerator::drawDataOp()
+{
+    pendingData = cpu::TraceRecord{};
+    pendingData.isIFetch = false;
+    pendingData.type = rng.chance(prof.storeFrac)
+                           ? mem::AccessType::Store
+                           : mem::AccessType::Load;
+    pendingData.dependsOnPrev = rng.chance(prof.depFrac);
+
+    double u = rng.real();
+    if (u < prof.hotFrac) {
+        pendingData.blockAddr = hotBase + rng.below(prof.hotBlocks);
+    } else if (u < prof.hotFrac + prof.warmFrac) {
+        Addr block;
+        if (!recentWarm.empty() && rng.chance(prof.warmReuseFrac)) {
+            // Temporally clustered re-reference of a recent block.
+            block = recentWarm[rng.below(recentWarm.size())];
+        } else {
+            block = warmBase +
+                    scramble(rng.zipf(prof.warmBlocks, prof.zipfS),
+                             prof.warmBlocks);
+            if (recentWarm.size() < prof.reuseWindow) {
+                recentWarm.push_back(block);
+            } else {
+                recentWarm[recentWarmNext] = block;
+                recentWarmNext =
+                    (recentWarmNext + 1) % recentWarm.size();
+            }
+        }
+        pendingData.blockAddr = block;
+    } else {
+        pendingData.blockAddr =
+            streamBase + (streamPtr % prof.streamBlocks);
+        ++streamPtr;
+    }
+
+    // Slow working-set churn: touch a brand-new block.
+    if (prof.churnFrac > 0.0 && rng.chance(prof.churnFrac))
+        pendingData.blockAddr = churnBase + churnPtr++;
+
+    pendingData.blockAddr = tagScramble(pendingData.blockAddr);
+
+    remainingGap = rng.geometric(std::max(1.0, prof.instrPerMem) - 1.0);
+    havePendingData = true;
+}
+
+Addr
+TraceGenerator::nextInstrBlock(bool jumped)
+{
+    if (jumped) {
+        curIBlock = instrBase + rng.zipf(prof.iBlocks, prof.iZipfS);
+    } else {
+        Addr offset = curIBlock - instrBase;
+        curIBlock = instrBase + ((offset + 1) % prof.iBlocks);
+    }
+    return curIBlock;
+}
+
+cpu::TraceRecord
+TraceGenerator::next()
+{
+    if (!havePendingData)
+        drawDataOp();
+
+    if (instrToNextIFetch <= remainingGap) {
+        cpu::TraceRecord rec;
+        rec.isIFetch = true;
+        rec.gap = static_cast<std::uint32_t>(instrToNextIFetch);
+        bool jumped = rng.chance(prof.jumpProb);
+        rec.blockAddr = tagScramble(nextInstrBlock(jumped));
+        rec.mispredict = jumped && rng.chance(mispredictPerJump);
+        remainingGap -= instrToNextIFetch;
+        instrToNextIFetch =
+            1 + rng.geometric(std::max(1.0, prof.instrPerIBlock) - 1.0);
+        return rec;
+    }
+
+    cpu::TraceRecord rec = pendingData;
+    rec.gap = static_cast<std::uint32_t>(remainingGap);
+    instrToNextIFetch -= remainingGap + 1; // the op itself counts
+    havePendingData = false;
+    return rec;
+}
+
+} // namespace workload
+} // namespace tlsim

@@ -1,0 +1,314 @@
+#include "workload/profile.hh"
+
+#include "sim/logging.hh"
+
+namespace tlsim
+{
+namespace workload
+{
+
+namespace
+{
+
+/**
+ * Calibration notes. The knobs below were tuned so the measured
+ * Table 6 columns (L2 demand requests and misses per 1K instructions,
+ * DNUCA close-hit rate) land near the paper's values:
+ *  - warmFrac x (1 - warmReuseFrac) sets the L2 demand request rate;
+ *  - streamFrac sets the streaming (always-miss) rate;
+ *  - churnFrac sets the steady-state cold-miss trickle;
+ *  - zipfS concentrates L2 reuse (drives DNUCA close-hit rate);
+ *  - ilpQuanta / depFrac / mispredictsPer1k set the absolute IPC,
+ *    which fixes the request *rate* seen by the network (Table 9
+ *    power, Figure 7 utilization).
+ */
+std::vector<BenchmarkProfile>
+buildProfiles()
+{
+    std::vector<BenchmarkProfile> profiles;
+
+    // SPECint 2000 ------------------------------------------------
+    {
+        BenchmarkProfile p;
+        p.name = "bzip";
+        p.instrPerMem = 3.5;
+        p.storeFrac = 0.3;
+        p.hotBlocks = 320;
+        p.hotFrac = 0.935;
+        p.warmBlocks = 32768; // ~2 MB
+        p.warmFrac = 0.055;
+        p.zipfS = 0.95;
+        p.streamBlocks = 4096; // reused buffer, L2 resident
+        p.churnFrac = 0.00018;
+        p.iBlocks = 256;
+        p.jumpProb = 0.05;
+        p.depFrac = 0.25;
+        p.mispredictsPer1k = 5.0;
+        p.ilpQuanta = 3;
+        p.seed = 11;
+        profiles.push_back(p);
+    }
+    {
+        BenchmarkProfile p;
+        p.name = "gcc";
+        p.instrPerMem = 3.5;
+        p.storeFrac = 0.35;
+        p.hotBlocks = 384;
+        p.hotFrac = 0.42;
+        p.warmBlocks = 49152; // ~3 MB
+        p.warmFrac = 0.55;
+        p.zipfS = 0.95;
+        p.streamBlocks = 8192;
+        p.churnFrac = 0.00024;
+        p.iBlocks = 1024;
+        p.jumpProb = 0.15;
+        p.depFrac = 0.2;
+        p.mispredictsPer1k = 6.0;
+        p.ilpQuanta = 3;
+        p.seed = 12;
+        profiles.push_back(p);
+    }
+    {
+        BenchmarkProfile p;
+        p.name = "mcf";
+        p.instrPerMem = 3.0;
+        p.storeFrac = 0.2;
+        p.hotBlocks = 256;
+        p.hotFrac = 0.45;
+        p.warmBlocks = 180224; // ~11 MB: large memory footprint
+        p.warmFrac = 0.52;
+        p.zipfS = 0.55;
+        p.streamBlocks = 16384;
+        p.churnFrac = 0.00007;
+        p.iBlocks = 256;
+        p.jumpProb = 0.05;
+        p.depFrac = 0.7; // pointer chasing
+        p.mispredictsPer1k = 6.0;
+        p.ilpQuanta = 3;
+        p.seed = 13;
+        profiles.push_back(p);
+    }
+    {
+        BenchmarkProfile p;
+        p.name = "perl";
+        p.instrPerMem = 4.0;
+        p.storeFrac = 0.35;
+        p.hotBlocks = 400;
+        p.hotFrac = 0.960;
+        p.warmBlocks = 24576; // ~1.5 MB
+        p.warmFrac = 0.035;
+        p.zipfS = 1.0;
+        p.streamBlocks = 2048;
+        p.churnFrac = 0.0001;
+        p.iBlocks = 768;
+        p.jumpProb = 0.12;
+        p.depFrac = 0.25;
+        p.mispredictsPer1k = 5.0;
+        p.ilpQuanta = 3;
+        p.seed = 14;
+        profiles.push_back(p);
+    }
+
+    // SPECfp 2000 -------------------------------------------------
+    {
+        BenchmarkProfile p;
+        p.name = "equake";
+        p.instrPerMem = 3.5;
+        p.storeFrac = 0.25;
+        p.hotBlocks = 256;
+        p.hotFrac = 0.955;
+        p.warmBlocks = 131072; // ~8 MB, slowly revisited
+        p.warmFrac = 0.024;
+        p.zipfS = 0.40;
+        p.warmReuseFrac = 0.6;
+        p.reuseWindow = 4096; // re-touches escape the L1, reach L2
+        p.streamBlocks = 2097152; // 128 MB, no reuse
+        p.iBlocks = 128;
+        p.jumpProb = 0.03;
+        p.depFrac = 0.1;
+        p.mispredictsPer1k = 1.0;
+        p.ilpQuanta = 2;
+        p.seed = 15;
+        profiles.push_back(p);
+    }
+    {
+        BenchmarkProfile p;
+        p.name = "swim";
+        p.instrPerMem = 3.0;
+        p.storeFrac = 0.35;
+        p.hotBlocks = 192;
+        p.hotFrac = 0.863;
+        p.warmBlocks = 8192;
+        p.warmFrac = 0.005;
+        p.zipfS = 0.5;
+        p.streamBlocks = 4194304; // 256 MB streams
+        p.iBlocks = 96;
+        p.jumpProb = 0.02;
+        p.depFrac = 0.1;
+        p.mispredictsPer1k = 1.0;
+        p.ilpQuanta = 2;
+        p.seed = 16;
+        profiles.push_back(p);
+    }
+    {
+        BenchmarkProfile p;
+        p.name = "applu";
+        p.instrPerMem = 3.5;
+        p.storeFrac = 0.35;
+        p.hotBlocks = 192;
+        p.hotFrac = 0.941;
+        p.warmBlocks = 8192;
+        p.warmFrac = 0.003;
+        p.zipfS = 0.5;
+        p.streamBlocks = 2097152;
+        p.iBlocks = 96;
+        p.jumpProb = 0.02;
+        p.depFrac = 0.1;
+        p.mispredictsPer1k = 1.0;
+        p.ilpQuanta = 2;
+        p.seed = 17;
+        profiles.push_back(p);
+    }
+    {
+        BenchmarkProfile p;
+        p.name = "lucas";
+        p.instrPerMem = 3.5;
+        p.storeFrac = 0.3;
+        p.hotBlocks = 192;
+        p.hotFrac = 0.947;
+        p.warmBlocks = 16384;
+        p.warmFrac = 0.008;
+        p.zipfS = 0.5;
+        p.streamBlocks = 2097152;
+        p.iBlocks = 96;
+        p.jumpProb = 0.02;
+        p.depFrac = 0.1;
+        p.mispredictsPer1k = 1.0;
+        p.ilpQuanta = 2;
+        p.seed = 18;
+        profiles.push_back(p);
+    }
+
+    // Commercial --------------------------------------------------
+    {
+        BenchmarkProfile p;
+        p.name = "apache";
+        p.instrPerMem = 3.5;
+        p.storeFrac = 0.3;
+        p.hotBlocks = 384;
+        p.hotFrac = 0.925;
+        p.warmBlocks = 262144; // ~16 MB of files/metadata
+        p.warmFrac = 0.065;
+        p.zipfS = 0.80;
+        p.reuseWindow = 4096;
+        p.streamBlocks = 524288; // 32 MB of cold files
+        p.churnFrac = 0.0002;
+        p.iBlocks = 2048;
+        p.jumpProb = 0.3;
+        p.iZipfS = 1.1;
+        p.instrPerIBlock = 12.0;
+        p.depFrac = 0.25;
+        p.mispredictsPer1k = 6.0;
+        p.ilpQuanta = 4;
+        p.seed = 19;
+        profiles.push_back(p);
+    }
+    {
+        BenchmarkProfile p;
+        p.name = "zeus";
+        p.instrPerMem = 3.5;
+        p.storeFrac = 0.3;
+        p.hotBlocks = 384;
+        p.hotFrac = 0.925;
+        p.warmBlocks = 262144;
+        p.warmFrac = 0.060;
+        p.zipfS = 0.72;
+        p.reuseWindow = 4096;
+        p.streamBlocks = 786432; // 48 MB
+        p.churnFrac = 0.0002;
+        p.iBlocks = 1792;
+        p.jumpProb = 0.3;
+        p.iZipfS = 1.1;
+        p.instrPerIBlock = 12.0;
+        p.depFrac = 0.25;
+        p.mispredictsPer1k = 6.0;
+        p.ilpQuanta = 4;
+        p.seed = 20;
+        profiles.push_back(p);
+    }
+    {
+        BenchmarkProfile p;
+        p.name = "sjbb";
+        p.instrPerMem = 3.5;
+        p.storeFrac = 0.35;
+        p.hotBlocks = 320;
+        p.hotFrac = 0.960;
+        p.warmBlocks = 196608; // ~12 MB of warehouse data
+        p.warmFrac = 0.035;
+        p.zipfS = 0.65;
+        p.reuseWindow = 4096;
+        p.streamBlocks = 655360; // 40 MB
+        p.churnFrac = 0.0005;
+        p.iBlocks = 1536;
+        p.jumpProb = 0.25;
+        p.iZipfS = 1.15;
+        p.instrPerIBlock = 14.0;
+        p.depFrac = 0.25;
+        p.mispredictsPer1k = 5.0;
+        p.ilpQuanta = 4;
+        p.seed = 21;
+        profiles.push_back(p);
+    }
+    {
+        BenchmarkProfile p;
+        p.name = "oltp";
+        p.instrPerMem = 3.5;
+        p.storeFrac = 0.35;
+        p.hotBlocks = 448;
+        p.hotFrac = 0.9925;
+        p.warmBlocks = 131072; // ~8 MB of buffer pool
+        p.warmFrac = 0.004;
+        p.zipfS = 0.75;
+        p.reuseWindow = 4096;
+        p.streamBlocks = 1048576; // 64 MB database
+        p.churnFrac = 0.0001;
+        p.iBlocks = 2048;
+        p.jumpProb = 0.25;
+        p.iZipfS = 1.1;
+        p.instrPerIBlock = 12.0;
+        p.depFrac = 0.3;
+        p.mispredictsPer1k = 6.0;
+        p.ilpQuanta = 4;
+        p.seed = 22;
+        profiles.push_back(p);
+    }
+
+    // Fix up stream fractions implied by hot/warm (documented
+    // targets): bzip 1.0%, gcc 2.0%, mcf 3.0%, perl 0.5%, equake
+    // 2.1%, swim 12%, applu 5.6%, lucas 4.5%, apache 1.7%, zeus
+    // 2.2%, sjbb 0.8%, oltp 0.3% (streamFrac = 1 - hot - warm).
+    return profiles;
+}
+
+} // namespace
+
+const std::vector<BenchmarkProfile> &
+paperBenchmarks()
+{
+    static const std::vector<BenchmarkProfile> profiles =
+        buildProfiles();
+    return profiles;
+}
+
+const BenchmarkProfile &
+profileByName(const std::string &name)
+{
+    for (const auto &profile : paperBenchmarks()) {
+        if (profile.name == name)
+            return profile;
+    }
+    fatal("unknown benchmark profile '{}'", name);
+}
+
+} // namespace workload
+} // namespace tlsim

@@ -1,0 +1,109 @@
+/**
+ * @file
+ * Tests for the coupled-line crosstalk model: the paper's shielding
+ * scheme keeps neighbour noise within budget, unshielded bundles do
+ * not.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/logging.hh"
+
+#include "phys/crosstalk.hh"
+#include "phys/geometry.hh"
+
+using namespace tlsim::phys;
+
+namespace
+{
+
+CrosstalkModel
+model()
+{
+    return CrosstalkModel(tech45());
+}
+
+} // namespace
+
+TEST(Crosstalk, ShieldedTable1LinesWithinBudget)
+{
+    auto xt = model();
+    for (const auto &spec : paperTable1Lines()) {
+        auto result = xt.analyze(spec.geometry, spec.length, true);
+        EXPECT_TRUE(result.withinBudget())
+            << "len " << spec.length << " noise "
+            << result.worstNoise();
+    }
+}
+
+TEST(Crosstalk, UnshieldedLinesNearOrOverBudget)
+{
+    // Without shields the denser design points bust the budget
+    // outright; even the widest-spaced line sits right at the edge
+    // with no margin for the other noise sources.
+    auto xt = model();
+    for (const auto &spec : paperTable1Lines()) {
+        auto result = xt.analyze(spec.geometry, spec.length, false);
+        EXPECT_GT(result.worstNoise(), 0.12)
+            << "len " << spec.length;
+    }
+    auto narrow =
+        xt.analyze(paperTable1Lines()[0].geometry,
+                   paperTable1Lines()[0].length, false);
+    EXPECT_FALSE(narrow.withinBudget());
+}
+
+TEST(Crosstalk, ShieldCutsCouplingByAnOrderOfMagnitude)
+{
+    auto xt = model();
+    const auto &spec = paperTable1Lines()[1];
+    auto bare = xt.analyze(spec.geometry, spec.length, false);
+    auto shielded = xt.analyze(spec.geometry, spec.length, true);
+    EXPECT_LT(shielded.capacitiveRatio,
+              0.1 * bare.capacitiveRatio);
+    EXPECT_LT(shielded.inductiveRatio, 0.5 * bare.inductiveRatio);
+    EXPECT_LT(shielded.worstNoise(), bare.worstNoise());
+}
+
+TEST(Crosstalk, NearEndSaturatesWithLength)
+{
+    auto xt = model();
+    const auto &geom = paperTable1Lines()[0].geometry;
+    auto near = xt.analyze(geom, 0.2e-2, false);
+    auto far = xt.analyze(geom, 1.3e-2, false);
+    // Backward crosstalk saturates once the line is longer than the
+    // edge: the two long lines agree.
+    EXPECT_NEAR(far.nearEnd, near.nearEnd, 0.05);
+}
+
+TEST(Crosstalk, RatiosAreFractions)
+{
+    auto xt = model();
+    for (const auto &spec : paperTable1Lines()) {
+        for (bool shielded : {false, true}) {
+            auto r = xt.analyze(spec.geometry, spec.length, shielded);
+            EXPECT_GE(r.capacitiveRatio, 0.0);
+            EXPECT_LE(r.capacitiveRatio, 1.0);
+            EXPECT_GE(r.inductiveRatio, 0.0);
+            EXPECT_LE(r.inductiveRatio, 1.0);
+            EXPECT_GE(r.farEnd, 0.0);
+            EXPECT_LE(r.farEnd, 1.0);
+        }
+    }
+}
+
+TEST(Crosstalk, SlowerEdgesCoupleLess)
+{
+    auto xt = model();
+    const auto &spec = paperTable1Lines()[2];
+    auto fast = xt.analyze(spec.geometry, spec.length, true, 5e-12);
+    auto slow = xt.analyze(spec.geometry, spec.length, true, 50e-12);
+    EXPECT_LE(slow.farEnd, fast.farEnd);
+}
+
+TEST(Crosstalk, BadQueryPanics)
+{
+    auto xt = model();
+    EXPECT_THROW(xt.analyze(paperTable1Lines()[0].geometry, 0.0, true),
+                 tlsim::PanicError);
+}

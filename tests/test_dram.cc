@@ -1,0 +1,113 @@
+/**
+ * @file
+ * Unit tests for the DRAM model (300 cycles, 8 outstanding).
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "mem/dram.hh"
+#include "sim/eventq.hh"
+#include "sim/stats.hh"
+
+using namespace tlsim;
+using namespace tlsim::mem;
+
+TEST(Dram, ReadLatency300)
+{
+    EventQueue eq;
+    stats::StatGroup root("root");
+    Dram dram(eq, &root);
+    Tick done = 0;
+    dram.read(0x10, 0, [&](Tick t) { done = t; });
+    eq.run();
+    EXPECT_EQ(done, 300u);
+}
+
+TEST(Dram, CustomLatency)
+{
+    EventQueue eq;
+    stats::StatGroup root("root");
+    Dram dram(eq, &root, 100, 4);
+    Tick done = 0;
+    dram.read(0x10, 50, [&](Tick t) { done = t; });
+    eq.run();
+    EXPECT_EQ(done, 150u);
+}
+
+TEST(Dram, EightOverlapOutstanding)
+{
+    EventQueue eq;
+    stats::StatGroup root("root");
+    Dram dram(eq, &root);
+    std::vector<Tick> done;
+    for (int i = 0; i < 8; ++i)
+        dram.read(i, 0, [&](Tick t) { done.push_back(t); });
+    eq.run();
+    ASSERT_EQ(done.size(), 8u);
+    for (Tick t : done)
+        EXPECT_EQ(t, 300u); // all in parallel
+}
+
+TEST(Dram, NinthRequestQueues)
+{
+    EventQueue eq;
+    stats::StatGroup root("root");
+    Dram dram(eq, &root);
+    std::vector<Tick> done;
+    for (int i = 0; i < 9; ++i)
+        dram.read(i, 0, [&](Tick t) { done.push_back(t); });
+    eq.run();
+    ASSERT_EQ(done.size(), 9u);
+    EXPECT_EQ(done.back(), 600u); // waited for a slot
+}
+
+TEST(Dram, WritesConsumeSlots)
+{
+    EventQueue eq;
+    stats::StatGroup root("root");
+    Dram dram(eq, &root);
+    for (int i = 0; i < 8; ++i)
+        dram.write(i, 0);
+    Tick done = 0;
+    dram.read(99, 0, [&](Tick t) { done = t; });
+    eq.run();
+    EXPECT_EQ(done, 600u);
+}
+
+TEST(Dram, StatsCountReadsAndWrites)
+{
+    EventQueue eq;
+    stats::StatGroup root("root");
+    Dram dram(eq, &root);
+    dram.read(1, 0, [](Tick) {});
+    dram.write(2, 0);
+    dram.write(3, 0);
+    eq.run();
+    EXPECT_EQ(dram.reads.value(), 1.0);
+    EXPECT_EQ(dram.writes.value(), 2.0);
+}
+
+TEST(Dram, InServiceTracksOutstanding)
+{
+    EventQueue eq;
+    stats::StatGroup root("root");
+    Dram dram(eq, &root);
+    dram.read(1, 0, [](Tick) {});
+    EXPECT_EQ(dram.inService(), 1);
+    eq.run();
+    EXPECT_EQ(dram.inService(), 0);
+}
+
+TEST(Dram, QueueDelayMeasured)
+{
+    EventQueue eq;
+    stats::StatGroup root("root");
+    Dram dram(eq, &root, 300, 1);
+    dram.read(1, 0, [](Tick) {});
+    dram.read(2, 0, [](Tick) {});
+    eq.run();
+    EXPECT_EQ(dram.queueDelay.count(), 2u);
+    EXPECT_GT(dram.queueDelay.maxValue(), 0.0);
+}

@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Unit tests for the transmission-line signalling scheme models.
+ */
+
+#include <gtest/gtest.h>
+
+#include "phys/drivers.hh"
+#include "phys/technology.hh"
+
+using namespace tlsim::phys;
+
+namespace
+{
+
+TransmissionLine
+line()
+{
+    return TransmissionLine(tech45(), 1.1e-2);
+}
+
+} // namespace
+
+TEST(Drivers, ThreeSchemesModeled)
+{
+    EXPECT_EQ(allDriverKinds().size(), 3u);
+}
+
+TEST(Drivers, VoltageModeHasNoStaticPower)
+{
+    auto profile = evaluateDriver(tech45(), line(),
+                                  DriverKind::VoltageMode);
+    EXPECT_EQ(profile.staticPower, 0.0);
+    EXPECT_EQ(profile.wiresPerSignal, 1);
+    EXPECT_DOUBLE_EQ(profile.noiseMargin, 1.0);
+}
+
+TEST(Drivers, CurrentModeTradesStaticForDynamic)
+{
+    auto voltage = evaluateDriver(tech45(), line(),
+                                  DriverKind::VoltageMode);
+    auto current = evaluateDriver(tech45(), line(),
+                                  DriverKind::CurrentMode);
+    EXPECT_LT(current.dynamicEnergyPerBit, voltage.dynamicEnergyPerBit);
+    EXPECT_GT(current.staticPower, 0.0);
+    EXPECT_GT(current.noiseMargin, voltage.noiseMargin);
+}
+
+TEST(Drivers, DifferentialDoublesWires)
+{
+    auto diff = evaluateDriver(tech45(), line(),
+                               DriverKind::DifferentialCarrier);
+    EXPECT_EQ(diff.wiresPerSignal, 2);
+    EXPECT_GT(diff.noiseMargin, 2.0);
+    EXPECT_GT(diff.transistors,
+              2 * TransmissionLine::transistorsPerLine());
+}
+
+TEST(Drivers, VoltageModeWinsAtLowUtilization)
+{
+    // The paper's argument: with <2% link utilization, schemes with
+    // standing current burn more total power than voltage mode.
+    const auto &tech = tech45();
+    auto tl = line();
+    const double util = 0.01;
+    auto total = [&](DriverKind kind) {
+        auto p = evaluateDriver(tech, tl, kind);
+        return p.staticPower + util * tech.clockFreq *
+                                   tech.activityFactor *
+                                   p.dynamicEnergyPerBit;
+    };
+    EXPECT_LT(total(DriverKind::VoltageMode),
+              total(DriverKind::CurrentMode));
+    EXPECT_LT(total(DriverKind::VoltageMode),
+              total(DriverKind::DifferentialCarrier));
+}
+
+TEST(Drivers, CurrentModeWinsAtHighUtilization)
+{
+    // Conversely, a saturated link would favour current mode's lower
+    // per-bit energy.
+    const auto &tech = tech45();
+    auto tl = line();
+    const double util = 1.0;
+    auto dynamic_total = [&](DriverKind kind) {
+        auto p = evaluateDriver(tech, tl, kind);
+        return util * tech.clockFreq * tech.activityFactor *
+               p.dynamicEnergyPerBit;
+    };
+    EXPECT_LT(dynamic_total(DriverKind::CurrentMode),
+              dynamic_total(DriverKind::VoltageMode));
+}
+
+TEST(Drivers, EnergiesInPicojouleRange)
+{
+    for (DriverKind kind : allDriverKinds()) {
+        auto p = evaluateDriver(tech45(), line(), kind);
+        EXPECT_GT(p.dynamicEnergyPerBit, 1e-14) << p.name;
+        EXPECT_LT(p.dynamicEnergyPerBit, 1e-11) << p.name;
+    }
+}

@@ -1,0 +1,236 @@
+/**
+ * @file
+ * Unit tests for the discrete-event kernel.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/eventq.hh"
+
+using namespace tlsim;
+
+namespace
+{
+
+/** Records its firing tick into a shared log. */
+class LogEvent : public Event
+{
+  public:
+    LogEvent(std::vector<int> *log, int id)
+        : log(log), id(id)
+    {}
+
+    void process() override { log->push_back(id); }
+    const char *name() const override { return "LogEvent"; }
+
+  private:
+    std::vector<int> *log;
+    int id;
+};
+
+} // namespace
+
+TEST(EventQueue, StartsEmptyAtTickZero)
+{
+    EventQueue eq;
+    EXPECT_TRUE(eq.empty());
+    EXPECT_EQ(eq.now(), 0u);
+    EXPECT_EQ(eq.nextTick(), MaxTick);
+}
+
+TEST(EventQueue, FiresInTimeOrder)
+{
+    EventQueue eq;
+    std::vector<int> log;
+    LogEvent a(&log, 1), b(&log, 2), c(&log, 3);
+    eq.schedule(&b, 20);
+    eq.schedule(&a, 10);
+    eq.schedule(&c, 30);
+    eq.run();
+    EXPECT_EQ(log, (std::vector<int>{1, 2, 3}));
+    EXPECT_EQ(eq.now(), 30u);
+}
+
+TEST(EventQueue, TiesBreakByScheduleOrder)
+{
+    EventQueue eq;
+    std::vector<int> log;
+    LogEvent a(&log, 1), b(&log, 2), c(&log, 3);
+    eq.schedule(&c, 5);
+    eq.schedule(&a, 5);
+    eq.schedule(&b, 5);
+    eq.run();
+    EXPECT_EQ(log, (std::vector<int>{3, 1, 2}));
+}
+
+TEST(EventQueue, PriorityBeatsSequenceAtSameTick)
+{
+    EventQueue eq;
+    std::vector<int> log;
+    class PrioEvent : public LogEvent
+    {
+      public:
+        PrioEvent(std::vector<int> *log, int id, int prio)
+            : LogEvent(log, id)
+        {
+            (void)prio;
+        }
+    };
+    LogEvent low(&log, 1);
+    std::vector<int> *lp = &log;
+    eq.schedule(&low, 5);
+    eq.scheduleFunc(
+        5, [lp]() { lp->push_back(2); }, -1);
+    eq.run();
+    EXPECT_EQ(log, (std::vector<int>{2, 1}));
+}
+
+TEST(EventQueue, AdvanceToPartial)
+{
+    EventQueue eq;
+    std::vector<int> log;
+    LogEvent a(&log, 1), b(&log, 2);
+    eq.schedule(&a, 10);
+    eq.schedule(&b, 20);
+    eq.advanceTo(15);
+    EXPECT_EQ(log, (std::vector<int>{1}));
+    EXPECT_EQ(eq.now(), 15u);
+    EXPECT_EQ(eq.size(), 1u);
+}
+
+TEST(EventQueue, AdvanceToInclusive)
+{
+    EventQueue eq;
+    std::vector<int> log;
+    LogEvent a(&log, 1);
+    eq.schedule(&a, 10);
+    eq.advanceTo(10);
+    EXPECT_EQ(log.size(), 1u);
+}
+
+TEST(EventQueue, DescheduleSkipsEvent)
+{
+    EventQueue eq;
+    std::vector<int> log;
+    LogEvent a(&log, 1), b(&log, 2);
+    eq.schedule(&a, 10);
+    eq.schedule(&b, 20);
+    eq.deschedule(&a);
+    EXPECT_FALSE(a.scheduled());
+    eq.run();
+    EXPECT_EQ(log, (std::vector<int>{2}));
+}
+
+TEST(EventQueue, RescheduleMovesEvent)
+{
+    EventQueue eq;
+    std::vector<int> log;
+    LogEvent a(&log, 1), b(&log, 2);
+    eq.schedule(&a, 10);
+    eq.schedule(&b, 20);
+    eq.reschedule(&a, 30);
+    eq.run();
+    EXPECT_EQ(log, (std::vector<int>{2, 1}));
+    EXPECT_EQ(eq.now(), 30u);
+}
+
+TEST(EventQueue, LambdaEventsSelfDelete)
+{
+    EventQueue eq;
+    int fired = 0;
+    eq.scheduleFunc(5, [&fired]() { ++fired; });
+    eq.scheduleFunc(6, [&fired]() { ++fired; });
+    eq.run();
+    EXPECT_EQ(fired, 2);
+    EXPECT_TRUE(eq.empty());
+}
+
+TEST(EventQueue, EventsScheduledDuringProcessing)
+{
+    EventQueue eq;
+    std::vector<Tick> ticks;
+    eq.scheduleFunc(10, [&]() {
+        ticks.push_back(eq.now());
+        eq.scheduleFunc(15, [&]() { ticks.push_back(eq.now()); });
+    });
+    eq.run();
+    EXPECT_EQ(ticks, (std::vector<Tick>{10, 15}));
+}
+
+TEST(EventQueue, SchedulingInPastPanics)
+{
+    EventQueue eq;
+    eq.scheduleFunc(10, []() {});
+    eq.run();
+    EXPECT_EQ(eq.now(), 10u);
+    EXPECT_THROW(eq.scheduleFunc(5, []() {}), PanicError);
+}
+
+TEST(EventQueue, DoubleSchedulePanics)
+{
+    EventQueue eq;
+    std::vector<int> log;
+    LogEvent a(&log, 1);
+    eq.schedule(&a, 10);
+    EXPECT_THROW(eq.schedule(&a, 20), PanicError);
+    eq.deschedule(&a);
+}
+
+TEST(EventQueue, RunUpToMaxTick)
+{
+    EventQueue eq;
+    int fired = 0;
+    eq.scheduleFunc(10, [&]() { ++fired; });
+    eq.scheduleFunc(100, [&]() { ++fired; });
+    eq.run(50);
+    EXPECT_EQ(fired, 1);
+    EXPECT_EQ(eq.now(), 50u);
+    eq.run();
+    EXPECT_EQ(fired, 2);
+}
+
+TEST(EventQueue, NextTickSeesEarliestLive)
+{
+    EventQueue eq;
+    std::vector<int> log;
+    LogEvent a(&log, 1), b(&log, 2);
+    eq.schedule(&a, 10);
+    eq.schedule(&b, 5);
+    EXPECT_EQ(eq.nextTick(), 5u);
+    eq.deschedule(&b);
+    EXPECT_EQ(eq.nextTick(), 10u);
+    eq.deschedule(&a);
+}
+
+TEST(EventQueue, SizeTracksLiveEvents)
+{
+    EventQueue eq;
+    std::vector<int> log;
+    LogEvent a(&log, 1), b(&log, 2);
+    eq.schedule(&a, 10);
+    eq.schedule(&b, 20);
+    EXPECT_EQ(eq.size(), 2u);
+    eq.deschedule(&a);
+    EXPECT_EQ(eq.size(), 1u);
+    eq.run();
+    EXPECT_EQ(eq.size(), 0u);
+}
+
+TEST(EventQueue, ManyEventsStressOrdering)
+{
+    EventQueue eq;
+    Tick last = 0;
+    bool monotone = true;
+    for (int i = 0; i < 1000; ++i) {
+        Tick when = static_cast<Tick>((i * 7919) % 1000 + 1);
+        eq.scheduleFunc(when, [&, when]() {
+            if (eq.now() < last)
+                monotone = false;
+            last = eq.now();
+        });
+    }
+    eq.run();
+    EXPECT_TRUE(monotone);
+}

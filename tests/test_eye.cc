@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Tests for the eye-diagram / inter-symbol-interference analysis of
+ * the pulse simulator (extension of the paper's single-pulse checks).
+ */
+
+#include <gtest/gtest.h>
+
+#include "phys/geometry.hh"
+#include "phys/pulse.hh"
+
+using namespace tlsim::phys;
+
+namespace
+{
+
+PulseSimulator
+sim()
+{
+    return PulseSimulator(tech45());
+}
+
+} // namespace
+
+TEST(Eye, Table1LinesKeepOpenEyes)
+{
+    // The paper's conservative 40%-of-cycle margin holds for random
+    // bit trains, not just isolated pulses.
+    auto ps = sim();
+    for (const auto &spec : paperTable1Lines()) {
+        EyeResult eye = ps.eyeDiagram(spec.geometry, spec.length, 48);
+        EXPECT_TRUE(eye.passes())
+            << "len " << spec.length << " height " << eye.eyeHeight
+            << " width " << eye.eyeWidth;
+    }
+}
+
+TEST(Eye, HeightBoundedByUnit)
+{
+    auto ps = sim();
+    const auto &spec = paperTable1Lines()[0];
+    EyeResult eye = ps.eyeDiagram(spec.geometry, spec.length, 32);
+    EXPECT_GT(eye.eyeHeight, 0.0);
+    EXPECT_LE(eye.eyeHeight, 1.0);
+    EXPECT_GE(eye.worstHigh, eye.worstLow);
+}
+
+TEST(Eye, LongerLineSmallerEye)
+{
+    auto ps = sim();
+    const auto &geom = paperTable1Lines()[0].geometry;
+    EyeResult near = ps.eyeDiagram(geom, 0.5e-2, 32);
+    EyeResult far = ps.eyeDiagram(geom, 1.5e-2, 32);
+    EXPECT_GT(near.eyeHeight, far.eyeHeight);
+}
+
+TEST(Eye, RcWireEyeCollapses)
+{
+    // The dispersive tail of a thin RC wire closes the eye at 10 GHz
+    // over a centimetre — why such wires need repeaters, not faster
+    // drivers.
+    auto ps = sim();
+    EyeResult eye = ps.eyeDiagram(conventionalGlobalWire(), 1.0e-2, 32);
+    EXPECT_FALSE(eye.passes());
+}
+
+TEST(Eye, DeterministicAcrossCalls)
+{
+    auto ps = sim();
+    const auto &spec = paperTable1Lines()[1];
+    EyeResult a = ps.eyeDiagram(spec.geometry, spec.length, 32, 7);
+    EyeResult b = ps.eyeDiagram(spec.geometry, spec.length, 32, 7);
+    EXPECT_DOUBLE_EQ(a.eyeHeight, b.eyeHeight);
+    EXPECT_DOUBLE_EQ(a.eyeWidth, b.eyeWidth);
+}
+
+TEST(Eye, DifferentSeedsSimilarEye)
+{
+    // The eye is a property of the channel, not the pattern: two
+    // random patterns agree to ~15%.
+    auto ps = sim();
+    const auto &spec = paperTable1Lines()[2];
+    EyeResult a = ps.eyeDiagram(spec.geometry, spec.length, 64, 1);
+    EyeResult b = ps.eyeDiagram(spec.geometry, spec.length, 64, 99);
+    EXPECT_NEAR(a.eyeHeight, b.eyeHeight, 0.15);
+}
+
+TEST(Eye, TrainWaveformSpansTrain)
+{
+    auto ps = sim();
+    const auto &spec = paperTable1Lines()[0];
+    auto wave = ps.trainWaveform(spec.geometry, spec.length, 16, 3);
+    EXPECT_GE(wave.size(), 16u * 32u);
+    double peak = 0.0;
+    for (double v : wave)
+        peak = std::max(peak, v);
+    EXPECT_GT(peak, 0.7);
+}

@@ -1,0 +1,136 @@
+/**
+ * @file
+ * Unit tests for the radix-2 FFT.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <complex>
+#include <vector>
+
+#include "phys/fft.hh"
+#include "sim/rng.hh"
+
+using namespace tlsim;
+using namespace tlsim::phys;
+
+using CVec = std::vector<std::complex<double>>;
+
+TEST(Fft, PowerOfTwoCheck)
+{
+    EXPECT_TRUE(isPowerOfTwo(1));
+    EXPECT_TRUE(isPowerOfTwo(2));
+    EXPECT_TRUE(isPowerOfTwo(1024));
+    EXPECT_FALSE(isPowerOfTwo(0));
+    EXPECT_FALSE(isPowerOfTwo(3));
+    EXPECT_FALSE(isPowerOfTwo(1000));
+}
+
+TEST(Fft, NonPowerOfTwoPanics)
+{
+    CVec data(12, {1.0, 0.0});
+    EXPECT_THROW(fft(data), PanicError);
+}
+
+TEST(Fft, ImpulseGivesFlatSpectrum)
+{
+    CVec data(8, {0.0, 0.0});
+    data[0] = {1.0, 0.0};
+    fft(data);
+    for (const auto &bin : data) {
+        EXPECT_NEAR(bin.real(), 1.0, 1e-12);
+        EXPECT_NEAR(bin.imag(), 0.0, 1e-12);
+    }
+}
+
+TEST(Fft, DcSignalGivesSingleBin)
+{
+    CVec data(16, {1.0, 0.0});
+    fft(data);
+    EXPECT_NEAR(data[0].real(), 16.0, 1e-9);
+    for (std::size_t k = 1; k < data.size(); ++k)
+        EXPECT_NEAR(std::abs(data[k]), 0.0, 1e-9);
+}
+
+TEST(Fft, SineConcentratesInOneBin)
+{
+    const std::size_t n = 64;
+    CVec data(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        data[i] = {std::sin(2.0 * M_PI * 5.0 * i / n), 0.0};
+    }
+    fft(data);
+    // Energy at bins 5 and n-5 only.
+    EXPECT_NEAR(std::abs(data[5]), n / 2.0, 1e-9);
+    EXPECT_NEAR(std::abs(data[n - 5]), n / 2.0, 1e-9);
+    EXPECT_NEAR(std::abs(data[3]), 0.0, 1e-9);
+}
+
+TEST(Fft, RoundTripIdentity)
+{
+    Rng rng(42);
+    CVec data(256);
+    for (auto &x : data)
+        x = {rng.real() - 0.5, rng.real() - 0.5};
+    CVec orig = data;
+    fft(data);
+    ifft(data);
+    for (std::size_t i = 0; i < data.size(); ++i) {
+        EXPECT_NEAR(data[i].real(), orig[i].real(), 1e-10);
+        EXPECT_NEAR(data[i].imag(), orig[i].imag(), 1e-10);
+    }
+}
+
+TEST(Fft, Linearity)
+{
+    Rng rng(7);
+    CVec a(64), b(64), sum(64);
+    for (std::size_t i = 0; i < 64; ++i) {
+        a[i] = {rng.real(), 0.0};
+        b[i] = {rng.real(), 0.0};
+        sum[i] = a[i] + b[i];
+    }
+    fft(a);
+    fft(b);
+    fft(sum);
+    for (std::size_t i = 0; i < 64; ++i)
+        EXPECT_NEAR(std::abs(sum[i] - a[i] - b[i]), 0.0, 1e-9);
+}
+
+TEST(Fft, ParsevalEnergyConserved)
+{
+    Rng rng(9);
+    CVec data(128);
+    double time_energy = 0.0;
+    for (auto &x : data) {
+        x = {rng.real() - 0.5, 0.0};
+        time_energy += std::norm(x);
+    }
+    fft(data);
+    double freq_energy = 0.0;
+    for (const auto &x : data)
+        freq_energy += std::norm(x);
+    EXPECT_NEAR(freq_energy, 128.0 * time_energy, 1e-6);
+}
+
+/** Property: round trip holds across sizes. */
+class FftSizeSweep : public ::testing::TestWithParam<std::size_t>
+{};
+
+TEST_P(FftSizeSweep, RoundTrip)
+{
+    std::size_t n = GetParam();
+    Rng rng(n);
+    CVec data(n);
+    for (auto &x : data)
+        x = {rng.real(), rng.real()};
+    CVec orig = data;
+    fft(data);
+    ifft(data);
+    for (std::size_t i = 0; i < n; ++i)
+        EXPECT_NEAR(std::abs(data[i] - orig[i]), 0.0, 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, FftSizeSweep,
+                         ::testing::Values(2, 4, 8, 64, 512, 4096));

@@ -1,0 +1,126 @@
+/**
+ * @file
+ * Unit tests for the closed-form stripline RLC extractor.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/logging.hh"
+
+#include <cmath>
+
+#include "phys/fieldsolver.hh"
+#include "phys/geometry.hh"
+
+using namespace tlsim::phys;
+
+namespace
+{
+
+FieldSolver
+solver()
+{
+    return FieldSolver(tech45());
+}
+
+} // namespace
+
+TEST(FieldSolver, Table1LinesHavePlausibleZ0)
+{
+    auto fs = solver();
+    for (const auto &spec : paperTable1Lines()) {
+        LineParams params = fs.extract(spec.geometry);
+        double z0 = params.z0();
+        // On-chip transmission lines: tens of ohms.
+        EXPECT_GT(z0, 20.0) << "W=" << spec.geometry.width;
+        EXPECT_LT(z0, 120.0) << "W=" << spec.geometry.width;
+    }
+}
+
+TEST(FieldSolver, VelocityBoundedBySpeedOfLightInDielectric)
+{
+    auto fs = solver();
+    double v_max = tech45().dielectricVelocity();
+    for (const auto &spec : paperTable1Lines()) {
+        LineParams params = fs.extract(spec.geometry);
+        EXPECT_LE(params.velocity(), v_max * 1.001);
+        EXPECT_GT(params.velocity(), 0.5 * v_max);
+    }
+}
+
+TEST(FieldSolver, WiderLineLowerImpedance)
+{
+    auto fs = solver();
+    const auto &specs = paperTable1Lines();
+    double z_narrow = fs.extract(specs[0].geometry).z0();
+    double z_wide = fs.extract(specs[2].geometry).z0();
+    EXPECT_GT(z_narrow, z_wide);
+}
+
+TEST(FieldSolver, ResistanceMatchesBulkCopper)
+{
+    auto fs = solver();
+    const auto &geom = paperTable1Lines()[0].geometry;
+    LineParams params = fs.extract(geom);
+    double expected = tech45().bulkCopperResistivity /
+                      geom.crossSection();
+    EXPECT_NEAR(params.resistance, expected, expected * 1e-9);
+}
+
+TEST(FieldSolver, SkinDepthAt10GHz)
+{
+    auto fs = solver();
+    // Copper at 10 GHz: ~0.65-0.75 um.
+    double delta = fs.skinDepth(10e9);
+    EXPECT_GT(delta, 0.4e-6);
+    EXPECT_LT(delta, 1.0e-6);
+}
+
+TEST(FieldSolver, SkinDepthDecreasesWithFrequency)
+{
+    auto fs = solver();
+    EXPECT_GT(fs.skinDepth(1e9), fs.skinDepth(10e9));
+    EXPECT_GT(fs.skinDepth(10e9), fs.skinDepth(100e9));
+}
+
+TEST(FieldSolver, SkinDepthInverseSquareRootLaw)
+{
+    auto fs = solver();
+    EXPECT_NEAR(fs.skinDepth(1e9) / fs.skinDepth(4e9), 2.0, 1e-6);
+}
+
+TEST(FieldSolver, AcResistanceNeverBelowDc)
+{
+    auto fs = solver();
+    const auto &geom = paperTable1Lines()[1].geometry;
+    double r_dc = fs.acResistance(geom, 0.0);
+    for (double f : {1e8, 1e9, 1e10, 1e11})
+        EXPECT_GE(fs.acResistance(geom, f), r_dc);
+}
+
+TEST(FieldSolver, AcResistanceGrowsAtHighFrequency)
+{
+    auto fs = solver();
+    const auto &geom = paperTable1Lines()[2].geometry;
+    EXPECT_GT(fs.acResistance(geom, 100e9),
+              1.5 * fs.acResistance(geom, 1e9));
+}
+
+TEST(FieldSolver, LinePropagationDelayAbout50to80PsPerCm)
+{
+    // The headline property: ~speed-of-light flight over 1 cm.
+    auto fs = solver();
+    for (const auto &spec : paperTable1Lines()) {
+        LineParams params = fs.extract(spec.geometry);
+        double flight_ps = 0.01 / params.velocity() / 1e-12;
+        EXPECT_GT(flight_ps, 35.0);
+        EXPECT_LT(flight_ps, 95.0);
+    }
+}
+
+TEST(FieldSolver, DegenerateGeometryPanics)
+{
+    auto fs = solver();
+    WireGeometry bad{0.0, 1e-6, 1e-6, 1e-6};
+    EXPECT_THROW(fs.extract(bad), tlsim::PanicError);
+}

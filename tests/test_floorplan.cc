@@ -1,0 +1,115 @@
+/**
+ * @file
+ * Unit tests for the TLC floorplan model (Figures 2/4, Table 7
+ * controller and channel areas, and the 0-3 cycle internal delays
+ * behind Table 2's latency spread).
+ */
+
+#include <gtest/gtest.h>
+
+#include "tlc/floorplan.hh"
+#include "phys/technology.hh"
+
+using namespace tlsim;
+using namespace tlsim::tlc;
+using tlsim::phys::tech45;
+
+TEST(Floorplan, BasePairCount)
+{
+    TlcFloorplan fp(tech45(), baseTlc());
+    EXPECT_EQ(fp.pairs(), 16);
+}
+
+TEST(Floorplan, LengthsSpanTable1)
+{
+    TlcFloorplan fp(tech45(), baseTlc());
+    double lo = 1.0, hi = 0.0;
+    for (int i = 0; i < fp.pairs(); ++i) {
+        lo = std::min(lo, fp.pair(i).length);
+        hi = std::max(hi, fp.pair(i).length);
+    }
+    EXPECT_NEAR(lo, 0.9e-2, 1e-9);
+    EXPECT_NEAR(hi, 1.3e-2, 1e-9);
+}
+
+TEST(Floorplan, FlightAlwaysOneCycle)
+{
+    TlcFloorplan fp(tech45(), baseTlc());
+    for (int i = 0; i < fp.pairs(); ++i)
+        EXPECT_EQ(fp.pair(i).flightCycles, 1);
+}
+
+TEST(Floorplan, InternalDelaysSpanZeroToThree)
+{
+    TlcFloorplan fp(tech45(), baseTlc());
+    int lo = 99, hi = -1;
+    for (int i = 0; i < fp.pairs(); ++i) {
+        lo = std::min(lo, fp.pair(i).internalCycles);
+        hi = std::max(hi, fp.pair(i).internalCycles);
+    }
+    EXPECT_EQ(lo, 0); // innermost bundles
+    EXPECT_EQ(hi, 3); // outermost bundles ("up to three cycles")
+}
+
+TEST(Floorplan, ControllerAreaNearTenMm2)
+{
+    // Paper Table 7: TLC controller area 10 mm^2.
+    TlcFloorplan fp(tech45(), baseTlc());
+    double mm2 = fp.controllerArea() / 1e-6;
+    EXPECT_GT(mm2, 8.0);
+    EXPECT_LT(mm2, 13.0);
+}
+
+TEST(Floorplan, ChannelAreaNearPaper)
+{
+    // Paper Table 7: TLC channel area 3.1 mm^2.
+    TlcFloorplan fp(tech45(), baseTlc());
+    double mm2 = fp.channelArea() / 1e-6;
+    EXPECT_GT(mm2, 2.0);
+    EXPECT_LT(mm2, 4.5);
+}
+
+TEST(Floorplan, OptControllersSmaller)
+{
+    // Table 2's rationale: fewer lines -> shorter controller faces.
+    TlcFloorplan base(tech45(), baseTlc());
+    TlcFloorplan opt1000(tech45(), tlcOpt1000());
+    TlcFloorplan opt500(tech45(), tlcOpt500());
+    TlcFloorplan opt350(tech45(), tlcOpt350());
+    EXPECT_LT(opt1000.controllerArea(), base.controllerArea());
+    EXPECT_LT(opt500.controllerArea(), opt1000.controllerArea());
+    EXPECT_LT(opt350.controllerArea(), opt500.controllerArea());
+}
+
+TEST(Floorplan, OptInternalDelaysSmaller)
+{
+    TlcFloorplan opt500(tech45(), tlcOpt500());
+    for (int i = 0; i < opt500.pairs(); ++i)
+        EXPECT_LE(opt500.pair(i).internalCycles, 1);
+}
+
+TEST(Floorplan, BundleHeightsScaleWithLines)
+{
+    TlcFloorplan base(tech45(), baseTlc());
+    TlcFloorplan opt350(tech45(), tlcOpt350());
+    EXPECT_GT(base.pair(0).bundleHeight,
+              2.0 * opt350.pair(0).bundleHeight);
+}
+
+TEST(Floorplan, EnergyPerBitPositive)
+{
+    TlcFloorplan fp(tech45(), baseTlc());
+    for (int i = 0; i < fp.pairs(); ++i) {
+        EXPECT_GT(fp.pair(i).energyPerBit, 0.1e-12);
+        EXPECT_LT(fp.pair(i).energyPerBit, 5e-12);
+    }
+}
+
+TEST(Floorplan, OneWayCyclesComposition)
+{
+    TlcFloorplan fp(tech45(), baseTlc());
+    for (int i = 0; i < fp.pairs(); ++i) {
+        EXPECT_EQ(fp.oneWayCycles(i), fp.pair(i).flightCycles +
+                                          fp.pair(i).internalCycles);
+    }
+}

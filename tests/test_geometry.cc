@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Unit tests for wire geometries (paper Table 1 / Figure 3).
+ */
+
+#include <gtest/gtest.h>
+
+#include "phys/geometry.hh"
+
+using namespace tlsim::phys;
+
+TEST(Geometry, Table1HasThreeDesignPoints)
+{
+    EXPECT_EQ(paperTable1Lines().size(), 3u);
+}
+
+TEST(Geometry, Table1ValuesMatchPaper)
+{
+    const auto &specs = paperTable1Lines();
+    EXPECT_NEAR(specs[0].length, 0.9e-2, 1e-9);
+    EXPECT_NEAR(specs[0].geometry.width, 2.0e-6, 1e-12);
+    EXPECT_NEAR(specs[1].length, 1.1e-2, 1e-9);
+    EXPECT_NEAR(specs[1].geometry.width, 2.5e-6, 1e-12);
+    EXPECT_NEAR(specs[2].length, 1.3e-2, 1e-9);
+    EXPECT_NEAR(specs[2].geometry.width, 3.0e-6, 1e-12);
+    for (const auto &spec : specs) {
+        EXPECT_NEAR(spec.geometry.height, 1.75e-6, 1e-12);
+        EXPECT_NEAR(spec.geometry.thickness, 3.0e-6, 1e-12);
+        EXPECT_NEAR(spec.geometry.spacing, spec.geometry.width, 1e-12);
+    }
+}
+
+TEST(Geometry, SpecForLengthPicksSmallestSufficient)
+{
+    EXPECT_NEAR(specForLength(0.5e-2).geometry.width, 2.0e-6, 1e-12);
+    EXPECT_NEAR(specForLength(0.9e-2).geometry.width, 2.0e-6, 1e-12);
+    EXPECT_NEAR(specForLength(1.0e-2).geometry.width, 2.5e-6, 1e-12);
+    EXPECT_NEAR(specForLength(1.25e-2).geometry.width, 3.0e-6, 1e-12);
+}
+
+TEST(Geometry, SpecForLengthBeyondTableUsesWidest)
+{
+    EXPECT_NEAR(specForLength(2.0e-2).geometry.width, 3.0e-6, 1e-12);
+}
+
+TEST(Geometry, TransmissionLinesAreMuchFatterThanRcWires)
+{
+    // The Figure 3 contrast: TL cross-sections dwarf conventional
+    // global wires.
+    WireGeometry rc = conventionalGlobalWire();
+    WireGeometry tl = paperTable1Lines()[0].geometry;
+    EXPECT_GT(tl.crossSection(), 50.0 * rc.crossSection());
+}
+
+TEST(Geometry, HelperAccessors)
+{
+    WireGeometry geom{2e-6, 3e-6, 1e-6, 4e-6};
+    EXPECT_NEAR(geom.crossSection(), 8e-12, 1e-18);
+    EXPECT_NEAR(geom.pitch(), 5e-6, 1e-12);
+}
+
+TEST(Geometry, SemiGlobalSmallerThanGlobalTl)
+{
+    WireGeometry semi = conventionalSemiGlobalWire();
+    WireGeometry tl = paperTable1Lines()[0].geometry;
+    EXPECT_LT(semi.crossSection(), tl.crossSection());
+}

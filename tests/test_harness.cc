@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Tests for the system builder and benchmark runner.
+ */
+
+#include <gtest/gtest.h>
+
+#include "harness/system.hh"
+
+using namespace tlsim;
+using namespace tlsim::harness;
+
+TEST(Harness, AllSixDesignsBuild)
+{
+    for (DesignKind kind : allDesigns()) {
+        System system(kind);
+        EXPECT_EQ(system.l2().designName(), designName(kind));
+        EXPECT_GT(system.l2().linkCount(), 0);
+    }
+}
+
+TEST(Harness, DesignNames)
+{
+    EXPECT_EQ(designName(DesignKind::Snuca2), "SNUCA2");
+    EXPECT_EQ(designName(DesignKind::Dnuca), "DNUCA");
+    EXPECT_EQ(designName(DesignKind::TlcBase), "TLC");
+    EXPECT_EQ(designName(DesignKind::TlcOpt350), "TLCopt350");
+}
+
+TEST(Harness, TlcFamilyHasFourMembers)
+{
+    EXPECT_EQ(tlcFamily().size(), 4u);
+    EXPECT_EQ(allDesigns().size(), 6u);
+}
+
+TEST(Harness, ShortRunProducesSaneMetrics)
+{
+    const auto &profile = workload::profileByName("bzip");
+    RunResult result = runBenchmark(DesignKind::TlcBase, profile,
+                                    10'000, 50'000, 0, 500'000);
+    EXPECT_EQ(result.design, "TLC");
+    EXPECT_EQ(result.benchmark, "bzip");
+    EXPECT_GT(result.cycles, 0u);
+    EXPECT_GT(result.ipc, 0.0);
+    EXPECT_LE(result.ipc, 4.0);
+    EXPECT_GT(result.l2RequestsPer1k, 0.0);
+    EXPECT_GT(result.meanLookupLatency, 9.0);
+    EXPECT_GT(result.predictablePct, 0.0);
+    EXPECT_LE(result.predictablePct, 100.0);
+}
+
+TEST(Harness, SameSeedReproducible)
+{
+    const auto &profile = workload::profileByName("perl");
+    RunResult a = runBenchmark(DesignKind::Snuca2, profile, 10'000,
+                               30'000, 7, 100'000);
+    RunResult b = runBenchmark(DesignKind::Snuca2, profile, 10'000,
+                               30'000, 7, 100'000);
+    EXPECT_EQ(a.cycles, b.cycles);
+    EXPECT_EQ(a.l2RequestsPer1k, b.l2RequestsPer1k);
+    EXPECT_EQ(a.meanLookupLatency, b.meanLookupLatency);
+}
+
+TEST(Harness, DnucaMetricsPopulated)
+{
+    const auto &profile = workload::profileByName("gcc");
+    RunResult result = runBenchmark(DesignKind::Dnuca, profile,
+                                    10'000, 50'000, 0, 2'000'000);
+    EXPECT_GT(result.closeHitPct, 0.0);
+    EXPECT_GE(result.promotesPerInsert, 0.0);
+}
+
+TEST(Harness, FunctionalWarmReducesColdMisses)
+{
+    const auto &profile = workload::profileByName("bzip");
+    RunResult cold = runBenchmark(DesignKind::TlcBase, profile, 0,
+                                  50'000, 0, 0);
+    RunResult warm = runBenchmark(DesignKind::TlcBase, profile, 0,
+                                  50'000, 0, 5'000'000);
+    EXPECT_LT(warm.l2MissesPer1k, cold.l2MissesPer1k);
+}
+
+TEST(Harness, TlcLookupLatencyNear13)
+{
+    const auto &profile = workload::profileByName("perl");
+    RunResult result = runBenchmark(DesignKind::TlcBase, profile,
+                                    10'000, 50'000, 0, 1'000'000);
+    // Figure 6: TLC holds ~13 cycles.
+    EXPECT_GT(result.meanLookupLatency, 10.0);
+    EXPECT_LT(result.meanLookupLatency, 17.0);
+}
+
+TEST(Harness, StatsResetBetweenPhases)
+{
+    System system(DesignKind::TlcBase);
+    workload::TraceGenerator gen(workload::profileByName("bzip"), 0);
+    system.core().run(gen, 20'000);
+    system.beginMeasurement();
+    EXPECT_EQ(system.l2().requests.value(), 0.0);
+    EXPECT_EQ(system.core().instructions.value(), 0.0);
+}

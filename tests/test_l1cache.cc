@@ -1,0 +1,184 @@
+/**
+ * @file
+ * Unit tests for the L1 cache: hit latency, MSHR behaviour,
+ * writebacks, and the functional-warm path, against a fake L2.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "mem/l1cache.hh"
+#include "mem/l2cache.hh"
+#include "sim/eventq.hh"
+
+using namespace tlsim;
+using namespace tlsim::mem;
+
+namespace
+{
+
+/** Fixed-latency L2 stub that records the requests it sees. */
+class FakeL2 : public L2Cache
+{
+  public:
+    FakeL2(EventQueue &eq, stats::StatGroup *parent, Dram &dram,
+           Cycles latency)
+        : L2Cache("fake_l2", eq, parent, dram), latency(latency)
+    {}
+
+    void
+    access(Addr block_addr, AccessType type, Tick now,
+           RespCallback cb) override
+    {
+        ++requests;
+        seen.push_back({block_addr, type, now});
+        if (type == AccessType::Store) {
+            cb(now);
+            return;
+        }
+        Tick done = now + latency;
+        eventq.scheduleFunc(done,
+                            [cb = std::move(cb), done]() { cb(done); });
+    }
+
+    void
+    accessFunctional(Addr block_addr, AccessType type) override
+    {
+        seen.push_back({block_addr, type, 0});
+    }
+
+    int linkCount() const override { return 0; }
+    std::string designName() const override { return "fake"; }
+
+    Cycles latency;
+    std::vector<MemRequest> seen;
+};
+
+struct Fixture
+{
+    Fixture(Cycles l2_latency = 20)
+        : root("root"), dram(eq, &root),
+          l2(eq, &root, dram, l2_latency),
+          l1("l1d", eq, &root, l2, 64 * 1024, 2, 3, 8)
+    {}
+
+    EventQueue eq;
+    stats::StatGroup root;
+    Dram dram;
+    FakeL2 l2;
+    L1Cache l1;
+};
+
+} // namespace
+
+TEST(L1Cache, MissThenHit)
+{
+    Fixture f;
+    Tick first = 0, second = 0;
+    f.l1.access(0x100, AccessType::Load, 0,
+                [&](Tick t) { first = t; });
+    f.eq.run();
+    // Miss: tag check (3) + L2 (20).
+    EXPECT_EQ(first, 23u);
+    f.l1.access(0x100, AccessType::Load, 30,
+                [&](Tick t) { second = t; });
+    f.eq.run();
+    EXPECT_EQ(second, 33u); // hit latency 3
+    EXPECT_EQ(f.l1.hits.value(), 1.0);
+    EXPECT_EQ(f.l1.misses.value(), 1.0);
+}
+
+TEST(L1Cache, CoalescedMissSingleL2Request)
+{
+    Fixture f;
+    int done = 0;
+    f.l1.access(0x100, AccessType::Load, 0, [&](Tick) { ++done; });
+    f.l1.access(0x100, AccessType::Load, 1, [&](Tick) { ++done; });
+    f.eq.run();
+    EXPECT_EQ(done, 2);
+    EXPECT_EQ(f.l2.seen.size(), 1u);
+    EXPECT_EQ(f.l1.coalescedMisses.value(), 1.0);
+}
+
+TEST(L1Cache, StoreMissFetchesAsLoad)
+{
+    Fixture f;
+    f.l1.access(0x200, AccessType::Store, 0, [](Tick) {});
+    f.eq.run();
+    ASSERT_EQ(f.l2.seen.size(), 1u);
+    EXPECT_EQ(f.l2.seen[0].type, AccessType::Load);
+}
+
+TEST(L1Cache, DirtyEvictionWritesBack)
+{
+    Fixture f;
+    // 64 KB, 2-way: 512 sets. Three blocks in one set force an
+    // eviction; the dirty one triggers a writeback.
+    Addr a = 0x1000, b = a + 512, c = a + 1024;
+    f.l1.access(a, AccessType::Store, 0, [](Tick) {});
+    f.eq.run();
+    f.l1.access(b, AccessType::Load, 100, [](Tick) {});
+    f.eq.run();
+    f.l1.access(c, AccessType::Load, 200, [](Tick) {});
+    f.eq.run();
+    EXPECT_EQ(f.l1.writebacks.value(), 1.0);
+    bool saw_store = false;
+    for (const auto &req : f.l2.seen) {
+        if (req.type == AccessType::Store && req.blockAddr == a)
+            saw_store = true;
+    }
+    EXPECT_TRUE(saw_store);
+}
+
+TEST(L1Cache, MshrLimitQueuesExtraMisses)
+{
+    Fixture f(1000); // slow L2
+    int done = 0;
+    for (Addr a = 0; a < 9; ++a) {
+        f.l1.access(0x1000 + a, AccessType::Load, 0,
+                    [&](Tick) { ++done; });
+    }
+    // Only 8 MSHRs: the 9th miss waits (L2 requests depart after the
+    // 3-cycle tag check).
+    f.eq.advanceTo(10);
+    EXPECT_EQ(f.l2.seen.size(), 8u);
+    f.eq.run();
+    EXPECT_EQ(done, 9);
+    EXPECT_EQ(f.l2.seen.size(), 9u);
+    EXPECT_GT(f.l1.mshrStallCycles.value(), 0.0);
+}
+
+TEST(L1Cache, FunctionalAccessWarmsArray)
+{
+    Fixture f;
+    f.l1.accessFunctional(0x300, AccessType::Load);
+    EXPECT_EQ(f.l2.seen.size(), 1u); // functional miss forwarded
+    Tick done = 0;
+    f.l1.access(0x300, AccessType::Load, 0, [&](Tick t) { done = t; });
+    f.eq.run();
+    EXPECT_EQ(done, 3u); // timed access now hits
+}
+
+TEST(L1Cache, FunctionalDirtyEvictionForwarded)
+{
+    Fixture f;
+    Addr a = 0x2000;
+    f.l1.accessFunctional(a, AccessType::Store);
+    f.l1.accessFunctional(a + 512, AccessType::Load);
+    f.l1.accessFunctional(a + 1024, AccessType::Load);
+    bool saw_store = false;
+    for (const auto &req : f.l2.seen)
+        saw_store |= (req.type == AccessType::Store);
+    EXPECT_TRUE(saw_store);
+}
+
+TEST(L1Cache, AccessesStatCountsEverything)
+{
+    Fixture f;
+    f.l1.access(1, AccessType::Load, 0, [](Tick) {});
+    f.eq.run();
+    f.l1.access(1, AccessType::Load, 50, [](Tick) {});
+    f.eq.run();
+    EXPECT_EQ(f.l1.accesses.value(), 2.0);
+}

@@ -1,0 +1,110 @@
+/**
+ * @file
+ * Unit tests for the logging / string formatting primitives.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/logging.hh"
+
+using namespace tlsim;
+
+namespace
+{
+
+struct QuietGuard
+{
+    QuietGuard() { logging_detail::quiet = true; }
+    ~QuietGuard() { logging_detail::quiet = false; }
+};
+
+} // namespace
+
+TEST(Csprintf, NoPlaceholders)
+{
+    EXPECT_EQ(csprintf("hello"), "hello");
+}
+
+TEST(Csprintf, SingleSubstitution)
+{
+    EXPECT_EQ(csprintf("value={}", 42), "value=42");
+}
+
+TEST(Csprintf, MultipleSubstitutions)
+{
+    EXPECT_EQ(csprintf("{} + {} = {}", 1, 2, 3), "1 + 2 = 3");
+}
+
+TEST(Csprintf, StringArguments)
+{
+    EXPECT_EQ(csprintf("name: {}", std::string("tlc")), "name: tlc");
+}
+
+TEST(Csprintf, MixedTypes)
+{
+    EXPECT_EQ(csprintf("{}-{}-{}", "a", 1, 2.5), "a-1-2.5");
+}
+
+TEST(Csprintf, SurplusArgumentsAppended)
+{
+    EXPECT_EQ(csprintf("x={}", 1, 2), "x=1 2");
+}
+
+TEST(Csprintf, SurplusPlaceholdersKept)
+{
+    EXPECT_EQ(csprintf("{} {}", 7), "7 {}");
+}
+
+TEST(Csprintf, EmptyFormat)
+{
+    EXPECT_EQ(csprintf(""), "");
+}
+
+TEST(Csprintf, PlaceholderAtStart)
+{
+    EXPECT_EQ(csprintf("{} end", 5), "5 end");
+}
+
+TEST(Logging, PanicThrowsPanicError)
+{
+    QuietGuard guard;
+    EXPECT_THROW(panic("boom {}", 1), PanicError);
+}
+
+TEST(Logging, FatalThrowsFatalError)
+{
+    QuietGuard guard;
+    EXPECT_THROW(fatal("config error"), FatalError);
+}
+
+TEST(Logging, PanicMessageContainsFormattedText)
+{
+    QuietGuard guard;
+    try {
+        panic("bad tick {}", 99);
+        FAIL() << "panic did not throw";
+    } catch (const PanicError &err) {
+        EXPECT_NE(std::string(err.what()).find("bad tick 99"),
+                  std::string::npos);
+    }
+}
+
+TEST(Logging, AssertMacroPassesOnTrue)
+{
+    TLSIM_ASSERT(1 + 1 == 2, "math works");
+    SUCCEED();
+}
+
+TEST(Logging, AssertMacroThrowsOnFalse)
+{
+    QuietGuard guard;
+    EXPECT_THROW(TLSIM_ASSERT(false, "nope"), PanicError);
+}
+
+TEST(Logging, WarnAndInformDoNotThrow)
+{
+    QuietGuard guard;
+    warn("just a warning {}", 1);
+    inform("status {}", 2);
+    SUCCEED();
+}

@@ -1,0 +1,217 @@
+/**
+ * @file
+ * Unit tests for the 2-D mesh interconnect.
+ */
+
+#include <gtest/gtest.h>
+
+#include "noc/mesh.hh"
+#include "phys/technology.hh"
+
+using namespace tlsim;
+using namespace tlsim::noc;
+using tlsim::phys::tech45;
+
+namespace
+{
+
+MeshConfig
+dnucaMesh()
+{
+    return MeshConfig{16, 16, 1, 128, 0.6e-3};
+}
+
+MeshConfig
+snucaMesh()
+{
+    return MeshConfig{4, 8, 2, 128, 1.6e-3};
+}
+
+} // namespace
+
+TEST(Mesh, DnucaHopSpectrum)
+{
+    // Paper Table 2: DNUCA bank latencies span 3-47 cycles with a
+    // 3-cycle bank: one-way hops must span 0..22.
+    EventQueue eq;
+    Mesh mesh(eq, tech45(), dnucaMesh());
+    double lo = 1e9, hi = -1;
+    for (int r = 0; r < 16; ++r) {
+        for (int c = 0; c < 16; ++c) {
+            double h = mesh.hopsTo(Coord{r, c});
+            lo = std::min(lo, h);
+            hi = std::max(hi, h);
+        }
+    }
+    EXPECT_DOUBLE_EQ(lo, 0.0);
+    EXPECT_DOUBLE_EQ(hi, 22.0);
+}
+
+TEST(Mesh, SnucaHopSpectrum)
+{
+    EventQueue eq;
+    Mesh mesh(eq, tech45(), snucaMesh());
+    double hi = -1;
+    for (int r = 0; r < 4; ++r)
+        for (int c = 0; c < 8; ++c)
+            hi = std::max(hi, mesh.hopsTo(Coord{r, c}));
+    // 3 vertical + 3 horizontal = 6 hops, 2 cycles each = 12.
+    EXPECT_DOUBLE_EQ(hi, 6.0);
+    EXPECT_EQ(mesh.uncontendedLatency(Coord{3, 0}), 12u);
+}
+
+TEST(Mesh, AdjacentBankZeroHops)
+{
+    EventQueue eq;
+    Mesh mesh(eq, tech45(), dnucaMesh());
+    EXPECT_DOUBLE_EQ(mesh.hopsTo(Coord{0, 7}), 0.0);
+    EXPECT_DOUBLE_EQ(mesh.hopsTo(Coord{0, 8}), 0.0);
+}
+
+TEST(Mesh, DeliveryLatencyMatchesHops)
+{
+    EventQueue eq;
+    Mesh mesh(eq, tech45(), dnucaMesh());
+    Tick arrival = 0;
+    mesh.sendToBank(Coord{3, 7}, 1, 100,
+                    [&](Tick t) { arrival = t; });
+    eq.run();
+    EXPECT_EQ(arrival, 100u + 3u);
+}
+
+TEST(Mesh, SerializationAddsToTail)
+{
+    EventQueue eq;
+    Mesh mesh(eq, tech45(), dnucaMesh());
+    Tick arrival = 0;
+    mesh.sendToBank(Coord{3, 7}, 4, 100,
+                    [&](Tick t) { arrival = t; });
+    eq.run();
+    EXPECT_EQ(arrival, 100u + 3u + 3u); // +3 tail flits
+}
+
+TEST(Mesh, RoundTripSymmetry)
+{
+    EventQueue eq;
+    Mesh mesh(eq, tech45(), dnucaMesh());
+    Tick down = 0, up = 0;
+    mesh.sendToBank(Coord{5, 2}, 1, 0, [&](Tick t) { down = t; });
+    eq.run();
+    mesh.sendToController(Coord{5, 2}, 1, down,
+                          [&](Tick t) { up = t; });
+    eq.run();
+    EXPECT_EQ(up - down, down); // symmetric path
+}
+
+TEST(Mesh, ContentionSerializesSharedLink)
+{
+    EventQueue eq;
+    Mesh mesh(eq, tech45(), dnucaMesh());
+    Tick first = 0, second = 0;
+    // Two messages to the same far bank at the same tick share every
+    // link on the route.
+    mesh.sendToBank(Coord{10, 7}, 4, 0, [&](Tick t) { first = t; });
+    mesh.sendToBank(Coord{10, 7}, 4, 0, [&](Tick t) { second = t; });
+    eq.run();
+    EXPECT_GT(second, first);
+    EXPECT_GE(second - first, 4u); // one serialization quantum
+}
+
+TEST(Mesh, IndependentColumnsDoNotInterfere)
+{
+    EventQueue eq;
+    Mesh mesh(eq, tech45(), dnucaMesh());
+    Tick a = 0, b = 0;
+    mesh.sendToBank(Coord{10, 3}, 4, 0, [&](Tick t) { a = t; });
+    mesh.sendToBank(Coord{10, 12}, 4, 0, [&](Tick t) { b = t; });
+    eq.run();
+    // Opposite sides of the controller: no shared links.
+    EXPECT_EQ(a, b);
+}
+
+TEST(Mesh, BankToBankVertical)
+{
+    EventQueue eq;
+    Mesh mesh(eq, tech45(), dnucaMesh());
+    Tick arrival = 0;
+    mesh.sendBankToBank(Coord{5, 4}, Coord{4, 4}, 4, 10,
+                        [&](Tick t) { arrival = t; });
+    eq.run();
+    EXPECT_EQ(arrival, 10u + 1u + 3u); // one hop + serialization
+}
+
+TEST(Mesh, MulticastArrivalsOrdered)
+{
+    EventQueue eq;
+    Mesh mesh(eq, tech45(), dnucaMesh());
+    std::vector<std::pair<int, Tick>> arrivals;
+    mesh.multicastToColumn(4, {0, 1, 5, 15}, 1, 0,
+                           [&](int row, Tick t) {
+                               arrivals.push_back({row, t});
+                           });
+    eq.run();
+    ASSERT_EQ(arrivals.size(), 4u);
+    // Scheduled in time order: row 0 first, row 15 last.
+    EXPECT_EQ(arrivals.front().first, 0);
+    EXPECT_EQ(arrivals.back().first, 15);
+    for (std::size_t i = 1; i < arrivals.size(); ++i)
+        EXPECT_GT(arrivals[i].second, arrivals[i - 1].second);
+}
+
+TEST(Mesh, MulticastMatchesUnicastTiming)
+{
+    EventQueue eq;
+    Mesh mesh(eq, tech45(), dnucaMesh());
+    Tick uni = 0, multi = 0;
+    mesh.sendToBank(Coord{6, 9}, 1, 0, [&](Tick t) { uni = t; });
+    eq.run();
+    Mesh mesh2(eq, tech45(), dnucaMesh());
+    mesh2.multicastToColumn(9, {6}, 1, eq.now(),
+                            [&](int, Tick t) { multi = t; });
+    Tick base = eq.now();
+    eq.run();
+    EXPECT_EQ(multi - base, uni);
+}
+
+TEST(Mesh, EnergyAccumulates)
+{
+    EventQueue eq;
+    Mesh mesh(eq, tech45(), dnucaMesh());
+    EXPECT_EQ(mesh.energyConsumed(), 0.0);
+    mesh.sendToBank(Coord{5, 5}, 4, 0, [](Tick) {});
+    eq.run();
+    double e1 = mesh.energyConsumed();
+    EXPECT_GT(e1, 0.0);
+    mesh.sendToBank(Coord{10, 5}, 4, eq.now(), [](Tick) {});
+    eq.run();
+    EXPECT_GT(mesh.energyConsumed(), 1.5 * e1); // longer route
+}
+
+TEST(Mesh, BusyCyclesAndReset)
+{
+    EventQueue eq;
+    Mesh mesh(eq, tech45(), dnucaMesh());
+    mesh.sendToBank(Coord{3, 7}, 4, 0, [](Tick) {});
+    eq.run();
+    EXPECT_GT(mesh.totalBusyCycles(), 0u);
+    mesh.resetStats();
+    EXPECT_EQ(mesh.totalBusyCycles(), 0u);
+    EXPECT_EQ(mesh.energyConsumed(), 0.0);
+}
+
+TEST(Mesh, LinkCountMatchesTopology)
+{
+    EventQueue eq;
+    Mesh mesh(eq, tech45(), dnucaMesh());
+    // 2 boundary + 2*16*15 vertical + 2*15 horizontal.
+    EXPECT_EQ(mesh.linkCount(), 2 + 2 * 16 * 15 + 2 * 15);
+}
+
+TEST(Mesh, FlitHopEnergyPicojouleScale)
+{
+    EventQueue eq;
+    Mesh mesh(eq, tech45(), dnucaMesh());
+    double pj = mesh.flitHopEnergy() / 1e-12;
+    EXPECT_GT(pj, 1.0);
+    EXPECT_LT(pj, 50.0);
+}

@@ -1,0 +1,231 @@
+/**
+ * @file
+ * Unit tests for the trace-driven OoO core timing model.
+ */
+
+#include <gtest/gtest.h>
+
+#include <deque>
+
+#include "cpu/ooocore.hh"
+#include "mem/dram.hh"
+#include "mem/l1cache.hh"
+#include "mem/l2cache.hh"
+#include "sim/eventq.hh"
+
+using namespace tlsim;
+using namespace tlsim::cpu;
+using namespace tlsim::mem;
+
+namespace
+{
+
+/** Fixed-latency L2 stub. */
+class FixedL2 : public L2Cache
+{
+  public:
+    FixedL2(EventQueue &eq, stats::StatGroup *parent, Dram &dram,
+            Cycles latency)
+        : L2Cache("fixed_l2", eq, parent, dram), latency(latency)
+    {}
+
+    void
+    access(Addr, AccessType type, Tick now, RespCallback cb) override
+    {
+        if (type == AccessType::Store) {
+            cb(now);
+            return;
+        }
+        Tick done = now + latency;
+        eventq.scheduleFunc(done,
+                            [cb = std::move(cb), done]() { cb(done); });
+    }
+
+    void accessFunctional(Addr, AccessType) override {}
+    int linkCount() const override { return 0; }
+    std::string designName() const override { return "fixed"; }
+
+    Cycles latency;
+};
+
+/** Scripted trace source. */
+class ScriptedTrace : public TraceSource
+{
+  public:
+    explicit ScriptedTrace(std::deque<TraceRecord> recs)
+        : records(std::move(recs))
+    {}
+
+    TraceRecord
+    next() override
+    {
+        if (records.empty()) {
+            TraceRecord filler;
+            filler.gap = 1000;
+            filler.isIFetch = true;
+            filler.blockAddr = 0xF000;
+            return filler;
+        }
+        TraceRecord rec = records.front();
+        records.pop_front();
+        return rec;
+    }
+
+    std::deque<TraceRecord> records;
+};
+
+struct Fixture
+{
+    explicit Fixture(Cycles l2_latency = 20, CoreConfig cfg = {})
+        : root("root"), dram(eq, &root), l2(eq, &root, dram, l2_latency),
+          l1i("l1i", eq, &root, l2, 64 * 1024, 2, 3, 4),
+          l1d("l1d", eq, &root, l2, 64 * 1024, 2, 3, 8),
+          core(eq, &root, l1i, l1d, cfg)
+    {}
+
+    EventQueue eq;
+    stats::StatGroup root;
+    Dram dram;
+    FixedL2 l2;
+    L1Cache l1i, l1d;
+    OoOCore core;
+};
+
+TraceRecord
+loadRec(Addr addr, std::uint32_t gap = 0, bool dep = false)
+{
+    TraceRecord rec;
+    rec.gap = gap;
+    rec.type = AccessType::Load;
+    rec.blockAddr = addr;
+    rec.dependsOnPrev = dep;
+    return rec;
+}
+
+} // namespace
+
+TEST(OoOCore, IdealIpcIsWidth)
+{
+    Fixture f;
+    ScriptedTrace trace({});
+    std::uint64_t cycles = f.core.run(trace, 100000);
+    double ipc = 100000.0 / static_cast<double>(cycles);
+    EXPECT_NEAR(ipc, 4.0, 0.1);
+}
+
+TEST(OoOCore, FetchQuantaCapsIpc)
+{
+    CoreConfig cfg;
+    cfg.fetchQuanta = 4; // 1 IPC ceiling
+    Fixture f(20, cfg);
+    ScriptedTrace trace({});
+    std::uint64_t cycles = f.core.run(trace, 50000);
+    EXPECT_NEAR(50000.0 / cycles, 1.0, 0.05);
+}
+
+TEST(OoOCore, IndependentMissesOverlap)
+{
+    Fixture f(200);
+    // Two independent loads to different blocks: their L2 latencies
+    // overlap inside the ROB.
+    ScriptedTrace trace({loadRec(0x100), loadRec(0x200)});
+    std::uint64_t cycles = f.core.run(trace, 10);
+    EXPECT_LT(cycles, 280u); // ~1 latency, not 2
+    EXPECT_EQ(f.core.loads.value(), 2.0);
+}
+
+TEST(OoOCore, DependentMissesSerialize)
+{
+    Fixture f(200);
+    ScriptedTrace trace({loadRec(0x100), loadRec(0x200, 0, true)});
+    std::uint64_t cycles = f.core.run(trace, 10);
+    EXPECT_GT(cycles, 400u); // two serialized L2 accesses
+}
+
+TEST(OoOCore, LoadMissBlocksRetirementViaRob)
+{
+    // One miss plus more instructions than the ROB holds: execution
+    // time is bounded below by the miss latency.
+    Fixture f(500);
+    ScriptedTrace trace({loadRec(0x100)});
+    std::uint64_t cycles = f.core.run(trace, 1000);
+    EXPECT_GT(cycles, 400u);
+}
+
+TEST(OoOCore, StoresDoNotStall)
+{
+    Fixture f(500);
+    TraceRecord store;
+    store.type = AccessType::Store;
+    store.blockAddr = 0x300;
+    ScriptedTrace trace({store});
+    std::uint64_t cycles = f.core.run(trace, 1000);
+    EXPECT_LT(cycles, 300u);
+    EXPECT_EQ(f.core.stores.value(), 1.0);
+}
+
+TEST(OoOCore, MispredictAddsPenalty)
+{
+    Fixture base;
+    ScriptedTrace clean({});
+    std::uint64_t clean_cycles = base.core.run(clean, 10000);
+
+    Fixture f;
+    std::deque<TraceRecord> recs;
+    for (int i = 0; i < 100; ++i) {
+        TraceRecord rec;
+        rec.isIFetch = true;
+        rec.gap = 100;
+        rec.blockAddr = 0xF00;
+        rec.mispredict = true;
+        recs.push_back(rec);
+    }
+    ScriptedTrace trace(std::move(recs));
+    std::uint64_t cycles = f.core.run(trace, 10000);
+    // ~100 mispredicts x 25 cycles on top of the clean time.
+    EXPECT_GT(cycles, clean_cycles + 1500);
+    EXPECT_GE(f.core.mispredicts.value(), 95.0);
+}
+
+TEST(OoOCore, IFetchMissStallsFrontend)
+{
+    Fixture f(300);
+    std::deque<TraceRecord> recs;
+    TraceRecord ifetch;
+    ifetch.isIFetch = true;
+    ifetch.gap = 0;
+    ifetch.blockAddr = 0xABC;
+    recs.push_back(ifetch);
+    ScriptedTrace trace(std::move(recs));
+    std::uint64_t cycles = f.core.run(trace, 1000);
+    EXPECT_GT(cycles, 300u);
+    EXPECT_EQ(f.core.ifetchStalls.value(), 1.0);
+}
+
+TEST(OoOCore, InstructionAccountingExact)
+{
+    Fixture f;
+    ScriptedTrace trace({loadRec(0x1, 7), loadRec(0x2, 3)});
+    f.core.run(trace, 5000);
+    EXPECT_EQ(f.core.instructions.value(), 5000.0);
+    EXPECT_EQ(f.core.instructionsRetired(), 5000u);
+}
+
+TEST(OoOCore, ConsecutiveRunsAccumulate)
+{
+    Fixture f;
+    ScriptedTrace trace({});
+    f.core.run(trace, 1000);
+    std::uint64_t mid = f.core.currentCycle();
+    f.core.run(trace, 1000);
+    EXPECT_GT(f.core.currentCycle(), mid);
+    EXPECT_EQ(f.core.instructionsRetired(), 2000u);
+}
+
+TEST(OoOCore, IpcFormula)
+{
+    Fixture f;
+    ScriptedTrace trace({});
+    f.core.run(trace, 4000);
+    EXPECT_NEAR(f.core.ipc.value(), 4.0, 0.2);
+}

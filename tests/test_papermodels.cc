@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Tests for the Table 7 / Table 8 physical-design roll-ups.
+ */
+
+#include <gtest/gtest.h>
+
+#include "harness/papermodels.hh"
+#include "phys/technology.hh"
+
+using namespace tlsim;
+using namespace tlsim::harness;
+using tlsim::phys::tech45;
+
+TEST(PaperModels, DnucaAreaNearTable7)
+{
+    AreaBreakdown area = dnucaArea(tech45());
+    EXPECT_NEAR(area.storage / 1e-6, 92.0, 8.0);
+    EXPECT_NEAR(area.channel / 1e-6, 17.0, 5.0);
+    EXPECT_NEAR(area.controller / 1e-6, 1.1, 0.5);
+    EXPECT_NEAR(area.total() / 1e-6, 110.0, 12.0);
+}
+
+TEST(PaperModels, TlcAreaNearTable7)
+{
+    AreaBreakdown area = tlcArea(tech45());
+    EXPECT_NEAR(area.storage / 1e-6, 77.0, 7.0);
+    EXPECT_NEAR(area.channel / 1e-6, 3.1, 1.5);
+    EXPECT_NEAR(area.controller / 1e-6, 10.0, 2.0);
+    EXPECT_NEAR(area.total() / 1e-6, 91.0, 9.0);
+}
+
+TEST(PaperModels, TlcSavesAboutEighteenPercent)
+{
+    AreaBreakdown dnuca = dnucaArea(tech45());
+    AreaBreakdown tlc = tlcArea(tech45());
+    double saving = 1.0 - tlc.total() / dnuca.total();
+    EXPECT_NEAR(saving, 0.18, 0.05);
+}
+
+TEST(PaperModels, StorageDominatesBothDesigns)
+{
+    for (const auto &area : {dnucaArea(tech45()), tlcArea(tech45())}) {
+        EXPECT_GT(area.storage, 0.5 * area.total());
+    }
+}
+
+TEST(PaperModels, TlcChannelFarSmallerThanDnuca)
+{
+    EXPECT_LT(tlcArea(tech45()).channel,
+              0.3 * dnucaArea(tech45()).channel);
+}
+
+TEST(PaperModels, TransistorTotalsNearTable8)
+{
+    CircuitTotals dnuca = dnucaNetworkCircuit(tech45());
+    CircuitTotals tlc = tlcNetworkCircuit(tech45());
+    // Paper: 1.2e7 vs 1.9e5 transistors.
+    EXPECT_NEAR(static_cast<double>(dnuca.transistors), 1.2e7, 0.5e7);
+    EXPECT_NEAR(static_cast<double>(tlc.transistors), 1.9e5, 0.5e5);
+    EXPECT_GT(dnuca.transistors, 50 * tlc.transistors);
+}
+
+TEST(PaperModels, GateWidthReductionOrderOfMagnitude)
+{
+    CircuitTotals dnuca = dnucaNetworkCircuit(tech45());
+    CircuitTotals tlc = tlcNetworkCircuit(tech45());
+    EXPECT_GT(dnuca.gateWidthLambda, 10.0 * tlc.gateWidthLambda);
+}

@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Unit tests for the calibrated benchmark profiles.
+ */
+
+#include <gtest/gtest.h>
+
+#include "workload/profile.hh"
+#include "sim/logging.hh"
+
+using namespace tlsim;
+using namespace tlsim::workload;
+
+TEST(Profiles, TwelvePaperBenchmarks)
+{
+    EXPECT_EQ(paperBenchmarks().size(), 12u);
+}
+
+TEST(Profiles, NamesMatchPaperOrder)
+{
+    const std::vector<std::string> expected = {
+        "bzip", "gcc", "mcf", "perl", "equake", "swim",
+        "applu", "lucas", "apache", "zeus", "sjbb", "oltp"};
+    const auto &profiles = paperBenchmarks();
+    ASSERT_EQ(profiles.size(), expected.size());
+    for (std::size_t i = 0; i < expected.size(); ++i)
+        EXPECT_EQ(profiles[i].name, expected[i]);
+}
+
+TEST(Profiles, FractionsValid)
+{
+    for (const auto &p : paperBenchmarks()) {
+        EXPECT_GE(p.hotFrac, 0.0) << p.name;
+        EXPECT_GE(p.warmFrac, 0.0) << p.name;
+        EXPECT_GE(p.streamFrac(), 0.0) << p.name;
+        EXPECT_LE(p.hotFrac + p.warmFrac, 1.0) << p.name;
+        EXPECT_GE(p.storeFrac, 0.0) << p.name;
+        EXPECT_LE(p.storeFrac, 1.0) << p.name;
+    }
+}
+
+TEST(Profiles, SeedsDistinct)
+{
+    std::set<std::uint64_t> seeds;
+    for (const auto &p : paperBenchmarks())
+        seeds.insert(p.seed);
+    EXPECT_EQ(seeds.size(), paperBenchmarks().size());
+}
+
+TEST(Profiles, StreamingBenchmarksStreamHeavily)
+{
+    EXPECT_GT(profileByName("swim").streamFrac(), 0.08);
+    EXPECT_GT(profileByName("applu").streamFrac(), 0.03);
+    EXPECT_LT(profileByName("perl").streamFrac(), 0.02);
+}
+
+TEST(Profiles, McfIsPointerChasing)
+{
+    EXPECT_GT(profileByName("mcf").depFrac, 0.5);
+    // And it has the largest warm footprint of the SPECint codes.
+    EXPECT_GT(profileByName("mcf").warmBlocks,
+              profileByName("gcc").warmBlocks);
+}
+
+TEST(Profiles, CommercialHaveLargeCodeFootprints)
+{
+    for (const char *name : {"apache", "zeus", "sjbb", "oltp"}) {
+        EXPECT_GT(profileByName(name).iBlocks, 1000u) << name;
+        EXPECT_GT(profileByName(name).jumpProb, 0.1) << name;
+    }
+}
+
+TEST(Profiles, LookupByNameFatalOnUnknown)
+{
+    EXPECT_THROW(profileByName("quake3"), FatalError);
+}
+
+TEST(Profiles, LookupReturnsCorrectProfile)
+{
+    EXPECT_EQ(profileByName("gcc").name, "gcc");
+    EXPECT_EQ(profileByName("oltp").name, "oltp");
+}

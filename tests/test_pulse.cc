@@ -1,0 +1,126 @@
+/**
+ * @file
+ * Tests for the frequency-domain pulse simulator — the HSPICE
+ * W-element substitute. The central reproduction check: all three
+ * Table 1 transmission-line design points meet the paper's signal
+ * integrity requirements (>= 75% Vdd amplitude, >= 40% cycle pulse
+ * width) at 10 GHz.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/logging.hh"
+
+#include "phys/fieldsolver.hh"
+#include "phys/geometry.hh"
+#include "phys/pulse.hh"
+
+using namespace tlsim::phys;
+
+namespace
+{
+
+PulseSimulator
+sim()
+{
+    return PulseSimulator(tech45());
+}
+
+} // namespace
+
+TEST(Pulse, Table1LinesPassSignalIntegrity)
+{
+    auto ps = sim();
+    for (const auto &spec : paperTable1Lines()) {
+        PulseResult result = ps.simulate(spec.geometry, spec.length);
+        EXPECT_TRUE(result.amplitudeOk)
+            << "length " << spec.length << " peak "
+            << result.peakAmplitude;
+        EXPECT_TRUE(result.widthOk)
+            << "length " << spec.length << " width "
+            << result.pulseWidth;
+    }
+}
+
+TEST(Pulse, DelayTracksFlightTime)
+{
+    auto ps = sim();
+    FieldSolver fs(tech45());
+    for (const auto &spec : paperTable1Lines()) {
+        LineParams params = fs.extract(spec.geometry);
+        double flight = spec.length / params.velocity();
+        PulseResult result = ps.simulate(spec.geometry, spec.length);
+        // 50%-crossing delay is within ~60% of the LC flight time
+        // (attenuation slows the apparent edge).
+        EXPECT_GT(result.delay, 0.8 * flight);
+        EXPECT_LT(result.delay, 1.6 * flight);
+    }
+}
+
+TEST(Pulse, LongerLineMoreDelay)
+{
+    auto ps = sim();
+    const auto &geom = paperTable1Lines()[2].geometry;
+    PulseResult near = ps.simulate(geom, 0.5e-2);
+    PulseResult far = ps.simulate(geom, 1.3e-2);
+    EXPECT_GT(far.delay, near.delay);
+}
+
+TEST(Pulse, LongerLineMoreAttenuation)
+{
+    auto ps = sim();
+    const auto &geom = paperTable1Lines()[0].geometry;
+    PulseResult near = ps.simulate(geom, 0.3e-2);
+    PulseResult far = ps.simulate(geom, 1.5e-2);
+    EXPECT_GT(near.peakAmplitude, far.peakAmplitude);
+}
+
+TEST(Pulse, SubCycleFlightAt10GHz)
+{
+    // The headline TLC property: ~1 cm reachable within one cycle.
+    auto ps = sim();
+    for (const auto &spec : paperTable1Lines()) {
+        PulseResult result = ps.simulate(spec.geometry, spec.length);
+        EXPECT_LT(result.delay, tech45().cycleTime());
+    }
+}
+
+TEST(Pulse, NarrowRcWireFailsAsTransmissionLine)
+{
+    // A minimum-pitch RC wire cannot carry a clean 10 GHz pulse over
+    // 1 cm: the resistive attenuation destroys the amplitude.
+    auto ps = sim();
+    PulseResult result = ps.simulate(conventionalGlobalWire(), 1.0e-2);
+    EXPECT_FALSE(result.amplitudeOk);
+}
+
+TEST(Pulse, MismatchedSourceStillDelivers)
+{
+    auto ps = sim();
+    const auto &spec = paperTable1Lines()[0];
+    PulseResult matched = ps.simulate(spec.geometry, spec.length);
+    PulseResult strong =
+        ps.simulate(spec.geometry, spec.length, 10.0); // low-R driver
+    EXPECT_GT(strong.peakAmplitude, 0.5);
+    EXPECT_GT(matched.peakAmplitude, 0.5);
+}
+
+TEST(Pulse, WaveformHasSaneShape)
+{
+    auto ps = sim();
+    const auto &spec = paperTable1Lines()[1];
+    auto wave = ps.waveform(spec.geometry, spec.length);
+    ASSERT_FALSE(wave.empty());
+    // Starts near zero, peaks somewhere above 0.7 Vdd, returns low.
+    EXPECT_LT(std::abs(wave.front()), 0.2);
+    double peak = 0.0;
+    for (double v : wave)
+        peak = std::max(peak, v);
+    EXPECT_GT(peak, 0.7);
+    EXPECT_LT(std::abs(wave.back()), 0.35);
+}
+
+TEST(Pulse, BadFftSizePanics)
+{
+    EXPECT_THROW(PulseSimulator(tech45(), 1000), tlsim::PanicError);
+}

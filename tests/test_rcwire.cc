@@ -1,0 +1,136 @@
+/**
+ * @file
+ * Unit and property tests for the repeated RC wire model.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/logging.hh"
+
+#include "phys/geometry.hh"
+#include "phys/rcwire.hh"
+#include "phys/technology.hh"
+
+using namespace tlsim::phys;
+
+namespace
+{
+
+RcWireModel
+globalWire()
+{
+    return RcWireModel(tech45(), conventionalGlobalWire());
+}
+
+} // namespace
+
+TEST(RcWire, PositiveParameters)
+{
+    auto wire = globalWire();
+    EXPECT_GT(wire.resistancePerMeter(), 0.0);
+    EXPECT_GT(wire.capacitancePerMeter(), 0.0);
+    EXPECT_GT(wire.repeaterSpacing(), 0.0);
+    EXPECT_GT(wire.repeaterSize(), 1.0);
+}
+
+TEST(RcWire, DelayLinearInLength)
+{
+    auto wire = globalWire();
+    double d1 = wire.delay(1e-3);
+    double d2 = wire.delay(2e-3);
+    EXPECT_NEAR(d2, 2.0 * d1, 1e-15);
+}
+
+TEST(RcWire, RepeatedDelayNear100PsPerMm)
+{
+    // Calibration target: ~90 ps/mm keeps the paper's premise that
+    // crossing a 2 cm die takes 25+ cycles at 10 GHz.
+    auto wire = globalWire();
+    double ps_per_mm = wire.delay(1e-3) / 1e-12;
+    EXPECT_GT(ps_per_mm, 60.0);
+    EXPECT_LT(ps_per_mm, 140.0);
+}
+
+TEST(RcWire, UnrepeatedQuadraticallyWorse)
+{
+    auto wire = globalWire();
+    // For long wires, leaving out repeaters is far slower.
+    EXPECT_GT(wire.unrepeatedDelay(1e-2), 5.0 * wire.delay(1e-2));
+    // And unrepeated delay grows superlinearly (the driver's linear
+    // charging term keeps it below the pure-quadratic 16x).
+    double u1 = wire.unrepeatedDelay(1e-3);
+    double u4 = wire.unrepeatedDelay(4e-3);
+    EXPECT_GT(u4, 4.0 * u1);
+}
+
+TEST(RcWire, VelocityConsistentWithDelay)
+{
+    auto wire = globalWire();
+    EXPECT_NEAR(wire.velocity() * wire.delay(1.0), 1.0, 1e-9);
+}
+
+TEST(RcWire, RepeaterCountScalesWithLength)
+{
+    auto wire = globalWire();
+    int short_count = wire.repeaterCount(1e-3);
+    int long_count = wire.repeaterCount(1e-2);
+    EXPECT_GE(short_count, 1);
+    EXPECT_GT(long_count, short_count);
+    EXPECT_NEAR(static_cast<double>(long_count),
+                10.0 * short_count, short_count + 2.0);
+}
+
+TEST(RcWire, TransistorsTwoPerRepeater)
+{
+    auto wire = globalWire();
+    EXPECT_EQ(wire.transistorCount(1e-3),
+              2L * wire.repeaterCount(1e-3));
+}
+
+TEST(RcWire, EnergyMonotoneInLength)
+{
+    auto wire = globalWire();
+    EXPECT_LT(wire.energyPerTransition(1e-3),
+              wire.energyPerTransition(5e-3));
+}
+
+TEST(RcWire, EnergyPerMmInPlausibleRange)
+{
+    auto wire = globalWire();
+    double fj = wire.energyPerTransition(1e-3) / 1e-15;
+    // Tens to hundreds of fJ per mm per transition at 45 nm.
+    EXPECT_GT(fj, 10.0);
+    EXPECT_LT(fj, 1000.0);
+}
+
+TEST(RcWire, GateWidthPositive)
+{
+    auto wire = globalWire();
+    EXPECT_GT(wire.gateWidthLambda(1e-3), 0.0);
+    EXPECT_GT(wire.repeaterArea(1e-3), 0.0);
+}
+
+TEST(RcWire, DegenerateGeometryPanics)
+{
+    WireGeometry bad{0.0, 1e-7, 1e-7, 1e-7};
+    EXPECT_THROW(RcWireModel(tech45(), bad), tlsim::PanicError);
+}
+
+/** Property sweep: wider wires are faster (repeated). */
+class RcWireWidthSweep : public ::testing::TestWithParam<double>
+{};
+
+TEST_P(RcWireWidthSweep, WiderIsFasterRepeated)
+{
+    double width = GetParam();
+    WireGeometry narrow{width, width, 2.0 * width, 1.5 * width};
+    WireGeometry wide{2.0 * width, 2.0 * width, 4.0 * width,
+                      3.0 * width};
+    RcWireModel a(tech45(), narrow);
+    RcWireModel b(tech45(), wide);
+    EXPECT_LT(b.delay(5e-3), a.delay(5e-3));
+}
+
+INSTANTIATE_TEST_SUITE_P(Widths, RcWireWidthSweep,
+                         ::testing::Values(0.05e-6, 0.1e-6, 0.2e-6,
+                                           0.4e-6));

@@ -1,0 +1,107 @@
+/**
+ * @file
+ * Unit tests for the CACTI-lite SRAM bank model. The central check:
+ * the paper's Table 2 bank access times (64 KB -> 3 cycles, 512 KB ->
+ * 8, 1 MB -> 10) fall out of the calibrated model.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/logging.hh"
+
+#include "cacti/srambank.hh"
+#include "phys/technology.hh"
+
+using namespace tlsim;
+using namespace tlsim::cacti;
+using tlsim::phys::tech45;
+
+TEST(SramBank, Table2AccessCycles)
+{
+    SramBankModel dnuca_bank(tech45(), 64 * 1024, 2, 64);
+    SramBankModel tlc_bank(tech45(), 512 * 1024, 4, 64);
+    SramBankModel opt_bank(tech45(), 1024 * 1024, 4, 64);
+    EXPECT_EQ(dnuca_bank.accessCycles(), 3);
+    EXPECT_EQ(tlc_bank.accessCycles(), 8);
+    EXPECT_EQ(opt_bank.accessCycles(), 10);
+}
+
+TEST(SramBank, AccessTimeMonotoneInCapacity)
+{
+    double prev = 0.0;
+    for (std::uint64_t kb : {16, 64, 256, 1024, 4096}) {
+        SramBankModel bank(tech45(), kb * 1024, 4, 64);
+        EXPECT_GT(bank.accessTime(), prev);
+        prev = bank.accessTime();
+    }
+}
+
+TEST(SramBank, DnucaStorageAreaNearTable7)
+{
+    // 256 x 64 KB banks: paper Table 7 says 92 mm^2.
+    SramBankModel bank(tech45(), 64 * 1024, 2, 64);
+    double total_mm2 = 256.0 * bank.area() / 1e-6;
+    EXPECT_GT(total_mm2, 75.0);
+    EXPECT_LT(total_mm2, 115.0);
+}
+
+TEST(SramBank, TlcStorageAreaNearTable7)
+{
+    // 32 x 512 KB banks: paper Table 7 says 77 mm^2.
+    SramBankModel bank(tech45(), 512 * 1024, 4, 64);
+    double total_mm2 = 32.0 * bank.area() / 1e-6;
+    EXPECT_GT(total_mm2, 63.0);
+    EXPECT_LT(total_mm2, 95.0);
+}
+
+TEST(SramBank, LargerBanksAreDenser)
+{
+    // Periphery amortization: the key to TLC's storage-area saving.
+    SramBankModel small(tech45(), 64 * 1024, 2, 64);
+    SramBankModel large(tech45(), 512 * 1024, 4, 64);
+    double small_density = small.area() / (64.0 * 1024);
+    double large_density = large.area() / (512.0 * 1024);
+    EXPECT_LT(large_density, small_density);
+}
+
+TEST(SramBank, ReadEnergyMonotone)
+{
+    SramBankModel a(tech45(), 64 * 1024, 2, 64);
+    SramBankModel b(tech45(), 1024 * 1024, 4, 64);
+    EXPECT_LT(a.readEnergy(), b.readEnergy());
+    // Tens to hundreds of pJ.
+    EXPECT_GT(a.readEnergy(), 1e-12);
+    EXPECT_LT(b.readEnergy(), 1e-9);
+}
+
+TEST(SramBank, TransistorCountDominatedByCells)
+{
+    SramBankModel bank(tech45(), 64 * 1024, 2, 64);
+    long bits = 64 * 1024 * 8;
+    EXPECT_GT(bank.transistorCount(), 6L * bits);
+    EXPECT_LT(bank.transistorCount(), 8L * bits);
+}
+
+TEST(SramBank, TinyBankPanics)
+{
+    EXPECT_THROW(SramBankModel(tech45(), 512, 2, 64),
+                 tlsim::PanicError);
+}
+
+/** Property sweep: access cycles weakly monotone over capacities. */
+class BankCapacitySweep
+    : public ::testing::TestWithParam<std::uint64_t>
+{};
+
+TEST_P(BankCapacitySweep, CyclesAtLeastThree)
+{
+    SramBankModel bank(tech45(), GetParam(), 4, 64);
+    EXPECT_GE(bank.accessCycles(), 2);
+    EXPECT_LE(bank.accessCycles(), 40);
+    EXPECT_GT(bank.area(), 0.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Capacities, BankCapacitySweep,
+                         ::testing::Values(16 * 1024, 64 * 1024,
+                                           128 * 1024, 512 * 1024,
+                                           1024 * 1024, 4096 * 1024));

@@ -1,0 +1,194 @@
+/**
+ * @file
+ * Unit tests for the statistics package.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "sim/stats.hh"
+
+using namespace tlsim;
+using namespace tlsim::stats;
+
+TEST(Scalar, StartsAtZero)
+{
+    StatGroup group("g");
+    Scalar s(&group, "s", "desc");
+    EXPECT_EQ(s.value(), 0.0);
+}
+
+TEST(Scalar, IncrementAndAdd)
+{
+    StatGroup group("g");
+    Scalar s(&group, "s", "desc");
+    ++s;
+    s += 2.5;
+    EXPECT_DOUBLE_EQ(s.value(), 3.5);
+}
+
+TEST(Scalar, Assignment)
+{
+    StatGroup group("g");
+    Scalar s(&group, "s", "desc");
+    s = 7.0;
+    EXPECT_DOUBLE_EQ(s.value(), 7.0);
+}
+
+TEST(Scalar, Reset)
+{
+    StatGroup group("g");
+    Scalar s(&group, "s", "desc");
+    s += 9;
+    group.resetStats();
+    EXPECT_EQ(s.value(), 0.0);
+}
+
+TEST(Average, MeanCountMinMax)
+{
+    StatGroup group("g");
+    Average a(&group, "a", "desc");
+    a.sample(1.0);
+    a.sample(2.0);
+    a.sample(6.0);
+    EXPECT_EQ(a.count(), 3u);
+    EXPECT_DOUBLE_EQ(a.mean(), 3.0);
+    EXPECT_DOUBLE_EQ(a.minValue(), 1.0);
+    EXPECT_DOUBLE_EQ(a.maxValue(), 6.0);
+}
+
+TEST(Average, EmptyMeanIsZero)
+{
+    StatGroup group("g");
+    Average a(&group, "a", "desc");
+    EXPECT_EQ(a.mean(), 0.0);
+    EXPECT_EQ(a.minValue(), 0.0);
+}
+
+TEST(Average, Variance)
+{
+    StatGroup group("g");
+    Average a(&group, "a", "desc");
+    for (double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0})
+        a.sample(v);
+    EXPECT_NEAR(a.variance(), 4.0, 1e-9);
+}
+
+TEST(Average, ResetClearsEverything)
+{
+    StatGroup group("g");
+    Average a(&group, "a", "desc");
+    a.sample(5.0);
+    a.reset();
+    EXPECT_EQ(a.count(), 0u);
+    EXPECT_EQ(a.mean(), 0.0);
+}
+
+TEST(Distribution, BucketsAndOverflow)
+{
+    StatGroup group("g");
+    Distribution d(&group, "d", "desc", 0.0, 10.0, 10);
+    d.sample(-1.0);
+    d.sample(0.5);
+    d.sample(5.5);
+    d.sample(25.0);
+    EXPECT_EQ(d.count(), 4u);
+    EXPECT_EQ(d.underflow(), 1u);
+    EXPECT_EQ(d.overflow(), 1u);
+    EXPECT_EQ(d.bucket(0), 1u);
+    EXPECT_EQ(d.bucket(5), 1u);
+}
+
+TEST(Distribution, MeanOverAllSamples)
+{
+    StatGroup group("g");
+    Distribution d(&group, "d", "desc", 0.0, 100.0, 10);
+    d.sample(10.0);
+    d.sample(30.0);
+    EXPECT_DOUBLE_EQ(d.mean(), 20.0);
+}
+
+TEST(Distribution, QuantileMedian)
+{
+    StatGroup group("g");
+    Distribution d(&group, "d", "desc", 0.0, 100.0, 100);
+    for (int i = 0; i < 100; ++i)
+        d.sample(static_cast<double>(i) + 0.5);
+    EXPECT_NEAR(d.quantile(0.5), 50.0, 1.5);
+    EXPECT_NEAR(d.quantile(0.9), 90.0, 1.5);
+}
+
+TEST(Distribution, BadBoundsPanic)
+{
+    StatGroup group("g");
+    EXPECT_THROW(Distribution(&group, "d", "desc", 10.0, 0.0, 4),
+                 PanicError);
+}
+
+TEST(Histogram, Log2Buckets)
+{
+    StatGroup group("g");
+    Histogram h(&group, "h", "desc");
+    h.sample(0); // bucket 0
+    h.sample(1); // bucket 1
+    h.sample(2); // bucket 2
+    h.sample(3); // bucket 2
+    h.sample(1024); // bucket 11
+    EXPECT_EQ(h.count(), 5u);
+    EXPECT_EQ(h.bucket(0), 1u);
+    EXPECT_EQ(h.bucket(1), 1u);
+    EXPECT_EQ(h.bucket(2), 2u);
+    EXPECT_EQ(h.bucket(11), 1u);
+}
+
+TEST(Histogram, MeanTracksSamples)
+{
+    StatGroup group("g");
+    Histogram h(&group, "h", "desc");
+    h.sample(10);
+    h.sample(20);
+    EXPECT_DOUBLE_EQ(h.mean(), 15.0);
+}
+
+TEST(Formula, EvaluatesLazily)
+{
+    StatGroup group("g");
+    Scalar s(&group, "s", "desc");
+    Formula f(&group, "f", "twice s", [&s]() { return 2 * s.value(); });
+    s += 3;
+    EXPECT_DOUBLE_EQ(f.value(), 6.0);
+    s += 1;
+    EXPECT_DOUBLE_EQ(f.value(), 8.0);
+}
+
+TEST(StatGroup, DumpContainsNamesAndValues)
+{
+    StatGroup group("root");
+    Scalar s(&group, "counter", "a counter");
+    s += 5;
+    std::ostringstream os;
+    group.dumpStats(os);
+    std::string text = os.str();
+    EXPECT_NE(text.find("root.counter"), std::string::npos);
+    EXPECT_NE(text.find("5"), std::string::npos);
+    EXPECT_NE(text.find("a counter"), std::string::npos);
+}
+
+TEST(StatGroup, NestedGroupsDumpAndReset)
+{
+    StatGroup root("root");
+    StatGroup child("child", &root);
+    Scalar s(&child, "x", "nested");
+    s += 2;
+    std::ostringstream os;
+    root.dumpStats(os);
+    EXPECT_NE(os.str().find("root.child.x"), std::string::npos);
+    root.resetStats();
+    EXPECT_EQ(s.value(), 0.0);
+}
+
+TEST(StatGroup, NullParentPanics)
+{
+    EXPECT_THROW(Scalar(nullptr, "s", "d"), PanicError);
+}

@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Unit tests for the Orion-style mesh switch model.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/logging.hh"
+
+#include "phys/switchmodel.hh"
+#include "phys/technology.hh"
+
+using namespace tlsim::phys;
+
+TEST(SwitchModel, DnucaSwitchTransistorBudget)
+{
+    // 256 of these must total ~1.2e7 transistors (paper Table 8).
+    SwitchModel sw(tech45(), 5, 128, 4);
+    long total = 256L * sw.transistorCount();
+    EXPECT_GT(total, 0.5e7);
+    EXPECT_LT(total, 2.5e7);
+}
+
+TEST(SwitchModel, TransistorsScaleWithWidth)
+{
+    SwitchModel narrow(tech45(), 5, 64, 4);
+    SwitchModel wide(tech45(), 5, 128, 4);
+    EXPECT_GT(wide.transistorCount(), 1.7 * narrow.transistorCount());
+}
+
+TEST(SwitchModel, TransistorsScaleWithPorts)
+{
+    SwitchModel small(tech45(), 3, 128, 4);
+    SwitchModel large(tech45(), 5, 128, 4);
+    EXPECT_GT(large.transistorCount(), small.transistorCount());
+}
+
+TEST(SwitchModel, BufferDepthMatters)
+{
+    SwitchModel shallow(tech45(), 5, 128, 2);
+    SwitchModel deep(tech45(), 5, 128, 8);
+    EXPECT_GT(deep.transistorCount(), shallow.transistorCount());
+}
+
+TEST(SwitchModel, EnergyPerFlitPicojouleRange)
+{
+    SwitchModel sw(tech45(), 5, 128, 4);
+    double pj = sw.energyPerFlit() / 1e-12;
+    EXPECT_GT(pj, 0.1);
+    EXPECT_LT(pj, 10.0);
+}
+
+TEST(SwitchModel, AreaPositiveAndSmall)
+{
+    SwitchModel sw(tech45(), 5, 128, 4);
+    double mm2 = sw.area() / 1e-6;
+    EXPECT_GT(mm2, 0.0);
+    EXPECT_LT(mm2, 1.0); // one switch is far below 1 mm^2
+}
+
+TEST(SwitchModel, GateWidthExceedsTransistorCount)
+{
+    // Average device is wider than minimum.
+    SwitchModel sw(tech45(), 5, 128, 4);
+    EXPECT_GT(sw.gateWidthLambda(),
+              static_cast<double>(sw.transistorCount()));
+}
+
+TEST(SwitchModel, BadConfigPanics)
+{
+    EXPECT_THROW(SwitchModel(tech45(), 0, 128, 4), tlsim::PanicError);
+    EXPECT_THROW(SwitchModel(tech45(), 5, 0, 4), tlsim::PanicError);
+    EXPECT_THROW(SwitchModel(tech45(), 5, 128, 0), tlsim::PanicError);
+}

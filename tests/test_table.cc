@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Unit tests for the text table formatter.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "sim/table.hh"
+
+using namespace tlsim;
+
+TEST(TextTable, PrintsHeaderAndRows)
+{
+    TextTable table("My Table");
+    table.setHeader({"A", "B"});
+    table.addRow({"1", "2"});
+    table.addRow({"333", "4"});
+    std::ostringstream os;
+    table.print(os);
+    std::string text = os.str();
+    EXPECT_NE(text.find("My Table"), std::string::npos);
+    EXPECT_NE(text.find("A"), std::string::npos);
+    EXPECT_NE(text.find("333"), std::string::npos);
+}
+
+TEST(TextTable, ColumnsAligned)
+{
+    TextTable table;
+    table.setHeader({"col", "x"});
+    table.addRow({"longvalue", "1"});
+    std::ostringstream os;
+    table.print(os);
+    // The second column of both lines starts at the same offset.
+    std::string text = os.str();
+    auto first_line_end = text.find('\n');
+    std::string header = text.substr(0, first_line_end);
+    EXPECT_GE(header.size(), std::string("longvalue").size());
+}
+
+TEST(TextTable, CsvOutput)
+{
+    TextTable table;
+    table.setHeader({"a", "b"});
+    table.addRow({"1", "2"});
+    std::ostringstream os;
+    table.printCsv(os);
+    EXPECT_EQ(os.str(), "a,b\n1,2\n");
+}
+
+TEST(TextTable, NumFormatsPrecision)
+{
+    EXPECT_EQ(TextTable::num(3.14159, 2), "3.14");
+    EXPECT_EQ(TextTable::num(2.0, 0), "2");
+    EXPECT_EQ(TextTable::num(0.057, 3), "0.057");
+}
+
+TEST(TextTable, EmptyTablePrintsNothingFatal)
+{
+    TextTable table;
+    std::ostringstream os;
+    table.print(os);
+    table.printCsv(os);
+    SUCCEED();
+}
+
+TEST(TextTable, NumRows)
+{
+    TextTable table;
+    EXPECT_EQ(table.numRows(), 0u);
+    table.addRow({"x"});
+    EXPECT_EQ(table.numRows(), 1u);
+}
+
+TEST(TextTable, RaggedRowsHandled)
+{
+    TextTable table;
+    table.setHeader({"a"});
+    table.addRow({"1", "2", "3"});
+    std::ostringstream os;
+    table.print(os);
+    EXPECT_NE(os.str().find("3"), std::string::npos);
+}

@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Unit tests for the technology parameter model.
+ */
+
+#include <gtest/gtest.h>
+
+#include "phys/technology.hh"
+
+using namespace tlsim::phys;
+
+TEST(Technology, DefaultsMatchPaperDesignPoint)
+{
+    const Technology &tech = tech45();
+    EXPECT_DOUBLE_EQ(tech.featureSize, 45e-9);
+    EXPECT_DOUBLE_EQ(tech.clockFreq, 10e9);
+    EXPECT_DOUBLE_EQ(tech.vdd, 1.0);
+}
+
+TEST(Technology, CycleTimeIs100ps)
+{
+    EXPECT_NEAR(tech45().cycleTime(), 100e-12, 1e-15);
+}
+
+TEST(Technology, LambdaIsHalfFeature)
+{
+    EXPECT_NEAR(tech45().lambda, tech45().featureSize / 2.0, 1e-12);
+}
+
+TEST(Technology, DielectricVelocityBelowLightSpeed)
+{
+    double v = tech45().dielectricVelocity();
+    EXPECT_LT(v, constants::speedOfLight);
+    EXPECT_GT(v, constants::speedOfLight / 3.0);
+}
+
+TEST(Technology, DielectricVelocityMatchesSqrtK)
+{
+    const Technology &tech = tech45();
+    EXPECT_NEAR(tech.dielectricVelocity() * tech.sqrtK(),
+                constants::speedOfLight, 1.0);
+}
+
+TEST(Technology, BulkCopperFasterThanBarriered)
+{
+    const Technology &tech = tech45();
+    EXPECT_LT(tech.bulkCopperResistivity, tech.copperResistivity);
+}
+
+TEST(Technology, CustomTechnologyIsIndependent)
+{
+    Technology custom;
+    custom.clockFreq = 5e9;
+    EXPECT_NEAR(custom.cycleTime(), 200e-12, 1e-15);
+    EXPECT_NEAR(tech45().cycleTime(), 100e-12, 1e-15);
+}

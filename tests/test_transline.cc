@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Unit tests for the transmission-line latency/energy/circuit model.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/logging.hh"
+
+#include "phys/transline.hh"
+
+using namespace tlsim::phys;
+
+TEST(TransLine, FlightCyclesOneForTlcLengths)
+{
+    // All TLC routed lengths (0.9-1.3 cm) fly in a single 10 GHz
+    // cycle — the basis of the Table 2 latency decomposition.
+    for (double len : {0.9e-2, 1.1e-2, 1.3e-2}) {
+        TransmissionLine line(tech45(), len);
+        EXPECT_EQ(line.flightCycles(), 1) << "length " << len;
+    }
+}
+
+TEST(TransLine, FlightTimeMatchesVelocity)
+{
+    TransmissionLine line(tech45(), 1.0e-2);
+    EXPECT_NEAR(line.flightTime() * line.velocity(), 1.0e-2, 1e-9);
+}
+
+TEST(TransLine, Z0InOnChipRange)
+{
+    for (double len : {0.9e-2, 1.1e-2, 1.3e-2}) {
+        TransmissionLine line(tech45(), len);
+        EXPECT_GT(line.z0(), 20.0);
+        EXPECT_LT(line.z0(), 120.0);
+    }
+}
+
+TEST(TransLine, EnergyPerBitAboutAPicojoule)
+{
+    TransmissionLine line(tech45(), 1.1e-2);
+    double pj = line.energyPerBit() / 1e-12;
+    EXPECT_GT(pj, 0.3);
+    EXPECT_LT(pj, 3.0);
+}
+
+TEST(TransLine, EnergyIndependentOfLength)
+{
+    // Unlike RC wires, the launch energy depends on Z0 and bit time,
+    // not on the wire's length.
+    TransmissionLine a(tech45(), 0.9e-2);
+    TransmissionLine b(tech45(), 1.3e-2);
+    EXPECT_NEAR(a.energyPerBit() / b.energyPerBit(), 1.0, 0.5);
+}
+
+TEST(TransLine, AttenuationReasonable)
+{
+    TransmissionLine line(tech45(), 1.3e-2);
+    double atten = line.incidentAttenuation();
+    EXPECT_GT(atten, 0.4);
+    EXPECT_LT(atten, 1.0);
+}
+
+TEST(TransLine, ShorterLineLessAttenuation)
+{
+    TransmissionLine a(tech45(), 0.9e-2);
+    TransmissionLine b(tech45(), 1.3e-2);
+    EXPECT_GT(a.incidentAttenuation(), b.incidentAttenuation());
+}
+
+TEST(TransLine, TransistorCountPerLine)
+{
+    // Driver + receiver: ~90 devices (Table 8: 2048 lines -> 1.9e5).
+    int n = TransmissionLine::transistorsPerLine();
+    EXPECT_GT(n, 50);
+    EXPECT_LT(n, 150);
+}
+
+TEST(TransLine, DriverGateWidthImpedanceSized)
+{
+    TransmissionLine line(tech45(), 1.1e-2);
+    // Matching ~40-60 ohm lines from a 25 kOhm/min-width process
+    // needs hundreds of minimum widths.
+    double lambda = line.gateWidthLambda();
+    EXPECT_GT(lambda, 2000.0);
+    EXPECT_LT(lambda, 20000.0);
+}
+
+TEST(TransLine, NonPositiveLengthPanics)
+{
+    EXPECT_THROW(TransmissionLine(tech45(), 0.0), tlsim::PanicError);
+}
