@@ -14,8 +14,9 @@ using namespace tlsim;
 using harness::DesignKind;
 
 int
-main()
+main(int argc, char **argv)
 {
+    benchcommon::initObservability(argc, argv);
     TextTable table("Figure 5: Normalized Execution Time vs SNUCA2 "
                     "(measured (paper, read off plot))");
     table.setHeader({"Bench", "DNUCA", "TLC"});

@@ -15,8 +15,9 @@ using namespace tlsim;
 using harness::DesignKind;
 
 int
-main()
+main(int argc, char **argv)
 {
+    benchcommon::initObservability(argc, argv);
     TextTable table("Figure 6: Mean Cache Lookup Latency [cycles] "
                     "(measured (paper, read off plot))");
     table.setHeader({"Bench", "DNUCA", "TLC"});

@@ -17,8 +17,9 @@ using namespace tlsim;
 using harness::DesignKind;
 
 int
-main()
+main(int argc, char **argv)
 {
+    benchcommon::initObservability(argc, argv);
     TextTable table("Figure 7: TLC Average Link Utilization [%]");
     table.setHeader({"Bench", "TLC", "TLCopt1000", "TLCopt500",
                      "TLCopt350"});

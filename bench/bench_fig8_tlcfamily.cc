@@ -16,8 +16,9 @@ using namespace tlsim;
 using harness::DesignKind;
 
 int
-main()
+main(int argc, char **argv)
 {
+    benchcommon::initObservability(argc, argv);
     TextTable table("Figure 8: TLC Family Execution Time "
                     "(normalized to base TLC)");
     table.setHeader({"Bench", "TLC", "TLCopt1000", "TLCopt500",

@@ -15,8 +15,9 @@ using namespace tlsim;
 using harness::DesignKind;
 
 int
-main()
+main(int argc, char **argv)
 {
+    benchcommon::initObservability(argc, argv);
     TextTable table("Table 6: Benchmark Characteristics "
                     "(paper -> measured)");
     table.setHeader({"Bench", "L2req/1K", "TLC miss/1K (paper)",

@@ -15,8 +15,9 @@ using namespace tlsim;
 using harness::DesignKind;
 
 int
-main()
+main(int argc, char **argv)
 {
+    benchcommon::initObservability(argc, argv);
     TextTable table("Table 9: Dynamic Components (measured (paper))");
     table.setHeader({"Bench", "DNUCA banks/req", "TLC banks/req",
                      "DNUCA net power [mW]", "TLC net power [mW]"});

@@ -16,6 +16,8 @@
 
 #include "harness/system.hh"
 #include "sim/table.hh"
+#include "sim/trace/options.hh"
+#include "sim/trace/sampler.hh"
 #include "workload/profile.hh"
 
 namespace benchcommon
@@ -60,6 +62,8 @@ class RunCache
             << result.linkUtilizationPct << ' ' << result.closeHitPct
             << ' ' << result.promotesPerInsert << ' '
             << result.fastMissPct << ' ' << result.multiMatchPct
+            << ' ' << result.queueWaitMean << ' ' << result.wireMean
+            << ' ' << result.bankMean << ' ' << result.dramMean
             << '\n';
     }
 
@@ -79,7 +83,8 @@ class RunCache
                 r.predictablePct >> r.banksPerRequest >>
                 r.networkPowerMw >> r.linkUtilizationPct >>
                 r.closeHitPct >> r.promotesPerInsert >>
-                r.fastMissPct >> r.multiMatchPct) {
+                r.fastMissPct >> r.multiMatchPct >> r.queueWaitMean >>
+                r.wireMean >> r.bankMean >> r.dramMean) {
                 entries[key] = r;
             }
         }
@@ -115,6 +120,62 @@ functionalWarmupInstructions()
                : tlsim::harness::defaultFunctionalWarmup;
 }
 
+inline std::unique_ptr<tlsim::trace::Observability> &
+observabilityStorage()
+{
+    static std::unique_ptr<tlsim::trace::Observability> obs;
+    return obs;
+}
+
+/**
+ * Initialise process-wide observability from argv; call first thing
+ * in main so --debug-flags/--trace-out/... are stripped before any
+ * positional-argument parsing.
+ */
+inline tlsim::trace::Observability &
+initObservability(int &argc, char **argv)
+{
+    auto &storage = observabilityStorage();
+    if (!storage) {
+        storage =
+            std::make_unique<tlsim::trace::Observability>(argc, argv);
+    }
+    return *storage;
+}
+
+/** Process-wide observability; environment-driven if main never
+ * called initObservability. */
+inline tlsim::trace::Observability &
+observability()
+{
+    auto &storage = observabilityStorage();
+    if (!storage)
+        storage = std::make_unique<tlsim::trace::Observability>();
+    return *storage;
+}
+
+/**
+ * RunObserver that attaches the periodic stat sampler over the
+ * measured phase and dumps final stats JSON, per the process-wide
+ * observability options.
+ */
+inline tlsim::harness::RunObserver
+makeRunObserver()
+{
+    auto sampler = std::make_shared<
+        std::unique_ptr<tlsim::trace::StatSampler>>();
+    tlsim::harness::RunObserver observer;
+    observer.onMeasureBegin = [sampler](tlsim::harness::System &sys) {
+        *sampler = observability().makeSampler(sys.eventQueue(),
+                                               sys.root());
+    };
+    observer.onMeasureEnd = [sampler](tlsim::harness::System &sys) {
+        sampler->reset();
+        observability().dumpFinalStats(sys.root());
+    };
+    return observer;
+}
+
 /** Key for caching run results within one bench process. */
 using RunKey = std::pair<tlsim::harness::DesignKind, std::string>;
 
@@ -144,9 +205,10 @@ cachedRun(tlsim::harness::DesignKind kind, const std::string &bench)
         const auto &profile = tlsim::workload::profileByName(bench);
         std::cerr << "  running " << tlsim::harness::designName(kind)
                   << " / " << bench << "..." << std::endl;
+        auto observer = makeRunObserver();
         auto result = tlsim::harness::runBenchmark(
             kind, profile, warmupInstructions(), measureInstructions(),
-            0, functionalWarmupInstructions());
+            0, functionalWarmupInstructions(), &observer);
         disk_cache.store(disk_key, result);
         it = cache.emplace(key, std::move(result)).first;
     }

@@ -11,6 +11,7 @@
 
 #include "harness/system.hh"
 #include "sim/table.hh"
+#include "sim/trace/options.hh"
 
 using namespace tlsim;
 using harness::DesignKind;
@@ -18,6 +19,7 @@ using harness::DesignKind;
 int
 main(int argc, char **argv)
 {
+    trace::Observability obs(argc, argv);
     std::string bench = argc > 1 ? argv[1] : "mcf";
     std::uint64_t instructions =
         argc > 2 ? std::strtoull(argv[2], nullptr, 10) : 3'000'000;

@@ -11,6 +11,7 @@
 
 #include "harness/system.hh"
 #include "sim/table.hh"
+#include "sim/trace/options.hh"
 #include "tlc/floorplan.hh"
 #include "tlc/tlccache.hh"
 
@@ -19,6 +20,7 @@ using namespace tlsim;
 int
 main(int argc, char **argv)
 {
+    trace::Observability obs(argc, argv);
     std::string bench = argc > 1 ? argv[1] : "apache";
     const auto &profile = workload::profileByName(bench);
 

@@ -6,20 +6,30 @@
  *
  *   $ ./examples/quickstart [benchmark] [instructions]
  *
- * Defaults to 2M measured instructions of "gcc".
+ * Defaults to 2M measured instructions of "gcc". Observability
+ * options (see docs/OBSERVABILITY.md):
+ *
+ *   --trace-out=run.trace.json   Chrome trace of the measured phase
+ *   --stats-json=run.stats.json  final stats as JSON
+ *   --stats-series=ts.jsonl      periodic stat samples
+ *   --debug-flags=L2,NoC         debug prints to stderr
  */
 
 #include <cstdlib>
 #include <iostream>
+#include <memory>
 
 #include "harness/system.hh"
 #include "sim/table.hh"
+#include "sim/trace/options.hh"
 
 using namespace tlsim;
 
 int
 main(int argc, char **argv)
 {
+    trace::Observability obs(argc, argv);
+
     std::string bench = argc > 1 ? argv[1] : "gcc";
     std::uint64_t instructions =
         argc > 2 ? std::strtoull(argv[2], nullptr, 10) : 2'000'000;
@@ -31,10 +41,21 @@ main(int argc, char **argv)
     // 2. Run it on the base TLC design. runBenchmark() assembles the
     //    whole machine: 4-wide OoO core, split 64 KB L1s, the 16 MB
     //    L2 design under test, and DRAM; warms the caches; measures.
+    //    The observer attaches the periodic stat sampler over the
+    //    measured phase and dumps final stats JSON, if requested.
+    std::unique_ptr<trace::StatSampler> sampler;
+    harness::RunObserver observer;
+    observer.onMeasureBegin = [&](harness::System &sys) {
+        sampler = obs.makeSampler(sys.eventQueue(), sys.root());
+    };
+    observer.onMeasureEnd = [&](harness::System &sys) {
+        sampler.reset();
+        obs.dumpFinalStats(sys.root());
+    };
     harness::RunResult result = harness::runBenchmark(
         harness::DesignKind::TlcBase, profile,
         /*warm_instructions=*/1'000'000, instructions,
-        /*run_seed=*/0, /*functional_warm=*/50'000'000);
+        /*run_seed=*/0, /*functional_warm=*/50'000'000, &observer);
 
     // 3. Read out the metrics the paper's evaluation is built from.
     TextTable table("Quickstart: " + bench + " on the base TLC");
@@ -54,6 +75,16 @@ main(int argc, char **argv)
                   TextTable::num(result.linkUtilizationPct, 2)});
     table.addRow({"network dynamic power [mW]",
                   TextTable::num(result.networkPowerMw, 1)});
+    // Where did the L2 latency go? (per-request means; DRAM only
+    // contributes on misses)
+    table.addRow({"  breakdown: queue wait [cycles]",
+                  TextTable::num(result.queueWaitMean, 2)});
+    table.addRow({"  breakdown: wire [cycles]",
+                  TextTable::num(result.wireMean, 2)});
+    table.addRow({"  breakdown: bank [cycles]",
+                  TextTable::num(result.bankMean, 2)});
+    table.addRow({"  breakdown: dram [cycles]",
+                  TextTable::num(result.dramMean, 2)});
     table.print(std::cout);
 
     std::cout << "\nTry: quickstart mcf, or compare designs with the "

@@ -2,6 +2,9 @@
 
 #include <algorithm>
 
+#include "sim/trace/debug.hh"
+#include "sim/trace/tracesink.hh"
+
 namespace tlsim
 {
 namespace cpu
@@ -116,6 +119,8 @@ OoOCore::stepMemOp(const TraceRecord &record)
     }
 
     ++loads;
+    TLSIM_DPRINTF(CPU, "t={} load #{} block {}", cycle, i,
+                  record.blockAddr);
     pending[slot] = true;
     completeQ[slot] = 0;
     prevLoadIdx = i;
@@ -152,6 +157,8 @@ OoOCore::stepIFetch(const TraceRecord &record)
     // Hits are pipelined and do not stall the frontend.
     if (ready > cycle + 3) {
         ++ifetchStalls;
+        TLSIM_DPRINTF(CPU, "t={} ifetch stall block {} until {}",
+                      cycle, record.blockAddr, ready);
         ifetchReadyQ = std::max(ifetchReadyQ, ready * 4);
     }
 
@@ -199,6 +206,14 @@ OoOCore::run(TraceSource &source, std::uint64_t num_instructions)
     std::uint64_t elapsed = end_cycle - start_cycle;
     cycles += static_cast<double>(elapsed);
     instructions += static_cast<double>(executed);
+    TLSIM_DPRINTF(CPU, "run: {} instructions in {} cycles", executed,
+                  elapsed);
+    if (auto *sink = trace::TraceSink::active()) {
+        sink->span(trace::cat::cpu,
+                   csprintf("run {} insts", executed),
+                   static_cast<Tick>(start_cycle),
+                   static_cast<Tick>(end_cycle), trace::tid::cpu);
+    }
     return elapsed;
 }
 

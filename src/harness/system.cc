@@ -128,7 +128,7 @@ RunResult
 runBenchmark(DesignKind kind, const workload::BenchmarkProfile &profile,
              std::uint64_t warm_instructions,
              std::uint64_t measure_instructions, std::uint64_t run_seed,
-             std::uint64_t functional_warm)
+             std::uint64_t functional_warm, const RunObserver *observer)
 {
     cpu::CoreConfig core_config;
     core_config.fetchQuanta = profile.ilpQuanta;
@@ -144,9 +144,13 @@ runBenchmark(DesignKind kind, const workload::BenchmarkProfile &profile,
         system.core().run(gen, warm_instructions);
 
     system.beginMeasurement();
+    if (observer && observer->onMeasureBegin)
+        observer->onMeasureBegin(system);
     std::uint64_t cycles =
         system.core().run(gen, measure_instructions);
     system.l2().syncStats();
+    if (observer && observer->onMeasureEnd)
+        observer->onMeasureEnd(system);
 
     mem::L2Cache &l2 = system.l2();
     RunResult result;
@@ -190,6 +194,11 @@ runBenchmark(DesignKind kind, const workload::BenchmarkProfile &profile,
         result.multiMatchPct =
             100.0 * tlc_cache->multiMatches.value() / lookups;
     }
+
+    result.queueWaitMean = l2.queueWaitLatency.mean();
+    result.wireMean = l2.wireLatency.mean();
+    result.bankMean = l2.bankLatency.mean();
+    result.dramMean = l2.dramLatency.mean();
     return result;
 }
 

@@ -8,6 +8,7 @@
 #ifndef TLSIM_HARNESS_SYSTEM_HH
 #define TLSIM_HARNESS_SYSTEM_HH
 
+#include <functional>
 #include <memory>
 #include <string>
 #include <vector>
@@ -110,6 +111,27 @@ struct RunResult
 
     // TLCopt-specific.
     double multiMatchPct = 0.0;
+
+    // Mean per-request latency-breakdown components (cycles), from
+    // the design's lat_* distributions.
+    double queueWaitMean = 0.0;
+    double wireMean = 0.0;
+    double bankMean = 0.0;
+    double dramMean = 0.0;
+};
+
+/**
+ * Observer hooks around the measured phase of runBenchmark, for
+ * attaching observability (periodic stat samplers, stat dumps, extra
+ * reporting) without changing the runner itself. Either hook may be
+ * empty.
+ */
+struct RunObserver
+{
+    /** Fires after beginMeasurement, before the measured run. */
+    std::function<void(System &)> onMeasureBegin;
+    /** Fires after the measured run and syncStats. */
+    std::function<void(System &)> onMeasureEnd;
 };
 
 /**
@@ -133,7 +155,8 @@ RunResult runBenchmark(DesignKind kind,
                        std::uint64_t measure_instructions,
                        std::uint64_t run_seed = 0,
                        std::uint64_t functional_warm =
-                           defaultFunctionalWarmup);
+                           defaultFunctionalWarmup,
+                       const RunObserver *observer = nullptr);
 
 } // namespace harness
 } // namespace tlsim

@@ -1,5 +1,8 @@
 #include "mem/dram.hh"
 
+#include "sim/trace/debug.hh"
+#include "sim/trace/tracesink.hh"
+
 namespace tlsim
 {
 namespace mem
@@ -18,7 +21,8 @@ Dram::Dram(EventQueue &eq, stats::StatGroup *parent, Cycles latency_,
 void
 Dram::read(Addr block_addr, Tick now, RespCallback cb)
 {
-    (void)block_addr;
+    TLSIM_DPRINTF(Dram, "t={} read block {} ({} in service)", now,
+                  block_addr, outstanding);
     ++reads;
     waiting.push_back(Pending{now, std::move(cb)});
     startNext(now);
@@ -27,7 +31,8 @@ Dram::read(Addr block_addr, Tick now, RespCallback cb)
 void
 Dram::write(Addr block_addr, Tick now)
 {
-    (void)block_addr;
+    TLSIM_DPRINTF(Dram, "t={} write block {} ({} in service)", now,
+                  block_addr, outstanding);
     ++writes;
     waiting.push_back(Pending{now, RespCallback{}});
     startNext(now);
@@ -42,6 +47,15 @@ Dram::startNext(Tick now)
         queueDelay.sample(static_cast<double>(now - pending.ready));
         ++outstanding;
         Tick done = now + latency;
+        if (auto *sink = trace::TraceSink::active()) {
+            if (now > pending.ready) {
+                sink->span(trace::cat::dram, "queued", pending.ready,
+                           now, trace::tid::dram);
+            }
+            sink->span(trace::cat::dram,
+                       pending.cb ? "read" : "write", now, done,
+                       trace::tid::dram);
+        }
         RespCallback cb = std::move(pending.cb);
         eventq.scheduleFunc(done, [this, cb = std::move(cb), done]() {
             finish(done, cb);

@@ -1,5 +1,8 @@
 #include "mem/l1cache.hh"
 
+#include "sim/trace/debug.hh"
+#include "sim/trace/tracesink.hh"
+
 namespace tlsim
 {
 namespace mem
@@ -52,6 +55,8 @@ L1Cache::access(Addr block_addr, AccessType type, Tick now,
     // Miss: coalesce onto an existing MSHR if one tracks this block.
     auto it = mshrs.find(block_addr);
     if (it != mshrs.end()) {
+        TLSIM_DPRINTF(L1, "t={} {} coalesce block {}", now,
+                      groupName(), block_addr);
         ++coalescedMisses;
         it->second.storeMiss |= isWrite(type);
         it->second.targets.push_back(std::move(cb));
@@ -60,13 +65,18 @@ L1Cache::access(Addr block_addr, AccessType type, Tick now,
 
     ++misses;
     if (static_cast<int>(mshrs.size()) >= numMshrs) {
+        TLSIM_DPRINTF(L1, "t={} {} MSHRs full, queueing block {}", now,
+                      groupName(), block_addr);
         waitQueue.push_back(
             WaitingAccess{block_addr, type, now, std::move(cb)});
         return;
     }
 
+    TLSIM_DPRINTF(L1, "t={} {} miss block {}", now, groupName(),
+                  block_addr);
     Mshr &mshr = mshrs[block_addr];
     mshr.storeMiss = isWrite(type);
+    mshr.started = now;
     mshr.targets.push_back(std::move(cb));
     startMiss(block_addr, type, now);
 }
@@ -110,6 +120,14 @@ L1Cache::handleFill(Addr block_addr, Tick now)
     TLSIM_ASSERT(it != mshrs.end(), "fill without MSHR");
     Mshr mshr = std::move(it->second);
     mshrs.erase(it);
+
+    TLSIM_DPRINTF(L1, "t={} {} fill block {} ({} targets)", now,
+                  groupName(), block_addr, mshr.targets.size());
+    if (auto *sink = trace::TraceSink::active()) {
+        sink->span(trace::cat::l1,
+                   csprintf("{} miss {}", groupName(), block_addr),
+                   mshr.started, now, trace::tid::l1);
+    }
 
     ++useCounter;
     auto evicted = array.insert(block_addr, useCounter, mshr.storeMiss);

@@ -91,6 +91,7 @@ class L1Cache : public stats::StatGroup
     struct Mshr
     {
         bool storeMiss = false;
+        Tick started = 0; // allocation tick, for trace spans
         std::vector<RespCallback> targets;
     };
 

@@ -13,6 +13,7 @@
 #include "mem/request.hh"
 #include "sim/eventq.hh"
 #include "sim/stats.hh"
+#include "sim/trace/breakdown.hh"
 
 namespace tlsim
 {
@@ -61,7 +62,19 @@ class L2Cache : public stats::StatGroup
                         "dynamic energy dissipated in the L2 "
                         "communication network [J]"),
           linkBusyCycles(this, "link_busy_cycles",
-                         "total busy cycles summed over all links")
+                         "total busy cycles summed over all links"),
+          queueWaitLatency(this, "lat_queue_wait",
+                           "per-request cycles waiting for busy "
+                           "links/banks/slots", 0.0, 600.0, 60),
+          wireLatency(this, "lat_wire",
+                      "per-request cycles in flight or serializing "
+                      "on the interconnect", 0.0, 600.0, 60),
+          bankLatency(this, "lat_bank",
+                      "per-request SRAM bank-access cycles on the "
+                      "critical path", 0.0, 600.0, 60),
+          dramLatency(this, "lat_dram",
+                      "per-request cycles from miss determination "
+                      "to data back on chip", 0.0, 600.0, 60)
     {}
 
     ~L2Cache() override = default;
@@ -125,6 +138,42 @@ class L2Cache : public stats::StatGroup
     stats::Average banksAccessed;
     stats::Scalar networkEnergy;
     stats::Scalar linkBusyCycles;
+
+    /** Latency-breakdown components (see sim/trace/breakdown.hh). */
+    stats::Distribution queueWaitLatency;
+    stats::Distribution wireLatency;
+    stats::Distribution bankLatency;
+    stats::Distribution dramLatency;
+
+    /**
+     * Breakdown of the most recently completed demand request; the
+     * components sum to that request's end-to-end latency (see
+     * tests/test_breakdown.cc).
+     */
+    const trace::LatencyBreakdown &
+    lastBreakdown() const
+    {
+        return lastBreakdownValue;
+    }
+
+  protected:
+    /** Sample one completed request's breakdown into the stats. */
+    void
+    recordBreakdown(const trace::LatencyBreakdown &bd)
+    {
+        queueWaitLatency.sample(bd.queueWait);
+        wireLatency.sample(bd.wire);
+        bankLatency.sample(bd.bank);
+        dramLatency.sample(bd.dram);
+        lastBreakdownValue = bd;
+    }
+
+    /** Issue a fresh request id for causal linking in trace spans. */
+    std::uint64_t nextRequestId() { return ++requestSeq; }
+
+  private:
+    trace::LatencyBreakdown lastBreakdownValue;
+    std::uint64_t requestSeq = 0;
 };
 
 } // namespace mem

@@ -6,6 +6,8 @@
 
 #include "phys/geometry.hh"
 #include "sim/logging.hh"
+#include "sim/trace/debug.hh"
+#include "sim/trace/tracesink.hh"
 
 namespace tlsim
 {
@@ -140,6 +142,13 @@ Mesh::sendToBank(Coord dst, int flits, Tick now, DeliverCallback cb)
     auto route = buildRoute(Coord{0, inject_col}, dst);
     Tick tail = routeMessage(route, flits, now);
     energy += static_cast<double>(flits) * flitHopEnergyJ * 0.5;
+    TLSIM_DPRINTF(NoC, "t={} mesh send {} flits to ({},{}) tail {}",
+                  now, flits, dst.row, dst.col, tail);
+    if (auto *sink = trace::TraceSink::active()) {
+        sink->span(trace::cat::noc,
+                   csprintf("to ({},{})", dst.row, dst.col), now, tail,
+                   trace::tid::nocBase);
+    }
     eventq.scheduleFunc(tail, [cb = std::move(cb), tail]() { cb(tail); });
 }
 
@@ -151,6 +160,13 @@ Mesh::sendToController(Coord src, int flits, Tick now,
     auto route = buildRoute(src, Coord{0, eject_col});
     Tick tail = routeMessage(route, flits, now);
     energy += static_cast<double>(flits) * flitHopEnergyJ * 0.5;
+    TLSIM_DPRINTF(NoC, "t={} mesh recv {} flits from ({},{}) tail {}",
+                  now, flits, src.row, src.col, tail);
+    if (auto *sink = trace::TraceSink::active()) {
+        sink->span(trace::cat::noc,
+                   csprintf("from ({},{})", src.row, src.col), now,
+                   tail, trace::tid::nocUpBase);
+    }
     eventq.scheduleFunc(tail, [cb = std::move(cb), tail]() { cb(tail); });
 }
 
@@ -191,6 +207,14 @@ Mesh::multicastToColumn(int col, const std::vector<int> &rows,
         arrival[static_cast<std::size_t>(cur.row)] = head;
     }
     energy += static_cast<double>(flits) * hops * flitHopEnergyJ;
+
+    TLSIM_DPRINTF(NoC, "t={} mesh multicast {} flits col {} far row "
+                  "{}", now, flits, col, far_row);
+    if (auto *sink = trace::TraceSink::active()) {
+        sink->span(trace::cat::noc, csprintf("multicast col{}", col),
+                   now, head + static_cast<Tick>(flits - 1),
+                   trace::tid::nocBase);
+    }
 
     for (int row : rows) {
         Tick tail = arrival[static_cast<std::size_t>(row)] +

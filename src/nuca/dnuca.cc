@@ -3,6 +3,9 @@
 #include <algorithm>
 #include <memory>
 
+#include "sim/trace/debug.hh"
+#include "sim/trace/tracesink.hh"
+
 namespace tlsim
 {
 namespace nuca
@@ -103,6 +106,9 @@ DnucaCache::access(Addr block_addr, mem::AccessType type, Tick now,
     ++demandRequests;
     auto loc = array.lookup(block_addr);
     std::uint32_t column = array.bankSetOf(block_addr);
+    std::uint64_t req = nextRequestId();
+    TLSIM_DPRINTF(L2, "t={} dnuca load block {} column {}", now,
+                  block_addr, column);
 
     // Phase 1: the two closest banks and the partial-tag structure
     // are probed in parallel. The close-bank probe is one multicast
@@ -112,7 +118,6 @@ DnucaCache::access(Addr block_addr, mem::AccessType type, Tick now,
     std::uint32_t probed = std::min(cfg.closeBanks,
                                     cfg.bankSets.banksPerSet);
     bool close_hit = loc && loc->bank < probed;
-    std::uint32_t far_row = probed - 1;
 
     for (std::uint32_t row = 0; row < probed; ++row) {
         Tick resp = now + uncontendedLatency(row, column);
@@ -132,13 +137,13 @@ DnucaCache::access(Addr block_addr, mem::AccessType type, Tick now,
             std::make_shared<mem::RespCallback>(std::move(cb));
         mesh.multicastToColumn(
             static_cast<int>(column), probe_rows, addrFlits, now,
-            [this, loc = *loc, column, now, shared_cb](int row,
-                                                       Tick arrival) {
+            [this, loc = *loc, column, now, req, shared_cb](
+                int row, Tick arrival) {
                 Tick start = bankPort(static_cast<std::uint32_t>(row),
                                       column)
                                  .reserve(arrival, bankCycles);
                 if (loc.bank == static_cast<std::uint32_t>(row)) {
-                    deliverHit(loc, start + bankCycles, now, true,
+                    deliverHit(loc, start + bankCycles, now, true, req,
                                std::move(*shared_cb));
                 }
             });
@@ -168,7 +173,8 @@ DnucaCache::access(Addr block_addr, mem::AccessType type, Tick now,
         lookupLatency.sample(static_cast<double>(latency));
         if (latency == uncontendedLatency(0, column))
             ++predictableLookups;
-        handleMiss(block_addr, close_resolved, std::move(cb));
+        handleMiss(block_addr, now, close_resolved, req,
+                   std::move(cb));
         return;
     }
 
@@ -180,7 +186,7 @@ DnucaCache::access(Addr block_addr, mem::AccessType type, Tick now,
     // still only *declared* once the close banks have answered.
     searchCandidates(block_addr, candidates, loc,
                      now + cfg.partialTagLatency, close_resolved, now,
-                     std::move(cb));
+                     req, std::move(cb));
 }
 
 void
@@ -205,24 +211,51 @@ DnucaCache::accessFunctional(Addr block_addr, mem::AccessType type)
                    useCounter, mem::isWrite(type));
 }
 
+trace::LatencyBreakdown
+DnucaCache::onChipBreakdown(std::uint32_t bank_row,
+                            std::uint32_t column, Tick latency) const
+{
+    trace::LatencyBreakdown bd;
+    bd.wire = static_cast<double>(
+        2 * mesh.uncontendedLatency(coordOf(bank_row, column)));
+    bd.bank = static_cast<double>(bankCycles);
+    bd.queueWait = static_cast<double>(latency) - bd.wire - bd.bank;
+    return bd;
+}
+
 void
 DnucaCache::deliverHit(const BankLocation &loc, Tick bank_done,
-                       Tick issue, bool promote_ok, mem::RespCallback cb)
+                       Tick issue, bool promote_ok, std::uint64_t req,
+                       mem::RespCallback cb)
 {
     ++useCounter;
     array.touch(loc, useCounter, false);
 
     int flits = dataFlits(cfg.flitBits);
     std::uint32_t row = loc.bank, col = loc.bankSet;
+    if (auto *sink = trace::TraceSink::active()) {
+        sink->span(trace::cat::bank,
+                   csprintf("bank({},{})", row, col),
+                   bank_done - bankCycles, bank_done,
+                   trace::tid::bankBase + static_cast<int>(row), req);
+    }
     mesh.sendToController(
         coordOf(row, col), flits, bank_done,
-        [this, row, col, issue, flits, cb = std::move(cb)](Tick tail) {
+        [this, row, col, issue, flits, req,
+         cb = std::move(cb)](Tick tail) {
             Tick first_word = tail - (flits - 1);
             Tick latency = first_word - issue;
             lookupLatency.sample(static_cast<double>(latency));
             // Schedulers predict the closest-bank hit latency.
             if (latency == uncontendedLatency(0, col))
                 ++predictableLookups;
+            TLSIM_DPRINTF(L2, "t={} dnuca hit bank ({},{}) latency {}",
+                          issue, row, col, latency);
+            recordBreakdown(onChipBreakdown(row, col, latency));
+            if (auto *sink = trace::TraceSink::active()) {
+                sink->span(trace::cat::l2, "hit", issue, first_word,
+                           trace::tid::l2, req);
+            }
             cb(first_word);
         });
 
@@ -266,7 +299,7 @@ void
 DnucaCache::searchCandidates(
     Addr block_addr, const std::vector<std::uint32_t> &candidates,
     std::optional<BankLocation> loc, Tick start, Tick close_resolved,
-    Tick issue, mem::RespCallback cb)
+    Tick issue, std::uint64_t req, mem::RespCallback cb)
 {
     searches += static_cast<double>(candidates.size());
     std::uint32_t column = array.bankSetOf(block_addr);
@@ -288,13 +321,14 @@ DnucaCache::searchCandidates(
         *shared_cb = std::move(cb);
     mesh.multicastToColumn(
         static_cast<int>(column), search_rows, addrFlits, start,
-        [this, loc, column, issue, shared_cb](int row_i, Tick arrival) {
+        [this, loc, column, issue, req, shared_cb](int row_i,
+                                                   Tick arrival) {
             std::uint32_t row = static_cast<std::uint32_t>(row_i);
             Tick bank_start =
                 bankPort(row, column).reserve(arrival, bankCycles);
             if (loc && loc->bank == row) {
                 deliverHit(*loc, bank_start + bankCycles, issue, true,
-                           std::move(*shared_cb));
+                           req, std::move(*shared_cb));
             } else {
                 // False positive: short miss notification.
                 mesh.sendToController(coordOf(row, column), addrFlits,
@@ -318,16 +352,28 @@ DnucaCache::searchCandidates(
     lookupLatency.sample(static_cast<double>(latency));
     if (latency == uncontendedLatency(0, column))
         ++predictableLookups;
-    handleMiss(block_addr, last_response, std::move(cb));
+    handleMiss(block_addr, issue, last_response, req, std::move(cb));
 }
 
 void
-DnucaCache::handleMiss(Addr block_addr, Tick miss_time,
-                       mem::RespCallback cb)
+DnucaCache::handleMiss(Addr block_addr, Tick issue, Tick miss_time,
+                       std::uint64_t req, mem::RespCallback cb)
 {
     ++misses;
+    TLSIM_DPRINTF(L2, "t={} dnuca miss block {}", miss_time,
+                  block_addr);
+    std::uint32_t column = array.bankSetOf(block_addr);
+    trace::LatencyBreakdown bd =
+        onChipBreakdown(0, column, miss_time - issue);
     dram.read(block_addr, miss_time,
-              [this, block_addr, cb = std::move(cb)](Tick ready) {
+              [this, block_addr, issue, miss_time, req, bd,
+               cb = std::move(cb)](Tick ready) mutable {
+                  bd.dram = static_cast<double>(ready - miss_time);
+                  recordBreakdown(bd);
+                  if (auto *sink = trace::TraceSink::active()) {
+                      sink->span(trace::cat::l2, "miss", issue, ready,
+                                 trace::tid::l2, req);
+                  }
                   cb(ready);
                   installAtTail(block_addr, ready, false);
               });

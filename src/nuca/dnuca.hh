@@ -119,7 +119,18 @@ class DnucaCache : public mem::L2Cache
 
     /** Deliver a hit from a bank and maybe promote the block. */
     void deliverHit(const BankLocation &loc, Tick bank_done, Tick issue,
-                    bool promote_ok, mem::RespCallback cb);
+                    bool promote_ok, std::uint64_t req,
+                    mem::RespCallback cb);
+
+    /**
+     * Decompose an access's on-chip latency: wire and bank are the
+     * static uncontended components of the answering bank's path,
+     * queueing (probe waits, partial-tag consult, contention) is the
+     * residual.
+     */
+    trace::LatencyBreakdown onChipBreakdown(std::uint32_t bank_row,
+                                            std::uint32_t column,
+                                            Tick latency) const;
 
     /** Swap a block one bank closer; models the swap traffic. */
     void doPromotion(const BankLocation &loc, Tick now);
@@ -134,11 +145,11 @@ class DnucaCache : public mem::L2Cache
                           const std::vector<std::uint32_t> &candidates,
                           std::optional<BankLocation> loc, Tick start,
                           Tick close_resolved, Tick issue,
-                          mem::RespCallback cb);
+                          std::uint64_t req, mem::RespCallback cb);
 
     /** Miss path: DRAM fetch, tail insert, respond. */
-    void handleMiss(Addr block_addr, Tick miss_time,
-                    mem::RespCallback cb);
+    void handleMiss(Addr block_addr, Tick issue, Tick miss_time,
+                    std::uint64_t req, mem::RespCallback cb);
 
     /** Insert a block at the tail bank, modelling the traffic. */
     void installAtTail(Addr block_addr, Tick now, bool dirty);

@@ -2,6 +2,9 @@
 
 #include <cmath>
 
+#include "sim/trace/debug.hh"
+#include "sim/trace/tracesink.hh"
+
 namespace tlsim
 {
 namespace nuca
@@ -102,11 +105,27 @@ SnucaCache::access(Addr block_addr, mem::AccessType type, Tick now,
 
     ++demandRequests;
     banksAccessed.sample(1.0);
+    std::uint64_t req = nextRequestId();
+    TLSIM_DPRINTF(L2, "t={} snuca2 load block {} bank {}", now,
+                  block_addr, bank);
     mesh.sendToBank(coordOf(bank), addrFlits, now,
-                    [this, block_addr, bank, now,
+                    [this, block_addr, bank, now, req,
                      cb = std::move(cb)](Tick arrival) {
-                        handleRead(block_addr, bank, arrival, now, cb);
+                        handleRead(block_addr, bank, arrival, now, req,
+                                   cb);
                     });
+}
+
+trace::LatencyBreakdown
+SnucaCache::onChipBreakdown(int bank, Tick latency) const
+{
+    trace::LatencyBreakdown bd;
+    bd.wire = static_cast<double>(
+        2 * mesh.uncontendedLatency(coordOf(bank)) +
+        roundTripInjection);
+    bd.bank = static_cast<double>(bankCycles);
+    bd.queueWait = static_cast<double>(latency) - bd.wire - bd.bank;
+    return bd;
 }
 
 void
@@ -126,13 +145,18 @@ SnucaCache::accessFunctional(Addr block_addr, mem::AccessType type)
 
 void
 SnucaCache::handleRead(Addr block_addr, int bank, Tick arrival,
-                       Tick issue, mem::RespCallback cb)
+                       Tick issue, std::uint64_t req,
+                       mem::RespCallback cb)
 {
     auto &array = arrays[static_cast<std::size_t>(bank)];
     Addr frame_addr = block_addr >> __builtin_ctz(cfg.banks);
     Tick start = bankPorts[static_cast<std::size_t>(bank)].reserve(
         arrival, bankCycles);
     Tick done = start + bankCycles;
+    if (auto *sink = trace::TraceSink::active()) {
+        sink->span(trace::cat::bank, csprintf("bank{}", bank), start,
+                   done, trace::tid::bankBase + bank, req);
+    }
 
     auto way = array.lookup(frame_addr);
     if (way) {
@@ -142,12 +166,19 @@ SnucaCache::handleRead(Addr block_addr, int bank, Tick arrival,
         int flits = dataFlits(cfg.flitBits);
         mesh.sendToController(
             coordOf(bank), flits, done,
-            [this, issue, bank, flits, cb = std::move(cb)](Tick tail) {
+            [this, block_addr, issue, bank, flits, req,
+             cb = std::move(cb)](Tick tail) {
                 Tick first_word = tail - (flits - 1);
                 Tick latency = first_word - issue;
                 lookupLatency.sample(static_cast<double>(latency));
                 if (latency == uncontendedLatency(bank))
                     ++predictableLookups;
+                recordBreakdown(onChipBreakdown(bank, latency));
+                if (auto *sink = trace::TraceSink::active()) {
+                    sink->span(trace::cat::l2,
+                               csprintf("hit {}", block_addr), issue,
+                               first_word, trace::tid::l2, req);
+                }
                 cb(first_word);
             });
         return;
@@ -156,23 +187,36 @@ SnucaCache::handleRead(Addr block_addr, int bank, Tick arrival,
     // Miss: a short response tells the controller to go to memory.
     mesh.sendToController(
         coordOf(bank), addrFlits, done,
-        [this, block_addr, bank, issue, cb = std::move(cb)](Tick tick) {
+        [this, block_addr, bank, issue, req,
+         cb = std::move(cb)](Tick tick) {
             Tick latency = tick - issue;
             lookupLatency.sample(static_cast<double>(latency));
             if (latency == uncontendedLatency(bank))
                 ++predictableLookups;
-            handleMiss(block_addr, bank, tick, issue, cb);
+            handleMiss(block_addr, bank, tick, issue, req, cb);
         });
 }
 
 void
 SnucaCache::handleMiss(Addr block_addr, int bank, Tick miss_time,
-                       Tick issue, mem::RespCallback cb)
+                       Tick issue, std::uint64_t req,
+                       mem::RespCallback cb)
 {
-    (void)issue;
     ++misses;
+    TLSIM_DPRINTF(L2, "t={} snuca2 miss block {}", miss_time,
+                  block_addr);
+    trace::LatencyBreakdown bd =
+        onChipBreakdown(bank, miss_time - issue);
     dram.read(block_addr, miss_time,
-              [this, block_addr, bank, cb = std::move(cb)](Tick ready) {
+              [this, block_addr, bank, issue, miss_time, req, bd,
+               cb = std::move(cb)](Tick ready) mutable {
+                  bd.dram = static_cast<double>(ready - miss_time);
+                  recordBreakdown(bd);
+                  if (auto *sink = trace::TraceSink::active()) {
+                      sink->span(trace::cat::l2,
+                                 csprintf("miss {}", block_addr),
+                                 issue, ready, trace::tid::l2, req);
+                  }
                   // Deliver to the requester and install in parallel.
                   cb(ready);
                   ++inserts;

@@ -77,11 +77,20 @@ class SnucaCache : public mem::L2Cache
 
     /** Handle a demand read at the bank side. */
     void handleRead(Addr block_addr, int bank, Tick arrival, Tick issue,
-                    mem::RespCallback cb);
+                    std::uint64_t req, mem::RespCallback cb);
 
     /** Miss path: fetch from memory, insert, respond. */
     void handleMiss(Addr block_addr, int bank, Tick miss_time,
-                    Tick issue, mem::RespCallback cb);
+                    Tick issue, std::uint64_t req,
+                    mem::RespCallback cb);
+
+    /**
+     * Decompose a demand access's on-chip latency: wire and bank are
+     * the static uncontended components of the bank's path, queueing
+     * is the contention residual.
+     */
+    trace::LatencyBreakdown onChipBreakdown(int bank,
+                                            Tick latency) const;
 
     /** Write a block into a bank (fill or store), evicting as needed. */
     void installBlock(Addr block_addr, int bank, Tick now, bool dirty);

@@ -18,6 +18,9 @@
 #include <vector>
 
 #include "sim/logging.hh"
+#include "sim/trace/debug.hh"
+#include "sim/trace/observed.hh"
+#include "sim/trace/tracesink.hh"
 #include "sim/types.hh"
 
 namespace tlsim
@@ -130,6 +133,8 @@ class EventQueue
         TLSIM_ASSERT(when >= curTick,
                      "scheduling event '{}' at {} in the past (now {})",
                      event->name(), when, curTick);
+        if (trace::observed()) [[unlikely]]
+            observeSchedule(event, when);
         event->_when = when;
         event->_sequence = nextSequence++;
         event->_scheduled = true;
@@ -198,6 +203,8 @@ class EventQueue
             heap.pop();
             ev->_scheduled = false;
             --liveCount;
+            if (trace::observed()) [[unlikely]]
+                observeDispatch(ev);
             ev->process();
             ++processed;
         }
@@ -260,6 +267,29 @@ class EventQueue
             return a.sequence > b.sequence;
         }
     };
+
+    /**
+     * Observation bodies live out of the schedule/dispatch hot paths
+     * (cold + noinline) so that, with observation off, each site
+     * costs one load of trace::observed() and a never-taken branch.
+     */
+    [[gnu::cold]] [[gnu::noinline]] void
+    observeSchedule(const Event *event, Tick when) const
+    {
+        TLSIM_DPRINTF(EventQ, "t={} schedule '{}' at {}", curTick,
+                      event->name(), when);
+    }
+
+    [[gnu::cold]] [[gnu::noinline]] void
+    observeDispatch(const Event *ev) const
+    {
+        TLSIM_DPRINTF(EventQ, "t={} dispatch '{}'", curTick,
+                      ev->name());
+        if (auto *sink = trace::TraceSink::active()) {
+            sink->span(trace::cat::eventq, ev->name(), curTick,
+                       curTick, trace::tid::eventq);
+        }
+    }
 
     /** A heap entry is stale if its event was descheduled or moved. */
     static bool

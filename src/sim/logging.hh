@@ -8,7 +8,7 @@
  *
  * Messages use a lightweight "{}" placeholder syntax: each "{}" in the
  * format string is replaced by the next argument streamed through
- * operator<<.
+ * operator<<. Literal braces are written as "{{" and "}}".
  */
 
 #ifndef TLSIM_SIM_LOGGING_HH
@@ -25,8 +25,10 @@ namespace tlsim
 /**
  * Format a string by substituting "{}" placeholders with arguments.
  *
- * Surplus arguments are appended at the end separated by spaces;
- * surplus placeholders are left verbatim.
+ * "{{" and "}}" are escapes producing literal "{" and "}" (so brace
+ * characters can appear in log and trace messages). Surplus arguments
+ * are appended at the end separated by spaces; surplus placeholders
+ * are left verbatim.
  *
  * @param fmt Format string containing zero or more "{}" placeholders.
  * @param args Values streamed via operator<< into the placeholders.
@@ -38,19 +40,47 @@ csprintf(const std::string &fmt, const Args &...args)
 {
     std::ostringstream out;
     std::size_t pos = 0;
+    // Copy literal text (resolving {{ / }} escapes) up to and
+    // including the next "{}" placeholder; false when the format
+    // string is exhausted without finding one.
+    [[maybe_unused]] auto advance = [&]() -> bool {
+        while (pos < fmt.size()) {
+            char c = fmt[pos];
+            if ((c == '{' || c == '}') && pos + 1 < fmt.size() &&
+                fmt[pos + 1] == c) {
+                out << c;
+                pos += 2;
+                continue;
+            }
+            if (c == '{' && pos + 1 < fmt.size() &&
+                fmt[pos + 1] == '}') {
+                pos += 2;
+                return true;
+            }
+            out << c;
+            ++pos;
+        }
+        return false;
+    };
     // Stream one argument into the next "{}"; used via fold expression.
     [[maybe_unused]] auto emit_one = [&](const auto &arg) {
-        std::size_t next = fmt.find("{}", pos);
-        if (next == std::string::npos) {
-            out << ' ' << arg;
-        } else {
-            out.write(fmt.data() + pos, next - pos);
+        if (advance())
             out << arg;
-            pos = next + 2;
-        }
+        else
+            out << ' ' << arg;
     };
     (emit_one(args), ...);
-    out.write(fmt.data() + pos, fmt.size() - pos);
+    // Flush the tail: resolve escapes, keep surplus "{}" verbatim.
+    while (pos < fmt.size()) {
+        char c = fmt[pos];
+        if ((c == '{' || c == '}') && pos + 1 < fmt.size() &&
+            fmt[pos + 1] == c) {
+            pos += 2;
+        } else {
+            ++pos;
+        }
+        out << c;
+    }
     return out.str();
 }
 

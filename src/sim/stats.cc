@@ -1,7 +1,11 @@
 #include "sim/stats.hh"
 
 #include <array>
+#include <cmath>
+#include <cstdio>
 #include <iomanip>
+
+#include "sim/trace/tracesink.hh"
 
 namespace tlsim
 {
@@ -40,6 +44,34 @@ StatGroup::dumpStats(std::ostream &os, const std::string &prefix) const
         stat->dump(os, full);
     for (const auto *child : children)
         child->dumpStats(os, full);
+}
+
+void
+StatGroup::dumpStatsJson(std::ostream &os, int indent,
+                         bool pretty) const
+{
+    std::string open = pretty ? "\n" : "";
+    std::string sep = pretty ? ",\n" : ", ";
+    std::string pad =
+        pretty ? std::string(static_cast<std::size_t>(indent) + 2, ' ')
+               : "";
+    os << "{";
+    bool first = true;
+    for (const auto *stat : stats) {
+        os << (first ? open : sep) << pad << '"'
+           << trace::jsonEscape(stat->name()) << "\": ";
+        stat->dumpJson(os);
+        first = false;
+    }
+    for (const auto *child : children) {
+        os << (first ? open : sep) << pad << '"'
+           << trace::jsonEscape(child->groupName()) << "\": ";
+        child->dumpStatsJson(os, indent + 2, pretty);
+        first = false;
+    }
+    if (!first && pretty)
+        os << '\n' << std::string(static_cast<std::size_t>(indent), ' ');
+    os << "}";
 }
 
 namespace
@@ -114,6 +146,101 @@ void
 Formula::dump(std::ostream &os, const std::string &prefix) const
 {
     emitLine(os, prefix, name(), value(), desc());
+}
+
+namespace
+{
+
+/** JSON has no inf/nan literals; write a round-trippable number. */
+void
+jsonNumber(std::ostream &os, double v)
+{
+    if (!std::isfinite(v)) {
+        os << 0;
+        return;
+    }
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.17g", v);
+    os << buf;
+}
+
+void
+jsonKind(std::ostream &os, const char *kind, const std::string &desc)
+{
+    os << "{\"kind\": \"" << kind << "\", \"desc\": \""
+       << trace::jsonEscape(desc) << "\"";
+}
+
+} // namespace
+
+void
+Scalar::dumpJson(std::ostream &os) const
+{
+    jsonKind(os, "scalar", desc());
+    os << ", \"value\": ";
+    jsonNumber(os, _value);
+    os << "}";
+}
+
+void
+Average::dumpJson(std::ostream &os) const
+{
+    jsonKind(os, "average", desc());
+    os << ", \"count\": " << _count << ", \"sum\": ";
+    jsonNumber(os, _sum);
+    os << ", \"mean\": ";
+    jsonNumber(os, mean());
+    os << ", \"min\": ";
+    jsonNumber(os, minValue());
+    os << ", \"max\": ";
+    jsonNumber(os, maxValue());
+    os << ", \"variance\": ";
+    jsonNumber(os, variance());
+    os << "}";
+}
+
+void
+Distribution::dumpJson(std::ostream &os) const
+{
+    jsonKind(os, "distribution", desc());
+    os << ", \"count\": " << _count << ", \"mean\": ";
+    jsonNumber(os, mean());
+    os << ", \"lo\": ";
+    jsonNumber(os, _lo);
+    os << ", \"hi\": ";
+    jsonNumber(os, _hi);
+    os << ", \"underflow\": " << _underflow
+       << ", \"overflow\": " << _overflow << ", \"buckets\": [";
+    for (std::size_t i = 0; i < buckets.size(); ++i)
+        os << (i ? ", " : "") << buckets[i];
+    os << "]}";
+}
+
+void
+Histogram::dumpJson(std::ostream &os) const
+{
+    jsonKind(os, "histogram", desc());
+    os << ", \"count\": " << _count << ", \"mean\": ";
+    jsonNumber(os, mean());
+    // Emit only the occupied log2 buckets to keep files small.
+    os << ", \"buckets\": {";
+    bool first = true;
+    for (std::size_t i = 0; i < buckets.size(); ++i) {
+        if (buckets[i] == 0)
+            continue;
+        os << (first ? "" : ", ") << '"' << i << "\": " << buckets[i];
+        first = false;
+    }
+    os << "}}";
+}
+
+void
+Formula::dumpJson(std::ostream &os) const
+{
+    jsonKind(os, "formula", desc());
+    os << ", \"value\": ";
+    jsonNumber(os, value());
+    os << "}";
 }
 
 } // namespace stats

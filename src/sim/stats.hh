@@ -50,6 +50,13 @@ class StatBase
     virtual void dump(std::ostream &os,
                       const std::string &prefix) const = 0;
 
+    /**
+     * Write this stat as one JSON object (no trailing newline), e.g.
+     * {"kind":"scalar","value":3}. Every kind includes "kind" and
+     * "desc" keys so exported files are self-describing.
+     */
+    virtual void dumpJson(std::ostream &os) const = 0;
+
   private:
     std::string _name;
     std::string _desc;
@@ -74,6 +81,16 @@ class StatGroup
 
     /** Dump every stat (and children) as "prefix.name value # desc". */
     void dumpStats(std::ostream &os, const std::string &prefix = "") const;
+
+    /**
+     * Dump this group as a JSON object: each stat keyed by name, each
+     * child group keyed by its group name. Machine-readable companion
+     * of dumpStats(); see tests/test_statsjson.cc for the round trip.
+     * With pretty = false the object is emitted on a single line, so
+     * it can be embedded in line-delimited JSON (see StatSampler).
+     */
+    void dumpStatsJson(std::ostream &os, int indent = 0,
+                       bool pretty = true) const;
 
   private:
     friend class StatBase;
@@ -104,6 +121,8 @@ class Scalar : public StatBase
 
     void
     dump(std::ostream &os, const std::string &prefix) const override;
+
+    void dumpJson(std::ostream &os) const override;
 
   private:
     double _value = 0.0;
@@ -155,6 +174,8 @@ class Average : public StatBase
 
     void
     dump(std::ostream &os, const std::string &prefix) const override;
+
+    void dumpJson(std::ostream &os) const override;
 
   private:
     double _sum = 0.0;
@@ -219,6 +240,8 @@ class Distribution : public StatBase
     void
     dump(std::ostream &os, const std::string &prefix) const override;
 
+    void dumpJson(std::ostream &os) const override;
+
   private:
     double _lo, _hi, _bucketWidth = 1.0;
     double _sum = 0.0;
@@ -262,6 +285,8 @@ class Histogram : public StatBase
     void
     dump(std::ostream &os, const std::string &prefix) const override;
 
+    void dumpJson(std::ostream &os) const override;
+
   private:
     std::uint64_t _count = 0;
     double _sum = 0.0;
@@ -284,6 +309,8 @@ class Formula : public StatBase
 
     void
     dump(std::ostream &os, const std::string &prefix) const override;
+
+    void dumpJson(std::ostream &os) const override;
 
   private:
     std::function<double()> func;

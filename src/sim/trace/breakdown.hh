@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Per-request latency breakdown accounting.
+ *
+ * Every L2 design decomposes each demand lookup's end-to-end latency
+ * into four components; the invariant (checked in
+ * tests/test_breakdown.cc) is that the components sum exactly to the
+ * request's measured latency:
+ *
+ *   queueWait  cycles spent waiting for busy links/banks/slots
+ *   wire       cycles in flight or serializing on the interconnect
+ *   bank       cycles of SRAM bank access on the critical path
+ *   dram       cycles from miss determination to data back on chip
+ *
+ * The TLC designs compute the split exactly along the critical-path
+ * member bank; the mesh designs (SNUCA2/DNUCA) take wire+bank from
+ * the static uncontended path and report contention as the residual.
+ */
+
+#ifndef TLSIM_SIM_TRACE_BREAKDOWN_HH
+#define TLSIM_SIM_TRACE_BREAKDOWN_HH
+
+#include "sim/types.hh"
+
+namespace tlsim
+{
+namespace trace
+{
+
+/** Latency components of one L2 request, in cycles. */
+struct LatencyBreakdown
+{
+    double queueWait = 0.0;
+    double wire = 0.0;
+    double bank = 0.0;
+    double dram = 0.0;
+
+    double
+    total() const
+    {
+        return queueWait + wire + bank + dram;
+    }
+
+    LatencyBreakdown &
+    operator+=(const LatencyBreakdown &other)
+    {
+        queueWait += other.queueWait;
+        wire += other.wire;
+        bank += other.bank;
+        dram += other.dram;
+        return *this;
+    }
+};
+
+} // namespace trace
+} // namespace tlsim
+
+#endif // TLSIM_SIM_TRACE_BREAKDOWN_HH

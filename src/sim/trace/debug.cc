@@ -1,0 +1,175 @@
+#include "sim/trace/debug.hh"
+
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+
+#include "sim/trace/observed.hh"
+#include "sim/trace/tracesink.hh"
+
+namespace tlsim
+{
+namespace debug
+{
+
+namespace
+{
+
+/** Meyers singleton so flags defined in any TU register safely. */
+std::vector<Flag *> &
+registry()
+{
+    static std::vector<Flag *> flags;
+    return flags;
+}
+
+std::ostream *outputStream = nullptr;
+
+} // namespace
+
+Flag::Flag(const char *name, const char *desc)
+    : _name(name), _desc(desc)
+{
+    registry().push_back(this);
+}
+
+void
+Flag::enable()
+{
+    _enabled = true;
+    trace::detail::recomputeObserved();
+}
+
+void
+Flag::disable()
+{
+    _enabled = false;
+    trace::detail::recomputeObserved();
+}
+
+Flag *
+Flag::find(const std::string &name)
+{
+    for (Flag *flag : registry()) {
+        if (name == flag->name())
+            return flag;
+    }
+    return nullptr;
+}
+
+const std::vector<Flag *> &
+Flag::all()
+{
+    return registry();
+}
+
+void
+setFlags(const std::string &csv)
+{
+    std::istringstream is(csv);
+    std::string token;
+    while (std::getline(is, token, ',')) {
+        if (token.empty())
+            continue;
+        bool disable = token[0] == '-';
+        std::string name = disable ? token.substr(1) : token;
+        if (name == "All" || name == "all") {
+            for (Flag *flag : Flag::all()) {
+                if (disable)
+                    flag->disable();
+                else
+                    flag->enable();
+            }
+            continue;
+        }
+        Flag *flag = Flag::find(name);
+        if (!flag) {
+            warn("unknown debug flag '{}' (known: use "
+                 "TLSIM_DEBUG_FLAGS=All)", name);
+            continue;
+        }
+        if (disable)
+            flag->disable();
+        else
+            flag->enable();
+    }
+}
+
+void
+clearFlags()
+{
+    for (Flag *flag : Flag::all())
+        flag->disable();
+}
+
+std::ostream &
+output()
+{
+    return outputStream ? *outputStream : std::cerr;
+}
+
+void
+setOutput(std::ostream *os)
+{
+    outputStream = os;
+}
+
+void
+dprintfMessage(const char *flag_name, const std::string &msg)
+{
+    output() << flag_name << ": " << msg << '\n';
+}
+
+namespace flags
+{
+Flag EventQ{"EventQ", "event scheduling and dispatch"};
+Flag L1{"L1", "L1 cache hits/misses/fills"};
+Flag L2{"L2", "L2 design request handling (all designs)"};
+Flag NoC{"NoC", "mesh / transmission-line link traffic"};
+Flag Dram{"Dram", "main-memory accesses and queueing"};
+Flag CPU{"CPU", "out-of-order core progress"};
+Flag Stats{"Stats", "stats sampling and export"};
+} // namespace flags
+
+namespace
+{
+
+/**
+ * Applies TLSIM_DEBUG_FLAGS at program start. Defined after the flag
+ * objects in this TU so within-TU initialization order guarantees the
+ * built-in flags exist by the time the environment is read.
+ */
+struct EnvInit
+{
+    EnvInit()
+    {
+        if (const char *env = std::getenv("TLSIM_DEBUG_FLAGS"))
+            setFlags(env);
+    }
+};
+
+EnvInit envInit;
+
+} // namespace
+
+} // namespace debug
+
+namespace trace
+{
+namespace detail
+{
+
+bool observedFlag = false;
+
+void
+recomputeObserved()
+{
+    bool any = TraceSink::active() != nullptr;
+    for (const debug::Flag *flag : debug::Flag::all())
+        any = any || flag->enabled();
+    observedFlag = any;
+}
+
+} // namespace detail
+} // namespace trace
+} // namespace tlsim

@@ -1,0 +1,110 @@
+/**
+ * @file
+ * Gated debug output in the spirit of gem5's DebugFlags.
+ *
+ * Each subsystem owns a Flag object (registered at static-init time
+ * into a global registry) and writes through TLSIM_DPRINTF(Flag, ...).
+ * When the flag is disabled the macro costs one relaxed bool load and
+ * a predicted-not-taken branch: no arguments are evaluated and no
+ * formatting happens. Flags are enabled at runtime via
+ * debug::setFlags("L2,NoC") or the TLSIM_DEBUG_FLAGS environment
+ * variable (comma separated; "All" enables everything), which is
+ * applied automatically at program start.
+ */
+
+#ifndef TLSIM_SIM_TRACE_DEBUG_HH
+#define TLSIM_SIM_TRACE_DEBUG_HH
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "sim/logging.hh"
+
+namespace tlsim
+{
+namespace debug
+{
+
+/**
+ * One named debug flag. Instances must have static storage duration;
+ * the constructor registers them in the global registry.
+ */
+class Flag
+{
+  public:
+    Flag(const char *name, const char *desc);
+
+    Flag(const Flag &) = delete;
+    Flag &operator=(const Flag &) = delete;
+
+    const char *name() const { return _name; }
+    const char *desc() const { return _desc; }
+
+    bool enabled() const { return _enabled; }
+    explicit operator bool() const { return _enabled; }
+
+    void enable();
+    void disable();
+
+    /** Look a flag up by name; nullptr if unknown. */
+    static Flag *find(const std::string &name);
+
+    /** Every registered flag, in registration order. */
+    static const std::vector<Flag *> &all();
+
+  private:
+    const char *_name;
+    const char *_desc;
+    bool _enabled = false;
+};
+
+/**
+ * Enable flags from a comma-separated list ("L2,NoC"). "All" (or
+ * "all") enables every flag; a leading '-' disables one ("All,-EventQ").
+ * Unknown names produce a warn() and are otherwise ignored.
+ */
+void setFlags(const std::string &csv);
+
+/** Disable every flag. */
+void clearFlags();
+
+/** Stream debug output goes to (defaults to std::cerr). */
+std::ostream &output();
+
+/** Redirect debug output (pass nullptr to restore std::cerr). */
+void setOutput(std::ostream *os);
+
+/** Emit one already-formatted line, prefixed with the flag name. */
+void dprintfMessage(const char *flag_name, const std::string &msg);
+
+/** The built-in flags, one per instrumented subsystem. */
+namespace flags
+{
+extern Flag EventQ; ///< event scheduling and dispatch
+extern Flag L1; ///< L1 cache hits/misses/fills
+extern Flag L2; ///< L2 design request handling (all designs)
+extern Flag NoC; ///< mesh / transmission-line link traffic
+extern Flag Dram; ///< main-memory accesses and queueing
+extern Flag CPU; ///< out-of-order core progress
+extern Flag Stats; ///< stats sampling and export
+} // namespace flags
+
+} // namespace debug
+} // namespace tlsim
+
+/**
+ * Print a formatted message when the given debug flag is enabled.
+ * The flag argument is the bare name from tlsim::debug::flags.
+ * Arguments are not evaluated when the flag is off.
+ */
+#define TLSIM_DPRINTF(flag, ...)                                       \
+    do {                                                               \
+        if (::tlsim::debug::flags::flag.enabled()) [[unlikely]] {      \
+            ::tlsim::debug::dprintfMessage(                            \
+                ::tlsim::debug::flags::flag.name(),                    \
+                ::tlsim::csprintf(__VA_ARGS__));                       \
+        }                                                              \
+    } while (0)
+
+#endif // TLSIM_SIM_TRACE_DEBUG_HH

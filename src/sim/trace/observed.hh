@@ -1,0 +1,36 @@
+/**
+ * @file
+ * One-byte fast path for "is any observation on?".
+ *
+ * Hot loops (event dispatch, event scheduling) guard their
+ * instrumentation behind trace::observed() — a single global bool
+ * that is true while any debug flag is enabled or a TraceSink is
+ * installed — and keep the actual formatting in cold out-of-line
+ * helpers. The bool is recomputed on every flag or sink change, so
+ * the steady-state cost with observation off is one predictable
+ * load-and-branch per site.
+ */
+
+#ifndef TLSIM_SIM_TRACE_OBSERVED_HH
+#define TLSIM_SIM_TRACE_OBSERVED_HH
+
+namespace tlsim
+{
+namespace trace
+{
+
+namespace detail
+{
+extern bool observedFlag;
+
+/** Re-derive observedFlag from the flag registry and active sink. */
+void recomputeObserved();
+} // namespace detail
+
+/** True while any debug flag is enabled or a trace sink is active. */
+inline bool observed() { return detail::observedFlag; }
+
+} // namespace trace
+} // namespace tlsim
+
+#endif // TLSIM_SIM_TRACE_OBSERVED_HH

@@ -1,0 +1,66 @@
+#include "sim/trace/sampler.hh"
+
+#include "sim/trace/debug.hh"
+
+namespace tlsim
+{
+namespace trace
+{
+
+StatSampler::StatSampler(EventQueue &eq, const stats::StatGroup &group_,
+                         Cycles period_, std::ostream &os_)
+    : eventq(eq), group(group_), period(period_), os(os_), event(*this)
+{
+    TLSIM_ASSERT(period > 0, "stat sampler needs a positive period");
+}
+
+StatSampler::StatSampler(EventQueue &eq, const stats::StatGroup &group_,
+                         Cycles period_, const std::string &path)
+    : eventq(eq), group(group_), period(period_),
+      owned(std::make_unique<std::ofstream>(path)), os(*owned),
+      event(*this)
+{
+    TLSIM_ASSERT(period > 0, "stat sampler needs a positive period");
+    if (!owned->is_open())
+        fatal("cannot open stats time-series file '{}'", path);
+}
+
+StatSampler::~StatSampler()
+{
+    stop();
+}
+
+void
+StatSampler::start()
+{
+    if (!event.scheduled())
+        eventq.schedule(&event, eventq.now() + period);
+}
+
+void
+StatSampler::stop()
+{
+    if (event.scheduled())
+        eventq.deschedule(&event);
+}
+
+void
+StatSampler::sampleNow()
+{
+    os << "{\"tick\": " << eventq.now() << ", \"stats\": ";
+    group.dumpStatsJson(os, 0, /*pretty=*/false);
+    os << "}\n";
+    os.flush();
+    ++samples;
+    TLSIM_DPRINTF(Stats, "t={} stat sample #{}", eventq.now(), samples);
+}
+
+void
+StatSampler::fire()
+{
+    sampleNow();
+    eventq.schedule(&event, eventq.now() + period);
+}
+
+} // namespace trace
+} // namespace tlsim

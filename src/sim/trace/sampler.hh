@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Periodic statistics sampling: dump a StatGroup to a JSON-lines
+ * time series every N ticks of simulated time.
+ *
+ * Each fire appends one line
+ *
+ *   {"tick": 12345, "stats": { ...dumpStatsJson()... }}
+ *
+ * so a run's stats become a machine-readable time series (load with
+ * one json.loads per line). The sampler schedules itself on the
+ * simulation event queue; stop() (or destruction) deschedules it, and
+ * it must be stopped before draining the queue is expected to
+ * terminate a run (EventQueue::run with no tick limit never returns
+ * while a sampler is active).
+ */
+
+#ifndef TLSIM_SIM_TRACE_SAMPLER_HH
+#define TLSIM_SIM_TRACE_SAMPLER_HH
+
+#include <fstream>
+#include <memory>
+#include <ostream>
+#include <string>
+
+#include "sim/eventq.hh"
+#include "sim/stats.hh"
+
+namespace tlsim
+{
+namespace trace
+{
+
+/**
+ * Self-rescheduling periodic dump of one stats tree.
+ */
+class StatSampler
+{
+  public:
+    /**
+     * @param eq Queue supplying simulated time.
+     * @param group Stats tree to snapshot.
+     * @param period Ticks between samples (> 0).
+     * @param os Externally owned destination stream.
+     */
+    StatSampler(EventQueue &eq, const stats::StatGroup &group,
+                Cycles period, std::ostream &os);
+
+    /** File-destination variant; fatal() if the file cannot open. */
+    StatSampler(EventQueue &eq, const stats::StatGroup &group,
+                Cycles period, const std::string &path);
+
+    ~StatSampler();
+
+    StatSampler(const StatSampler &) = delete;
+    StatSampler &operator=(const StatSampler &) = delete;
+
+    /** Schedule the first sample at now() + period. */
+    void start();
+
+    /** Deschedule; no further samples are taken. */
+    void stop();
+
+    /** Take one sample immediately (also used by the timer). */
+    void sampleNow();
+
+    std::uint64_t samplesTaken() const { return samples; }
+
+  private:
+    class FireEvent : public Event
+    {
+      public:
+        explicit FireEvent(StatSampler &s) : sampler(s) {}
+        void process() override { sampler.fire(); }
+        const char *name() const override { return "StatSampler"; }
+
+      private:
+        StatSampler &sampler;
+    };
+
+    void fire();
+
+    EventQueue &eventq;
+    const stats::StatGroup &group;
+    Cycles period;
+    std::unique_ptr<std::ofstream> owned;
+    std::ostream &os;
+    FireEvent event;
+    std::uint64_t samples = 0;
+};
+
+} // namespace trace
+} // namespace tlsim
+
+#endif // TLSIM_SIM_TRACE_SAMPLER_HH

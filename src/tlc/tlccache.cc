@@ -3,6 +3,9 @@
 #include <algorithm>
 #include <cmath>
 
+#include "sim/trace/debug.hh"
+#include "sim/trace/tracesink.hh"
+
 namespace tlsim
 {
 namespace tlc
@@ -85,44 +88,76 @@ TlcCache::latencyRange() const
     return {lo, hi};
 }
 
-std::vector<Tick>
-TlcCache::sendRequests(int group, Tick now, int req_cycles)
+std::vector<TlcCache::MemberTiming>
+TlcCache::sendRequests(int group, Tick now, int req_cycles,
+                       std::uint64_t req)
 {
-    std::vector<Tick> done(static_cast<std::size_t>(cfg.banksPerBlock));
+    auto *sink = trace::TraceSink::active();
+    std::vector<MemberTiming> members(
+        static_cast<std::size_t>(cfg.banksPerBlock));
     for (int m = 0; m < cfg.banksPerBlock; ++m) {
         int bank = bankOf(group, m);
         int pair = pairOf(bank);
         const PairLayout &lay = floorplan.pair(pair);
+        Tick one_way = static_cast<Tick>(floorplan.oneWayCycles(pair));
         Tick start = downLinks[static_cast<std::size_t>(pair)].reserve(
             now, static_cast<Cycles>(req_cycles));
         Tick arrival = start + static_cast<Tick>(req_cycles - 1) +
-                       static_cast<Tick>(floorplan.oneWayCycles(pair));
+                       one_way;
         Tick bank_start =
             bankPorts[static_cast<std::size_t>(bank)].reserve(
                 arrival, static_cast<Cycles>(bankCycles));
-        done[static_cast<std::size_t>(m)] = bank_start + bankCycles;
+        MemberTiming &timing = members[static_cast<std::size_t>(m)];
+        timing.done = bank_start + bankCycles;
+        timing.parts.queueWait +=
+            static_cast<double>((start - now) + (bank_start - arrival));
+        timing.parts.wire +=
+            static_cast<double>((req_cycles - 1) + one_way);
+        timing.parts.bank += static_cast<double>(bankCycles);
         networkEnergy += req_cycles * cfg.downBits * 0.5 *
                          lay.energyPerBit;
+        if (sink) {
+            sink->span(trace::cat::noc, csprintf("req pair{}", pair),
+                       start, arrival, trace::tid::nocBase + pair, req);
+            sink->span(trace::cat::bank, csprintf("bank{}", bank),
+                       bank_start, timing.done,
+                       trace::tid::bankBase + bank, req);
+        }
     }
-    return done;
+    return members;
 }
 
 Tick
-TlcCache::collectResponses(int group, const std::vector<Tick> &bank_done,
-                           int resp_cycles, int payload_bits)
+TlcCache::collectResponses(int group, std::vector<MemberTiming> &members,
+                           int resp_cycles, int payload_bits,
+                           std::uint64_t req,
+                           trace::LatencyBreakdown &critical)
 {
+    auto *sink = trace::TraceSink::active();
     Tick resolved = 0;
     for (int m = 0; m < cfg.banksPerBlock; ++m) {
         int bank = bankOf(group, m);
         int pair = pairOf(bank);
         const PairLayout &lay = floorplan.pair(pair);
+        Tick one_way = static_cast<Tick>(floorplan.oneWayCycles(pair));
+        MemberTiming &timing = members[static_cast<std::size_t>(m)];
         Tick start = upLinks[static_cast<std::size_t>(pair)].reserve(
-            bank_done[static_cast<std::size_t>(m)],
-            static_cast<Cycles>(resp_cycles));
-        Tick first_word =
-            start + static_cast<Tick>(floorplan.oneWayCycles(pair));
-        resolved = std::max(resolved, first_word);
+            timing.done, static_cast<Cycles>(resp_cycles));
+        Tick first_word = start + one_way;
+        timing.firstWord = first_word;
+        timing.parts.queueWait +=
+            static_cast<double>(start - timing.done);
+        timing.parts.wire += static_cast<double>(one_way);
+        if (first_word > resolved) {
+            resolved = first_word;
+            critical = timing.parts;
+        }
         networkEnergy += payload_bits * 0.5 * lay.energyPerBit;
+        if (sink) {
+            sink->span(trace::cat::noc, csprintf("resp pair{}", pair),
+                       start, first_word, trace::tid::nocUpBase + pair,
+                       req);
+        }
     }
     return resolved;
 }
@@ -164,6 +199,7 @@ TlcCache::handleLoad(Addr block_addr, Tick now, mem::RespCallback cb)
     int group = groupOf(block_addr);
     auto &array = arrays[static_cast<std::size_t>(group)];
     Addr frame = frameAddr(block_addr);
+    std::uint64_t req = nextRequestId();
 
     auto way = array.lookup(frame);
     int ptag_matches =
@@ -171,21 +207,26 @@ TlcCache::handleLoad(Addr block_addr, Tick now, mem::RespCallback cb)
             ? array.partialTagMatches(frame, cfg.partialTagBits)
             : (way ? 1 : 0);
 
-    auto bank_done = sendRequests(group, now, reqCycles);
+    TLSIM_DPRINTF(L2, "t={} {} load block {} group {} ({} ptag "
+                  "matches)", now, cfg.name, block_addr, group,
+                  ptag_matches);
+
+    auto members = sendRequests(group, now, reqCycles, req);
     const int slice_bits =
         mem::blockBytes * 8 / cfg.banksPerBlock +
         (cfg.banksPerBlock > 1 ? cfg.highTagBits : 0);
 
+    trace::LatencyBreakdown bd;
     Tick resolved;
     bool second_round = false;
     if (ptag_matches == 0) {
         // Every bank reports "no match" in a single beat.
-        resolved = collectResponses(group, bank_done, 1, 8);
+        resolved = collectResponses(group, members, 1, 8, req, bd);
     } else if (ptag_matches == 1 || cfg.banksPerBlock == 1) {
         // The common case: banks return the (single) matching way's
         // data slice plus its high tag bits.
-        resolved =
-            collectResponses(group, bank_done, respCycles, slice_bits);
+        resolved = collectResponses(group, members, respCycles,
+                                    slice_bits, req, bd);
         if (!way)
             ++falseMatches;
     } else {
@@ -193,10 +234,11 @@ TlcCache::handleLoad(Addr block_addr, Tick now, mem::RespCallback cb)
         // tag bits of all matching ways; if the block is resident the
         // controller issues a second request for the chosen way.
         ++multiMatches;
-        resolved = collectResponses(group, bank_done, 1,
-                                    ptag_matches * cfg.highTagBits);
+        resolved = collectResponses(group, members, 1,
+                                    ptag_matches * cfg.highTagBits,
+                                    req, bd);
         if (way) {
-            resolved = secondRoundTrip(group, resolved);
+            resolved = secondRoundTrip(group, resolved, req, bd);
             second_round = true;
         }
     }
@@ -206,7 +248,7 @@ TlcCache::handleLoad(Addr block_addr, Tick now, mem::RespCallback cb)
     if (cfg.lineErrorRate > 0.0 &&
         errorRng.chance(cfg.lineErrorRate)) {
         ++eccRetries;
-        resolved = secondRoundTrip(group, resolved);
+        resolved = secondRoundTrip(group, resolved, req, bd);
         second_round = true;
     }
 
@@ -219,6 +261,14 @@ TlcCache::handleLoad(Addr block_addr, Tick now, mem::RespCallback cb)
         ++hits;
         ++useCounter;
         array.touch(frame, *way, useCounter, false);
+        TLSIM_DPRINTF(L2, "t={} {} hit block {} latency {}", now,
+                      cfg.name, block_addr, latency);
+        recordBreakdown(bd);
+        if (auto *sink = trace::TraceSink::active()) {
+            sink->span(trace::cat::l2,
+                       csprintf("{} hit {}", cfg.name, block_addr),
+                       now, resolved, trace::tid::l2, req);
+        }
         // Deliver through the event queue so the L1 observes the fill
         // at the correct simulated time (keeping its MSHR open until
         // then for coalescing).
@@ -226,16 +276,21 @@ TlcCache::handleLoad(Addr block_addr, Tick now, mem::RespCallback cb)
             cb(resolved);
         });
     } else {
-        handleMiss(block_addr, resolved, std::move(cb));
+        handleMiss(block_addr, now, resolved, req, bd, std::move(cb));
     }
 }
 
 Tick
-TlcCache::secondRoundTrip(int group, Tick start)
+TlcCache::secondRoundTrip(int group, Tick start, std::uint64_t req,
+                          trace::LatencyBreakdown &bd)
 {
-    auto bank_done = sendRequests(group, start, reqCycles);
+    auto members = sendRequests(group, start, reqCycles, req);
     const int slice_bits = mem::blockBytes * 8 / cfg.banksPerBlock;
-    return collectResponses(group, bank_done, respCycles, slice_bits);
+    trace::LatencyBreakdown round;
+    Tick resolved = collectResponses(group, members, respCycles,
+                                     slice_bits, req, round);
+    bd += round;
+    return resolved;
 }
 
 void
@@ -305,12 +360,24 @@ TlcCache::handleWrite(Addr block_addr, Tick now, bool is_fill)
 }
 
 void
-TlcCache::handleMiss(Addr block_addr, Tick miss_time,
+TlcCache::handleMiss(Addr block_addr, Tick issue, Tick miss_time,
+                     std::uint64_t req, trace::LatencyBreakdown bd,
                      mem::RespCallback cb)
 {
     ++misses;
+    TLSIM_DPRINTF(L2, "t={} {} miss block {}", miss_time, cfg.name,
+                  block_addr);
     dram.read(block_addr, miss_time,
-              [this, block_addr, cb = std::move(cb)](Tick ready) {
+              [this, block_addr, issue, miss_time, req, bd,
+               cb = std::move(cb)](Tick ready) mutable {
+                  bd.dram = static_cast<double>(ready - miss_time);
+                  recordBreakdown(bd);
+                  if (auto *sink = trace::TraceSink::active()) {
+                      sink->span(trace::cat::l2,
+                                 csprintf("{} miss {}", cfg.name,
+                                          block_addr),
+                                 issue, ready, trace::tid::l2, req);
+                  }
                   cb(ready);
                   handleWrite(block_addr, ready, true);
               });

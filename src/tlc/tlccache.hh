@@ -107,32 +107,55 @@ class TlcCache : public mem::L2Cache
     /** Pair whose links serve a bank (members span distinct pairs). */
     int pairOf(int bank) const { return bank % cfg.pairs(); }
 
+    /**
+     * Timing of one member bank's leg of a request, with the exact
+     * queue/wire/bank decomposition of its path (the components sum
+     * to done - issue, and after the response leg to
+     * firstWord - issue).
+     */
+    struct MemberTiming
+    {
+        Tick done = 0; ///< bank access complete
+        Tick firstWord = 0; ///< first response word at controller
+        trace::LatencyBreakdown parts;
+    };
+
     /** Handle a demand read. */
     void handleLoad(Addr block_addr, Tick now, mem::RespCallback cb);
 
     /** Handle a store / writeback (also used for fills). */
     void handleWrite(Addr block_addr, Tick now, bool is_fill);
 
-    /** Second round trip after a multiple partial-tag match. */
-    Tick secondRoundTrip(int group, Tick start);
+    /**
+     * Second round trip after a multiple partial-tag match; adds the
+     * round's critical-path components to @p bd.
+     */
+    Tick secondRoundTrip(int group, Tick start, std::uint64_t req,
+                         trace::LatencyBreakdown &bd);
 
     /** Miss path: DRAM fetch, fill, respond. */
-    void handleMiss(Addr block_addr, Tick miss_time,
+    void handleMiss(Addr block_addr, Tick issue, Tick miss_time,
+                    std::uint64_t req, trace::LatencyBreakdown bd,
                     mem::RespCallback cb);
 
     /**
-     * Reserve the request path to every member bank and return, per
-     * member, the tick its bank access completes; also accounts
-     * request energy.
+     * Reserve the request path to every member bank; per member,
+     * record the bank-completion tick and the decomposition of the
+     * path so far. Also accounts request energy.
      */
-    std::vector<Tick> sendRequests(int group, Tick now, int req_cycles);
+    std::vector<MemberTiming> sendRequests(int group, Tick now,
+                                           int req_cycles,
+                                           std::uint64_t req);
 
     /**
      * Reserve response paths of @p resp_cycles for every member and
-     * return the max first-word arrival at the controller.
+     * return the max first-word arrival at the controller; @p critical
+     * is set to the decomposition of the member that determined it.
      */
-    Tick collectResponses(int group, const std::vector<Tick> &bank_done,
-                          int resp_cycles, int payload_bits);
+    Tick collectResponses(int group, std::vector<MemberTiming> &members,
+                          int resp_cycles, int payload_bits,
+                          std::uint64_t req,
+                          trace::LatencyBreakdown &critical);
 
     std::vector<mem::SetAssocArray> arrays;
     std::uint64_t useCounter = 0;

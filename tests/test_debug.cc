@@ -1,0 +1,120 @@
+/**
+ * @file
+ * Unit tests for the debug-flag facility (sim/trace/debug).
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "sim/trace/debug.hh"
+
+using namespace tlsim;
+
+namespace
+{
+
+/** Capture debug output and restore clean flag state afterwards. */
+struct DebugCapture
+{
+    DebugCapture()
+    {
+        debug::clearFlags();
+        debug::setOutput(&stream);
+    }
+
+    ~DebugCapture()
+    {
+        debug::setOutput(nullptr);
+        debug::clearFlags();
+    }
+
+    std::string text() const { return stream.str(); }
+
+    std::ostringstream stream;
+};
+
+} // namespace
+
+TEST(DebugFlags, RegistryContainsAllBuiltins)
+{
+    for (const char *name :
+         {"EventQ", "L1", "L2", "NoC", "Dram", "CPU", "Stats"}) {
+        debug::Flag *flag = debug::Flag::find(name);
+        ASSERT_NE(flag, nullptr) << name;
+        EXPECT_STREQ(flag->name(), name);
+        EXPECT_NE(std::string(flag->desc()), "");
+    }
+    EXPECT_GE(debug::Flag::all().size(), 7u);
+}
+
+TEST(DebugFlags, FindUnknownReturnsNull)
+{
+    EXPECT_EQ(debug::Flag::find("NoSuchFlag"), nullptr);
+}
+
+TEST(DebugFlags, DisabledByDefault)
+{
+    DebugCapture capture;
+    for (debug::Flag *flag : debug::Flag::all())
+        EXPECT_FALSE(flag->enabled()) << flag->name();
+}
+
+TEST(DebugFlags, SetFlagsEnablesListed)
+{
+    DebugCapture capture;
+    debug::setFlags("L2,NoC");
+    EXPECT_TRUE(debug::flags::L2.enabled());
+    EXPECT_TRUE(debug::flags::NoC.enabled());
+    EXPECT_FALSE(debug::flags::L1.enabled());
+    EXPECT_FALSE(debug::flags::Dram.enabled());
+}
+
+TEST(DebugFlags, AllEnablesEverythingAndMinusDisables)
+{
+    DebugCapture capture;
+    debug::setFlags("All,-EventQ");
+    EXPECT_FALSE(debug::flags::EventQ.enabled());
+    EXPECT_TRUE(debug::flags::L1.enabled());
+    EXPECT_TRUE(debug::flags::CPU.enabled());
+    debug::clearFlags();
+    for (debug::Flag *flag : debug::Flag::all())
+        EXPECT_FALSE(flag->enabled());
+}
+
+TEST(DebugFlags, DprintfFormatsWhenEnabled)
+{
+    DebugCapture capture;
+    debug::setFlags("L2");
+    TLSIM_DPRINTF(L2, "block {} latency {}", 42, 17);
+    std::string out = capture.text();
+    EXPECT_NE(out.find("L2"), std::string::npos);
+    EXPECT_NE(out.find("block 42 latency 17"), std::string::npos);
+}
+
+TEST(DebugFlags, DprintfSilentAndLazyWhenDisabled)
+{
+    DebugCapture capture;
+    int evaluations = 0;
+    auto expensive = [&evaluations]() {
+        ++evaluations;
+        return 1;
+    };
+    TLSIM_DPRINTF(L2, "value {}", expensive());
+    EXPECT_EQ(capture.text(), "");
+    EXPECT_EQ(evaluations, 0);
+
+    debug::setFlags("L2");
+    TLSIM_DPRINTF(L2, "value {}", expensive());
+    EXPECT_EQ(evaluations, 1);
+    EXPECT_NE(capture.text().find("value 1"), std::string::npos);
+}
+
+TEST(DebugFlags, UnknownNameIsIgnored)
+{
+    DebugCapture capture;
+    logging_detail::quiet = true;
+    debug::setFlags("Bogus,L1");
+    logging_detail::quiet = false;
+    EXPECT_TRUE(debug::flags::L1.enabled());
+}

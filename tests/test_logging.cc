@@ -65,6 +65,34 @@ TEST(Csprintf, PlaceholderAtStart)
     EXPECT_EQ(csprintf("{} end", 5), "5 end");
 }
 
+TEST(Csprintf, EscapedBraces)
+{
+    EXPECT_EQ(csprintf("{{}}"), "{}");
+    EXPECT_EQ(csprintf("json: {{\"k\": {}}}", 3), "json: {\"k\": 3}");
+}
+
+TEST(Csprintf, EscapedBracesAroundPlaceholder)
+{
+    EXPECT_EQ(csprintf("{{{}}}", 1), "{1}");
+}
+
+TEST(Csprintf, EscapedBracesWithoutArguments)
+{
+    EXPECT_EQ(csprintf("set {{1, 2}}"), "set {1, 2}");
+}
+
+TEST(Csprintf, EscapedBracesInTailAfterArgsExhausted)
+{
+    // The tail flush (after all arguments are consumed) must still
+    // resolve doubled braces while keeping surplus placeholders.
+    EXPECT_EQ(csprintf("{} {{x}} {}", 7), "7 {x} {}");
+}
+
+TEST(Csprintf, LoneBracesUntouched)
+{
+    EXPECT_EQ(csprintf("a { b } c"), "a { b } c");
+}
+
 TEST(Logging, PanicThrowsPanicError)
 {
     QuietGuard guard;

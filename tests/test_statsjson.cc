@@ -1,0 +1,185 @@
+/**
+ * @file
+ * Tests for the JSON stats export: StatGroup::dumpStatsJson round-trip
+ * and the periodic StatSampler time series.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+
+#include "sim/eventq.hh"
+#include "sim/stats.hh"
+#include "sim/trace/sampler.hh"
+#include "testjson.hh"
+
+using namespace tlsim;
+
+namespace
+{
+
+/** A small stats tree exercising every stat kind. */
+struct TreeFixture
+{
+    stats::StatGroup root{"system"};
+    stats::StatGroup child{"l2", &root};
+    stats::Scalar requests{&child, "requests", "requests received"};
+    stats::Average latency{&child, "latency", "request latency"};
+    stats::Distribution queue{&child, "queue", "queue depth", 0.0,
+                              10.0, 5};
+    stats::Histogram gaps{&child, "gaps", "inter-arrival gaps"};
+    stats::Formula missRate{&child, "miss_rate", "relative misses",
+                            [this]() {
+                                return requests.value() > 0.0
+                                           ? 1.0 / requests.value()
+                                           : 0.0;
+                            }};
+};
+
+} // namespace
+
+TEST(StatsJson, RoundTripAllKinds)
+{
+    TreeFixture t;
+    t.requests += 5.0;
+    t.latency.sample(10.0);
+    t.latency.sample(20.0);
+    t.queue.sample(-1.0); // underflow
+    t.queue.sample(2.5);
+    t.queue.sample(99.0); // overflow
+    t.gaps.sample(7);
+
+    std::ostringstream out;
+    t.root.dumpStatsJson(out);
+    testjson::Value doc = testjson::parse(out.str());
+
+    const auto &l2 = doc.at("l2");
+    EXPECT_EQ(l2.at("requests").at("kind").str, "scalar");
+    EXPECT_EQ(l2.at("requests").at("value").number, 5.0);
+    EXPECT_NE(l2.at("requests").at("desc").str, "");
+
+    const auto &lat = l2.at("latency");
+    EXPECT_EQ(lat.at("kind").str, "average");
+    EXPECT_EQ(lat.at("count").number, 2.0);
+    EXPECT_EQ(lat.at("mean").number, 15.0);
+    EXPECT_EQ(lat.at("min").number, 10.0);
+    EXPECT_EQ(lat.at("max").number, 20.0);
+
+    const auto &queue = l2.at("queue");
+    EXPECT_EQ(queue.at("kind").str, "distribution");
+    EXPECT_EQ(queue.at("count").number, 3.0);
+    EXPECT_EQ(queue.at("underflow").number, 1.0);
+    EXPECT_EQ(queue.at("overflow").number, 1.0);
+    ASSERT_EQ(queue.at("buckets").size(), 5u);
+    EXPECT_EQ(queue.at("buckets").at(1).number, 1.0);
+
+    const auto &gaps = l2.at("gaps");
+    EXPECT_EQ(gaps.at("kind").str, "histogram");
+    EXPECT_EQ(gaps.at("count").number, 1.0);
+    // 7 falls in the log2 bucket with index 3 (values 4..7).
+    EXPECT_TRUE(gaps.at("buckets").has("3"));
+
+    const auto &rate = l2.at("miss_rate");
+    EXPECT_EQ(rate.at("kind").str, "formula");
+    EXPECT_DOUBLE_EQ(rate.at("value").number, 0.2);
+}
+
+TEST(StatsJson, DoublesSurviveExactly)
+{
+    stats::StatGroup root{"root"};
+    stats::Scalar value{&root, "value", "a precise value"};
+    value += 0.1 + 0.2; // classic non-representable sum
+
+    std::ostringstream out;
+    root.dumpStatsJson(out);
+    testjson::Value doc = testjson::parse(out.str());
+    EXPECT_EQ(doc.at("value").at("value").number, 0.1 + 0.2);
+}
+
+TEST(StatsJson, NonFiniteValuesBecomeZero)
+{
+    stats::StatGroup root{"root"};
+    stats::Formula bad{&root, "bad", "divides by zero",
+                       []() { return std::nan(""); }};
+    stats::Formula worse{&root, "worse", "infinite", []() {
+                             return std::numeric_limits<
+                                 double>::infinity();
+                         }};
+
+    std::ostringstream out;
+    root.dumpStatsJson(out);
+    // Must still parse: NaN/Inf are not valid JSON.
+    testjson::Value doc = testjson::parse(out.str());
+    EXPECT_EQ(doc.at("bad").at("value").number, 0.0);
+    EXPECT_EQ(doc.at("worse").at("value").number, 0.0);
+}
+
+TEST(StatsJson, EmptyGroupIsValid)
+{
+    stats::StatGroup root{"root"};
+    std::ostringstream out;
+    root.dumpStatsJson(out);
+    testjson::Value doc = testjson::parse(out.str());
+    EXPECT_TRUE(doc.isObject());
+}
+
+TEST(StatSampler, PeriodicSamplesFormJsonLines)
+{
+    EventQueue eq;
+    TreeFixture t;
+    std::ostringstream out;
+    trace::StatSampler sampler(eq, t.root, 100, out);
+    sampler.start();
+
+    // Give the queue work up to tick 500; the sampler should fire at
+    // 100, 200, 300, 400, 500 alongside it.
+    for (Tick tick = 50; tick <= 550; tick += 100) {
+        eq.scheduleFunc(tick, [&t]() { t.requests += 1.0; });
+    }
+    eq.advanceTo(520);
+    sampler.stop();
+    eq.run();
+
+    EXPECT_EQ(sampler.samplesTaken(), 5u);
+
+    std::istringstream lines(out.str());
+    std::string line;
+    std::size_t parsed = 0;
+    double last_tick = 0.0;
+    while (std::getline(lines, line)) {
+        testjson::Value doc = testjson::parse(line);
+        EXPECT_GT(doc.at("tick").number, last_tick);
+        last_tick = doc.at("tick").number;
+        EXPECT_TRUE(doc.at("stats").at("l2").isObject());
+        ++parsed;
+    }
+    EXPECT_EQ(parsed, 5u);
+
+    // The time series captures the growth of the counter.
+    std::istringstream again(out.str());
+    std::getline(again, line);
+    testjson::Value first = testjson::parse(line);
+    EXPECT_EQ(first.at("stats")
+                  .at("l2")
+                  .at("requests")
+                  .at("value")
+                  .number,
+              1.0);
+}
+
+TEST(StatSampler, StopPreventsFurtherSamples)
+{
+    EventQueue eq;
+    TreeFixture t;
+    std::ostringstream out;
+    trace::StatSampler sampler(eq, t.root, 10, out);
+    sampler.start();
+    eq.scheduleFunc(35, []() {});
+    eq.advanceTo(35);
+    EXPECT_EQ(sampler.samplesTaken(), 3u);
+    sampler.stop();
+    eq.scheduleFunc(100, []() {});
+    eq.run();
+    EXPECT_EQ(sampler.samplesTaken(), 3u);
+}

@@ -1,0 +1,297 @@
+/**
+ * @file
+ * Minimal recursive-descent JSON parser for validating the JSON the
+ * observability subsystem emits (Chrome traces, stats exports). Test
+ * helper only — strict enough to catch malformed output, no escapes
+ * beyond the ones the emitters produce.
+ */
+
+#ifndef TLSIM_TESTS_TESTJSON_HH
+#define TLSIM_TESTS_TESTJSON_HH
+
+#include <cctype>
+#include <map>
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace testjson
+{
+
+struct Value;
+using ValuePtr = std::shared_ptr<Value>;
+
+struct Value
+{
+    enum class Kind
+    {
+        Null,
+        Bool,
+        Number,
+        String,
+        Array,
+        Object,
+    };
+
+    Kind kind = Kind::Null;
+    bool boolean = false;
+    double number = 0.0;
+    std::string str;
+    std::vector<ValuePtr> items;
+    std::map<std::string, ValuePtr> members;
+
+    bool isObject() const { return kind == Kind::Object; }
+    bool isArray() const { return kind == Kind::Array; }
+    bool isNumber() const { return kind == Kind::Number; }
+    bool isString() const { return kind == Kind::String; }
+
+    bool has(const std::string &key) const
+    {
+        return members.count(key) > 0;
+    }
+
+    const Value &at(const std::string &key) const
+    {
+        auto it = members.find(key);
+        if (it == members.end())
+            throw std::runtime_error("missing key: " + key);
+        return *it->second;
+    }
+
+    const Value &at(std::size_t i) const { return *items.at(i); }
+
+    std::size_t size() const
+    {
+        return isArray() ? items.size() : members.size();
+    }
+};
+
+class Parser
+{
+  public:
+    explicit Parser(const std::string &text) : s(text) {}
+
+    Value parse()
+    {
+        Value v = parseValue();
+        skipWs();
+        if (pos != s.size())
+            fail("trailing characters");
+        return v;
+    }
+
+  private:
+    [[noreturn]] void fail(const std::string &why) const
+    {
+        throw std::runtime_error("JSON parse error at offset " +
+                                 std::to_string(pos) + ": " + why);
+    }
+
+    void skipWs()
+    {
+        while (pos < s.size() &&
+               std::isspace(static_cast<unsigned char>(s[pos])))
+            ++pos;
+    }
+
+    char peek()
+    {
+        if (pos >= s.size())
+            fail("unexpected end of input");
+        return s[pos];
+    }
+
+    void expect(char c)
+    {
+        if (peek() != c)
+            fail(std::string("expected '") + c + "', got '" + s[pos] +
+                 "'");
+        ++pos;
+    }
+
+    Value parseValue()
+    {
+        skipWs();
+        char c = peek();
+        switch (c) {
+          case '{':
+            return parseObject();
+          case '[':
+            return parseArray();
+          case '"':
+            return parseString();
+          case 't':
+          case 'f':
+            return parseBool();
+          case 'n':
+            return parseNull();
+          default:
+            return parseNumber();
+        }
+    }
+
+    Value parseObject()
+    {
+        Value v;
+        v.kind = Value::Kind::Object;
+        expect('{');
+        skipWs();
+        if (peek() == '}') {
+            ++pos;
+            return v;
+        }
+        while (true) {
+            skipWs();
+            Value key = parseString();
+            skipWs();
+            expect(':');
+            v.members[key.str] =
+                std::make_shared<Value>(parseValue());
+            skipWs();
+            if (peek() == ',') {
+                ++pos;
+                continue;
+            }
+            expect('}');
+            return v;
+        }
+    }
+
+    Value parseArray()
+    {
+        Value v;
+        v.kind = Value::Kind::Array;
+        expect('[');
+        skipWs();
+        if (peek() == ']') {
+            ++pos;
+            return v;
+        }
+        while (true) {
+            v.items.push_back(std::make_shared<Value>(parseValue()));
+            skipWs();
+            if (peek() == ',') {
+                ++pos;
+                continue;
+            }
+            expect(']');
+            return v;
+        }
+    }
+
+    Value parseString()
+    {
+        Value v;
+        v.kind = Value::Kind::String;
+        expect('"');
+        while (true) {
+            if (pos >= s.size())
+                fail("unterminated string");
+            char c = s[pos++];
+            if (c == '"')
+                return v;
+            if (c == '\\') {
+                if (pos >= s.size())
+                    fail("truncated escape");
+                char e = s[pos++];
+                switch (e) {
+                  case '"':
+                  case '\\':
+                  case '/':
+                    v.str += e;
+                    break;
+                  case 'n':
+                    v.str += '\n';
+                    break;
+                  case 't':
+                    v.str += '\t';
+                    break;
+                  case 'r':
+                    v.str += '\r';
+                    break;
+                  case 'b':
+                    v.str += '\b';
+                    break;
+                  case 'f':
+                    v.str += '\f';
+                    break;
+                  case 'u': {
+                    if (pos + 4 > s.size())
+                        fail("truncated \\u escape");
+                    unsigned code = static_cast<unsigned>(std::stoul(
+                        s.substr(pos, 4), nullptr, 16));
+                    pos += 4;
+                    if (code > 0x7f)
+                        fail("non-ASCII \\u escape unsupported");
+                    v.str += static_cast<char>(code);
+                    break;
+                  }
+                  default:
+                    fail("unknown escape");
+                }
+            } else {
+                v.str += c;
+            }
+        }
+    }
+
+    Value parseBool()
+    {
+        Value v;
+        v.kind = Value::Kind::Bool;
+        if (s.compare(pos, 4, "true") == 0) {
+            v.boolean = true;
+            pos += 4;
+        } else if (s.compare(pos, 5, "false") == 0) {
+            v.boolean = false;
+            pos += 5;
+        } else {
+            fail("bad literal");
+        }
+        return v;
+    }
+
+    Value parseNull()
+    {
+        if (s.compare(pos, 4, "null") != 0)
+            fail("bad literal");
+        pos += 4;
+        return Value{};
+    }
+
+    Value parseNumber()
+    {
+        std::size_t start = pos;
+        if (pos < s.size() && (s[pos] == '-' || s[pos] == '+'))
+            ++pos;
+        while (pos < s.size() &&
+               (std::isdigit(static_cast<unsigned char>(s[pos])) ||
+                s[pos] == '.' || s[pos] == 'e' || s[pos] == 'E' ||
+                s[pos] == '-' || s[pos] == '+'))
+            ++pos;
+        if (pos == start)
+            fail("expected a number");
+        Value v;
+        v.kind = Value::Kind::Number;
+        try {
+            v.number = std::stod(s.substr(start, pos - start));
+        } catch (const std::exception &) {
+            fail("bad number");
+        }
+        return v;
+    }
+
+    const std::string &s;
+    std::size_t pos = 0;
+};
+
+inline Value
+parse(const std::string &text)
+{
+    return Parser(text).parse();
+}
+
+} // namespace testjson
+
+#endif // TLSIM_TESTS_TESTJSON_HH
