@@ -2,45 +2,15 @@
  * @file
  * Reproduces paper Figure 5: execution time of DNUCA and the base
  * TLC, normalized to SNUCA2, across the 12 benchmarks.
+ *
+ * Thin wrapper over the sweep runner: equivalent to
+ * `tlsim_repro --filter fig5`, and accepts the same options.
  */
 
-#include <iostream>
-
-#include "benchcommon.hh"
-#include "paperdata.hh"
-#include "sim/table.hh"
-
-using namespace tlsim;
-using harness::DesignKind;
+#include "repro/reprocli.hh"
 
 int
 main(int argc, char **argv)
 {
-    benchcommon::initObservability(argc, argv);
-    TextTable table("Figure 5: Normalized Execution Time vs SNUCA2 "
-                    "(measured (paper, read off plot))");
-    table.setHeader({"Bench", "DNUCA", "TLC"});
-
-    for (const auto &row : paperdata::fig5) {
-        const auto &snuca = benchcommon::cachedRun(DesignKind::Snuca2,
-                                                   row.bench);
-        const auto &dnuca = benchcommon::cachedRun(DesignKind::Dnuca,
-                                                   row.bench);
-        const auto &tlc = benchcommon::cachedRun(DesignKind::TlcBase,
-                                                 row.bench);
-        double base = static_cast<double>(snuca.cycles);
-        table.addRow({
-            row.bench,
-            TextTable::num(dnuca.cycles / base, 3) + " (" +
-                TextTable::num(row.dnuca, 2) + ")",
-            TextTable::num(tlc.cycles / base, 3) + " (" +
-                TextTable::num(row.tlc, 2) + ")",
-        });
-    }
-    table.print(std::cout);
-    std::cout << "\nValues < 1.0 improve on SNUCA2. Expected shape: "
-                 "both designs win on SPECint/commercial; neither "
-                 "moves the streaming SPECfp codes; TLC loses "
-                 "slightly on equake (LRU vs frequency placement).\n";
-    return 0;
+    return tlsim::repro::experimentMain("fig5", argc, argv);
 }

@@ -2,51 +2,15 @@
  * @file
  * Reproduces paper Figure 6: mean L2 lookup latency of DNUCA and the
  * base TLC across the 12 benchmarks — the consistency argument.
+ *
+ * Thin wrapper over the sweep runner: equivalent to
+ * `tlsim_repro --filter fig6`, and accepts the same options.
  */
 
-#include <algorithm>
-#include <iostream>
-
-#include "benchcommon.hh"
-#include "paperdata.hh"
-#include "sim/table.hh"
-
-using namespace tlsim;
-using harness::DesignKind;
+#include "repro/reprocli.hh"
 
 int
 main(int argc, char **argv)
 {
-    benchcommon::initObservability(argc, argv);
-    TextTable table("Figure 6: Mean Cache Lookup Latency [cycles] "
-                    "(measured (paper, read off plot))");
-    table.setHeader({"Bench", "DNUCA", "TLC"});
-
-    double tlc_lo = 1e9, tlc_hi = 0.0, dnuca_lo = 1e9, dnuca_hi = 0.0;
-    for (const auto &row : paperdata::fig6) {
-        const auto &dnuca = benchcommon::cachedRun(DesignKind::Dnuca,
-                                                   row.bench);
-        const auto &tlc = benchcommon::cachedRun(DesignKind::TlcBase,
-                                                 row.bench);
-        table.addRow({
-            row.bench,
-            TextTable::num(dnuca.meanLookupLatency, 1) + " (" +
-                TextTable::num(row.dnuca, 0) + ")",
-            TextTable::num(tlc.meanLookupLatency, 1) + " (" +
-                TextTable::num(row.tlc, 0) + ")",
-        });
-        tlc_lo = std::min(tlc_lo, tlc.meanLookupLatency);
-        tlc_hi = std::max(tlc_hi, tlc.meanLookupLatency);
-        dnuca_lo = std::min(dnuca_lo, dnuca.meanLookupLatency);
-        dnuca_hi = std::max(dnuca_hi, dnuca.meanLookupLatency);
-    }
-    table.print(std::cout);
-
-    std::cout << "\nTLC spread: " << TextTable::num(tlc_lo, 1) << "-"
-              << TextTable::num(tlc_hi, 1)
-              << " cycles (paper: ~13 flat); DNUCA spread: "
-              << TextTable::num(dnuca_lo, 1) << "-"
-              << TextTable::num(dnuca_hi, 1)
-              << " cycles (paper: ~10-35).\n";
-    return 0;
+    return tlsim::repro::experimentMain("fig6", argc, argv);
 }

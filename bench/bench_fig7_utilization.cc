@@ -4,50 +4,15 @@
  * utilization for the whole TLC family across the 12 benchmarks —
  * showing that even TLCopt350's 6x wire reduction leaves plenty of
  * headroom.
+ *
+ * Thin wrapper over the sweep runner: equivalent to
+ * `tlsim_repro --filter fig7`, and accepts the same options.
  */
 
-#include <algorithm>
-#include <iostream>
-
-#include "benchcommon.hh"
-#include "paperdata.hh"
-#include "sim/table.hh"
-
-using namespace tlsim;
-using harness::DesignKind;
+#include "repro/reprocli.hh"
 
 int
 main(int argc, char **argv)
 {
-    benchcommon::initObservability(argc, argv);
-    TextTable table("Figure 7: TLC Average Link Utilization [%]");
-    table.setHeader({"Bench", "TLC", "TLCopt1000", "TLCopt500",
-                     "TLCopt350"});
-
-    double base_max = 0.0, opt350_max = 0.0;
-    for (const auto &bench : paperdata::benchmarks) {
-        std::vector<std::string> row{bench};
-        for (DesignKind kind : harness::tlcFamily()) {
-            const auto &result = benchcommon::cachedRun(kind, bench);
-            row.push_back(
-                TextTable::num(result.linkUtilizationPct, 2));
-            if (kind == DesignKind::TlcBase) {
-                base_max = std::max(base_max,
-                                    result.linkUtilizationPct);
-            }
-            if (kind == DesignKind::TlcOpt350) {
-                opt350_max = std::max(opt350_max,
-                                      result.linkUtilizationPct);
-            }
-        }
-        table.addRow(row);
-    }
-    table.print(std::cout);
-
-    std::cout << "\nBase TLC max utilization: "
-              << TextTable::num(base_max, 2)
-              << "% (paper: never exceeds 2%); TLCopt350 max: "
-              << TextTable::num(opt350_max, 2)
-              << "% (paper: never surpasses 13%).\n";
-    return 0;
+    return tlsim::repro::experimentMain("fig7", argc, argv);
 }

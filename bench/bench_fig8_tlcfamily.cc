@@ -3,51 +3,15 @@
  * Reproduces paper Figure 8: execution time of the optimized TLC
  * designs normalized to the base TLC — the claim that 6x fewer wires
  * costs almost no performance.
+ *
+ * Thin wrapper over the sweep runner: equivalent to
+ * `tlsim_repro --filter fig8`, and accepts the same options.
  */
 
-#include <algorithm>
-#include <iostream>
-
-#include "benchcommon.hh"
-#include "paperdata.hh"
-#include "sim/table.hh"
-
-using namespace tlsim;
-using harness::DesignKind;
+#include "repro/reprocli.hh"
 
 int
 main(int argc, char **argv)
 {
-    benchcommon::initObservability(argc, argv);
-    TextTable table("Figure 8: TLC Family Execution Time "
-                    "(normalized to base TLC)");
-    table.setHeader({"Bench", "TLC", "TLCopt1000", "TLCopt500",
-                     "TLCopt350", "multi-match% (opt350)"});
-
-    double worst = 0.0;
-    for (const auto &bench : paperdata::benchmarks) {
-        const auto &base = benchcommon::cachedRun(DesignKind::TlcBase,
-                                                  bench);
-        double base_cycles = static_cast<double>(base.cycles);
-        std::vector<std::string> row{bench, "1.000"};
-        for (DesignKind kind :
-             {DesignKind::TlcOpt1000, DesignKind::TlcOpt500,
-              DesignKind::TlcOpt350}) {
-            const auto &result = benchcommon::cachedRun(kind, bench);
-            double norm = result.cycles / base_cycles;
-            worst = std::max(worst, norm);
-            row.push_back(TextTable::num(norm, 3));
-        }
-        const auto &opt350 =
-            benchcommon::cachedRun(DesignKind::TlcOpt350, bench);
-        row.push_back(TextTable::num(opt350.multiMatchPct, 2));
-        table.addRow(row);
-    }
-    table.print(std::cout);
-
-    std::cout << "\nWorst TLCopt slowdown vs base TLC: "
-              << TextTable::num(100.0 * (worst - 1.0), 1)
-              << "% (paper: comparable performance; multiple partial "
-                 "matches in ~1% of lookups).\n";
-    return 0;
+    return tlsim::repro::experimentMain("fig8", argc, argv);
 }

@@ -3,53 +3,15 @@
  * Reproduces paper Table 6: benchmark characteristics on the base TLC
  * and DNUCA designs — L2 requests, misses per 1K instructions, DNUCA
  * close-hit rate, promotes/inserts, and predictable-lookup rates.
+ *
+ * Thin wrapper over the sweep runner: equivalent to
+ * `tlsim_repro --filter table6`, and accepts the same options.
  */
 
-#include <iostream>
-
-#include "benchcommon.hh"
-#include "paperdata.hh"
-#include "sim/table.hh"
-
-using namespace tlsim;
-using harness::DesignKind;
+#include "repro/reprocli.hh"
 
 int
 main(int argc, char **argv)
 {
-    benchcommon::initObservability(argc, argv);
-    TextTable table("Table 6: Benchmark Characteristics "
-                    "(paper -> measured)");
-    table.setHeader({"Bench", "L2req/1K", "TLC miss/1K (paper)",
-                     "DNUCA miss/1K (paper)", "close-hit% (paper)",
-                     "promotes/insert (paper)", "TLC pred% (paper)",
-                     "DNUCA pred% (paper)"});
-
-    for (const auto &row : paperdata::table6) {
-        const auto &tlc = benchcommon::cachedRun(DesignKind::TlcBase,
-                                                 row.bench);
-        const auto &dnuca = benchcommon::cachedRun(DesignKind::Dnuca,
-                                                   row.bench);
-        table.addRow({
-            row.bench,
-            TextTable::num(tlc.l2RequestsPer1k, 1) + " (" +
-                TextTable::num(paperdata::table6RequestsPer1k(row), 1) +
-                ")",
-            TextTable::num(tlc.l2MissesPer1k, 3) + " (" +
-                TextTable::num(row.tlcMissPer1k, 3) + ")",
-            TextTable::num(dnuca.l2MissesPer1k, 3) + " (" +
-                TextTable::num(row.dnucaMissPer1k, 3) + ")",
-            TextTable::num(dnuca.closeHitPct, 1) + " (" +
-                TextTable::num(row.dnucaCloseHitPct, 1) + ")",
-            TextTable::num(dnuca.promotesPerInsert, 2) + " (" +
-                TextTable::num(row.dnucaPromotesPerInsert, 2) + ")",
-            TextTable::num(tlc.predictablePct, 0) + " (" +
-                TextTable::num(row.tlcPredictablePct, 0) + ")",
-            TextTable::num(dnuca.predictablePct, 0) + " (" +
-                TextTable::num(row.dnucaPredictablePct, 0) + ")",
-        });
-    }
-
-    table.print(std::cout);
-    return 0;
+    return tlsim::repro::experimentMain("table6", argc, argv);
 }

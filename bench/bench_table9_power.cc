@@ -3,49 +3,15 @@
  * Reproduces paper Table 9: banks accessed per request and dynamic
  * power dissipated in the L2 communication network, for DNUCA and the
  * base TLC, across the 12 benchmarks.
+ *
+ * Thin wrapper over the sweep runner: equivalent to
+ * `tlsim_repro --filter table9`, and accepts the same options.
  */
 
-#include <iostream>
-
-#include "benchcommon.hh"
-#include "paperdata.hh"
-#include "sim/table.hh"
-
-using namespace tlsim;
-using harness::DesignKind;
+#include "repro/reprocli.hh"
 
 int
 main(int argc, char **argv)
 {
-    benchcommon::initObservability(argc, argv);
-    TextTable table("Table 9: Dynamic Components (measured (paper))");
-    table.setHeader({"Bench", "DNUCA banks/req", "TLC banks/req",
-                     "DNUCA net power [mW]", "TLC net power [mW]"});
-
-    double dnuca_sum = 0.0, tlc_sum = 0.0;
-    for (const auto &row : paperdata::table9) {
-        const auto &tlc = benchcommon::cachedRun(DesignKind::TlcBase,
-                                                 row.bench);
-        const auto &dnuca = benchcommon::cachedRun(DesignKind::Dnuca,
-                                                   row.bench);
-        table.addRow({
-            row.bench,
-            TextTable::num(dnuca.banksPerRequest, 1) + " (" +
-                TextTable::num(row.dnucaBanksPerRequest, 1) + ")",
-            TextTable::num(tlc.banksPerRequest, 1) + " (" +
-                TextTable::num(row.tlcBanksPerRequest, 1) + ")",
-            TextTable::num(dnuca.networkPowerMw, 0) + " (" +
-                TextTable::num(row.dnucaNetworkPowerMw, 0) + ")",
-            TextTable::num(tlc.networkPowerMw, 0) + " (" +
-                TextTable::num(row.tlcNetworkPowerMw, 0) + ")",
-        });
-        dnuca_sum += dnuca.networkPowerMw;
-        tlc_sum += tlc.networkPowerMw;
-    }
-    table.print(std::cout);
-
-    double reduction = 100.0 * (1.0 - tlc_sum / dnuca_sum);
-    std::cout << "\nAverage TLC network dynamic power reduction: "
-              << TextTable::num(reduction, 0) << "% (paper: 61%)\n";
-    return 0;
+    return tlsim::repro::experimentMain("table9", argc, argv);
 }

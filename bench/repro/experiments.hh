@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Declarative registry of the paper's simulation-driven experiments.
+ *
+ * Each table/figure of the evaluation that needs full-system
+ * simulation (Table 6, Table 9, Figures 5-8) is expressed as an
+ * Experiment: a function producing the RunSpecs it needs and a
+ * render function turning completed results into the paper-style
+ * table. The sweep runner executes the union of all requested specs
+ * (shared cells are deduplicated, so e.g. Figures 5 and 6 reuse the
+ * same runs); rendering never triggers simulation.
+ */
+
+#ifndef TLSIM_BENCH_REPRO_EXPERIMENTS_HH
+#define TLSIM_BENCH_REPRO_EXPERIMENTS_HH
+
+#include <cstdint>
+#include <functional>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "harness/sweep/runspec.hh"
+
+namespace tlsim
+{
+namespace repro
+{
+
+/** Instruction budgets shared by every run of one sweep. */
+struct Budgets
+{
+    /** Timed warmup instructions. */
+    std::uint64_t warmup = harness::defaultWarmup;
+    /** Measured instructions. */
+    std::uint64_t measure = harness::defaultMeasure;
+    /** Functional (untimed) warmup instructions. */
+    std::uint64_t functionalWarm = harness::defaultFunctionalWarmup;
+};
+
+/** Paper-scale budgets, reduced when TLSIM_FAST=1 is set. */
+Budgets defaultBudgets();
+
+/** Resolves one (design, benchmark) cell to its completed result. */
+using ResultLookup = std::function<const harness::RunResult &(
+    harness::DesignKind, const std::string &)>;
+
+/** One reproducible table/figure of the paper's evaluation. */
+struct Experiment
+{
+    /** Filter name, e.g. "table6" or "fig5". */
+    const char *name;
+    /** One-line description shown by --list. */
+    const char *title;
+    /** Every run this experiment needs, at the given budgets. */
+    std::vector<harness::sweep::RunSpec> (*specs)(const Budgets &);
+    /** Print the paper-style table from completed results. */
+    void (*render)(std::ostream &, const ResultLookup &);
+};
+
+/** All registered experiments, in paper order. */
+const std::vector<Experiment> &experiments();
+
+/** Look an experiment up by name; nullptr if unknown. */
+const Experiment *findExperiment(const std::string &name);
+
+} // namespace repro
+} // namespace tlsim
+
+#endif // TLSIM_BENCH_REPRO_EXPERIMENTS_HH

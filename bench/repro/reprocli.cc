@@ -1,0 +1,302 @@
+#include "repro/reprocli.hh"
+
+#include <cstdint>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "harness/sweep/sweep.hh"
+#include "repro/experiments.hh"
+#include "sim/logging.hh"
+#include "sim/trace/debug.hh"
+#include "sim/trace/tracesink.hh"
+
+namespace tlsim
+{
+namespace repro
+{
+
+namespace
+{
+
+struct CliOptions
+{
+    bool list = false;
+    bool quiet = false;
+    bool useCache = true;
+    int jobs = 0; // 0 = hardware concurrency
+    std::string filter;
+    std::string cacheDir;
+    std::string statsJson;
+    std::string debugFlags;
+    std::string traceOut;
+    Budgets budgets = defaultBudgets();
+};
+
+void
+printUsage(std::ostream &os)
+{
+    os << "usage: tlsim_repro [options]\n"
+          "  --list              print the experiments and exit\n"
+          "  --filter a,b        run only the named experiments\n"
+          "  --jobs N            worker threads (default: hardware "
+          "threads)\n"
+          "  --cache-dir DIR     result-cache directory (default "
+          "$TLSIM_CACHE_DIR or tlsim_result_cache)\n"
+          "  --no-cache          disable result memoization\n"
+          "  --stats-json FILE   merged per-run stats JSON, in spec "
+          "order\n"
+          "  --warm N            timed-warmup instructions per run\n"
+          "  --measure N         measured instructions per run\n"
+          "  --funcwarm N        functional-warmup instructions per "
+          "run\n"
+          "  --quiet             suppress per-run progress\n"
+          "  --debug-flags F,F   debug output (see --jobs 1)\n"
+          "  --trace-out FILE    Chrome trace (forces --jobs 1)\n"
+          "  --help              this text\n"
+          "\nexperiments (--filter, comma separated):\n";
+    for (const auto &experiment : experiments())
+        os << "  " << experiment.name << "  \t" << experiment.title
+           << "\n";
+    os << "\nSet TLSIM_FAST=1 for reduced smoke-test budgets.\n";
+}
+
+/**
+ * Parse "--key=value" or "--key value"; on match, stores the value
+ * and advances @p i past any consumed extra argument.
+ */
+bool
+matchValue(int argc, char **argv, int &i, const char *key,
+           std::string &value)
+{
+    std::size_t len = std::strlen(key);
+    if (std::strncmp(argv[i], key, len) != 0)
+        return false;
+    if (argv[i][len] == '=') {
+        value = argv[i] + len + 1;
+        return true;
+    }
+    if (argv[i][len] == '\0' && i + 1 < argc) {
+        value = argv[++i];
+        return true;
+    }
+    return false;
+}
+
+bool
+parseArgs(int argc, char **argv, CliOptions &opts)
+{
+    std::string value;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--list") == 0) {
+            opts.list = true;
+        } else if (std::strcmp(argv[i], "--quiet") == 0) {
+            opts.quiet = true;
+        } else if (std::strcmp(argv[i], "--no-cache") == 0) {
+            opts.useCache = false;
+        } else if (std::strcmp(argv[i], "--help") == 0 ||
+                   std::strcmp(argv[i], "-h") == 0) {
+            printUsage(std::cout);
+            std::exit(0);
+        } else if (matchValue(argc, argv, i, "--filter",
+                              opts.filter) ||
+                   matchValue(argc, argv, i, "--cache-dir",
+                              opts.cacheDir) ||
+                   matchValue(argc, argv, i, "--stats-json",
+                              opts.statsJson) ||
+                   matchValue(argc, argv, i, "--debug-flags",
+                              opts.debugFlags) ||
+                   matchValue(argc, argv, i, "--trace-out",
+                              opts.traceOut)) {
+            continue;
+        } else if (matchValue(argc, argv, i, "--jobs", value)) {
+            opts.jobs = std::atoi(value.c_str());
+        } else if (matchValue(argc, argv, i, "--warm", value)) {
+            opts.budgets.warmup = std::strtoull(value.c_str(),
+                                                nullptr, 10);
+        } else if (matchValue(argc, argv, i, "--measure", value)) {
+            opts.budgets.measure = std::strtoull(value.c_str(),
+                                                 nullptr, 10);
+        } else if (matchValue(argc, argv, i, "--funcwarm", value)) {
+            opts.budgets.functionalWarm =
+                std::strtoull(value.c_str(), nullptr, 10);
+        } else {
+            std::cerr << "tlsim_repro: unknown argument '" << argv[i]
+                      << "'\n\n";
+            printUsage(std::cerr);
+            return false;
+        }
+    }
+    return true;
+}
+
+std::vector<const Experiment *>
+selectExperiments(const std::string &filter, bool &ok)
+{
+    std::vector<const Experiment *> selected;
+    ok = true;
+    if (filter.empty()) {
+        for (const auto &experiment : experiments())
+            selected.push_back(&experiment);
+        return selected;
+    }
+    std::istringstream names(filter);
+    std::string name;
+    while (std::getline(names, name, ',')) {
+        if (name.empty())
+            continue;
+        const Experiment *experiment = findExperiment(name);
+        if (!experiment) {
+            std::cerr << "tlsim_repro: unknown experiment '" << name
+                      << "' (see --list)\n";
+            ok = false;
+            return {};
+        }
+        selected.push_back(experiment);
+    }
+    return selected;
+}
+
+} // namespace
+
+int
+reproMain(int argc, char **argv)
+{
+    CliOptions opts;
+    if (!parseArgs(argc, argv, opts))
+        return 1;
+
+    if (opts.list) {
+        for (const auto &experiment : experiments())
+            std::cout << experiment.name << "  \t" << experiment.title
+                      << "\n";
+        return 0;
+    }
+
+    bool ok = false;
+    auto selected = selectExperiments(opts.filter, ok);
+    if (!ok)
+        return 1;
+
+    if (!opts.debugFlags.empty())
+        debug::setFlags(opts.debugFlags);
+
+    int jobs = opts.jobs;
+    if (jobs <= 0) {
+        unsigned hw = std::thread::hardware_concurrency();
+        jobs = hw > 0 ? static_cast<int>(hw) : 1;
+    }
+
+    std::unique_ptr<trace::TraceSink> sink;
+    if (!opts.traceOut.empty()) {
+        if (jobs > 1) {
+            warn("--trace-out interleaves spans across workers; "
+                 "forcing --jobs 1");
+            jobs = 1;
+        }
+        sink = std::make_unique<trace::TraceSink>(opts.traceOut);
+        trace::TraceSink::setActive(sink.get());
+    }
+
+    std::string cache_dir;
+    if (opts.useCache) {
+        if (!opts.cacheDir.empty()) {
+            cache_dir = opts.cacheDir;
+        } else if (const char *env = std::getenv("TLSIM_CACHE_DIR")) {
+            cache_dir = env;
+        } else {
+            cache_dir = "tlsim_result_cache";
+        }
+    }
+
+    // Union of every selected experiment's specs, deduplicated so
+    // shared cells (e.g. Figure 5 and 6 both need DNUCA runs)
+    // simulate once.
+    std::vector<harness::sweep::RunSpec> specs;
+    for (const auto *experiment : selected)
+        for (const auto &spec : experiment->specs(opts.budgets))
+            harness::sweep::addUnique(specs, spec);
+
+    harness::sweep::SweepOptions sweep_opts;
+    sweep_opts.jobs = jobs;
+    sweep_opts.cacheDir = cache_dir;
+    sweep_opts.captureStats = !opts.statsJson.empty();
+    sweep_opts.verbose = !opts.quiet;
+
+    auto outcome = harness::sweep::runSweep(specs, sweep_opts);
+
+    if (!opts.quiet) {
+        std::cerr << "sweep: " << outcome.executed << " simulated, "
+                  << outcome.cached << " from cache";
+        if (!cache_dir.empty())
+            std::cerr << " (" << cache_dir << ")";
+        std::cerr << std::endl;
+    }
+
+    std::map<std::pair<harness::DesignKind, std::string>, std::size_t>
+        index;
+    for (std::size_t i = 0; i < specs.size(); ++i)
+        index[{specs[i].design, specs[i].benchmark}] = i;
+    ResultLookup lookup =
+        [&](harness::DesignKind design,
+            const std::string &bench) -> const harness::RunResult & {
+        auto it = index.find({design, bench});
+        if (it == index.end())
+            panic("experiment requested a run outside its spec list: "
+                  "{}/{}",
+                  harness::designName(design), bench);
+        return outcome.results[it->second];
+    };
+
+    bool first = true;
+    for (const auto *experiment : selected) {
+        if (!first)
+            std::cout << "\n";
+        first = false;
+        experiment->render(std::cout, lookup);
+    }
+
+    if (!opts.statsJson.empty()) {
+        std::ofstream out(opts.statsJson);
+        if (!out.is_open())
+            fatal("cannot open stats JSON file '{}'", opts.statsJson);
+        out << harness::sweep::mergedStatsJson(specs, outcome);
+        if (!opts.quiet)
+            inform("stats JSON written: {}", opts.statsJson);
+    }
+
+    if (sink) {
+        trace::TraceSink::setActive(nullptr);
+        sink->close();
+        if (!opts.quiet)
+            inform("trace written: {} ({} events)", opts.traceOut,
+                   sink->eventCount());
+    }
+    return 0;
+}
+
+int
+experimentMain(const char *experiment_name, int argc, char **argv)
+{
+    // Inject "--filter <name>" unless the caller gave one explicitly.
+    for (int i = 1; i < argc; ++i) {
+        if (std::strncmp(argv[i], "--filter", 8) == 0)
+            return reproMain(argc, argv);
+    }
+    std::vector<char *> args(argv, argv + argc);
+    std::string filter = std::string("--filter=") + experiment_name;
+    std::vector<char> filter_arg(filter.begin(), filter.end());
+    filter_arg.push_back('\0');
+    args.push_back(filter_arg.data());
+    return reproMain(static_cast<int>(args.size()), args.data());
+}
+
+} // namespace repro
+} // namespace tlsim

@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Command-line front end shared by tlsim_repro and the per-table
+ * bench binaries.
+ *
+ * reproMain() implements the full CLI (experiment selection, worker
+ * count, result-cache control, merged stats export); experimentMain()
+ * is the same program pinned to a single experiment, which is all a
+ * bench_table6_* style binary is.
+ */
+
+#ifndef TLSIM_BENCH_REPRO_REPROCLI_HH
+#define TLSIM_BENCH_REPRO_REPROCLI_HH
+
+namespace tlsim
+{
+namespace repro
+{
+
+/**
+ * Entry point of the tlsim_repro binary.
+ *
+ * Usage: tlsim_repro [options]
+ *   --list              print the experiments and exit
+ *   --filter a,b        run only the named experiments (default all)
+ *   --jobs N            worker threads (default: hardware threads)
+ *   --cache-dir DIR     result-cache directory
+ *                       (default $TLSIM_CACHE_DIR or
+ *                       tlsim_result_cache)
+ *   --no-cache          disable result memoization
+ *   --stats-json FILE   merged per-run stats JSON, in spec order
+ *   --warm N            timed-warmup instructions per run
+ *   --measure N         measured instructions per run
+ *   --funcwarm N        functional-warmup instructions per run
+ *   --quiet             suppress per-run progress on stderr
+ *   --debug-flags F,F   gem5-style debug output (serial runs)
+ *   --trace-out FILE    Chrome trace (forces --jobs 1)
+ *
+ * @return Process exit code.
+ */
+int reproMain(int argc, char **argv);
+
+/** reproMain() pinned to one experiment (e.g. "table6"). */
+int experimentMain(const char *experiment_name, int argc, char **argv);
+
+} // namespace repro
+} // namespace tlsim
+
+#endif // TLSIM_BENCH_REPRO_REPROCLI_HH

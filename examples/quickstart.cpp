@@ -76,15 +76,23 @@ main(int argc, char **argv)
     table.addRow({"network dynamic power [mW]",
                   TextTable::num(result.networkPowerMw, 1)});
     // Where did the L2 latency go? (per-request means; DRAM only
-    // contributes on misses)
+    // contributes on misses). Each mean carries its sample count: a
+    // distribution nothing sampled (e.g. dram on a run with no
+    // misses) reads "n/a (n=0)", not a misleading 0.00.
+    auto breakdown = [](double mean, std::uint64_t n) {
+        std::string cell =
+            n ? TextTable::num(mean, 2) : std::string("n/a");
+        return cell + " (n=" + std::to_string(n) + ")";
+    };
     table.addRow({"  breakdown: queue wait [cycles]",
-                  TextTable::num(result.queueWaitMean, 2)});
+                  breakdown(result.queueWaitMean,
+                            result.queueWaitSamples)});
     table.addRow({"  breakdown: wire [cycles]",
-                  TextTable::num(result.wireMean, 2)});
+                  breakdown(result.wireMean, result.wireSamples)});
     table.addRow({"  breakdown: bank [cycles]",
-                  TextTable::num(result.bankMean, 2)});
+                  breakdown(result.bankMean, result.bankSamples)});
     table.addRow({"  breakdown: dram [cycles]",
-                  TextTable::num(result.dramMean, 2)});
+                  breakdown(result.dramMean, result.dramSamples)});
     table.print(std::cout);
 
     std::cout << "\nTry: quickstart mcf, or compare designs with the "

@@ -1,0 +1,259 @@
+#include "harness/sweep/resultcache.hh"
+
+#include <cctype>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <limits>
+#include <map>
+#include <sstream>
+
+#include "sim/logging.hh"
+#include "sim/trace/tracesink.hh"
+
+namespace tlsim
+{
+namespace harness
+{
+namespace sweep
+{
+
+namespace
+{
+
+/** Name/member tables so serialize and parse can never drift. */
+struct DoubleField
+{
+    const char *name;
+    double RunResult::*ptr;
+};
+
+struct U64Field
+{
+    const char *name;
+    std::uint64_t RunResult::*ptr;
+};
+
+constexpr DoubleField doubleFields[] = {
+    {"ipc", &RunResult::ipc},
+    {"l2RequestsPer1k", &RunResult::l2RequestsPer1k},
+    {"l2MissesPer1k", &RunResult::l2MissesPer1k},
+    {"meanLookupLatency", &RunResult::meanLookupLatency},
+    {"predictablePct", &RunResult::predictablePct},
+    {"banksPerRequest", &RunResult::banksPerRequest},
+    {"networkPowerMw", &RunResult::networkPowerMw},
+    {"linkUtilizationPct", &RunResult::linkUtilizationPct},
+    {"closeHitPct", &RunResult::closeHitPct},
+    {"promotesPerInsert", &RunResult::promotesPerInsert},
+    {"fastMissPct", &RunResult::fastMissPct},
+    {"multiMatchPct", &RunResult::multiMatchPct},
+    {"queueWaitMean", &RunResult::queueWaitMean},
+    {"wireMean", &RunResult::wireMean},
+    {"bankMean", &RunResult::bankMean},
+    {"dramMean", &RunResult::dramMean},
+};
+
+constexpr U64Field u64Fields[] = {
+    {"cycles", &RunResult::cycles},
+    {"instructions", &RunResult::instructions},
+    {"queueWaitSamples", &RunResult::queueWaitSamples},
+    {"wireSamples", &RunResult::wireSamples},
+    {"bankSamples", &RunResult::bankSamples},
+    {"dramSamples", &RunResult::dramSamples},
+};
+
+/**
+ * Scan one flat JSON object ({"key": "string"|number, ...}) into raw
+ * key -> token text. Tolerant of whitespace, intolerant of nesting —
+ * exactly what writeResultJson emits.
+ */
+bool
+scanFlatObject(const std::string &text,
+               std::map<std::string, std::string> &out)
+{
+    std::size_t i = 0;
+    auto skipWs = [&] {
+        while (i < text.size() && std::isspace(
+                   static_cast<unsigned char>(text[i])))
+            ++i;
+    };
+    auto parseString = [&](std::string &s) {
+        if (i >= text.size() || text[i] != '"')
+            return false;
+        ++i;
+        s.clear();
+        while (i < text.size() && text[i] != '"') {
+            if (text[i] == '\\' && i + 1 < text.size())
+                ++i;
+            s += text[i++];
+        }
+        if (i >= text.size())
+            return false;
+        ++i; // closing quote
+        return true;
+    };
+
+    skipWs();
+    if (i >= text.size() || text[i] != '{')
+        return false;
+    ++i;
+    skipWs();
+    if (i < text.size() && text[i] == '}')
+        return true;
+    while (true) {
+        skipWs();
+        std::string key;
+        if (!parseString(key))
+            return false;
+        skipWs();
+        if (i >= text.size() || text[i] != ':')
+            return false;
+        ++i;
+        skipWs();
+        std::string value;
+        if (i < text.size() && text[i] == '"') {
+            if (!parseString(value))
+                return false;
+        } else {
+            std::size_t start = i;
+            while (i < text.size() && text[i] != ',' && text[i] != '}')
+                ++i;
+            value = text.substr(start, i - start);
+            while (!value.empty() && std::isspace(static_cast<
+                       unsigned char>(value.back())))
+                value.pop_back();
+            if (value.empty())
+                return false;
+        }
+        out[key] = value;
+        skipWs();
+        if (i >= text.size())
+            return false;
+        if (text[i] == '}')
+            return true;
+        if (text[i] != ',')
+            return false;
+        ++i;
+    }
+}
+
+} // namespace
+
+void
+writeResultJson(std::ostream &os, const RunSpec &spec,
+                const RunResult &result)
+{
+    auto str = [&](const char *key, const std::string &value) {
+        os << "  \"" << key << "\": \"" << trace::jsonEscape(value)
+           << "\",\n";
+    };
+    os << "{\n";
+    str("schema", "tlsim-runresult-v1");
+    str("spec", specKey(spec));
+    str("model", modelVersionSalt);
+    str("design", result.design);
+    str("benchmark", result.benchmark);
+    for (const auto &field : u64Fields)
+        os << "  \"" << field.name << "\": " << result.*field.ptr
+           << ",\n";
+    std::ostringstream nums;
+    nums.precision(std::numeric_limits<double>::max_digits10);
+    bool first = true;
+    for (const auto &field : doubleFields) {
+        if (!first)
+            nums << ",\n";
+        first = false;
+        nums << "  \"" << field.name << "\": " << result.*field.ptr;
+    }
+    os << nums.str() << "\n}\n";
+}
+
+std::optional<RunResult>
+readResultJson(const std::string &text, const RunSpec &spec)
+{
+    std::map<std::string, std::string> raw;
+    if (!scanFlatObject(text, raw))
+        return std::nullopt;
+    auto get = [&](const char *key) -> const std::string * {
+        auto it = raw.find(key);
+        return it == raw.end() ? nullptr : &it->second;
+    };
+    const std::string *schema = get("schema");
+    const std::string *stored_spec = get("spec");
+    const std::string *model = get("model");
+    if (!schema || *schema != "tlsim-runresult-v1" || !stored_spec ||
+        *stored_spec != specKey(spec) || !model ||
+        *model != modelVersionSalt) {
+        return std::nullopt;
+    }
+
+    RunResult result;
+    const std::string *design = get("design");
+    const std::string *benchmark = get("benchmark");
+    if (!design || !benchmark)
+        return std::nullopt;
+    result.design = *design;
+    result.benchmark = *benchmark;
+    for (const auto &field : u64Fields) {
+        const std::string *value = get(field.name);
+        if (!value)
+            return std::nullopt;
+        result.*field.ptr = std::strtoull(value->c_str(), nullptr, 10);
+    }
+    for (const auto &field : doubleFields) {
+        const std::string *value = get(field.name);
+        if (!value)
+            return std::nullopt;
+        result.*field.ptr = std::strtod(value->c_str(), nullptr);
+    }
+    return result;
+}
+
+ResultCache::ResultCache(std::string dir) : _dir(std::move(dir))
+{
+    std::error_code ec;
+    std::filesystem::create_directories(_dir, ec);
+    if (ec)
+        fatal("cannot create result cache directory '{}': {}", _dir,
+              ec.message());
+}
+
+std::string
+ResultCache::filePath(const RunSpec &spec) const
+{
+    return _dir + "/" + cacheKey(spec) + ".json";
+}
+
+std::optional<RunResult>
+ResultCache::load(const RunSpec &spec) const
+{
+    std::ifstream in(filePath(spec));
+    if (!in.is_open())
+        return std::nullopt;
+    std::ostringstream text;
+    text << in.rdbuf();
+    return readResultJson(text.str(), spec);
+}
+
+void
+ResultCache::store(const RunSpec &spec, const RunResult &result) const
+{
+    // Write-then-rename so readers never see a torn entry.
+    std::string final_path = filePath(spec);
+    std::string tmp_path = final_path + ".tmp";
+    {
+        std::ofstream out(tmp_path);
+        if (!out.is_open())
+            fatal("cannot write result cache entry '{}'", tmp_path);
+        writeResultJson(out, spec, result);
+    }
+    std::error_code ec;
+    std::filesystem::rename(tmp_path, final_path, ec);
+    if (ec)
+        fatal("cannot commit result cache entry '{}': {}", final_path,
+              ec.message());
+}
+
+} // namespace sweep
+} // namespace harness
+} // namespace tlsim

@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Content-addressed on-disk memoization of RunResults.
+ *
+ * Every completed simulation is stored as one JSON file named by the
+ * spec's content hash (see sweep::cacheKey): the same spec always
+ * maps to the same file, independent of which process or thread
+ * produced it, and a model-version salt in the key retires every
+ * stale entry at once when the simulator changes. Values use the
+ * same JSON conventions as the stats export (PR 1), so cache files
+ * are greppable and machine-readable with any JSON reader.
+ */
+
+#ifndef TLSIM_HARNESS_SWEEP_RESULTCACHE_HH
+#define TLSIM_HARNESS_SWEEP_RESULTCACHE_HH
+
+#include <optional>
+#include <ostream>
+#include <string>
+
+#include "harness/sweep/runspec.hh"
+#include "harness/system.hh"
+
+namespace tlsim
+{
+namespace harness
+{
+namespace sweep
+{
+
+/**
+ * Serialize one RunResult as a self-describing JSON object (includes
+ * the spec key and model salt alongside every metric). Doubles are
+ * written with max_digits10 precision so the round trip is exact.
+ */
+void writeResultJson(std::ostream &os, const RunSpec &spec,
+                     const RunResult &result);
+
+/**
+ * Parse a RunResult previously written by writeResultJson.
+ * @return The result, or nullopt if the text is malformed, was
+ *         written for a different spec, or under a different model
+ *         salt.
+ */
+std::optional<RunResult> readResultJson(const std::string &text,
+                                        const RunSpec &spec);
+
+/**
+ * Directory of memoized RunResults, one file per cache key.
+ *
+ * The cache never invalidates by time: entries are found only while
+ * both the spec and modelVersionSalt still hash to their file name.
+ * Concurrent lookups are safe; stores of the same key are idempotent
+ * (last writer wins with identical content).
+ */
+class ResultCache
+{
+  public:
+    /** Open (creating if needed) the cache directory @p dir. */
+    explicit ResultCache(std::string dir);
+
+    /** Load the memoized result of @p spec, if present and valid. */
+    std::optional<RunResult> load(const RunSpec &spec) const;
+
+    /** Memoize @p result as the value of @p spec. */
+    void store(const RunSpec &spec, const RunResult &result) const;
+
+    /** The directory backing this cache. */
+    const std::string &dir() const { return _dir; }
+
+  private:
+    std::string filePath(const RunSpec &spec) const;
+
+    std::string _dir;
+};
+
+} // namespace sweep
+} // namespace harness
+} // namespace tlsim
+
+#endif // TLSIM_HARNESS_SWEEP_RESULTCACHE_HH

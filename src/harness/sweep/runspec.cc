@@ -1,0 +1,56 @@
+#include "harness/sweep/runspec.hh"
+
+#include <iomanip>
+#include <sstream>
+
+namespace tlsim
+{
+namespace harness
+{
+namespace sweep
+{
+
+std::string
+specKey(const RunSpec &spec)
+{
+    std::ostringstream os;
+    os << designName(spec.design) << '/' << spec.benchmark << "/w"
+       << spec.warmup << "/m" << spec.measure << "/f"
+       << spec.functionalWarm << "/s" << spec.baseSeed;
+    return os.str();
+}
+
+std::uint64_t
+fnv1a(const std::string &text)
+{
+    std::uint64_t hash = 0xcbf29ce484222325ULL;
+    for (unsigned char c : text) {
+        hash ^= c;
+        hash *= 0x100000001b3ULL;
+    }
+    return hash;
+}
+
+std::uint64_t
+traceSeed(const RunSpec &spec)
+{
+    // Everything except the design contributes: identical traces
+    // across designs, distinct traces across benchmarks/budgets.
+    std::ostringstream os;
+    os << spec.benchmark << "/w" << spec.warmup << "/m" << spec.measure
+       << "/f" << spec.functionalWarm << "/s" << spec.baseSeed;
+    return fnv1a(os.str());
+}
+
+std::string
+cacheKey(const RunSpec &spec)
+{
+    std::uint64_t hash = fnv1a(specKey(spec) + '#' + modelVersionSalt);
+    std::ostringstream os;
+    os << std::hex << std::setw(16) << std::setfill('0') << hash;
+    return os.str();
+}
+
+} // namespace sweep
+} // namespace harness
+} // namespace tlsim

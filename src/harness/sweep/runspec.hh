@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Declarative description of one simulation run.
+ *
+ * A RunSpec names everything that determines a run's outcome — the
+ * L2 design, the benchmark, the three instruction budgets, and a base
+ * seed — and nothing else. Every derived quantity (the workload trace
+ * seed, the result-cache key) is a pure function of the spec, so runs
+ * scheduled across any number of worker threads in any order produce
+ * bit-identical results, and results can be memoized on disk keyed by
+ * content rather than by execution history.
+ */
+
+#ifndef TLSIM_HARNESS_SWEEP_RUNSPEC_HH
+#define TLSIM_HARNESS_SWEEP_RUNSPEC_HH
+
+#include <cstdint>
+#include <string>
+
+#include "harness/system.hh"
+
+namespace tlsim
+{
+namespace harness
+{
+namespace sweep
+{
+
+/**
+ * Version salt mixed into every result-cache key. Bump whenever a
+ * change to the simulator models (timing, policies, workload
+ * calibration) invalidates previously computed results; stale cache
+ * entries then simply stop being found.
+ */
+inline constexpr const char *modelVersionSalt = "tlsim-model-v2";
+
+/** One (design, benchmark, budgets, seed) point of a sweep. */
+struct RunSpec
+{
+    /** L2 design to build. */
+    DesignKind design = DesignKind::TlcBase;
+    /** Workload profile name (see workload::paperBenchmarks()). */
+    std::string benchmark;
+    /** Timed warmup instructions before measurement. */
+    std::uint64_t warmup = defaultWarmup;
+    /** Measured instructions. */
+    std::uint64_t measure = defaultMeasure;
+    /** Functional (untimed) cache-warming instructions. */
+    std::uint64_t functionalWarm = defaultFunctionalWarmup;
+    /** Extra seed entropy folded into the trace seed. */
+    std::uint64_t baseSeed = 0;
+
+    /** Field-wise equality (used for deduplication). */
+    bool operator==(const RunSpec &other) const = default;
+};
+
+/**
+ * Canonical human-readable identity of a spec, e.g.
+ * "TLC/gcc/w3000000/m10000000/f200000000/s0". Two specs are
+ * equivalent iff their keys are equal.
+ */
+std::string specKey(const RunSpec &spec);
+
+/**
+ * Workload trace seed derived from the spec's benchmark and budgets —
+ * deliberately NOT from the design, so every design replays the
+ * bit-identical reference trace (the paper's normalized comparisons
+ * depend on this), and NOT from execution order, so parallel sweeps
+ * reproduce serial ones.
+ */
+std::uint64_t traceSeed(const RunSpec &spec);
+
+/** 64-bit FNV-1a hash of a string (exposed for tests). */
+std::uint64_t fnv1a(const std::string &text);
+
+/**
+ * Content address of the spec's result: 16 lowercase hex digits of
+ * fnv1a(specKey + modelVersionSalt). Used as the on-disk cache file
+ * name.
+ */
+std::string cacheKey(const RunSpec &spec);
+
+} // namespace sweep
+} // namespace harness
+} // namespace tlsim
+
+#endif // TLSIM_HARNESS_SWEEP_RUNSPEC_HH

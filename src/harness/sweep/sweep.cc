@@ -1,0 +1,173 @@
+#include "harness/sweep/sweep.hh"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <iostream>
+#include <mutex>
+#include <optional>
+#include <sstream>
+#include <thread>
+
+#include "phys/technology.hh"
+#include "workload/profile.hh"
+
+namespace tlsim
+{
+namespace harness
+{
+namespace sweep
+{
+
+namespace
+{
+
+/** Execute one spec to completion (simulation only, no cache). */
+RunResult
+executeSpec(const RunSpec &spec, bool capture_stats,
+            std::string &stats_json)
+{
+    const auto &profile = workload::profileByName(spec.benchmark);
+    std::ostringstream stats;
+    RunObserver observer;
+    observer.onMeasureEnd = [&](System &sys) {
+        if (capture_stats) {
+            sys.root().dumpStatsJson(stats);
+            stats << '\n';
+        }
+    };
+    RunResult result = runBenchmark(spec.design, profile, spec.warmup,
+                                    spec.measure, traceSeed(spec),
+                                    spec.functionalWarm, &observer);
+    stats_json = stats.str();
+    return result;
+}
+
+} // namespace
+
+void
+addUnique(std::vector<RunSpec> &specs, const RunSpec &spec)
+{
+    if (std::find(specs.begin(), specs.end(), spec) == specs.end())
+        specs.push_back(spec);
+}
+
+SweepOutcome
+runSweep(const std::vector<RunSpec> &specs, const SweepOptions &options)
+{
+    SweepOutcome outcome;
+    outcome.results.resize(specs.size());
+    outcome.statsJson.resize(specs.size());
+
+    std::optional<ResultCache> cache;
+    if (!options.cacheDir.empty())
+        cache.emplace(options.cacheDir);
+
+    // Resolve warm entries up front, single-threaded: a fully warm
+    // sweep touches no worker machinery and executes 0 simulations.
+    std::vector<std::size_t> misses;
+    for (std::size_t i = 0; i < specs.size(); ++i) {
+        if (cache) {
+            if (auto hit = cache->load(specs[i])) {
+                outcome.results[i] = std::move(*hit);
+                ++outcome.cached;
+                continue;
+            }
+        }
+        misses.push_back(i);
+    }
+
+    if (misses.empty())
+        return outcome;
+
+    // Touch lazily-initialized shared tables before spawning workers
+    // so no simulation constructs them concurrently.
+    phys::tech45();
+    workload::paperBenchmarks();
+
+    int jobs = std::max(1, options.jobs);
+    std::size_t workers =
+        std::min<std::size_t>(static_cast<std::size_t>(jobs),
+                              misses.size());
+
+    std::atomic<std::size_t> next{0};
+    std::mutex io_mutex; // guards progress output and cache stores
+    std::atomic<std::size_t> done{0};
+
+    auto worker = [&] {
+        while (true) {
+            std::size_t slot = next.fetch_add(1);
+            if (slot >= misses.size())
+                return;
+            std::size_t i = misses[slot];
+            const RunSpec &spec = specs[i];
+            auto start = std::chrono::steady_clock::now();
+            if (options.verbose) {
+                std::lock_guard<std::mutex> lock(io_mutex);
+                std::cerr << "  [" << done.load() + outcome.cached
+                          << "/" << specs.size() << "] running "
+                          << specKey(spec) << "..." << std::endl;
+            }
+            RunResult result = executeSpec(spec, options.captureStats,
+                                           outcome.statsJson[i]);
+            auto elapsed =
+                std::chrono::duration_cast<std::chrono::milliseconds>(
+                    std::chrono::steady_clock::now() - start);
+            std::lock_guard<std::mutex> lock(io_mutex);
+            if (cache)
+                cache->store(spec, result);
+            outcome.results[i] = std::move(result);
+            ++done;
+            if (options.verbose) {
+                std::cerr << "  [" << done.load() + outcome.cached
+                          << "/" << specs.size() << "] finished "
+                          << specKey(spec) << " ("
+                          << elapsed.count() / 1000.0 << " s)"
+                          << std::endl;
+            }
+        }
+    };
+
+    if (workers <= 1) {
+        worker();
+    } else {
+        std::vector<std::thread> pool;
+        pool.reserve(workers);
+        for (std::size_t w = 0; w < workers; ++w)
+            pool.emplace_back(worker);
+        for (auto &thread : pool)
+            thread.join();
+    }
+
+    outcome.executed = misses.size();
+    return outcome;
+}
+
+std::string
+mergedStatsJson(const std::vector<RunSpec> &specs,
+                const SweepOutcome &outcome)
+{
+    std::ostringstream os;
+    os << "{\n";
+    for (std::size_t i = 0; i < specs.size(); ++i) {
+        os << "\"" << specKey(specs[i]) << "\": ";
+        const std::string &doc = outcome.statsJson[i];
+        if (doc.empty()) {
+            os << "null";
+        } else {
+            // Documents end with '\n'; strip it so separators are
+            // uniform regardless of the emitter.
+            std::string trimmed = doc;
+            while (!trimmed.empty() && trimmed.back() == '\n')
+                trimmed.pop_back();
+            os << trimmed;
+        }
+        os << (i + 1 < specs.size() ? ",\n" : "\n");
+    }
+    os << "}\n";
+    return os.str();
+}
+
+} // namespace sweep
+} // namespace harness
+} // namespace tlsim

@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Thread-pool sweep runner.
+ *
+ * Executes a list of RunSpecs across N worker threads. Determinism is
+ * structural, not scheduled: each run derives its RNG seed from its
+ * spec (never from execution order), builds a private System and
+ * event queue, and writes into its own result/stats slot, so the
+ * outcome of a sweep is a pure function of the spec list — byte-for-
+ * byte identical whether run with 1 worker or 16.
+ *
+ * Completed runs are memoized through a ResultCache: warm entries are
+ * resolved up front (a fully warm sweep executes zero simulations),
+ * and misses are stored as soon as each simulation finishes.
+ *
+ * Observability rides along per worker: when stats capture is on,
+ * each run dumps its final stats tree (the PR-1 JSON export) into a
+ * per-run sink; mergedStatsJson() then folds the per-run documents
+ * into one object in spec order, independent of completion order.
+ */
+
+#ifndef TLSIM_HARNESS_SWEEP_SWEEP_HH
+#define TLSIM_HARNESS_SWEEP_SWEEP_HH
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "harness/sweep/resultcache.hh"
+#include "harness/sweep/runspec.hh"
+
+namespace tlsim
+{
+namespace harness
+{
+namespace sweep
+{
+
+/** Knobs of one sweep execution. */
+struct SweepOptions
+{
+    /** Worker threads (values < 1 behave as 1). */
+    int jobs = 1;
+    /** Result-cache directory; empty disables memoization. */
+    std::string cacheDir;
+    /** Capture each run's final stats tree as JSON. */
+    bool captureStats = false;
+    /** Print per-run progress lines to stderr. */
+    bool verbose = true;
+};
+
+/** What a sweep produced, in spec order. */
+struct SweepOutcome
+{
+    /** One result per input spec (same indexing as the spec list). */
+    std::vector<RunResult> results;
+    /**
+     * Per-spec final stats JSON (empty string when the run was
+     * resolved from cache or capture was off).
+     */
+    std::vector<std::string> statsJson;
+    /** Simulations actually executed (cache misses). */
+    std::size_t executed = 0;
+    /** Runs resolved from the result cache. */
+    std::size_t cached = 0;
+};
+
+/**
+ * Run every spec (executing cache misses on a pool of
+ * options.jobs threads) and return all results in spec order.
+ */
+SweepOutcome runSweep(const std::vector<RunSpec> &specs,
+                      const SweepOptions &options);
+
+/**
+ * Merge per-run stats documents into one JSON object keyed by spec
+ * key, in spec order: {"TLC/gcc/...": {...}, ...}. Runs without a
+ * captured document are emitted as null, so a document's shape
+ * depends only on the spec list.
+ */
+std::string mergedStatsJson(const std::vector<RunSpec> &specs,
+                            const SweepOutcome &outcome);
+
+/** Append @p spec to @p specs unless an equal spec is present. */
+void addUnique(std::vector<RunSpec> &specs, const RunSpec &spec);
+
+} // namespace sweep
+} // namespace harness
+} // namespace tlsim
+
+#endif // TLSIM_HARNESS_SWEEP_SWEEP_HH

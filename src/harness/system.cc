@@ -199,6 +199,10 @@ runBenchmark(DesignKind kind, const workload::BenchmarkProfile &profile,
     result.wireMean = l2.wireLatency.mean();
     result.bankMean = l2.bankLatency.mean();
     result.dramMean = l2.dramLatency.mean();
+    result.queueWaitSamples = l2.queueWaitLatency.count();
+    result.wireSamples = l2.wireLatency.count();
+    result.bankSamples = l2.bankLatency.count();
+    result.dramSamples = l2.dramLatency.count();
     return result;
 }
 

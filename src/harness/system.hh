@@ -57,12 +57,19 @@ class System
                     const cpu::CoreConfig &core_config = {});
     ~System();
 
+    /** The machine's private event queue (one per System). */
     EventQueue &eventQueue() { return eq; }
+    /** The L2 design under test. */
     mem::L2Cache &l2() { return *l2Cache; }
+    /** The out-of-order core driving the hierarchy. */
     cpu::OoOCore &core() { return *cpuCore; }
+    /** Split L1 data cache. */
     mem::L1Cache &l1d() { return *dcache; }
+    /** Split L1 instruction cache. */
     mem::L1Cache &l1i() { return *icache; }
+    /** Backing DRAM model. */
     mem::Dram &dram() { return *dramModel; }
+    /** Root of the machine's statistics tree. */
     stats::StatGroup &root() { return rootGroup; }
 
     /** Reset all statistics at a measurement boundary. */
@@ -113,11 +120,17 @@ struct RunResult
     double multiMatchPct = 0.0;
 
     // Mean per-request latency-breakdown components (cycles), from
-    // the design's lat_* distributions.
+    // the design's lat_* distributions, with the sample count behind
+    // each mean (a mean of 0.0 with 0 samples is "no data", not
+    // "zero latency" — render it accordingly).
     double queueWaitMean = 0.0;
     double wireMean = 0.0;
     double bankMean = 0.0;
     double dramMean = 0.0;
+    std::uint64_t queueWaitSamples = 0;
+    std::uint64_t wireSamples = 0;
+    std::uint64_t bankSamples = 0;
+    std::uint64_t dramSamples = 0;
 };
 
 /**
@@ -134,6 +147,13 @@ struct RunObserver
     std::function<void(System &)> onMeasureEnd;
 };
 
+/** Default functional (untimed) warmup budget, in instructions. */
+constexpr std::uint64_t defaultFunctionalWarmup = 200'000'000;
+/** Default timed warmup budget, in instructions. */
+constexpr std::uint64_t defaultWarmup = 3'000'000;
+/** Default measured budget, in instructions. */
+constexpr std::uint64_t defaultMeasure = 10'000'000;
+
 /**
  * Run one benchmark on one design: warm up, then measure.
  *
@@ -143,12 +163,10 @@ struct RunObserver
  * @param measure_instructions Instructions measured.
  * @param run_seed Extra seed entropy (same seed -> same trace for
  *                 every design, enabling normalized comparisons).
+ * @param functional_warm Untimed cache-warming instructions run
+ *                        before the timed phases.
+ * @param observer Optional hooks around the measured phase.
  */
-/** Default instruction budgets used by the table/figure benches. */
-constexpr std::uint64_t defaultFunctionalWarmup = 200'000'000;
-constexpr std::uint64_t defaultWarmup = 3'000'000;
-constexpr std::uint64_t defaultMeasure = 10'000'000;
-
 RunResult runBenchmark(DesignKind kind,
                        const workload::BenchmarkProfile &profile,
                        std::uint64_t warm_instructions,

@@ -64,6 +64,7 @@ class Event
     /** Tick at which the event will fire (valid while scheduled). */
     Tick when() const { return _when; }
 
+    /** Scheduling priority; lower runs first within a tick. */
     int priority() const { return _priority; }
 
   private:
@@ -115,6 +116,7 @@ class EventQueue
     /** Number of events pending (excluding squashed entries). */
     std::size_t size() const { return liveCount; }
 
+    /** True when no live events remain. */
     bool empty() const { return liveCount == 0; }
 
     /**

@@ -34,13 +34,16 @@ class StatGroup;
 class StatBase
 {
   public:
+    /** Register a stat named @p name under @p parent. */
     StatBase(StatGroup *parent, std::string name, std::string desc);
     virtual ~StatBase() = default;
 
     StatBase(const StatBase &) = delete;
     StatBase &operator=(const StatBase &) = delete;
 
+    /** Stat name within its group. */
     const std::string &name() const { return _name; }
+    /** One-line human-readable description. */
     const std::string &desc() const { return _desc; }
 
     /** Reset to the freshly-constructed state. */
@@ -68,12 +71,14 @@ class StatBase
 class StatGroup
 {
   public:
+    /** Create a group named @p name, nested under @p parent if given. */
     explicit StatGroup(std::string name, StatGroup *parent = nullptr);
     virtual ~StatGroup() = default;
 
     StatGroup(const StatGroup &) = delete;
     StatGroup &operator=(const StatGroup &) = delete;
 
+    /** Name of this group (one path component of a stat's name). */
     const std::string &groupName() const { return _name; }
 
     /** Reset every stat in this group and all child groups. */
@@ -111,10 +116,14 @@ class Scalar : public StatBase
         : StatBase(parent, std::move(name), std::move(desc))
     {}
 
+    /** Increment by one. */
     Scalar &operator++() { ++_value; return *this; }
+    /** Add @p v to the counter. */
     Scalar &operator+=(double v) { _value += v; return *this; }
+    /** Set the value (gauge use). */
     Scalar &operator=(double v) { _value = v; return *this; }
 
+    /** Current value. */
     double value() const { return _value; }
 
     void reset() override { _value = 0.0; }
@@ -136,6 +145,7 @@ class Average : public StatBase
         : StatBase(parent, std::move(name), std::move(desc))
     {}
 
+    /** Record one sample. */
     void
     sample(double v)
     {
@@ -146,10 +156,15 @@ class Average : public StatBase
         _max = std::max(_max, v);
     }
 
+    /** Number of samples recorded. */
     std::uint64_t count() const { return _count; }
+    /** Sum of all samples. */
     double sum() const { return _sum; }
+    /** Arithmetic mean (0.0 when no samples). */
     double mean() const { return _count ? _sum / _count : 0.0; }
+    /** Smallest sample (0.0 when no samples). */
     double minValue() const { return _count ? _min : 0.0; }
+    /** Largest sample (0.0 when no samples). */
     double maxValue() const { return _count ? _max : 0.0; }
 
     /** Population variance of the samples. */
@@ -199,6 +214,7 @@ class Distribution : public StatBase
         _bucketWidth = (hi - lo) / static_cast<double>(num_buckets);
     }
 
+    /** Record one sample into its bucket. */
     void
     sample(double v)
     {
@@ -216,11 +232,17 @@ class Distribution : public StatBase
         }
     }
 
+    /** Number of samples recorded (including out-of-range). */
     std::uint64_t count() const { return _count; }
+    /** Arithmetic mean of all samples (0.0 when no samples). */
     double mean() const { return _count ? _sum / _count : 0.0; }
+    /** Samples below the low bound. */
     std::uint64_t underflow() const { return _underflow; }
+    /** Samples at or above the high bound. */
     std::uint64_t overflow() const { return _overflow; }
+    /** Count in bucket @p i. */
     std::uint64_t bucket(std::size_t i) const { return buckets.at(i); }
+    /** Number of in-range buckets. */
     std::size_t numBuckets() const { return buckets.size(); }
 
     /**
@@ -261,6 +283,7 @@ class Histogram : public StatBase
         buckets.fill(0);
     }
 
+    /** Record one sample into its log2 bucket. */
     void
     sample(std::uint64_t v)
     {
@@ -270,8 +293,11 @@ class Histogram : public StatBase
         ++buckets[static_cast<std::size_t>(bucket)];
     }
 
+    /** Number of samples recorded. */
     std::uint64_t count() const { return _count; }
+    /** Arithmetic mean of all samples (0.0 when no samples). */
     double mean() const { return _count ? _sum / _count : 0.0; }
+    /** Count in log2 bucket @p i (bucket 0 holds value 0). */
     std::uint64_t bucket(std::size_t i) const { return buckets.at(i); }
 
     void
@@ -303,6 +329,7 @@ class Formula : public StatBase
           func(std::move(fn))
     {}
 
+    /** Evaluate the formula now. */
     double value() const { return func ? func() : 0.0; }
 
     void reset() override {}

@@ -1,0 +1,247 @@
+/**
+ * @file
+ * Tests for the parallel sweep runner: spec-derived seeding, the
+ * content-addressed result cache, and the two properties the repro
+ * CLI is built on — a parallel sweep is byte-identical to a serial
+ * one, and a warm cache executes zero simulations.
+ */
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "harness/sweep/resultcache.hh"
+#include "harness/sweep/runspec.hh"
+#include "harness/sweep/sweep.hh"
+#include "repro/experiments.hh"
+
+using namespace tlsim;
+using namespace tlsim::harness;
+using namespace tlsim::harness::sweep;
+
+namespace
+{
+
+/** Tiny budgets so a 24-run sweep finishes in well under a second. */
+repro::Budgets
+testBudgets()
+{
+    repro::Budgets budgets;
+    budgets.warmup = 5'000;
+    budgets.measure = 20'000;
+    budgets.functionalWarm = 200'000;
+    return budgets;
+}
+
+std::vector<RunSpec>
+table6Specs()
+{
+    return repro::findExperiment("table6")->specs(testBudgets());
+}
+
+std::string
+resultJson(const RunSpec &spec, const RunResult &result)
+{
+    std::ostringstream os;
+    writeResultJson(os, spec, result);
+    return os.str();
+}
+
+std::string
+freshDir(const std::string &name)
+{
+    std::string dir = ::testing::TempDir() + "tlsim_sweep_" + name;
+    std::filesystem::remove_all(dir);
+    return dir;
+}
+
+} // namespace
+
+TEST(RunSpec, SpecKeyNamesEveryField)
+{
+    RunSpec spec;
+    spec.design = DesignKind::Dnuca;
+    spec.benchmark = "gcc";
+    spec.warmup = 1;
+    spec.measure = 2;
+    spec.functionalWarm = 3;
+    spec.baseSeed = 4;
+    EXPECT_EQ(specKey(spec), "DNUCA/gcc/w1/m2/f3/s4");
+}
+
+TEST(RunSpec, TraceSeedIgnoresDesignOnly)
+{
+    RunSpec tlc;
+    tlc.design = DesignKind::TlcBase;
+    tlc.benchmark = "mcf";
+    RunSpec dnuca = tlc;
+    dnuca.design = DesignKind::Dnuca;
+    // Same trace across designs: normalized comparisons replay the
+    // bit-identical reference stream on every design.
+    EXPECT_EQ(traceSeed(tlc), traceSeed(dnuca));
+
+    RunSpec other_bench = tlc;
+    other_bench.benchmark = "gcc";
+    EXPECT_NE(traceSeed(tlc), traceSeed(other_bench));
+
+    RunSpec other_budget = tlc;
+    other_budget.measure += 1;
+    EXPECT_NE(traceSeed(tlc), traceSeed(other_budget));
+
+    RunSpec other_seed = tlc;
+    other_seed.baseSeed = 99;
+    EXPECT_NE(traceSeed(tlc), traceSeed(other_seed));
+}
+
+TEST(RunSpec, CacheKeyIsContentAddressed)
+{
+    RunSpec a;
+    a.benchmark = "gcc";
+    RunSpec b = a;
+    EXPECT_EQ(cacheKey(a), cacheKey(b));
+    EXPECT_EQ(cacheKey(a).size(), 16u);
+    b.design = DesignKind::Dnuca;
+    EXPECT_NE(cacheKey(a), cacheKey(b));
+}
+
+TEST(ResultCache, RoundTripsEveryField)
+{
+    RunSpec spec;
+    spec.benchmark = "gcc";
+    RunResult result;
+    result.design = "TLC";
+    result.benchmark = "gcc";
+    result.cycles = 123456;
+    result.instructions = 20000;
+    result.ipc = 1.625;
+    result.l2RequestsPer1k = 70.25;
+    result.l2MissesPer1k = 0.0625;
+    result.meanLookupLatency = 13.1234567890123;
+    result.predictablePct = 99.5;
+    result.banksPerRequest = 1.0;
+    result.networkPowerMw = 321.125;
+    result.linkUtilizationPct = 2.75;
+    result.closeHitPct = 41.5;
+    result.promotesPerInsert = 3205.0;
+    result.fastMissPct = 0.5;
+    result.multiMatchPct = 3.0;
+    result.queueWaitMean = 0.25;
+    result.wireMean = 8.5;
+    result.bankMean = 4.0;
+    result.dramMean = 210.0;
+    result.queueWaitSamples = 1401;
+    result.wireSamples = 1401;
+    result.bankSamples = 1401;
+    result.dramSamples = 7;
+
+    ResultCache cache(freshDir("roundtrip"));
+    EXPECT_FALSE(cache.load(spec).has_value());
+    cache.store(spec, result);
+    auto loaded = cache.load(spec);
+    ASSERT_TRUE(loaded.has_value());
+    EXPECT_EQ(resultJson(spec, result), resultJson(spec, *loaded));
+}
+
+TEST(ResultCache, RejectsWrongSpecAndGarbage)
+{
+    RunSpec spec;
+    spec.benchmark = "gcc";
+    RunResult result;
+    result.design = "TLC";
+    result.benchmark = "gcc";
+    std::string text = resultJson(spec, result);
+
+    RunSpec other = spec;
+    other.benchmark = "mcf";
+    EXPECT_TRUE(readResultJson(text, spec).has_value());
+    EXPECT_FALSE(readResultJson(text, other).has_value());
+    EXPECT_FALSE(readResultJson("not json", spec).has_value());
+    EXPECT_FALSE(readResultJson("{}", spec).has_value());
+
+    // A truncated cache file must read as a miss, not a bad result.
+    ResultCache cache(freshDir("garbage"));
+    cache.store(spec, result);
+    std::string path = cache.dir() + "/" + cacheKey(spec) + ".json";
+    std::ofstream(path) << text.substr(0, text.size() / 2);
+    EXPECT_FALSE(cache.load(spec).has_value());
+}
+
+TEST(Sweep, AddUniqueDeduplicates)
+{
+    std::vector<RunSpec> specs;
+    RunSpec a;
+    a.benchmark = "gcc";
+    RunSpec b;
+    b.benchmark = "mcf";
+    addUnique(specs, a);
+    addUnique(specs, b);
+    addUnique(specs, a);
+    EXPECT_EQ(specs.size(), 2u);
+}
+
+TEST(Sweep, ParallelByteIdenticalToSerial)
+{
+    auto specs = table6Specs();
+    ASSERT_EQ(specs.size(), 24u); // 12 benchmarks x {TLC, DNUCA}
+
+    SweepOptions serial;
+    serial.jobs = 1;
+    serial.captureStats = true;
+    serial.verbose = false;
+    auto serial_outcome = runSweep(specs, serial);
+
+    SweepOptions parallel = serial;
+    parallel.jobs = 8;
+    auto parallel_outcome = runSweep(specs, parallel);
+
+    ASSERT_EQ(serial_outcome.results.size(),
+              parallel_outcome.results.size());
+    for (std::size_t i = 0; i < specs.size(); ++i) {
+        EXPECT_EQ(resultJson(specs[i], serial_outcome.results[i]),
+                  resultJson(specs[i], parallel_outcome.results[i]))
+            << specKey(specs[i]);
+        EXPECT_EQ(serial_outcome.statsJson[i],
+                  parallel_outcome.statsJson[i])
+            << specKey(specs[i]);
+        EXPECT_FALSE(serial_outcome.statsJson[i].empty());
+    }
+    EXPECT_EQ(mergedStatsJson(specs, serial_outcome),
+              mergedStatsJson(specs, parallel_outcome));
+}
+
+TEST(Sweep, WarmCacheExecutesZeroSimulations)
+{
+    auto specs = table6Specs();
+
+    SweepOptions options;
+    options.jobs = 4;
+    options.cacheDir = freshDir("warmcache");
+    options.verbose = false;
+
+    auto cold = runSweep(specs, options);
+    EXPECT_EQ(cold.executed, specs.size());
+    EXPECT_EQ(cold.cached, 0u);
+
+    auto warm = runSweep(specs, options);
+    EXPECT_EQ(warm.executed, 0u);
+    EXPECT_EQ(warm.cached, specs.size());
+    for (std::size_t i = 0; i < specs.size(); ++i) {
+        EXPECT_EQ(resultJson(specs[i], cold.results[i]),
+                  resultJson(specs[i], warm.results[i]))
+            << specKey(specs[i]);
+    }
+}
+
+TEST(Sweep, MergedStatsEmitsNullForUncapturedRuns)
+{
+    RunSpec spec;
+    spec.benchmark = "gcc";
+    SweepOutcome outcome;
+    outcome.results.resize(1);
+    outcome.statsJson.resize(1);
+    std::string merged = mergedStatsJson({spec}, outcome);
+    EXPECT_NE(merged.find("\"" + specKey(spec) + "\": null"),
+              std::string::npos);
+}
