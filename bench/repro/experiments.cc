@@ -15,17 +15,17 @@ using harness::DesignKind;
 using harness::RunResult;
 using harness::sweep::RunSpec;
 
-Budgets
-defaultBudgets()
+harness::SystemConfig
+defaultRunConfig()
 {
-    Budgets budgets;
+    harness::SystemConfig config;
     const char *fast = std::getenv("TLSIM_FAST");
     if (fast && fast[0] == '1') {
-        budgets.warmup = 2'000'000;
-        budgets.measure = 1'000'000;
-        budgets.functionalWarm = 20'000'000;
+        config.warmup = 2'000'000;
+        config.measure = 1'000'000;
+        config.functionalWarm = 20'000'000;
     }
-    return budgets;
+    return config;
 }
 
 namespace
@@ -33,36 +33,34 @@ namespace
 
 RunSpec
 makeSpec(DesignKind design, const std::string &bench,
-         const Budgets &budgets)
+         const harness::SystemConfig &base)
 {
     RunSpec spec;
-    spec.design = design;
     spec.benchmark = bench;
-    spec.warmup = budgets.warmup;
-    spec.measure = budgets.measure;
-    spec.functionalWarm = budgets.functionalWarm;
+    spec.config = base;
+    spec.config.design = harness::designName(design);
     return spec;
 }
 
 /** design x benchmark cross product over all 12 paper benchmarks. */
 std::vector<RunSpec>
 crossSpecs(const std::vector<DesignKind> &designs,
-           const Budgets &budgets)
+           const harness::SystemConfig &base)
 {
     std::vector<RunSpec> specs;
     for (const auto &bench : paperdata::benchmarks)
         for (DesignKind design : designs)
-            specs.push_back(makeSpec(design, bench, budgets));
+            specs.push_back(makeSpec(design, bench, base));
     return specs;
 }
 
 // --- Table 6: benchmark characteristics --------------------------
 
 std::vector<RunSpec>
-table6Specs(const Budgets &budgets)
+table6Specs(const harness::SystemConfig &base)
 {
     return crossSpecs({DesignKind::TlcBase, DesignKind::Dnuca},
-                      budgets);
+                      base);
 }
 
 void
@@ -103,10 +101,10 @@ table6Render(std::ostream &os, const ResultLookup &lookup)
 // --- Table 9: dynamic components ---------------------------------
 
 std::vector<RunSpec>
-table9Specs(const Budgets &budgets)
+table9Specs(const harness::SystemConfig &base)
 {
     return crossSpecs({DesignKind::TlcBase, DesignKind::Dnuca},
-                      budgets);
+                      base);
 }
 
 void
@@ -144,11 +142,11 @@ table9Render(std::ostream &os, const ResultLookup &lookup)
 // --- Figure 5: normalized execution time -------------------------
 
 std::vector<RunSpec>
-fig5Specs(const Budgets &budgets)
+fig5Specs(const harness::SystemConfig &base)
 {
     return crossSpecs({DesignKind::Snuca2, DesignKind::Dnuca,
                        DesignKind::TlcBase},
-                      budgets);
+                      base);
 }
 
 void
@@ -181,10 +179,10 @@ fig5Render(std::ostream &os, const ResultLookup &lookup)
 // --- Figure 6: mean lookup latency -------------------------------
 
 std::vector<RunSpec>
-fig6Specs(const Budgets &budgets)
+fig6Specs(const harness::SystemConfig &base)
 {
     return crossSpecs({DesignKind::Dnuca, DesignKind::TlcBase},
-                      budgets);
+                      base);
 }
 
 void
@@ -222,9 +220,9 @@ fig6Render(std::ostream &os, const ResultLookup &lookup)
 // --- Figure 7: TLC family link utilization -----------------------
 
 std::vector<RunSpec>
-fig7Specs(const Budgets &budgets)
+fig7Specs(const harness::SystemConfig &base)
 {
-    return crossSpecs(harness::tlcFamily(), budgets);
+    return crossSpecs(harness::tlcFamily(), base);
 }
 
 void
@@ -263,9 +261,9 @@ fig7Render(std::ostream &os, const ResultLookup &lookup)
 // --- Figure 8: TLC family execution time -------------------------
 
 std::vector<RunSpec>
-fig8Specs(const Budgets &budgets)
+fig8Specs(const harness::SystemConfig &base)
 {
-    return crossSpecs(harness::tlcFamily(), budgets);
+    return crossSpecs(harness::tlcFamily(), base);
 }
 
 void

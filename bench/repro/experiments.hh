@@ -27,19 +27,13 @@ namespace tlsim
 namespace repro
 {
 
-/** Instruction budgets shared by every run of one sweep. */
-struct Budgets
-{
-    /** Timed warmup instructions. */
-    std::uint64_t warmup = harness::defaultWarmup;
-    /** Measured instructions. */
-    std::uint64_t measure = harness::defaultMeasure;
-    /** Functional (untimed) warmup instructions. */
-    std::uint64_t functionalWarm = harness::defaultFunctionalWarmup;
-};
-
-/** Paper-scale budgets, reduced when TLSIM_FAST=1 is set. */
-Budgets defaultBudgets();
+/**
+ * Baseline machine + budgets shared by every run of one sweep: the
+ * paper's default machine at paper-scale budgets, reduced when
+ * TLSIM_FAST=1 is set. Each experiment stamps its own design names
+ * onto copies of this base.
+ */
+harness::SystemConfig defaultRunConfig();
 
 /** Resolves one (design, benchmark) cell to its completed result. */
 using ResultLookup = std::function<const harness::RunResult &(
@@ -52,8 +46,9 @@ struct Experiment
     const char *name;
     /** One-line description shown by --list. */
     const char *title;
-    /** Every run this experiment needs, at the given budgets. */
-    std::vector<harness::sweep::RunSpec> (*specs)(const Budgets &);
+    /** Every run this experiment needs, on the given base machine. */
+    std::vector<harness::sweep::RunSpec> (*specs)(
+        const harness::SystemConfig &);
     /** Print the paper-style table from completed results. */
     void (*render)(std::ostream &, const ResultLookup &);
 };

@@ -7,11 +7,14 @@
 #include <iostream>
 #include <map>
 #include <memory>
+#include <optional>
 #include <sstream>
 #include <string>
 #include <thread>
+#include <utility>
 #include <vector>
 
+#include "harness/config.hh"
 #include "harness/sweep/sweep.hh"
 #include "repro/experiments.hh"
 #include "sim/logging.hh"
@@ -31,13 +34,43 @@ struct CliOptions
     bool list = false;
     bool quiet = false;
     bool useCache = true;
+    bool dumpConfig = false;
     int jobs = 0; // 0 = hardware concurrency
     std::string filter;
     std::string cacheDir;
     std::string statsJson;
     std::string debugFlags;
     std::string traceOut;
-    Budgets budgets = defaultBudgets();
+    /** --config FILE replaces the default base config entirely. */
+    std::string configFile;
+    /** Flag overrides, applied on top of whatever config loaded. */
+    std::optional<int> cores;
+    std::optional<std::uint64_t> warmup;
+    std::optional<std::uint64_t> measure;
+    std::optional<std::uint64_t> functionalWarm;
+
+    /**
+     * Effective base machine: defaults (or --config file), then
+     * individual flag overrides — order on the command line does not
+     * matter.
+     */
+    harness::SystemConfig
+    baseConfig() const
+    {
+        harness::SystemConfig config = configFile.empty()
+                                           ? defaultRunConfig()
+                                           : harness::loadConfigFile(
+                                                 configFile);
+        if (cores)
+            config.cores = *cores;
+        if (warmup)
+            config.warmup = *warmup;
+        if (measure)
+            config.measure = *measure;
+        if (functionalWarm)
+            config.functionalWarm = *functionalWarm;
+        return config;
+    }
 };
 
 void
@@ -53,6 +86,12 @@ printUsage(std::ostream &os)
           "  --no-cache          disable result memoization\n"
           "  --stats-json FILE   merged per-run stats JSON, in spec "
           "order\n"
+          "  --config FILE       load the machine config (JSON, see "
+          "--dump-config)\n"
+          "  --dump-config       print the effective config JSON and "
+          "exit\n"
+          "  --cores N           CMP cores sharing the L2 (default "
+          "1)\n"
           "  --warm N            timed-warmup instructions per run\n"
           "  --measure N         measured instructions per run\n"
           "  --funcwarm N        functional-warmup instructions per "
@@ -101,6 +140,8 @@ parseArgs(int argc, char **argv, CliOptions &opts)
             opts.quiet = true;
         } else if (std::strcmp(argv[i], "--no-cache") == 0) {
             opts.useCache = false;
+        } else if (std::strcmp(argv[i], "--dump-config") == 0) {
+            opts.dumpConfig = true;
         } else if (std::strcmp(argv[i], "--help") == 0 ||
                    std::strcmp(argv[i], "-h") == 0) {
             printUsage(std::cout);
@@ -114,18 +155,20 @@ parseArgs(int argc, char **argv, CliOptions &opts)
                    matchValue(argc, argv, i, "--debug-flags",
                               opts.debugFlags) ||
                    matchValue(argc, argv, i, "--trace-out",
-                              opts.traceOut)) {
+                              opts.traceOut) ||
+                   matchValue(argc, argv, i, "--config",
+                              opts.configFile)) {
             continue;
         } else if (matchValue(argc, argv, i, "--jobs", value)) {
             opts.jobs = std::atoi(value.c_str());
+        } else if (matchValue(argc, argv, i, "--cores", value)) {
+            opts.cores = std::atoi(value.c_str());
         } else if (matchValue(argc, argv, i, "--warm", value)) {
-            opts.budgets.warmup = std::strtoull(value.c_str(),
-                                                nullptr, 10);
+            opts.warmup = std::strtoull(value.c_str(), nullptr, 10);
         } else if (matchValue(argc, argv, i, "--measure", value)) {
-            opts.budgets.measure = std::strtoull(value.c_str(),
-                                                 nullptr, 10);
+            opts.measure = std::strtoull(value.c_str(), nullptr, 10);
         } else if (matchValue(argc, argv, i, "--funcwarm", value)) {
-            opts.budgets.functionalWarm =
+            opts.functionalWarm =
                 std::strtoull(value.c_str(), nullptr, 10);
         } else {
             std::cerr << "tlsim_repro: unknown argument '" << argv[i]
@@ -173,6 +216,11 @@ reproMain(int argc, char **argv)
     if (!parseArgs(argc, argv, opts))
         return 1;
 
+    if (opts.dumpConfig) {
+        harness::saveConfigJson(opts.baseConfig(), std::cout);
+        return 0;
+    }
+
     if (opts.list) {
         for (const auto &experiment : experiments())
             std::cout << experiment.name << "  \t" << experiment.title
@@ -219,9 +267,10 @@ reproMain(int argc, char **argv)
     // Union of every selected experiment's specs, deduplicated so
     // shared cells (e.g. Figure 5 and 6 both need DNUCA runs)
     // simulate once.
+    harness::SystemConfig base = opts.baseConfig();
     std::vector<harness::sweep::RunSpec> specs;
     for (const auto *experiment : selected)
-        for (const auto &spec : experiment->specs(opts.budgets))
+        for (const auto &spec : experiment->specs(base))
             harness::sweep::addUnique(specs, spec);
 
     harness::sweep::SweepOptions sweep_opts;
@@ -240,14 +289,13 @@ reproMain(int argc, char **argv)
         std::cerr << std::endl;
     }
 
-    std::map<std::pair<harness::DesignKind, std::string>, std::size_t>
-        index;
+    std::map<std::pair<std::string, std::string>, std::size_t> index;
     for (std::size_t i = 0; i < specs.size(); ++i)
-        index[{specs[i].design, specs[i].benchmark}] = i;
+        index[{specs[i].config.design, specs[i].benchmark}] = i;
     ResultLookup lookup =
         [&](harness::DesignKind design,
             const std::string &bench) -> const harness::RunResult & {
-        auto it = index.find({design, bench});
+        auto it = index.find({harness::designName(design), bench});
         if (it == index.end())
             panic("experiment requested a run outside its spec list: "
                   "{}/{}",

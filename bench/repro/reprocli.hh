@@ -29,6 +29,9 @@ namespace repro
  *                       tlsim_result_cache)
  *   --no-cache          disable result memoization
  *   --stats-json FILE   merged per-run stats JSON, in spec order
+ *   --config FILE       load the machine config (JSON)
+ *   --dump-config       print the effective config JSON and exit
+ *   --cores N           CMP cores sharing the L2 (default 1)
  *   --warm N            timed-warmup instructions per run
  *   --measure N         measured instructions per run
  *   --funcwarm N        functional-warmup instructions per run

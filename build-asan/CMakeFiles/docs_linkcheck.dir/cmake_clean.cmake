@@ -1,0 +1,8 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/docs_linkcheck"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang )
+  include(CMakeFiles/docs_linkcheck.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo
+# Build directory: /root/repo/build-asan
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test([=[docs_linkcheck]=] "/root/.pyenv/shims/python3" "/root/repo/tools/check_links.py" "/root/repo")
+set_tests_properties([=[docs_linkcheck]=] PROPERTIES  LABELS "quick" _BACKTRACE_TRIPLES "/root/repo/CMakeLists.txt;51;add_test;/root/repo/CMakeLists.txt;0;")
+subdirs("src")
+subdirs("tests")
+subdirs("bench")
+subdirs("examples")

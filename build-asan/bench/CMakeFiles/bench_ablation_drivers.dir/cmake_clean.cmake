@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_drivers.dir/bench_ablation_drivers.cc.o"
+  "CMakeFiles/bench_ablation_drivers.dir/bench_ablation_drivers.cc.o.d"
+  "bench_ablation_drivers"
+  "bench_ablation_drivers.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_drivers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

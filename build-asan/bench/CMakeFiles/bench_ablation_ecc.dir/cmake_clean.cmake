@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_ecc.dir/bench_ablation_ecc.cc.o"
+  "CMakeFiles/bench_ablation_ecc.dir/bench_ablation_ecc.cc.o.d"
+  "bench_ablation_ecc"
+  "bench_ablation_ecc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_ecc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_promotion.dir/bench_ablation_promotion.cc.o"
+  "CMakeFiles/bench_ablation_promotion.dir/bench_ablation_promotion.cc.o.d"
+  "bench_ablation_promotion"
+  "bench_ablation_promotion.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_promotion.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

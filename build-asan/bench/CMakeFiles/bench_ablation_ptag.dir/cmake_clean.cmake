@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_ptag.dir/bench_ablation_ptag.cc.o"
+  "CMakeFiles/bench_ablation_ptag.dir/bench_ablation_ptag.cc.o.d"
+  "bench_ablation_ptag"
+  "bench_ablation_ptag.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_ptag.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_shielding.dir/bench_ablation_shielding.cc.o"
+  "CMakeFiles/bench_ablation_shielding.dir/bench_ablation_shielding.cc.o.d"
+  "bench_ablation_shielding"
+  "bench_ablation_shielding.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_shielding.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

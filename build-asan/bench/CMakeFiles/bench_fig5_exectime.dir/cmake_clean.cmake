@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig5_exectime.dir/bench_fig5_exectime.cc.o"
+  "CMakeFiles/bench_fig5_exectime.dir/bench_fig5_exectime.cc.o.d"
+  "bench_fig5_exectime"
+  "bench_fig5_exectime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5_exectime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig8_tlcfamily.dir/bench_fig8_tlcfamily.cc.o"
+  "CMakeFiles/bench_fig8_tlcfamily.dir/bench_fig8_tlcfamily.cc.o.d"
+  "bench_fig8_tlcfamily"
+  "bench_fig8_tlcfamily.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8_tlcfamily.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_micro_engine.cc" "bench/CMakeFiles/bench_micro_engine.dir/bench_micro_engine.cc.o" "gcc" "bench/CMakeFiles/bench_micro_engine.dir/bench_micro_engine.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-asan/src/harness/CMakeFiles/tlsim_harness.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/workload/CMakeFiles/tlsim_workload.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/cpu/CMakeFiles/tlsim_cpu.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/mem/CMakeFiles/tlsim_mem.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/noc/CMakeFiles/tlsim_noc.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/cacti/CMakeFiles/tlsim_cacti.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/phys/CMakeFiles/tlsim_phys.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/sim/CMakeFiles/tlsim_sim.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/nuca/CMakeFiles/tlsim_nuca.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/tlc/CMakeFiles/tlsim_tlc.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table1_lines.dir/bench_table1_lines.cc.o"
+  "CMakeFiles/bench_table1_lines.dir/bench_table1_lines.cc.o.d"
+  "bench_table1_lines"
+  "bench_table1_lines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_lines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

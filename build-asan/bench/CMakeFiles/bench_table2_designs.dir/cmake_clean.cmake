@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table2_designs.dir/bench_table2_designs.cc.o"
+  "CMakeFiles/bench_table2_designs.dir/bench_table2_designs.cc.o.d"
+  "bench_table2_designs"
+  "bench_table2_designs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_designs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

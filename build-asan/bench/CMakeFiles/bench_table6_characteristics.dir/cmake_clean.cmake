@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table6_characteristics.dir/bench_table6_characteristics.cc.o"
+  "CMakeFiles/bench_table6_characteristics.dir/bench_table6_characteristics.cc.o.d"
+  "bench_table6_characteristics"
+  "bench_table6_characteristics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table6_characteristics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

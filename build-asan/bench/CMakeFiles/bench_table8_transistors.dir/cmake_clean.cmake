@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table8_transistors.dir/bench_table8_transistors.cc.o"
+  "CMakeFiles/bench_table8_transistors.dir/bench_table8_transistors.cc.o.d"
+  "bench_table8_transistors"
+  "bench_table8_transistors.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table8_transistors.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table9_power.dir/bench_table9_power.cc.o"
+  "CMakeFiles/bench_table9_power.dir/bench_table9_power.cc.o.d"
+  "bench_table9_power"
+  "bench_table9_power.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table9_power.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

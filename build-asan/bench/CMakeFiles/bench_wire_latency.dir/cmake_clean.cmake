@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_wire_latency.dir/bench_wire_latency.cc.o"
+  "CMakeFiles/bench_wire_latency.dir/bench_wire_latency.cc.o.d"
+  "bench_wire_latency"
+  "bench_wire_latency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_wire_latency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tlsim_repro.dir/tlsim_repro.cc.o"
+  "CMakeFiles/tlsim_repro.dir/tlsim_repro.cc.o.d"
+  "tlsim_repro"
+  "tlsim_repro.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tlsim_repro.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

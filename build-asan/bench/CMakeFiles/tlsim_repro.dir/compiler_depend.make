@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for tlsim_repro.
+# This may be replaced when dependencies are built.

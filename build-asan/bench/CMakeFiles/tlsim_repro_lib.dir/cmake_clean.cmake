@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tlsim_repro_lib.dir/repro/experiments.cc.o"
+  "CMakeFiles/tlsim_repro_lib.dir/repro/experiments.cc.o.d"
+  "CMakeFiles/tlsim_repro_lib.dir/repro/reprocli.cc.o"
+  "CMakeFiles/tlsim_repro_lib.dir/repro/reprocli.cc.o.d"
+  "libtlsim_repro_lib.a"
+  "libtlsim_repro_lib.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tlsim_repro_lib.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

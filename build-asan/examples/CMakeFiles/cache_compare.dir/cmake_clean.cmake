@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cache_compare.dir/cache_compare.cpp.o"
+  "CMakeFiles/cache_compare.dir/cache_compare.cpp.o.d"
+  "cache_compare"
+  "cache_compare.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cache_compare.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

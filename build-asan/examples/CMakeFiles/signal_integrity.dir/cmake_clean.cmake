@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/signal_integrity.dir/signal_integrity.cpp.o"
+  "CMakeFiles/signal_integrity.dir/signal_integrity.cpp.o.d"
+  "signal_integrity"
+  "signal_integrity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/signal_integrity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

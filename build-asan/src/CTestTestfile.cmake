@@ -1,0 +1,16 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build-asan/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("sim")
+subdirs("phys")
+subdirs("cacti")
+subdirs("mem")
+subdirs("noc")
+subdirs("nuca")
+subdirs("tlc")
+subdirs("cpu")
+subdirs("workload")
+subdirs("harness")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tlsim_cacti.dir/srambank.cc.o"
+  "CMakeFiles/tlsim_cacti.dir/srambank.cc.o.d"
+  "libtlsim_cacti.a"
+  "libtlsim_cacti.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tlsim_cacti.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

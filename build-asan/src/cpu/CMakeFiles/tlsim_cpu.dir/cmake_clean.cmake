@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tlsim_cpu.dir/ooocore.cc.o"
+  "CMakeFiles/tlsim_cpu.dir/ooocore.cc.o.d"
+  "libtlsim_cpu.a"
+  "libtlsim_cpu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tlsim_cpu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

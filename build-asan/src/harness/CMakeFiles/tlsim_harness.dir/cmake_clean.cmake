@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tlsim_harness.dir/config.cc.o"
+  "CMakeFiles/tlsim_harness.dir/config.cc.o.d"
+  "CMakeFiles/tlsim_harness.dir/papermodels.cc.o"
+  "CMakeFiles/tlsim_harness.dir/papermodels.cc.o.d"
+  "CMakeFiles/tlsim_harness.dir/sweep/resultcache.cc.o"
+  "CMakeFiles/tlsim_harness.dir/sweep/resultcache.cc.o.d"
+  "CMakeFiles/tlsim_harness.dir/sweep/runspec.cc.o"
+  "CMakeFiles/tlsim_harness.dir/sweep/runspec.cc.o.d"
+  "CMakeFiles/tlsim_harness.dir/sweep/sweep.cc.o"
+  "CMakeFiles/tlsim_harness.dir/sweep/sweep.cc.o.d"
+  "CMakeFiles/tlsim_harness.dir/system.cc.o"
+  "CMakeFiles/tlsim_harness.dir/system.cc.o.d"
+  "libtlsim_harness.a"
+  "libtlsim_harness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tlsim_harness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tlsim_mem.dir/dram.cc.o"
+  "CMakeFiles/tlsim_mem.dir/dram.cc.o.d"
+  "CMakeFiles/tlsim_mem.dir/l1cache.cc.o"
+  "CMakeFiles/tlsim_mem.dir/l1cache.cc.o.d"
+  "CMakeFiles/tlsim_mem.dir/l2registry.cc.o"
+  "CMakeFiles/tlsim_mem.dir/l2registry.cc.o.d"
+  "libtlsim_mem.a"
+  "libtlsim_mem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tlsim_mem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

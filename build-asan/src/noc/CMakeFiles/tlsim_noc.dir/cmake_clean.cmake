@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tlsim_noc.dir/mesh.cc.o"
+  "CMakeFiles/tlsim_noc.dir/mesh.cc.o.d"
+  "libtlsim_noc.a"
+  "libtlsim_noc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tlsim_noc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

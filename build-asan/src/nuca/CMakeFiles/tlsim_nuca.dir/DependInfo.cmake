@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/nuca/bankset.cc" "src/nuca/CMakeFiles/tlsim_nuca.dir/bankset.cc.o" "gcc" "src/nuca/CMakeFiles/tlsim_nuca.dir/bankset.cc.o.d"
+  "/root/repo/src/nuca/dnuca.cc" "src/nuca/CMakeFiles/tlsim_nuca.dir/dnuca.cc.o" "gcc" "src/nuca/CMakeFiles/tlsim_nuca.dir/dnuca.cc.o.d"
+  "/root/repo/src/nuca/snuca.cc" "src/nuca/CMakeFiles/tlsim_nuca.dir/snuca.cc.o" "gcc" "src/nuca/CMakeFiles/tlsim_nuca.dir/snuca.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-asan/src/mem/CMakeFiles/tlsim_mem.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/noc/CMakeFiles/tlsim_noc.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/cacti/CMakeFiles/tlsim_cacti.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/phys/CMakeFiles/tlsim_phys.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/sim/CMakeFiles/tlsim_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

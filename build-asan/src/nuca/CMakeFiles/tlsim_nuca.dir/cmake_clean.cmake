@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tlsim_nuca.dir/bankset.cc.o"
+  "CMakeFiles/tlsim_nuca.dir/bankset.cc.o.d"
+  "CMakeFiles/tlsim_nuca.dir/dnuca.cc.o"
+  "CMakeFiles/tlsim_nuca.dir/dnuca.cc.o.d"
+  "CMakeFiles/tlsim_nuca.dir/snuca.cc.o"
+  "CMakeFiles/tlsim_nuca.dir/snuca.cc.o.d"
+  "libtlsim_nuca.a"
+  "libtlsim_nuca.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tlsim_nuca.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for tlsim_nuca.
+# This may be replaced when dependencies are built.

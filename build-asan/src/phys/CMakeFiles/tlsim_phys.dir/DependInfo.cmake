@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/phys/crosstalk.cc" "src/phys/CMakeFiles/tlsim_phys.dir/crosstalk.cc.o" "gcc" "src/phys/CMakeFiles/tlsim_phys.dir/crosstalk.cc.o.d"
+  "/root/repo/src/phys/drivers.cc" "src/phys/CMakeFiles/tlsim_phys.dir/drivers.cc.o" "gcc" "src/phys/CMakeFiles/tlsim_phys.dir/drivers.cc.o.d"
+  "/root/repo/src/phys/fft.cc" "src/phys/CMakeFiles/tlsim_phys.dir/fft.cc.o" "gcc" "src/phys/CMakeFiles/tlsim_phys.dir/fft.cc.o.d"
+  "/root/repo/src/phys/fieldsolver.cc" "src/phys/CMakeFiles/tlsim_phys.dir/fieldsolver.cc.o" "gcc" "src/phys/CMakeFiles/tlsim_phys.dir/fieldsolver.cc.o.d"
+  "/root/repo/src/phys/geometry.cc" "src/phys/CMakeFiles/tlsim_phys.dir/geometry.cc.o" "gcc" "src/phys/CMakeFiles/tlsim_phys.dir/geometry.cc.o.d"
+  "/root/repo/src/phys/pulse.cc" "src/phys/CMakeFiles/tlsim_phys.dir/pulse.cc.o" "gcc" "src/phys/CMakeFiles/tlsim_phys.dir/pulse.cc.o.d"
+  "/root/repo/src/phys/rcwire.cc" "src/phys/CMakeFiles/tlsim_phys.dir/rcwire.cc.o" "gcc" "src/phys/CMakeFiles/tlsim_phys.dir/rcwire.cc.o.d"
+  "/root/repo/src/phys/switchmodel.cc" "src/phys/CMakeFiles/tlsim_phys.dir/switchmodel.cc.o" "gcc" "src/phys/CMakeFiles/tlsim_phys.dir/switchmodel.cc.o.d"
+  "/root/repo/src/phys/technology.cc" "src/phys/CMakeFiles/tlsim_phys.dir/technology.cc.o" "gcc" "src/phys/CMakeFiles/tlsim_phys.dir/technology.cc.o.d"
+  "/root/repo/src/phys/transline.cc" "src/phys/CMakeFiles/tlsim_phys.dir/transline.cc.o" "gcc" "src/phys/CMakeFiles/tlsim_phys.dir/transline.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-asan/src/sim/CMakeFiles/tlsim_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tlsim_phys.dir/crosstalk.cc.o"
+  "CMakeFiles/tlsim_phys.dir/crosstalk.cc.o.d"
+  "CMakeFiles/tlsim_phys.dir/drivers.cc.o"
+  "CMakeFiles/tlsim_phys.dir/drivers.cc.o.d"
+  "CMakeFiles/tlsim_phys.dir/fft.cc.o"
+  "CMakeFiles/tlsim_phys.dir/fft.cc.o.d"
+  "CMakeFiles/tlsim_phys.dir/fieldsolver.cc.o"
+  "CMakeFiles/tlsim_phys.dir/fieldsolver.cc.o.d"
+  "CMakeFiles/tlsim_phys.dir/geometry.cc.o"
+  "CMakeFiles/tlsim_phys.dir/geometry.cc.o.d"
+  "CMakeFiles/tlsim_phys.dir/pulse.cc.o"
+  "CMakeFiles/tlsim_phys.dir/pulse.cc.o.d"
+  "CMakeFiles/tlsim_phys.dir/rcwire.cc.o"
+  "CMakeFiles/tlsim_phys.dir/rcwire.cc.o.d"
+  "CMakeFiles/tlsim_phys.dir/switchmodel.cc.o"
+  "CMakeFiles/tlsim_phys.dir/switchmodel.cc.o.d"
+  "CMakeFiles/tlsim_phys.dir/technology.cc.o"
+  "CMakeFiles/tlsim_phys.dir/technology.cc.o.d"
+  "CMakeFiles/tlsim_phys.dir/transline.cc.o"
+  "CMakeFiles/tlsim_phys.dir/transline.cc.o.d"
+  "libtlsim_phys.a"
+  "libtlsim_phys.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tlsim_phys.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

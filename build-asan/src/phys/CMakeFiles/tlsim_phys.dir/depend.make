@@ -1,0 +1,2 @@
+# Empty dependencies file for tlsim_phys.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/logging.cc" "src/sim/CMakeFiles/tlsim_sim.dir/logging.cc.o" "gcc" "src/sim/CMakeFiles/tlsim_sim.dir/logging.cc.o.d"
+  "/root/repo/src/sim/stats.cc" "src/sim/CMakeFiles/tlsim_sim.dir/stats.cc.o" "gcc" "src/sim/CMakeFiles/tlsim_sim.dir/stats.cc.o.d"
+  "/root/repo/src/sim/table.cc" "src/sim/CMakeFiles/tlsim_sim.dir/table.cc.o" "gcc" "src/sim/CMakeFiles/tlsim_sim.dir/table.cc.o.d"
+  "/root/repo/src/sim/trace/debug.cc" "src/sim/CMakeFiles/tlsim_sim.dir/trace/debug.cc.o" "gcc" "src/sim/CMakeFiles/tlsim_sim.dir/trace/debug.cc.o.d"
+  "/root/repo/src/sim/trace/options.cc" "src/sim/CMakeFiles/tlsim_sim.dir/trace/options.cc.o" "gcc" "src/sim/CMakeFiles/tlsim_sim.dir/trace/options.cc.o.d"
+  "/root/repo/src/sim/trace/sampler.cc" "src/sim/CMakeFiles/tlsim_sim.dir/trace/sampler.cc.o" "gcc" "src/sim/CMakeFiles/tlsim_sim.dir/trace/sampler.cc.o.d"
+  "/root/repo/src/sim/trace/tracesink.cc" "src/sim/CMakeFiles/tlsim_sim.dir/trace/tracesink.cc.o" "gcc" "src/sim/CMakeFiles/tlsim_sim.dir/trace/tracesink.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tlsim_sim.dir/logging.cc.o"
+  "CMakeFiles/tlsim_sim.dir/logging.cc.o.d"
+  "CMakeFiles/tlsim_sim.dir/stats.cc.o"
+  "CMakeFiles/tlsim_sim.dir/stats.cc.o.d"
+  "CMakeFiles/tlsim_sim.dir/table.cc.o"
+  "CMakeFiles/tlsim_sim.dir/table.cc.o.d"
+  "CMakeFiles/tlsim_sim.dir/trace/debug.cc.o"
+  "CMakeFiles/tlsim_sim.dir/trace/debug.cc.o.d"
+  "CMakeFiles/tlsim_sim.dir/trace/options.cc.o"
+  "CMakeFiles/tlsim_sim.dir/trace/options.cc.o.d"
+  "CMakeFiles/tlsim_sim.dir/trace/sampler.cc.o"
+  "CMakeFiles/tlsim_sim.dir/trace/sampler.cc.o.d"
+  "CMakeFiles/tlsim_sim.dir/trace/tracesink.cc.o"
+  "CMakeFiles/tlsim_sim.dir/trace/tracesink.cc.o.d"
+  "libtlsim_sim.a"
+  "libtlsim_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tlsim_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tlsim_tlc.dir/config.cc.o"
+  "CMakeFiles/tlsim_tlc.dir/config.cc.o.d"
+  "CMakeFiles/tlsim_tlc.dir/floorplan.cc.o"
+  "CMakeFiles/tlsim_tlc.dir/floorplan.cc.o.d"
+  "CMakeFiles/tlsim_tlc.dir/tlccache.cc.o"
+  "CMakeFiles/tlsim_tlc.dir/tlccache.cc.o.d"
+  "libtlsim_tlc.a"
+  "libtlsim_tlc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tlsim_tlc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libtlsim_tlc.a"
+)

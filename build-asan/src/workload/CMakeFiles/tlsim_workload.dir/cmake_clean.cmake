@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tlsim_workload.dir/generator.cc.o"
+  "CMakeFiles/tlsim_workload.dir/generator.cc.o.d"
+  "CMakeFiles/tlsim_workload.dir/profile.cc.o"
+  "CMakeFiles/tlsim_workload.dir/profile.cc.o.d"
+  "libtlsim_workload.a"
+  "libtlsim_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tlsim_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_bankset.dir/test_bankset.cc.o"
+  "CMakeFiles/test_bankset.dir/test_bankset.cc.o.d"
+  "test_bankset"
+  "test_bankset.pdb"
+  "test_bankset[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_bankset.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_breakdown.dir/test_breakdown.cc.o"
+  "CMakeFiles/test_breakdown.dir/test_breakdown.cc.o.d"
+  "test_breakdown"
+  "test_breakdown.pdb"
+  "test_breakdown[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_breakdown.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_crosstalk.dir/test_crosstalk.cc.o"
+  "CMakeFiles/test_crosstalk.dir/test_crosstalk.cc.o.d"
+  "test_crosstalk"
+  "test_crosstalk.pdb"
+  "test_crosstalk[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_crosstalk.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_dnuca.dir/test_dnuca.cc.o"
+  "CMakeFiles/test_dnuca.dir/test_dnuca.cc.o.d"
+  "test_dnuca"
+  "test_dnuca.pdb"
+  "test_dnuca[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_dnuca.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_eventq.dir/test_eventq.cc.o"
+  "CMakeFiles/test_eventq.dir/test_eventq.cc.o.d"
+  "test_eventq"
+  "test_eventq.pdb"
+  "test_eventq[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_eventq.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

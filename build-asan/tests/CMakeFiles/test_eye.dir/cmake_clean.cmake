@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_eye.dir/test_eye.cc.o"
+  "CMakeFiles/test_eye.dir/test_eye.cc.o.d"
+  "test_eye"
+  "test_eye.pdb"
+  "test_eye[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_eye.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_fieldsolver.dir/test_fieldsolver.cc.o"
+  "CMakeFiles/test_fieldsolver.dir/test_fieldsolver.cc.o.d"
+  "test_fieldsolver"
+  "test_fieldsolver.pdb"
+  "test_fieldsolver[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_fieldsolver.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

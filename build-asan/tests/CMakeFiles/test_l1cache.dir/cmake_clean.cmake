@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_l1cache.dir/test_l1cache.cc.o"
+  "CMakeFiles/test_l1cache.dir/test_l1cache.cc.o.d"
+  "test_l1cache"
+  "test_l1cache.pdb"
+  "test_l1cache[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_l1cache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ooocore.dir/test_ooocore.cc.o"
+  "CMakeFiles/test_ooocore.dir/test_ooocore.cc.o.d"
+  "test_ooocore"
+  "test_ooocore.pdb"
+  "test_ooocore[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ooocore.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

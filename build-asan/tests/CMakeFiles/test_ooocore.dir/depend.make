@@ -1,0 +1,2 @@
+# Empty dependencies file for test_ooocore.
+# This may be replaced when dependencies are built.

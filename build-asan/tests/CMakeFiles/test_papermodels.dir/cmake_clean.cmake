@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_papermodels.dir/test_papermodels.cc.o"
+  "CMakeFiles/test_papermodels.dir/test_papermodels.cc.o.d"
+  "test_papermodels"
+  "test_papermodels.pdb"
+  "test_papermodels[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_papermodels.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_rcwire.dir/test_rcwire.cc.o"
+  "CMakeFiles/test_rcwire.dir/test_rcwire.cc.o.d"
+  "test_rcwire"
+  "test_rcwire.pdb"
+  "test_rcwire[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_rcwire.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

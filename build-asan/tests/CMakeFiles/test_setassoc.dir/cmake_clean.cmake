@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_setassoc.dir/test_setassoc.cc.o"
+  "CMakeFiles/test_setassoc.dir/test_setassoc.cc.o.d"
+  "test_setassoc"
+  "test_setassoc.pdb"
+  "test_setassoc[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_setassoc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

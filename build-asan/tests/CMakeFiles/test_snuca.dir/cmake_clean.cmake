@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_snuca.dir/test_snuca.cc.o"
+  "CMakeFiles/test_snuca.dir/test_snuca.cc.o.d"
+  "test_snuca"
+  "test_snuca.pdb"
+  "test_snuca[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_snuca.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

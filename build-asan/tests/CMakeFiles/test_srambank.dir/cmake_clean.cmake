@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_srambank.dir/test_srambank.cc.o"
+  "CMakeFiles/test_srambank.dir/test_srambank.cc.o.d"
+  "test_srambank"
+  "test_srambank.pdb"
+  "test_srambank[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_srambank.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

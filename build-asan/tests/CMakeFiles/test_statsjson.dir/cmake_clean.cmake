@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_statsjson.dir/test_statsjson.cc.o"
+  "CMakeFiles/test_statsjson.dir/test_statsjson.cc.o.d"
+  "test_statsjson"
+  "test_statsjson.pdb"
+  "test_statsjson[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_statsjson.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

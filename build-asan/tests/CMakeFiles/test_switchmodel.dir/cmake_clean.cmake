@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_switchmodel.dir/test_switchmodel.cc.o"
+  "CMakeFiles/test_switchmodel.dir/test_switchmodel.cc.o.d"
+  "test_switchmodel"
+  "test_switchmodel.pdb"
+  "test_switchmodel[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_switchmodel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

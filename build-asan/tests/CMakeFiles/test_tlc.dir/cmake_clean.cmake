@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_tlc.dir/test_tlc.cc.o"
+  "CMakeFiles/test_tlc.dir/test_tlc.cc.o.d"
+  "test_tlc"
+  "test_tlc.pdb"
+  "test_tlc[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_tlc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_tracesink.dir/test_tracesink.cc.o"
+  "CMakeFiles/test_tracesink.dir/test_tracesink.cc.o.d"
+  "test_tracesink"
+  "test_tracesink.pdb"
+  "test_tracesink[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_tracesink.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_transline.dir/test_transline.cc.o"
+  "CMakeFiles/test_transline.dir/test_transline.cc.o.d"
+  "test_transline"
+  "test_transline.pdb"
+  "test_transline[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_transline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

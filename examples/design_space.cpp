@@ -12,6 +12,7 @@
 #include "harness/system.hh"
 #include "sim/table.hh"
 #include "sim/trace/options.hh"
+#include "tlc/config.hh"
 #include "tlc/floorplan.hh"
 #include "tlc/tlccache.hh"
 
@@ -36,21 +37,8 @@ main(int argc, char **argv)
         auto result = harness::runBenchmark(kind, profile, 500'000,
                                             2'000'000, 0, 50'000'000);
         // Rebuild the config/floorplan for the static facts.
-        tlc::TlcConfig cfg;
-        switch (kind) {
-          case harness::DesignKind::TlcBase:
-            cfg = tlc::baseTlc();
-            break;
-          case harness::DesignKind::TlcOpt1000:
-            cfg = tlc::tlcOpt1000();
-            break;
-          case harness::DesignKind::TlcOpt500:
-            cfg = tlc::tlcOpt500();
-            break;
-          default:
-            cfg = tlc::tlcOpt350();
-            break;
-        }
+        tlc::TlcConfig cfg =
+            tlc::configByName(harness::designName(kind));
         tlc::TlcFloorplan floorplan(phys::tech45(), cfg);
         EventQueue eq;
         stats::StatGroup root("root");

@@ -12,9 +12,9 @@ namespace cpu
 
 OoOCore::OoOCore(EventQueue &eq, stats::StatGroup *parent,
                  mem::L1Cache &icache_, mem::L1Cache &dcache_,
-                 const CoreConfig &config)
+                 const CoreConfig &config, int core_id)
     : stats::StatGroup("core", parent), eventq(eq), icache(icache_),
-      dcache(dcache_), cfg(config),
+      dcache(dcache_), cfg(config), id(core_id),
       completeQ(static_cast<std::size_t>(config.robEntries), 0),
       retireQ(static_cast<std::size_t>(config.robEntries), 0),
       pending(static_cast<std::size_t>(config.robEntries), false),
@@ -113,7 +113,9 @@ OoOCore::stepMemOp(const TraceRecord &record)
         // drains to the cache in the background.
         pending[slot] = false;
         completeQ[slot] = fetchQ + 4 * cfg.opLatency;
-        dcache.access(record.blockAddr, mem::AccessType::Store, cycle,
+        dcache.access(mem::MemRequest{record.blockAddr,
+                                      mem::AccessType::Store, cycle,
+                                      id},
                       [](Tick) {});
         return;
     }
@@ -124,7 +126,8 @@ OoOCore::stepMemOp(const TraceRecord &record)
     pending[slot] = true;
     completeQ[slot] = 0;
     prevLoadIdx = i;
-    dcache.access(record.blockAddr, mem::AccessType::Load, cycle,
+    dcache.access(mem::MemRequest{record.blockAddr,
+                                  mem::AccessType::Load, cycle, id},
                   [this, slot](Tick done) {
                       pending[slot] = false;
                       completeQ[slot] = done * 4;
@@ -143,7 +146,9 @@ OoOCore::stepIFetch(const TraceRecord &record)
 
     bool resolved = false;
     Tick ready = cycle;
-    icache.access(record.blockAddr, mem::AccessType::InstFetch, cycle,
+    icache.access(mem::MemRequest{record.blockAddr,
+                                  mem::AccessType::InstFetch, cycle,
+                                  id},
                   [&resolved, &ready](Tick done) {
                       resolved = true;
                       ready = done;

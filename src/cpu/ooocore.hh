@@ -47,6 +47,8 @@ struct CoreConfig
      * limits (see workload::BenchmarkProfile::ilpQuanta).
      */
     int fetchQuanta = 1;
+
+    bool operator==(const CoreConfig &) const = default;
 };
 
 /**
@@ -57,7 +59,7 @@ class OoOCore : public stats::StatGroup
   public:
     OoOCore(EventQueue &eq, stats::StatGroup *parent,
             mem::L1Cache &icache, mem::L1Cache &dcache,
-            const CoreConfig &config = CoreConfig{});
+            const CoreConfig &config = CoreConfig{}, int core_id = 0);
 
     /**
      * Execute @p num_instructions from the trace source.
@@ -72,6 +74,22 @@ class OoOCore : public stats::StatGroup
     /** Current end-of-execution cycle. */
     std::uint64_t currentCycle() const { return lastRetireQ / 4; }
 
+    /** Core id stamped on this core's memory requests. */
+    int coreId() const { return id; }
+
+    /**
+     * Pull the core's fetch clock up to the shared event queue's
+     * current time. In a CMP the cores time-multiplex one queue; a
+     * core resuming its quantum after the others advanced global time
+     * must not issue cache accesses in the past. Single-core runs
+     * never call this (fetch legitimately lags the queue there).
+     */
+    void
+    catchUp()
+    {
+        fetchQ = std::max(fetchQ, eventq.now() * 4);
+    }
+
   private:
     /** Quarter-cycle ticks: 4 per clock cycle (one per pipeline slot). */
     using QTick = std::uint64_t;
@@ -80,6 +98,7 @@ class OoOCore : public stats::StatGroup
     mem::L1Cache &icache;
     mem::L1Cache &dcache;
     CoreConfig cfg;
+    int id;
 
     /** Ring buffers over the ROB window. */
     std::vector<QTick> completeQ;

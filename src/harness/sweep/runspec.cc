@@ -10,35 +10,45 @@ namespace harness
 namespace sweep
 {
 
+RunSpec
+makeRunSpec(DesignKind design, const std::string &benchmark)
+{
+    RunSpec spec;
+    spec.benchmark = benchmark;
+    spec.config.design = designName(design);
+    return spec;
+}
+
 std::string
 specKey(const RunSpec &spec)
 {
     std::ostringstream os;
-    os << designName(spec.design) << '/' << spec.benchmark << "/w"
-       << spec.warmup << "/m" << spec.measure << "/f"
-       << spec.functionalWarm << "/s" << spec.baseSeed;
+    os << spec.config.design << '/' << spec.benchmark << "/w"
+       << spec.config.warmup << "/m" << spec.config.measure << "/f"
+       << spec.config.functionalWarm << "/s" << spec.baseSeed;
+    if (!spec.config.isDefaultMachine()) {
+        os << "/c" << std::hex << std::setw(16) << std::setfill('0')
+           << spec.config.machineHash();
+    }
     return os.str();
 }
 
 std::uint64_t
 fnv1a(const std::string &text)
 {
-    std::uint64_t hash = 0xcbf29ce484222325ULL;
-    for (unsigned char c : text) {
-        hash ^= c;
-        hash *= 0x100000001b3ULL;
-    }
-    return hash;
+    return fnv1aHash(text);
 }
 
 std::uint64_t
 traceSeed(const RunSpec &spec)
 {
-    // Everything except the design contributes: identical traces
-    // across designs, distinct traces across benchmarks/budgets.
+    // Everything except the design and machine contributes: identical
+    // traces across designs, distinct traces across benchmarks and
+    // budgets.
     std::ostringstream os;
-    os << spec.benchmark << "/w" << spec.warmup << "/m" << spec.measure
-       << "/f" << spec.functionalWarm << "/s" << spec.baseSeed;
+    os << spec.benchmark << "/w" << spec.config.warmup << "/m"
+       << spec.config.measure << "/f" << spec.config.functionalWarm
+       << "/s" << spec.baseSeed;
     return fnv1a(os.str());
 }
 

@@ -3,12 +3,13 @@
  * Declarative description of one simulation run.
  *
  * A RunSpec names everything that determines a run's outcome — the
- * L2 design, the benchmark, the three instruction budgets, and a base
- * seed — and nothing else. Every derived quantity (the workload trace
- * seed, the result-cache key) is a pure function of the spec, so runs
- * scheduled across any number of worker threads in any order produce
- * bit-identical results, and results can be memoized on disk keyed by
- * content rather than by execution history.
+ * full machine + budget configuration (SystemConfig, which includes
+ * the L2 design and the three instruction budgets), the benchmark,
+ * and a base seed — and nothing else. Every derived quantity (the
+ * workload trace seed, the result-cache key) is a pure function of
+ * the spec, so runs scheduled across any number of worker threads in
+ * any order produce bit-identical results, and results can be
+ * memoized on disk keyed by content rather than by execution history.
  */
 
 #ifndef TLSIM_HARNESS_SWEEP_RUNSPEC_HH
@@ -34,39 +35,43 @@ namespace sweep
  */
 inline constexpr const char *modelVersionSalt = "tlsim-model-v2";
 
-/** One (design, benchmark, budgets, seed) point of a sweep. */
+/** One (machine config, benchmark, seed) point of a sweep. */
 struct RunSpec
 {
-    /** L2 design to build. */
-    DesignKind design = DesignKind::TlcBase;
     /** Workload profile name (see workload::paperBenchmarks()). */
     std::string benchmark;
-    /** Timed warmup instructions before measurement. */
-    std::uint64_t warmup = defaultWarmup;
-    /** Measured instructions. */
-    std::uint64_t measure = defaultMeasure;
-    /** Functional (untimed) cache-warming instructions. */
-    std::uint64_t functionalWarm = defaultFunctionalWarmup;
     /** Extra seed entropy folded into the trace seed. */
     std::uint64_t baseSeed = 0;
+    /**
+     * The machine + budgets to run: design, core count, L1 geometry,
+     * technology node, l2 options, warmup/measure/functionalWarm.
+     */
+    SystemConfig config;
 
     /** Field-wise equality (used for deduplication). */
     bool operator==(const RunSpec &other) const = default;
 };
 
+/** Convenience: spec for a paper design with default machine. */
+RunSpec makeRunSpec(DesignKind design, const std::string &benchmark);
+
 /**
  * Canonical human-readable identity of a spec, e.g.
- * "TLC/gcc/w3000000/m10000000/f200000000/s0". Two specs are
- * equivalent iff their keys are equal.
+ * "TLC/gcc/w3000000/m10000000/f200000000/s0". Specs whose machine
+ * differs from the default single-core paper machine append
+ * "/c<16-hex machine hash>", so pre-existing cache entries for
+ * default-machine runs stay valid and any machine-config change
+ * moves the spec to a fresh cache slot. Two specs are equivalent iff
+ * their keys are equal.
  */
 std::string specKey(const RunSpec &spec);
 
 /**
  * Workload trace seed derived from the spec's benchmark and budgets —
- * deliberately NOT from the design, so every design replays the
- * bit-identical reference trace (the paper's normalized comparisons
- * depend on this), and NOT from execution order, so parallel sweeps
- * reproduce serial ones.
+ * deliberately NOT from the design or machine, so every design
+ * replays the bit-identical reference trace (the paper's normalized
+ * comparisons depend on this), and NOT from execution order, so
+ * parallel sweeps reproduce serial ones.
  */
 std::uint64_t traceSeed(const RunSpec &spec);
 

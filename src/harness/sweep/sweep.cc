@@ -36,9 +36,8 @@ executeSpec(const RunSpec &spec, bool capture_stats,
             stats << '\n';
         }
     };
-    RunResult result = runBenchmark(spec.design, profile, spec.warmup,
-                                    spec.measure, traceSeed(spec),
-                                    spec.functionalWarm, &observer);
+    RunResult result =
+        runBenchmark(spec.config, profile, traceSeed(spec), &observer);
     stats_json = stats.str();
     return result;
 }

@@ -1,8 +1,9 @@
 #include "harness/system.hh"
 
+#include <algorithm>
+
+#include "mem/l2registry.hh"
 #include "nuca/dnuca.hh"
-#include "nuca/snuca.hh"
-#include "phys/technology.hh"
 #include "tlc/tlccache.hh"
 
 namespace tlsim
@@ -34,68 +35,73 @@ tlcFamily()
 std::string
 designName(DesignKind kind)
 {
-    switch (kind) {
-      case DesignKind::Snuca2:
-        return "SNUCA2";
-      case DesignKind::Dnuca:
-        return "DNUCA";
-      case DesignKind::TlcBase:
-        return "TLC";
-      case DesignKind::TlcOpt1000:
-        return "TLCopt1000";
-      case DesignKind::TlcOpt500:
-        return "TLCopt500";
-      case DesignKind::TlcOpt350:
-        return "TLCopt350";
-    }
-    panic("unknown design kind");
+    // The compat shim's whole job: map the legacy enum onto registry
+    // names. The designs themselves (and their factories) own the
+    // names; this table is validated against the registry below.
+    static const char *const names[] = {
+        "SNUCA2", "DNUCA", "TLC", "TLCopt1000", "TLCopt500",
+        "TLCopt350",
+    };
+    auto idx = static_cast<std::size_t>(kind);
+    TLSIM_ASSERT(idx < std::size(names), "unknown design kind");
+    TLSIM_ASSERT(l2::Registry::known(names[idx]),
+                 "paper design '{}' missing from the registry",
+                 names[idx]);
+    return names[idx];
 }
 
 namespace
 {
 
-std::unique_ptr<mem::L2Cache>
-buildL2(DesignKind kind, EventQueue &eq, stats::StatGroup *parent,
-        mem::Dram &dram)
+SystemConfig
+configFor(DesignKind kind, const cpu::CoreConfig &core_config)
 {
-    const phys::Technology &tech = phys::tech45();
-    switch (kind) {
-      case DesignKind::Snuca2:
-        return std::make_unique<nuca::SnucaCache>(eq, parent, dram,
-                                                  tech);
-      case DesignKind::Dnuca:
-        return std::make_unique<nuca::DnucaCache>(eq, parent, dram,
-                                                  tech);
-      case DesignKind::TlcBase:
-        return std::make_unique<tlc::TlcCache>(eq, parent, dram, tech,
-                                               tlc::baseTlc());
-      case DesignKind::TlcOpt1000:
-        return std::make_unique<tlc::TlcCache>(eq, parent, dram, tech,
-                                               tlc::tlcOpt1000());
-      case DesignKind::TlcOpt500:
-        return std::make_unique<tlc::TlcCache>(eq, parent, dram, tech,
-                                               tlc::tlcOpt500());
-      case DesignKind::TlcOpt350:
-        return std::make_unique<tlc::TlcCache>(eq, parent, dram, tech,
-                                               tlc::tlcOpt350());
-    }
-    panic("unknown design kind");
+    SystemConfig config;
+    config.design = designName(kind);
+    config.core = core_config;
+    return config;
 }
 
 } // namespace
 
-System::System(DesignKind kind, const cpu::CoreConfig &core_config)
-    : rootGroup("system")
+System::System(const SystemConfig &config)
+    : cfg(config), tech(technologyForNode(config.technologyNm)),
+      rootGroup("system")
 {
+    TLSIM_ASSERT(cfg.cores >= 1, "machine needs at least one core");
     dramModel = std::make_unique<mem::Dram>(eq, &rootGroup);
-    l2Cache = buildL2(kind, eq, &rootGroup, *dramModel);
-    icache = std::make_unique<mem::L1Cache>(
-        "l1i", eq, &rootGroup, *l2Cache, 64 * 1024, 2, 3, 4);
-    dcache = std::make_unique<mem::L1Cache>(
-        "l1d", eq, &rootGroup, *l2Cache, 64 * 1024, 2, 3, 8);
-    cpuCore = std::make_unique<cpu::OoOCore>(eq, &rootGroup, *icache,
-                                             *dcache, core_config);
+    l2Cache = l2::Registry::build(
+        cfg.design,
+        l2::BuildContext{eq, &rootGroup, *dramModel, tech,
+                         cfg.l2Options});
+
+    cores.reserve(static_cast<std::size_t>(cfg.cores));
+    for (int i = 0; i < cfg.cores; ++i) {
+        CoreSlot slot;
+        stats::StatGroup *parent = &rootGroup;
+        if (cfg.cores > 1) {
+            // Multi-core machines group each core's stats under
+            // "coreN"; single-core keeps the legacy flat layout so
+            // existing stats JSON consumers see identical shapes.
+            slot.group = std::make_unique<stats::StatGroup>(
+                csprintf("core{}", i), &rootGroup);
+            parent = slot.group.get();
+        }
+        slot.icache = std::make_unique<mem::L1Cache>(
+            "l1i", eq, parent, *l2Cache, cfg.l1i.bytes, cfg.l1i.ways,
+            cfg.l1i.hitLatency, cfg.l1i.mshrs, i, &requestIds);
+        slot.dcache = std::make_unique<mem::L1Cache>(
+            "l1d", eq, parent, *l2Cache, cfg.l1d.bytes, cfg.l1d.ways,
+            cfg.l1d.hitLatency, cfg.l1d.mshrs, i, &requestIds);
+        slot.core = std::make_unique<cpu::OoOCore>(
+            eq, parent, *slot.icache, *slot.dcache, cfg.core, i);
+        cores.push_back(std::move(slot));
+    }
 }
+
+System::System(DesignKind kind, const cpu::CoreConfig &core_config)
+    : System(configFor(kind, core_config))
+{}
 
 System::~System() = default;
 
@@ -108,63 +114,149 @@ System::beginMeasurement()
 
 void
 System::functionalWarm(cpu::TraceSource &source,
-                       std::uint64_t instructions)
+                       std::uint64_t instructions, int core_idx)
 {
+    CoreSlot &slot = cores[static_cast<std::size_t>(
+        checkIndex(core_idx))];
     std::uint64_t executed = 0;
     while (executed < instructions) {
         cpu::TraceRecord record = source.next();
         executed += record.gap;
         if (record.isIFetch) {
-            icache->accessFunctional(record.blockAddr,
-                                     mem::AccessType::InstFetch);
+            slot.icache->accessFunctional(record.blockAddr,
+                                          mem::AccessType::InstFetch);
         } else {
-            dcache->accessFunctional(record.blockAddr, record.type);
+            slot.dcache->accessFunctional(record.blockAddr,
+                                          record.type);
             ++executed;
         }
     }
 }
 
-RunResult
-runBenchmark(DesignKind kind, const workload::BenchmarkProfile &profile,
-             std::uint64_t warm_instructions,
-             std::uint64_t measure_instructions, std::uint64_t run_seed,
-             std::uint64_t functional_warm, const RunObserver *observer)
+namespace
 {
-    cpu::CoreConfig core_config;
-    core_config.fetchQuanta = profile.ilpQuanta;
-    System system(kind, core_config);
-    workload::TraceGenerator gen(profile, run_seed);
+
+std::uint64_t
+splitmix64(std::uint64_t x)
+{
+    x += 0x9e3779b97f4a7c15ULL;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+    return x ^ (x >> 31);
+}
+
+std::uint64_t
+maxCurrentCycle(System &system)
+{
+    std::uint64_t cycle = 0;
+    for (int i = 0; i < system.numCores(); ++i)
+        cycle = std::max(cycle, system.core(i).currentCycle());
+    return cycle;
+}
+
+/**
+ * Execute @p instructions on every core (each from its own trace)
+ * and return the elapsed wall-clock cycles. Single-core runs take
+ * the direct path — bit-identical to the pre-CMP runner. Multi-core
+ * runs time-multiplex the cores in round-robin quanta on the shared
+ * event queue (the classic Simics-style CMP interleaving).
+ */
+std::uint64_t
+runCores(System &system,
+         std::vector<workload::TraceGenerator> &gens,
+         std::uint64_t instructions, std::uint64_t quantum)
+{
+    if (instructions == 0)
+        return 0;
+    int n = system.numCores();
+    if (n == 1)
+        return system.core().run(gens[0], instructions);
+
+    quantum = std::max<std::uint64_t>(quantum, 1);
+    std::uint64_t start = maxCurrentCycle(system);
+    std::vector<std::uint64_t> remaining(
+        static_cast<std::size_t>(n), instructions);
+    bool active = true;
+    while (active) {
+        active = false;
+        for (int i = 0; i < n; ++i) {
+            auto &left = remaining[static_cast<std::size_t>(i)];
+            if (left == 0)
+                continue;
+            std::uint64_t chunk = std::min(left, quantum);
+            // A core resuming after the others advanced global time
+            // must not issue accesses in the past.
+            system.core(i).catchUp();
+            system.core(i).run(gens[i], chunk);
+            left -= chunk;
+            if (left > 0)
+                active = true;
+        }
+    }
+    return maxCurrentCycle(system) - start;
+}
+
+} // namespace
+
+RunResult
+runBenchmark(const SystemConfig &config,
+             const workload::BenchmarkProfile &profile,
+             std::uint64_t run_seed, const RunObserver *observer)
+{
+    SystemConfig run_config = config;
+    run_config.core.fetchQuanta = profile.ilpQuanta;
+    System system(run_config);
+    int n = system.numCores();
+
+    // Core 0 uses run_seed exactly so single-core runs reproduce the
+    // pre-CMP runner bit-for-bit; the other cores derive distinct,
+    // deterministic streams from it.
+    std::vector<workload::TraceGenerator> gens;
+    gens.reserve(static_cast<std::size_t>(n));
+    for (int i = 0; i < n; ++i) {
+        std::uint64_t seed =
+            i == 0 ? run_seed
+                   : splitmix64(run_seed +
+                                static_cast<std::uint64_t>(i));
+        gens.emplace_back(profile, seed);
+    }
 
     // Long functional warmup (paper methodology: caches warmed over
     // hundreds of millions of instructions), then a short timed
     // warmup to populate contention state.
-    if (functional_warm > 0)
-        system.functionalWarm(gen, functional_warm);
-    if (warm_instructions > 0)
-        system.core().run(gen, warm_instructions);
+    if (run_config.functionalWarm > 0) {
+        for (int i = 0; i < n; ++i)
+            system.functionalWarm(gens[static_cast<std::size_t>(i)],
+                                  run_config.functionalWarm, i);
+    }
+    runCores(system, gens, run_config.warmup,
+             run_config.coreQuantum);
 
     system.beginMeasurement();
     if (observer && observer->onMeasureBegin)
         observer->onMeasureBegin(system);
-    std::uint64_t cycles =
-        system.core().run(gen, measure_instructions);
+    std::uint64_t cycles = runCores(system, gens, run_config.measure,
+                                    run_config.coreQuantum);
     system.l2().syncStats();
     if (observer && observer->onMeasureEnd)
         observer->onMeasureEnd(system);
+
+    std::uint64_t measured_instructions =
+        run_config.measure * static_cast<std::uint64_t>(n);
 
     mem::L2Cache &l2 = system.l2();
     RunResult result;
     result.design = l2.designName();
     result.benchmark = profile.name;
     result.cycles = cycles;
-    result.instructions = measure_instructions;
+    result.instructions = measured_instructions;
     result.ipc = cycles > 0
-                     ? static_cast<double>(measure_instructions) /
+                     ? static_cast<double>(measured_instructions) /
                            static_cast<double>(cycles)
                      : 0.0;
 
     double instr_k =
-        static_cast<double>(measure_instructions) / 1000.0;
+        static_cast<double>(measured_instructions) / 1000.0;
     result.l2RequestsPer1k = l2.demandRequests.value() / instr_k;
     result.l2MissesPer1k = l2.misses.value() / instr_k;
     result.meanLookupLatency = l2.lookupLatency.mean();
@@ -175,7 +267,7 @@ runBenchmark(DesignKind kind, const workload::BenchmarkProfile &profile,
         100.0 * l2.predictableLookups.value() / lookups;
     result.banksPerRequest = l2.banksAccessed.mean();
 
-    const phys::Technology &tech = phys::tech45();
+    const phys::Technology &tech = system.technology();
     double seconds = static_cast<double>(cycles) * tech.cycleTime();
     result.networkPowerMw =
         seconds > 0.0 ? 1000.0 * l2.networkEnergy.value() / seconds
@@ -204,6 +296,20 @@ runBenchmark(DesignKind kind, const workload::BenchmarkProfile &profile,
     result.bankSamples = l2.bankLatency.count();
     result.dramSamples = l2.dramLatency.count();
     return result;
+}
+
+RunResult
+runBenchmark(DesignKind kind, const workload::BenchmarkProfile &profile,
+             std::uint64_t warm_instructions,
+             std::uint64_t measure_instructions, std::uint64_t run_seed,
+             std::uint64_t functional_warm, const RunObserver *observer)
+{
+    SystemConfig config;
+    config.design = designName(kind);
+    config.warmup = warm_instructions;
+    config.measure = measure_instructions;
+    config.functionalWarm = functional_warm;
+    return runBenchmark(config, profile, run_seed, observer);
 }
 
 } // namespace harness

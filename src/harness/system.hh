@@ -1,8 +1,9 @@
 /**
  * @file
- * System builder: assembles a complete simulated machine (OoO core,
- * split L1s, one of the six L2 designs, DRAM) for one benchmark run,
- * and the benchmark runner used by every table/figure experiment.
+ * System builder: assembles a complete simulated machine (N OoO
+ * cores with private split L1s, one registry-built L2 design, DRAM)
+ * from a declarative SystemConfig, and the benchmark runner used by
+ * every table/figure experiment.
  */
 
 #ifndef TLSIM_HARNESS_SYSTEM_HH
@@ -14,9 +15,11 @@
 #include <vector>
 
 #include "cpu/ooocore.hh"
+#include "harness/config.hh"
 #include "mem/dram.hh"
 #include "mem/l1cache.hh"
 #include "mem/l2cache.hh"
+#include "mem/request.hh"
 #include "sim/eventq.hh"
 #include "sim/stats.hh"
 #include "workload/generator.hh"
@@ -27,7 +30,13 @@ namespace tlsim
 namespace harness
 {
 
-/** The six cache designs compared in the paper. */
+/**
+ * The six cache designs compared in the paper.
+ *
+ * Compatibility shim: new code should pass registry names through
+ * SystemConfig::design; the enum survives so the repro experiment
+ * tables can enumerate the paper's designs.
+ */
 enum class DesignKind
 {
     Snuca2,
@@ -44,53 +53,89 @@ const std::vector<DesignKind> &allDesigns();
 /** The TLC family only (Figures 7 and 8). */
 const std::vector<DesignKind> &tlcFamily();
 
-/** Human-readable design name. */
+/**
+ * Registry name of a paper design (the compat shim's name table; the
+ * registered designs themselves are the source of truth).
+ */
 std::string designName(DesignKind kind);
 
 /**
- * One fully wired simulated machine.
+ * One fully wired simulated machine: cores() cores with private split
+ * L1s sharing one L2 design and one DRAM, all on one event queue.
  */
 class System
 {
   public:
+    /** Build the machine a SystemConfig describes. */
+    explicit System(const SystemConfig &config);
+
+    /** Compat: single-core machine with a paper design. */
     explicit System(DesignKind kind,
                     const cpu::CoreConfig &core_config = {});
+
     ~System();
 
     /** The machine's private event queue (one per System). */
     EventQueue &eventQueue() { return eq; }
     /** The L2 design under test. */
     mem::L2Cache &l2() { return *l2Cache; }
-    /** The out-of-order core driving the hierarchy. */
-    cpu::OoOCore &core() { return *cpuCore; }
-    /** Split L1 data cache. */
-    mem::L1Cache &l1d() { return *dcache; }
-    /** Split L1 instruction cache. */
-    mem::L1Cache &l1i() { return *icache; }
+    /** Number of cores. */
+    int numCores() const { return static_cast<int>(cores.size()); }
+    /** Core @p i (default: core 0, the only core in paper runs). */
+    cpu::OoOCore &core(int i = 0) { return *cores[checkIndex(i)].core; }
+    /** Core @p i's split L1 data cache. */
+    mem::L1Cache &l1d(int i = 0) { return *cores[checkIndex(i)].dcache; }
+    /** Core @p i's split L1 instruction cache. */
+    mem::L1Cache &l1i(int i = 0) { return *cores[checkIndex(i)].icache; }
     /** Backing DRAM model. */
     mem::Dram &dram() { return *dramModel; }
     /** Root of the machine's statistics tree. */
     stats::StatGroup &root() { return rootGroup; }
+    /** The technology node the machine was built for. */
+    const phys::Technology &technology() const { return tech; }
+    /** The config the machine was built from. */
+    const SystemConfig &config() const { return cfg; }
 
     /** Reset all statistics at a measurement boundary. */
     void beginMeasurement();
 
     /**
-     * Functionally warm the cache hierarchy over @p instructions
-     * trace instructions (no timing, no events). Mirrors the paper's
-     * long warmup phases at a fraction of the cost.
+     * Functionally warm core @p core_idx's L1s and the shared L2 over
+     * @p instructions trace instructions (no timing, no events).
+     * Mirrors the paper's long warmup phases at a fraction of the
+     * cost.
      */
     void functionalWarm(cpu::TraceSource &source,
-                        std::uint64_t instructions);
+                        std::uint64_t instructions, int core_idx = 0);
 
   private:
+    /** One core with its private split L1s. */
+    struct CoreSlot
+    {
+        /** Wrapper group "coreN" (multi-core machines only). */
+        std::unique_ptr<stats::StatGroup> group;
+        std::unique_ptr<mem::L1Cache> icache;
+        std::unique_ptr<mem::L1Cache> dcache;
+        std::unique_ptr<cpu::OoOCore> core;
+    };
+
+    int
+    checkIndex(int i) const
+    {
+        TLSIM_ASSERT(i >= 0 && i < static_cast<int>(cores.size()),
+                     "core index {} out of range (machine has {})", i,
+                     cores.size());
+        return i;
+    }
+
+    SystemConfig cfg;
+    phys::Technology tech;
     EventQueue eq;
     stats::StatGroup rootGroup;
+    mem::RequestIdSource requestIds;
     std::unique_ptr<mem::Dram> dramModel;
     std::unique_ptr<mem::L2Cache> l2Cache;
-    std::unique_ptr<mem::L1Cache> icache;
-    std::unique_ptr<mem::L1Cache> dcache;
-    std::unique_ptr<cpu::OoOCore> cpuCore;
+    std::vector<CoreSlot> cores;
 };
 
 /** Metrics extracted from the measured phase of one run. */
@@ -147,26 +192,31 @@ struct RunObserver
     std::function<void(System &)> onMeasureEnd;
 };
 
-/** Default functional (untimed) warmup budget, in instructions. */
-constexpr std::uint64_t defaultFunctionalWarmup = 200'000'000;
-/** Default timed warmup budget, in instructions. */
-constexpr std::uint64_t defaultWarmup = 3'000'000;
-/** Default measured budget, in instructions. */
-constexpr std::uint64_t defaultMeasure = 10'000'000;
-
 /**
- * Run one benchmark on one design: warm up, then measure.
+ * Run one benchmark on the machine @p config describes: functional
+ * warmup, timed warmup, then measurement, per the budgets in the
+ * config.
  *
- * @param kind Cache design to build.
- * @param profile Workload profile.
- * @param warm_instructions Instructions executed before measurement.
- * @param measure_instructions Instructions measured.
- * @param run_seed Extra seed entropy (same seed -> same trace for
+ * Every core executes an independent instance of the benchmark
+ * (multiprogrammed CMP): core 0's trace is seeded with @p run_seed
+ * exactly (so single-core runs reproduce pre-CMP results
+ * bit-identically) and cores 1..N-1 derive distinct streams from it.
+ * Multi-core execution time-multiplexes the cores in round-robin
+ * quanta of config.coreQuantum instructions.
+ *
+ * @param config The machine + budgets to run.
+ * @param profile Workload profile (its ilpQuanta overrides
+ *                config.core.fetchQuanta).
+ * @param run_seed Extra seed entropy (same seed -> same traces for
  *                 every design, enabling normalized comparisons).
- * @param functional_warm Untimed cache-warming instructions run
- *                        before the timed phases.
  * @param observer Optional hooks around the measured phase.
  */
+RunResult runBenchmark(const SystemConfig &config,
+                       const workload::BenchmarkProfile &profile,
+                       std::uint64_t run_seed = 0,
+                       const RunObserver *observer = nullptr);
+
+/** Compat wrapper: single-core run of a paper design. */
 RunResult runBenchmark(DesignKind kind,
                        const workload::BenchmarkProfile &profile,
                        std::uint64_t warm_instructions,

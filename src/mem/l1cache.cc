@@ -23,10 +23,12 @@ setsFor(std::uint64_t capacity, int ways)
 L1Cache::L1Cache(const std::string &name, EventQueue &eq,
                  stats::StatGroup *parent, L2Cache &l2_,
                  std::uint64_t capacity_bytes, int ways,
-                 Cycles hit_latency, int num_mshrs)
+                 Cycles hit_latency, int num_mshrs, int requester,
+                 RequestIdSource *ids)
     : stats::StatGroup(name, parent), eventq(eq), l2(l2_),
       array(setsFor(capacity_bytes, ways), ways),
       hitLatency(hit_latency), numMshrs(num_mshrs),
+      requesterId(requester), idSource(ids ? ids : &privateIds),
       accesses(this, "accesses", "L1 accesses"),
       hits(this, "hits", "L1 hits"),
       misses(this, "misses", "L1 misses sent to L2"),
@@ -38,9 +40,12 @@ L1Cache::L1Cache(const std::string &name, EventQueue &eq,
 {}
 
 void
-L1Cache::access(Addr block_addr, AccessType type, Tick now,
-                RespCallback cb)
+L1Cache::access(const MemRequest &req, RespCallback cb)
 {
+    const Addr block_addr = req.blockAddr;
+    const AccessType type = req.type;
+    const Tick now = req.issued;
+
     ++accesses;
     ++useCounter;
 
@@ -105,9 +110,11 @@ L1Cache::startMiss(Addr block_addr, AccessType type, Tick now)
     Tick depart = now + hitLatency;
     AccessType l2_type =
         type == AccessType::Store ? AccessType::Load : type;
-    eventq.scheduleFunc(depart, [this, block_addr, l2_type, depart]() {
-        l2.access(block_addr, l2_type, depart, [this, block_addr](
-                                                   Tick done) {
+    MemRequest l2_req{block_addr, l2_type, depart, requesterId,
+                      idSource->next()};
+    eventq.scheduleFunc(depart, [this, l2_req]() {
+        l2.access(l2_req, [this, block_addr = l2_req.blockAddr](
+                              Tick done) {
             handleFill(block_addr, done);
         });
     });
@@ -133,7 +140,8 @@ L1Cache::handleFill(Addr block_addr, Tick now)
     auto evicted = array.insert(block_addr, useCounter, mshr.storeMiss);
     if (evicted && evicted->dirty) {
         ++writebacks;
-        l2.access(evicted->blockAddr, AccessType::Store, now,
+        l2.access(MemRequest{evicted->blockAddr, AccessType::Store,
+                             now, requesterId},
                   [](Tick) {});
     }
 

@@ -44,22 +44,31 @@ class L1Cache : public stats::StatGroup
      * @param ways Associativity (default 2).
      * @param hit_latency Hit latency in cycles (default 3).
      * @param num_mshrs Outstanding misses supported (default 8).
+     * @param requester Core id stamped on requests sent to the L2.
+     * @param ids Shared id mint; null uses a private one (tests).
      */
     L1Cache(const std::string &name, EventQueue &eq,
             stats::StatGroup *parent, L2Cache &l2,
             std::uint64_t capacity_bytes = 64 * 1024, int ways = 2,
-            Cycles hit_latency = 3, int num_mshrs = 8);
+            Cycles hit_latency = 3, int num_mshrs = 8,
+            int requester = 0, RequestIdSource *ids = nullptr);
 
     /**
      * Access the cache at block granularity.
-     * @param block_addr Block address.
-     * @param type Access kind.
-     * @param now Issue tick.
+     * @param req The request (req.issued is the issue tick; req.id is
+     *            ignored — the L1 mints ids for L2-bound misses).
      * @param cb Fires when the data is available (loads) or the
      *           write is accepted (stores).
      */
-    void access(Addr block_addr, AccessType type, Tick now,
-                RespCallback cb);
+    void access(const MemRequest &req, RespCallback cb);
+
+    /** Compatibility overload wrapping the loose argument list. */
+    void
+    access(Addr block_addr, AccessType type, Tick now, RespCallback cb)
+    {
+        access(MemRequest{block_addr, type, now, requesterId},
+               std::move(cb));
+    }
 
     /**
      * Timing-free access for functional warmup: updates the tag
@@ -78,6 +87,9 @@ class L1Cache : public stats::StatGroup
     SetAssocArray array;
     Cycles hitLatency;
     int numMshrs;
+    int requesterId;
+    RequestIdSource *idSource;
+    RequestIdSource privateIds;
 
   public:
     stats::Scalar accesses;

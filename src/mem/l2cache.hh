@@ -81,13 +81,26 @@ class L2Cache : public stats::StatGroup
 
     /**
      * Access the L2.
-     * @param block_addr Block address (byte addr >> 6).
-     * @param type Access kind.
-     * @param now Issue tick.
+     * @param req The request; req.issued is the issue tick, req.id a
+     *            hierarchy-wide trace id (0 for writebacks), and
+     *            req.requester the originating core.
      * @param cb Fires when the access completes (see class comment).
      */
-    virtual void access(Addr block_addr, AccessType type, Tick now,
-                        RespCallback cb) = 0;
+    virtual void access(const MemRequest &req, RespCallback cb) = 0;
+
+    /**
+     * Compatibility overload for callers predating MemRequest
+     * plumbing (tests, examples): wraps the arguments and mints a
+     * trace id locally for demand requests.
+     */
+    void
+    access(Addr block_addr, AccessType type, Tick now, RespCallback cb)
+    {
+        MemRequest req{block_addr, type, now};
+        if (!isWrite(type))
+            req.id = compatIds.next();
+        access(req, std::move(cb));
+    }
 
     /** Total number of links in the design's network (for Fig 7). */
     virtual int linkCount() const = 0;
@@ -168,12 +181,10 @@ class L2Cache : public stats::StatGroup
         lastBreakdownValue = bd;
     }
 
-    /** Issue a fresh request id for causal linking in trace spans. */
-    std::uint64_t nextRequestId() { return ++requestSeq; }
-
   private:
     trace::LatencyBreakdown lastBreakdownValue;
-    std::uint64_t requestSeq = 0;
+    /** Id source backing the compatibility overload only. */
+    RequestIdSource compatIds;
 };
 
 } // namespace mem

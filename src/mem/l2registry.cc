@@ -1,0 +1,107 @@
+#include "mem/l2registry.hh"
+
+#include <sstream>
+#include <utility>
+
+#include "sim/logging.hh"
+
+namespace tlsim::l2
+{
+
+namespace
+{
+
+/** Function-local static sidesteps init-order races with Registrars. */
+std::map<std::string, Factory> &
+table()
+{
+    static std::map<std::string, Factory> designs;
+    return designs;
+}
+
+std::string
+knownList()
+{
+    std::ostringstream os;
+    bool first = true;
+    for (const auto &[name, factory] : table()) {
+        if (!first)
+            os << ", ";
+        os << name;
+        first = false;
+    }
+    return os.str();
+}
+
+} // namespace
+
+void
+Registry::registerDesign(const std::string &name, Factory factory)
+{
+    auto [it, inserted] = table().emplace(name, std::move(factory));
+    if (!inserted)
+        fatal("L2 design '{}' registered twice", name);
+}
+
+std::unique_ptr<mem::L2Cache>
+Registry::build(const std::string &name, const BuildContext &ctx)
+{
+    auto it = table().find(name);
+    if (it == table().end()) {
+        fatal("unknown L2 design '{}'; known designs: {}", name,
+              knownList());
+    }
+    return it->second(ctx);
+}
+
+bool
+Registry::known(const std::string &name)
+{
+    return table().count(name) != 0;
+}
+
+std::vector<std::string>
+Registry::names()
+{
+    std::vector<std::string> out;
+    for (const auto &[name, factory] : table())
+        out.push_back(name);
+    return out; // std::map iteration is already sorted
+}
+
+double
+optionOr(const DesignOptions &options, const std::string &key,
+         double fallback)
+{
+    auto it = options.find(key);
+    return it == options.end() ? fallback : it->second;
+}
+
+void
+rejectUnknownOptions(const std::string &design,
+                     const DesignOptions &options,
+                     const char *const *known)
+{
+    for (const auto &[key, value] : options) {
+        bool ok = false;
+        for (const char *const *k = known; *k; ++k) {
+            if (key == *k) {
+                ok = true;
+                break;
+            }
+        }
+        if (!ok) {
+            std::ostringstream accepted;
+            for (const char *const *k = known; *k; ++k) {
+                if (k != known)
+                    accepted << ", ";
+                accepted << *k;
+            }
+            fatal("L2 design '{}' does not accept option '{}' "
+                  "(accepted: {})",
+                  design, key, accepted.str());
+        }
+    }
+}
+
+} // namespace tlsim::l2

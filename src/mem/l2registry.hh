@@ -1,0 +1,122 @@
+/**
+ * @file
+ * Self-registering string -> factory registry for L2 cache designs.
+ *
+ * Each design registers itself from its own translation unit with a
+ * file-scope l2::Registrar, so adding a design requires zero edits to
+ * harness/ code:
+ *
+ * @code
+ *     namespace {
+ *     const tlsim::l2::Registrar registerSnuca{
+ *         "SNUCA2",
+ *         [](const tlsim::l2::BuildContext &ctx) {
+ *             return std::make_unique<SnucaCache>(...);
+ *         }};
+ *     } // namespace
+ * @endcode
+ *
+ * Designs live in static archives, so the harness links them with
+ * WHOLE_ARCHIVE (see src/harness/CMakeLists.txt) to keep the
+ * registrar objects from being dropped.
+ */
+
+#ifndef TLSIM_MEM_L2REGISTRY_HH
+#define TLSIM_MEM_L2REGISTRY_HH
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "mem/l2cache.hh"
+
+namespace tlsim
+{
+
+namespace phys
+{
+struct Technology;
+} // namespace phys
+
+namespace l2
+{
+
+/**
+ * Design-specific knobs as a flat name -> value map (e.g.
+ * "lineErrorRate": 1e-12, "ways": 8). Designs reject unknown keys so
+ * config typos fail loudly.
+ */
+using DesignOptions = std::map<std::string, double>;
+
+/** Everything a design factory needs to build an L2 instance. */
+struct BuildContext
+{
+    EventQueue &eq;
+    stats::StatGroup *parent;
+    mem::Dram &dram;
+    const phys::Technology &tech;
+    const DesignOptions &options;
+};
+
+/** Factory signature each design registers. */
+using Factory =
+    std::function<std::unique_ptr<mem::L2Cache>(const BuildContext &)>;
+
+/**
+ * The global design registry. All members are static; the backing map
+ * is a function-local static so registration from file-scope
+ * constructors is order-safe.
+ */
+class Registry
+{
+  public:
+    /**
+     * Register a factory under a design name. Called via Registrar at
+     * static-init time; duplicate names are a fatal error.
+     */
+    static void registerDesign(const std::string &name, Factory factory);
+
+    /**
+     * Build the named design. Unknown names are a fatal error that
+     * lists every registered design.
+     */
+    static std::unique_ptr<mem::L2Cache>
+    build(const std::string &name, const BuildContext &ctx);
+
+    /** True if a design with this name has been registered. */
+    static bool known(const std::string &name);
+
+    /** All registered design names, sorted. */
+    static std::vector<std::string> names();
+};
+
+/** File-scope helper: constructing one registers a design. */
+struct Registrar
+{
+    Registrar(const std::string &name, Factory factory)
+    {
+        Registry::registerDesign(name, std::move(factory));
+    }
+};
+
+/**
+ * Fetch an option by key, or the default when absent. Pair with
+ * rejectUnknownOptions so misspelled keys still fail.
+ */
+double optionOr(const DesignOptions &options, const std::string &key,
+                double fallback);
+
+/**
+ * Fatal error if @p options contains a key outside @p known
+ * (null-terminated array of option names the design accepts).
+ */
+void rejectUnknownOptions(const std::string &design,
+                          const DesignOptions &options,
+                          const char *const *known);
+
+} // namespace l2
+} // namespace tlsim
+
+#endif // TLSIM_MEM_L2REGISTRY_HH

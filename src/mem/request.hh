@@ -6,6 +6,7 @@
 #ifndef TLSIM_MEM_REQUEST_HH
 #define TLSIM_MEM_REQUEST_HH
 
+#include <cstdint>
 #include <functional>
 
 #include "sim/types.hh"
@@ -43,7 +44,13 @@ isWrite(AccessType type)
 /** Callback signature: invoked with the tick a request completed. */
 using RespCallback = std::function<void(Tick)>;
 
-/** One memory request flowing through the hierarchy. */
+/**
+ * One memory request flowing through the hierarchy. This is the real
+ * currency of the memory system: cores build one per access, L1s
+ * forward it (re-stamping issue time and minting an id on miss), and
+ * L2 designs use the id to link trace spans and the requester to
+ * attribute per-core stats.
+ */
 struct MemRequest
 {
     /** Block address (byte address >> blockShift). */
@@ -52,6 +59,24 @@ struct MemRequest
     AccessType type;
     /** Tick the request was issued. */
     Tick issued;
+    /** Core that originated the access (0 in single-core runs). */
+    int requester = 0;
+    /**
+     * Hierarchy-wide request id for trace correlation; 0 means
+     * "unassigned" (fire-and-forget writebacks never get one).
+     */
+    std::uint64_t id = 0;
+};
+
+/**
+ * Mints monotonically increasing request ids. One instance is shared
+ * by all L1s of a System so ids stay unique across cores.
+ */
+struct RequestIdSource
+{
+    std::uint64_t next() { return ++seq; }
+
+    std::uint64_t seq = 0;
 };
 
 } // namespace mem

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <memory>
 
+#include "mem/l2registry.hh"
 #include "sim/trace/debug.hh"
 #include "sim/trace/tracesink.hh"
 
@@ -77,9 +78,12 @@ DnucaCache::linkCount() const
 }
 
 void
-DnucaCache::access(Addr block_addr, mem::AccessType type, Tick now,
-                   mem::RespCallback cb)
+DnucaCache::access(const mem::MemRequest &l2_req, mem::RespCallback cb)
 {
+    const Addr block_addr = l2_req.blockAddr;
+    const mem::AccessType type = l2_req.type;
+    const Tick now = l2_req.issued;
+
     ++requests;
 
     if (type == mem::AccessType::Store) {
@@ -106,7 +110,7 @@ DnucaCache::access(Addr block_addr, mem::AccessType type, Tick now,
     ++demandRequests;
     auto loc = array.lookup(block_addr);
     std::uint32_t column = array.bankSetOf(block_addr);
-    std::uint64_t req = nextRequestId();
+    std::uint64_t req = l2_req.id;
     TLSIM_DPRINTF(L2, "t={} dnuca load block {} column {}", now,
                   block_addr, column);
 
@@ -422,6 +426,37 @@ DnucaCache::syncStats()
     linkBusyCycles = static_cast<double>(mesh.totalBusyCycles());
     networkEnergy = mesh.energyConsumed();
 }
+
+namespace
+{
+
+const char *const dnucaOptions[] = {"promoteOnHit",
+                                    "promotionDistance",
+                                    "insertionBank", "closeBanks",
+                                    "partialTagLatency", nullptr};
+
+const l2::Registrar registerDnuca{
+    "DNUCA", [](const l2::BuildContext &ctx) {
+        l2::rejectUnknownOptions("DNUCA", ctx.options, dnucaOptions);
+        DnucaConfig cfg;
+        cfg.promoteOnHit =
+            l2::optionOr(ctx.options, "promoteOnHit",
+                         cfg.promoteOnHit ? 1.0 : 0.0) != 0.0;
+        cfg.promotionDistance = static_cast<std::uint32_t>(
+            l2::optionOr(ctx.options, "promotionDistance",
+                         cfg.promotionDistance));
+        cfg.insertionBank = static_cast<std::uint32_t>(l2::optionOr(
+            ctx.options, "insertionBank", cfg.insertionBank));
+        cfg.closeBanks = static_cast<std::uint32_t>(
+            l2::optionOr(ctx.options, "closeBanks", cfg.closeBanks));
+        cfg.partialTagLatency = static_cast<Cycles>(
+            l2::optionOr(ctx.options, "partialTagLatency",
+                         static_cast<double>(cfg.partialTagLatency)));
+        return std::make_unique<DnucaCache>(ctx.eq, ctx.parent,
+                                            ctx.dram, ctx.tech, cfg);
+    }};
+
+} // namespace
 
 } // namespace nuca
 } // namespace tlsim

@@ -65,7 +65,8 @@ class DnucaCache : public mem::L2Cache
                mem::Dram &dram, const phys::Technology &tech,
                const DnucaConfig &config = DnucaConfig{});
 
-    void access(Addr block_addr, mem::AccessType type, Tick now,
+    using mem::L2Cache::access;
+    void access(const mem::MemRequest &req,
                 mem::RespCallback cb) override;
 
     void accessFunctional(Addr block_addr,

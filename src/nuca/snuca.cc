@@ -1,7 +1,9 @@
 #include "nuca/snuca.hh"
 
 #include <cmath>
+#include <memory>
 
+#include "mem/l2registry.hh"
 #include "sim/trace/debug.hh"
 #include "sim/trace/tracesink.hh"
 
@@ -83,9 +85,12 @@ SnucaCache::linkCount() const
 }
 
 void
-SnucaCache::access(Addr block_addr, mem::AccessType type, Tick now,
-                   mem::RespCallback cb)
+SnucaCache::access(const mem::MemRequest &l2_req, mem::RespCallback cb)
 {
+    const Addr block_addr = l2_req.blockAddr;
+    const mem::AccessType type = l2_req.type;
+    const Tick now = l2_req.issued;
+
     ++requests;
     int bank = bankOf(block_addr);
 
@@ -105,7 +110,7 @@ SnucaCache::access(Addr block_addr, mem::AccessType type, Tick now,
 
     ++demandRequests;
     banksAccessed.sample(1.0);
-    std::uint64_t req = nextRequestId();
+    std::uint64_t req = l2_req.id;
     TLSIM_DPRINTF(L2, "t={} snuca2 load block {} bank {}", now,
                   block_addr, bank);
     mesh.sendToBank(coordOf(bank), addrFlits, now,
@@ -275,6 +280,20 @@ SnucaCache::syncStats()
     linkBusyCycles = static_cast<double>(mesh.totalBusyCycles());
     networkEnergy = mesh.energyConsumed();
 }
+
+namespace
+{
+
+const char *const snucaOptions[] = {nullptr};
+
+const l2::Registrar registerSnuca{
+    "SNUCA2", [](const l2::BuildContext &ctx) {
+        l2::rejectUnknownOptions("SNUCA2", ctx.options, snucaOptions);
+        return std::make_unique<SnucaCache>(ctx.eq, ctx.parent,
+                                            ctx.dram, ctx.tech);
+    }};
+
+} // namespace
 
 } // namespace nuca
 } // namespace tlsim

@@ -48,7 +48,8 @@ class SnucaCache : public mem::L2Cache
                mem::Dram &dram, const phys::Technology &tech,
                const SnucaConfig &config = SnucaConfig{});
 
-    void access(Addr block_addr, mem::AccessType type, Tick now,
+    using mem::L2Cache::access;
+    void access(const mem::MemRequest &req,
                 mem::RespCallback cb) override;
 
     void accessFunctional(Addr block_addr,

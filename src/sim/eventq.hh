@@ -6,15 +6,18 @@
  * insertion sequence); ties are broken deterministically so runs are
  * exactly reproducible. Events may be one-shot lambdas (see
  * EventQueue::scheduleFunc) or long-lived Event subclasses that are
- * rescheduled repeatedly without allocation.
+ * rescheduled repeatedly without allocation. One-shot lambdas are
+ * pooled per queue: firing returns the LambdaEvent to a freelist
+ * instead of the allocator, so the hottest scheduling path
+ * (L1 miss -> scheduleFunc) stops calling new/delete.
  */
 
 #ifndef TLSIM_SIM_EVENTQ_HH
 #define TLSIM_SIM_EVENTQ_HH
 
+#include <algorithm>
 #include <cstdint>
 #include <functional>
-#include <queue>
 #include <vector>
 
 #include "sim/logging.hh"
@@ -35,7 +38,9 @@ inline void (*scheduleViolationHook)() = nullptr;
  * Base class for all schedulable events.
  *
  * An Event may be scheduled on at most one queue at a time. The queue
- * never owns the event; lifetime is the scheduler's responsibility.
+ * never owns the event; lifetime is the scheduler's responsibility —
+ * except for self-deleting events (LambdaEvent), which the queue
+ * machinery reclaims itself.
  */
 class Event
 {
@@ -67,6 +72,17 @@ class Event
     /** Scheduling priority; lower runs first within a tick. */
     int priority() const { return _priority; }
 
+    /**
+     * True for events the queue machinery owns and reclaims (exactly
+     * the LambdaEvents); lets the stale-entry pop path avoid a
+     * dynamic_cast.
+     */
+    bool selfDeleting() const { return _selfDeleting; }
+
+  protected:
+    /** Only LambdaEvent marks itself; see selfDeleting(). */
+    void markSelfDeleting() { _selfDeleting = true; }
+
   private:
     friend class EventQueue;
 
@@ -74,29 +90,46 @@ class Event
     std::uint64_t _sequence = 0;
     int _priority;
     bool _scheduled = false;
+    bool _selfDeleting = false;
 };
 
-/** One-shot event wrapping a callable; deletes itself after firing. */
+/**
+ * One-shot event wrapping a callable. After firing (or after its
+ * squashed heap entry is dropped) the event returns to its owning
+ * queue's freelist for reuse; events constructed outside
+ * EventQueue::scheduleFunc have no owner and delete themselves as
+ * before.
+ */
 class LambdaEvent : public Event
 {
   public:
     explicit LambdaEvent(std::function<void()> fn,
                          int priority = Event::defaultPriority)
         : Event(priority), func(std::move(fn))
-    {}
-
-    void
-    process() override
     {
-        auto fn = std::move(func);
-        delete this;
-        fn();
+        markSelfDeleting();
     }
+
+    void process() override; // defined after EventQueue
 
     const char *name() const override { return "LambdaEvent"; }
 
   private:
+    friend class EventQueue;
+
+    /** Refill a pooled event for its next one-shot use. */
+    void
+    rearm(std::function<void()> fn)
+    {
+        func = std::move(fn);
+        pooled = false;
+    }
+
     std::function<void()> func;
+    /** Owning queue whose freelist reclaims this event (or null). */
+    EventQueue *owner = nullptr;
+    /** True while sitting in the owner's freelist. */
+    bool pooled = false;
 };
 
 /**
@@ -109,6 +142,23 @@ class EventQueue
 {
   public:
     EventQueue() = default;
+
+    EventQueue(const EventQueue &) = delete;
+    EventQueue &operator=(const EventQueue &) = delete;
+
+    ~EventQueue()
+    {
+        // Reclaim machinery-owned lambdas still referenced by heap
+        // entries (descheduled or never fired), then free the pool.
+        // recycle() is idempotent per event via the pooled flag, so
+        // duplicate stale entries are harmless.
+        for (const Entry &entry : heap) {
+            if (entry.event->selfDeleting())
+                recycle(static_cast<LambdaEvent *>(entry.event));
+        }
+        for (LambdaEvent *ev : lambdaPool)
+            delete ev;
+    }
 
     /** Current simulated time in ticks. */
     Tick now() const { return curTick; }
@@ -140,7 +190,9 @@ class EventQueue
         event->_when = when;
         event->_sequence = nextSequence++;
         event->_scheduled = true;
-        heap.push(Entry{when, event->_priority, event->_sequence, event});
+        heap.push_back(
+            Entry{when, event->_priority, event->_sequence, event});
+        std::push_heap(heap.begin(), heap.end(), Later{});
         ++liveCount;
     }
 
@@ -170,15 +222,30 @@ class EventQueue
     }
 
     /**
-     * Convenience: schedule a self-deleting one-shot callable.
+     * Convenience: schedule a pooled one-shot callable.
      * @return The created event (owned by the queue machinery).
      */
     Event *
     scheduleFunc(Tick when, std::function<void()> fn,
                  int priority = Event::defaultPriority)
     {
-        auto *ev = new LambdaEvent(std::move(fn), priority);
-        schedule(ev, when);
+        LambdaEvent *ev;
+        if (!lambdaPool.empty()) {
+            ev = lambdaPool.back();
+            lambdaPool.pop_back();
+            ev->rearm(std::move(fn));
+            ev->_priority = priority;
+        } else {
+            ev = new LambdaEvent(std::move(fn), priority);
+            ev->owner = this;
+            ++lambdaAllocatedCount;
+        }
+        try {
+            schedule(ev, when);
+        } catch (...) {
+            recycle(ev); // past-tick panic must not strand the event
+            throw;
+        }
         return ev;
     }
 
@@ -192,17 +259,17 @@ class EventQueue
     {
         std::uint64_t processed = 0;
         while (!heap.empty()) {
-            const Entry &top = heap.top();
+            const Entry &top = heap.front();
             Event *ev = top.event;
             if (isStale(top)) {
-                heap.pop();
-                maybeDeleteSquashed(ev);
+                popTop();
+                maybeReclaimSquashed(ev);
                 continue;
             }
             if (top.when > limit)
                 break;
             curTick = top.when;
-            heap.pop();
+            popTop();
             ev->_scheduled = false;
             --liveCount;
             if (trace::observed()) [[unlikely]]
@@ -236,11 +303,11 @@ class EventQueue
     nextTick()
     {
         while (!heap.empty()) {
-            const Entry &top = heap.top();
+            const Entry &top = heap.front();
             Event *ev = top.event;
             if (isStale(top)) {
-                heap.pop();
-                maybeDeleteSquashed(ev);
+                popTop();
+                maybeReclaimSquashed(ev);
                 continue;
             }
             return top.when;
@@ -248,7 +315,26 @@ class EventQueue
         return MaxTick;
     }
 
+    /** LambdaEvents ever allocated by scheduleFunc on this queue. */
+    std::size_t lambdaAllocated() const { return lambdaAllocatedCount; }
+
+    /** LambdaEvents currently resting in the freelist. */
+    std::size_t lambdaPoolSize() const { return lambdaPool.size(); }
+
+    /**
+     * Machinery-owned LambdaEvents in flight (scheduled or squashed
+     * but not yet reclaimed). Zero once the queue has drained — the
+     * eventq test asserts exactly that.
+     */
+    std::size_t
+    lambdaOutstanding() const
+    {
+        return lambdaAllocatedCount - lambdaPool.size();
+    }
+
   private:
+    friend class LambdaEvent;
+
     struct Entry
     {
         Tick when;
@@ -269,6 +355,14 @@ class EventQueue
             return a.sequence > b.sequence;
         }
     };
+
+    /** Drop the top heap entry. */
+    void
+    popTop()
+    {
+        std::pop_heap(heap.begin(), heap.end(), Later{});
+        heap.pop_back();
+    }
 
     /**
      * Observation bodies live out of the schedule/dispatch hot paths
@@ -301,21 +395,50 @@ class EventQueue
                entry.event->_sequence != entry.sequence;
     }
 
+    /** Return a machinery-owned lambda to its owner's freelist. */
     static void
-    maybeDeleteSquashed(Event *ev)
+    recycle(LambdaEvent *ev)
     {
-        // LambdaEvents delete themselves in process(); if one was
-        // descheduled instead, reclaim it when its entry is dropped.
-        // Only safe when the event is not live elsewhere.
-        if (!ev->_scheduled && dynamic_cast<LambdaEvent *>(ev))
+        if (ev->pooled)
+            return;
+        if (!ev->owner) {
             delete ev;
+            return;
+        }
+        ev->pooled = true;
+        ev->func = nullptr;
+        ev->owner->lambdaPool.push_back(ev);
     }
 
-    std::priority_queue<Entry, std::vector<Entry>, Later> heap;
+    /**
+     * Reclaim a LambdaEvent whose squashed entry was just dropped.
+     * Only safe when the event is not live elsewhere (rescheduled
+     * events carry a newer sequence and stay alive).
+     */
+    static void
+    maybeReclaimSquashed(Event *ev)
+    {
+        if (!ev->_scheduled && ev->selfDeleting())
+            recycle(static_cast<LambdaEvent *>(ev));
+    }
+
+    std::vector<Entry> heap;
+    std::vector<LambdaEvent *> lambdaPool;
     Tick curTick = 0;
     std::uint64_t nextSequence = 0;
     std::size_t liveCount = 0;
+    std::size_t lambdaAllocatedCount = 0;
 };
+
+inline void
+LambdaEvent::process()
+{
+    // Move the callable out first: it may reschedule, and a pooled
+    // event can be handed out again from inside fn().
+    auto fn = std::move(func);
+    EventQueue::recycle(this);
+    fn();
+}
 
 } // namespace tlsim
 

@@ -2,7 +2,9 @@
 
 #include <algorithm>
 #include <cmath>
+#include <memory>
 
+#include "mem/l2registry.hh"
 #include "sim/trace/debug.hh"
 #include "sim/trace/tracesink.hh"
 
@@ -163,11 +165,13 @@ TlcCache::collectResponses(int group, std::vector<MemberTiming> &members,
 }
 
 void
-TlcCache::access(Addr block_addr, mem::AccessType type, Tick now,
-                 mem::RespCallback cb)
+TlcCache::access(const mem::MemRequest &l2_req, mem::RespCallback cb)
 {
+    const Addr block_addr = l2_req.blockAddr;
+    const Tick now = l2_req.issued;
+
     ++requests;
-    if (type == mem::AccessType::Store) {
+    if (l2_req.type == mem::AccessType::Store) {
         banksAccessed.sample(static_cast<double>(cfg.banksPerBlock));
         handleWrite(block_addr, now, false);
         cb(now);
@@ -175,7 +179,7 @@ TlcCache::access(Addr block_addr, mem::AccessType type, Tick now,
     }
     ++demandRequests;
     banksAccessed.sample(static_cast<double>(cfg.banksPerBlock));
-    handleLoad(block_addr, now, std::move(cb));
+    handleLoad(block_addr, now, l2_req.id, std::move(cb));
 }
 
 void
@@ -194,12 +198,12 @@ TlcCache::accessFunctional(Addr block_addr, mem::AccessType type)
 }
 
 void
-TlcCache::handleLoad(Addr block_addr, Tick now, mem::RespCallback cb)
+TlcCache::handleLoad(Addr block_addr, Tick now, std::uint64_t req,
+                     mem::RespCallback cb)
 {
     int group = groupOf(block_addr);
     auto &array = arrays[static_cast<std::size_t>(group)];
     Addr frame = frameAddr(block_addr);
-    std::uint64_t req = nextRequestId();
 
     auto way = array.lookup(frame);
     int ptag_matches =
@@ -404,6 +408,53 @@ TlcCache::syncStats()
         busy += link.busyCycles();
     linkBusyCycles = static_cast<double>(busy);
 }
+
+namespace
+{
+
+const char *const tlcOptions[] = {"lineErrorRate", "ways",
+                                  "partialTagBits", "linesPerPair",
+                                  "downBits", "upBits", nullptr};
+
+/** Apply registry option overrides onto a TLC family preset. */
+TlcConfig
+applyTlcOptions(TlcConfig cfg, const l2::BuildContext &ctx)
+{
+    l2::rejectUnknownOptions(cfg.name, ctx.options, tlcOptions);
+    cfg.lineErrorRate =
+        l2::optionOr(ctx.options, "lineErrorRate", cfg.lineErrorRate);
+    cfg.ways = static_cast<int>(
+        l2::optionOr(ctx.options, "ways", cfg.ways));
+    cfg.partialTagBits = static_cast<int>(l2::optionOr(
+        ctx.options, "partialTagBits", cfg.partialTagBits));
+    cfg.linesPerPair = static_cast<int>(
+        l2::optionOr(ctx.options, "linesPerPair", cfg.linesPerPair));
+    cfg.downBits = static_cast<int>(
+        l2::optionOr(ctx.options, "downBits", cfg.downBits));
+    cfg.upBits = static_cast<int>(
+        l2::optionOr(ctx.options, "upBits", cfg.upBits));
+    return cfg;
+}
+
+l2::Factory
+tlcFactory(TlcConfig (*preset)())
+{
+    return [preset](const l2::BuildContext &ctx) {
+        return std::make_unique<TlcCache>(
+            ctx.eq, ctx.parent, ctx.dram, ctx.tech,
+            applyTlcOptions(preset(), ctx));
+    };
+}
+
+const l2::Registrar registerTlcBase{"TLC", tlcFactory(baseTlc)};
+const l2::Registrar registerTlcOpt1000{"TLCopt1000",
+                                       tlcFactory(tlcOpt1000)};
+const l2::Registrar registerTlcOpt500{"TLCopt500",
+                                      tlcFactory(tlcOpt500)};
+const l2::Registrar registerTlcOpt350{"TLCopt350",
+                                      tlcFactory(tlcOpt350)};
+
+} // namespace
 
 } // namespace tlc
 } // namespace tlsim

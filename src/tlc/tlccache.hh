@@ -40,7 +40,8 @@ class TlcCache : public mem::L2Cache
     TlcCache(EventQueue &eq, stats::StatGroup *parent, mem::Dram &dram,
              const phys::Technology &tech, const TlcConfig &config);
 
-    void access(Addr block_addr, mem::AccessType type, Tick now,
+    using mem::L2Cache::access;
+    void access(const mem::MemRequest &req,
                 mem::RespCallback cb) override;
 
     void accessFunctional(Addr block_addr,
@@ -120,8 +121,9 @@ class TlcCache : public mem::L2Cache
         trace::LatencyBreakdown parts;
     };
 
-    /** Handle a demand read. */
-    void handleLoad(Addr block_addr, Tick now, mem::RespCallback cb);
+    /** Handle a demand read (req is the trace-correlation id). */
+    void handleLoad(Addr block_addr, Tick now, std::uint64_t req,
+                    mem::RespCallback cb);
 
     /** Handle a store / writeback (also used for fills). */
     void handleWrite(Addr block_addr, Tick now, bool is_fill);

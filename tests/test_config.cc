@@ -1,0 +1,236 @@
+/**
+ * @file
+ * Tests for the declarative SystemConfig (JSON round-trip, content
+ * hashing), the L2 design registry, and multi-core determinism.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+
+#include "harness/config.hh"
+#include "harness/sweep/resultcache.hh"
+#include "harness/sweep/sweep.hh"
+#include "harness/system.hh"
+#include "mem/dram.hh"
+#include "mem/l2registry.hh"
+#include "phys/technology.hh"
+#include "sim/logging.hh"
+#include "workload/profile.hh"
+
+using namespace tlsim;
+using namespace tlsim::harness;
+
+namespace
+{
+
+/** A config exercising every non-default field class. */
+SystemConfig
+fancyConfig()
+{
+    SystemConfig config;
+    config.cores = 4;
+    config.design = "DNUCA";
+    config.technologyNm = 32;
+    config.core.robEntries = 96;
+    config.l1i.bytes = 32 * 1024;
+    config.l1d.ways = 4;
+    config.l1d.mshrs = 16;
+    config.l2Options["promoteOnHit"] = 0;
+    config.l2Options["insertionBank"] = 3;
+    config.functionalWarm = 1'000'000;
+    config.warmup = 10'000;
+    config.measure = 50'000;
+    config.coreQuantum = 5'000;
+    return config;
+}
+
+} // namespace
+
+TEST(SystemConfig, JsonRoundTripIsIdentity)
+{
+    SystemConfig original = fancyConfig();
+    std::string json = configToJson(original);
+    SystemConfig loaded = loadConfigJson(json);
+    EXPECT_EQ(loaded, original);
+    // Save -> load -> save is byte-stable.
+    EXPECT_EQ(configToJson(loaded), json);
+    // And the identity survives the trip.
+    EXPECT_EQ(loaded.contentHash(), original.contentHash());
+    EXPECT_EQ(loaded.canonicalKey(), original.canonicalKey());
+}
+
+TEST(SystemConfig, DefaultRoundTripsToo)
+{
+    SystemConfig config;
+    EXPECT_EQ(loadConfigJson(configToJson(config)), config);
+    EXPECT_TRUE(config.isDefaultMachine());
+}
+
+TEST(SystemConfig, ContentHashSeesEveryField)
+{
+    SystemConfig base;
+    std::uint64_t h = base.contentHash();
+
+    auto mutated = [&](auto &&change) {
+        SystemConfig config;
+        change(config);
+        return config.contentHash();
+    };
+    EXPECT_NE(h, mutated([](SystemConfig &c) { c.cores = 2; }));
+    EXPECT_NE(h, mutated([](SystemConfig &c) { c.design = "SNUCA2"; }));
+    EXPECT_NE(h, mutated([](SystemConfig &c) { c.technologyNm = 65; }));
+    EXPECT_NE(h,
+              mutated([](SystemConfig &c) { c.core.robEntries += 1; }));
+    EXPECT_NE(h, mutated([](SystemConfig &c) { c.l1i.ways = 4; }));
+    EXPECT_NE(h, mutated([](SystemConfig &c) { c.l1d.bytes *= 2; }));
+    EXPECT_NE(h, mutated([](SystemConfig &c) {
+        c.l2Options["lineErrorRate"] = 1e-9;
+    }));
+    EXPECT_NE(h, mutated([](SystemConfig &c) { c.warmup += 1; }));
+    EXPECT_NE(h, mutated([](SystemConfig &c) { c.measure += 1; }));
+    EXPECT_NE(h, mutated([](SystemConfig &c) {
+        c.functionalWarm += 1;
+    }));
+    EXPECT_NE(h, mutated([](SystemConfig &c) { c.coreQuantum += 1; }));
+
+    // Stable across equal values.
+    EXPECT_EQ(h, SystemConfig{}.contentHash());
+}
+
+TEST(SystemConfig, MachineHashIgnoresDesignAndBudgets)
+{
+    SystemConfig base;
+    SystemConfig other_design = base;
+    other_design.design = "DNUCA";
+    other_design.warmup += 7;
+    other_design.measure += 7;
+    other_design.functionalWarm += 7;
+    EXPECT_EQ(base.machineHash(), other_design.machineHash());
+    EXPECT_TRUE(other_design.isDefaultMachine());
+
+    SystemConfig cmp = base;
+    cmp.cores = 4;
+    EXPECT_NE(base.machineHash(), cmp.machineHash());
+    EXPECT_FALSE(cmp.isDefaultMachine());
+}
+
+TEST(SystemConfig, LoadRejectsMalformedInput)
+{
+    EXPECT_THROW(loadConfigJson("not json"), FatalError);
+    EXPECT_THROW(loadConfigJson("{}"), FatalError);
+    EXPECT_THROW(loadConfigJson(R"({"schema": "bogus"})"), FatalError);
+
+    SystemConfig zero_cores;
+    zero_cores.cores = 0;
+    EXPECT_THROW(loadConfigJson(configToJson(zero_cores)), FatalError);
+}
+
+TEST(Registry, KnowsThePaperDesigns)
+{
+    for (DesignKind kind : allDesigns())
+        EXPECT_TRUE(l2::Registry::known(designName(kind)))
+            << designName(kind);
+    EXPECT_FALSE(l2::Registry::known("NOPE"));
+    EXPECT_EQ(l2::Registry::names().size(), 6u);
+}
+
+TEST(Registry, RejectsUnknownNamesListingKnownOnes)
+{
+    EventQueue eq;
+    stats::StatGroup root("root");
+    mem::Dram dram(eq, &root);
+    l2::DesignOptions options;
+    l2::BuildContext ctx{eq, &root, dram, phys::tech45(), options};
+    try {
+        l2::Registry::build("NOPE", ctx);
+        FAIL() << "build() accepted an unknown design name";
+    } catch (const FatalError &err) {
+        std::string message = err.what();
+        EXPECT_NE(message.find("NOPE"), std::string::npos) << message;
+        // The error teaches the valid names.
+        EXPECT_NE(message.find("TLC"), std::string::npos) << message;
+        EXPECT_NE(message.find("DNUCA"), std::string::npos) << message;
+    }
+}
+
+TEST(Registry, RejectsUnknownDesignOptions)
+{
+    EventQueue eq;
+    stats::StatGroup root("root");
+    mem::Dram dram(eq, &root);
+    l2::DesignOptions options{{"definitelyNotAKnob", 1.0}};
+    l2::BuildContext ctx{eq, &root, dram, phys::tech45(), options};
+    EXPECT_THROW(l2::Registry::build("TLC", ctx), FatalError);
+}
+
+TEST(MultiCore, SystemBuildsPerCoreStats)
+{
+    SystemConfig config;
+    config.cores = 2;
+    System system(config);
+    EXPECT_EQ(system.numCores(), 2);
+    EXPECT_EQ(system.core(0).coreId(), 0);
+    EXPECT_EQ(system.core(1).coreId(), 1);
+
+    std::ostringstream os;
+    system.root().dumpStatsJson(os);
+    std::string json = os.str();
+    EXPECT_NE(json.find("\"core0\""), std::string::npos);
+    EXPECT_NE(json.find("\"core1\""), std::string::npos);
+}
+
+TEST(MultiCore, SameSeedSameCycles)
+{
+    SystemConfig config;
+    config.cores = 2;
+    config.functionalWarm = 50'000;
+    config.warmup = 2'000;
+    config.measure = 5'000;
+    const auto &profile = workload::profileByName("gcc");
+
+    RunResult a = runBenchmark(config, profile, /*run_seed=*/7);
+    RunResult b = runBenchmark(config, profile, /*run_seed=*/7);
+    EXPECT_EQ(a.cycles, b.cycles);
+    EXPECT_EQ(a.instructions, b.instructions);
+    EXPECT_GT(a.cycles, 0u);
+    // Both cores' measured instructions count.
+    EXPECT_EQ(a.instructions, config.measure * 2);
+
+    RunResult c = runBenchmark(config, profile, /*run_seed=*/8);
+    EXPECT_NE(a.cycles, c.cycles);
+}
+
+TEST(MultiCore, SweepParallelMatchesSerial)
+{
+    using namespace tlsim::harness::sweep;
+
+    std::vector<RunSpec> specs;
+    for (const char *bench : {"gcc", "mcf", "apache"}) {
+        RunSpec spec;
+        spec.benchmark = bench;
+        spec.config.cores = 2;
+        spec.config.design = "TLC";
+        spec.config.functionalWarm = 50'000;
+        spec.config.warmup = 2'000;
+        spec.config.measure = 5'000;
+        specs.push_back(spec);
+    }
+
+    SweepOptions serial;
+    serial.jobs = 1;
+    serial.verbose = false;
+    auto serial_outcome = runSweep(specs, serial);
+
+    SweepOptions parallel = serial;
+    parallel.jobs = 4;
+    auto parallel_outcome = runSweep(specs, parallel);
+
+    for (std::size_t i = 0; i < specs.size(); ++i) {
+        std::ostringstream a, b;
+        writeResultJson(a, specs[i], serial_outcome.results[i]);
+        writeResultJson(b, specs[i], parallel_outcome.results[i]);
+        EXPECT_EQ(a.str(), b.str()) << specKey(specs[i]);
+    }
+}

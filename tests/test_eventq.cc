@@ -218,6 +218,59 @@ TEST(EventQueue, SizeTracksLiveEvents)
     EXPECT_EQ(eq.size(), 0u);
 }
 
+TEST(EventQueue, LambdaPoolReusesEvents)
+{
+    EventQueue eq;
+    int fired = 0;
+    // Sequential one-shots: after the first fires, every later
+    // scheduleFunc should reuse the pooled event instead of
+    // allocating a new one.
+    for (int i = 0; i < 100; ++i) {
+        eq.scheduleFunc(static_cast<Tick>(i + 1),
+                        [&fired]() { ++fired; });
+        eq.run();
+    }
+    EXPECT_EQ(fired, 100);
+    EXPECT_EQ(eq.lambdaAllocated(), 1u);
+    EXPECT_EQ(eq.lambdaPoolSize(), 1u);
+    EXPECT_EQ(eq.lambdaOutstanding(), 0u);
+}
+
+TEST(EventQueue, LambdaPoolDrainsEmptyAfterRun)
+{
+    EventQueue eq;
+    int fired = 0;
+    // Burst of overlapping one-shots, including events scheduled from
+    // inside handlers (the L1-miss pattern).
+    for (int i = 0; i < 50; ++i) {
+        eq.scheduleFunc(static_cast<Tick>(i % 7 + 1), [&]() {
+            ++fired;
+            if (fired < 200)
+                eq.scheduleFunc(eq.now() + 3, [&]() { ++fired; });
+        });
+    }
+    eq.run();
+    EXPECT_TRUE(eq.empty());
+    // Every machinery-owned lambda must be back in the freelist.
+    EXPECT_EQ(eq.lambdaOutstanding(), 0u);
+    EXPECT_GT(eq.lambdaAllocated(), 0u);
+    EXPECT_LT(eq.lambdaAllocated(), 51u);
+}
+
+TEST(EventQueue, SquashedLambdaReturnsToPool)
+{
+    EventQueue eq;
+    int fired = 0;
+    Event *ev = eq.scheduleFunc(10, [&fired]() { ++fired; });
+    eq.deschedule(ev);
+    eq.scheduleFunc(20, [&fired]() { fired += 10; });
+    eq.run();
+    // The squashed lambda never fires but is reclaimed when its stale
+    // heap entry pops.
+    EXPECT_EQ(fired, 10);
+    EXPECT_EQ(eq.lambdaOutstanding(), 0u);
+}
+
 TEST(EventQueue, ManyEventsStressOrdering)
 {
     EventQueue eq;

@@ -27,17 +27,18 @@ class FakeL2 : public L2Cache
         : L2Cache("fake_l2", eq, parent, dram), latency(latency)
     {}
 
+    using L2Cache::access;
+
     void
-    access(Addr block_addr, AccessType type, Tick now,
-           RespCallback cb) override
+    access(const MemRequest &req, RespCallback cb) override
     {
         ++requests;
-        seen.push_back({block_addr, type, now});
-        if (type == AccessType::Store) {
-            cb(now);
+        seen.push_back(req);
+        if (req.type == AccessType::Store) {
+            cb(req.issued);
             return;
         }
-        Tick done = now + latency;
+        Tick done = req.issued + latency;
         eventq.scheduleFunc(done,
                             [cb = std::move(cb), done]() { cb(done); });
     }

@@ -29,14 +29,16 @@ class FixedL2 : public L2Cache
         : L2Cache("fixed_l2", eq, parent, dram), latency(latency)
     {}
 
+    using L2Cache::access;
+
     void
-    access(Addr, AccessType type, Tick now, RespCallback cb) override
+    access(const MemRequest &req, RespCallback cb) override
     {
-        if (type == AccessType::Store) {
-            cb(now);
+        if (req.type == AccessType::Store) {
+            cb(req.issued);
             return;
         }
-        Tick done = now + latency;
+        Tick done = req.issued + latency;
         eventq.scheduleFunc(done,
                             [cb = std::move(cb), done]() { cb(done); });
     }

@@ -25,20 +25,20 @@ namespace
 {
 
 /** Tiny budgets so a 24-run sweep finishes in well under a second. */
-repro::Budgets
-testBudgets()
+SystemConfig
+testConfig()
 {
-    repro::Budgets budgets;
-    budgets.warmup = 5'000;
-    budgets.measure = 20'000;
-    budgets.functionalWarm = 200'000;
-    return budgets;
+    SystemConfig config;
+    config.warmup = 5'000;
+    config.measure = 20'000;
+    config.functionalWarm = 200'000;
+    return config;
 }
 
 std::vector<RunSpec>
 table6Specs()
 {
-    return repro::findExperiment("table6")->specs(testBudgets());
+    return repro::findExperiment("table6")->specs(testConfig());
 }
 
 std::string
@@ -62,32 +62,60 @@ freshDir(const std::string &name)
 TEST(RunSpec, SpecKeyNamesEveryField)
 {
     RunSpec spec;
-    spec.design = DesignKind::Dnuca;
+    spec.config.design = "DNUCA";
     spec.benchmark = "gcc";
-    spec.warmup = 1;
-    spec.measure = 2;
-    spec.functionalWarm = 3;
+    spec.config.warmup = 1;
+    spec.config.measure = 2;
+    spec.config.functionalWarm = 3;
     spec.baseSeed = 4;
+    // Default machine: the key matches the pre-SystemConfig format
+    // exactly, so historical cache entries stay addressable.
     EXPECT_EQ(specKey(spec), "DNUCA/gcc/w1/m2/f3/s4");
+}
+
+TEST(RunSpec, SpecKeySuffixesNonDefaultMachines)
+{
+    RunSpec spec = makeRunSpec(DesignKind::Dnuca, "gcc");
+    std::string default_key = specKey(spec);
+    EXPECT_EQ(default_key.find("/c"), std::string::npos);
+
+    RunSpec cmp = spec;
+    cmp.config.cores = 4;
+    std::string cmp_key = specKey(cmp);
+    EXPECT_NE(cmp_key.find("/c"), std::string::npos);
+    EXPECT_NE(cmp_key, default_key);
+
+    // The suffix depends on the machine, not design or budgets: a
+    // different budget moves the key's w/m/f fields, not the hash.
+    RunSpec cmp_budget = cmp;
+    cmp_budget.config.measure += 1;
+    std::string suffix = cmp_key.substr(cmp_key.rfind("/c"));
+    EXPECT_EQ(specKey(cmp_budget).substr(specKey(cmp_budget).rfind(
+                  "/c")),
+              suffix);
 }
 
 TEST(RunSpec, TraceSeedIgnoresDesignOnly)
 {
-    RunSpec tlc;
-    tlc.design = DesignKind::TlcBase;
-    tlc.benchmark = "mcf";
+    RunSpec tlc = makeRunSpec(DesignKind::TlcBase, "mcf");
     RunSpec dnuca = tlc;
-    dnuca.design = DesignKind::Dnuca;
+    dnuca.config.design = "DNUCA";
     // Same trace across designs: normalized comparisons replay the
     // bit-identical reference stream on every design.
     EXPECT_EQ(traceSeed(tlc), traceSeed(dnuca));
+
+    // Same trace across machines, too: a 4-core CMP replays the same
+    // per-core reference stream as core 0 of a single-core run.
+    RunSpec cmp = tlc;
+    cmp.config.cores = 4;
+    EXPECT_EQ(traceSeed(tlc), traceSeed(cmp));
 
     RunSpec other_bench = tlc;
     other_bench.benchmark = "gcc";
     EXPECT_NE(traceSeed(tlc), traceSeed(other_bench));
 
     RunSpec other_budget = tlc;
-    other_budget.measure += 1;
+    other_budget.config.measure += 1;
     EXPECT_NE(traceSeed(tlc), traceSeed(other_budget));
 
     RunSpec other_seed = tlc;
@@ -102,8 +130,17 @@ TEST(RunSpec, CacheKeyIsContentAddressed)
     RunSpec b = a;
     EXPECT_EQ(cacheKey(a), cacheKey(b));
     EXPECT_EQ(cacheKey(a).size(), 16u);
-    b.design = DesignKind::Dnuca;
+    b.config.design = "DNUCA";
     EXPECT_NE(cacheKey(a), cacheKey(b));
+
+    // Machine changes (core count, L1 geometry, l2 options) move the
+    // cache key as well — the hash suffix feeds the content address.
+    RunSpec c = a;
+    c.config.cores = 2;
+    EXPECT_NE(cacheKey(a), cacheKey(c));
+    RunSpec d = a;
+    d.config.l2Options["lineErrorRate"] = 1e-9;
+    EXPECT_NE(cacheKey(a), cacheKey(d));
 }
 
 TEST(ResultCache, RoundTripsEveryField)
