@@ -48,6 +48,11 @@ struct CliOptions
     std::optional<std::uint64_t> warmup;
     std::optional<std::uint64_t> measure;
     std::optional<std::uint64_t> functionalWarm;
+    /** Fault-injection overrides; any of them enables the fault model. */
+    std::optional<double> faultBer;
+    std::optional<std::string> faultDeadLinks;
+    std::optional<std::string> faultStuckBanks;
+    bool faultMargin = false;
 
     /**
      * Effective base machine: defaults (or --config file), then
@@ -69,6 +74,22 @@ struct CliOptions
             config.measure = *measure;
         if (functionalWarm)
             config.functionalWarm = *functionalWarm;
+        if (faultBer) {
+            config.fault.enabled = true;
+            config.fault.bitErrorRate = *faultBer;
+        }
+        if (faultDeadLinks) {
+            config.fault.enabled = true;
+            config.fault.deadLinks = *faultDeadLinks;
+        }
+        if (faultStuckBanks) {
+            config.fault.enabled = true;
+            config.fault.stuckBanks = *faultStuckBanks;
+        }
+        if (faultMargin) {
+            config.fault.enabled = true;
+            config.fault.deriveFromMargin = true;
+        }
         return config;
     }
 };
@@ -96,6 +117,14 @@ printUsage(std::ostream &os)
           "  --measure N         measured instructions per run\n"
           "  --funcwarm N        functional-warmup instructions per "
           "run\n"
+          "  --fault-ber P       per-link transient bit-error "
+          "probability (enables fault injection)\n"
+          "  --fault-dead-links S  dead-link schedule 'id@tick,...' "
+          "(enables fault injection)\n"
+          "  --fault-stuck-banks S stuck-bank schedule 'id@tick,...' "
+          "(enables fault injection)\n"
+          "  --fault-margin      scale bit errors by each line's "
+          "signal-integrity margin\n"
           "  --quiet             suppress per-run progress\n"
           "  --debug-flags F,F   debug output (see --jobs 1)\n"
           "  --trace-out FILE    Chrome trace (forces --jobs 1)\n"
@@ -170,6 +199,16 @@ parseArgs(int argc, char **argv, CliOptions &opts)
         } else if (matchValue(argc, argv, i, "--funcwarm", value)) {
             opts.functionalWarm =
                 std::strtoull(value.c_str(), nullptr, 10);
+        } else if (matchValue(argc, argv, i, "--fault-ber", value)) {
+            opts.faultBer = std::strtod(value.c_str(), nullptr);
+        } else if (matchValue(argc, argv, i, "--fault-dead-links",
+                              value)) {
+            opts.faultDeadLinks = value;
+        } else if (matchValue(argc, argv, i, "--fault-stuck-banks",
+                              value)) {
+            opts.faultStuckBanks = value;
+        } else if (std::strcmp(argv[i], "--fault-margin") == 0) {
+            opts.faultMargin = true;
         } else {
             std::cerr << "tlsim_repro: unknown argument '" << argv[i]
                       << "'\n\n";
@@ -284,9 +323,20 @@ reproMain(int argc, char **argv)
     if (!opts.quiet) {
         std::cerr << "sweep: " << outcome.executed << " simulated, "
                   << outcome.cached << " from cache";
+        if (outcome.failed > 0)
+            std::cerr << ", " << outcome.failed << " FAILED";
         if (!cache_dir.empty())
             std::cerr << " (" << cache_dir << ")";
         std::cerr << std::endl;
+    }
+    if (outcome.failed > 0) {
+        std::cerr << "tlsim_repro: " << outcome.failed
+                  << " run(s) failed:\n";
+        for (std::size_t i = 0; i < specs.size(); ++i) {
+            if (!outcome.results[i].error.empty())
+                std::cerr << "  " << harness::sweep::specKey(specs[i])
+                          << ": " << outcome.results[i].error << "\n";
+        }
     }
 
     std::map<std::pair<std::string, std::string>, std::size_t> index;
@@ -327,7 +377,7 @@ reproMain(int argc, char **argv)
             inform("trace written: {} ({} events)", opts.traceOut,
                    sink->eventCount());
     }
-    return 0;
+    return outcome.failed > 0 ? 1 : 0;
 }
 
 int

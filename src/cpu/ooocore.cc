@@ -69,6 +69,15 @@ OoOCore::waitForCompletion(std::uint64_t idx)
     std::size_t slot = idx % rob;
     while (pending[slot]) {
         Tick next = eventq.nextTick();
+        if (watchdog) {
+            // Quiescent queue with requests outstanding, or an
+            // over-age request: dump diagnostics and panic (caught
+            // by crash-isolated sweeps) instead of asserting blind.
+            if (next == MaxTick)
+                watchdog->onQuiescent(eventq.now());
+            else
+                watchdog->checkAge(eventq.now());
+        }
         TLSIM_ASSERT(next != MaxTick,
                      "deadlock: waiting on instruction {} with an "
                      "empty event queue", idx);
@@ -155,6 +164,12 @@ OoOCore::stepIFetch(const TraceRecord &record)
                   });
     while (!resolved) {
         Tick next = eventq.nextTick();
+        if (watchdog) {
+            if (next == MaxTick)
+                watchdog->onQuiescent(eventq.now());
+            else
+                watchdog->checkAge(eventq.now());
+        }
         TLSIM_ASSERT(next != MaxTick,
                      "deadlock: ifetch miss never completed");
         eventq.advanceTo(next);

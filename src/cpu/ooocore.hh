@@ -90,6 +90,13 @@ class OoOCore : public stats::StatGroup
         fetchQ = std::max(fetchQ, eventq.now() * 4);
     }
 
+    /**
+     * Attach the deadlock watchdog: the core's wait loops poll it,
+     * turning a hang (lost completion or over-age request) into a
+     * diagnostic dump + catchable panic.
+     */
+    void setWatchdog(fault::Watchdog *wd) { watchdog = wd; }
+
   private:
     /** Quarter-cycle ticks: 4 per clock cycle (one per pipeline slot). */
     using QTick = std::uint64_t;
@@ -140,6 +147,7 @@ class OoOCore : public stats::StatGroup
     QTick lastRetireQ = 0;
     QTick ifetchReadyQ = 0;
     std::uint64_t retiredCount = 0;
+    fault::Watchdog *watchdog = nullptr;
 };
 
 } // namespace cpu

@@ -263,6 +263,15 @@ objectField(const JsonValue &obj, const std::string &name)
     return v;
 }
 
+bool
+boolField(const JsonValue &obj, const std::string &name)
+{
+    const JsonValue &v = requireField(obj, name);
+    if (v.kind != JsonValue::Kind::Bool)
+        fatal("config field '{}' must be a boolean", name);
+    return v.boolean;
+}
+
 L1Config
 readL1(const JsonValue &obj, const std::string &name)
 {
@@ -306,6 +315,21 @@ SystemConfig::canonicalKey() const
         os << key << ":" << formatDouble(value) << ",";
     os << ";functionalWarm=" << functionalWarm << ";warmup=" << warmup
        << ";measure=" << measure << ";coreQuantum=" << coreQuantum;
+    // The fault section only appears when faults are configured, so
+    // every pre-fault-subsystem key (and hash) is preserved verbatim.
+    if (fault != fault::FaultConfig{}) {
+        os << ";fault.enabled=" << fault.enabled
+           << ";fault.bitErrorRate=" << formatDouble(fault.bitErrorRate)
+           << ";fault.deriveFromMargin=" << fault.deriveFromMargin
+           << ";fault.deadLinks=" << fault.deadLinks
+           << ";fault.stuckBanks=" << fault.stuckBanks
+           << ";fault.maxRetries=" << fault.maxRetries
+           << ";fault.retryBackoff=" << fault.retryBackoff
+           << ";fault.requestTimeout=" << fault.requestTimeout
+           << ";fault.crcCycles=" << fault.crcCycles
+           << ";fault.watchdogMaxAge=" << fault.watchdogMaxAge
+           << ";fault.seed=" << fault.seed;
+    }
     return os.str();
 }
 
@@ -368,7 +392,21 @@ saveConfigJson(const SystemConfig &config, std::ostream &os)
     os << "  \"functionalWarm\": " << config.functionalWarm << ",\n";
     os << "  \"warmup\": " << config.warmup << ",\n";
     os << "  \"measure\": " << config.measure << ",\n";
-    os << "  \"coreQuantum\": " << config.coreQuantum << "\n";
+    os << "  \"coreQuantum\": " << config.coreQuantum << ",\n";
+    const fault::FaultConfig &f = config.fault;
+    os << "  \"fault\": {\"enabled\": "
+       << (f.enabled ? "true" : "false")
+       << ", \"bitErrorRate\": " << formatDouble(f.bitErrorRate)
+       << ", \"deriveFromMargin\": "
+       << (f.deriveFromMargin ? "true" : "false")
+       << ", \"deadLinks\": \"" << f.deadLinks << "\""
+       << ", \"stuckBanks\": \"" << f.stuckBanks << "\""
+       << ", \"maxRetries\": " << f.maxRetries
+       << ", \"retryBackoff\": " << f.retryBackoff
+       << ", \"requestTimeout\": " << f.requestTimeout
+       << ", \"crcCycles\": " << f.crcCycles
+       << ", \"watchdogMaxAge\": " << f.watchdogMaxAge
+       << ", \"seed\": " << f.seed << "}\n";
     os << "}\n";
 }
 
@@ -419,6 +457,25 @@ loadConfigJson(const std::string &text)
     config.warmup = u64Field(root, "warmup");
     config.measure = u64Field(root, "measure");
     config.coreQuantum = u64Field(root, "coreQuantum");
+
+    // Optional so configs written before the fault subsystem load.
+    auto fault_it = root.object.find("fault");
+    if (fault_it != root.object.end()) {
+        const JsonValue &f = fault_it->second;
+        if (f.kind != JsonValue::Kind::Object)
+            fatal("config field 'fault' must be an object");
+        config.fault.enabled = boolField(f, "enabled");
+        config.fault.bitErrorRate = numberField(f, "bitErrorRate");
+        config.fault.deriveFromMargin = boolField(f, "deriveFromMargin");
+        config.fault.deadLinks = stringField(f, "deadLinks");
+        config.fault.stuckBanks = stringField(f, "stuckBanks");
+        config.fault.maxRetries = intField(f, "maxRetries");
+        config.fault.retryBackoff = u64Field(f, "retryBackoff");
+        config.fault.requestTimeout = u64Field(f, "requestTimeout");
+        config.fault.crcCycles = u64Field(f, "crcCycles");
+        config.fault.watchdogMaxAge = u64Field(f, "watchdogMaxAge");
+        config.fault.seed = u64Field(f, "seed");
+    }
 
     if (config.cores < 1)
         fatal("config requires at least one core (got {})",

@@ -23,6 +23,7 @@
 #include "cpu/ooocore.hh"
 #include "mem/l2registry.hh"
 #include "phys/technology.hh"
+#include "sim/fault/faultconfig.hh"
 
 namespace tlsim
 {
@@ -93,6 +94,14 @@ struct SystemConfig
      * [instructions]; irrelevant for single-core runs.
      */
     std::uint64_t coreQuantum = 20'000;
+
+    /**
+     * Fault injection and resilience protocol. Disabled by default;
+     * a default-constructed FaultConfig leaves canonicalKey() and
+     * every hash bit-identical to configs predating the fault
+     * subsystem, so existing cache entries stay valid.
+     */
+    fault::FaultConfig fault;
 
     bool operator==(const SystemConfig &) const = default;
 

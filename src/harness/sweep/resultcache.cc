@@ -63,6 +63,22 @@ constexpr U64Field u64Fields[] = {
 };
 
 /**
+ * Fields added after tlsim-runresult-v1 entries already existed in
+ * the wild: always written, defaulted (not rejected) when an older
+ * entry lacks them.
+ */
+constexpr DoubleField optionalDoubleFields[] = {
+    {"linkRetries", &RunResult::linkRetries},
+    {"linkTimeouts", &RunResult::linkTimeouts},
+    {"degradedRequests", &RunResult::degradedRequests},
+    {"faultMean", &RunResult::faultMean},
+};
+
+constexpr U64Field optionalU64Fields[] = {
+    {"faultSamples", &RunResult::faultSamples},
+};
+
+/**
  * Scan one flat JSON object ({"key": "string"|number, ...}) into raw
  * key -> token text. Tolerant of whitespace, intolerant of nesting —
  * exactly what writeResultJson emits.
@@ -156,6 +172,9 @@ writeResultJson(std::ostream &os, const RunSpec &spec,
     for (const auto &field : u64Fields)
         os << "  \"" << field.name << "\": " << result.*field.ptr
            << ",\n";
+    for (const auto &field : optionalU64Fields)
+        os << "  \"" << field.name << "\": " << result.*field.ptr
+           << ",\n";
     std::ostringstream nums;
     nums.precision(std::numeric_limits<double>::max_digits10);
     bool first = true;
@@ -165,6 +184,9 @@ writeResultJson(std::ostream &os, const RunSpec &spec,
         first = false;
         nums << "  \"" << field.name << "\": " << result.*field.ptr;
     }
+    for (const auto &field : optionalDoubleFields)
+        nums << ",\n  \"" << field.name
+             << "\": " << result.*field.ptr;
     os << nums.str() << "\n}\n";
 }
 
@@ -206,6 +228,15 @@ readResultJson(const std::string &text, const RunSpec &spec)
             return std::nullopt;
         result.*field.ptr = std::strtod(value->c_str(), nullptr);
     }
+    for (const auto &field : optionalU64Fields) {
+        if (const std::string *value = get(field.name))
+            result.*field.ptr =
+                std::strtoull(value->c_str(), nullptr, 10);
+    }
+    for (const auto &field : optionalDoubleFields) {
+        if (const std::string *value = get(field.name))
+            result.*field.ptr = std::strtod(value->c_str(), nullptr);
+    }
     return result;
 }
 
@@ -227,12 +258,22 @@ ResultCache::filePath(const RunSpec &spec) const
 std::optional<RunResult>
 ResultCache::load(const RunSpec &spec) const
 {
-    std::ifstream in(filePath(spec));
+    std::string path = filePath(spec);
+    std::ifstream in(path);
     if (!in.is_open())
         return std::nullopt;
     std::ostringstream text;
     text << in.rdbuf();
-    return readResultJson(text.str(), spec);
+    auto result = readResultJson(text.str(), spec);
+    if (!result) {
+        // Corrupt or truncated entry (interrupted writer, disk
+        // trouble, stale schema): treat as a miss and discard it so
+        // the re-run can store a clean replacement.
+        warn("discarding corrupt result cache entry '{}'", path);
+        std::error_code ec;
+        std::filesystem::remove(path, ec);
+    }
+    return result;
 }
 
 void

@@ -42,6 +42,34 @@ executeSpec(const RunSpec &spec, bool capture_stats,
     return result;
 }
 
+/**
+ * Crash-isolated wrapper: a panic or exception escaping one run is
+ * captured into the result's error field instead of tearing down the
+ * whole sweep (and the other workers' finished runs with it).
+ */
+RunResult
+executeSpecIsolated(const RunSpec &spec, bool capture_stats,
+                    std::string &stats_json)
+{
+    try {
+        return executeSpec(spec, capture_stats, stats_json);
+    } catch (const std::exception &e) {
+        RunResult failed;
+        failed.design = spec.config.design;
+        failed.benchmark = spec.benchmark;
+        failed.error = e.what();
+        stats_json.clear(); // partial stats are meaningless
+        return failed;
+    } catch (...) {
+        RunResult failed;
+        failed.design = spec.config.design;
+        failed.benchmark = spec.benchmark;
+        failed.error = "unknown error";
+        stats_json.clear();
+        return failed;
+    }
+}
+
 } // namespace
 
 void
@@ -92,6 +120,7 @@ runSweep(const std::vector<RunSpec> &specs, const SweepOptions &options)
     std::atomic<std::size_t> next{0};
     std::mutex io_mutex; // guards progress output and cache stores
     std::atomic<std::size_t> done{0};
+    std::atomic<std::size_t> failures{0};
 
     auto worker = [&] {
         while (true) {
@@ -107,22 +136,31 @@ runSweep(const std::vector<RunSpec> &specs, const SweepOptions &options)
                           << "/" << specs.size() << "] running "
                           << specKey(spec) << "..." << std::endl;
             }
-            RunResult result = executeSpec(spec, options.captureStats,
-                                           outcome.statsJson[i]);
+            RunResult result = executeSpecIsolated(
+                spec, options.captureStats, outcome.statsJson[i]);
             auto elapsed =
                 std::chrono::duration_cast<std::chrono::milliseconds>(
                     std::chrono::steady_clock::now() - start);
             std::lock_guard<std::mutex> lock(io_mutex);
-            if (cache)
+            // Only successes are memoized: a cached failure would
+            // poison every later sweep with a stale crash.
+            if (cache && result.error.empty())
                 cache->store(spec, result);
+            if (!result.error.empty())
+                ++failures;
+            bool failed_run = !result.error.empty();
+            std::string error_text = result.error;
             outcome.results[i] = std::move(result);
             ++done;
             if (options.verbose) {
                 std::cerr << "  [" << done.load() + outcome.cached
-                          << "/" << specs.size() << "] finished "
+                          << "/" << specs.size() << "] "
+                          << (failed_run ? "FAILED " : "finished ")
                           << specKey(spec) << " ("
-                          << elapsed.count() / 1000.0 << " s)"
-                          << std::endl;
+                          << elapsed.count() / 1000.0 << " s)";
+                if (failed_run)
+                    std::cerr << ": " << error_text;
+                std::cerr << std::endl;
             }
         }
     };
@@ -139,6 +177,7 @@ runSweep(const std::vector<RunSpec> &specs, const SweepOptions &options)
     }
 
     outcome.executed = misses.size();
+    outcome.failed = failures.load();
     return outcome;
 }
 

@@ -63,6 +63,12 @@ struct SweepOutcome
     std::size_t executed = 0;
     /** Runs resolved from the result cache. */
     std::size_t cached = 0;
+    /**
+     * Runs that crashed (panic/exception escaped the simulation).
+     * Each failed run's RunResult carries the message in its error
+     * field; failed runs are never stored in the result cache.
+     */
+    std::size_t failed = 0;
 };
 
 /**

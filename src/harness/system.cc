@@ -64,16 +64,27 @@ configFor(DesignKind kind, const cpu::CoreConfig &core_config)
 
 } // namespace
 
-System::System(const SystemConfig &config)
+System::System(const SystemConfig &config,
+               std::uint64_t fault_stream_seed)
     : cfg(config), tech(technologyForNode(config.technologyNm)),
       rootGroup("system")
 {
     TLSIM_ASSERT(cfg.cores >= 1, "machine needs at least one core");
     dramModel = std::make_unique<mem::Dram>(eq, &rootGroup);
+    if (cfg.fault.enabled) {
+        faultInjector = std::make_unique<fault::Injector>(
+            cfg.fault, fault_stream_seed);
+        faultWatchdog = std::make_unique<fault::Watchdog>(
+            cfg.fault.watchdogMaxAge);
+    }
     l2Cache = l2::Registry::build(
         cfg.design,
         l2::BuildContext{eq, &rootGroup, *dramModel, tech,
-                         cfg.l2Options});
+                         cfg.l2Options, faultInjector.get()});
+    if (faultWatchdog) {
+        faultWatchdog->setDiagnostic(
+            [this] { l2Cache->dumpFaultDiagnostic(); });
+    }
 
     cores.reserve(static_cast<std::size_t>(cfg.cores));
     for (int i = 0; i < cfg.cores; ++i) {
@@ -95,6 +106,15 @@ System::System(const SystemConfig &config)
             cfg.l1d.hitLatency, cfg.l1d.mshrs, i, &requestIds);
         slot.core = std::make_unique<cpu::OoOCore>(
             eq, parent, *slot.icache, *slot.dcache, cfg.core, i);
+        if (faultWatchdog) {
+            slot.icache->setWatchdog(
+                faultWatchdog.get(),
+                faultWatchdog->addClient(csprintf("core{}.l1i", i)));
+            slot.dcache->setWatchdog(
+                faultWatchdog.get(),
+                faultWatchdog->addClient(csprintf("core{}.l1d", i)));
+            slot.core->setWatchdog(faultWatchdog.get());
+        }
         cores.push_back(std::move(slot));
     }
 }
@@ -205,7 +225,9 @@ runBenchmark(const SystemConfig &config,
 {
     SystemConfig run_config = config;
     run_config.core.fetchQuanta = profile.ilpQuanta;
-    System system(run_config);
+    // The fault stream reuses the run seed: the fault schedule is a
+    // pure function of the spec, identical serial vs parallel.
+    System system(run_config, run_seed);
     int n = system.numCores();
 
     // Core 0 uses run_seed exactly so single-core runs reproduce the
@@ -295,6 +317,12 @@ runBenchmark(const SystemConfig &config,
     result.wireSamples = l2.wireLatency.count();
     result.bankSamples = l2.bankLatency.count();
     result.dramSamples = l2.dramLatency.count();
+
+    result.linkRetries = l2.linkRetries.value();
+    result.linkTimeouts = l2.linkTimeouts.value();
+    result.degradedRequests = l2.degradedRequests.value();
+    result.faultMean = l2.faultLatency.mean();
+    result.faultSamples = l2.faultLatency.count();
     return result;
 }
 

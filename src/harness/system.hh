@@ -21,6 +21,8 @@
 #include "mem/l2cache.hh"
 #include "mem/request.hh"
 #include "sim/eventq.hh"
+#include "sim/fault/injector.hh"
+#include "sim/fault/watchdog.hh"
 #include "sim/stats.hh"
 #include "workload/generator.hh"
 #include "workload/profile.hh"
@@ -66,8 +68,15 @@ std::string designName(DesignKind kind);
 class System
 {
   public:
-    /** Build the machine a SystemConfig describes. */
-    explicit System(const SystemConfig &config);
+    /**
+     * Build the machine a SystemConfig describes.
+     * @param fault_stream_seed Per-run entropy for the fault RNG
+     *        stream (the sweep passes the run's trace seed so fault
+     *        schedules are a pure function of the RunSpec); unused
+     *        when config.fault is disabled.
+     */
+    explicit System(const SystemConfig &config,
+                    std::uint64_t fault_stream_seed = 0);
 
     /** Compat: single-core machine with a paper design. */
     explicit System(DesignKind kind,
@@ -95,6 +104,10 @@ class System
     const phys::Technology &technology() const { return tech; }
     /** The config the machine was built from. */
     const SystemConfig &config() const { return cfg; }
+    /** Fault injector, or null when fault injection is disabled. */
+    fault::Injector *injector() { return faultInjector.get(); }
+    /** Deadlock watchdog, or null when fault injection is disabled. */
+    fault::Watchdog *watchdog() { return faultWatchdog.get(); }
 
     /** Reset all statistics at a measurement boundary. */
     void beginMeasurement();
@@ -134,6 +147,10 @@ class System
     stats::StatGroup rootGroup;
     mem::RequestIdSource requestIds;
     std::unique_ptr<mem::Dram> dramModel;
+    // Declared before the L2 and cores so it outlives them (the L2
+    // holds a raw Injector pointer, L1s/cores a Watchdog pointer).
+    std::unique_ptr<fault::Injector> faultInjector;
+    std::unique_ptr<fault::Watchdog> faultWatchdog;
     std::unique_ptr<mem::L2Cache> l2Cache;
     std::vector<CoreSlot> cores;
 };
@@ -143,6 +160,14 @@ struct RunResult
 {
     std::string design;
     std::string benchmark;
+
+    /**
+     * Empty on success; otherwise the panic/exception message of a
+     * failed run (crash-isolated sweeps complete with the failure
+     * recorded here). Never serialized to the result cache — failed
+     * runs are never cached.
+     */
+    std::string error;
 
     std::uint64_t cycles = 0;
     std::uint64_t instructions = 0;
@@ -176,6 +201,14 @@ struct RunResult
     std::uint64_t wireSamples = 0;
     std::uint64_t bankSamples = 0;
     std::uint64_t dramSamples = 0;
+
+    // Resilience-protocol counters and the fault latency-breakdown
+    // bucket (all zero unless fault injection is enabled).
+    double linkRetries = 0.0;
+    double linkTimeouts = 0.0;
+    double degradedRequests = 0.0;
+    double faultMean = 0.0;
+    std::uint64_t faultSamples = 0;
 };
 
 /**

@@ -83,6 +83,8 @@ L1Cache::access(const MemRequest &req, RespCallback cb)
     mshr.storeMiss = isWrite(type);
     mshr.started = now;
     mshr.targets.push_back(std::move(cb));
+    if (watchdog)
+        watchdog->onIssue(watchdogClient, block_addr, now);
     startMiss(block_addr, type, now);
 }
 
@@ -127,6 +129,8 @@ L1Cache::handleFill(Addr block_addr, Tick now)
     TLSIM_ASSERT(it != mshrs.end(), "fill without MSHR");
     Mshr mshr = std::move(it->second);
     mshrs.erase(it);
+    if (watchdog)
+        watchdog->onComplete(watchdogClient, block_addr);
 
     TLSIM_DPRINTF(L1, "t={} {} fill block {} ({} targets)", now,
                   groupName(), block_addr, mshr.targets.size());

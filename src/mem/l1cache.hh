@@ -16,6 +16,7 @@
 #include "mem/request.hh"
 #include "mem/setassoc.hh"
 #include "sim/eventq.hh"
+#include "sim/fault/watchdog.hh"
 #include "sim/stats.hh"
 
 namespace tlsim
@@ -81,6 +82,17 @@ class L1Cache : public stats::StatGroup
     int outstandingMisses() const { return static_cast<int>(
         mshrs.size()); }
 
+    /**
+     * Attach the deadlock watchdog: every MSHR allocation reports an
+     * outstanding request under @p client_id, every fill completes it.
+     */
+    void
+    setWatchdog(fault::Watchdog *wd, int client_id)
+    {
+        watchdog = wd;
+        watchdogClient = client_id;
+    }
+
   private:
     EventQueue &eventq;
     L2Cache &l2;
@@ -121,6 +133,8 @@ class L1Cache : public stats::StatGroup
     std::uint64_t useCounter = 0;
     std::unordered_map<Addr, Mshr> mshrs;
     std::deque<WaitingAccess> waitQueue;
+    fault::Watchdog *watchdog = nullptr;
+    int watchdogClient = -1;
 };
 
 } // namespace mem

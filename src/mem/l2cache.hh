@@ -74,7 +74,20 @@ class L2Cache : public stats::StatGroup
                       "critical path", 0.0, 600.0, 60),
           dramLatency(this, "lat_dram",
                       "per-request cycles from miss determination "
-                      "to data back on chip", 0.0, 600.0, 60)
+                      "to data back on chip", 0.0, 600.0, 60),
+          linkRetries(this, "link_retries",
+                      "response messages resent after a CRC-detected "
+                      "link error"),
+          linkTimeouts(this, "link_timeouts",
+                       "requests that exhausted their retry budget "
+                       "or timed out and degraded to memory"),
+          degradedRequests(this, "degraded_requests",
+                           "requests served over a degraded path "
+                           "(dead link fallback or detour)"),
+          faultLatency(this, "lat_fault",
+                       "per-request cycles spent on resilience: CRC "
+                       "checks, retries, degraded-path detours",
+                       0.0, 600.0, 60)
     {}
 
     ~L2Cache() override = default;
@@ -158,6 +171,18 @@ class L2Cache : public stats::StatGroup
     stats::Distribution bankLatency;
     stats::Distribution dramLatency;
 
+    /** Resilience-protocol counters (zero unless faults injected). */
+    stats::Scalar linkRetries;
+    stats::Scalar linkTimeouts;
+    stats::Scalar degradedRequests;
+    stats::Distribution faultLatency;
+
+    /**
+     * Dump design-internal congestion state (link busy horizons,
+     * per-bank queue depths) for the deadlock watchdog's diagnostic.
+     */
+    virtual void dumpFaultDiagnostic() const {}
+
     /**
      * Breakdown of the most recently completed demand request; the
      * components sum to that request's end-to-end latency (see
@@ -178,6 +203,7 @@ class L2Cache : public stats::StatGroup
         wireLatency.sample(bd.wire);
         bankLatency.sample(bd.bank);
         dramLatency.sample(bd.dram);
+        faultLatency.sample(bd.fault);
         lastBreakdownValue = bd;
     }
 

@@ -40,6 +40,11 @@ namespace phys
 struct Technology;
 } // namespace phys
 
+namespace fault
+{
+class Injector;
+} // namespace fault
+
 namespace l2
 {
 
@@ -58,6 +63,8 @@ struct BuildContext
     mem::Dram &dram;
     const phys::Technology &tech;
     const DesignOptions &options;
+    /** Per-run fault source; null when fault injection is disabled. */
+    fault::Injector *injector = nullptr;
 };
 
 /** Factory signature each design registers. */

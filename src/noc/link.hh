@@ -14,6 +14,7 @@
 #include <algorithm>
 #include <cstdint>
 
+#include "sim/logging.hh"
 #include "sim/types.hh"
 
 namespace tlsim
@@ -31,12 +32,19 @@ class Link
 
     /**
      * Reserve the link for @p duration cycles at or after @p now.
+     * Zero-duration reservations and Tick overflow are simulator
+     * bugs and panic.
      * @return The tick at which the reservation actually starts.
      */
     Tick
     reserve(Tick now, Cycles duration)
     {
+        TLSIM_ASSERT(duration > 0, "zero-duration link reservation");
         Tick start = std::max(now, busyUntil);
+        TLSIM_ASSERT(start <= MaxTick - duration,
+                     "link reservation overflows Tick (start {}, "
+                     "duration {})",
+                     start, duration);
         busyUntil = start + duration;
         busy += duration;
         ++messages;
@@ -45,6 +53,17 @@ class Link
 
     /** Tick until which the link is occupied. */
     Tick freeAt() const { return busyUntil; }
+
+    /**
+     * Drop any queued occupancy beyond @p now. Used when a fault
+     * kills a link: in-flight reservations are abandoned and the
+     * fallback path must not inherit the dead link's backlog.
+     */
+    void
+    resetHorizon(Tick now)
+    {
+        busyUntil = std::min(busyUntil, now);
+    }
 
     /** Total cycles this link has been occupied. */
     std::uint64_t busyCycles() const { return busy; }

@@ -104,14 +104,27 @@ Mesh::hopsTo(Coord bank) const
 }
 
 Tick
+Mesh::traverseLink(int li, int flits, Tick head)
+{
+    if (injector && injector->linkDead(li, head)) {
+        // Adaptive detour around the dead link: ride the neighboring
+        // column/row and back, costing one extra hop each way. The
+        // detour links' contention is folded into the doubled latency
+        // rather than reserved individually.
+        ++degradedHops;
+        return head + 2 * config.hopLatency;
+    }
+    head = links[static_cast<std::size_t>(li)].reserve(
+        head, static_cast<Cycles>(flits));
+    return head + config.hopLatency;
+}
+
+Tick
 Mesh::routeMessage(const std::vector<int> &path, int flits, Tick now)
 {
     Tick head = now;
-    for (int li : path) {
-        head = links[static_cast<std::size_t>(li)].reserve(
-            head, static_cast<Cycles>(flits));
-        head += config.hopLatency;
-    }
+    for (int li : path)
+        head = traverseLink(li, flits, head);
     energy += static_cast<double>(flits) *
               static_cast<double>(path.size()) * flitHopEnergyJ;
     // Tail flit trails the head by the serialization time.
@@ -187,9 +200,7 @@ Mesh::multicastToColumn(int col, const std::vector<int> &rows,
     int hops = 0;
     while (cur.col != col) {
         Coord next{0, cur.col + (col > cur.col ? 1 : -1)};
-        head = links[static_cast<std::size_t>(linkIndex(cur, next))]
-                   .reserve(head, static_cast<Cycles>(flits));
-        head += config.hopLatency;
+        head = traverseLink(linkIndex(cur, next), flits, head);
         cur = next;
         ++hops;
     }
@@ -199,9 +210,7 @@ Mesh::multicastToColumn(int col, const std::vector<int> &rows,
     arrival[0] = head;
     while (cur.row != far_row) {
         Coord next{cur.row + 1, cur.col};
-        head = links[static_cast<std::size_t>(linkIndex(cur, next))]
-                   .reserve(head, static_cast<Cycles>(flits));
-        head += config.hopLatency;
+        head = traverseLink(linkIndex(cur, next), flits, head);
         cur = next;
         ++hops;
         arrival[static_cast<std::size_t>(cur.row)] = head;

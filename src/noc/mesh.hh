@@ -20,6 +20,7 @@
 
 #include "noc/link.hh"
 #include "phys/rcwire.hh"
+#include "sim/fault/injector.hh"
 #include "phys/switchmodel.hh"
 #include "phys/technology.hh"
 #include "sim/eventq.hh"
@@ -134,6 +135,16 @@ class Mesh
 
     const MeshConfig &configuration() const { return config; }
 
+    /**
+     * Attach a fault injector. A dead mesh link is detoured around
+     * adaptively (one extra hop each way), costing 2x hopLatency per
+     * affected traversal; null disables fault handling.
+     */
+    void setInjector(fault::Injector *inj) { injector = inj; }
+
+    /** Hops that detoured around a dead link so far. */
+    std::uint64_t degradedHopCount() const { return degradedHops; }
+
   private:
     /**
      * Route a message over a given number of hops, reserving each
@@ -144,6 +155,13 @@ class Mesh
 
     /** Link index for the hop between two adjacent nodes. */
     int linkIndex(Coord from, Coord to);
+
+    /**
+     * Move a message head across one link, detouring around it when
+     * the injector declares it dead.
+     * @return Head-arrival tick at the far switch.
+     */
+    Tick traverseLink(int li, int flits, Tick head);
 
     /** Build the XY route (list of link indices) between two nodes. */
     std::vector<int> buildRoute(Coord from, Coord to);
@@ -163,6 +181,8 @@ class Mesh
     Link ejectLink;
     double energy = 0.0;
     double flitHopEnergyJ = 0.0;
+    fault::Injector *injector = nullptr;
+    std::uint64_t degradedHops = 0;
 };
 
 } // namespace noc

@@ -27,7 +27,8 @@ dataFlits(int flit_bits)
 
 DnucaCache::DnucaCache(EventQueue &eq, stats::StatGroup *parent,
                        mem::Dram &dram, const phys::Technology &tech,
-                       const DnucaConfig &config)
+                       const DnucaConfig &config,
+                       fault::Injector *injector)
     : mem::L2Cache("dnuca", eq, parent, dram), cfg(config),
       mesh(eq, tech,
            noc::MeshConfig{static_cast<int>(config.bankSets.banksPerSet),
@@ -46,7 +47,11 @@ DnucaCache::DnucaCache(EventQueue &eq, stats::StatGroup *parent,
       fastMisses(this, "fast_misses",
                  "misses resolved by the partial tags alone"),
       searches(this, "searches", "banks searched beyond the closest")
-{}
+{
+    // Dead mesh links detour (2x hop latency); the detour count folds
+    // into degraded_requests via syncStats.
+    mesh.setInjector(injector);
+}
 
 Cycles
 DnucaCache::uncontendedLatency(std::uint32_t bank_row,
@@ -425,6 +430,7 @@ DnucaCache::syncStats()
 {
     linkBusyCycles = static_cast<double>(mesh.totalBusyCycles());
     networkEnergy = mesh.energyConsumed();
+    degradedRequests = static_cast<double>(mesh.degradedHopCount());
 }
 
 namespace
@@ -453,7 +459,8 @@ const l2::Registrar registerDnuca{
             l2::optionOr(ctx.options, "partialTagLatency",
                          static_cast<double>(cfg.partialTagLatency)));
         return std::make_unique<DnucaCache>(ctx.eq, ctx.parent,
-                                            ctx.dram, ctx.tech, cfg);
+                                            ctx.dram, ctx.tech, cfg,
+                                            ctx.injector);
     }};
 
 } // namespace

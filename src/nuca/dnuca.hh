@@ -61,9 +61,11 @@ struct DnucaConfig
 class DnucaCache : public mem::L2Cache
 {
   public:
+    /** @param injector Per-run fault source; null disables faults. */
     DnucaCache(EventQueue &eq, stats::StatGroup *parent,
                mem::Dram &dram, const phys::Technology &tech,
-               const DnucaConfig &config = DnucaConfig{});
+               const DnucaConfig &config = DnucaConfig{},
+               fault::Injector *injector = nullptr);
 
     using mem::L2Cache::access;
     void access(const mem::MemRequest &req,

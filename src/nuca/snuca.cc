@@ -27,17 +27,20 @@ dataFlits(int flit_bits)
 
 SnucaCache::SnucaCache(EventQueue &eq, stats::StatGroup *parent,
                        mem::Dram &dram, const phys::Technology &tech,
-                       const SnucaConfig &config)
+                       const SnucaConfig &config,
+                       fault::Injector *injector_)
     : mem::L2Cache("snuca2", eq, parent, dram), cfg(config),
       mesh(eq, tech,
            noc::MeshConfig{config.rows, config.cols, config.hopLatency,
                            config.flitBits, config.hopLength}),
       bankModel(tech, config.bankBytes, config.ways, mem::blockBytes),
       bankCycles(bankModel.accessCycles()),
-      bankPorts(static_cast<std::size_t>(config.banks))
+      bankPorts(static_cast<std::size_t>(config.banks)),
+      injector(injector_)
 {
     TLSIM_ASSERT(cfg.banks == cfg.rows * cfg.cols,
                  "bank count must match the mesh grid");
+    mesh.setInjector(injector);
     std::uint32_t sets = static_cast<std::uint32_t>(
         cfg.bankBytes / (static_cast<std::uint64_t>(mem::blockBytes) *
                          cfg.ways));
@@ -168,28 +171,15 @@ SnucaCache::handleRead(Addr block_addr, int bank, Tick arrival,
         ++hits;
         ++useCounter;
         array.touch(frame_addr, *way, useCounter, false);
-        int flits = dataFlits(cfg.flitBits);
-        mesh.sendToController(
-            coordOf(bank), flits, done,
-            [this, block_addr, issue, bank, flits, req,
-             cb = std::move(cb)](Tick tail) {
-                Tick first_word = tail - (flits - 1);
-                Tick latency = first_word - issue;
-                lookupLatency.sample(static_cast<double>(latency));
-                if (latency == uncontendedLatency(bank))
-                    ++predictableLookups;
-                recordBreakdown(onChipBreakdown(bank, latency));
-                if (auto *sink = trace::TraceSink::active()) {
-                    sink->span(trace::cat::l2,
-                               csprintf("hit {}", block_addr), issue,
-                               first_word, trace::tid::l2, req);
-                }
-                cb(first_word);
-            });
+        sendHitResponse(block_addr, bank, done, issue, req, 0, 0,
+                        std::move(cb));
         return;
     }
 
     // Miss: a short response tells the controller to go to memory.
+    // (Intentionally not CRC-retried: a corrupted "miss" notification
+    // only delays the memory fetch the controller's timeout forces
+    // anyway.)
     mesh.sendToController(
         coordOf(bank), addrFlits, done,
         [this, block_addr, bank, issue, req,
@@ -199,6 +189,68 @@ SnucaCache::handleRead(Addr block_addr, int bank, Tick arrival,
             if (latency == uncontendedLatency(bank))
                 ++predictableLookups;
             handleMiss(block_addr, bank, tick, issue, req, cb);
+        });
+}
+
+void
+SnucaCache::sendHitResponse(Addr block_addr, int bank, Tick done,
+                            Tick issue, std::uint64_t req, int attempt,
+                            Tick healthy_first, mem::RespCallback cb)
+{
+    int flits = dataFlits(cfg.flitBits);
+    mesh.sendToController(
+        coordOf(bank), flits, done,
+        [this, block_addr, bank, issue, req, attempt, healthy_first,
+         flits, cb = std::move(cb)](Tick tail) mutable {
+            Tick first_word = tail - (flits - 1);
+            if (healthy_first == 0)
+                healthy_first = first_word;
+            if (injector) {
+                first_word +=
+                    static_cast<Tick>(injector->config().crcCycles);
+                if (injector->messageError(bank)) {
+                    bool can_retry =
+                        attempt < injector->config().maxRetries &&
+                        first_word - issue <= static_cast<Tick>(
+                            injector->config().requestTimeout);
+                    if (can_retry) {
+                        ++linkRetries;
+                        Tick redo =
+                            first_word + injector->backoff(attempt);
+                        Tick start =
+                            bankPorts[static_cast<std::size_t>(bank)]
+                                .reserve(redo, bankCycles);
+                        sendHitResponse(block_addr, bank,
+                                        start + bankCycles, issue, req,
+                                        attempt + 1, healthy_first,
+                                        std::move(cb));
+                        return;
+                    }
+                    // Retry budget or timeout exhausted: count it and
+                    // deliver anyway (the end-to-end ECC recovers the
+                    // payload; only the timing penalty matters here).
+                    ++linkTimeouts;
+                }
+            }
+            Tick latency = first_word - issue;
+            lookupLatency.sample(static_cast<double>(latency));
+            if (latency == uncontendedLatency(bank))
+                ++predictableLookups;
+            trace::LatencyBreakdown bd =
+                onChipBreakdown(bank, latency);
+            // Move the CRC/retry surcharge out of the contention
+            // residual so the components still sum to the latency.
+            double fault_cycles =
+                static_cast<double>(first_word - healthy_first);
+            bd.queueWait -= fault_cycles;
+            bd.fault = fault_cycles;
+            recordBreakdown(bd);
+            if (auto *sink = trace::TraceSink::active()) {
+                sink->span(trace::cat::l2,
+                           csprintf("hit {}", block_addr), issue,
+                           first_word, trace::tid::l2, req);
+            }
+            cb(first_word);
         });
 }
 
@@ -279,6 +331,19 @@ SnucaCache::syncStats()
     (void)bank_busy; // bank occupancy is not a link stat
     linkBusyCycles = static_cast<double>(mesh.totalBusyCycles());
     networkEnergy = mesh.energyConsumed();
+    degradedRequests = static_cast<double>(mesh.degradedHopCount());
+}
+
+void
+SnucaCache::dumpFaultDiagnostic() const
+{
+    warn("snuca2: fault diagnostic ({} banks, {} degraded hops)",
+         cfg.banks, mesh.degradedHopCount());
+    for (int b = 0; b < cfg.banks; ++b) {
+        const auto &port = bankPorts[static_cast<std::size_t>(b)];
+        warn("  bank {}: port free at t={} ({} messages)", b,
+             port.freeAt(), port.messageCount());
+    }
 }
 
 namespace
@@ -290,7 +355,9 @@ const l2::Registrar registerSnuca{
     "SNUCA2", [](const l2::BuildContext &ctx) {
         l2::rejectUnknownOptions("SNUCA2", ctx.options, snucaOptions);
         return std::make_unique<SnucaCache>(ctx.eq, ctx.parent,
-                                            ctx.dram, ctx.tech);
+                                            ctx.dram, ctx.tech,
+                                            SnucaConfig{},
+                                            ctx.injector);
     }};
 
 } // namespace

@@ -44,9 +44,11 @@ struct SnucaConfig
 class SnucaCache : public mem::L2Cache
 {
   public:
+    /** @param injector Per-run fault source; null disables faults. */
     SnucaCache(EventQueue &eq, stats::StatGroup *parent,
                mem::Dram &dram, const phys::Technology &tech,
-               const SnucaConfig &config = SnucaConfig{});
+               const SnucaConfig &config = SnucaConfig{},
+               fault::Injector *injector = nullptr);
 
     using mem::L2Cache::access;
     void access(const mem::MemRequest &req,
@@ -72,6 +74,8 @@ class SnucaCache : public mem::L2Cache
     /** Min/max uncontended latencies over all banks (Table 2). */
     std::pair<Cycles, Cycles> latencyRange() const;
 
+    void dumpFaultDiagnostic() const override;
+
   private:
     int bankOf(Addr block_addr) const;
     noc::Coord coordOf(int bank) const;
@@ -79,6 +83,18 @@ class SnucaCache : public mem::L2Cache
     /** Handle a demand read at the bank side. */
     void handleRead(Addr block_addr, int bank, Tick arrival, Tick issue,
                     std::uint64_t req, mem::RespCallback cb);
+
+    /**
+     * Ship a hit's data back to the controller. With fault injection
+     * the response is CRC-checked on arrival; a transient error NACKs
+     * it and the controller re-reads the bank after exponential
+     * backoff (recursing with attempt + 1). @p healthy_first is the
+     * pre-CRC delivery tick of the first attempt (0 = this is the
+     * first attempt) so the fault surcharge can be decomposed exactly.
+     */
+    void sendHitResponse(Addr block_addr, int bank, Tick done,
+                         Tick issue, std::uint64_t req, int attempt,
+                         Tick healthy_first, mem::RespCallback cb);
 
     /** Miss path: fetch from memory, insert, respond. */
     void handleMiss(Addr block_addr, int bank, Tick miss_time,
@@ -102,6 +118,7 @@ class SnucaCache : public mem::L2Cache
     int bankCycles;
     std::vector<mem::SetAssocArray> arrays;
     std::vector<noc::Link> bankPorts;
+    fault::Injector *injector;
     std::uint64_t useCounter = 0;
     /** Extra round-trip cycles for controller injection/ejection. */
     Tick roundTripInjection = 0;

@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Declarative fault-injection configuration.
+ *
+ * A FaultConfig describes every fault a run injects and every knob of
+ * the resilience protocol that answers them. It lives inside
+ * harness::SystemConfig, round-trips through the config JSON, and is
+ * folded into the machine hash — so faulty runs occupy their own
+ * result-cache slots while the default (disabled) config leaves every
+ * existing hash and cache entry untouched.
+ *
+ * Fault schedules are strings, not arrays ("id@tick,id@tick"), because
+ * the config JSON reader deliberately supports only objects, strings,
+ * numbers, and booleans.
+ */
+
+#ifndef TLSIM_SIM_FAULT_FAULTCONFIG_HH
+#define TLSIM_SIM_FAULT_FAULTCONFIG_HH
+
+#include <cstdint>
+#include <string>
+
+namespace tlsim
+{
+namespace fault
+{
+
+/** Everything the fault injector and resilience protocol need. */
+struct FaultConfig
+{
+    /**
+     * Master switch. When false (the default) no injector or watchdog
+     * is built and every timing path is bit-identical to a build
+     * without the fault subsystem.
+     */
+    bool enabled = false;
+
+    /**
+     * Probability that one response message is corrupted in flight
+     * and caught by the controller's CRC check (per message, before
+     * the per-link margin weight).
+     */
+    double bitErrorRate = 0.0;
+
+    /**
+     * Scale each link's error rate by its signal-integrity margin
+     * (pulse-simulator amplitude/width slack): marginal transmission
+     * lines fault more, healthy ones less.
+     */
+    bool deriveFromMargin = false;
+
+    /**
+     * Scheduled permanent link deaths as "id@tick,id@tick,...". Link
+     * ids are design-specific: the TLC family numbers pair p's down
+     * link 2p and up link 2p+1; mesh designs use mesh link indices.
+     */
+    std::string deadLinks;
+
+    /** Scheduled stuck-at bank faults, same "id@tick,..." encoding. */
+    std::string stuckBanks;
+
+    /** Bounded retries per request before declaring a timeout. */
+    int maxRetries = 4;
+
+    /** Base retry backoff [cycles]; doubles with each attempt. */
+    std::uint64_t retryBackoff = 8;
+
+    /**
+     * Per-request age bound [cycles]: a request older than this at
+     * its CRC check abandons the L2 lookup and degrades to memory.
+     */
+    std::uint64_t requestTimeout = 4096;
+
+    /** CRC check latency surcharge per response message [cycles]. */
+    std::uint64_t crcCycles = 1;
+
+    /**
+     * Deadlock-watchdog age bound [cycles]: an L1 miss outstanding
+     * longer than this trips the watchdog diagnostic dump.
+     */
+    std::uint64_t watchdogMaxAge = 1'000'000;
+
+    /** Extra seed entropy for the fault RNG stream. */
+    std::uint64_t seed = 0;
+
+    bool operator==(const FaultConfig &) const = default;
+};
+
+} // namespace fault
+} // namespace tlsim
+
+#endif // TLSIM_SIM_FAULT_FAULTCONFIG_HH

@@ -1,0 +1,108 @@
+#include "sim/fault/injector.hh"
+
+#include <cctype>
+#include <string>
+
+#include "sim/logging.hh"
+
+namespace tlsim
+{
+namespace fault
+{
+
+namespace
+{
+
+/** splitmix64 finalizer; mixes the config seed with the run stream. */
+std::uint64_t
+mix(std::uint64_t x)
+{
+    x += 0x9e3779b97f4a7c15ULL;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+    return x ^ (x >> 31);
+}
+
+} // namespace
+
+std::map<int, Tick>
+parseSchedule(const std::string &spec, const char *what)
+{
+    std::map<int, Tick> out;
+    std::size_t pos = 0;
+    while (pos < spec.size()) {
+        std::size_t end = spec.find(',', pos);
+        if (end == std::string::npos)
+            end = spec.size();
+        std::string entry = spec.substr(pos, end - pos);
+        pos = end + 1;
+        // Trim surrounding whitespace.
+        std::size_t b = 0, e = entry.size();
+        while (b < e && std::isspace(static_cast<unsigned char>(entry[b])))
+            ++b;
+        while (e > b && std::isspace(static_cast<unsigned char>(entry[e - 1])))
+            --e;
+        entry = entry.substr(b, e - b);
+        if (entry.empty())
+            continue;
+        std::size_t at = entry.find('@');
+        std::string id_str = entry.substr(0, at);
+        std::string tick_str =
+            at == std::string::npos ? "0" : entry.substr(at + 1);
+        try {
+            std::size_t used = 0;
+            int id = std::stoi(id_str, &used);
+            if (used != id_str.size() || id < 0)
+                throw std::invalid_argument(id_str);
+            used = 0;
+            // stoull silently wraps negatives ("-5" parses); require
+            // pure digits so those are rejected as malformed.
+            for (char c : tick_str) {
+                if (!std::isdigit(static_cast<unsigned char>(c)))
+                    throw std::invalid_argument(tick_str);
+            }
+            unsigned long long tick = std::stoull(tick_str, &used);
+            if (used != tick_str.size())
+                throw std::invalid_argument(tick_str);
+            out[id] = static_cast<Tick>(tick);
+        } catch (const std::exception &) {
+            fatal("malformed {} entry '{}' (expected 'id@tick')", what,
+                  entry);
+        }
+    }
+    return out;
+}
+
+Injector::Injector(const FaultConfig &config, std::uint64_t stream_seed)
+    : cfg(config), rng(mix(config.seed) ^ mix(stream_seed)),
+      deadAt(parseSchedule(config.deadLinks, "deadLinks")),
+      stuckAt(parseSchedule(config.stuckBanks, "stuckBanks"))
+{
+}
+
+bool
+Injector::messageError(int link)
+{
+    double rate = cfg.bitErrorRate * linkWeight(link);
+    bool hit = rng.chance(rate);
+    if (hit)
+        ++injected;
+    return hit;
+}
+
+void
+Injector::setLinkWeight(int link, double weight)
+{
+    TLSIM_ASSERT(weight >= 0.0, "negative link fault weight");
+    weights[link] = weight;
+}
+
+double
+Injector::linkWeight(int link) const
+{
+    auto it = weights.find(link);
+    return it == weights.end() ? 1.0 : it->second;
+}
+
+} // namespace fault
+} // namespace tlsim

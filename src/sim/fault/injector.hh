@@ -1,0 +1,122 @@
+/**
+ * @file
+ * Seeded, deterministic fault injector.
+ *
+ * One Injector lives inside each System (one per run) and is consulted
+ * by the L2 controllers and the mesh on every response message. Its
+ * RNG stream is derived from the FaultConfig seed mixed with the
+ * per-run trace seed, so the fault schedule is a pure function of the
+ * RunSpec: serial and parallel sweeps, warm and cold caches, all see
+ * the identical sequence of faults.
+ *
+ * Three fault classes are supported:
+ *  - transient message corruption (Bernoulli per response message,
+ *    optionally weighted per link by signal-integrity margin),
+ *  - scheduled permanent dead links ("id@tick" onset),
+ *  - scheduled stuck-at banks ("id@tick" onset).
+ */
+
+#ifndef TLSIM_SIM_FAULT_INJECTOR_HH
+#define TLSIM_SIM_FAULT_INJECTOR_HH
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "sim/fault/faultconfig.hh"
+#include "sim/rng.hh"
+#include "sim/types.hh"
+
+namespace tlsim
+{
+namespace fault
+{
+
+/**
+ * Parse an "id@tick,id@tick,..." fault schedule string.
+ *
+ * Whitespace around entries is ignored; an entry without "@" means
+ * onset at tick 0. Malformed entries are a configuration error
+ * (fatal()).
+ */
+std::map<int, Tick> parseSchedule(const std::string &spec,
+                                  const char *what);
+
+/** Per-run deterministic fault source. See file comment. */
+class Injector
+{
+  public:
+    /**
+     * @param cfg Fault description (copied).
+     * @param stream_seed Per-run entropy (the run's trace seed) mixed
+     *        with cfg.seed so distinct specs draw distinct streams.
+     */
+    Injector(const FaultConfig &cfg, std::uint64_t stream_seed);
+
+    /** The configuration this injector was built from. */
+    const FaultConfig &config() const { return cfg; }
+
+    /**
+     * Draw one Bernoulli trial: was the response message on @p link
+     * corrupted in flight? Rate = bitErrorRate * linkWeight(link).
+     * Advances the RNG stream exactly once per call.
+     */
+    bool messageError(int link);
+
+    /**
+     * Scale @p link's error rate (margin-derived weighting). Weights
+     * must be set before simulation starts to keep the draw sequence
+     * deterministic.
+     */
+    void setLinkWeight(int link, double weight);
+
+    /** Error-rate multiplier for @p link (1.0 unless overridden). */
+    double linkWeight(int link) const;
+
+    /** True when @p link has permanently failed by tick @p now. */
+    bool
+    linkDead(int link, Tick now) const
+    {
+        if (deadAt.empty())
+            return false;
+        auto it = deadAt.find(link);
+        return it != deadAt.end() && now >= it->second;
+    }
+
+    /** True when bank @p bank is stuck at tick @p now. */
+    bool
+    bankStuck(int bank, Tick now) const
+    {
+        if (stuckAt.empty())
+            return false;
+        auto it = stuckAt.find(bank);
+        return it != stuckAt.end() && now >= it->second;
+    }
+
+    /** Any dead-link faults scheduled at all (at any tick)? */
+    bool hasDeadLinks() const { return !deadAt.empty(); }
+
+    /** Exponential backoff before retry number @p attempt (0-based). */
+    Tick
+    backoff(int attempt) const
+    {
+        int shift = attempt < 24 ? attempt : 24;
+        return cfg.retryBackoff << shift;
+    }
+
+    /** Total corrupted-message draws that came up faulty. */
+    std::uint64_t errorsInjected() const { return injected; }
+
+  private:
+    FaultConfig cfg;
+    Rng rng;
+    std::map<int, Tick> deadAt;
+    std::map<int, Tick> stuckAt;
+    std::map<int, double> weights;
+    std::uint64_t injected = 0;
+};
+
+} // namespace fault
+} // namespace tlsim
+
+#endif // TLSIM_SIM_FAULT_INJECTOR_HH

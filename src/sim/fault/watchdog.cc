@@ -1,0 +1,33 @@
+#include "sim/fault/watchdog.hh"
+
+#include "sim/logging.hh"
+
+namespace tlsim
+{
+namespace fault
+{
+
+void
+Watchdog::fire(Tick now, const char *why)
+{
+    ++fired;
+    warn("deadlock watchdog fired at t={}: {} ({} outstanding)", now,
+         why, pending.size());
+    for (const auto &[key, issued] : pending) {
+        const auto &[client, addr] = key;
+        const std::string &name =
+            client >= 0 && client < static_cast<int>(clients.size())
+                ? clients[client]
+                : "?";
+        warn("  outstanding: {} addr={} issued at t={} (age {})", name,
+             addr, issued, now - issued);
+    }
+    if (diagnostic)
+        diagnostic();
+    panic("deadlock watchdog: {} at t={} with {} outstanding "
+          "request(s)",
+          why, now, pending.size());
+}
+
+} // namespace fault
+} // namespace tlsim

@@ -1,0 +1,119 @@
+/**
+ * @file
+ * Event-queue deadlock watchdog.
+ *
+ * Request issuers (the L1 caches) register as clients and report each
+ * outstanding miss; the cores' wait loops poll the watchdog while
+ * blocked. If the event queue goes quiescent while requests are still
+ * outstanding, or any single request exceeds the configured max age,
+ * the watchdog dumps a structured diagnostic (every outstanding
+ * request plus whatever the L2 design reports — link busy horizons,
+ * per-bank queue depths) and panics instead of letting the simulation
+ * hang. The panic is a catchable PanicError, so crash-isolated sweeps
+ * turn it into a per-run error report.
+ */
+
+#ifndef TLSIM_SIM_FAULT_WATCHDOG_HH
+#define TLSIM_SIM_FAULT_WATCHDOG_HH
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "sim/types.hh"
+
+namespace tlsim
+{
+namespace fault
+{
+
+/** Deadlock detector for outstanding memory requests. */
+class Watchdog
+{
+  public:
+    /** @param max_age Oldest tolerated request age in ticks. */
+    explicit Watchdog(Tick max_age) : maxAge(max_age) {}
+
+    /** Register a request issuer; returns its client id. */
+    int
+    addClient(std::string name)
+    {
+        clients.push_back(std::move(name));
+        return static_cast<int>(clients.size()) - 1;
+    }
+
+    /**
+     * Install the design-specific diagnostic dump (e.g. the L2's
+     * link/bank state) invoked when the watchdog fires.
+     */
+    void
+    setDiagnostic(std::function<void()> fn)
+    {
+        diagnostic = std::move(fn);
+    }
+
+    /** A request for @p addr went outstanding at @p now. */
+    void
+    onIssue(int client, std::uint64_t addr, Tick now)
+    {
+        pending.emplace(std::make_pair(client, addr), now);
+    }
+
+    /** The request for @p addr completed. */
+    void
+    onComplete(int client, std::uint64_t addr)
+    {
+        pending.erase(std::make_pair(client, addr));
+    }
+
+    /** Outstanding request count. */
+    std::size_t outstanding() const { return pending.size(); }
+
+    /** Times the watchdog has fired (normally zero). */
+    std::uint64_t firings() const { return fired; }
+
+    /**
+     * Poll while a core is blocked: panics when the oldest
+     * outstanding request is older than the max-age bound.
+     */
+    void
+    checkAge(Tick now)
+    {
+        if (pending.empty())
+            return;
+        for (const auto &[key, issued] : pending) {
+            if (now - issued > maxAge)
+                fire(now, "request exceeded max age");
+        }
+    }
+
+    /**
+     * The event queue drained with requests still outstanding: a
+     * completion callback was lost. Always fires if anything is
+     * pending.
+     */
+    void
+    onQuiescent(Tick now)
+    {
+        if (!pending.empty())
+            fire(now, "event queue quiescent");
+    }
+
+  private:
+    [[noreturn]] void fire(Tick now, const char *why);
+
+    Tick maxAge;
+    std::vector<std::string> clients;
+    std::function<void()> diagnostic;
+    /** (client, block address) -> issue tick; ordered for stable dumps. */
+    std::map<std::pair<int, std::uint64_t>, Tick> pending;
+    std::uint64_t fired = 0;
+};
+
+} // namespace fault
+} // namespace tlsim
+
+#endif // TLSIM_SIM_FAULT_WATCHDOG_HH

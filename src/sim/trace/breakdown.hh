@@ -11,6 +11,9 @@
  *   wire       cycles in flight or serializing on the interconnect
  *   bank       cycles of SRAM bank access on the critical path
  *   dram       cycles from miss determination to data back on chip
+ *   fault      cycles spent on resilience: CRC checks, retry round
+ *              trips and backoff, degraded-path detours (zero unless
+ *              fault injection is enabled)
  *
  * The TLC designs compute the split exactly along the critical-path
  * member bank; the mesh designs (SNUCA2/DNUCA) take wire+bank from
@@ -34,11 +37,12 @@ struct LatencyBreakdown
     double wire = 0.0;
     double bank = 0.0;
     double dram = 0.0;
+    double fault = 0.0;
 
     double
     total() const
     {
-        return queueWait + wire + bank + dram;
+        return queueWait + wire + bank + dram + fault;
     }
 
     LatencyBreakdown &
@@ -48,6 +52,7 @@ struct LatencyBreakdown
         wire += other.wire;
         bank += other.bank;
         dram += other.dram;
+        fault += other.fault;
         return *this;
     }
 };

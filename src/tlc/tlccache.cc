@@ -5,6 +5,9 @@
 #include <memory>
 
 #include "mem/l2registry.hh"
+#include "phys/geometry.hh"
+#include "phys/pulse.hh"
+#include "phys/rcwire.hh"
 #include "sim/trace/debug.hh"
 #include "sim/trace/tracesink.hh"
 
@@ -29,7 +32,7 @@ constexpr int requestBits = 48;
 
 TlcCache::TlcCache(EventQueue &eq, stats::StatGroup *parent,
                    mem::Dram &dram, const phys::Technology &tech,
-                   const TlcConfig &config)
+                   const TlcConfig &config, fault::Injector *injector_)
     : mem::L2Cache(config.name, eq, parent, dram), cfg(config),
       floorplan(tech, config),
       bankModel(tech, config.bankBytes, config.ways, mem::blockBytes),
@@ -37,6 +40,7 @@ TlcCache::TlcCache(EventQueue &eq, stats::StatGroup *parent,
       downLinks(static_cast<std::size_t>(config.pairs())),
       upLinks(static_cast<std::size_t>(config.pairs())),
       bankPorts(static_cast<std::size_t>(config.banks)),
+      injector(injector_),
       multiMatches(this, "multi_matches",
                    "lookups with multiple partial-tag matches"),
       falseMatches(this, "false_matches",
@@ -62,6 +66,50 @@ TlcCache::TlcCache(EventQueue &eq, stats::StatGroup *parent,
     arrays.reserve(static_cast<std::size_t>(cfg.groups()));
     for (int g = 0; g < cfg.groups(); ++g)
         arrays.emplace_back(sets, cfg.ways);
+
+    if (injector) {
+        // Degraded-mode fallback: a conventional repeated-RC bundle
+        // routed alongside each pair's transmission lines, clamped to
+        // never beat the lines it replaces.
+        phys::RcWireModel rc(tech, phys::conventionalGlobalWire());
+        rcFallback.resize(static_cast<std::size_t>(cfg.pairs()));
+        rcOneWay.resize(static_cast<std::size_t>(cfg.pairs()));
+        for (int p = 0; p < cfg.pairs(); ++p) {
+            double seconds = rc.delay(floorplan.pair(p).length);
+            Tick cyc = static_cast<Tick>(
+                std::ceil(seconds / tech.cycleTime()));
+            rcOneWay[static_cast<std::size_t>(p)] = std::max(
+                cyc, static_cast<Tick>(floorplan.oneWayCycles(p)));
+        }
+        if (injector->config().deriveFromMargin) {
+            // Weight each pair's transient error rate by its pulse
+            // simulator signal-integrity slack (amplitude and width
+            // relative to the paper's >=75% Vdd / >=40% cycle
+            // requirements): marginal long lines fault up to 8x more
+            // than comfortable short ones. Weights are fixed before
+            // simulation starts, keeping the fault stream a pure
+            // function of the spec.
+            phys::PulseSimulator pulse(tech);
+            for (int p = 0; p < cfg.pairs(); ++p) {
+                const PairLayout &lay = floorplan.pair(p);
+                const phys::TransmissionLineSpec &spec =
+                    phys::specForLength(lay.length);
+                phys::PulseResult pr =
+                    pulse.simulate(spec.geometry, lay.length);
+                double amp_slack = pr.peakAmplitude / 0.75;
+                double width_slack =
+                    pr.pulseWidth / (0.40 * tech.cycleTime());
+                double margin =
+                    std::min(amp_slack, width_slack) - 1.0;
+                double weight =
+                    margin <= 0.0
+                        ? 8.0
+                        : 1.0 + 7.0 * std::exp(-8.0 * margin);
+                injector->setLinkWeight(downLinkId(p), weight);
+                injector->setLinkWeight(upLinkId(p), weight);
+            }
+        }
+    }
 }
 
 Cycles
@@ -202,6 +250,29 @@ TlcCache::handleLoad(Addr block_addr, Tick now, std::uint64_t req,
                      mem::RespCallback cb)
 {
     int group = groupOf(block_addr);
+
+    if (injector) {
+        // A stuck member bank never responds: the controller's
+        // request timer expires and the read degrades to memory.
+        for (int m = 0; m < cfg.banksPerBlock; ++m) {
+            if (injector->bankStuck(bankOf(group, m), now)) {
+                ++linkTimeouts;
+                Tick timeout = static_cast<Tick>(
+                    injector->config().requestTimeout);
+                trace::LatencyBreakdown stuck_bd;
+                stuck_bd.fault = static_cast<double>(timeout);
+                lookupLatency.sample(static_cast<double>(timeout));
+                handleMiss(block_addr, now, now + timeout, req,
+                           stuck_bd, std::move(cb));
+                return;
+            }
+        }
+        if (groupDegraded(group, now)) {
+            handleDegradedLoad(block_addr, now, req, std::move(cb));
+            return;
+        }
+    }
+
     auto &array = arrays[static_cast<std::size_t>(group)];
     Addr frame = frameAddr(block_addr);
 
@@ -256,12 +327,52 @@ TlcCache::handleLoad(Addr block_addr, Tick now, std::uint64_t req,
         second_round = true;
     }
 
+    // Injected transient link errors: each member's response slice is
+    // CRC-checked at the controller; corruption on any up link NACKs
+    // the whole read, which is re-requested after exponential backoff
+    // until the retry budget or the request timeout runs out. The CRC
+    // surcharge and every retry round trip land in the breakdown's
+    // fault component.
+    bool give_up = false;
+    if (injector) {
+        const Tick crc =
+            static_cast<Tick>(injector->config().crcCycles);
+        auto response_corrupted = [&]() {
+            bool bad = false;
+            for (int m = 0; m < cfg.banksPerBlock; ++m) {
+                bad |= injector->messageError(
+                    upLinkId(pairOf(bankOf(group, m))));
+            }
+            return bad;
+        };
+        bd.fault += static_cast<double>(crc);
+        Tick post = resolved + crc;
+        int attempt = 0;
+        while (response_corrupted()) {
+            if (attempt >= injector->config().maxRetries ||
+                post - now > injector->config().requestTimeout) {
+                give_up = true;
+                break;
+            }
+            ++linkRetries;
+            Tick retry_at = post + injector->backoff(attempt);
+            trace::LatencyBreakdown scratch;
+            Tick redo = secondRoundTrip(group, retry_at, req, scratch);
+            bd.fault += static_cast<double>((redo - post) + crc);
+            post = redo + crc;
+            ++attempt;
+        }
+        resolved = post;
+        if (attempt > 0)
+            second_round = true;
+    }
+
     Tick latency = resolved - now;
     lookupLatency.sample(static_cast<double>(latency));
     if (!second_round && latency == uncontendedLoadLatency(block_addr))
         ++predictableLookups;
 
-    if (way) {
+    if (way && !give_up) {
         ++hits;
         ++useCounter;
         array.touch(frame, *way, useCounter, false);
@@ -276,6 +387,92 @@ TlcCache::handleLoad(Addr block_addr, Tick now, std::uint64_t req,
         // Deliver through the event queue so the L1 observes the fill
         // at the correct simulated time (keeping its MSHR open until
         // then for coalescing).
+        eventq.scheduleFunc(resolved, [cb = std::move(cb), resolved]() {
+            cb(resolved);
+        });
+    } else {
+        if (give_up)
+            ++linkTimeouts;
+        handleMiss(block_addr, now, resolved, req, bd, std::move(cb));
+    }
+}
+
+bool
+TlcCache::groupDegraded(int group, Tick now) const
+{
+    if (!injector || !injector->hasDeadLinks())
+        return false;
+    for (int m = 0; m < cfg.banksPerBlock; ++m) {
+        int pair = pairOf(bankOf(group, m));
+        if (injector->linkDead(downLinkId(pair), now) ||
+            injector->linkDead(upLinkId(pair), now))
+            return true;
+    }
+    return false;
+}
+
+void
+TlcCache::handleDegradedLoad(Addr block_addr, Tick now,
+                             std::uint64_t req, mem::RespCallback cb)
+{
+    ++degradedRequests;
+    int group = groupOf(block_addr);
+    auto &array = arrays[static_cast<std::size_t>(group)];
+    Addr frame = frameAddr(block_addr);
+    auto way = array.lookup(frame);
+
+    TLSIM_DPRINTF(L2, "t={} {} degraded load block {} group {}", now,
+                  cfg.name, block_addr, group);
+
+    // Every member leg runs over its pair's RC fallback bundle (the
+    // dead pairs lost their transmission lines; the group's healthy
+    // members follow so the slices stay in lockstep). Excess over the
+    // healthy path is the breakdown's fault component.
+    trace::LatencyBreakdown bd;
+    Tick resolved = 0;
+    for (int m = 0; m < cfg.banksPerBlock; ++m) {
+        int bank = bankOf(group, m);
+        int pair = pairOf(bank);
+        auto pi = static_cast<std::size_t>(pair);
+        // Abandon reservations queued on the dead lines: fallback
+        // traffic must not inherit a dead link's backlog.
+        if (injector->linkDead(downLinkId(pair), now))
+            downLinks[pi].resetHorizon(now);
+        if (injector->linkDead(upLinkId(pair), now))
+            upLinks[pi].resetHorizon(now);
+        Tick one_way = rcOneWay[pi];
+        Tick start = rcFallback[pi].reserve(
+            now, static_cast<Cycles>(reqCycles + respCycles));
+        Tick arrival =
+            start + static_cast<Tick>(reqCycles - 1) + one_way;
+        Tick bank_start =
+            bankPorts[static_cast<std::size_t>(bank)].reserve(
+                arrival, static_cast<Cycles>(bankCycles));
+        Tick done = bank_start + static_cast<Tick>(bankCycles);
+        Tick first_word = done + one_way;
+        if (first_word > resolved) {
+            resolved = first_word;
+            Tick healthy =
+                static_cast<Tick>(floorplan.oneWayCycles(pair));
+            trace::LatencyBreakdown parts;
+            parts.queueWait = static_cast<double>(
+                (start - now) + (bank_start - arrival));
+            parts.wire =
+                static_cast<double>((reqCycles - 1) + 2 * healthy);
+            parts.bank = static_cast<double>(bankCycles);
+            parts.fault = static_cast<double>(first_word - now) -
+                          parts.queueWait - parts.wire - parts.bank;
+            bd = parts;
+        }
+    }
+
+    Tick latency = resolved - now;
+    lookupLatency.sample(static_cast<double>(latency));
+    if (way) {
+        ++hits;
+        ++useCounter;
+        array.touch(frame, *way, useCounter, false);
+        recordBreakdown(bd);
         eventq.scheduleFunc(resolved, [cb = std::move(cb), resolved]() {
             cb(resolved);
         });
@@ -312,12 +509,21 @@ TlcCache::handleWrite(Addr block_addr, Tick now, bool is_fill)
     for (int m = 0; m < cfg.banksPerBlock; ++m) {
         int bank = bankOf(group, m);
         int pair = pairOf(bank);
+        auto pi = static_cast<std::size_t>(pair);
         const PairLayout &lay = floorplan.pair(pair);
-        Tick start = downLinks[static_cast<std::size_t>(pair)].reserve(
+        bool dead = injector &&
+                    injector->linkDead(downLinkId(pair), now);
+        Tick one_way =
+            dead ? rcOneWay[pi]
+                 : static_cast<Tick>(floorplan.oneWayCycles(pair));
+        if (dead)
+            downLinks[pi].resetHorizon(now);
+        noc::Link &down = dead ? rcFallback[pi] : downLinks[pi];
+        Tick start = down.reserve(
             now, static_cast<Cycles>(reqCycles + dataDownCycles));
         Tick arrival =
             start + static_cast<Tick>(reqCycles + dataDownCycles - 1) +
-            static_cast<Tick>(floorplan.oneWayCycles(pair));
+            one_way;
         bankPorts[static_cast<std::size_t>(bank)].reserve(
             arrival, static_cast<Cycles>(bankCycles));
         arrivals[static_cast<std::size_t>(m)] = arrival;
@@ -342,14 +548,22 @@ TlcCache::handleWrite(Addr block_addr, Tick now, bool is_fill)
         for (int m = 0; m < cfg.banksPerBlock; ++m) {
             int bank = bankOf(group, m);
             int pair = pairOf(bank);
+            auto pi = static_cast<std::size_t>(pair);
             const PairLayout &lay = floorplan.pair(pair);
             Tick avail = arrivals[static_cast<std::size_t>(m)] +
                          static_cast<Tick>(bankCycles);
+            bool dead = injector &&
+                        injector->linkDead(upLinkId(pair), avail);
+            Tick one_way =
+                dead ? rcOneWay[pi]
+                     : static_cast<Tick>(floorplan.oneWayCycles(pair));
+            if (dead)
+                upLinks[pi].resetHorizon(avail);
+            noc::Link &up = dead ? rcFallback[pi] : upLinks[pi];
             Tick start =
-                upLinks[static_cast<std::size_t>(pair)].reserve(
-                    avail, static_cast<Cycles>(respCycles));
+                up.reserve(avail, static_cast<Cycles>(respCycles));
             Tick done = start + static_cast<Tick>(respCycles - 1) +
-                        static_cast<Tick>(floorplan.oneWayCycles(pair));
+                        one_way;
             victim_ready = std::max(victim_ready, done);
             networkEnergy += slice_bits * 0.5 * lay.energyPerBit;
         }
@@ -396,6 +610,29 @@ TlcCache::beginMeasurement()
         link.resetStats();
     for (auto &port : bankPorts)
         port.resetStats();
+    for (auto &link : rcFallback)
+        link.resetStats();
+}
+
+void
+TlcCache::dumpFaultDiagnostic() const
+{
+    warn("{}: fault diagnostic ({} pairs, {} banks)", cfg.name,
+         cfg.pairs(), cfg.banks);
+    for (int p = 0; p < cfg.pairs(); ++p) {
+        auto pi = static_cast<std::size_t>(p);
+        warn("  pair {}: down free at t={}, up free at t={}{}", p,
+             downLinks[pi].freeAt(), upLinks[pi].freeAt(),
+             rcFallback.empty()
+                 ? std::string{}
+                 : csprintf(", rc fallback free at t={}",
+                            rcFallback[pi].freeAt()));
+    }
+    for (int b = 0; b < cfg.banks; ++b) {
+        const auto &port = bankPorts[static_cast<std::size_t>(b)];
+        warn("  bank {}: port free at t={} ({} messages)", b,
+             port.freeAt(), port.messageCount());
+    }
 }
 
 void
@@ -442,7 +679,7 @@ tlcFactory(TlcConfig (*preset)())
     return [preset](const l2::BuildContext &ctx) {
         return std::make_unique<TlcCache>(
             ctx.eq, ctx.parent, ctx.dram, ctx.tech,
-            applyTlcOptions(preset(), ctx));
+            applyTlcOptions(preset(), ctx), ctx.injector);
     };
 }
 

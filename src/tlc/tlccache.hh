@@ -22,6 +22,7 @@
 #include "mem/setassoc.hh"
 #include "noc/link.hh"
 #include "phys/technology.hh"
+#include "sim/fault/injector.hh"
 #include "sim/rng.hh"
 #include "tlc/config.hh"
 #include "tlc/floorplan.hh"
@@ -37,8 +38,10 @@ namespace tlc
 class TlcCache : public mem::L2Cache
 {
   public:
+    /** @param injector Per-run fault source; null disables faults. */
     TlcCache(EventQueue &eq, stats::StatGroup *parent, mem::Dram &dram,
-             const phys::Technology &tech, const TlcConfig &config);
+             const phys::Technology &tech, const TlcConfig &config,
+             fault::Injector *injector = nullptr);
 
     using mem::L2Cache::access;
     void access(const mem::MemRequest &req,
@@ -65,6 +68,15 @@ class TlcCache : public mem::L2Cache
     /** Min/max uncontended load latency over all groups (Table 2). */
     std::pair<Cycles, Cycles> latencyRange() const;
 
+    void dumpFaultDiagnostic() const override;
+
+    /**
+     * Fault-injection link ids: pair p's down link is 2p, its up
+     * link 2p+1 (the encoding FaultConfig::deadLinks uses).
+     */
+    int downLinkId(int pair) const { return 2 * pair; }
+    int upLinkId(int pair) const { return 2 * pair + 1; }
+
   private:
     TlcConfig cfg;
     TlcFloorplan floorplan;
@@ -74,6 +86,16 @@ class TlcCache : public mem::L2Cache
     std::vector<noc::Link> downLinks;
     std::vector<noc::Link> upLinks;
     std::vector<noc::Link> bankPorts;
+    fault::Injector *injector;
+    /**
+     * Degraded-mode path: when a pair's transmission lines die, its
+     * traffic falls back to a conventional repeated-RC wire routed
+     * alongside (one bidirectional bundle per pair), much slower but
+     * functional.
+     */
+    std::vector<noc::Link> rcFallback;
+    /** One-way latency of each pair's RC fallback wire [cycles]. */
+    std::vector<Tick> rcOneWay;
 
   public:
     /** Optimized-design stats. */
@@ -124,6 +146,17 @@ class TlcCache : public mem::L2Cache
     /** Handle a demand read (req is the trace-correlation id). */
     void handleLoad(Addr block_addr, Tick now, std::uint64_t req,
                     mem::RespCallback cb);
+
+    /** True when any of the group's member pairs has died by @p now. */
+    bool groupDegraded(int group, Tick now) const;
+
+    /**
+     * Degraded-mode load over the RC fallback wires (dead pair in
+     * the group). The RC detour excess lands in the breakdown's
+     * fault component.
+     */
+    void handleDegradedLoad(Addr block_addr, Tick now,
+                            std::uint64_t req, mem::RespCallback cb);
 
     /** Handle a store / writeback (also used for fills). */
     void handleWrite(Addr block_addr, Tick now, bool is_fill);

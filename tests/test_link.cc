@@ -6,6 +6,7 @@
 #include <gtest/gtest.h>
 
 #include "noc/link.hh"
+#include "sim/logging.hh"
 
 using namespace tlsim;
 using namespace tlsim::noc;
@@ -52,10 +53,45 @@ TEST(Link, ResetStatsKeepsHorizon)
     EXPECT_EQ(link.reserve(0, 1), 10u);
 }
 
-TEST(Link, ZeroDurationReservation)
+TEST(Link, ZeroDurationReservationPanics)
+{
+    // A zero-duration reservation is a simulator bug (it would make
+    // serialization time vanish); the guard turns it into a panic.
+    Link link;
+    EXPECT_THROW(link.reserve(5, 0), PanicError);
+}
+
+TEST(Link, OverflowingReservationPanics)
 {
     Link link;
-    EXPECT_EQ(link.reserve(5, 0), 5u);
+    EXPECT_THROW(link.reserve(MaxTick - 1, 4), PanicError);
+}
+
+TEST(Link, ReservationUpToMaxTickSucceeds)
+{
+    Link link;
+    EXPECT_EQ(link.reserve(MaxTick - 4, 4), MaxTick - 4);
+    EXPECT_EQ(link.freeAt(), MaxTick);
+}
+
+TEST(Link, ResetHorizonDropsBacklog)
+{
+    // Fault-induced drain: a dead link's queued reservations are
+    // abandoned so fallback traffic does not inherit its backlog.
+    Link link;
+    link.reserve(0, 100);
+    link.resetHorizon(10);
+    EXPECT_EQ(link.freeAt(), 10u);
+    EXPECT_EQ(link.reserve(10, 2), 10u);
+    // Stats survive the drain (occupancy already happened).
+    EXPECT_EQ(link.messageCount(), 2u);
+}
+
+TEST(Link, ResetHorizonNeverExtends)
+{
+    Link link;
+    link.reserve(0, 5);
+    link.resetHorizon(50); // later than busy-until: no-op
     EXPECT_EQ(link.freeAt(), 5u);
 }
 

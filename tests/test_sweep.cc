@@ -197,11 +197,20 @@ TEST(ResultCache, RejectsWrongSpecAndGarbage)
     EXPECT_FALSE(readResultJson("not json", spec).has_value());
     EXPECT_FALSE(readResultJson("{}", spec).has_value());
 
-    // A truncated cache file must read as a miss, not a bad result.
+    // A truncated cache file must read as a miss, not a bad result —
+    // and the corrupt entry is discarded so the re-run can store a
+    // clean replacement.
     ResultCache cache(freshDir("garbage"));
     cache.store(spec, result);
     std::string path = cache.dir() + "/" + cacheKey(spec) + ".json";
     std::ofstream(path) << text.substr(0, text.size() / 2);
+    EXPECT_FALSE(cache.load(spec).has_value());
+    EXPECT_FALSE(std::filesystem::exists(path));
+    cache.store(spec, result);
+    EXPECT_TRUE(cache.load(spec).has_value());
+
+    // Arbitrary garbage (not just truncation) is a miss as well.
+    std::ofstream(path) << "\xff\xfe garbage not json at all";
     EXPECT_FALSE(cache.load(spec).has_value());
 }
 
