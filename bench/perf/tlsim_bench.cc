@@ -1,0 +1,711 @@
+/**
+ * @file
+ * Performance regression harness: micro + end-to-end kernels.
+ *
+ * Measures the simulator's own speed (the ROADMAP's "runs as fast as
+ * the hardware allows") and emits BENCH_kernel.json in the stable
+ * tlsim-bench-v1 schema, seeding the repo's perf trajectory:
+ *
+ *   tlsim_bench --quick                       # CI-sized run
+ *   tlsim_bench --compare baseline.json       # speedups vs a baseline
+ *   tlsim_bench --validate BENCH_kernel.json  # schema check (CI gate)
+ *
+ * Kernels:
+ *   eventq_throughput     schedule+dispatch rate through EventQueue
+ *   eventq_churn          deschedule-heavy load (heap compaction path)
+ *   pulse_sim_cold        one frequency-domain pulse sim, cold caches
+ *   physcache_hot         memoized pulse lookups through PhysCache
+ *   sweep_quickstart      the quickstart sweep, warm physics memo
+ *   sweep_quickstart_memocold  same sweep with the memo cleared first
+ *
+ * The sweep kernels run the same table6 spec list as `tlsim_repro
+ * --filter table6` (fault-margin weighting on, so the per-pair pulse
+ * simulations the memo cache exists for are actually on the path),
+ * and assert memo-cold and memo-hot runs produce identical results.
+ *
+ * Comparison semantics: wall_s metrics speed up as baseline/current,
+ * rate metrics as current/baseline, so "speedup 2.0" always means
+ * "twice as fast".
+ */
+
+#include <sys/resource.h>
+
+#include <cctype>
+#include <chrono>
+#include <cmath>
+#include <cstdint>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "harness/sweep/sweep.hh"
+#include "phys/geometry.hh"
+#include "phys/physcache.hh"
+#include "phys/pulse.hh"
+#include "phys/technology.hh"
+#include "repro/experiments.hh"
+#include "sim/eventq.hh"
+
+namespace
+{
+
+using tlsim::Event;
+using tlsim::EventQueue;
+using tlsim::Tick;
+
+double
+wallSeconds(std::chrono::steady_clock::time_point start)
+{
+    return std::chrono::duration<double>(
+               std::chrono::steady_clock::now() - start)
+        .count();
+}
+
+long
+peakRssBytes()
+{
+    struct rusage usage{};
+    getrusage(RUSAGE_SELF, &usage);
+    // ru_maxrss is kilobytes on Linux.
+    return usage.ru_maxrss * 1024L;
+}
+
+/** One measured kernel result. */
+struct Kernel
+{
+    std::string name;
+    std::string metric; // "wall_s" or "..._per_sec"
+    double value = 0.0;
+    double wallS = 0.0;
+};
+
+/** Minimal JSON reader for --compare / --validate (objects, arrays,
+ *  strings, numbers, true/false/null). */
+struct JsonValue
+{
+    enum class Kind
+    {
+        Null,
+        Bool,
+        Number,
+        String,
+        Array,
+        Object
+    } kind = Kind::Null;
+
+    bool boolean = false;
+    double number = 0.0;
+    std::string string;
+    std::vector<JsonValue> array;
+    std::vector<std::pair<std::string, JsonValue>> object;
+
+    const JsonValue *
+    field(const std::string &key) const
+    {
+        for (const auto &[k, v] : object) {
+            if (k == key)
+                return &v;
+        }
+        return nullptr;
+    }
+};
+
+class JsonParser
+{
+  public:
+    explicit JsonParser(const std::string &text) : text(text) {}
+
+    JsonValue
+    parse()
+    {
+        JsonValue v = parseValue();
+        skipSpace();
+        if (pos != text.size())
+            throw std::runtime_error("trailing JSON content");
+        return v;
+    }
+
+  private:
+    void
+    skipSpace()
+    {
+        while (pos < text.size() &&
+               std::isspace(static_cast<unsigned char>(text[pos])))
+            ++pos;
+    }
+
+    char
+    peek()
+    {
+        skipSpace();
+        if (pos >= text.size())
+            throw std::runtime_error("unexpected end of JSON");
+        return text[pos];
+    }
+
+    void
+    expect(char c)
+    {
+        if (peek() != c)
+            throw std::runtime_error(std::string("expected '") + c +
+                                     "'");
+        ++pos;
+    }
+
+    JsonValue
+    parseValue()
+    {
+        switch (peek()) {
+        case '{': return parseObject();
+        case '[': return parseArray();
+        case '"': {
+            JsonValue v;
+            v.kind = JsonValue::Kind::String;
+            v.string = parseString();
+            return v;
+        }
+        case 't':
+        case 'f': return parseBool();
+        case 'n':
+            if (text.compare(pos, 4, "null") != 0)
+                throw std::runtime_error("bad JSON literal");
+            pos += 4;
+            return JsonValue{};
+        default: return parseNumber();
+        }
+    }
+
+    JsonValue
+    parseObject()
+    {
+        JsonValue v;
+        v.kind = JsonValue::Kind::Object;
+        expect('{');
+        if (peek() == '}') {
+            ++pos;
+            return v;
+        }
+        while (true) {
+            std::string key = parseString();
+            expect(':');
+            v.object.emplace_back(std::move(key), parseValue());
+            if (peek() == ',') {
+                ++pos;
+                continue;
+            }
+            expect('}');
+            return v;
+        }
+    }
+
+    JsonValue
+    parseArray()
+    {
+        JsonValue v;
+        v.kind = JsonValue::Kind::Array;
+        expect('[');
+        if (peek() == ']') {
+            ++pos;
+            return v;
+        }
+        while (true) {
+            v.array.push_back(parseValue());
+            if (peek() == ',') {
+                ++pos;
+                continue;
+            }
+            expect(']');
+            return v;
+        }
+    }
+
+    std::string
+    parseString()
+    {
+        expect('"');
+        std::string out;
+        while (pos < text.size() && text[pos] != '"') {
+            char c = text[pos++];
+            if (c == '\\' && pos < text.size()) {
+                char esc = text[pos++];
+                switch (esc) {
+                case 'n': out += '\n'; break;
+                case 't': out += '\t'; break;
+                default: out += esc; break;
+                }
+            } else {
+                out += c;
+            }
+        }
+        if (pos >= text.size())
+            throw std::runtime_error("unterminated JSON string");
+        ++pos;
+        return out;
+    }
+
+    JsonValue
+    parseBool()
+    {
+        JsonValue v;
+        v.kind = JsonValue::Kind::Bool;
+        if (text.compare(pos, 4, "true") == 0) {
+            v.boolean = true;
+            pos += 4;
+        } else if (text.compare(pos, 5, "false") == 0) {
+            pos += 5;
+        } else {
+            throw std::runtime_error("bad JSON literal");
+        }
+        return v;
+    }
+
+    JsonValue
+    parseNumber()
+    {
+        skipSpace();
+        std::size_t end = pos;
+        while (end < text.size() &&
+               (std::isdigit(static_cast<unsigned char>(text[end])) ||
+                std::strchr("+-.eE", text[end])))
+            ++end;
+        JsonValue v;
+        v.kind = JsonValue::Kind::Number;
+        v.number = std::stod(text.substr(pos, end - pos));
+        pos = end;
+        return v;
+    }
+
+    const std::string &text;
+    std::size_t pos = 0;
+};
+
+// ---------------------------------------------------------------- //
+// Kernels                                                          //
+// ---------------------------------------------------------------- //
+
+/** Self-rescheduling typed event for the throughput kernel. */
+class TickerEvent : public Event
+{
+  public:
+    TickerEvent(EventQueue &eq, std::uint64_t limit)
+        : eventq(eq), remaining(limit)
+    {}
+
+    void
+    process() override
+    {
+        if (--remaining > 0)
+            eventq.schedule(this, eventq.now() + 1);
+    }
+
+    const char *name() const override { return "TickerEvent"; }
+
+  private:
+    EventQueue &eventq;
+    std::uint64_t remaining;
+};
+
+Kernel
+benchEventqThroughput(bool quick)
+{
+    const std::uint64_t typed = quick ? 400'000 : 4'000'000;
+    const std::uint64_t oneshots = quick ? 200'000 : 2'000'000;
+
+    auto start = std::chrono::steady_clock::now();
+    EventQueue eq;
+    TickerEvent ticker(eq, typed);
+    eq.schedule(&ticker, 1);
+    std::uint64_t fired = 0;
+    // Interleave pooled one-shots with the self-rescheduling typed
+    // event: the dominant mix on the L1-miss path.
+    for (std::uint64_t i = 0; i < oneshots; ++i) {
+        eq.scheduleCallback(eq.now() + 2, [&fired](Tick) { ++fired; });
+        eq.advanceTo(eq.now() + 1);
+    }
+    std::uint64_t processed = eq.run();
+    double secs = wallSeconds(start);
+
+    if (fired != oneshots)
+        throw std::runtime_error("eventq_throughput lost callbacks");
+    (void)processed;
+    return Kernel{"eventq_throughput", "events_per_sec",
+                  static_cast<double>(typed + oneshots) / secs, secs};
+}
+
+Kernel
+benchEventqChurn(bool quick)
+{
+    const std::uint64_t rounds = quick ? 100'000 : 1'000'000;
+
+    auto start = std::chrono::steady_clock::now();
+    EventQueue eq;
+    std::uint64_t fired = 0;
+    // Retry-heavy pattern: schedule, squash, reschedule later — the
+    // load that used to accumulate stale heap entries unboundedly.
+    for (std::uint64_t i = 0; i < rounds; ++i) {
+        Event *ev = eq.scheduleCallback(eq.now() + 100,
+                                        [&fired](Tick) { ++fired; });
+        eq.deschedule(ev);
+        eq.scheduleCallback(eq.now() + 1, [&fired](Tick) { ++fired; });
+        eq.advanceTo(eq.now() + 1);
+        // Compaction keeps squashed entries bounded by 2x live.
+        if (eq.heapSize() > 64 &&
+            eq.staleCount() > 2 * (eq.size() + 1)) {
+            throw std::runtime_error("eventq compaction ineffective");
+        }
+    }
+    eq.run();
+    double secs = wallSeconds(start);
+
+    if (fired != rounds)
+        throw std::runtime_error("eventq_churn lost callbacks");
+    return Kernel{"eventq_churn", "events_per_sec",
+                  static_cast<double>(2 * rounds) / secs, secs};
+}
+
+Kernel
+benchPulseSimCold(bool quick)
+{
+    const int iters = quick ? 20 : 100;
+    const auto &tech = tlsim::phys::tech45();
+    const auto &lines = tlsim::phys::paperTable1Lines();
+
+    auto start = std::chrono::steady_clock::now();
+    double checksum = 0.0;
+    for (int i = 0; i < iters; ++i) {
+        // Fresh simulator per iteration: no per-instance r_ac table
+        // reuse, so this tracks the true cold cost.
+        tlsim::phys::PulseSimulator sim(tech);
+        const auto &spec = lines[static_cast<std::size_t>(i) %
+                                 lines.size()];
+        auto pr = sim.simulate(spec.geometry, spec.length);
+        checksum += pr.delay;
+    }
+    double secs = wallSeconds(start);
+
+    if (!std::isfinite(checksum))
+        throw std::runtime_error("pulse_sim_cold produced non-finite");
+    return Kernel{"pulse_sim_cold", "sims_per_sec", iters / secs, secs};
+}
+
+Kernel
+benchPhyscacheHot(bool quick)
+{
+    const std::uint64_t lookups = quick ? 200'000 : 2'000'000;
+    const auto &tech = tlsim::phys::tech45();
+    const auto &lines = tlsim::phys::paperTable1Lines();
+    auto &cache = tlsim::phys::PhysCache::instance();
+
+    // Warm the entries, then measure pure hit throughput.
+    for (const auto &spec : lines)
+        cache.pulse(tech, spec.geometry, spec.length);
+
+    auto start = std::chrono::steady_clock::now();
+    double checksum = 0.0;
+    for (std::uint64_t i = 0; i < lookups; ++i) {
+        const auto &spec = lines[i % lines.size()];
+        checksum +=
+            cache.pulse(tech, spec.geometry, spec.length).delay;
+    }
+    double secs = wallSeconds(start);
+
+    if (!std::isfinite(checksum))
+        throw std::runtime_error("physcache_hot produced non-finite");
+    return Kernel{"physcache_hot", "lookups_per_sec", lookups / secs,
+                  secs};
+}
+
+/**
+ * The quickstart sweep: the table6 experiment's spec list on reduced
+ * budgets with margin-weighted fault injection enabled, exactly the
+ * workload of
+ *
+ *   tlsim_repro --filter table6 --jobs 1 --warm 2000 --measure 5000
+ *       --funcwarm 50000 --fault-ber 1e-6 --fault-margin --no-cache
+ *
+ * (full mode uses --warm 5000 --measure 20000 --funcwarm 200000).
+ */
+std::vector<tlsim::harness::sweep::RunSpec>
+quickstartSpecs(bool quick, int jobs)
+{
+    (void)jobs;
+    const auto *table6 = tlsim::repro::findExperiment("table6");
+    if (!table6)
+        throw std::runtime_error("table6 experiment not registered");
+    tlsim::harness::SystemConfig base = tlsim::repro::defaultRunConfig();
+    base.warmup = quick ? 2'000 : 5'000;
+    base.measure = quick ? 5'000 : 20'000;
+    base.functionalWarm = quick ? 50'000 : 200'000;
+    base.fault.enabled = true;
+    base.fault.bitErrorRate = 1e-6;
+    base.fault.deriveFromMargin = true;
+    return table6->specs(base);
+}
+
+std::pair<Kernel, Kernel>
+benchSweepQuickstart(bool quick, int jobs)
+{
+    auto specs = quickstartSpecs(quick, jobs);
+    tlsim::harness::sweep::SweepOptions options;
+    options.jobs = jobs;
+    options.verbose = false;
+
+    // Memo-cold: every physics value computed from scratch.
+    tlsim::phys::PhysCache::instance().clear();
+    auto cold_start = std::chrono::steady_clock::now();
+    auto cold = tlsim::harness::sweep::runSweep(specs, options);
+    double cold_secs = wallSeconds(cold_start);
+
+    // Memo-hot: the sweep the quickstart user actually experiences
+    // once the process-wide memo is populated.
+    auto hot_start = std::chrono::steady_clock::now();
+    auto hot = tlsim::harness::sweep::runSweep(specs, options);
+    double hot_secs = wallSeconds(hot_start);
+
+    if (cold.failed || hot.failed)
+        throw std::runtime_error("quickstart sweep run failed");
+    // Memoization must never change results.
+    for (std::size_t i = 0; i < specs.size(); ++i) {
+        const auto &a = cold.results[i];
+        const auto &b = hot.results[i];
+        if (a.cycles != b.cycles || a.ipc != b.ipc ||
+            a.meanLookupLatency != b.meanLookupLatency) {
+            throw std::runtime_error(
+                "memo-hot sweep diverged from memo-cold");
+        }
+    }
+
+    return {Kernel{"sweep_quickstart", "wall_s", hot_secs, hot_secs},
+            Kernel{"sweep_quickstart_memocold", "wall_s", cold_secs,
+                   cold_secs}};
+}
+
+// ---------------------------------------------------------------- //
+// Output, comparison, validation                                   //
+// ---------------------------------------------------------------- //
+
+void
+writeJson(const std::string &path, const std::vector<Kernel> &kernels,
+          bool quick, int jobs,
+          const std::map<std::string, double> &speedups,
+          const std::string &baseline_path)
+{
+    std::ostringstream os;
+    os.precision(17);
+    os << "{\n";
+    os << "  \"schema\": \"tlsim-bench-v1\",\n";
+    os << "  \"quick\": " << (quick ? "true" : "false") << ",\n";
+    os << "  \"jobs\": " << jobs << ",\n";
+    os << "  \"kernels\": [\n";
+    for (std::size_t i = 0; i < kernels.size(); ++i) {
+        const Kernel &k = kernels[i];
+        os << "    {\"name\": \"" << k.name << "\", \"metric\": \""
+           << k.metric << "\", \"value\": " << k.value
+           << ", \"wall_s\": " << k.wallS << "}"
+           << (i + 1 < kernels.size() ? "," : "") << "\n";
+    }
+    os << "  ],\n";
+    if (!speedups.empty()) {
+        os << "  \"baseline\": \"" << baseline_path << "\",\n";
+        os << "  \"speedups\": {";
+        bool first = true;
+        for (const auto &[name, speedup] : speedups) {
+            os << (first ? "" : ", ") << "\"" << name
+               << "\": " << speedup;
+            first = false;
+        }
+        os << "},\n";
+    }
+    os << "  \"peak_rss_bytes\": " << peakRssBytes() << "\n";
+    os << "}\n";
+
+    std::ofstream out(path);
+    if (!out)
+        throw std::runtime_error("cannot write " + path);
+    out << os.str();
+}
+
+/** Throws with a message on any schema violation. */
+void
+validateBenchJson(const JsonValue &root)
+{
+    const JsonValue *schema = root.field("schema");
+    if (!schema || schema->kind != JsonValue::Kind::String ||
+        schema->string != "tlsim-bench-v1")
+        throw std::runtime_error("schema field must be tlsim-bench-v1");
+    const JsonValue *kernels = root.field("kernels");
+    if (!kernels || kernels->kind != JsonValue::Kind::Array ||
+        kernels->array.empty())
+        throw std::runtime_error("kernels must be a non-empty array");
+    for (const JsonValue &k : kernels->array) {
+        const JsonValue *name = k.field("name");
+        const JsonValue *metric = k.field("metric");
+        const JsonValue *value = k.field("value");
+        const JsonValue *wall = k.field("wall_s");
+        if (!name || name->kind != JsonValue::Kind::String ||
+            name->string.empty())
+            throw std::runtime_error("kernel missing name");
+        if (!metric || metric->kind != JsonValue::Kind::String ||
+            metric->string.empty())
+            throw std::runtime_error("kernel missing metric");
+        if (!value || value->kind != JsonValue::Kind::Number ||
+            !std::isfinite(value->number) || value->number <= 0.0)
+            throw std::runtime_error(
+                "kernel value must be a positive finite number");
+        if (!wall || wall->kind != JsonValue::Kind::Number ||
+            !std::isfinite(wall->number) || wall->number < 0.0)
+            throw std::runtime_error(
+                "kernel wall_s must be a finite number");
+    }
+    const JsonValue *rss = root.field("peak_rss_bytes");
+    if (!rss || rss->kind != JsonValue::Kind::Number ||
+        rss->number <= 0.0)
+        throw std::runtime_error("peak_rss_bytes must be positive");
+}
+
+JsonValue
+loadJsonFile(const std::string &path)
+{
+    std::ifstream in(path);
+    if (!in)
+        throw std::runtime_error("cannot read " + path);
+    std::stringstream buffer;
+    buffer << in.rdbuf();
+    std::string text = buffer.str();
+    JsonParser parser(text);
+    return parser.parse();
+}
+
+std::map<std::string, double>
+compareToBaseline(const std::vector<Kernel> &kernels,
+                  const std::string &baseline_path)
+{
+    JsonValue base = loadJsonFile(baseline_path);
+    validateBenchJson(base);
+
+    std::map<std::string, double> speedups;
+    std::cout << "\ncomparison vs " << baseline_path << ":\n";
+    for (const Kernel &k : kernels) {
+        const JsonValue *match = nullptr;
+        for (const JsonValue &b : base.field("kernels")->array) {
+            if (b.field("name")->string == k.name) {
+                match = &b;
+                break;
+            }
+        }
+        if (!match) {
+            std::cout << "  " << k.name << ": no baseline entry\n";
+            continue;
+        }
+        double base_value = match->field("value")->number;
+        // wall_s shrinks when faster; rates grow when faster.
+        double speedup = k.metric == "wall_s" ? base_value / k.value
+                                              : k.value / base_value;
+        speedups[k.name] = speedup;
+        std::cout << "  " << k.name << ": " << base_value << " -> "
+                  << k.value << " (" << k.metric << "), speedup "
+                  << speedup << "x\n";
+    }
+    return speedups;
+}
+
+void
+usage()
+{
+    std::cout
+        << "usage: tlsim_bench [options]\n"
+           "  --quick            CI-sized kernels (default: full)\n"
+           "  --jobs N           sweep worker threads (default 1)\n"
+           "  --out FILE         output JSON (default "
+           "BENCH_kernel.json)\n"
+           "  --compare FILE     report speedups vs a baseline "
+           "BENCH json\n"
+           "  --validate FILE    schema-check an existing BENCH json "
+           "and exit\n"
+           "  --help             this text\n";
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    bool quick = false;
+    int jobs = 1;
+    std::string out_path = "BENCH_kernel.json";
+    std::string compare_path;
+    std::string validate_path;
+
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        auto next = [&]() -> std::string {
+            if (i + 1 >= argc) {
+                std::cerr << arg << " needs a value\n";
+                std::exit(2);
+            }
+            return argv[++i];
+        };
+        if (arg == "--quick") {
+            quick = true;
+        } else if (arg == "--jobs") {
+            jobs = std::stoi(next());
+        } else if (arg == "--out") {
+            out_path = next();
+        } else if (arg == "--compare") {
+            compare_path = next();
+        } else if (arg == "--validate") {
+            validate_path = next();
+        } else if (arg == "--help") {
+            usage();
+            return 0;
+        } else {
+            std::cerr << "unknown option " << arg << "\n";
+            usage();
+            return 2;
+        }
+    }
+
+    if (!validate_path.empty()) {
+        try {
+            validateBenchJson(loadJsonFile(validate_path));
+        } catch (const std::exception &ex) {
+            std::cerr << validate_path << ": " << ex.what() << "\n";
+            return 1;
+        }
+        std::cout << validate_path << ": schema ok\n";
+        return 0;
+    }
+
+    try {
+        std::vector<Kernel> kernels;
+        kernels.push_back(benchEventqThroughput(quick));
+        kernels.push_back(benchEventqChurn(quick));
+        kernels.push_back(benchPulseSimCold(quick));
+        kernels.push_back(benchPhyscacheHot(quick));
+        auto [hot, cold] = benchSweepQuickstart(quick, jobs);
+        kernels.push_back(hot);
+        kernels.push_back(cold);
+
+        for (const Kernel &k : kernels) {
+            std::cout << k.name << ": " << k.value << " " << k.metric
+                      << " (" << k.wallS << " s)\n";
+        }
+
+        std::map<std::string, double> speedups;
+        if (!compare_path.empty())
+            speedups = compareToBaseline(kernels, compare_path);
+
+        writeJson(out_path, kernels, quick, jobs, speedups,
+                  compare_path);
+        std::cout << "\nwrote " << out_path << "\n";
+    } catch (const std::exception &ex) {
+        std::cerr << "tlsim_bench: " << ex.what() << "\n";
+        return 1;
+    }
+    return 0;
+}

@@ -16,7 +16,12 @@ Dram::Dram(EventQueue &eq, stats::StatGroup *parent, Cycles latency_,
       writes(this, "writes", "DRAM writeback requests"),
       queueDelay(this, "queue_delay",
                  "cycles spent waiting for an outstanding slot")
-{}
+{
+    for (int i = 0; i < max_outstanding; ++i) {
+        finishEvents.emplace_back(*this);
+        finishEventFree.push_back(&finishEvents.back());
+    }
+}
 
 void
 Dram::read(Addr block_addr, Tick now, RespCallback cb)
@@ -57,10 +62,28 @@ Dram::startNext(Tick now)
                        trace::tid::dram);
         }
         RespCallback cb = std::move(pending.cb);
-        eventq.scheduleFunc(done, [this, cb = std::move(cb), done]() {
-            finish(done, cb);
-        });
+        if (useTypedHotPathEvents && !finishEventFree.empty()) {
+            FinishEvent *ev = finishEventFree.back();
+            finishEventFree.pop_back();
+            ev->cb = std::move(cb);
+            eventq.schedule(ev, done);
+        } else {
+            eventq.scheduleFunc(done,
+                                [this, cb = std::move(cb), done]() {
+                                    finish(done, cb);
+                                });
+        }
     }
+}
+
+void
+Dram::FinishEvent::process()
+{
+    Tick t = when();
+    RespCallback done_cb = std::move(cb);
+    cb = nullptr;
+    owner.finishEventFree.push_back(this);
+    owner.finish(t, done_cb);
 }
 
 void

@@ -68,6 +68,29 @@ class Dram : public stats::StatGroup
     void startNext(Tick now);
     void finish(Tick now, RespCallback cb);
 
+    /**
+     * Pre-allocated intrusive completion event; one per outstanding
+     * slot, so the pool never runs dry (the lambda path backs it up
+     * defensively). Moving the RespCallback in and out transfers its
+     * buffer without allocating. Owned by the Dram, never the queue.
+     */
+    class FinishEvent : public Event
+    {
+      public:
+        explicit FinishEvent(Dram &owner_) : owner(owner_) {}
+
+        void process() override;
+        const char *name() const override { return "DramFinishEvent"; }
+
+        RespCallback cb;
+
+      private:
+        Dram &owner;
+    };
+
+    std::deque<FinishEvent> finishEvents;
+    std::vector<FinishEvent *> finishEventFree;
+
     int outstanding = 0;
     std::deque<Pending> waiting;
 };

@@ -37,7 +37,12 @@ L1Cache::L1Cache(const std::string &name, EventQueue &eq,
       writebacks(this, "writebacks", "dirty victims written to L2"),
       mshrStallCycles(this, "mshr_stall_cycles",
                       "cycles requests waited for a free MSHR")
-{}
+{
+    for (int i = 0; i < num_mshrs; ++i) {
+        missEvents.emplace_back(*this);
+        missEventFree.push_back(&missEvents.back());
+    }
+}
 
 void
 L1Cache::access(const MemRequest &req, RespCallback cb)
@@ -114,12 +119,36 @@ L1Cache::startMiss(Addr block_addr, AccessType type, Tick now)
         type == AccessType::Store ? AccessType::Load : type;
     MemRequest l2_req{block_addr, l2_type, depart, requesterId,
                       idSource->next()};
-    eventq.scheduleFunc(depart, [this, l2_req]() {
-        l2.access(l2_req, [this, block_addr = l2_req.blockAddr](
-                              Tick done) {
-            handleFill(block_addr, done);
-        });
-    });
+    if (useTypedHotPathEvents && !missEventFree.empty()) {
+        MissEvent *ev = missEventFree.back();
+        missEventFree.pop_back();
+        ev->req = l2_req;
+        eventq.schedule(ev, depart);
+    } else {
+        eventq.scheduleFunc(depart,
+                            [this, l2_req]() { issueMiss(l2_req); });
+    }
+}
+
+void
+L1Cache::issueMiss(const MemRequest &l2_req)
+{
+    // The fill callback captures 16 bytes and fits std::function's
+    // small buffer; the request itself never hits the allocator.
+    l2.access(l2_req,
+              [this, block_addr = l2_req.blockAddr](Tick done) {
+                  handleFill(block_addr, done);
+              });
+}
+
+void
+L1Cache::MissEvent::process()
+{
+    // Free the slot before issuing: a synchronous L2 response can
+    // admit a queued access that immediately needs an event.
+    MemRequest r = req;
+    owner.missEventFree.push_back(this);
+    owner.issueMiss(r);
 }
 
 void

@@ -129,6 +129,32 @@ class L1Cache : public stats::StatGroup
 
     void startMiss(Addr block_addr, AccessType type, Tick now);
     void handleFill(Addr block_addr, Tick now);
+    void issueMiss(const MemRequest &l2_req);
+
+    /**
+     * Pre-allocated intrusive event carrying one L2-bound miss from
+     * the tag check to its departure tick. One per MSHR: a miss only
+     * schedules while its MSHR is held, so the pool never runs dry
+     * (the lambda path backs it up defensively). Owned by the cache,
+     * never by the queue — the Entry's selfDel snapshot keeps queue
+     * teardown from touching these after the cache is gone.
+     */
+    class MissEvent : public Event
+    {
+      public:
+        explicit MissEvent(L1Cache &owner_) : owner(owner_) {}
+
+        void process() override;
+        const char *name() const override { return "L1MissEvent"; }
+
+        MemRequest req{};
+
+      private:
+        L1Cache &owner;
+    };
+
+    std::deque<MissEvent> missEvents;
+    std::vector<MissEvent *> missEventFree;
 
     std::uint64_t useCounter = 0;
     std::unordered_map<Addr, Mshr> mshrs;

@@ -1,5 +1,6 @@
 #include "mem/l2registry.hh"
 
+#include <algorithm>
 #include <sstream>
 #include <utility>
 
@@ -11,11 +12,16 @@ namespace tlsim::l2
 namespace
 {
 
-/** Function-local static sidesteps init-order races with Registrars. */
-std::map<std::string, Factory> &
+/**
+ * Function-local static sidesteps init-order races with Registrars.
+ * Hashed, not ordered: build() looks a design up per System
+ * construction, and the few callers that need sorted names
+ * (names(), error messages) sort explicitly.
+ */
+std::unordered_map<std::string, Factory> &
 table()
 {
-    static std::map<std::string, Factory> designs;
+    static std::unordered_map<std::string, Factory> designs;
     return designs;
 }
 
@@ -24,7 +30,7 @@ knownList()
 {
     std::ostringstream os;
     bool first = true;
-    for (const auto &[name, factory] : table()) {
+    for (const auto &name : Registry::names()) {
         if (!first)
             os << ", ";
         os << name;
@@ -64,9 +70,11 @@ std::vector<std::string>
 Registry::names()
 {
     std::vector<std::string> out;
+    out.reserve(table().size());
     for (const auto &[name, factory] : table())
         out.push_back(name);
-    return out; // std::map iteration is already sorted
+    std::sort(out.begin(), out.end());
+    return out;
 }
 
 double

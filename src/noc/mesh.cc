@@ -162,7 +162,12 @@ Mesh::sendToBank(Coord dst, int flits, Tick now, DeliverCallback cb)
                    csprintf("to ({},{})", dst.row, dst.col), now, tail,
                    trace::tid::nocBase);
     }
-    eventq.scheduleFunc(tail, [cb = std::move(cb), tail]() { cb(tail); });
+    if (useTypedHotPathEvents) {
+        eventq.scheduleCallback(tail, std::move(cb));
+    } else {
+        eventq.scheduleFunc(tail,
+                            [cb = std::move(cb), tail]() { cb(tail); });
+    }
 }
 
 void
@@ -180,7 +185,12 @@ Mesh::sendToController(Coord src, int flits, Tick now,
                    csprintf("from ({},{})", src.row, src.col), now,
                    tail, trace::tid::nocUpBase);
     }
-    eventq.scheduleFunc(tail, [cb = std::move(cb), tail]() { cb(tail); });
+    if (useTypedHotPathEvents) {
+        eventq.scheduleCallback(tail, std::move(cb));
+    } else {
+        eventq.scheduleFunc(tail,
+                            [cb = std::move(cb), tail]() { cb(tail); });
+    }
 }
 
 void
@@ -225,6 +235,9 @@ Mesh::multicastToColumn(int col, const std::vector<int> &rows,
                    trace::tid::nocBase);
     }
 
+    // Stays on scheduleFunc: the (row, tick) callback shape doesn't
+    // fit scheduleCallback's void(Tick), and multicasts are rare
+    // enough (one per DNUCA broadcast search) not to matter.
     for (int row : rows) {
         Tick tail = arrival[static_cast<std::size_t>(row)] +
                     static_cast<Tick>(flits - 1);
@@ -239,7 +252,12 @@ Mesh::sendBankToBank(Coord src, Coord dst, int flits, Tick now,
 {
     auto route = buildRoute(src, dst);
     Tick tail = routeMessage(route, flits, now);
-    eventq.scheduleFunc(tail, [cb = std::move(cb), tail]() { cb(tail); });
+    if (useTypedHotPathEvents) {
+        eventq.scheduleCallback(tail, std::move(cb));
+    } else {
+        eventq.scheduleFunc(tail,
+                            [cb = std::move(cb), tail]() { cb(tail); });
+    }
 }
 
 std::uint64_t

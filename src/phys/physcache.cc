@@ -1,0 +1,180 @@
+#include "phys/physcache.hh"
+
+#include <bit>
+#include <mutex>
+
+#include "phys/rcwire.hh"
+
+namespace tlsim
+{
+namespace phys
+{
+
+namespace
+{
+
+/** Distinct tags keep the three memoized entry points disjoint. */
+constexpr std::uint64_t tagExtract = 0x45585452ULL; // "EXTR"
+constexpr std::uint64_t tagPulse = 0x50554c53ULL;   // "PULS"
+constexpr std::uint64_t tagRcDelay = 0x52435744ULL; // "RCWD"
+
+} // namespace
+
+PhysCache &
+PhysCache::instance()
+{
+    static PhysCache cache;
+    return cache;
+}
+
+void
+PhysCache::Key::push(std::uint64_t w)
+{
+    words[len++] = w;
+}
+
+void
+PhysCache::Key::push(double v)
+{
+    // Bit patterns, not values: -0.0 != 0.0 is fine (both compute the
+    // same way every time), and NaNs never reach the physics inputs.
+    push(std::bit_cast<std::uint64_t>(v));
+}
+
+bool
+PhysCache::Key::operator==(const Key &o) const
+{
+    if (len != o.len)
+        return false;
+    for (std::uint32_t i = 0; i < len; ++i) {
+        if (words[i] != o.words[i])
+            return false;
+    }
+    return true;
+}
+
+std::size_t
+PhysCache::KeyHash::operator()(const Key &k) const
+{
+    // FNV-1a over the used words.
+    std::uint64_t h = 0xcbf29ce484222325ULL;
+    for (std::uint32_t i = 0; i < k.len; ++i) {
+        std::uint64_t w = k.words[i];
+        for (int b = 0; b < 8; ++b) {
+            h ^= (w >> (8 * b)) & 0xffULL;
+            h *= 0x100000001b3ULL;
+        }
+    }
+    return static_cast<std::size_t>(h);
+}
+
+PhysCache::Key
+PhysCache::baseKey(std::uint64_t tag, const Technology &tech,
+                   const WireGeometry &geom)
+{
+    Key key;
+    key.push(tag);
+    key.push(tech.featureSize);
+    key.push(tech.lambda);
+    key.push(tech.vdd);
+    key.push(tech.clockFreq);
+    key.push(tech.copperResistivity);
+    key.push(tech.bulkCopperResistivity);
+    key.push(tech.dielectricK);
+    key.push(tech.minInverterResistance);
+    key.push(tech.minInverterCapacitance);
+    key.push(tech.minInverterParasitic);
+    key.push(tech.sramCellArea);
+    key.push(tech.minInverterWidthLambda);
+    key.push(tech.activityFactor);
+    key.push(tech.channelBlockageFraction);
+    key.push(geom.width);
+    key.push(geom.spacing);
+    key.push(geom.height);
+    key.push(geom.thickness);
+    return key;
+}
+
+bool
+PhysCache::lookup(const Key &key, Value &out)
+{
+    {
+        std::shared_lock lock(mutex);
+        auto it = table.find(key);
+        if (it != table.end()) {
+            out = it->second;
+            hitCount.fetch_add(1, std::memory_order_relaxed);
+            return true;
+        }
+    }
+    missCount.fetch_add(1, std::memory_order_relaxed);
+    return false;
+}
+
+void
+PhysCache::insert(const Key &key, const Value &value)
+{
+    std::unique_lock lock(mutex);
+    // A racing thread may have inserted the same key; both computed
+    // the identical value from the identical inputs, so first wins.
+    table.try_emplace(key, value);
+}
+
+LineParams
+PhysCache::extract(const Technology &tech, const WireGeometry &geom)
+{
+    Key key = baseKey(tagExtract, tech, geom);
+    Value v;
+    if (lookup(key, v))
+        return v.params;
+    FieldSolver solver(tech);
+    v.params = solver.extract(geom);
+    insert(key, v);
+    return v.params;
+}
+
+PulseResult
+PhysCache::pulse(const Technology &tech, const WireGeometry &geom,
+                 double length, double source_r, std::size_t num_samples,
+                 double window)
+{
+    Key key = baseKey(tagPulse, tech, geom);
+    key.push(length);
+    key.push(source_r);
+    key.push(static_cast<std::uint64_t>(num_samples));
+    key.push(window);
+    Value v;
+    if (lookup(key, v))
+        return v.pulse;
+    PulseSimulator sim(tech, num_samples, window);
+    v.pulse = sim.simulate(geom, length, source_r);
+    insert(key, v);
+    return v.pulse;
+}
+
+double
+PhysCache::rcDelay(const Technology &tech, const WireGeometry &geom,
+                   double length)
+{
+    Key key = baseKey(tagRcDelay, tech, geom);
+    key.push(length);
+    Value v;
+    if (lookup(key, v))
+        return v.scalar;
+    RcWireModel rc(tech, geom);
+    v.scalar = rc.delay(length);
+    insert(key, v);
+    return v.scalar;
+}
+
+void
+PhysCache::clear()
+{
+    std::unique_lock lock(mutex);
+    table.clear();
+    hitCount.store(0);
+    missCount.store(0);
+}
+
+} // namespace phys
+} // namespace tlsim

@@ -1,0 +1,129 @@
+/**
+ * @file
+ * Process-wide memoization of the expensive closed-form physics.
+ *
+ * A sweep evaluates the same handful of (technology, geometry,
+ * length) tuples thousands of times: every RunSpec rebuilds its
+ * System, and every System re-runs FieldSolver::extract for each
+ * floorplan pair, the per-pair PulseSimulator::simulate fault-margin
+ * loop, and RcWireModel::delay for the RC fallback bundles. The
+ * PhysCache memoizes those three entry points behind a shared-mutex
+ * (read-mostly) table so each unique waveform is computed exactly
+ * once per process, no matter how many runs or worker threads ask.
+ *
+ * Determinism: the cache only stores values that the underlying
+ * models compute deterministically from the key, so a memo-hot run
+ * returns bit-identical results to a memo-cold run (asserted by
+ * tests/test_physcache.cc and the sweep determinism tests).
+ */
+
+#ifndef TLSIM_PHYS_PHYSCACHE_HH
+#define TLSIM_PHYS_PHYSCACHE_HH
+
+#include <array>
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <shared_mutex>
+#include <unordered_map>
+
+#include "phys/fieldsolver.hh"
+#include "phys/geometry.hh"
+#include "phys/pulse.hh"
+#include "phys/technology.hh"
+
+namespace tlsim
+{
+namespace phys
+{
+
+/**
+ * Shared, thread-safe memo table for extract/simulate/delay results.
+ *
+ * Keys hash the exact bit patterns of every double that feeds the
+ * computation (all Technology fields, the geometry, the length and
+ * simulator parameters), so two technologies that differ in any
+ * assumption never share an entry. On a miss the value is computed
+ * outside the lock; a racing duplicate insert is benign because both
+ * threads compute the identical value from the identical key.
+ */
+class PhysCache
+{
+  public:
+    /** The process-wide instance. */
+    static PhysCache &instance();
+
+    /** Memoized FieldSolver::extract. */
+    LineParams extract(const Technology &tech, const WireGeometry &geom);
+
+    /**
+     * Memoized PulseSimulator::simulate with explicit simulator
+     * parameters (num_samples / window follow PulseSimulator's
+     * constructor defaults).
+     */
+    PulseResult pulse(const Technology &tech, const WireGeometry &geom,
+                      double length, double source_r = -1.0,
+                      std::size_t num_samples = 4096, double window = 0.0);
+
+    /** Memoized RcWireModel(tech, geom).delay(length). */
+    double rcDelay(const Technology &tech, const WireGeometry &geom,
+                   double length);
+
+    /** Drop every entry (for memo-cold determinism tests/benches). */
+    void clear();
+
+    /** Lookups served from the table since construction/clear(). */
+    std::uint64_t hits() const { return hitCount.load(); }
+
+    /** Lookups that had to run the underlying model. */
+    std::uint64_t misses() const { return missCount.load(); }
+
+  private:
+    PhysCache() = default;
+
+    /**
+     * Fixed-capacity key: a tag plus the bit patterns of every input
+     * double. Full-width equality backs the hash, so distinct inputs
+     * can never alias.
+     */
+    struct Key
+    {
+        static constexpr std::size_t maxWords = 24;
+        std::array<std::uint64_t, maxWords> words{};
+        std::uint32_t len = 0;
+
+        void push(std::uint64_t w);
+        void push(double v);
+        bool operator==(const Key &o) const;
+    };
+
+    struct KeyHash
+    {
+        std::size_t operator()(const Key &k) const;
+    };
+
+    /** One value slot; only the field matching the key's tag is set. */
+    struct Value
+    {
+        LineParams params{};
+        PulseResult pulse{};
+        double scalar = 0.0;
+    };
+
+    static Key baseKey(std::uint64_t tag, const Technology &tech,
+                       const WireGeometry &geom);
+
+    /** Returns true and fills out on a hit. */
+    bool lookup(const Key &key, Value &out);
+    void insert(const Key &key, const Value &value);
+
+    mutable std::shared_mutex mutex;
+    std::unordered_map<Key, Value, KeyHash> table;
+    std::atomic<std::uint64_t> hitCount{0};
+    std::atomic<std::uint64_t> missCount{0};
+};
+
+} // namespace phys
+} // namespace tlsim
+
+#endif // TLSIM_PHYS_PHYSCACHE_HH

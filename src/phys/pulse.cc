@@ -23,6 +23,31 @@ PulseSimulator::PulseSimulator(const Technology &tech_,
     TLSIM_ASSERT(isPowerOfTwo(numSamples), "FFT size must be 2^k");
 }
 
+const std::vector<double> &
+PulseSimulator::acTableFor(const WireGeometry &geom, std::size_t n) const
+{
+    for (const auto &t : acTables) {
+        if (t.n == n && t.geom.width == geom.width &&
+            t.geom.spacing == geom.spacing &&
+            t.geom.height == geom.height &&
+            t.geom.thickness == geom.thickness) {
+            return t.r;
+        }
+    }
+    AcTable t;
+    t.geom = geom;
+    t.n = n;
+    t.r.assign(n / 2 + 1, 0.0);
+    const double span = static_cast<double>(n) /
+                        static_cast<double>(numSamples) * window;
+    for (std::size_t k = 1; k <= n / 2; ++k) {
+        double freq = static_cast<double>(k) / span;
+        t.r[k] = solver.acResistance(geom, freq);
+    }
+    acTables.push_back(std::move(t));
+    return acTables.back().r;
+}
+
 std::vector<double>
 PulseSimulator::propagate(std::vector<Complex> signal,
                           const WireGeometry &geom, double length,
@@ -34,6 +59,7 @@ PulseSimulator::propagate(std::vector<Complex> signal,
     const std::size_t n = signal.size();
     const double span = static_cast<double>(n) /
                         static_cast<double>(numSamples) * window;
+    const std::vector<double> &r_ac_table = acTableFor(geom, n);
 
     fft(signal);
 
@@ -45,7 +71,7 @@ PulseSimulator::propagate(std::vector<Complex> signal,
         if (k > 0) {
             double freq = static_cast<double>(k) / span;
             double omega = 2.0 * M_PI * freq;
-            double r_ac = solver.acResistance(geom, freq);
+            double r_ac = r_ac_table[k];
             Complex series(r_ac, omega * params.inductance);
             Complex shunt(0.0, omega * params.capacitance);
             Complex gamma = std::sqrt(series * shunt);

@@ -134,6 +134,27 @@ class PulseSimulator
               const WireGeometry &geom, double length,
               double source_r) const;
 
+    /**
+     * Skin-effect resistance per frequency bin, hoisted out of the
+     * per-bin transfer-function loop and memoized per (geometry,
+     * spectrum size) across propagate() calls on this instance.
+     * Entries are exact per-bin acResistance values, so cached and
+     * uncached propagation are bit-identical. Instances are not
+     * shared across threads (each user constructs its own).
+     */
+    struct AcTable
+    {
+        WireGeometry geom{};
+        std::size_t n = 0;
+        std::vector<double> r;
+    };
+
+    /** Find or build the r_ac table for one spectrum. */
+    const std::vector<double> &acTableFor(const WireGeometry &geom,
+                                          std::size_t n) const;
+
+    mutable std::vector<AcTable> acTables;
+
     const Technology &tech;
     FieldSolver solver;
     std::size_t numSamples;

@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "phys/physcache.hh"
 #include "sim/logging.hh"
 
 namespace tlsim
@@ -13,8 +14,7 @@ TransmissionLine::TransmissionLine(const Technology &tech_, double length)
     : tech(tech_), _length(length), spec(specForLength(length))
 {
     TLSIM_ASSERT(length > 0.0, "transmission line needs positive length");
-    FieldSolver solver(tech);
-    params = solver.extract(spec.geometry);
+    params = PhysCache::instance().extract(tech, spec.geometry);
 }
 
 int

@@ -35,6 +35,17 @@ class EventQueue;
 inline void (*scheduleViolationHook)() = nullptr;
 
 /**
+ * When true (the default) the memory-system hot paths schedule
+ * intrusive pre-allocated typed events; when false they fall back to
+ * the historical scheduleFunc lambda path. The two paths schedule at
+ * identical ticks/priorities in identical order, so results are
+ * bit-identical either way — the toggle exists so the determinism
+ * tests can assert exactly that. Flip only between runs, never while
+ * a System is live.
+ */
+inline bool useTypedHotPathEvents = true;
+
+/**
  * Base class for all schedulable events.
  *
  * An Event may be scheduled on at most one queue at a time. The queue
@@ -73,15 +84,18 @@ class Event
     int priority() const { return _priority; }
 
     /**
-     * True for events the queue machinery owns and reclaims (exactly
-     * the LambdaEvents); lets the stale-entry pop path avoid a
-     * dynamic_cast.
+     * True for events the queue machinery owns and reclaims (the
+     * LambdaEvents and TickCallbackEvents); lets the stale-entry pop
+     * path avoid a dynamic_cast.
      */
     bool selfDeleting() const { return _selfDeleting; }
 
   protected:
-    /** Only LambdaEvent marks itself; see selfDeleting(). */
+    /** Only the pooled one-shot events mark themselves. */
     void markSelfDeleting() { _selfDeleting = true; }
+
+    /** Distinguishes the two pooled one-shot flavours on reclaim. */
+    void markTickCallback() { _tickCallback = true; }
 
   private:
     friend class EventQueue;
@@ -91,6 +105,7 @@ class Event
     int _priority;
     bool _scheduled = false;
     bool _selfDeleting = false;
+    bool _tickCallback = false;
 };
 
 /**
@@ -133,6 +148,51 @@ class LambdaEvent : public Event
 };
 
 /**
+ * Pooled one-shot event that hands its fire tick to the callback.
+ *
+ * The memory system's dominant scheduling pattern is "run cb(t) at
+ * tick t": delivering a response, completing a DRAM access, retiring
+ * a writeback. Wrapping that in a LambdaEvent forces the tick (and
+ * often a moved std::function) into a closure too big for the
+ * std::function small-buffer, heap-allocating on every L2 access.
+ * TickCallbackEvent stores the std::function<void(Tick)> directly
+ * (moving one transfers its buffer without allocating) and passes
+ * when() at dispatch, so the hot path stops touching the allocator.
+ */
+class TickCallbackEvent : public Event
+{
+  public:
+    explicit TickCallbackEvent(std::function<void(Tick)> fn,
+                               int priority = Event::defaultPriority)
+        : Event(priority), func(std::move(fn))
+    {
+        markSelfDeleting();
+        markTickCallback();
+    }
+
+    void process() override; // defined after EventQueue
+
+    const char *name() const override { return "TickCallbackEvent"; }
+
+  private:
+    friend class EventQueue;
+
+    /** Refill a pooled event for its next one-shot use. */
+    void
+    rearm(std::function<void(Tick)> fn)
+    {
+        func = std::move(fn);
+        pooled = false;
+    }
+
+    std::function<void(Tick)> func;
+    /** Owning queue whose freelist reclaims this event (or null). */
+    EventQueue *owner = nullptr;
+    /** True while sitting in the owner's freelist. */
+    bool pooled = false;
+};
+
+/**
  * Deterministic discrete-event queue.
  *
  * Deschedule is implemented by squashing: the heap entry stays but is
@@ -148,15 +208,20 @@ class EventQueue
 
     ~EventQueue()
     {
-        // Reclaim machinery-owned lambdas still referenced by heap
-        // entries (descheduled or never fired), then free the pool.
+        // Reclaim machinery-owned one-shots still referenced by heap
+        // entries (descheduled or never fired), then free the pools.
         // recycle() is idempotent per event via the pooled flag, so
-        // duplicate stale entries are harmless.
+        // duplicate stale entries are harmless. The self-deleting
+        // flag is read from the Entry, not the event: externally
+        // owned events may already be destroyed by the time the
+        // queue goes down, and their entries must not be followed.
         for (const Entry &entry : heap) {
-            if (entry.event->selfDeleting())
-                recycle(static_cast<LambdaEvent *>(entry.event));
+            if (entry.selfDel)
+                recycleAny(entry.event);
         }
         for (LambdaEvent *ev : lambdaPool)
+            delete ev;
+        for (TickCallbackEvent *ev : callbackPool)
             delete ev;
     }
 
@@ -190,10 +255,16 @@ class EventQueue
         event->_when = when;
         event->_sequence = nextSequence++;
         event->_scheduled = true;
-        heap.push_back(
-            Entry{when, event->_priority, event->_sequence, event});
+        heap.push_back(Entry{when, event, event->_sequence,
+                             event->_priority, event->_selfDeleting});
         std::push_heap(heap.begin(), heap.end(), Later{});
         ++liveCount;
+        // Retry-heavy runs squash far more entries than they fire;
+        // compact before stale entries dominate the heap.
+        if (heap.size() > compactMinHeap &&
+            heap.size() - liveCount > 2 * liveCount) {
+            compact();
+        }
     }
 
     /**
@@ -244,6 +315,37 @@ class EventQueue
             schedule(ev, when);
         } catch (...) {
             recycle(ev); // past-tick panic must not strand the event
+            throw;
+        }
+        return ev;
+    }
+
+    /**
+     * Convenience: schedule a pooled one-shot that receives its fire
+     * tick. Preferred over scheduleFunc for the "deliver cb(t) at t"
+     * pattern — the callback is moved into the event (no closure, no
+     * allocation) instead of being captured alongside the tick.
+     * @return The created event (owned by the queue machinery).
+     */
+    Event *
+    scheduleCallback(Tick when, std::function<void(Tick)> fn,
+                     int priority = Event::defaultPriority)
+    {
+        TickCallbackEvent *ev;
+        if (!callbackPool.empty()) {
+            ev = callbackPool.back();
+            callbackPool.pop_back();
+            ev->rearm(std::move(fn));
+            ev->_priority = priority;
+        } else {
+            ev = new TickCallbackEvent(std::move(fn), priority);
+            ev->owner = this;
+            ++callbackAllocatedCount;
+        }
+        try {
+            schedule(ev, when);
+        } catch (...) {
+            recycleCallback(ev);
             throw;
         }
         return ev;
@@ -332,15 +434,47 @@ class EventQueue
         return lambdaAllocatedCount - lambdaPool.size();
     }
 
+    /** TickCallbackEvents ever allocated by scheduleCallback. */
+    std::size_t callbackAllocated() const { return callbackAllocatedCount; }
+
+    /** TickCallbackEvents currently resting in the freelist. */
+    std::size_t callbackPoolSize() const { return callbackPool.size(); }
+
+    /** Machinery-owned TickCallbackEvents in flight. */
+    std::size_t
+    callbackOutstanding() const
+    {
+        return callbackAllocatedCount - callbackPool.size();
+    }
+
+    /** Heap entries, live and squashed (>= size()). */
+    std::size_t heapSize() const { return heap.size(); }
+
+    /** Squashed (stale) entries still occupying the heap. */
+    std::size_t staleCount() const { return heap.size() - liveCount; }
+
+    /** Times the heap was compacted to shed squashed entries. */
+    std::uint64_t compactions() const { return compactionCount; }
+
   private:
     friend class LambdaEvent;
+    friend class TickCallbackEvent;
+
+    /** Below this heap size compaction is never worth the make_heap. */
+    static constexpr std::size_t compactMinHeap = 64;
 
     struct Entry
     {
         Tick when;
-        int priority;
-        std::uint64_t sequence;
         Event *event;
+        std::uint64_t sequence;
+        int priority;
+        /**
+         * Snapshot of event->selfDeleting() at schedule time, so the
+         * destructor and compaction can classify entries without
+         * dereferencing possibly-dead external events.
+         */
+        bool selfDel;
     };
 
     struct Later
@@ -410,24 +544,78 @@ class EventQueue
         ev->owner->lambdaPool.push_back(ev);
     }
 
+    /** Return a machinery-owned tick callback to its freelist. */
+    static void
+    recycleCallback(TickCallbackEvent *ev)
+    {
+        if (ev->pooled)
+            return;
+        if (!ev->owner) {
+            delete ev;
+            return;
+        }
+        ev->pooled = true;
+        ev->func = nullptr;
+        ev->owner->callbackPool.push_back(ev);
+    }
+
+    /** Recycle either pooled one-shot flavour (ev must be alive). */
+    static void
+    recycleAny(Event *ev)
+    {
+        if (ev->_tickCallback)
+            recycleCallback(static_cast<TickCallbackEvent *>(ev));
+        else
+            recycle(static_cast<LambdaEvent *>(ev));
+    }
+
     /**
-     * Reclaim a LambdaEvent whose squashed entry was just dropped.
-     * Only safe when the event is not live elsewhere (rescheduled
-     * events carry a newer sequence and stay alive).
+     * Reclaim a pooled one-shot whose squashed entry was just
+     * dropped. Only safe when the event is not live elsewhere
+     * (rescheduled events carry a newer sequence and stay alive).
      */
     static void
     maybeReclaimSquashed(Event *ev)
     {
         if (!ev->_scheduled && ev->selfDeleting())
-            recycle(static_cast<LambdaEvent *>(ev));
+            recycleAny(ev);
+    }
+
+    /**
+     * Drop every stale entry and re-heapify. Dispatch order is
+     * unaffected: the comparator's (when, priority, sequence) is a
+     * total order over live entries, which make_heap re-establishes
+     * exactly. Squashed self-deleting events are reclaimed here the
+     * same way the lazy pop path would have.
+     */
+    void
+    compact()
+    {
+        auto out = heap.begin();
+        for (auto &entry : heap) {
+            if (!isStale(entry)) {
+                *out++ = entry;
+                continue;
+            }
+            // Stale entries of live events (rescheduled under a newer
+            // sequence) are dropped but their event stays alive.
+            if (entry.selfDel)
+                maybeReclaimSquashed(entry.event);
+        }
+        heap.erase(out, heap.end());
+        std::make_heap(heap.begin(), heap.end(), Later{});
+        ++compactionCount;
     }
 
     std::vector<Entry> heap;
     std::vector<LambdaEvent *> lambdaPool;
+    std::vector<TickCallbackEvent *> callbackPool;
     Tick curTick = 0;
     std::uint64_t nextSequence = 0;
     std::size_t liveCount = 0;
     std::size_t lambdaAllocatedCount = 0;
+    std::size_t callbackAllocatedCount = 0;
+    std::uint64_t compactionCount = 0;
 };
 
 inline void
@@ -438,6 +626,17 @@ LambdaEvent::process()
     auto fn = std::move(func);
     EventQueue::recycle(this);
     fn();
+}
+
+inline void
+TickCallbackEvent::process()
+{
+    // Capture the fire tick before recycling: a rearm from inside
+    // fn() would overwrite it.
+    Tick t = when();
+    auto fn = std::move(func);
+    EventQueue::recycleCallback(this);
+    fn(t);
 }
 
 } // namespace tlsim

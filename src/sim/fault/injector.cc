@@ -73,10 +73,24 @@ parseSchedule(const std::string &spec, const char *what)
     return out;
 }
 
+std::vector<Tick>
+Injector::flatten(const std::map<int, Tick> &sched)
+{
+    std::vector<Tick> out;
+    if (sched.empty())
+        return out;
+    out.assign(static_cast<std::size_t>(sched.rbegin()->first) + 1,
+               MaxTick);
+    for (const auto &[id, tick] : sched)
+        out[static_cast<std::size_t>(id)] = tick;
+    return out;
+}
+
 Injector::Injector(const FaultConfig &config, std::uint64_t stream_seed)
     : cfg(config), rng(mix(config.seed) ^ mix(stream_seed)),
-      deadAt(parseSchedule(config.deadLinks, "deadLinks")),
-      stuckAt(parseSchedule(config.stuckBanks, "stuckBanks"))
+      deadAt(flatten(parseSchedule(config.deadLinks, "deadLinks"))),
+      stuckAt(flatten(parseSchedule(config.stuckBanks, "stuckBanks"))),
+      anyDead(!deadAt.empty()), anyStuck(!stuckAt.empty())
 {
 }
 
@@ -94,14 +108,17 @@ void
 Injector::setLinkWeight(int link, double weight)
 {
     TLSIM_ASSERT(weight >= 0.0, "negative link fault weight");
-    weights[link] = weight;
+    auto idx = static_cast<std::size_t>(link);
+    if (idx >= weights.size())
+        weights.resize(idx + 1, 1.0);
+    weights[idx] = weight;
 }
 
 double
 Injector::linkWeight(int link) const
 {
-    auto it = weights.find(link);
-    return it == weights.end() ? 1.0 : it->second;
+    auto idx = static_cast<std::size_t>(link);
+    return idx < weights.size() ? weights[idx] : 1.0;
 }
 
 } // namespace fault

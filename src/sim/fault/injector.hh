@@ -73,28 +73,34 @@ class Injector
     /** Error-rate multiplier for @p link (1.0 unless overridden). */
     double linkWeight(int link) const;
 
-    /** True when @p link has permanently failed by tick @p now. */
+    /**
+     * True when @p link has permanently failed by tick @p now.
+     *
+     * Consulted on every traversal, so the schedule lives in a flat
+     * vector indexed by id (MaxTick = never fails) instead of the
+     * node-based map the config parser produces.
+     */
     bool
     linkDead(int link, Tick now) const
     {
-        if (deadAt.empty())
+        if (!anyDead)
             return false;
-        auto it = deadAt.find(link);
-        return it != deadAt.end() && now >= it->second;
+        auto idx = static_cast<std::size_t>(link);
+        return idx < deadAt.size() && now >= deadAt[idx];
     }
 
     /** True when bank @p bank is stuck at tick @p now. */
     bool
     bankStuck(int bank, Tick now) const
     {
-        if (stuckAt.empty())
+        if (!anyStuck)
             return false;
-        auto it = stuckAt.find(bank);
-        return it != stuckAt.end() && now >= it->second;
+        auto idx = static_cast<std::size_t>(bank);
+        return idx < stuckAt.size() && now >= stuckAt[idx];
     }
 
     /** Any dead-link faults scheduled at all (at any tick)? */
-    bool hasDeadLinks() const { return !deadAt.empty(); }
+    bool hasDeadLinks() const { return anyDead; }
 
     /** Exponential backoff before retry number @p attempt (0-based). */
     Tick
@@ -108,11 +114,18 @@ class Injector
     std::uint64_t errorsInjected() const { return injected; }
 
   private:
+    /** Flatten a parsed id->tick schedule into an id-indexed vector. */
+    static std::vector<Tick> flatten(const std::map<int, Tick> &sched);
+
     FaultConfig cfg;
     Rng rng;
-    std::map<int, Tick> deadAt;
-    std::map<int, Tick> stuckAt;
-    std::map<int, double> weights;
+    /** Onset tick per link/bank id; MaxTick = never. */
+    std::vector<Tick> deadAt;
+    std::vector<Tick> stuckAt;
+    bool anyDead = false;
+    bool anyStuck = false;
+    /** Error-rate multiplier per link id; ids past the end are 1.0. */
+    std::vector<double> weights;
     std::uint64_t injected = 0;
 };
 

@@ -6,6 +6,7 @@
 
 #include "mem/l2registry.hh"
 #include "phys/geometry.hh"
+#include "phys/physcache.hh"
 #include "phys/pulse.hh"
 #include "phys/rcwire.hh"
 #include "sim/trace/debug.hh"
@@ -71,11 +72,12 @@ TlcCache::TlcCache(EventQueue &eq, stats::StatGroup *parent,
         // Degraded-mode fallback: a conventional repeated-RC bundle
         // routed alongside each pair's transmission lines, clamped to
         // never beat the lines it replaces.
-        phys::RcWireModel rc(tech, phys::conventionalGlobalWire());
+        const phys::WireGeometry rc_geom = phys::conventionalGlobalWire();
         rcFallback.resize(static_cast<std::size_t>(cfg.pairs()));
         rcOneWay.resize(static_cast<std::size_t>(cfg.pairs()));
         for (int p = 0; p < cfg.pairs(); ++p) {
-            double seconds = rc.delay(floorplan.pair(p).length);
+            double seconds = phys::PhysCache::instance().rcDelay(
+                tech, rc_geom, floorplan.pair(p).length);
             Tick cyc = static_cast<Tick>(
                 std::ceil(seconds / tech.cycleTime()));
             rcOneWay[static_cast<std::size_t>(p)] = std::max(
@@ -89,13 +91,12 @@ TlcCache::TlcCache(EventQueue &eq, stats::StatGroup *parent,
             // than comfortable short ones. Weights are fixed before
             // simulation starts, keeping the fault stream a pure
             // function of the spec.
-            phys::PulseSimulator pulse(tech);
             for (int p = 0; p < cfg.pairs(); ++p) {
                 const PairLayout &lay = floorplan.pair(p);
                 const phys::TransmissionLineSpec &spec =
                     phys::specForLength(lay.length);
-                phys::PulseResult pr =
-                    pulse.simulate(spec.geometry, lay.length);
+                phys::PulseResult pr = phys::PhysCache::instance().pulse(
+                    tech, spec.geometry, lay.length);
                 double amp_slack = pr.peakAmplitude / 0.75;
                 double width_slack =
                     pr.pulseWidth / (0.40 * tech.cycleTime());
@@ -387,9 +388,14 @@ TlcCache::handleLoad(Addr block_addr, Tick now, std::uint64_t req,
         // Deliver through the event queue so the L1 observes the fill
         // at the correct simulated time (keeping its MSHR open until
         // then for coalescing).
-        eventq.scheduleFunc(resolved, [cb = std::move(cb), resolved]() {
-            cb(resolved);
-        });
+        if (useTypedHotPathEvents) {
+            eventq.scheduleCallback(resolved, std::move(cb));
+        } else {
+            eventq.scheduleFunc(resolved,
+                                [cb = std::move(cb), resolved]() {
+                                    cb(resolved);
+                                });
+        }
     } else {
         if (give_up)
             ++linkTimeouts;
@@ -473,9 +479,14 @@ TlcCache::handleDegradedLoad(Addr block_addr, Tick now,
         ++useCounter;
         array.touch(frame, *way, useCounter, false);
         recordBreakdown(bd);
-        eventq.scheduleFunc(resolved, [cb = std::move(cb), resolved]() {
-            cb(resolved);
-        });
+        if (useTypedHotPathEvents) {
+            eventq.scheduleCallback(resolved, std::move(cb));
+        } else {
+            eventq.scheduleFunc(resolved,
+                                [cb = std::move(cb), resolved]() {
+                                    cb(resolved);
+                                });
+        }
     } else {
         handleMiss(block_addr, now, resolved, req, bd, std::move(cb));
     }
@@ -570,10 +581,20 @@ TlcCache::handleWrite(Addr block_addr, Tick now, bool is_fill)
         Addr victim_addr =
             (evicted->blockAddr << __builtin_ctz(cfg.groups())) |
             static_cast<Addr>(group);
-        eventq.scheduleFunc(victim_ready,
-                            [this, victim_addr, victim_ready]() {
-                                dram.write(victim_addr, victim_ready);
-                            });
+        if (useTypedHotPathEvents) {
+            // [this, victim_addr] fits the std::function small
+            // buffer; the tick arrives as the callback argument.
+            eventq.scheduleCallback(victim_ready,
+                                    [this, victim_addr](Tick t) {
+                                        dram.write(victim_addr, t);
+                                    });
+        } else {
+            eventq.scheduleFunc(victim_ready,
+                                [this, victim_addr, victim_ready]() {
+                                    dram.write(victim_addr,
+                                               victim_ready);
+                                });
+        }
     }
 }
 

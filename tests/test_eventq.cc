@@ -5,6 +5,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <vector>
 
 #include "sim/eventq.hh"
@@ -286,4 +287,144 @@ TEST(EventQueue, ManyEventsStressOrdering)
     }
     eq.run();
     EXPECT_TRUE(monotone);
+}
+
+TEST(EventQueue, TickCallbackReceivesScheduledTick)
+{
+    EventQueue eq;
+    std::vector<Tick> seen;
+    eq.scheduleCallback(7, [&seen](Tick t) { seen.push_back(t); });
+    eq.scheduleCallback(3, [&seen](Tick t) { seen.push_back(t); });
+    eq.run();
+    EXPECT_EQ(seen, (std::vector<Tick>{3, 7}));
+}
+
+TEST(EventQueue, TickCallbackPoolRecycles)
+{
+    EventQueue eq;
+    int fired = 0;
+    // Strictly sequential one-shots: a single pooled event should
+    // serve every iteration after the first allocation.
+    for (int i = 0; i < 100; ++i) {
+        eq.scheduleCallback(eq.now() + 1,
+                            [&fired](Tick) { ++fired; });
+        eq.run();
+    }
+    EXPECT_EQ(fired, 100);
+    EXPECT_EQ(eq.callbackAllocated(), 1u);
+    EXPECT_EQ(eq.callbackPoolSize(), 1u);
+    EXPECT_EQ(eq.callbackOutstanding(), 0u);
+}
+
+TEST(EventQueue, SquashedTickCallbackReturnsToPool)
+{
+    EventQueue eq;
+    int fired = 0;
+    Event *ev = eq.scheduleCallback(10, [&fired](Tick) { ++fired; });
+    eq.deschedule(ev);
+    eq.scheduleCallback(20, [&fired](Tick) { fired += 10; });
+    eq.run();
+    EXPECT_EQ(fired, 10);
+    EXPECT_EQ(eq.callbackOutstanding(), 0u);
+}
+
+TEST(EventQueue, TypedAndLambdaPathsInterleaveInOrder)
+{
+    // The hot-path conversion relies on typed events and lambda
+    // events sharing one total order (when, priority, sequence)
+    // regardless of which API scheduled them.
+    EventQueue eq;
+    std::vector<int> log;
+    LogEvent typed(&log, 1);
+    eq.scheduleFunc(10, [&log]() { log.push_back(2); });
+    eq.schedule(&typed, 10);
+    eq.scheduleCallback(10, [&log](Tick) { log.push_back(3); });
+    eq.run();
+    // Same tick, same priority: schedule order wins.
+    EXPECT_EQ(log, (std::vector<int>{2, 1, 3}));
+}
+
+TEST(EventQueue, StaleCountTracksSquashedEntries)
+{
+    EventQueue eq;
+    int fired = 0;
+    std::vector<Event *> events;
+    for (int i = 0; i < 10; ++i)
+        events.push_back(eq.scheduleCallback(
+            static_cast<Tick>(100 + i), [&fired](Tick) { ++fired; }));
+    EXPECT_EQ(eq.heapSize(), 10u);
+    EXPECT_EQ(eq.staleCount(), 0u);
+    for (int i = 0; i < 4; ++i)
+        eq.deschedule(events[static_cast<std::size_t>(i)]);
+    // Invariant: live entries + stale entries == heap entries.
+    EXPECT_EQ(eq.size(), 6u);
+    EXPECT_EQ(eq.staleCount(), 4u);
+    EXPECT_EQ(eq.heapSize(), eq.size() + eq.staleCount());
+    eq.run();
+    EXPECT_EQ(fired, 6);
+    EXPECT_TRUE(eq.empty());
+    EXPECT_EQ(eq.staleCount(), 0u);
+}
+
+TEST(EventQueue, CompactionBoundsStaleEntries)
+{
+    EventQueue eq;
+    int fired = 0;
+    // Far-future churn: schedule and immediately squash, never
+    // advancing time, so stale entries can only leave via compaction.
+    for (int i = 0; i < 10'000; ++i) {
+        Event *ev = eq.scheduleCallback(
+            static_cast<Tick>(1'000'000 + i),
+            [&fired](Tick) { ++fired; });
+        eq.deschedule(ev);
+        // The compaction policy caps stale entries at 2x live (once
+        // past the small-heap threshold).
+        if (eq.heapSize() > 64)
+            EXPECT_LE(eq.staleCount(), 2 * eq.size() + 1);
+        EXPECT_EQ(eq.heapSize(), eq.size() + eq.staleCount());
+    }
+    EXPECT_GT(eq.compactions(), 0u);
+    EXPECT_EQ(eq.size(), 0u);
+    // A live sentinel past every squashed tick forces run() to drain
+    // the remaining stale entries (with no live events it would
+    // return immediately and leave them for the destructor).
+    bool sentinel = false;
+    eq.scheduleCallback(2'000'000, [&sentinel](Tick) {
+        sentinel = true;
+    });
+    eq.run();
+    EXPECT_EQ(fired, 0);
+    EXPECT_TRUE(sentinel);
+    // Every squashed pooled callback was reclaimed — by compaction
+    // for the bulk, by the stale-entry pop in run() for the tail —
+    // rather than leaked into dead heap entries.
+    EXPECT_EQ(eq.callbackOutstanding(), 0u);
+}
+
+TEST(EventQueue, CompactionPreservesDispatchOrder)
+{
+    EventQueue eq;
+    std::vector<int> log;
+    std::vector<Event *> doomed;
+    // Interleave keepers and victims at adversarial ticks so the
+    // compacted heap must re-establish ordering from scratch.
+    for (int i = 0; i < 500; ++i) {
+        Tick when = static_cast<Tick>((i * 7919) % 997 + 1);
+        eq.scheduleCallback(when, [&log, i](Tick) { log.push_back(i); });
+        doomed.push_back(eq.scheduleCallback(
+            when, [&log](Tick) { log.push_back(-1); }));
+    }
+    for (Event *ev : doomed)
+        eq.deschedule(ev);
+    eq.run();
+    ASSERT_EQ(log.size(), 500u);
+    // Expected order: by tick, ties by schedule order (ascending i).
+    std::vector<int> expected(500);
+    for (int i = 0; i < 500; ++i)
+        expected[static_cast<std::size_t>(i)] = i;
+    std::stable_sort(expected.begin(), expected.end(),
+                     [](int a, int b) {
+                         return (a * 7919) % 997 < (b * 7919) % 997;
+                     });
+    EXPECT_EQ(log, expected);
 }

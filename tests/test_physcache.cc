@@ -1,0 +1,192 @@
+/**
+ * @file
+ * Tests for the process-wide physics memo cache: memoized values must
+ * be bit-identical to direct computation, hits must actually hit, and
+ * concurrent lookups must be safe.
+ */
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+#include "phys/fieldsolver.hh"
+#include "phys/geometry.hh"
+#include "phys/physcache.hh"
+#include "phys/pulse.hh"
+#include "phys/rcwire.hh"
+#include "phys/technology.hh"
+
+using namespace tlsim::phys;
+
+namespace
+{
+
+class PhysCacheTest : public ::testing::Test
+{
+  protected:
+    // Each test starts memo-cold; the cache is process-wide and other
+    // tests in this binary would otherwise leak entries in.
+    void SetUp() override { PhysCache::instance().clear(); }
+};
+
+} // namespace
+
+TEST_F(PhysCacheTest, ExtractMatchesDirectSolverBitExactly)
+{
+    const Technology &tech = tech45();
+    for (const auto &spec : paperTable1Lines()) {
+        FieldSolver solver(tech);
+        LineParams direct = solver.extract(spec.geometry);
+        LineParams memoized =
+            PhysCache::instance().extract(tech, spec.geometry);
+        // Bit-identical, not approximately equal: the memo sits on
+        // the ResultCache key path, where any drift would silently
+        // invalidate reproduction runs.
+        EXPECT_EQ(direct.resistance, memoized.resistance);
+        EXPECT_EQ(direct.inductance, memoized.inductance);
+        EXPECT_EQ(direct.capacitance, memoized.capacitance);
+        // And the hit must return the same bits again.
+        LineParams hit =
+            PhysCache::instance().extract(tech, spec.geometry);
+        EXPECT_EQ(memoized.resistance, hit.resistance);
+        EXPECT_EQ(memoized.inductance, hit.inductance);
+        EXPECT_EQ(memoized.capacitance, hit.capacitance);
+    }
+}
+
+TEST_F(PhysCacheTest, PulseMatchesDirectSimulatorBitExactly)
+{
+    const Technology &tech = tech45();
+    const auto &spec = paperTable1Lines().front();
+
+    PulseSimulator sim(tech);
+    PulseResult direct = sim.simulate(spec.geometry, spec.length);
+    PulseResult memoized =
+        PhysCache::instance().pulse(tech, spec.geometry, spec.length);
+    EXPECT_EQ(direct.delay, memoized.delay);
+    EXPECT_EQ(direct.peakAmplitude, memoized.peakAmplitude);
+    EXPECT_EQ(direct.pulseWidth, memoized.pulseWidth);
+
+    PulseResult hit =
+        PhysCache::instance().pulse(tech, spec.geometry, spec.length);
+    EXPECT_EQ(memoized.delay, hit.delay);
+    EXPECT_EQ(memoized.peakAmplitude, hit.peakAmplitude);
+    EXPECT_EQ(memoized.pulseWidth, hit.pulseWidth);
+}
+
+TEST_F(PhysCacheTest, RcDelayMatchesDirectModelBitExactly)
+{
+    const Technology &tech = tech45();
+    const WireGeometry geom = conventionalGlobalWire();
+
+    RcWireModel rc(tech, geom);
+    double direct = rc.delay(0.004);
+    double memoized =
+        PhysCache::instance().rcDelay(tech, geom, 0.004);
+    EXPECT_EQ(direct, memoized);
+    EXPECT_EQ(memoized,
+              PhysCache::instance().rcDelay(tech, geom, 0.004));
+}
+
+TEST_F(PhysCacheTest, CountsHitsAndMisses)
+{
+    auto &cache = PhysCache::instance();
+    const Technology &tech = tech45();
+    const auto &lines = paperTable1Lines();
+
+    std::uint64_t misses0 = cache.misses();
+    std::uint64_t hits0 = cache.hits();
+
+    for (const auto &spec : lines)
+        cache.extract(tech, spec.geometry);
+    EXPECT_EQ(cache.misses() - misses0, lines.size());
+    EXPECT_EQ(cache.hits() - hits0, 0u);
+
+    for (const auto &spec : lines)
+        cache.extract(tech, spec.geometry);
+    EXPECT_EQ(cache.misses() - misses0, lines.size());
+    EXPECT_EQ(cache.hits() - hits0, lines.size());
+}
+
+TEST_F(PhysCacheTest, KeySeparatesGeometryLengthAndTechnology)
+{
+    auto &cache = PhysCache::instance();
+    const Technology &tech = tech45();
+    const auto &spec = paperTable1Lines().front();
+
+    std::uint64_t misses0 = cache.misses();
+    cache.pulse(tech, spec.geometry, spec.length);
+    // Different length: a distinct entry, not a false hit.
+    cache.pulse(tech, spec.geometry, spec.length * 2.0);
+    // Different geometry: distinct again.
+    WireGeometry wider = spec.geometry;
+    wider.width *= 2.0;
+    cache.pulse(tech, wider, spec.length);
+    // Different technology: distinct again.
+    Technology scaled = tech;
+    scaled.vdd *= 0.9;
+    cache.pulse(scaled, spec.geometry, spec.length);
+    EXPECT_EQ(cache.misses() - misses0, 4u);
+}
+
+TEST_F(PhysCacheTest, ClearForgetsEverything)
+{
+    auto &cache = PhysCache::instance();
+    const Technology &tech = tech45();
+    const auto &spec = paperTable1Lines().front();
+
+    cache.pulse(tech, spec.geometry, spec.length);
+    cache.clear();
+    std::uint64_t misses0 = cache.misses();
+    cache.pulse(tech, spec.geometry, spec.length);
+    EXPECT_EQ(cache.misses() - misses0, 1u);
+}
+
+TEST_F(PhysCacheTest, ConcurrentLookupsAgree)
+{
+    auto &cache = PhysCache::instance();
+    const Technology &tech = tech45();
+    const auto &lines = paperTable1Lines();
+
+    // Reference values computed single-threaded.
+    std::vector<double> expected;
+    for (const auto &spec : lines)
+        expected.push_back(
+            cache.pulse(tech, spec.geometry, spec.length).delay);
+    cache.clear();
+
+    // Hammer the same entries from several threads while the table is
+    // cold, so insertions race with lookups. Every thread must see the
+    // same bits (first insert wins; duplicate computes are identical).
+    constexpr int numThreads = 8;
+    constexpr int rounds = 50;
+    std::vector<std::vector<double>> got(numThreads);
+    std::vector<std::thread> threads;
+    for (int t = 0; t < numThreads; ++t) {
+        threads.emplace_back([&, t] {
+            for (int r = 0; r < rounds; ++r) {
+                for (const auto &spec : lines) {
+                    got[static_cast<std::size_t>(t)].push_back(
+                        cache.pulse(tech, spec.geometry, spec.length)
+                            .delay);
+                }
+            }
+        });
+    }
+    for (auto &thread : threads)
+        thread.join();
+
+    for (int t = 0; t < numThreads; ++t) {
+        ASSERT_EQ(got[static_cast<std::size_t>(t)].size(),
+                  rounds * lines.size());
+        for (int r = 0; r < rounds; ++r) {
+            for (std::size_t i = 0; i < lines.size(); ++i) {
+                EXPECT_EQ(got[static_cast<std::size_t>(t)]
+                             [static_cast<std::size_t>(r) * lines.size() +
+                              i],
+                          expected[i]);
+            }
+        }
+    }
+}

@@ -15,7 +15,9 @@
 #include "harness/sweep/resultcache.hh"
 #include "harness/sweep/runspec.hh"
 #include "harness/sweep/sweep.hh"
+#include "phys/physcache.hh"
 #include "repro/experiments.hh"
+#include "sim/eventq.hh"
 
 using namespace tlsim;
 using namespace tlsim::harness;
@@ -290,4 +292,63 @@ TEST(Sweep, MergedStatsEmitsNullForUncapturedRuns)
     std::string merged = mergedStatsJson({spec}, outcome);
     EXPECT_NE(merged.find("\"" + specKey(spec) + "\": null"),
               std::string::npos);
+}
+
+TEST(Sweep, MemoHotByteIdenticalToMemoCold)
+{
+    auto specs = table6Specs();
+
+    SweepOptions options;
+    options.jobs = 1;
+    options.captureStats = true;
+    options.verbose = false;
+
+    // Memo-cold: the physics cache computes every entry from scratch.
+    phys::PhysCache::instance().clear();
+    auto cold = runSweep(specs, options);
+
+    // Memo-hot: every physics value resolves from the process-wide
+    // memo populated by the cold pass. Results must not move by a bit
+    // — the memo returns stored bits, never recomputed ones.
+    auto hot = runSweep(specs, options);
+
+    ASSERT_EQ(cold.results.size(), hot.results.size());
+    for (std::size_t i = 0; i < specs.size(); ++i) {
+        EXPECT_EQ(resultJson(specs[i], cold.results[i]),
+                  resultJson(specs[i], hot.results[i]))
+            << specKey(specs[i]);
+        EXPECT_EQ(cold.statsJson[i], hot.statsJson[i])
+            << specKey(specs[i]);
+    }
+}
+
+TEST(Sweep, TypedEventsByteIdenticalToLambdaEvents)
+{
+    // The allocation-free request path (typed MissEvent / FinishEvent
+    // / TickCallbackEvent) must schedule the exact same (tick,
+    // priority, sequence) stream as the std::function path it
+    // replaced. Flipping the toggle between runs is the supported A/B
+    // check; both sweeps must agree byte for byte.
+    auto specs = table6Specs();
+
+    SweepOptions options;
+    options.jobs = 1;
+    options.captureStats = true;
+    options.verbose = false;
+
+    const bool saved = useTypedHotPathEvents;
+    useTypedHotPathEvents = true;
+    auto typed = runSweep(specs, options);
+    useTypedHotPathEvents = false;
+    auto lambda = runSweep(specs, options);
+    useTypedHotPathEvents = saved;
+
+    ASSERT_EQ(typed.results.size(), lambda.results.size());
+    for (std::size_t i = 0; i < specs.size(); ++i) {
+        EXPECT_EQ(resultJson(specs[i], typed.results[i]),
+                  resultJson(specs[i], lambda.results[i]))
+            << specKey(specs[i]);
+        EXPECT_EQ(typed.statsJson[i], lambda.statsJson[i])
+            << specKey(specs[i]);
+    }
 }
