@@ -18,6 +18,8 @@
 #include "harness/sweep/sweep.hh"
 #include "repro/experiments.hh"
 #include "sim/logging.hh"
+#include "sim/metrics/heatmap.hh"
+#include "sim/prof/prof.hh"
 #include "sim/trace/debug.hh"
 #include "sim/trace/tracesink.hh"
 
@@ -53,6 +55,13 @@ struct CliOptions
     std::optional<std::string> faultDeadLinks;
     std::optional<std::string> faultStuckBanks;
     bool faultMargin = false;
+    /** Telemetry v2: fleet metrics, run ledger, profiler, heatmaps. */
+    std::string metricsOut;
+    std::string manifestOut;
+    std::string profOut;
+    bool heatmaps = false;
+    bool progress = false;
+    std::optional<std::uint64_t> heatmapWindow;
 
     /**
      * Effective base machine: defaults (or --config file), then
@@ -126,6 +135,18 @@ printUsage(std::ostream &os)
           "  --fault-margin      scale bit errors by each line's "
           "signal-integrity margin\n"
           "  --quiet             suppress per-run progress\n"
+          "  --progress          live one-line sweep progress/ETA on "
+          "stderr\n"
+          "  --metrics-out FILE  Prometheus text-format sweep metrics "
+          "(rewritten per completion)\n"
+          "  --manifest FILE     per-run JSONL ledger of the sweep\n"
+          "  --prof-out FILE     enable the self-profiler; write "
+          "collapsed stacks to FILE,\n"
+          "                      attribution table to stderr\n"
+          "  --heatmaps          collect spatial bank/link utilization "
+          "heatmaps into the stats JSON\n"
+          "  --heatmap-window N  heatmap time-window width in ticks "
+          "(default 4096)\n"
           "  --debug-flags F,F   debug output (see --jobs 1)\n"
           "  --trace-out FILE    Chrome trace (forces --jobs 1)\n"
           "  --help              this text\n"
@@ -186,7 +207,13 @@ parseArgs(int argc, char **argv, CliOptions &opts)
                    matchValue(argc, argv, i, "--trace-out",
                               opts.traceOut) ||
                    matchValue(argc, argv, i, "--config",
-                              opts.configFile)) {
+                              opts.configFile) ||
+                   matchValue(argc, argv, i, "--metrics-out",
+                              opts.metricsOut) ||
+                   matchValue(argc, argv, i, "--manifest",
+                              opts.manifestOut) ||
+                   matchValue(argc, argv, i, "--prof-out",
+                              opts.profOut)) {
             continue;
         } else if (matchValue(argc, argv, i, "--jobs", value)) {
             opts.jobs = std::atoi(value.c_str());
@@ -209,6 +236,14 @@ parseArgs(int argc, char **argv, CliOptions &opts)
             opts.faultStuckBanks = value;
         } else if (std::strcmp(argv[i], "--fault-margin") == 0) {
             opts.faultMargin = true;
+        } else if (std::strcmp(argv[i], "--heatmaps") == 0) {
+            opts.heatmaps = true;
+        } else if (std::strcmp(argv[i], "--progress") == 0) {
+            opts.progress = true;
+        } else if (matchValue(argc, argv, i, "--heatmap-window",
+                              value)) {
+            opts.heatmapWindow =
+                std::strtoull(value.c_str(), nullptr, 10);
         } else {
             std::cerr << "tlsim_repro: unknown argument '" << argv[i]
                       << "'\n\n";
@@ -312,13 +347,38 @@ reproMain(int argc, char **argv)
         for (const auto &spec : experiment->specs(base))
             harness::sweep::addUnique(specs, spec);
 
+    // Telemetry knobs take effect before any System is built: the
+    // spatial flag is read at design construction, and the profiler's
+    // enabled-check sits on every dispatch site.
+    metrics::spatialEnabled = opts.heatmaps;
+    if (opts.heatmapWindow)
+        metrics::spatialWindowTicks = *opts.heatmapWindow;
+    if (!opts.profOut.empty())
+        prof::setEnabled(true);
+
     harness::sweep::SweepOptions sweep_opts;
     sweep_opts.jobs = jobs;
     sweep_opts.cacheDir = cache_dir;
     sweep_opts.captureStats = !opts.statsJson.empty();
     sweep_opts.verbose = !opts.quiet;
+    sweep_opts.metricsOut = opts.metricsOut;
+    sweep_opts.manifestOut = opts.manifestOut;
+    sweep_opts.progress = opts.progress;
 
     auto outcome = harness::sweep::runSweep(specs, sweep_opts);
+
+    if (!opts.profOut.empty()) {
+        prof::setEnabled(false);
+        std::ofstream collapsed(opts.profOut);
+        if (!collapsed.is_open()) {
+            warn("cannot open profile output '{}'", opts.profOut);
+        } else {
+            prof::Registry::instance().writeCollapsed(collapsed);
+            if (!opts.quiet)
+                inform("collapsed stacks written: {}", opts.profOut);
+        }
+        prof::Registry::instance().writeReport(std::cerr);
+    }
 
     if (!opts.quiet) {
         std::cerr << "sweep: " << outcome.executed << " simulated, "

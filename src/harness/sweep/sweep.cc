@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <atomic>
 #include <chrono>
+#include <fstream>
 #include <iostream>
 #include <mutex>
 #include <optional>
@@ -10,6 +11,9 @@
 #include <thread>
 
 #include "phys/technology.hh"
+#include "sim/logging.hh"
+#include "sim/metrics/metrics.hh"
+#include "sim/trace/tracesink.hh"
 #include "workload/profile.hh"
 
 namespace tlsim
@@ -70,6 +74,175 @@ executeSpecIsolated(const RunSpec &spec, bool capture_stats,
     }
 }
 
+/**
+ * Fleet metrics of one sweep: a local Registry (not process-global,
+ * so concurrent sweeps and tests stay isolated) plus the run ledger.
+ * All mutation happens under the sweep's io_mutex.
+ */
+class FleetTelemetry
+{
+  public:
+    FleetTelemetry(const SweepOptions &options, std::size_t total)
+        : metricsPath(options.metricsOut),
+          runsCached(registry.counter(
+              "tlsim_sweep_runs_total{result=\"cached\"}",
+              "Sweep runs by final result")),
+          runsExecuted(registry.counter(
+              "tlsim_sweep_runs_total{result=\"executed\"}",
+              "Sweep runs by final result")),
+          runsFailed(registry.counter(
+              "tlsim_sweep_runs_total{result=\"failed\"}",
+              "Sweep runs by final result")),
+          specsTotal(registry.gauge("tlsim_sweep_specs",
+                                    "Specs in the current sweep")),
+          specsDone(registry.gauge("tlsim_sweep_done",
+                                   "Specs resolved so far")),
+          linkRetries(registry.counter(
+              "tlsim_sweep_link_retries_total",
+              "Link-level CRC retries across executed runs")),
+          degraded(registry.counter(
+              "tlsim_sweep_degraded_requests_total",
+              "Requests served on a degraded path across executed "
+              "runs")),
+          wallMs(registry.histogram(
+              "tlsim_sweep_run_wall_milliseconds",
+              "Wall-clock time of executed runs"))
+    {
+        specsTotal.set(static_cast<double>(total));
+        if (!options.manifestOut.empty()) {
+            manifest.emplace(options.manifestOut, std::ios::trunc);
+            if (!*manifest) {
+                warn("cannot write sweep manifest '{}'",
+                     options.manifestOut);
+                manifest.reset();
+            }
+        }
+    }
+
+    /** Record one resolved spec; @p result may be null for cache hits. */
+    void
+    record(const RunSpec &spec, const char *outcome, double wall_ms,
+           const RunResult *result)
+    {
+        if (std::string{outcome} == "cached") {
+            runsCached.inc();
+        } else if (result && !result->error.empty()) {
+            runsFailed.inc();
+        } else {
+            runsExecuted.inc();
+        }
+        specsDone.add(1.0);
+        if (result) {
+            linkRetries.inc(
+                static_cast<std::uint64_t>(result->linkRetries));
+            degraded.inc(static_cast<std::uint64_t>(
+                result->degradedRequests));
+        }
+        if (wall_ms >= 0.0)
+            wallMs.observe(static_cast<std::uint64_t>(wall_ms));
+
+        if (manifest) {
+            *manifest << "{\"schema\": \"tlsim-manifest-v1\", "
+                      << "\"spec\": \""
+                      << trace::jsonEscape(specKey(spec))
+                      << "\", \"benchmark\": \""
+                      << trace::jsonEscape(spec.benchmark)
+                      << "\", \"design\": \""
+                      << trace::jsonEscape(spec.config.design)
+                      << "\", \"outcome\": \"" << outcome
+                      << "\", \"wall_ms\": "
+                      << (wall_ms >= 0.0 ? wall_ms : 0.0)
+                      << ", \"retries\": "
+                      << (result ? result->linkRetries : 0.0)
+                      << ", \"timeouts\": "
+                      << (result ? result->linkTimeouts : 0.0)
+                      << ", \"degraded\": "
+                      << (result ? result->degradedRequests : 0.0);
+            if (result && !result->error.empty()) {
+                *manifest << ", \"error\": \""
+                          << trace::jsonEscape(result->error) << "\"";
+            }
+            *manifest << "}\n";
+            manifest->flush();
+        }
+        publish();
+    }
+
+    /** Rewrite the Prometheus snapshot (atomic tmp+rename). */
+    void
+    publish()
+    {
+        if (metricsPath.empty())
+            return;
+        if (!registry.writePrometheusFile(metricsPath) &&
+            !warnedWrite) {
+            warnedWrite = true;
+            warn("cannot write sweep metrics '{}'", metricsPath);
+        }
+    }
+
+  private:
+    metrics::Registry registry;
+    std::string metricsPath;
+    std::optional<std::ofstream> manifest;
+    bool warnedWrite = false;
+
+    metrics::Counter &runsCached;
+    metrics::Counter &runsExecuted;
+    metrics::Counter &runsFailed;
+    metrics::Gauge &specsTotal;
+    metrics::Gauge &specsDone;
+    metrics::Counter &linkRetries;
+    metrics::Counter &degraded;
+    metrics::LogHistogram &wallMs;
+};
+
+/** Single-line progress/ETA display ("--progress"). */
+class ProgressLine
+{
+  public:
+    explicit ProgressLine(std::size_t total_) : total(total_) {}
+
+    void
+    update(std::size_t done, std::size_t cached, std::size_t failed,
+           double total_exec_ms, std::size_t executed,
+           std::size_t workers)
+    {
+        double eta_s = 0.0;
+        if (executed > 0 && done < total) {
+            double avg_ms = total_exec_ms /
+                            static_cast<double>(executed);
+            std::size_t remaining = total - done;
+            eta_s = avg_ms * static_cast<double>(remaining) /
+                    (1000.0 *
+                     static_cast<double>(std::max<std::size_t>(
+                         1, workers)));
+        }
+        std::ostringstream line;
+        line << "\r  sweep " << done << "/" << total << " (cached "
+             << cached << ", failed " << failed << ")";
+        if (done < total) {
+            line << " ETA ~" << static_cast<std::uint64_t>(eta_s + 0.5)
+                 << "s";
+        }
+        line << "   ";
+        std::cerr << line.str() << std::flush;
+        active = true;
+    }
+
+    void
+    finish()
+    {
+        if (active)
+            std::cerr << '\n';
+        active = false;
+    }
+
+  private:
+    std::size_t total;
+    bool active = false;
+};
+
 } // namespace
 
 void
@@ -90,6 +263,13 @@ runSweep(const std::vector<RunSpec> &specs, const SweepOptions &options)
     if (!options.cacheDir.empty())
         cache.emplace(options.cacheDir);
 
+    std::optional<FleetTelemetry> telemetry;
+    if (!options.metricsOut.empty() || !options.manifestOut.empty())
+        telemetry.emplace(options, specs.size());
+    std::optional<ProgressLine> progress;
+    if (options.progress)
+        progress.emplace(specs.size());
+
     // Resolve warm entries up front, single-threaded: a fully warm
     // sweep touches no worker machinery and executes 0 simulations.
     std::vector<std::size_t> misses;
@@ -98,14 +278,23 @@ runSweep(const std::vector<RunSpec> &specs, const SweepOptions &options)
             if (auto hit = cache->load(specs[i])) {
                 outcome.results[i] = std::move(*hit);
                 ++outcome.cached;
+                if (telemetry)
+                    telemetry->record(specs[i], "cached", -1.0,
+                                      nullptr);
                 continue;
             }
         }
         misses.push_back(i);
     }
 
-    if (misses.empty())
+    if (misses.empty()) {
+        if (progress) {
+            progress->update(specs.size(), outcome.cached, 0, 0.0, 0,
+                            1);
+            progress->finish();
+        }
         return outcome;
+    }
 
     // Touch lazily-initialized shared tables before spawning workers
     // so no simulation constructs them concurrently.
@@ -121,6 +310,7 @@ runSweep(const std::vector<RunSpec> &specs, const SweepOptions &options)
     std::mutex io_mutex; // guards progress output and cache stores
     std::atomic<std::size_t> done{0};
     std::atomic<std::size_t> failures{0};
+    double executedWallMs = 0.0; // under io_mutex
 
     auto worker = [&] {
         while (true) {
@@ -150,6 +340,13 @@ runSweep(const std::vector<RunSpec> &specs, const SweepOptions &options)
                 ++failures;
             bool failed_run = !result.error.empty();
             std::string error_text = result.error;
+            double wall_ms = static_cast<double>(elapsed.count());
+            executedWallMs += wall_ms;
+            if (telemetry) {
+                telemetry->record(spec,
+                                  failed_run ? "failed" : "executed",
+                                  wall_ms, &result);
+            }
             outcome.results[i] = std::move(result);
             ++done;
             if (options.verbose) {
@@ -161,6 +358,11 @@ runSweep(const std::vector<RunSpec> &specs, const SweepOptions &options)
                 if (failed_run)
                     std::cerr << ": " << error_text;
                 std::cerr << std::endl;
+            }
+            if (progress) {
+                progress->update(done.load() + outcome.cached,
+                                 outcome.cached, failures.load(),
+                                 executedWallMs, done.load(), workers);
             }
         }
     };
@@ -175,6 +377,11 @@ runSweep(const std::vector<RunSpec> &specs, const SweepOptions &options)
         for (auto &thread : pool)
             thread.join();
     }
+
+    if (progress)
+        progress->finish();
+    if (telemetry)
+        telemetry->publish();
 
     outcome.executed = misses.size();
     outcome.failed = failures.load();

@@ -47,6 +47,20 @@ struct SweepOptions
     bool captureStats = false;
     /** Print per-run progress lines to stderr. */
     bool verbose = true;
+    /**
+     * Prometheus text-format metrics file; rewritten atomically after
+     * every run completion so an external scraper always sees a
+     * consistent snapshot. Empty disables.
+     */
+    std::string metricsOut;
+    /**
+     * Per-sweep run ledger (manifest.jsonl): one JSON record per
+     * spec — cached, executed, or failed — appended in completion
+     * order. Empty disables.
+     */
+    std::string manifestOut;
+    /** Live single-line progress/ETA display on stderr. */
+    bool progress = false;
 };
 
 /** What a sweep produced, in spec order. */

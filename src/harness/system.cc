@@ -1,9 +1,11 @@
 #include "harness/system.hh"
 
 #include <algorithm>
+#include <optional>
 
 #include "mem/l2registry.hh"
 #include "nuca/dnuca.hh"
+#include "sim/prof/prof.hh"
 #include "tlc/tlccache.hh"
 
 namespace tlsim
@@ -223,11 +225,18 @@ runBenchmark(const SystemConfig &config,
              const workload::BenchmarkProfile &profile,
              std::uint64_t run_seed, const RunObserver *observer)
 {
+    prof::Scope prof_run("run");
+
     SystemConfig run_config = config;
     run_config.core.fetchQuanta = profile.ilpQuanta;
     // The fault stream reuses the run seed: the fault schedule is a
     // pure function of the spec, identical serial vs parallel.
-    System system(run_config, run_seed);
+    std::optional<System> system_storage;
+    {
+        prof::Scope prof_build("build");
+        system_storage.emplace(run_config, run_seed);
+    }
+    System &system = *system_storage;
     int n = system.numCores();
 
     // Core 0 uses run_seed exactly so single-core runs reproduce the
@@ -247,18 +256,26 @@ runBenchmark(const SystemConfig &config,
     // hundreds of millions of instructions), then a short timed
     // warmup to populate contention state.
     if (run_config.functionalWarm > 0) {
+        prof::Scope prof_funcwarm("funcwarm");
         for (int i = 0; i < n; ++i)
             system.functionalWarm(gens[static_cast<std::size_t>(i)],
                                   run_config.functionalWarm, i);
     }
-    runCores(system, gens, run_config.warmup,
-             run_config.coreQuantum);
+    {
+        prof::Scope prof_warmup("warmup");
+        runCores(system, gens, run_config.warmup,
+                 run_config.coreQuantum);
+    }
 
     system.beginMeasurement();
     if (observer && observer->onMeasureBegin)
         observer->onMeasureBegin(system);
-    std::uint64_t cycles = runCores(system, gens, run_config.measure,
-                                    run_config.coreQuantum);
+    std::uint64_t cycles;
+    {
+        prof::Scope prof_measure("measure");
+        cycles = runCores(system, gens, run_config.measure,
+                          run_config.coreQuantum);
+    }
     system.l2().syncStats();
     if (observer && observer->onMeasureEnd)
         observer->onMeasureEnd(system);

@@ -1,5 +1,6 @@
 #include "mem/dram.hh"
 
+#include "sim/prof/prof.hh"
 #include "sim/trace/debug.hh"
 #include "sim/trace/tracesink.hh"
 
@@ -26,6 +27,7 @@ Dram::Dram(EventQueue &eq, stats::StatGroup *parent, Cycles latency_,
 void
 Dram::read(Addr block_addr, Tick now, RespCallback cb)
 {
+    prof::Scope prof_scope("dram:read");
     TLSIM_DPRINTF(Dram, "t={} read block {} ({} in service)", now,
                   block_addr, outstanding);
     ++reads;
@@ -36,6 +38,7 @@ Dram::read(Addr block_addr, Tick now, RespCallback cb)
 void
 Dram::write(Addr block_addr, Tick now)
 {
+    prof::Scope prof_scope("dram:write");
     TLSIM_DPRINTF(Dram, "t={} write block {} ({} in service)", now,
                   block_addr, outstanding);
     ++writes;

@@ -12,9 +12,11 @@
 #define TLSIM_NOC_LINK_HH
 
 #include <algorithm>
+#include <cstddef>
 #include <cstdint>
 
 #include "sim/logging.hh"
+#include "sim/metrics/heatmap.hh"
 #include "sim/types.hh"
 
 namespace tlsim
@@ -48,7 +50,30 @@ class Link
         busyUntil = start + duration;
         busy += duration;
         ++messages;
+        if (busyHeatmap) [[unlikely]] {
+            // Busy time lands in the window where service starts;
+            // queueing delay (start - now) in the arrival window.
+            busyHeatmap->add(heatmapCell, start, duration);
+            if (waitHeatmap && start > now)
+                waitHeatmap->add(heatmapCell, now, start - now);
+        }
         return start;
+    }
+
+    /**
+     * Route this link's reservations into spatial heatmaps as cell
+     * @p cell: busy cycles into @p busy_hm, queueing delay into
+     * @p wait_hm (either may be null). Used only when spatial
+     * telemetry is enabled; detached links pay one predictable
+     * branch in reserve().
+     */
+    void
+    attachTelemetry(metrics::Heatmap *busy_hm,
+                    metrics::Heatmap *wait_hm, std::size_t cell)
+    {
+        busyHeatmap = busy_hm;
+        waitHeatmap = wait_hm;
+        heatmapCell = cell;
     }
 
     /** Tick until which the link is occupied. */
@@ -83,6 +108,9 @@ class Link
     Tick busyUntil = 0;
     std::uint64_t busy = 0;
     std::uint64_t messages = 0;
+    metrics::Heatmap *busyHeatmap = nullptr;
+    metrics::Heatmap *waitHeatmap = nullptr;
+    std::size_t heatmapCell = 0;
 };
 
 } // namespace noc

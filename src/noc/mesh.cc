@@ -119,9 +119,18 @@ Mesh::traverseLink(int li, int flits, Tick head)
     return head + config.hopLatency;
 }
 
+void
+Mesh::attachTelemetry(metrics::Heatmap *busy_hm,
+                      metrics::Heatmap *wait_hm)
+{
+    for (std::size_t i = 0; i < links.size(); ++i)
+        links[i].attachTelemetry(busy_hm, wait_hm, i);
+}
+
 Tick
 Mesh::routeMessage(const std::vector<int> &path, int flits, Tick now)
 {
+    prof::Scope prof_scope("noc:route");
     Tick head = now;
     for (int li : path)
         head = traverseLink(li, flits, head);

@@ -145,6 +145,14 @@ class Mesh
     /** Hops that detoured around a dead link so far. */
     std::uint64_t degradedHopCount() const { return degradedHops; }
 
+    /**
+     * Attach spatial heatmaps to every mesh link (cell = link
+     * index, see the layout comment in the constructor). Either
+     * heatmap may be null.
+     */
+    void attachTelemetry(metrics::Heatmap *busy_hm,
+                         metrics::Heatmap *wait_hm);
+
   private:
     /**
      * Route a message over a given number of hops, reserving each

@@ -4,6 +4,7 @@
 #include <memory>
 
 #include "mem/l2registry.hh"
+#include "sim/prof/prof.hh"
 #include "sim/trace/debug.hh"
 #include "sim/trace/tracesink.hh"
 
@@ -51,6 +52,33 @@ DnucaCache::DnucaCache(EventQueue &eq, stats::StatGroup *parent,
     // Dead mesh links detour (2x hop latency); the detour count folds
     // into degraded_requests via syncStats.
     mesh.setInjector(injector);
+
+    if (metrics::spatialEnabled) {
+        std::size_t banks =
+            static_cast<std::size_t>(cfg.bankSets.banksPerSet) *
+            cfg.bankSets.numBankSets;
+        bankBusyHeatmap = std::make_unique<metrics::Heatmap>(
+            this, "heatmap_bank_busy",
+            "bank-port busy cycles per time window per bank", banks);
+        bankWaitHeatmap = std::make_unique<metrics::Heatmap>(
+            this, "heatmap_bank_wait",
+            "bank-port queueing cycles per time window per bank",
+            banks);
+        linkBusyHeatmap = std::make_unique<metrics::Heatmap>(
+            this, "heatmap_link_busy",
+            "mesh link busy cycles per time window per link",
+            static_cast<std::size_t>(mesh.linkCount()));
+        linkWaitHeatmap = std::make_unique<metrics::Heatmap>(
+            this, "heatmap_link_wait",
+            "mesh link queueing cycles per time window per link",
+            static_cast<std::size_t>(mesh.linkCount()));
+        for (std::size_t b = 0; b < banks; ++b) {
+            bankPorts[b].attachTelemetry(bankBusyHeatmap.get(),
+                                         bankWaitHeatmap.get(), b);
+        }
+        mesh.attachTelemetry(linkBusyHeatmap.get(),
+                             linkWaitHeatmap.get());
+    }
 }
 
 Cycles
@@ -89,6 +117,7 @@ DnucaCache::access(const mem::MemRequest &l2_req, mem::RespCallback cb)
     const mem::AccessType type = l2_req.type;
     const Tick now = l2_req.issued;
 
+    prof::Scope prof_scope("dnuca:access");
     ++requests;
 
     if (type == mem::AccessType::Store) {
@@ -431,6 +460,36 @@ DnucaCache::syncStats()
     linkBusyCycles = static_cast<double>(mesh.totalBusyCycles());
     networkEnergy = mesh.energyConsumed();
     degradedRequests = static_cast<double>(mesh.degradedHopCount());
+}
+
+void
+DnucaCache::dumpFaultDiagnostic() const
+{
+    std::size_t banks =
+        static_cast<std::size_t>(cfg.bankSets.banksPerSet) *
+        cfg.bankSets.numBankSets;
+    warn("dnuca: fault diagnostic ({} banks, {} degraded hops, mesh "
+         "busy {} cycles)",
+         banks, mesh.degradedHopCount(), mesh.totalBusyCycles());
+    std::size_t hot_bank = 0;
+    std::uint64_t hot_busy = 0;
+    for (std::size_t b = 0; b < banks; ++b) {
+        if (bankPorts[b].busyCycles() > hot_busy) {
+            hot_busy = bankPorts[b].busyCycles();
+            hot_bank = b;
+        }
+    }
+    for (std::size_t b = 0; b < banks; ++b) {
+        const auto &port = bankPorts[b];
+        // Quiet banks are omitted: 256 all-zero lines would bury the
+        // hot resource the dump exists to expose.
+        if (port.messageCount() == 0)
+            continue;
+        warn("  bank {}: port free at t={} ({} busy cycles, {} "
+             "messages){}",
+             b, port.freeAt(), port.busyCycles(), port.messageCount(),
+             b == hot_bank ? " [hottest bank]" : "");
+    }
 }
 
 namespace

@@ -16,6 +16,7 @@
 #ifndef TLSIM_NUCA_DNUCA_HH
 #define TLSIM_NUCA_DNUCA_HH
 
+#include <memory>
 #include <vector>
 
 #include "cacti/srambank.hh"
@@ -80,6 +81,8 @@ class DnucaCache : public mem::L2Cache
     void syncStats() override;
 
     void beginMeasurement() override;
+
+    void dumpFaultDiagnostic() const override;
 
     /** Uncontended round-trip latency to a bank row of a column. */
     Cycles uncontendedLatency(std::uint32_t bank_row,
@@ -158,6 +161,17 @@ class DnucaCache : public mem::L2Cache
     void installAtTail(Addr block_addr, Tick now, bool dirty);
 
     std::uint64_t useCounter = 0;
+
+    /**
+     * Spatial heatmaps (constructed only when
+     * metrics::spatialEnabled): bank cells are
+     * bank_row * numBankSets + column, link cells are mesh link
+     * indices.
+     */
+    std::unique_ptr<metrics::Heatmap> bankBusyHeatmap;
+    std::unique_ptr<metrics::Heatmap> bankWaitHeatmap;
+    std::unique_ptr<metrics::Heatmap> linkBusyHeatmap;
+    std::unique_ptr<metrics::Heatmap> linkWaitHeatmap;
 };
 
 } // namespace nuca

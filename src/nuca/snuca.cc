@@ -4,6 +4,7 @@
 #include <memory>
 
 #include "mem/l2registry.hh"
+#include "sim/prof/prof.hh"
 #include "sim/trace/debug.hh"
 #include "sim/trace/tracesink.hh"
 
@@ -47,6 +48,32 @@ SnucaCache::SnucaCache(EventQueue &eq, stats::StatGroup *parent,
     arrays.reserve(cfg.banks);
     for (int i = 0; i < cfg.banks; ++i)
         arrays.emplace_back(sets, cfg.ways);
+
+    if (metrics::spatialEnabled) {
+        bankBusyHeatmap = std::make_unique<metrics::Heatmap>(
+            this, "heatmap_bank_busy",
+            "bank-port busy cycles per time window per bank",
+            static_cast<std::size_t>(cfg.banks));
+        bankWaitHeatmap = std::make_unique<metrics::Heatmap>(
+            this, "heatmap_bank_wait",
+            "bank-port queueing cycles per time window per bank",
+            static_cast<std::size_t>(cfg.banks));
+        linkBusyHeatmap = std::make_unique<metrics::Heatmap>(
+            this, "heatmap_link_busy",
+            "mesh link busy cycles per time window per link",
+            static_cast<std::size_t>(mesh.linkCount()));
+        linkWaitHeatmap = std::make_unique<metrics::Heatmap>(
+            this, "heatmap_link_wait",
+            "mesh link queueing cycles per time window per link",
+            static_cast<std::size_t>(mesh.linkCount()));
+        for (int b = 0; b < cfg.banks; ++b) {
+            bankPorts[static_cast<std::size_t>(b)].attachTelemetry(
+                bankBusyHeatmap.get(), bankWaitHeatmap.get(),
+                static_cast<std::size_t>(b));
+        }
+        mesh.attachTelemetry(linkBusyHeatmap.get(),
+                             linkWaitHeatmap.get());
+    }
 }
 
 int
@@ -94,6 +121,7 @@ SnucaCache::access(const mem::MemRequest &l2_req, mem::RespCallback cb)
     const mem::AccessType type = l2_req.type;
     const Tick now = l2_req.issued;
 
+    prof::Scope prof_scope("snuca:access");
     ++requests;
     int bank = bankOf(block_addr);
 
@@ -337,12 +365,24 @@ SnucaCache::syncStats()
 void
 SnucaCache::dumpFaultDiagnostic() const
 {
-    warn("snuca2: fault diagnostic ({} banks, {} degraded hops)",
-         cfg.banks, mesh.degradedHopCount());
+    warn("snuca2: fault diagnostic ({} banks, {} degraded hops, "
+         "mesh busy {} cycles)",
+         cfg.banks, mesh.degradedHopCount(), mesh.totalBusyCycles());
+    int hot_bank = 0;
+    std::uint64_t hot_busy = 0;
     for (int b = 0; b < cfg.banks; ++b) {
         const auto &port = bankPorts[static_cast<std::size_t>(b)];
-        warn("  bank {}: port free at t={} ({} messages)", b,
-             port.freeAt(), port.messageCount());
+        if (port.busyCycles() > hot_busy) {
+            hot_busy = port.busyCycles();
+            hot_bank = b;
+        }
+    }
+    for (int b = 0; b < cfg.banks; ++b) {
+        const auto &port = bankPorts[static_cast<std::size_t>(b)];
+        warn("  bank {}: port free at t={} ({} busy cycles, {} "
+             "messages){}",
+             b, port.freeAt(), port.busyCycles(), port.messageCount(),
+             b == hot_bank ? " [hottest bank]" : "");
     }
 }
 

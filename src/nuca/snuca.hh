@@ -10,6 +10,7 @@
 #ifndef TLSIM_NUCA_SNUCA_HH
 #define TLSIM_NUCA_SNUCA_HH
 
+#include <memory>
 #include <vector>
 
 #include "cacti/srambank.hh"
@@ -122,6 +123,16 @@ class SnucaCache : public mem::L2Cache
     std::uint64_t useCounter = 0;
     /** Extra round-trip cycles for controller injection/ejection. */
     Tick roundTripInjection = 0;
+
+    /**
+     * Spatial heatmaps (constructed only when
+     * metrics::spatialEnabled): bank cells are bank ids (row-major
+     * over the mesh grid), link cells are mesh link indices.
+     */
+    std::unique_ptr<metrics::Heatmap> bankBusyHeatmap;
+    std::unique_ptr<metrics::Heatmap> bankWaitHeatmap;
+    std::unique_ptr<metrics::Heatmap> linkBusyHeatmap;
+    std::unique_ptr<metrics::Heatmap> linkWaitHeatmap;
 };
 
 } // namespace nuca

@@ -4,6 +4,7 @@
 #include <mutex>
 
 #include "phys/rcwire.hh"
+#include "sim/prof/prof.hh"
 
 namespace tlsim
 {
@@ -125,8 +126,11 @@ PhysCache::extract(const Technology &tech, const WireGeometry &geom)
 {
     Key key = baseKey(tagExtract, tech, geom);
     Value v;
-    if (lookup(key, v))
+    if (lookup(key, v)) {
+        prof::Scope prof_scope("physcache:hit");
         return v.params;
+    }
+    prof::Scope prof_scope("physcache:miss");
     FieldSolver solver(tech);
     v.params = solver.extract(geom);
     insert(key, v);
@@ -144,8 +148,11 @@ PhysCache::pulse(const Technology &tech, const WireGeometry &geom,
     key.push(static_cast<std::uint64_t>(num_samples));
     key.push(window);
     Value v;
-    if (lookup(key, v))
+    if (lookup(key, v)) {
+        prof::Scope prof_scope("physcache:hit");
         return v.pulse;
+    }
+    prof::Scope prof_scope("physcache:miss");
     PulseSimulator sim(tech, num_samples, window);
     v.pulse = sim.simulate(geom, length, source_r);
     insert(key, v);
@@ -159,8 +166,11 @@ PhysCache::rcDelay(const Technology &tech, const WireGeometry &geom,
     Key key = baseKey(tagRcDelay, tech, geom);
     key.push(length);
     Value v;
-    if (lookup(key, v))
+    if (lookup(key, v)) {
+        prof::Scope prof_scope("physcache:hit");
         return v.scalar;
+    }
+    prof::Scope prof_scope("physcache:miss");
     RcWireModel rc(tech, geom);
     v.scalar = rc.delay(length);
     insert(key, v);

@@ -21,6 +21,7 @@
 #include <vector>
 
 #include "sim/logging.hh"
+#include "sim/prof/prof.hh"
 #include "sim/trace/debug.hh"
 #include "sim/trace/observed.hh"
 #include "sim/trace/tracesink.hh"
@@ -359,29 +360,19 @@ class EventQueue
     std::uint64_t
     advanceTo(Tick limit)
     {
-        std::uint64_t processed = 0;
-        while (!heap.empty()) {
-            const Entry &top = heap.front();
-            Event *ev = top.event;
-            if (isStale(top)) {
-                popTop();
-                maybeReclaimSquashed(ev);
-                continue;
-            }
-            if (top.when > limit)
-                break;
-            curTick = top.when;
-            popTop();
-            ev->_scheduled = false;
-            --liveCount;
-            if (trace::observed()) [[unlikely]]
-                observeDispatch(ev);
-            ev->process();
-            ++processed;
+        // Profiling costs nothing per event even when on: sampling
+        // is tick-strided, so the dispatch loop runs unmodified
+        // between sample points and the stop tick rides the loop's
+        // existing limit comparison. When on but with no sample due
+        // within this span, the cost is one TLS load and a compare.
+        // Latching enabled() here is safe — it only flips at quiesce
+        // points, never from inside an event.
+        if (prof::enabled()) [[unlikely]] {
+            prof::ThreadState &ts = prof::threadState();
+            if (ts.nextSampleTick <= limit)
+                return advanceProfiled(limit, ts);
         }
-        if (limit > curTick)
-            curTick = limit;
-        return processed;
+        return advanceSpan(limit);
     }
 
     /** Run until the queue drains or maxTick is reached. */
@@ -510,6 +501,120 @@ class EventQueue
                       event->name(), when);
     }
 
+    /**
+     * The dispatch loop proper; no profiling state. The cumulative
+     * dispatchedCount update is one add per call — paid identically
+     * whether or not the profiler is on — and gives the sampler its
+     * events-between-samples weights for free.
+     */
+    std::uint64_t
+    advanceSpan(Tick limit)
+    {
+        std::uint64_t processed = 0;
+        while (!heap.empty()) {
+            const Entry &top = heap.front();
+            Event *ev = top.event;
+            if (isStale(top)) {
+                popTop();
+                maybeReclaimSquashed(ev);
+                continue;
+            }
+            if (top.when > limit)
+                break;
+            curTick = top.when;
+            popTop();
+            ev->_scheduled = false;
+            --liveCount;
+            if (trace::observed()) [[unlikely]]
+                observeDispatch(ev);
+            ev->process();
+            ++processed;
+        }
+        dispatchedCount += processed;
+        if (limit > curTick)
+            curTick = limit;
+        return processed;
+    }
+
+    /**
+     * advanceTo() with the profiler recording and a sample due: run
+     * plain spans up to each sample tick, then time exactly one
+     * dispatch and attribute it — weighted by the dispatches on this
+     * queue since the previous sample — to its event type. The
+     * stride between samples adapts toward prof::dispatchSampleTarget
+     * events per sample.
+     */
+    [[gnu::noinline]] std::uint64_t
+    advanceProfiled(Tick limit, prof::ThreadState &ts)
+    {
+        std::uint64_t processed = 0;
+        while (ts.nextSampleTick <= limit) {
+            processed +=
+                advanceSpan(std::min<Tick>(ts.nextSampleTick, limit));
+            if (dispatchOneSampled(limit, ts)) {
+                ++processed;
+            } else {
+                // Nothing left to sample before limit; re-arm past
+                // it (saturating: limit may be MaxTick) so later
+                // spans run unprofiled until the stride elapses.
+                ts.nextSampleTick =
+                    limit > MaxTick - ts.sampleStrideTicks
+                        ? MaxTick
+                        : limit + ts.sampleStrideTicks;
+                break;
+            }
+        }
+        processed += advanceSpan(limit);
+        return processed;
+    }
+
+    /**
+     * Dispatch the next runnable event at tick <= limit bracketed by
+     * two clock reads, attributing its time scaled by the dispatches
+     * since @p ts's previous sample on this queue. name() is
+     * captured before process(): pooled events may be recycled
+     * inside it.
+     * @return false if no runnable event remains at tick <= limit.
+     */
+    bool
+    dispatchOneSampled(Tick limit, prof::ThreadState &ts)
+    {
+        while (!heap.empty()) {
+            const Entry &top = heap.front();
+            Event *ev = top.event;
+            if (isStale(top)) {
+                popTop();
+                maybeReclaimSquashed(ev);
+                continue;
+            }
+            if (top.when > limit)
+                return false;
+            curTick = top.when;
+            popTop();
+            ev->_scheduled = false;
+            --liveCount;
+            if (trace::observed()) [[unlikely]]
+                observeDispatch(ev);
+            const char *name = ev->name();
+            std::uint64_t start = prof::nowNs();
+            ev->process();
+            std::uint64_t ns = prof::nowNs() - start;
+            ++dispatchedCount;
+            // Dispatches since the last sample on this queue; falls
+            // back to 1 when the thread last sampled another queue.
+            std::uint64_t weight = 1;
+            if (ts.sampleQueue == this &&
+                dispatchedCount > ts.sampleBaseDispatched)
+                weight = dispatchedCount - ts.sampleBaseDispatched;
+            prof::recordDispatch(name, ns, weight);
+            ts.sampleQueue = this;
+            ts.sampleBaseDispatched = dispatchedCount;
+            ts.noteSample(curTick, weight);
+            return true;
+        }
+        return false;
+    }
+
     [[gnu::cold]] [[gnu::noinline]] void
     observeDispatch(const Event *ev) const
     {
@@ -613,6 +718,8 @@ class EventQueue
     Tick curTick = 0;
     std::uint64_t nextSequence = 0;
     std::size_t liveCount = 0;
+    /** Cumulative dispatched events; weights profiler samples. */
+    std::uint64_t dispatchedCount = 0;
     std::size_t lambdaAllocatedCount = 0;
     std::size_t callbackAllocatedCount = 0;
     std::uint64_t compactionCount = 0;

@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Time x space utilization heatmaps.
+ *
+ * A Heatmap accumulates a value per (time window, cell) pair, where a
+ * cell is a spatial resource index (a bank, a TLC link pair, a mesh
+ * link) and the time axis is *simulated* ticks folded into fixed
+ * windows. Because rows are keyed by simulated time only, the matrix
+ * is fully deterministic: serial and parallel sweeps, cold and warm
+ * caches all produce byte-identical exports (see tests/test_sweep.cc).
+ *
+ * Heatmap derives from stats::StatBase, so instances parented to a
+ * design's StatGroup are exported in the stats JSON automatically and
+ * reset by StatGroup::resetStats() at beginMeasurement — the matrix
+ * covers exactly the measured phase. The first sample after a reset
+ * re-latches the base window, so row 0 is the window of the first
+ * measured sample.
+ *
+ * Unknown run length is handled by adaptive coarsening: when a sample
+ * would exceed maxWindows rows, the window doubles and existing rows
+ * are refolded pairwise. This is deterministic and keeps the matrix
+ * bounded regardless of how long the measured phase runs.
+ *
+ * Collection is opt-in: designs only construct heatmaps when
+ * metrics::spatialEnabled is set (e.g. via tlsim_repro --heatmaps),
+ * so the default stats JSON shape — and thus every paper table and
+ * figure — is unchanged when telemetry is off.
+ */
+
+#ifndef TLSIM_SIM_METRICS_HEATMAP_HH
+#define TLSIM_SIM_METRICS_HEATMAP_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/stats.hh"
+#include "sim/types.hh"
+
+namespace tlsim
+{
+namespace metrics
+{
+
+/** Collect spatial heatmaps? Read at design construction. */
+inline bool spatialEnabled = false;
+
+/** Window width override in ticks; 0 means Heatmap's default. */
+inline Tick spatialWindowTicks = 0;
+
+class Heatmap : public stats::StatBase
+{
+  public:
+    static constexpr Tick defaultWindowTicks = 4096;
+    static constexpr std::size_t maxWindows = 64;
+
+    /**
+     * @param cells   number of spatial cells (fixed for the run)
+     * @param window  window width in ticks (0: global override or
+     *                defaultWindowTicks)
+     */
+    Heatmap(stats::StatGroup *parent, std::string name,
+            std::string desc, std::size_t cells, Tick window = 0);
+
+    /** Accumulate @p value into (window-of(@p tick), @p cell). */
+    void add(std::size_t cell, Tick tick, std::uint64_t value);
+
+    std::size_t cells() const { return _cells; }
+    std::size_t rowCount() const { return data.size() / _cells; }
+    Tick windowTicks() const { return window; }
+    Tick baseTick() const { return base; }
+
+    /** Cell value at (@p row, @p cell); 0 when out of range. */
+    std::uint64_t at(std::size_t row, std::size_t cell) const;
+
+    void reset() override;
+    void dump(std::ostream &os,
+              const std::string &prefix) const override;
+    void dumpJson(std::ostream &os) const override;
+
+  private:
+    void coarsen();
+
+    std::size_t _cells;
+    Tick configuredWindow;
+    Tick window;
+    Tick base = 0;
+    bool baseLatched = false;
+    /** Row-major [rows][cells] accumulation matrix. */
+    std::vector<std::uint64_t> data;
+};
+
+} // namespace metrics
+} // namespace tlsim
+
+#endif // TLSIM_SIM_METRICS_HEATMAP_HH

@@ -1,0 +1,235 @@
+#include "sim/metrics/metrics.hh"
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+
+namespace tlsim
+{
+namespace metrics
+{
+
+std::uint64_t
+Gauge::toBits(double v)
+{
+    std::uint64_t b;
+    std::memcpy(&b, &v, sizeof(b));
+    return b;
+}
+
+double
+Gauge::fromBits(std::uint64_t b)
+{
+    double v;
+    std::memcpy(&v, &b, sizeof(v));
+    return v;
+}
+
+void
+Gauge::add(double delta)
+{
+    std::uint64_t expected = bits.load(std::memory_order_relaxed);
+    while (!bits.compare_exchange_weak(
+        expected, toBits(fromBits(expected) + delta),
+        std::memory_order_relaxed)) {
+    }
+}
+
+void
+LogHistogram::observe(std::uint64_t v)
+{
+    std::size_t bucket =
+        v == 0 ? 0
+               : static_cast<std::size_t>(64 - __builtin_clzll(v));
+    buckets[bucket].fetch_add(1, std::memory_order_relaxed);
+    _count.fetch_add(1, std::memory_order_relaxed);
+    _sum.fetch_add(v, std::memory_order_relaxed);
+}
+
+std::uint64_t
+LogHistogram::bucketUpper(std::size_t i)
+{
+    if (i == 0)
+        return 0;
+    if (i >= 64)
+        return ~std::uint64_t{0};
+    return (std::uint64_t{1} << i) - 1;
+}
+
+double
+LogHistogram::quantile(double q) const
+{
+    std::uint64_t total = count();
+    if (total == 0)
+        return 0.0;
+    if (q < 0.0)
+        q = 0.0;
+    if (q > 1.0)
+        q = 1.0;
+    double target = q * static_cast<double>(total);
+    std::uint64_t seen = 0;
+    for (std::size_t i = 0; i < numBuckets; ++i) {
+        std::uint64_t n = bucketCount(i);
+        if (n == 0)
+            continue;
+        if (static_cast<double>(seen + n) >= target) {
+            // Interpolate inside [lo, hi] of this bucket.
+            double lo = i == 0 ? 0.0
+                               : static_cast<double>(
+                                     bucketUpper(i - 1)) +
+                                     1.0;
+            double hi = static_cast<double>(bucketUpper(i));
+            double frac =
+                (target - static_cast<double>(seen)) /
+                static_cast<double>(n);
+            return lo + (hi - lo) * frac;
+        }
+        seen += n;
+    }
+    return static_cast<double>(bucketUpper(numBuckets - 1));
+}
+
+Registry::Entry &
+Registry::findOrCreate(const std::string &name, const std::string &help,
+                       Kind kind)
+{
+    std::lock_guard<std::mutex> lock(mutex);
+    for (auto &e : entries) {
+        if (e->name == name)
+            return *e;
+    }
+    auto e = std::make_unique<Entry>();
+    e->name = name;
+    e->help = help;
+    e->kind = kind;
+    switch (kind) {
+      case Kind::CounterK:
+        e->counter = std::make_unique<Counter>();
+        break;
+      case Kind::GaugeK:
+        e->gauge = std::make_unique<Gauge>();
+        break;
+      case Kind::HistogramK:
+        e->histogram = std::make_unique<LogHistogram>();
+        break;
+    }
+    entries.push_back(std::move(e));
+    return *entries.back();
+}
+
+Counter &
+Registry::counter(const std::string &name, const std::string &help)
+{
+    return *findOrCreate(name, help, Kind::CounterK).counter;
+}
+
+Gauge &
+Registry::gauge(const std::string &name, const std::string &help)
+{
+    return *findOrCreate(name, help, Kind::GaugeK).gauge;
+}
+
+LogHistogram &
+Registry::histogram(const std::string &name, const std::string &help)
+{
+    return *findOrCreate(name, help, Kind::HistogramK).histogram;
+}
+
+namespace
+{
+
+/** Series name up to the label block: family the series belongs to. */
+std::string
+familyOf(const std::string &name)
+{
+    std::size_t brace = name.find('{');
+    return brace == std::string::npos ? name : name.substr(0, brace);
+}
+
+void
+promNumber(std::ostream &os, double v)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.17g", v);
+    os << buf;
+}
+
+} // namespace
+
+void
+Registry::writePrometheus(std::ostream &os) const
+{
+    std::lock_guard<std::mutex> lock(mutex);
+    std::string last_family;
+    for (const auto &e : entries) {
+        std::string family = familyOf(e->name);
+        if (family != last_family) {
+            os << "# HELP " << family << ' ' << e->help << '\n';
+            os << "# TYPE " << family << ' ';
+            switch (e->kind) {
+              case Kind::CounterK:
+                os << "counter";
+                break;
+              case Kind::GaugeK:
+                os << "gauge";
+                break;
+              case Kind::HistogramK:
+                os << "histogram";
+                break;
+            }
+            os << '\n';
+            last_family = family;
+        }
+        switch (e->kind) {
+          case Kind::CounterK:
+            os << e->name << ' ' << e->counter->get() << '\n';
+            break;
+          case Kind::GaugeK:
+            os << e->name << ' ';
+            promNumber(os, e->gauge->get());
+            os << '\n';
+            break;
+          case Kind::HistogramK: {
+            const LogHistogram &h = *e->histogram;
+            // Histogram series take labels; a labelled histogram
+            // name is not supported (family == name).
+            std::uint64_t cumulative = 0;
+            for (std::size_t i = 0; i < LogHistogram::numBuckets;
+                 ++i) {
+                std::uint64_t n = h.bucketCount(i);
+                cumulative += n;
+                if (n == 0 && i + 1 != LogHistogram::numBuckets)
+                    continue; // keep files small; le is cumulative
+                os << family << "_bucket{le=\"";
+                promNumber(
+                    os,
+                    static_cast<double>(LogHistogram::bucketUpper(i)));
+                os << "\"} " << cumulative << '\n';
+            }
+            os << family << "_bucket{le=\"+Inf\"} " << h.count()
+               << '\n';
+            os << family << "_sum " << h.sum() << '\n';
+            os << family << "_count " << h.count() << '\n';
+            break;
+          }
+        }
+    }
+}
+
+bool
+Registry::writePrometheusFile(const std::string &path) const
+{
+    std::string tmp = path + ".tmp";
+    {
+        std::ofstream os(tmp, std::ios::trunc);
+        if (!os)
+            return false;
+        writePrometheus(os);
+        if (!os.flush())
+            return false;
+    }
+    return std::rename(tmp.c_str(), path.c_str()) == 0;
+}
+
+} // namespace metrics
+} // namespace tlsim

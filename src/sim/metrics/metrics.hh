@@ -1,0 +1,177 @@
+/**
+ * @file
+ * Sweep-fleet metrics: counters, gauges, and log-bucketed histograms
+ * with Prometheus text-format exposition.
+ *
+ * These are *operational* metrics about the simulator fleet (runs
+ * completed, cache hits, wall-time percentiles) — not simulation
+ * statistics. Simulation results live in the stats:: tree and stay
+ * deterministic; this registry measures wall-clock and progress and
+ * is never merged into stats JSON.
+ *
+ * Metric names may embed Prometheus labels directly, e.g.
+ *   registry.counter("tlsim_sweep_runs_total{result=\"cached\"}", ...)
+ * The exposition writer groups series of one family (the name up to
+ * '{') under a single # HELP/# TYPE header.
+ *
+ * All mutators are thread-safe (atomics); creating metrics takes the
+ * registry mutex. Histograms use log2 buckets, so observe() is one
+ * clz plus two atomic adds, and quantiles are accurate to within one
+ * power of two with linear interpolation inside the bucket.
+ */
+
+#ifndef TLSIM_SIM_METRICS_METRICS_HH
+#define TLSIM_SIM_METRICS_METRICS_HH
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace tlsim
+{
+namespace metrics
+{
+
+class Registry;
+
+/** Monotonically increasing integer series. */
+class Counter
+{
+  public:
+    void inc(std::uint64_t by = 1)
+    {
+        value.fetch_add(by, std::memory_order_relaxed);
+    }
+
+    std::uint64_t
+    get() const
+    {
+        return value.load(std::memory_order_relaxed);
+    }
+
+  private:
+    std::atomic<std::uint64_t> value{0};
+};
+
+/** Instantaneous value that can move both ways. */
+class Gauge
+{
+  public:
+    void
+    set(double v)
+    {
+        bits.store(toBits(v), std::memory_order_relaxed);
+    }
+
+    void add(double delta);
+
+    double
+    get() const
+    {
+        return fromBits(bits.load(std::memory_order_relaxed));
+    }
+
+  private:
+    static std::uint64_t toBits(double v);
+    static double fromBits(std::uint64_t b);
+
+    std::atomic<std::uint64_t> bits{0};
+};
+
+/**
+ * Log2-bucketed histogram over non-negative integers (bucket i holds
+ * values whose highest set bit is i-1; bucket 0 holds zero).
+ */
+class LogHistogram
+{
+  public:
+    static constexpr std::size_t numBuckets = 65;
+
+    void observe(std::uint64_t v);
+
+    std::uint64_t count() const
+    {
+        return _count.load(std::memory_order_relaxed);
+    }
+
+    std::uint64_t sum() const
+    {
+        return _sum.load(std::memory_order_relaxed);
+    }
+
+    /**
+     * Approximate value at quantile @p q in [0,1]: exact bucket,
+     * linear interpolation inside it.
+     */
+    double quantile(double q) const;
+
+    double p50() const { return quantile(0.50); }
+    double p95() const { return quantile(0.95); }
+    double p99() const { return quantile(0.99); }
+
+    std::uint64_t
+    bucketCount(std::size_t i) const
+    {
+        return buckets[i].load(std::memory_order_relaxed);
+    }
+
+    /** Inclusive upper bound of bucket @p i (2^i - 1; bucket 0 = 0). */
+    static std::uint64_t bucketUpper(std::size_t i);
+
+  private:
+    std::array<std::atomic<std::uint64_t>, numBuckets> buckets{};
+    std::atomic<std::uint64_t> _count{0};
+    std::atomic<std::uint64_t> _sum{0};
+};
+
+/**
+ * Insertion-ordered collection of named metrics with Prometheus
+ * text-format exposition. Lookup by name returns the existing
+ * instance, so call sites can re-resolve cheaply.
+ */
+class Registry
+{
+  public:
+    Counter &counter(const std::string &name, const std::string &help);
+    Gauge &gauge(const std::string &name, const std::string &help);
+    LogHistogram &histogram(const std::string &name,
+                            const std::string &help);
+
+    /** Prometheus text exposition format, version 0.0.4. */
+    void writePrometheus(std::ostream &os) const;
+
+    /**
+     * Atomically (write + rename) dump the exposition to @p path.
+     * Returns false on I/O failure.
+     */
+    bool writePrometheusFile(const std::string &path) const;
+
+  private:
+    enum class Kind { CounterK, GaugeK, HistogramK };
+
+    struct Entry
+    {
+        std::string name; ///< full series name, may embed {labels}
+        std::string help;
+        Kind kind;
+        std::unique_ptr<Counter> counter;
+        std::unique_ptr<Gauge> gauge;
+        std::unique_ptr<LogHistogram> histogram;
+    };
+
+    Entry &findOrCreate(const std::string &name,
+                        const std::string &help, Kind kind);
+
+    mutable std::mutex mutex;
+    std::vector<std::unique_ptr<Entry>> entries;
+};
+
+} // namespace metrics
+} // namespace tlsim
+
+#endif // TLSIM_SIM_METRICS_METRICS_HH

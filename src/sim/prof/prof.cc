@@ -1,0 +1,267 @@
+#include "sim/prof/prof.hh"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdio>
+#include <cstring>
+#include <functional>
+
+namespace tlsim
+{
+namespace prof
+{
+
+void
+setEnabled(bool on)
+{
+#ifdef TLSIM_NO_PROF
+    (void)on;
+#else
+    detail::enabledFlag = on;
+#endif
+}
+
+Node *
+Node::child(const char *site)
+{
+    for (auto &c : children) {
+        // Sites are literals, so pointer equality almost always
+        // suffices; fall back to strcmp for identical literals
+        // deduplicated differently across translation units.
+        if (c->name == site || std::strcmp(c->name, site) == 0)
+            return c.get();
+    }
+    children.push_back(std::make_unique<Node>(site, this));
+    return children.back().get();
+}
+
+namespace
+{
+
+void
+mergeInto(Node &dst, const Node &src)
+{
+    dst.count += src.count;
+    dst.totalNs += src.totalNs;
+    dst.childNs += src.childNs;
+    for (const auto &c : src.children)
+        mergeInto(*dst.child(c->name), *c);
+}
+
+void
+clearNode(Node &n)
+{
+    n.count = 0;
+    n.totalNs = 0;
+    n.childNs = 0;
+    n.children.clear();
+}
+
+} // namespace
+
+ThreadState::ThreadState()
+{
+    Registry::instance().attach(this);
+}
+
+ThreadState::~ThreadState()
+{
+    // Thread teardown: drop the fast-path cache so a late caller
+    // can't reach the dead object.
+    if (detail::cachedThreadState == this)
+        detail::cachedThreadState = nullptr;
+    Registry::instance().detach(this);
+}
+
+ThreadState &
+detail::threadStateSlow()
+{
+    static thread_local ThreadState state;
+    detail::cachedThreadState = &state;
+    return state;
+}
+
+void
+recordDispatch(const char *event_name, std::uint64_t ns,
+               std::uint64_t weight)
+{
+    ThreadState &ts = threadState();
+    Node *n = ts.current->child(event_name);
+    n->count += weight;
+    std::uint64_t scaled = ns * weight;
+    n->totalNs += scaled;
+    ts.current->childNs += scaled;
+}
+
+void
+Scope::begin(const char *site)
+{
+    ThreadState &ts = threadState();
+    node = ts.current->child(site);
+    ts.current = node;
+    startNs = nowNs();
+}
+
+void
+Scope::end()
+{
+    std::uint64_t elapsed = nowNs() - startNs;
+    node->count += 1;
+    node->totalNs += elapsed;
+    if (node->parent)
+        node->parent->childNs += elapsed;
+    threadState().current = node->parent;
+    node = nullptr;
+}
+
+Registry &
+Registry::instance()
+{
+    static Registry registry;
+    return registry;
+}
+
+void
+Registry::attach(ThreadState *ts)
+{
+    std::lock_guard<std::mutex> lock(mutex);
+    live.push_back(ts);
+}
+
+void
+Registry::detach(ThreadState *ts)
+{
+    std::lock_guard<std::mutex> lock(mutex);
+    mergeInto(retired, ts->root);
+    live.erase(std::remove(live.begin(), live.end(), ts), live.end());
+}
+
+std::unique_ptr<Node>
+Registry::snapshot() const
+{
+    std::lock_guard<std::mutex> lock(mutex);
+    auto merged = std::make_unique<Node>("", nullptr);
+    mergeInto(*merged, retired);
+    for (const ThreadState *ts : live)
+        mergeInto(*merged, ts->root);
+    return merged;
+}
+
+void
+Registry::reset()
+{
+    std::lock_guard<std::mutex> lock(mutex);
+    clearNode(retired);
+    for (ThreadState *ts : live) {
+        clearNode(ts->root);
+        ts->current = &ts->root;
+        ts->nextSampleTick = 0;
+        ts->sampleStrideTicks = dispatchSampleTarget;
+        ts->sampleQueue = nullptr;
+        ts->sampleBaseDispatched = 0;
+    }
+}
+
+std::vector<ReportRow>
+Registry::rows() const
+{
+    auto merged = snapshot();
+    std::vector<ReportRow> out;
+    std::function<void(const Node &, const std::string &, int)> walk =
+        [&](const Node &n, const std::string &prefix, int depth) {
+            for (const auto &c : n.children) {
+                std::string path =
+                    prefix.empty() ? c->name : prefix + ";" + c->name;
+                out.push_back({path, depth, c->count, c->totalNs,
+                               c->selfNs()});
+                walk(*c, path, depth + 1);
+            }
+        };
+    walk(*merged, "", 0);
+    return out;
+}
+
+void
+Registry::writeReport(std::ostream &os) const
+{
+    auto merged = snapshot();
+
+    // Grand total = inclusive time of the top-level scopes. With the
+    // run phases tiling runBenchmark, everything below is nested
+    // attribution of that total.
+    std::uint64_t grand = 0, topSelf = 0;
+    for (const auto &c : merged->children) {
+        grand += c->totalNs;
+        topSelf += c->selfNs();
+    }
+
+    os << "=== wall-clock attribution (profiler) ===\n";
+    if (grand == 0) {
+        os << "(no samples recorded)\n";
+        return;
+    }
+    char buf[256];
+    std::snprintf(buf, sizeof(buf), "%-44s %12s %10s %8s %8s\n",
+                  "site", "calls", "total ms", "self %", "incl %");
+    os << buf;
+
+    std::function<void(const Node &, int)> walk = [&](const Node &n,
+                                                      int depth) {
+        std::vector<const Node *> kids;
+        for (const auto &c : n.children)
+            kids.push_back(c.get());
+        std::sort(kids.begin(), kids.end(),
+                  [](const Node *a, const Node *b) {
+                      return a->totalNs > b->totalNs;
+                  });
+        for (const Node *c : kids) {
+            std::string label(static_cast<std::size_t>(depth) * 2, ' ');
+            label += c->name;
+            if (label.size() > 44)
+                label.resize(44);
+            std::snprintf(buf, sizeof(buf),
+                          "%-44s %12" PRIu64 " %10.2f %7.1f%% %7.1f%%\n",
+                          label.c_str(), c->count,
+                          static_cast<double>(c->totalNs) / 1e6,
+                          100.0 * static_cast<double>(c->selfNs()) /
+                              static_cast<double>(grand),
+                          100.0 * static_cast<double>(c->totalNs) /
+                              static_cast<double>(grand));
+            os << buf;
+            walk(*c, depth + 1);
+        }
+    };
+    walk(*merged, 0);
+
+    // Coverage: how much of the top-level wall-clock was attributed
+    // to some nested component rather than left as top-level self
+    // time.
+    double coverage = 100.0 *
+                      static_cast<double>(grand - topSelf) /
+                      static_cast<double>(grand);
+    std::snprintf(buf, sizeof(buf),
+                  "component attribution coverage: %.1f%% of %.2f ms\n",
+                  coverage, static_cast<double>(grand) / 1e6);
+    os << buf;
+}
+
+void
+Registry::writeCollapsed(std::ostream &os) const
+{
+    auto merged = snapshot();
+    std::function<void(const Node &, const std::string &)> walk =
+        [&](const Node &n, const std::string &prefix) {
+            for (const auto &c : n.children) {
+                std::string path =
+                    prefix.empty() ? c->name : prefix + ";" + c->name;
+                std::uint64_t self_us = c->selfNs() / 1000;
+                if (self_us > 0)
+                    os << path << ' ' << self_us << '\n';
+                walk(*c, path);
+            }
+        };
+    walk(*merged, "");
+}
+
+} // namespace prof
+} // namespace tlsim

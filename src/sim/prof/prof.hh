@@ -1,0 +1,276 @@
+/**
+ * @file
+ * Low-overhead self-profiler: where does the simulator's own
+ * wall-clock go?
+ *
+ * Two instruments share one call-tree per thread:
+ *
+ *  - prof::Scope, an RAII scoped timer for coarse sites (run phases,
+ *    L2 access paths, mesh routing, DRAM, physics memo lookups).
+ *    Each scope pushes a node onto the thread's stack; nesting builds
+ *    real stacks, so the output is flamegraph-ready.
+ *  - a sampled event-dispatch timer (see EventQueue::advanceTo): the
+ *    dispatch loop is far too hot to bracket every event with two
+ *    clock reads, so sampling is tick-strided — the loop runs
+ *    unmodified between sample points and one dispatch per stride is
+ *    timed, weighted by the dispatches it stands in for. Counts and
+ *    times per event type are therefore estimates; the scoped-timer
+ *    tree is exact.
+ *
+ * Zero-cost when off: every site reduces to one load of an inline
+ * bool and a never-taken branch (the same discipline as
+ * trace::observed()), and compiling with -DTLSIM_NO_PROF removes even
+ * that. Profiling measures wall-clock only — it never touches
+ * simulated state or the stats tree, so enabling it cannot change any
+ * simulation result (asserted by tests/test_sweep.cc).
+ *
+ * Threads register their trees with the process-wide prof::Registry;
+ * snapshot/report/collapsed-stack output merges all trees and must be
+ * taken at a quiesce point (no concurrent recording), e.g. after a
+ * sweep's workers have joined.
+ */
+
+#ifndef TLSIM_SIM_PROF_PROF_HH
+#define TLSIM_SIM_PROF_PROF_HH
+
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace tlsim
+{
+namespace prof
+{
+
+namespace detail
+{
+/** Master runtime switch; flip only at quiesce points. */
+#ifdef TLSIM_NO_PROF
+inline constexpr bool enabledFlag = false;
+#else
+inline bool enabledFlag = false;
+#endif
+} // namespace detail
+
+/** True when the profiler is recording. */
+inline bool
+enabled()
+{
+    return detail::enabledFlag;
+}
+
+/** Enable/disable recording (no-op under TLSIM_NO_PROF). */
+void setEnabled(bool on);
+
+/** Monotonic wall-clock in nanoseconds. */
+inline std::uint64_t
+nowNs()
+{
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now().time_since_epoch())
+            .count());
+}
+
+/**
+ * Target number of event dispatches per timed sample. Sampling is
+ * tick-strided: the dispatch loop runs unmodified between sample
+ * points (zero per-event cost — the stop tick rides the loop's
+ * existing limit comparison) and the stride in simulated ticks
+ * adapts toward this many events per sample. Each sample's time and
+ * count are weighted by the dispatches since the previous sample.
+ */
+constexpr std::uint64_t dispatchSampleTarget = 1024;
+
+/** Upper bound for the adaptive sampling stride [ticks]. */
+constexpr std::uint64_t maxSampleStrideTicks = std::uint64_t{1} << 30;
+
+/**
+ * One node of a thread's scope tree. Site names must have static
+ * storage duration (string literals): nodes keep the pointer.
+ */
+struct Node
+{
+    Node(const char *site, Node *up) : name(site), parent(up) {}
+
+    const char *name;
+    Node *parent;
+    std::uint64_t count = 0;
+    /** Inclusive wall-clock in this node [ns]. */
+    std::uint64_t totalNs = 0;
+    /** Portion of totalNs spent inside child nodes [ns]. */
+    std::uint64_t childNs = 0;
+    std::vector<std::unique_ptr<Node>> children;
+
+    /** Find or create the child for @p site. */
+    Node *child(const char *site);
+
+    /** Exclusive (self) time [ns]. */
+    std::uint64_t
+    selfNs() const
+    {
+        return totalNs > childNs ? totalNs - childNs : 0;
+    }
+};
+
+/** Per-thread recording state; registered with the Registry. */
+struct ThreadState
+{
+    ThreadState();
+    ~ThreadState();
+
+    Node root{"", nullptr};
+    Node *current = &root;
+
+    /** Simulated tick at/after which the next dispatch is sampled. */
+    std::uint64_t nextSampleTick = 0;
+    /** Adaptive sampling stride [simulated ticks]. */
+    std::uint64_t sampleStrideTicks = dispatchSampleTarget;
+    /** Queue the last sample was taken on (identity only). */
+    const void *sampleQueue = nullptr;
+    /** That queue's cumulative dispatch count at the last sample. */
+    std::uint64_t sampleBaseDispatched = 0;
+
+    /**
+     * Re-arm after a sample of weight @p weight taken at tick
+     * @p now: nudge the stride toward dispatchSampleTarget events
+     * per sample.
+     */
+    void
+    noteSample(std::uint64_t now, std::uint64_t weight)
+    {
+        if (weight > 2 * dispatchSampleTarget && sampleStrideTicks > 1)
+            sampleStrideTicks >>= 1;
+        else if (weight < dispatchSampleTarget / 2 &&
+                 sampleStrideTicks < maxSampleStrideTicks)
+            sampleStrideTicks <<= 1;
+        nextSampleTick = now + sampleStrideTicks;
+    }
+};
+
+namespace detail
+{
+/** Cached pointer fast path for threadState(); see prof.cc. */
+inline thread_local ThreadState *cachedThreadState = nullptr;
+/** Constructs and caches the calling thread's state. */
+ThreadState &threadStateSlow();
+} // namespace detail
+
+/**
+ * The calling thread's recording state. The fast path is one TLS
+ * pointer load — cheap enough for the dispatch loop to call once per
+ * advanceTo() batch.
+ */
+inline ThreadState &
+threadState()
+{
+    if (ThreadState *ts = detail::cachedThreadState) [[likely]]
+        return *ts;
+    return detail::threadStateSlow();
+}
+
+/**
+ * Record one sampled event dispatch of @p ns nanoseconds under the
+ * current scope; count and time are scaled by @p weight, the number
+ * of dispatches this sample stands in for. @p event_name must be a
+ * string literal (Event::name() is).
+ */
+void recordDispatch(const char *event_name, std::uint64_t ns,
+                    std::uint64_t weight);
+
+/**
+ * RAII scoped timer. @p site must be a string literal; identical
+ * sites merge into one tree node per stack position.
+ */
+class Scope
+{
+  public:
+    explicit Scope(const char *site)
+    {
+        if (enabled()) [[unlikely]]
+            begin(site);
+    }
+
+    ~Scope()
+    {
+        if (node) [[unlikely]]
+            end();
+    }
+
+    Scope(const Scope &) = delete;
+    Scope &operator=(const Scope &) = delete;
+
+  private:
+    [[gnu::cold]] [[gnu::noinline]] void begin(const char *site);
+    [[gnu::cold]] [[gnu::noinline]] void end();
+
+    Node *node = nullptr;
+    std::uint64_t startNs = 0;
+};
+
+/** One row of the merged attribution table. */
+struct ReportRow
+{
+    std::string path; ///< ';'-joined stack, e.g. "run;measure"
+    int depth = 0;
+    std::uint64_t count = 0;
+    std::uint64_t totalNs = 0;
+    std::uint64_t selfNs = 0;
+};
+
+/**
+ * Process-wide registry of all threads' scope trees.
+ *
+ * snapshot()/writeReport()/writeCollapsed() must run at a quiesce
+ * point: they read live threads' trees without synchronization
+ * against recording.
+ */
+class Registry
+{
+  public:
+    static Registry &instance();
+
+    /** Merge every thread's tree (live and retired) into one. */
+    std::unique_ptr<Node> snapshot() const;
+
+    /**
+     * Human-readable wall-clock attribution table. Times are
+     * CPU-seconds: parallel sweeps sum across workers. The coverage
+     * line reports how much of the top-level scopes' time was
+     * attributed to a nested component.
+     */
+    void writeReport(std::ostream &os) const;
+
+    /**
+     * Flamegraph-compatible collapsed stacks: one "a;b;c <usec>"
+     * line per tree node with non-zero self time.
+     */
+    void writeCollapsed(std::ostream &os) const;
+
+    /** Rows of the attribution table, depth-first. */
+    std::vector<ReportRow> rows() const;
+
+    /** Drop all recorded data (live roots are cleared in place). */
+    void reset();
+
+  private:
+    friend struct ThreadState;
+
+    Registry() = default;
+
+    void attach(ThreadState *ts);
+    void detach(ThreadState *ts);
+
+    mutable std::mutex mutex;
+    std::vector<ThreadState *> live;
+    Node retired{"", nullptr};
+};
+
+} // namespace prof
+} // namespace tlsim
+
+#endif // TLSIM_SIM_PROF_PROF_HH

@@ -127,6 +127,39 @@ Distribution::quantile(double q) const
     return _hi;
 }
 
+double
+Distribution::percentile(double q) const
+{
+    if (_count == 0)
+        return 0.0;
+    if (q < 0.0)
+        q = 0.0;
+    if (q > 1.0)
+        q = 1.0;
+    double target = q * static_cast<double>(_count);
+    std::uint64_t seen = 0;
+    for (std::size_t i = 0; i < logBuckets.size(); ++i) {
+        std::uint64_t n = logBuckets[i];
+        if (n == 0)
+            continue;
+        if (static_cast<double>(seen + n) >= target) {
+            // Bucket i holds magnitudes [2^(i-1), 2^i); bucket 0
+            // holds [0, 1). Interpolate linearly inside it.
+            double lo = i == 0 ? 0.0
+                               : std::ldexp(1.0,
+                                            static_cast<int>(i) - 1);
+            double hi = std::ldexp(1.0, static_cast<int>(i));
+            if (i == 0)
+                hi = 1.0;
+            double frac = (target - static_cast<double>(seen)) /
+                          static_cast<double>(n);
+            return lo + (hi - lo) * frac;
+        }
+        seen += n;
+    }
+    return 0.0;
+}
+
 void
 Distribution::dump(std::ostream &os, const std::string &prefix) const
 {
@@ -210,6 +243,14 @@ Distribution::dumpJson(std::ostream &os) const
     jsonKind(os, "distribution", desc());
     os << ", \"count\": " << _count << ", \"mean\": ";
     jsonNumber(os, mean());
+    os << ", \"sum\": ";
+    jsonNumber(os, _sum);
+    os << ", \"p50\": ";
+    jsonNumber(os, p50());
+    os << ", \"p95\": ";
+    jsonNumber(os, p95());
+    os << ", \"p99\": ";
+    jsonNumber(os, p99());
     os << ", \"lo\": ";
     jsonNumber(os, _lo);
     os << ", \"hi\": ";

@@ -200,7 +200,17 @@ class Average : public StatBase
     double _max = -std::numeric_limits<double>::infinity();
 };
 
-/** Fixed-range bucketed distribution with underflow/overflow bins. */
+/**
+ * Fixed-range bucketed distribution with underflow/overflow bins.
+ *
+ * Alongside the linear in-range buckets, every sample also lands in a
+ * log2 bucket (by magnitude). The linear buckets drive the legacy
+ * quantile() view; the log buckets back p50/p95/p99 (percentile()),
+ * which — unlike quantile() — cover the underflow/overflow regions,
+ * so a fault run whose retry latencies blow past hi still reports
+ * honest tail percentiles. The exact running _sum is unchanged: the
+ * bucket-sum invariants asserted by tests/test_breakdown.cc hold.
+ */
 class Distribution : public StatBase
 {
   public:
@@ -214,12 +224,16 @@ class Distribution : public StatBase
         _bucketWidth = (hi - lo) / static_cast<double>(num_buckets);
     }
 
-    /** Record one sample into its bucket. */
+    /** Record one sample into its linear and log2 buckets. */
     void
     sample(double v)
     {
         ++_count;
         _sum += v;
+        std::uint64_t mag =
+            v < 1.0 ? 0 : static_cast<std::uint64_t>(v);
+        int lb = mag == 0 ? 0 : 64 - __builtin_clzll(mag);
+        ++logBuckets[static_cast<std::size_t>(lb)];
         if (v < _lo) {
             ++_underflow;
         } else if (v >= _hi) {
@@ -245,11 +259,32 @@ class Distribution : public StatBase
     /** Number of in-range buckets. */
     std::size_t numBuckets() const { return buckets.size(); }
 
+    /** Sum of all samples (exact, independent of bucketing). */
+    double sum() const { return _sum; }
+
+    /** Count in log2 bucket @p i (bucket 0 holds values < 1). */
+    std::uint64_t
+    logBucket(std::size_t i) const
+    {
+        return logBuckets.at(i);
+    }
+
     /**
      * Value below which fraction @p q of in-range samples fall
      * (linear interpolation within a bucket).
      */
     double quantile(double q) const;
+
+    /**
+     * Value at quantile @p q over ALL samples, log2-bucket backed
+     * with linear interpolation inside the bucket. Covers the
+     * underflow/overflow regions quantile() cannot see.
+     */
+    double percentile(double q) const;
+
+    double p50() const { return percentile(0.50); }
+    double p95() const { return percentile(0.95); }
+    double p99() const { return percentile(0.99); }
 
     void
     reset() override
@@ -257,6 +292,7 @@ class Distribution : public StatBase
         _count = _underflow = _overflow = 0;
         _sum = 0.0;
         std::fill(buckets.begin(), buckets.end(), 0);
+        logBuckets.fill(0);
     }
 
     void
@@ -271,6 +307,8 @@ class Distribution : public StatBase
     std::uint64_t _underflow = 0;
     std::uint64_t _overflow = 0;
     std::vector<std::uint64_t> buckets;
+    /** Log2-bucketed backing over all samples (percentile view). */
+    std::array<std::uint64_t, 65> logBuckets{};
 };
 
 /** Power-of-two bucketed histogram for unbounded positive samples. */

@@ -9,6 +9,7 @@
 #include "phys/physcache.hh"
 #include "phys/pulse.hh"
 #include "phys/rcwire.hh"
+#include "sim/prof/prof.hh"
 #include "sim/trace/debug.hh"
 #include "sim/trace/tracesink.hh"
 
@@ -51,6 +52,42 @@ TlcCache::TlcCache(EventQueue &eq, stats::StatGroup *parent,
                  "responses re-requested after an end-to-end ECC "
                  "failure")
 {
+    if (metrics::spatialEnabled) {
+        bankBusyHeatmap = std::make_unique<metrics::Heatmap>(
+            this, "heatmap_bank_busy",
+            "bank-port busy cycles per time window per bank",
+            static_cast<std::size_t>(cfg.banks));
+        bankWaitHeatmap = std::make_unique<metrics::Heatmap>(
+            this, "heatmap_bank_wait",
+            "bank-port queueing cycles per time window per bank",
+            static_cast<std::size_t>(cfg.banks));
+        std::size_t link_cells =
+            2 * static_cast<std::size_t>(cfg.pairs());
+        linkBusyHeatmap = std::make_unique<metrics::Heatmap>(
+            this, "heatmap_link_busy",
+            "TL link busy cycles per time window per link "
+            "(down 2p, up 2p+1)",
+            link_cells);
+        linkWaitHeatmap = std::make_unique<metrics::Heatmap>(
+            this, "heatmap_link_wait",
+            "TL link queueing cycles per time window per link "
+            "(down 2p, up 2p+1)",
+            link_cells);
+        for (int b = 0; b < cfg.banks; ++b) {
+            bankPorts[static_cast<std::size_t>(b)].attachTelemetry(
+                bankBusyHeatmap.get(), bankWaitHeatmap.get(),
+                static_cast<std::size_t>(b));
+        }
+        for (int p = 0; p < cfg.pairs(); ++p) {
+            downLinks[static_cast<std::size_t>(p)].attachTelemetry(
+                linkBusyHeatmap.get(), linkWaitHeatmap.get(),
+                static_cast<std::size_t>(downLinkId(p)));
+            upLinks[static_cast<std::size_t>(p)].attachTelemetry(
+                linkBusyHeatmap.get(), linkWaitHeatmap.get(),
+                static_cast<std::size_t>(upLinkId(p)));
+        }
+    }
+
     const int block_bits = mem::blockBytes * 8;
     const int slice_bits = block_bits / cfg.banksPerBlock;
     reqCycles = ceilDiv(std::min(requestBits, 8 * cfg.downBits),
@@ -219,6 +256,7 @@ TlcCache::access(const mem::MemRequest &l2_req, mem::RespCallback cb)
     const Addr block_addr = l2_req.blockAddr;
     const Tick now = l2_req.issued;
 
+    prof::Scope prof_scope("tlc:access");
     ++requests;
     if (l2_req.type == mem::AccessType::Store) {
         banksAccessed.sample(static_cast<double>(cfg.banksPerBlock));
@@ -640,19 +678,50 @@ TlcCache::dumpFaultDiagnostic() const
 {
     warn("{}: fault diagnostic ({} pairs, {} banks)", cfg.name,
          cfg.pairs(), cfg.banks);
+    // Utilization counters tell a deadlock report *which* resource is
+    // hot: the stalled path is almost always behind the link or bank
+    // with the most accumulated busy cycles.
+    int hot_pair = 0, hot_bank = 0;
+    std::uint64_t hot_pair_busy = 0, hot_bank_busy = 0;
     for (int p = 0; p < cfg.pairs(); ++p) {
         auto pi = static_cast<std::size_t>(p);
-        warn("  pair {}: down free at t={}, up free at t={}{}", p,
-             downLinks[pi].freeAt(), upLinks[pi].freeAt(),
-             rcFallback.empty()
-                 ? std::string{}
-                 : csprintf(", rc fallback free at t={}",
-                            rcFallback[pi].freeAt()));
+        std::uint64_t pair_busy = downLinks[pi].busyCycles() +
+                                  upLinks[pi].busyCycles();
+        if (pair_busy > hot_pair_busy) {
+            hot_pair_busy = pair_busy;
+            hot_pair = p;
+        }
     }
     for (int b = 0; b < cfg.banks; ++b) {
         const auto &port = bankPorts[static_cast<std::size_t>(b)];
-        warn("  bank {}: port free at t={} ({} messages)", b,
-             port.freeAt(), port.messageCount());
+        if (port.busyCycles() > hot_bank_busy) {
+            hot_bank_busy = port.busyCycles();
+            hot_bank = b;
+        }
+    }
+    for (int p = 0; p < cfg.pairs(); ++p) {
+        auto pi = static_cast<std::size_t>(p);
+        warn("  pair {}: down free at t={} ({} busy cycles, {} "
+             "messages), up free at t={} ({} busy cycles, {} "
+             "messages){}{}",
+             p, downLinks[pi].freeAt(), downLinks[pi].busyCycles(),
+             downLinks[pi].messageCount(), upLinks[pi].freeAt(),
+             upLinks[pi].busyCycles(), upLinks[pi].messageCount(),
+             rcFallback.empty()
+                 ? std::string{}
+                 : csprintf(", rc fallback free at t={} ({} busy "
+                            "cycles, {} messages)",
+                            rcFallback[pi].freeAt(),
+                            rcFallback[pi].busyCycles(),
+                            rcFallback[pi].messageCount()),
+             p == hot_pair ? " [hottest pair]" : "");
+    }
+    for (int b = 0; b < cfg.banks; ++b) {
+        const auto &port = bankPorts[static_cast<std::size_t>(b)];
+        warn("  bank {}: port free at t={} ({} busy cycles, {} "
+             "messages){}",
+             b, port.freeAt(), port.busyCycles(), port.messageCount(),
+             b == hot_bank ? " [hottest bank]" : "");
     }
 }
 

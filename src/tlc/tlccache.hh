@@ -15,6 +15,7 @@
 #ifndef TLSIM_TLC_TLCCACHE_HH
 #define TLSIM_TLC_TLCCACHE_HH
 
+#include <memory>
 #include <vector>
 
 #include "cacti/srambank.hh"
@@ -96,6 +97,16 @@ class TlcCache : public mem::L2Cache
     std::vector<noc::Link> rcFallback;
     /** One-way latency of each pair's RC fallback wire [cycles]. */
     std::vector<Tick> rcOneWay;
+
+    /**
+     * Spatial heatmaps (constructed only when
+     * metrics::spatialEnabled): bank cells are bank ids, link cells
+     * are the fault-injection link ids (down 2p, up 2p+1).
+     */
+    std::unique_ptr<metrics::Heatmap> bankBusyHeatmap;
+    std::unique_ptr<metrics::Heatmap> bankWaitHeatmap;
+    std::unique_ptr<metrics::Heatmap> linkBusyHeatmap;
+    std::unique_ptr<metrics::Heatmap> linkWaitHeatmap;
 
   public:
     /** Optimized-design stats. */

@@ -11,6 +11,8 @@
 #include "nuca/dnuca.hh"
 #include "nuca/snuca.hh"
 #include "phys/technology.hh"
+#include "sim/fault/faultconfig.hh"
+#include "sim/fault/injector.hh"
 #include "tlc/tlccache.hh"
 
 using namespace tlsim;
@@ -36,6 +38,18 @@ struct Fixture
 using TlcFixture = Fixture<tlc::TlcCache, const tlc::TlcConfig &>;
 using SnucaFixture = Fixture<nuca::SnucaCache>;
 using DnucaFixture = Fixture<nuca::DnucaCache>;
+using FaultTlcFixture =
+    Fixture<tlc::TlcCache, const tlc::TlcConfig &, fault::Injector *>;
+
+/** Every sample in a Distribution lands in exactly one log2 bucket. */
+std::uint64_t
+logBucketTotal(const stats::Distribution &dist)
+{
+    std::uint64_t total = 0;
+    for (std::size_t i = 0; i < 65; ++i)
+        total += dist.logBucket(i);
+    return total;
+}
 
 } // namespace
 
@@ -194,6 +208,81 @@ TEST(Breakdown, DnucaMissComponentsSumToEndToEnd)
     const trace::LatencyBreakdown &bd = f.cache.lastBreakdown();
     EXPECT_DOUBLE_EQ(bd.total(), static_cast<double>(done - issue));
     EXPECT_GT(bd.dram, 0.0);
+}
+
+TEST(Breakdown, TlcFaultRunComponentsStillSumExactly)
+{
+    // Under bit-error injection the links retry, stretching requests
+    // — the breakdown must attribute every retried cycle, and the
+    // Distribution backing (exact sum + log2 buckets) must stay
+    // consistent with the per-request breakdowns we observed.
+    fault::FaultConfig fcfg;
+    fcfg.enabled = true;
+    fcfg.bitErrorRate = 0.05;
+    fault::Injector injector(fcfg, 7);
+    FaultTlcFixture f(tlc::baseTlc(), &injector);
+
+    const int requests = 64;
+    double queue_sum = 0.0, wire_sum = 0.0, bank_sum = 0.0,
+           dram_sum = 0.0;
+    for (int i = 0; i < requests; ++i) {
+        Addr addr = static_cast<Addr>(0x40 + i * 0x430);
+        f.cache.accessFunctional(addr, AccessType::Load);
+        Tick issue = static_cast<Tick>(1000 + i * 400);
+        Tick done = 0;
+        f.cache.access(addr, AccessType::Load, issue,
+                       [&](Tick t) { done = t; });
+        f.eq.run();
+        const trace::LatencyBreakdown &bd = f.cache.lastBreakdown();
+        EXPECT_DOUBLE_EQ(bd.total(),
+                         static_cast<double>(done - issue))
+            << "request " << i;
+        queue_sum += bd.queueWait;
+        wire_sum += bd.wire;
+        bank_sum += bd.bank;
+        dram_sum += bd.dram;
+    }
+    // The error stream actually fired (otherwise this tests nothing).
+    EXPECT_GT(injector.errorsInjected(), 0u);
+
+    // Exact-sum invariant: the Distribution's running sum equals the
+    // accumulated breakdowns bit for bit — log bucketing never
+    // perturbs it.
+    EXPECT_DOUBLE_EQ(f.cache.queueWaitLatency.sum(), queue_sum);
+    EXPECT_DOUBLE_EQ(f.cache.wireLatency.sum(), wire_sum);
+    EXPECT_DOUBLE_EQ(f.cache.bankLatency.sum(), bank_sum);
+    EXPECT_DOUBLE_EQ(f.cache.dramLatency.sum(), dram_sum);
+
+    // Every sample landed in exactly one log2 bucket, and the
+    // percentile view built on them is ordered.
+    for (const stats::Distribution *dist :
+         {&f.cache.queueWaitLatency, &f.cache.wireLatency,
+          &f.cache.bankLatency, &f.cache.dramLatency}) {
+        EXPECT_EQ(dist->count(), static_cast<std::uint64_t>(requests));
+        EXPECT_EQ(logBucketTotal(*dist), dist->count());
+        EXPECT_LE(dist->p50(), dist->p95());
+        EXPECT_LE(dist->p95(), dist->p99());
+        EXPECT_GE(dist->p50(), 0.0);
+    }
+}
+
+TEST(Breakdown, DistributionPercentilesCoverOutOfRangeSamples)
+{
+    stats::StatGroup root("root");
+    stats::Distribution dist(&root, "d", "test", 0.0, 10.0, 10);
+    // 90 in-range samples and 10 far past hi: quantile() saturates at
+    // hi, while percentile() keeps resolving the tail.
+    for (int i = 0; i < 90; ++i)
+        dist.sample(5.0);
+    for (int i = 0; i < 10; ++i)
+        dist.sample(5000.0);
+
+    EXPECT_EQ(dist.overflow(), 10u);
+    EXPECT_DOUBLE_EQ(dist.sum(), 90 * 5.0 + 10 * 5000.0);
+    EXPECT_EQ(logBucketTotal(dist), 100u);
+    EXPECT_LT(dist.p50(), 10.0);
+    EXPECT_GT(dist.p95(), 1000.0); // sees past the linear range
+    EXPECT_GE(dist.p99(), dist.p95());
 }
 
 TEST(Breakdown, AccumulatesAcrossComponents)

@@ -18,6 +18,8 @@
 #include "phys/physcache.hh"
 #include "repro/experiments.hh"
 #include "sim/eventq.hh"
+#include "sim/metrics/heatmap.hh"
+#include "sim/prof/prof.hh"
 
 using namespace tlsim;
 using namespace tlsim::harness;
@@ -320,6 +322,168 @@ TEST(Sweep, MemoHotByteIdenticalToMemoCold)
         EXPECT_EQ(cold.statsJson[i], hot.statsJson[i])
             << specKey(specs[i]);
     }
+}
+
+namespace
+{
+
+/** RAII guard: enable spatial telemetry for one test body. */
+struct SpatialGuard
+{
+    SpatialGuard()
+    {
+        metrics::spatialEnabled = true;
+        metrics::spatialWindowTicks = 0;
+    }
+    ~SpatialGuard() { metrics::spatialEnabled = false; }
+};
+
+} // namespace
+
+TEST(Telemetry, HeatmapsSerialByteIdenticalToParallel)
+{
+    // Heatmap rows are keyed by simulated tick, never wall-clock, so
+    // the spatial matrices must not move between a 1-worker and an
+    // 8-worker sweep.
+    auto specs = table6Specs();
+    SpatialGuard spatial;
+
+    SweepOptions serial;
+    serial.jobs = 1;
+    serial.captureStats = true;
+    serial.verbose = false;
+    auto serial_outcome = runSweep(specs, serial);
+
+    SweepOptions parallel = serial;
+    parallel.jobs = 8;
+    auto parallel_outcome = runSweep(specs, parallel);
+
+    // The heatmaps are actually present in the captured stats...
+    ASSERT_FALSE(serial_outcome.statsJson.empty());
+    EXPECT_NE(serial_outcome.statsJson[0].find(
+                  "\"kind\": \"heatmap\""),
+              std::string::npos);
+    // ...and byte-identical across worker counts.
+    for (std::size_t i = 0; i < specs.size(); ++i) {
+        EXPECT_EQ(serial_outcome.statsJson[i],
+                  parallel_outcome.statsJson[i])
+            << specKey(specs[i]);
+    }
+    EXPECT_EQ(mergedStatsJson(specs, serial_outcome),
+              mergedStatsJson(specs, parallel_outcome));
+}
+
+TEST(Telemetry, HeatmapsMemoHotByteIdenticalToMemoCold)
+{
+    auto specs = table6Specs();
+    SpatialGuard spatial;
+
+    SweepOptions options;
+    options.jobs = 1;
+    options.captureStats = true;
+    options.verbose = false;
+
+    phys::PhysCache::instance().clear();
+    auto cold = runSweep(specs, options);
+    auto hot = runSweep(specs, options);
+
+    for (std::size_t i = 0; i < specs.size(); ++i) {
+        EXPECT_EQ(cold.statsJson[i], hot.statsJson[i])
+            << specKey(specs[i]);
+    }
+}
+
+TEST(Telemetry, DisabledSpatialTelemetryLeavesStatsShapeAlone)
+{
+    // With the flag off no heatmap objects are even constructed, so
+    // the exported stats tree has exactly the pre-telemetry shape —
+    // the guarantee that keeps every paper table/figure bit-identical.
+    auto specs = table6Specs();
+    ASSERT_FALSE(metrics::spatialEnabled);
+
+    SweepOptions options;
+    options.jobs = 2;
+    options.captureStats = true;
+    options.verbose = false;
+    auto outcome = runSweep(specs, options);
+
+    for (std::size_t i = 0; i < specs.size(); ++i)
+        EXPECT_EQ(outcome.statsJson[i].find("heatmap"),
+                  std::string::npos)
+            << specKey(specs[i]);
+}
+
+TEST(Telemetry, ProfilerChangesNoStatsKey)
+{
+    // The profiler observes wall-clock only; enabling it must leave
+    // every simulation result and every stats key byte-identical.
+    auto specs = table6Specs();
+
+    SweepOptions options;
+    options.jobs = 2;
+    options.captureStats = true;
+    options.verbose = false;
+
+    ASSERT_FALSE(prof::enabled());
+    auto off = runSweep(specs, options);
+
+    prof::setEnabled(true);
+    auto on = runSweep(specs, options);
+    prof::setEnabled(false);
+    prof::Registry::instance().reset();
+
+    for (std::size_t i = 0; i < specs.size(); ++i) {
+        EXPECT_EQ(resultJson(specs[i], off.results[i]),
+                  resultJson(specs[i], on.results[i]))
+            << specKey(specs[i]);
+        EXPECT_EQ(off.statsJson[i], on.statsJson[i])
+            << specKey(specs[i]);
+    }
+}
+
+TEST(Telemetry, SweepWritesMetricsAndManifest)
+{
+    auto specs = table6Specs();
+    std::string dir = freshDir("telemetry");
+    std::filesystem::create_directories(dir);
+
+    SweepOptions options;
+    options.jobs = 4;
+    options.verbose = false;
+    options.metricsOut = dir + "/metrics.prom";
+    options.manifestOut = dir + "/manifest.jsonl";
+    auto outcome = runSweep(specs, options);
+    EXPECT_EQ(outcome.executed, specs.size());
+
+    std::ifstream prom(options.metricsOut);
+    ASSERT_TRUE(prom.is_open());
+    std::stringstream prom_text;
+    prom_text << prom.rdbuf();
+    EXPECT_NE(prom_text.str().find(
+                  "tlsim_sweep_runs_total{result=\"executed\"} 24"),
+              std::string::npos);
+    EXPECT_NE(prom_text.str().find(
+                  "# TYPE tlsim_sweep_run_wall_milliseconds "
+                  "histogram"),
+              std::string::npos);
+    EXPECT_NE(prom_text.str().find(
+                  "tlsim_sweep_run_wall_milliseconds_count 24"),
+              std::string::npos);
+
+    std::ifstream manifest(options.manifestOut);
+    ASSERT_TRUE(manifest.is_open());
+    std::size_t records = 0;
+    std::string line;
+    while (std::getline(manifest, line)) {
+        if (line.empty())
+            continue;
+        ++records;
+        EXPECT_NE(line.find("\"schema\": \"tlsim-manifest-v1\""),
+                  std::string::npos);
+        EXPECT_NE(line.find("\"outcome\": \"executed\""),
+                  std::string::npos);
+    }
+    EXPECT_EQ(records, specs.size());
 }
 
 TEST(Sweep, TypedEventsByteIdenticalToLambdaEvents)

@@ -1,0 +1,226 @@
+#!/usr/bin/env python3
+"""Validate tlsim sweep telemetry artifacts.
+
+Checks two files produced by ``tlsim_repro``:
+
+* ``--metrics-out`` — Prometheus text exposition format 0.0.4. Every
+  sample line must parse, every family must carry # HELP/# TYPE
+  headers, histogram bucket counts must be cumulative and agree with
+  ``_count``, and the run-outcome counters must sum to the sweep size.
+* ``--manifest`` — the per-run JSONL ledger. Every line must be a
+  JSON object with the ``tlsim-manifest-v1`` schema tag and the
+  required fields, and outcomes must be one of cached / executed /
+  failed.
+
+Exit status is the number of violations, so CI fails on any.
+
+Usage:
+  python3 tools/check_telemetry.py --metrics M.prom --manifest M.jsonl \
+      [--expect-runs N]
+"""
+
+import argparse
+import json
+import re
+import sys
+
+SAMPLE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?P<labels>\{[^}]*\})?"
+    r" (?P<value>[-+0-9.eE]+|\+Inf|-Inf|NaN)$"
+)
+LABELS = re.compile(r'([a-zA-Z_][a-zA-Z0-9_]*)="((?:[^"\\]|\\.)*)"')
+
+MANIFEST_SCHEMA = "tlsim-manifest-v1"
+MANIFEST_REQUIRED = (
+    "schema",
+    "spec",
+    "benchmark",
+    "design",
+    "outcome",
+    "wall_ms",
+    "retries",
+    "timeouts",
+    "degraded",
+)
+OUTCOMES = {"cached", "executed", "failed"}
+
+
+def base_family(name: str) -> str:
+    """Family a sample belongs to (histogram series fold together)."""
+    for suffix in ("_bucket", "_sum", "_count"):
+        if name.endswith(suffix):
+            return name[: -len(suffix)]
+    return name
+
+
+def check_metrics(path: str, errors: list[str]) -> dict:
+    """Parse the Prometheus file; return {family: [(labels, value)]}."""
+    helped, typed = set(), set()
+    samples: dict[str, list] = {}
+    family_type: dict[str, str] = {}
+    with open(path, encoding="utf-8") as f:
+        for lineno, raw in enumerate(f, 1):
+            line = raw.rstrip("\n")
+            if not line:
+                continue
+            if line.startswith("# HELP "):
+                helped.add(line.split()[2])
+                continue
+            if line.startswith("# TYPE "):
+                parts = line.split()
+                typed.add(parts[2])
+                family_type[parts[2]] = parts[3]
+                continue
+            if line.startswith("#"):
+                errors.append(f"{path}:{lineno}: bad comment: {line}")
+                continue
+            m = SAMPLE.match(line)
+            if not m:
+                errors.append(f"{path}:{lineno}: unparsable: {line}")
+                continue
+            labels = dict(LABELS.findall(m.group("labels") or ""))
+            value = float(m.group("value"))
+            family = base_family(m.group("name"))
+            samples.setdefault(family, []).append(
+                (m.group("name"), labels, value)
+            )
+
+    for family in samples:
+        if family not in helped:
+            errors.append(f"{path}: family '{family}' missing # HELP")
+        if family not in typed:
+            errors.append(f"{path}: family '{family}' missing # TYPE")
+
+    # Histogram invariants: buckets cumulative, +Inf == _count.
+    for family, ftype in family_type.items():
+        if ftype != "histogram" or family not in samples:
+            continue
+        buckets = [
+            (labels.get("le", ""), value)
+            for name, labels, value in samples[family]
+            if name.endswith("_bucket")
+        ]
+        count = next(
+            (
+                v
+                for n, _, v in samples[family]
+                if n.endswith("_count")
+            ),
+            None,
+        )
+        prev = 0.0
+        for le, v in buckets:
+            if v < prev:
+                errors.append(
+                    f"{path}: histogram '{family}' bucket le={le} "
+                    f"not cumulative ({v} < {prev})"
+                )
+            prev = v
+        if not buckets or buckets[-1][0] != "+Inf":
+            errors.append(
+                f"{path}: histogram '{family}' missing +Inf bucket"
+            )
+        elif count is not None and buckets[-1][1] != count:
+            errors.append(
+                f"{path}: histogram '{family}' +Inf bucket "
+                f"{buckets[-1][1]} != _count {count}"
+            )
+    return samples
+
+
+def check_manifest(path: str, errors: list[str]) -> int:
+    """Validate the JSONL ledger; return the record count."""
+    records = 0
+    with open(path, encoding="utf-8") as f:
+        for lineno, raw in enumerate(f, 1):
+            line = raw.strip()
+            if not line:
+                continue
+            try:
+                rec = json.loads(line)
+            except json.JSONDecodeError as exc:
+                errors.append(f"{path}:{lineno}: bad JSON: {exc}")
+                continue
+            if not isinstance(rec, dict):
+                errors.append(f"{path}:{lineno}: not an object")
+                continue
+            records += 1
+            for field in MANIFEST_REQUIRED:
+                if field not in rec:
+                    errors.append(
+                        f"{path}:{lineno}: missing field '{field}'"
+                    )
+            if rec.get("schema") != MANIFEST_SCHEMA:
+                errors.append(
+                    f"{path}:{lineno}: schema "
+                    f"'{rec.get('schema')}' != '{MANIFEST_SCHEMA}'"
+                )
+            if rec.get("outcome") not in OUTCOMES:
+                errors.append(
+                    f"{path}:{lineno}: bad outcome "
+                    f"'{rec.get('outcome')}'"
+                )
+            if rec.get("outcome") == "failed" and "error" not in rec:
+                errors.append(
+                    f"{path}:{lineno}: failed record without 'error'"
+                )
+    return records
+
+
+def main() -> int:
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--metrics", help="Prometheus text file")
+    ap.add_argument("--manifest", help="manifest.jsonl ledger")
+    ap.add_argument(
+        "--expect-runs",
+        type=int,
+        default=-1,
+        help="expected sweep size (manifest records and "
+        "run-outcome counter total must match)",
+    )
+    args = ap.parse_args()
+    if not args.metrics and not args.manifest:
+        ap.error("give at least one of --metrics / --manifest")
+
+    errors: list[str] = []
+    samples = {}
+    records = -1
+    if args.metrics:
+        samples = check_metrics(args.metrics, errors)
+    if args.manifest:
+        records = check_manifest(args.manifest, errors)
+
+    if args.expect_runs >= 0:
+        if args.manifest and records != args.expect_runs:
+            errors.append(
+                f"{args.manifest}: {records} records, expected "
+                f"{args.expect_runs}"
+            )
+        if args.metrics:
+            total = sum(
+                v
+                for _, _, v in samples.get("tlsim_sweep_runs_total", [])
+            )
+            if total != args.expect_runs:
+                errors.append(
+                    f"{args.metrics}: tlsim_sweep_runs_total sums to "
+                    f"{total}, expected {args.expect_runs}"
+                )
+
+    for err in errors:
+        print(err, file=sys.stderr)
+    if not errors:
+        parts = []
+        if args.metrics:
+            parts.append(
+                f"{args.metrics}: {len(samples)} metric families OK"
+            )
+        if args.manifest:
+            parts.append(f"{args.manifest}: {records} records OK")
+        print("; ".join(parts))
+    return len(errors)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

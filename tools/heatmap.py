@@ -1,0 +1,169 @@
+#!/usr/bin/env python3
+"""Render spatial utilization heatmaps from a tlsim stats JSON file.
+
+``tlsim_repro --heatmaps --stats-json FILE`` embeds time-by-space
+heatmap matrices (``"kind": "heatmap"``) in the per-run stats trees:
+rows are simulated-time windows, columns are spatial cells (cache
+banks or interconnect links), values are accumulated busy/wait cycles.
+This script finds every heatmap in the document and renders it as an
+ASCII shade plot on stdout; with ``--svg DIR`` it also writes one SVG
+per heatmap — the generalized form of the paper's Figure 7 bank-
+utilization view.
+
+Only the standard library is used.
+
+Usage:
+  python3 tools/heatmap.py stats.json
+  python3 tools/heatmap.py stats.json --run 'TLC/gcc' --name bank_busy
+  python3 tools/heatmap.py stats.json --svg out/
+"""
+
+import argparse
+import json
+import signal
+import sys
+from pathlib import Path
+
+# Die quietly when stdout is a closed pipe (e.g. piped into head).
+if hasattr(signal, "SIGPIPE"):
+    signal.signal(signal.SIGPIPE, signal.SIG_DFL)
+
+# Darker shade = busier cell; index scales with value/max.
+SHADES = " .:-=+*#%@"
+
+
+def find_heatmaps(node, path=""):
+    """Yield (path, heatmap-dict) for every heatmap in the tree."""
+    if not isinstance(node, dict):
+        return
+    if node.get("kind") == "heatmap":
+        yield path, node
+        return
+    for key, child in node.items():
+        sub = f"{path}.{key}" if path else key
+        yield from find_heatmaps(child, sub)
+
+
+def render_ascii(path, hm, width=64):
+    rows = hm["data"]
+    cells = hm["cells"]
+    window = hm["window"]
+    peak = max((v for row in rows for v in row), default=0)
+    print(f"=== {path} ===")
+    print(f"  {hm.get('desc', '')}")
+    print(
+        f"  {len(rows)} windows x {cells} cells, "
+        f"window = {window} ticks, base tick = {hm['base_tick']}, "
+        f"peak = {peak}"
+    )
+    if peak == 0:
+        print("  (no activity recorded)")
+        return
+    # Fold wide matrices into at most `width` columns so plots stay
+    # terminal-sized; each printed column shows the max of its fold.
+    fold = max(1, (cells + width - 1) // width)
+    for r, row in enumerate(rows):
+        folded = [
+            max(row[c : c + fold]) for c in range(0, cells, fold)
+        ]
+        line = "".join(
+            SHADES[min(len(SHADES) - 1, v * (len(SHADES) - 1) // peak)]
+            for v in folded
+        )
+        tick = hm["base_tick"] + r * window
+        print(f"  t={tick:>12} |{line}|")
+    if fold > 1:
+        print(f"  (each column folds {fold} cells, showing the max)")
+    print(f"  scale: ' ' = 0 .. '@' = {peak}")
+
+
+def render_svg(path, hm, out_dir):
+    rows = hm["data"]
+    cells = hm["cells"]
+    peak = max((v for row in rows for v in row), default=0)
+    cell_px = 10
+    label_px = 120
+    w = label_px + cells * cell_px + 10
+    h = 30 + max(1, len(rows)) * cell_px + 10
+    parts = [
+        f'<svg xmlns="http://www.w3.org/2000/svg" '
+        f'width="{w}" height="{h}">',
+        f'<text x="4" y="16" font-family="monospace" '
+        f'font-size="12">{path} (peak {peak})</text>',
+    ]
+    for r, row in enumerate(rows):
+        y = 30 + r * cell_px
+        tick = hm["base_tick"] + r * hm["window"]
+        parts.append(
+            f'<text x="4" y="{y + 8}" font-family="monospace" '
+            f'font-size="8">t={tick}</text>'
+        )
+        for c, v in enumerate(row):
+            # White (idle) to dark red (peak).
+            frac = v / peak if peak else 0.0
+            shade = int(255 * (1.0 - frac))
+            parts.append(
+                f'<rect x="{label_px + c * cell_px}" y="{y}" '
+                f'width="{cell_px - 1}" height="{cell_px - 1}" '
+                f'fill="rgb(255,{shade},{shade})"/>'
+            )
+    parts.append("</svg>")
+    name = path.replace("/", "_").replace(".", "_") + ".svg"
+    out = Path(out_dir) / name
+    out.write_text("\n".join(parts), encoding="utf-8")
+    print(f"  svg written: {out}")
+
+
+def main() -> int:
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("stats", help="stats JSON from --stats-json")
+    ap.add_argument(
+        "--run", default="", help="substring filter on the run key"
+    )
+    ap.add_argument(
+        "--name", default="", help="substring filter on the stat path"
+    )
+    ap.add_argument(
+        "--svg", default="", help="also write one SVG per heatmap here"
+    )
+    ap.add_argument(
+        "--width",
+        type=int,
+        default=64,
+        help="max ASCII columns (default 64)",
+    )
+    args = ap.parse_args()
+
+    with open(args.stats, encoding="utf-8") as f:
+        doc = json.load(f)
+
+    if args.svg:
+        Path(args.svg).mkdir(parents=True, exist_ok=True)
+
+    count = 0
+    for run_key, tree in doc.items():
+        if args.run and args.run not in run_key:
+            continue
+        if tree is None:
+            continue
+        for path, hm in find_heatmaps(tree, run_key):
+            if args.name and args.name not in path:
+                continue
+            render_ascii(path, hm, width=args.width)
+            if args.svg:
+                render_svg(path, hm, args.svg)
+            print()
+            count += 1
+
+    if count == 0:
+        print(
+            "no heatmaps found (run tlsim_repro with --heatmaps "
+            "--stats-json)",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
