@@ -3,7 +3,9 @@
 #include <cstdint>
 #include <cstdlib>
 #include <cstring>
+#include <filesystem>
 #include <fstream>
+#include <iomanip>
 #include <iostream>
 #include <map>
 #include <memory>
@@ -16,12 +18,14 @@
 
 #include "harness/config.hh"
 #include "harness/sweep/sweep.hh"
+#include "harness/tracerun.hh"
 #include "repro/experiments.hh"
 #include "sim/logging.hh"
 #include "sim/metrics/heatmap.hh"
 #include "sim/prof/prof.hh"
 #include "sim/trace/debug.hh"
 #include "sim/trace/tracesink.hh"
+#include "workload/tracefile.hh"
 
 namespace tlsim
 {
@@ -62,6 +66,13 @@ struct CliOptions
     bool heatmaps = false;
     bool progress = false;
     std::optional<std::uint64_t> heatmapWindow;
+    /** Trace replay (docs/SAMPLING.md): set by --trace FILE. */
+    std::string trace;
+    bool traceFull = false;
+    bool traceValidate = false;
+    std::uint32_t intervals = 4;
+    std::uint64_t intervalSize = 100'000;
+    std::string checkpointDir;
 
     /**
      * Effective base machine: defaults (or --config file), then
@@ -115,7 +126,7 @@ printUsage(std::ostream &os)
           "$TLSIM_CACHE_DIR or tlsim_result_cache)\n"
           "  --no-cache          disable result memoization\n"
           "  --stats-json FILE   merged per-run stats JSON, in spec "
-          "order\n"
+          "order (trace mode: tlsim-tracerun-v1 document)\n"
           "  --config FILE       load the machine config (JSON, see "
           "--dump-config)\n"
           "  --dump-config       print the effective config JSON and "
@@ -149,7 +160,29 @@ printUsage(std::ostream &os)
           "(default 4096)\n"
           "  --debug-flags F,F   debug output (see --jobs 1)\n"
           "  --trace-out FILE    Chrome trace (forces --jobs 1)\n"
+          "  --trace FILE        replay a captured .tlt trace with "
+          "SimPoint-style interval sampling\n"
+          "                      instead of the experiment sweep "
+          "(docs/SAMPLING.md)\n"
+          "  --trace-full        time the entire trace instead of "
+          "sampling it\n"
+          "  --trace-validate    run the sampled and the full replay, "
+          "report accuracy and speedup\n"
+          "  --intervals K       representative intervals to simulate "
+          "(default 4)\n"
+          "  --interval-size N   interval length in instructions "
+          "(default 100000)\n"
+          "  --checkpoint-dir D  warm-state checkpoint directory "
+          "(default <cache-dir>/warm;\n"
+          "                      --no-cache without this flag disables "
+          "checkpointing)\n"
           "  --help              this text\n"
+          "\nStats-JSON/cache run keys are "
+          "design/bench/w…/m…/f…/s…; machines that differ\n"
+          "from the default gain a /c<hash> suffix (the 16-hex-digit "
+          "machine-config hash,\n"
+          "see docs/REPRODUCING.md) so runs on different machines "
+          "never collide.\n"
           "\nexperiments (--filter, comma separated):\n";
     for (const auto &experiment : experiments())
         os << "  " << experiment.name << "  \t" << experiment.title
@@ -236,6 +269,21 @@ parseArgs(int argc, char **argv, CliOptions &opts)
             opts.faultStuckBanks = value;
         } else if (std::strcmp(argv[i], "--fault-margin") == 0) {
             opts.faultMargin = true;
+        } else if (std::strcmp(argv[i], "--trace-full") == 0) {
+            opts.traceFull = true;
+        } else if (std::strcmp(argv[i], "--trace-validate") == 0) {
+            opts.traceValidate = true;
+        } else if (matchValue(argc, argv, i, "--trace", opts.trace) ||
+                   matchValue(argc, argv, i, "--checkpoint-dir",
+                              opts.checkpointDir)) {
+            continue;
+        } else if (matchValue(argc, argv, i, "--intervals", value)) {
+            opts.intervals = static_cast<std::uint32_t>(
+                std::strtoul(value.c_str(), nullptr, 10));
+        } else if (matchValue(argc, argv, i, "--interval-size",
+                              value)) {
+            opts.intervalSize =
+                std::strtoull(value.c_str(), nullptr, 10);
         } else if (std::strcmp(argv[i], "--heatmaps") == 0) {
             opts.heatmaps = true;
         } else if (std::strcmp(argv[i], "--progress") == 0) {
@@ -252,6 +300,233 @@ parseArgs(int argc, char **argv, CliOptions &opts)
         }
     }
     return true;
+}
+
+/** Effective result-cache directory ("" when caching is off). */
+std::string
+resolveCacheDir(const CliOptions &opts)
+{
+    if (!opts.useCache)
+        return "";
+    if (!opts.cacheDir.empty())
+        return opts.cacheDir;
+    if (const char *env = std::getenv("TLSIM_CACHE_DIR"))
+        return env;
+    return "tlsim_result_cache";
+}
+
+void
+jsonEscape(std::ostream &os, const std::string &text)
+{
+    for (char c : text) {
+        if (c == '"' || c == '\\')
+            os << '\\';
+        os << c;
+    }
+}
+
+/** Emit a RunResult as a JSON object (trace-mode stats schema). */
+void
+runResultJson(std::ostream &os, const harness::RunResult &result,
+              const char *indent)
+{
+    os << "{\n"
+       << indent << "  \"design\": \"" << result.design << "\",\n"
+       << indent << "  \"cycles\": " << result.cycles << ",\n"
+       << indent << "  \"instructions\": " << result.instructions
+       << ",\n"
+       << indent << "  \"ipc\": " << result.ipc << ",\n"
+       << indent << "  \"l2_requests_per_1k\": "
+       << result.l2RequestsPer1k << ",\n"
+       << indent << "  \"l2_misses_per_1k\": " << result.l2MissesPer1k
+       << ",\n"
+       << indent << "  \"mean_lookup_latency\": "
+       << result.meanLookupLatency << ",\n"
+       << indent << "  \"predictable_pct\": " << result.predictablePct
+       << ",\n"
+       << indent << "  \"banks_per_request\": "
+       << result.banksPerRequest << ",\n"
+       << indent << "  \"network_power_mw\": "
+       << result.networkPowerMw << ",\n"
+       << indent << "  \"link_utilization_pct\": "
+       << result.linkUtilizationPct << "\n"
+       << indent << "}";
+}
+
+/**
+ * Trace-replay mode (--trace): sampled by default, full with
+ * --trace-full, both plus an accuracy/speedup report with
+ * --trace-validate. Bypasses the experiment sweep entirely.
+ */
+int
+runTraceMode(const CliOptions &opts)
+{
+    workload::TraceFile trace = workload::TraceFile::load(opts.trace);
+
+    harness::TraceRunOptions trun;
+    trun.config = opts.baseConfig();
+    trun.intervalInstructions = opts.intervalSize;
+    trun.maxIntervals = opts.intervals;
+    trun.benchmarkLabel =
+        std::filesystem::path(opts.trace).filename().string();
+    if (!opts.checkpointDir.empty())
+        trun.checkpointDir = opts.checkpointDir;
+    else if (opts.useCache)
+        trun.checkpointDir = resolveCacheDir(opts) + "/warm";
+
+    if (!opts.quiet) {
+        std::ostringstream hash;
+        hash << std::hex << trace.contentHash();
+        inform("trace {}: {} records, {} instructions, hash {}",
+               trace.name(), trace.recordCount(),
+               trace.instructionCount(), hash.str());
+        if (!trun.checkpointDir.empty())
+            inform("warm checkpoints: {}", trun.checkpointDir);
+    }
+
+    // The transmission-line/wire physics tables are memoized
+    // process-wide: build one throwaway System before timing anything
+    // so neither replay leg pays (or dodges) the one-off physics
+    // solve — wall-clock comparisons stay about simulation work.
+    { harness::System prewarm(trun.config); }
+
+    bool run_full = opts.traceFull || opts.traceValidate;
+    bool run_sampled = !opts.traceFull || opts.traceValidate;
+
+    harness::RunResult full;
+    double full_wall_ms = 0.0;
+    if (run_full)
+        full = runFullTrace(trace, trun, &full_wall_ms);
+
+    harness::SampledTraceOutcome sampled;
+    if (run_sampled)
+        sampled = runSampledTrace(trace, trun);
+
+    std::ostream &os = std::cout;
+    os << std::fixed << std::setprecision(3);
+    if (run_sampled) {
+        os << "sampled replay (" << sampled.intervals.size()
+           << " intervals x " << trun.intervalInstructions
+           << " instructions, "
+           << sampled.plan.coveredInstructions
+           << " covered):\n"
+           << "  interval  start_instr  weight  cluster  warm  "
+              "ipc     l2miss/1k\n";
+        for (const auto &run : sampled.intervals) {
+            os << "  " << std::setw(8) << run.rep.interval << "  "
+               << std::setw(11) << run.rep.startInstr << "  "
+               << std::setw(6) << run.rep.weight << "  "
+               << std::setw(7) << run.rep.clusterSize << "  "
+               << (run.fromCheckpoint ? "ckpt" : "cold") << "  "
+               << std::setw(6) << run.result.ipc << "  "
+               << std::setw(9) << run.result.l2MissesPer1k << "\n";
+        }
+        os << "  aggregate: ipc " << sampled.aggregate.ipc
+           << ", l2miss/1k " << sampled.aggregate.l2MissesPer1k
+           << ", lookup " << sampled.aggregate.meanLookupLatency
+           << " cyc (" << sampled.checkpointHits << " checkpoint "
+           << "hits, " << sampled.checkpointStores << " stores, "
+           << sampled.wallMs << " ms)\n";
+    }
+    if (run_full) {
+        os << "full replay: ipc " << full.ipc << ", l2miss/1k "
+           << full.l2MissesPer1k << ", lookup "
+           << full.meanLookupLatency << " cyc (" << full_wall_ms
+           << " ms)\n";
+    }
+
+    double speedup = 0.0;
+    double ipc_err = 0.0;
+    double miss_err = 0.0;
+    if (opts.traceValidate) {
+        speedup = sampled.wallMs > 0.0 ? full_wall_ms / sampled.wallMs
+                                       : 0.0;
+        ipc_err = full.ipc != 0.0
+                      ? (sampled.aggregate.ipc - full.ipc) / full.ipc
+                      : 0.0;
+        miss_err = full.l2MissesPer1k != 0.0
+                       ? (sampled.aggregate.l2MissesPer1k -
+                          full.l2MissesPer1k) /
+                             full.l2MissesPer1k
+                       : 0.0;
+        os << "validate: speedup " << speedup << "x, ipc error "
+           << 100.0 * ipc_err << "%, l2miss/1k error "
+           << 100.0 * miss_err << "%\n";
+    }
+
+    if (!opts.statsJson.empty()) {
+        std::ofstream out(opts.statsJson);
+        if (!out.is_open())
+            fatal("cannot open stats JSON file '{}'", opts.statsJson);
+        out << std::setprecision(12);
+        out << "{\n\"schema\": \"tlsim-tracerun-v1\",\n";
+        out << "\"trace\": {\"file\": \"";
+        jsonEscape(out, trace.name());
+        out << "\", \"records\": " << trace.recordCount()
+            << ", \"instructions\": " << trace.instructionCount()
+            << ", \"content_hash\": \"" << std::hex
+            << trace.contentHash() << std::dec << "\"},\n";
+        if (run_sampled) {
+            out << "\"plan\": {\"interval_instructions\": "
+                << sampled.plan.intervalInstructions
+                << ", \"num_intervals\": "
+                << sampled.plan.numIntervals
+                << ", \"covered_instructions\": "
+                << sampled.plan.coveredInstructions
+                << ", \"dropped_tail\": " << sampled.plan.droppedTail
+                << "},\n";
+            out << "\"intervals\": [\n";
+            for (std::size_t i = 0; i < sampled.intervals.size();
+                 ++i) {
+                const auto &run = sampled.intervals[i];
+                out << "  {\"interval\": " << run.rep.interval
+                    << ", \"start_record\": " << run.rep.startRecord
+                    << ", \"start_instr\": " << run.rep.startInstr
+                    << ", \"instructions\": " << run.rep.instructions
+                    << ", \"weight\": " << run.rep.weight
+                    << ", \"cluster_size\": " << run.rep.clusterSize
+                    << ", \"from_checkpoint\": "
+                    << (run.fromCheckpoint ? "true" : "false")
+                    << ", \"stats\": ";
+                runResultJson(out, run.result, "  ");
+                out << "}"
+                    << (i + 1 < sampled.intervals.size() ? "," : "")
+                    << "\n";
+            }
+            out << "],\n";
+            out << "\"aggregate\": ";
+            runResultJson(out, sampled.aggregate, "");
+            out << ",\n";
+            out << "\"checkpoint\": {\"dir\": \"";
+            jsonEscape(out, trun.checkpointDir);
+            out << "\", \"hits\": " << sampled.checkpointHits
+                << ", \"stores\": " << sampled.checkpointStores
+                << "},\n";
+            out << "\"timed_instructions\": "
+                << sampled.timedInstructions
+                << ",\n\"warm_records_replayed\": "
+                << sampled.warmRecordsReplayed
+                << ",\n\"sampled_wall_ms\": " << sampled.wallMs
+                << ",\n";
+        }
+        if (run_full) {
+            out << "\"full\": ";
+            runResultJson(out, full, "");
+            out << ",\n\"full_wall_ms\": " << full_wall_ms << ",\n";
+        }
+        if (opts.traceValidate) {
+            out << "\"speedup\": " << speedup
+                << ",\n\"ipc_rel_error\": " << ipc_err
+                << ",\n\"l2_misses_per_1k_rel_error\": " << miss_err
+                << ",\n";
+        }
+        out << "\"benchmark\": \"";
+        jsonEscape(out, trun.benchmarkLabel);
+        out << "\"\n}\n";
+        if (!opts.quiet)
+            inform("stats JSON written: {}", opts.statsJson);
+    }
+    return 0;
 }
 
 std::vector<const Experiment *>
@@ -302,6 +577,9 @@ reproMain(int argc, char **argv)
         return 0;
     }
 
+    if (!opts.trace.empty())
+        return runTraceMode(opts);
+
     bool ok = false;
     auto selected = selectExperiments(opts.filter, ok);
     if (!ok)
@@ -327,16 +605,7 @@ reproMain(int argc, char **argv)
         trace::TraceSink::setActive(sink.get());
     }
 
-    std::string cache_dir;
-    if (opts.useCache) {
-        if (!opts.cacheDir.empty()) {
-            cache_dir = opts.cacheDir;
-        } else if (const char *env = std::getenv("TLSIM_CACHE_DIR")) {
-            cache_dir = env;
-        } else {
-            cache_dir = "tlsim_result_cache";
-        }
-    }
+    std::string cache_dir = resolveCacheDir(opts);
 
     // Union of every selected experiment's specs, deduplicated so
     // shared cells (e.g. Figure 5 and 6 both need DNUCA runs)

@@ -4,6 +4,7 @@
 #include <optional>
 
 #include "mem/l2registry.hh"
+#include "mem/warmstate.hh"
 #include "nuca/dnuca.hh"
 #include "sim/prof/prof.hh"
 #include "tlc/tlccache.hh"
@@ -155,6 +156,31 @@ System::functionalWarm(cpu::TraceSource &source,
     }
 }
 
+bool
+System::saveWarmState(std::ostream &os)
+{
+    mem::warm::putU32(os, static_cast<std::uint32_t>(cores.size()));
+    for (const CoreSlot &slot : cores) {
+        slot.icache->saveWarmState(os);
+        slot.dcache->saveWarmState(os);
+    }
+    return l2Cache->saveWarmState(os);
+}
+
+bool
+System::loadWarmState(std::istream &is)
+{
+    std::uint32_t n = 0;
+    if (!mem::warm::getU32(is, n) || n != cores.size())
+        return false;
+    for (CoreSlot &slot : cores) {
+        if (!slot.icache->loadWarmState(is) ||
+            !slot.dcache->loadWarmState(is))
+            return false;
+    }
+    return l2Cache->loadWarmState(is);
+}
+
 namespace
 {
 
@@ -282,11 +308,19 @@ runBenchmark(const SystemConfig &config,
 
     std::uint64_t measured_instructions =
         run_config.measure * static_cast<std::uint64_t>(n);
+    return extractRunResult(system, cycles, measured_instructions,
+                            profile.name);
+}
 
+RunResult
+extractRunResult(System &system, std::uint64_t cycles,
+                 std::uint64_t measured_instructions,
+                 const std::string &benchmark)
+{
     mem::L2Cache &l2 = system.l2();
     RunResult result;
     result.design = l2.designName();
-    result.benchmark = profile.name;
+    result.benchmark = benchmark;
     result.cycles = cycles;
     result.instructions = measured_instructions;
     result.ipc = cycles > 0

@@ -121,6 +121,24 @@ class System
     void functionalWarm(cpu::TraceSource &source,
                         std::uint64_t instructions, int core_idx = 0);
 
+    /**
+     * Serialize the machine's functional warm state (every core's L1
+     * arrays plus the L2 design's state; DRAM is timing-only and has
+     * none) for warm-state checkpoints (docs/SAMPLING.md).
+     * @return false if the L2 design does not support checkpointing;
+     *         the stream's contents are then incomplete and must be
+     *         discarded.
+     */
+    bool saveWarmState(std::ostream &os);
+
+    /**
+     * Restore warm state written by saveWarmState on an identically
+     * configured, freshly built machine.
+     * @return false on any mismatch (machine state is then
+     *         unspecified; rebuild and warm cold).
+     */
+    bool loadWarmState(std::istream &is);
+
   private:
     /** One core with its private split L1s. */
     struct CoreSlot
@@ -248,6 +266,16 @@ RunResult runBenchmark(const SystemConfig &config,
                        const workload::BenchmarkProfile &profile,
                        std::uint64_t run_seed = 0,
                        const RunObserver *observer = nullptr);
+
+/**
+ * Extract the shared RunResult metrics from a system whose measured
+ * phase just ended (call l2().syncStats() first). Factored out of
+ * runBenchmark so the sampled-trace runner (harness/tracerun.hh)
+ * reports the exact same metric definitions per interval.
+ */
+RunResult extractRunResult(System &system, std::uint64_t cycles,
+                           std::uint64_t measured_instructions,
+                           const std::string &benchmark);
 
 /** Compat wrapper: single-core run of a paper design. */
 RunResult runBenchmark(DesignKind kind,

@@ -1,0 +1,126 @@
+/**
+ * @file
+ * Sampled and full replay of captured (`tlt`) traces.
+ *
+ * runFullTrace times every instruction of a trace; runSampledTrace
+ * simulates only SimPoint-selected representative intervals (see
+ * workload/simpoint.hh) and reweights their per-interval RunResults
+ * into a full-trace estimate, reusing warm-state checkpoints
+ * (harness/checkpoint.hh) so repeated sampled runs skip the
+ * functional warm-up entirely. docs/SAMPLING.md documents the
+ * methodology, the expected accuracy tolerances, and the speedup
+ * model; docs/REPRODUCING.md has the CLI commands.
+ */
+
+#ifndef TLSIM_HARNESS_TRACERUN_HH
+#define TLSIM_HARNESS_TRACERUN_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "harness/system.hh"
+#include "workload/simpoint.hh"
+#include "workload/tracefile.hh"
+
+namespace tlsim
+{
+namespace harness
+{
+
+/** Knobs for trace replay (sampled and full). */
+struct TraceRunOptions
+{
+    /**
+     * Machine to run the trace on. Trace replay is single-core
+     * (captured traces carry one instruction stream); cores must be
+     * 1. The config's warm/measure budgets are ignored — the trace
+     * length and the interval geometry below set the budgets.
+     */
+    SystemConfig config;
+
+    /** Nominal interval length in instructions. */
+    std::uint64_t intervalInstructions = 100'000;
+    /** Maximum clusters (= representative intervals simulated). */
+    std::uint32_t maxIntervals = 4;
+    /**
+     * Timed warm-up inside each representative interval before its
+     * measured phase (capped at a quarter of the interval), hiding
+     * the empty-pipeline/idle-network transient at interval entry.
+     */
+    std::uint64_t timedWarmup = 20'000;
+    /** k-means seed (same trace + options -> identical plan). */
+    std::uint64_t seed = 0;
+    /** Warm-checkpoint directory; empty disables checkpointing. */
+    std::string checkpointDir;
+    /** Benchmark label stamped on the RunResults. */
+    std::string benchmarkLabel = "trace";
+};
+
+/** One simulated representative interval. */
+struct IntervalRun
+{
+    workload::RepresentativeInterval rep;
+    RunResult result;
+    /** Warm state came from a stored checkpoint. */
+    bool fromCheckpoint = false;
+};
+
+/** Everything a sampled replay produces. */
+struct SampledTraceOutcome
+{
+    workload::SamplingPlan plan;
+    std::vector<IntervalRun> intervals;
+    /** Reweighted full-trace estimate (see aggregateWeighted). */
+    RunResult aggregate;
+    std::uint64_t checkpointHits = 0;
+    std::uint64_t checkpointStores = 0;
+    /** Instructions simulated with timing (warm-up + measured). */
+    std::uint64_t timedInstructions = 0;
+    /** Records replayed functionally to build missing warm state. */
+    std::uint64_t warmRecordsReplayed = 0;
+    /** Wall-clock of the whole sampled run [ms]. */
+    double wallMs = 0.0;
+};
+
+/**
+ * Fold per-interval results into a full-trace estimate over
+ * @p total_instructions:
+ *  - CPI is the weight-averaged per-interval CPI; estimated cycles =
+ *    total_instructions * CPI (so ipc is the weighted harmonic mean).
+ *  - Rates, means and percentages are weight-averaged directly.
+ *  - Event counts (breakdown samples, resilience counters) are
+ *    converted to per-instruction rates, weight-averaged, and scaled
+ *    back to total_instructions.
+ * Interval weights come from their cluster populations and sum to 1
+ * (tests/test_sampling.cc pins both properties).
+ */
+RunResult aggregateWeighted(const std::vector<IntervalRun> &intervals,
+                            std::uint64_t total_instructions,
+                            const std::string &benchmark);
+
+/**
+ * Sampled replay of @p trace on the machine in @p options: build the
+ * sampling plan, then per representative interval restore (or build
+ * and store) the warm state at the interval entry, run a short timed
+ * warm-up, and measure the rest of the interval. Resuming from a
+ * checkpoint is byte-identical to warming cold — both load the same
+ * serialized warm payload.
+ */
+SampledTraceOutcome runSampledTrace(const workload::TraceFile &trace,
+                                    const TraceRunOptions &options);
+
+/**
+ * Timed replay of the whole trace (one pass, measurement from the
+ * first instruction — cold caches included, which is what the
+ * sampled estimate approximates through its first interval's
+ * cluster). @p wall_ms, when non-null, receives the wall-clock time.
+ */
+RunResult runFullTrace(const workload::TraceFile &trace,
+                       const TraceRunOptions &options,
+                       double *wall_ms = nullptr);
+
+} // namespace harness
+} // namespace tlsim
+
+#endif // TLSIM_HARNESS_TRACERUN_HH

@@ -1,5 +1,6 @@
 #include "mem/l1cache.hh"
 
+#include "mem/warmstate.hh"
 #include "sim/trace/debug.hh"
 #include "sim/trace/tracesink.hh"
 
@@ -108,6 +109,23 @@ L1Cache::accessFunctional(Addr block_addr, AccessType type)
     auto evicted = array.insert(block_addr, useCounter, isWrite(type));
     if (evicted && evicted->dirty)
         l2.accessFunctional(evicted->blockAddr, AccessType::Store);
+}
+
+void
+L1Cache::saveWarmState(std::ostream &os) const
+{
+    warm::putU64(os, useCounter);
+    warm::writeArray(os, array);
+}
+
+bool
+L1Cache::loadWarmState(std::istream &is)
+{
+    std::uint64_t counter = 0;
+    if (!warm::getU64(is, counter) || !warm::readArray(is, array))
+        return false;
+    useCounter = counter;
+    return true;
 }
 
 void

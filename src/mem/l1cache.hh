@@ -83,6 +83,19 @@ class L1Cache : public stats::StatGroup
         mshrs.size()); }
 
     /**
+     * Serialize the functional warm state (tag array + LRU counter)
+     * for warm-state checkpoints; the timing-side state (MSHRs, wait
+     * queue) is empty outside a timed run and is not captured.
+     */
+    void saveWarmState(std::ostream &os) const;
+
+    /**
+     * Restore state written by saveWarmState.
+     * @return false on mismatch (caller discards the checkpoint).
+     */
+    bool loadWarmState(std::istream &is);
+
+    /**
      * Attach the deadlock watchdog: every MSHR allocation reports an
      * outstanding request under @p client_id, every fill completes it.
      */

@@ -7,6 +7,7 @@
 #ifndef TLSIM_MEM_L2CACHE_HH
 #define TLSIM_MEM_L2CACHE_HH
 
+#include <iosfwd>
 #include <string>
 
 #include "mem/dram.hh"
@@ -129,6 +130,25 @@ class L2Cache : public stats::StatGroup
      * access would, without any events, contention, or stats.
      */
     virtual void accessFunctional(Addr block_addr, AccessType type) = 0;
+
+    /**
+     * Serialize the design's functional warm state — everything
+     * accessFunctional mutates (tag arrays, LRU counters) — for the
+     * harness's warm-state checkpoints (docs/SAMPLING.md). The
+     * default declines; designs without an implementation simply
+     * disable checkpointing, they never change behaviour.
+     * @return true if a complete snapshot was written.
+     */
+    virtual bool saveWarmState(std::ostream &) const { return false; }
+
+    /**
+     * Restore state written by saveWarmState on a freshly built
+     * design of the same configuration.
+     * @return false on any mismatch (the caller discards the
+     *         checkpoint and warms cold); the design's state is
+     *         unspecified after a failed load.
+     */
+    virtual bool loadWarmState(std::istream &) { return false; }
 
     /**
      * Copy design-internal counters (mesh/link occupancy, network

@@ -4,6 +4,7 @@
 #include <memory>
 
 #include "mem/l2registry.hh"
+#include "mem/warmstate.hh"
 #include "sim/prof/prof.hh"
 #include "sim/trace/debug.hh"
 #include "sim/trace/tracesink.hh"
@@ -247,6 +248,86 @@ DnucaCache::accessFunctional(Addr block_addr, mem::AccessType type)
                    std::min(cfg.insertionBank,
                             cfg.bankSets.banksPerSet - 1),
                    useCounter, mem::isWrite(type));
+}
+
+bool
+DnucaCache::saveWarmState(std::ostream &os) const
+{
+    const BankSetConfig &bc = array.config();
+    mem::warm::putU64(os, useCounter);
+    mem::warm::putU32(os, bc.numBankSets);
+    mem::warm::putU32(os, bc.setsPerBankSet);
+    mem::warm::putU32(os, bc.banksPerSet);
+    mem::warm::putU32(os, bc.waysPerBank);
+    mem::warm::putU64(os, array.validCount());
+    for (std::uint32_t bs = 0; bs < bc.numBankSets; ++bs) {
+        for (std::uint32_t set = 0; set < bc.setsPerBankSet; ++set) {
+            for (std::uint32_t bank = 0; bank < bc.banksPerSet;
+                 ++bank) {
+                for (std::uint32_t way = 0; way < bc.waysPerBank;
+                     ++way) {
+                    const mem::LineState &line =
+                        array.frame(BankLocation{bs, set, bank, way});
+                    if (!line.valid)
+                        continue;
+                    mem::warm::putU32(os, bs);
+                    mem::warm::putU32(os, set);
+                    mem::warm::putU32(os, bank);
+                    mem::warm::putU32(os, way);
+                    mem::warm::putU64(os, line.tag);
+                    mem::warm::putU64(os, line.lastUse);
+                    mem::warm::putU8(os, line.dirty ? 1 : 0);
+                }
+            }
+        }
+    }
+    return true;
+}
+
+bool
+DnucaCache::loadWarmState(std::istream &is)
+{
+    const BankSetConfig &bc = array.config();
+    std::uint64_t counter = 0, valid = 0;
+    std::uint32_t bank_sets = 0, sets = 0, banks = 0, ways = 0;
+    if (!mem::warm::getU64(is, counter) ||
+        !mem::warm::getU32(is, bank_sets) ||
+        !mem::warm::getU32(is, sets) ||
+        !mem::warm::getU32(is, banks) ||
+        !mem::warm::getU32(is, ways) || !mem::warm::getU64(is, valid))
+        return false;
+    if (bank_sets != bc.numBankSets || sets != bc.setsPerBankSet ||
+        banks != bc.banksPerSet || ways != bc.waysPerBank)
+        return false;
+    for (std::uint32_t bs = 0; bs < bc.numBankSets; ++bs)
+        for (std::uint32_t set = 0; set < bc.setsPerBankSet; ++set)
+            for (std::uint32_t bank = 0; bank < bc.banksPerSet; ++bank)
+                for (std::uint32_t way = 0; way < bc.waysPerBank;
+                     ++way)
+                    array.frame(BankLocation{bs, set, bank, way}) =
+                        mem::LineState{};
+    for (std::uint64_t i = 0; i < valid; ++i) {
+        std::uint32_t bs = 0, set = 0, bank = 0, way = 0;
+        std::uint64_t tag = 0, last_use = 0;
+        std::uint8_t dirty = 0;
+        if (!mem::warm::getU32(is, bs) || !mem::warm::getU32(is, set) ||
+            !mem::warm::getU32(is, bank) ||
+            !mem::warm::getU32(is, way) || !mem::warm::getU64(is, tag) ||
+            !mem::warm::getU64(is, last_use) ||
+            !mem::warm::getU8(is, dirty))
+            return false;
+        if (bs >= bc.numBankSets || set >= bc.setsPerBankSet ||
+            bank >= bc.banksPerSet || way >= bc.waysPerBank)
+            return false;
+        mem::LineState &line =
+            array.frame(BankLocation{bs, set, bank, way});
+        line.tag = tag;
+        line.valid = true;
+        line.dirty = dirty != 0;
+        line.lastUse = last_use;
+    }
+    useCounter = counter;
+    return true;
 }
 
 trace::LatencyBreakdown

@@ -75,6 +75,9 @@ class DnucaCache : public mem::L2Cache
     void accessFunctional(Addr block_addr,
                           mem::AccessType type) override;
 
+    bool saveWarmState(std::ostream &os) const override;
+    bool loadWarmState(std::istream &is) override;
+
     int linkCount() const override;
     std::string designName() const override { return "DNUCA"; }
 

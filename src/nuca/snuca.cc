@@ -4,6 +4,7 @@
 #include <memory>
 
 #include "mem/l2registry.hh"
+#include "mem/warmstate.hh"
 #include "sim/prof/prof.hh"
 #include "sim/trace/debug.hh"
 #include "sim/trace/tracesink.hh"
@@ -177,6 +178,31 @@ SnucaCache::accessFunctional(Addr block_addr, mem::AccessType type)
         return;
     }
     array.insert(frame_addr, useCounter, isWrite(type));
+}
+
+bool
+SnucaCache::saveWarmState(std::ostream &os) const
+{
+    mem::warm::putU64(os, useCounter);
+    mem::warm::putU32(os, static_cast<std::uint32_t>(arrays.size()));
+    for (const auto &array : arrays)
+        mem::warm::writeArray(os, array);
+    return true;
+}
+
+bool
+SnucaCache::loadWarmState(std::istream &is)
+{
+    std::uint64_t counter = 0;
+    std::uint32_t banks = 0;
+    if (!mem::warm::getU64(is, counter) ||
+        !mem::warm::getU32(is, banks) || banks != arrays.size())
+        return false;
+    for (auto &array : arrays)
+        if (!mem::warm::readArray(is, array))
+            return false;
+    useCounter = counter;
+    return true;
 }
 
 void

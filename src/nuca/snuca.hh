@@ -58,6 +58,9 @@ class SnucaCache : public mem::L2Cache
     void accessFunctional(Addr block_addr,
                           mem::AccessType type) override;
 
+    bool saveWarmState(std::ostream &os) const override;
+    bool loadWarmState(std::istream &is) override;
+
     int linkCount() const override;
     std::string designName() const override { return "SNUCA2"; }
 

@@ -5,6 +5,7 @@
 #include <memory>
 
 #include "mem/l2registry.hh"
+#include "mem/warmstate.hh"
 #include "phys/geometry.hh"
 #include "phys/physcache.hh"
 #include "phys/pulse.hh"
@@ -282,6 +283,31 @@ TlcCache::accessFunctional(Addr block_addr, mem::AccessType type)
         return;
     }
     array.insert(frame, useCounter, mem::isWrite(type));
+}
+
+bool
+TlcCache::saveWarmState(std::ostream &os) const
+{
+    mem::warm::putU64(os, useCounter);
+    mem::warm::putU32(os, static_cast<std::uint32_t>(arrays.size()));
+    for (const auto &array : arrays)
+        mem::warm::writeArray(os, array);
+    return true;
+}
+
+bool
+TlcCache::loadWarmState(std::istream &is)
+{
+    std::uint64_t counter = 0;
+    std::uint32_t groups = 0;
+    if (!mem::warm::getU64(is, counter) ||
+        !mem::warm::getU32(is, groups) || groups != arrays.size())
+        return false;
+    for (auto &array : arrays)
+        if (!mem::warm::readArray(is, array))
+            return false;
+    useCounter = counter;
+    return true;
 }
 
 void

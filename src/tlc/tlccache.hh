@@ -51,6 +51,9 @@ class TlcCache : public mem::L2Cache
     void accessFunctional(Addr block_addr,
                           mem::AccessType type) override;
 
+    bool saveWarmState(std::ostream &os) const override;
+    bool loadWarmState(std::istream &is) override;
+
     int linkCount() const override { return 2 * cfg.pairs(); }
     std::string designName() const override { return cfg.name; }
 

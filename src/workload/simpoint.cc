@@ -1,0 +1,257 @@
+#include "workload/simpoint.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <unordered_set>
+
+#include "sim/logging.hh"
+#include "sim/rng.hh"
+
+namespace tlsim
+{
+namespace workload
+{
+
+namespace
+{
+
+constexpr std::size_t dataBuckets = 64;
+constexpr std::size_t ifetchBuckets = 32;
+constexpr std::size_t noveltyData = dataBuckets + ifetchBuckets;
+constexpr std::size_t noveltyIFetch = noveltyData + 1;
+static_assert(noveltyIFetch + 1 == signatureDims);
+
+std::uint64_t
+mix(std::uint64_t x)
+{
+    // splitmix64 finalizer: decorrelates the low block-address bits
+    // (set indices) from the signature buckets.
+    x += 0x9e3779b97f4a7c15ULL;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+    return x ^ (x >> 31);
+}
+
+struct Interval
+{
+    std::uint64_t startRecord = 0;
+    std::uint64_t startInstr = 0;
+    std::uint64_t instructions = 0;
+    std::vector<double> signature;
+};
+
+double
+distance2(const std::vector<double> &a, const std::vector<double> &b)
+{
+    double d = 0.0;
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        double diff = a[i] - b[i];
+        d += diff * diff;
+    }
+    return d;
+}
+
+} // namespace
+
+SamplingPlan
+selectIntervals(const TraceFile &trace,
+                std::uint64_t interval_instructions,
+                std::uint32_t max_clusters, std::uint64_t seed)
+{
+    TLSIM_ASSERT(interval_instructions > 0,
+                 "interval length must be positive");
+    TLSIM_ASSERT(max_clusters > 0, "need at least one cluster");
+
+    // One linear scan: every record lands in the interval its leading
+    // instruction index falls into, so interval boundaries are exact
+    // record boundaries the replay warm-up can hit.
+    std::vector<Interval> intervals;
+    // Blocks referenced so far, for the first-touch signature dims;
+    // ifetch addresses are complemented into their own namespace.
+    std::unordered_set<std::uint64_t> seen;
+    TraceFileSource cursor(trace);
+    for (std::uint64_t r = 0; r < trace.recordCount(); ++r) {
+        std::uint64_t pre_instr = cursor.instructionsConsumed();
+        std::uint64_t pre_record = cursor.recordIndex();
+        std::uint64_t idx = pre_instr / interval_instructions;
+        if (idx >= intervals.size()) {
+            // Records are assigned by their starting instruction, so
+            // a large gap can skip interval indices entirely; the
+            // skipped slots stay empty and are dropped below.
+            intervals.resize(idx + 1);
+            intervals[idx].startRecord = pre_record;
+            intervals[idx].startInstr = pre_instr;
+            intervals[idx].signature.assign(signatureDims, 0.0);
+        }
+        cpu::TraceRecord record = cursor.next();
+        Interval &interval = intervals[idx];
+        std::size_t bucket =
+            record.isIFetch
+                ? dataBuckets + mix(record.blockAddr) % ifetchBuckets
+                : mix(record.blockAddr) % dataBuckets;
+        interval.signature[bucket] += 1.0;
+        bool first_touch =
+            seen.insert(record.isIFetch ? ~record.blockAddr
+                                        : record.blockAddr)
+                .second;
+        if (first_touch) {
+            interval.signature[record.isIFetch ? noveltyIFetch
+                                               : noveltyData] += 1.0;
+        }
+        interval.instructions +=
+            cursor.instructionsConsumed() - pre_instr;
+    }
+
+    // Drop empty slots (skipped by gaps) and a short trailing
+    // interval; normalize the survivors' signatures to L1 = 1 so
+    // clustering sees access *mix*, not interval length.
+    SamplingPlan plan;
+    plan.intervalInstructions = interval_instructions;
+    std::vector<Interval> kept;
+    for (std::size_t i = 0; i < intervals.size(); ++i) {
+        Interval &interval = intervals[i];
+        if (interval.signature.empty())
+            continue;
+        bool tail = i + 1 == intervals.size() && kept.size() >= 1;
+        if (tail && interval.instructions * 2 < interval_instructions) {
+            plan.droppedTail = true;
+            continue;
+        }
+        double total = 0.0;
+        for (double v : interval.signature)
+            total += v;
+        if (total > 0.0)
+            for (double &v : interval.signature)
+                v /= total;
+        plan.coveredInstructions += interval.instructions;
+        kept.push_back(std::move(interval));
+    }
+    TLSIM_ASSERT(!kept.empty(), "trace '{}' yielded no intervals",
+                 trace.name());
+    plan.numIntervals = kept.size();
+
+    std::size_t k = std::min<std::size_t>(max_clusters, kept.size());
+
+    // k-means++ seeding from a fixed-seed RNG: same trace and
+    // parameters give the same plan on every host.
+    Rng rng(seed ^ 0x51119901e7ULL);
+    std::vector<std::vector<double>> centroids;
+    centroids.reserve(k);
+    centroids.push_back(
+        kept[rng.below(static_cast<std::uint64_t>(kept.size()))]
+            .signature);
+    std::vector<double> dist(kept.size(), 0.0);
+    while (centroids.size() < k) {
+        double total = 0.0;
+        for (std::size_t i = 0; i < kept.size(); ++i) {
+            double best = std::numeric_limits<double>::max();
+            for (const auto &c : centroids)
+                best = std::min(best, distance2(kept[i].signature, c));
+            dist[i] = best;
+            total += best;
+        }
+        std::size_t chosen = 0;
+        if (total > 0.0) {
+            double target = rng.real() * total;
+            double acc = 0.0;
+            for (std::size_t i = 0; i < kept.size(); ++i) {
+                acc += dist[i];
+                if (acc >= target) {
+                    chosen = i;
+                    break;
+                }
+            }
+        } else {
+            // All remaining points coincide with a centroid; any
+            // choice yields an empty extra cluster, so stop early.
+            break;
+        }
+        centroids.push_back(kept[chosen].signature);
+    }
+    k = centroids.size();
+
+    std::vector<std::size_t> assignment(kept.size(), 0);
+    for (int iter = 0; iter < 50; ++iter) {
+        bool changed = false;
+        for (std::size_t i = 0; i < kept.size(); ++i) {
+            std::size_t best = 0;
+            double best_d = std::numeric_limits<double>::max();
+            for (std::size_t c = 0; c < k; ++c) {
+                double d = distance2(kept[i].signature, centroids[c]);
+                if (d < best_d) {
+                    best_d = d;
+                    best = c;
+                }
+            }
+            if (assignment[i] != best) {
+                assignment[i] = best;
+                changed = true;
+            }
+        }
+        if (!changed && iter > 0)
+            break;
+        for (std::size_t c = 0; c < k; ++c) {
+            std::vector<double> mean(signatureDims, 0.0);
+            std::uint64_t members = 0;
+            for (std::size_t i = 0; i < kept.size(); ++i) {
+                if (assignment[i] != c)
+                    continue;
+                ++members;
+                for (std::size_t d = 0; d < signatureDims; ++d)
+                    mean[d] += kept[i].signature[d];
+            }
+            if (members == 0)
+                continue; // keep the old centroid; cluster is empty
+            for (double &v : mean)
+                v /= static_cast<double>(members);
+            centroids[c] = std::move(mean);
+        }
+    }
+
+    // Representative of each non-empty cluster: the member closest to
+    // the centroid (lowest interval index on ties). The first interval
+    // is eligible only when it is a cluster's sole member: its timed
+    // behaviour carries the cold-boot transient (there is no prefix to
+    // warm from), which would otherwise be extrapolated to the whole
+    // cluster's weight — the classic SimPoint startup bias.
+    for (std::size_t c = 0; c < k; ++c) {
+        std::uint64_t members = 0;
+        std::size_t best = kept.size();
+        double best_d = std::numeric_limits<double>::max();
+        for (std::size_t i = 0; i < kept.size(); ++i) {
+            if (assignment[i] != c)
+                continue;
+            ++members;
+            if (kept[i].startInstr == 0 && best < kept.size())
+                continue;
+            double d = distance2(kept[i].signature, centroids[c]);
+            bool best_is_cold =
+                best < kept.size() && kept[best].startInstr == 0;
+            if (d < best_d || best_is_cold) {
+                best_d = d;
+                best = i;
+            }
+        }
+        if (members == 0)
+            continue;
+        RepresentativeInterval rep;
+        rep.interval = best;
+        rep.startRecord = kept[best].startRecord;
+        rep.startInstr = kept[best].startInstr;
+        rep.instructions = kept[best].instructions;
+        rep.clusterSize = members;
+        rep.weight = static_cast<double>(members) /
+                     static_cast<double>(kept.size());
+        plan.representatives.push_back(rep);
+    }
+    std::sort(plan.representatives.begin(), plan.representatives.end(),
+              [](const RepresentativeInterval &a,
+                 const RepresentativeInterval &b) {
+                  return a.interval < b.interval;
+              });
+    return plan;
+}
+
+} // namespace workload
+} // namespace tlsim

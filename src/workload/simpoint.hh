@@ -1,0 +1,92 @@
+/**
+ * @file
+ * SimPoint-style representative-interval selection for trace replay.
+ *
+ * Slices a captured trace into fixed-length instruction intervals,
+ * summarizes each interval with an access-signature vector (a
+ * basic-block-vector stand-in built from hashed block addresses),
+ * clusters the vectors with deterministically seeded k-means, and
+ * picks one representative interval per cluster, weighted by cluster
+ * population. Simulating only the representatives and reweighting
+ * their per-interval results reproduces full-trace statistics at a
+ * fraction of the cost (see docs/SAMPLING.md for the methodology and
+ * its accuracy tolerances).
+ */
+
+#ifndef TLSIM_WORKLOAD_SIMPOINT_HH
+#define TLSIM_WORKLOAD_SIMPOINT_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "workload/tracefile.hh"
+
+namespace tlsim
+{
+namespace workload
+{
+
+/**
+ * Signature dimensions: 64 data-address buckets, 32 ifetch-address
+ * buckets, plus 2 first-touch (novelty) counters — accesses to data /
+ * instruction blocks never referenced earlier in the trace. The
+ * novelty fraction tracks the compulsory-miss rate, separating the
+ * cache warm-up ramp from steady-state phases even when the address
+ * *mix* alone barely changes.
+ */
+constexpr std::size_t signatureDims = 98;
+
+/**
+ * One interval selected to stand for its cluster.
+ */
+struct RepresentativeInterval
+{
+    /** Zero-based index of the interval within the trace. */
+    std::uint64_t interval = 0;
+    /** First record of the interval (seek/warm target). */
+    std::uint64_t startRecord = 0;
+    /** Instructions preceding startRecord in the trace. */
+    std::uint64_t startInstr = 0;
+    /** Instructions the interval actually spans. */
+    std::uint64_t instructions = 0;
+    /** Cluster population / clustered intervals; weights sum to 1. */
+    double weight = 0.0;
+    /** Intervals in this representative's cluster. */
+    std::uint64_t clusterSize = 0;
+};
+
+/**
+ * A complete sampling plan for one trace: the interval geometry and
+ * the weighted representatives, ordered by interval index.
+ */
+struct SamplingPlan
+{
+    /** Nominal interval length in instructions. */
+    std::uint64_t intervalInstructions = 0;
+    /** Intervals that entered clustering. */
+    std::uint64_t numIntervals = 0;
+    /** Instructions covered by the clustered intervals. */
+    std::uint64_t coveredInstructions = 0;
+    /** Trailing partial interval dropped (shorter than half length). */
+    bool droppedTail = false;
+    std::vector<RepresentativeInterval> representatives;
+};
+
+/**
+ * Build a sampling plan for @p trace: scan once to accumulate
+ * per-interval signatures, cluster into at most @p max_clusters
+ * groups with k-means seeded from @p seed (same trace + parameters
+ * -> same plan, bit-for-bit), and return the weighted
+ * representatives. A trailing interval shorter than half
+ * @p interval_instructions is excluded from clustering (its weight
+ * would misrepresent a fractional slice).
+ */
+SamplingPlan selectIntervals(const TraceFile &trace,
+                             std::uint64_t interval_instructions,
+                             std::uint32_t max_clusters,
+                             std::uint64_t seed = 0);
+
+} // namespace workload
+} // namespace tlsim
+
+#endif // TLSIM_WORKLOAD_SIMPOINT_HH

@@ -1,0 +1,195 @@
+/**
+ * @file
+ * The `tlt` v1 compact binary trace format and its replay source.
+ *
+ * A `.tlt` file stores an externally captured instruction/memory
+ * trace as delta-encoded records behind a fixed little-endian header,
+ * with an optional seek index for O(log n) positioning (see
+ * docs/SAMPLING.md for the byte-level specification). TraceFile loads
+ * and validates a file; TraceFileSource adapts it to the
+ * cpu::TraceSource interface so the OoO core and the functional
+ * warmer consume captured traces exactly like the synthetic
+ * generators.
+ */
+
+#ifndef TLSIM_WORKLOAD_TRACEFILE_HH
+#define TLSIM_WORKLOAD_TRACEFILE_HH
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "cpu/trace.hh"
+
+namespace tlsim
+{
+namespace workload
+{
+
+/** Magic bytes opening every `.tlt` file ("TLTRACE" + version). */
+constexpr char tltMagic[8] = {'T', 'L', 'T', 'R', 'A', 'C', 'E', '1'};
+
+/** On-disk format version this build reads and writes. */
+constexpr std::uint32_t tltVersion = 1;
+
+/** Fixed header size in bytes (records start right after it). */
+constexpr std::uint32_t tltHeaderBytes = 64;
+
+/** Default instruction stride between seek-index entries. */
+constexpr std::uint32_t tltDefaultIndexStride = 65536;
+
+/**
+ * One seek-index entry: complete decoder state at a record boundary.
+ * Seeking restores the two delta-chain registers and resumes decoding
+ * mid-file without replaying the prefix.
+ */
+struct TltIndexEntry
+{
+    /** Byte offset of the record from the start of the file. */
+    std::uint64_t byteOffset = 0;
+    /** Zero-based index of that record. */
+    std::uint64_t recordIndex = 0;
+    /** Instructions accounted before that record. */
+    std::uint64_t instrIndex = 0;
+    /** Delta register of the data-address chain. */
+    std::uint64_t lastDataAddr = 0;
+    /** Delta register of the ifetch-address chain. */
+    std::uint64_t lastIFetchAddr = 0;
+};
+
+/**
+ * Streaming encoder producing a `.tlt` v1 file.
+ *
+ * Appends records one at a time, then finish() backpatches the header
+ * counts and emits the seek index. The writer buffers in memory until
+ * finish() so encoding never needs a seekable output.
+ */
+class TraceFileWriter
+{
+  public:
+    /** @param index_stride Instructions between seek-index entries. */
+    explicit TraceFileWriter(
+        std::uint32_t index_stride = tltDefaultIndexStride);
+
+    /** Append one record (order is the replay order). */
+    void append(const cpu::TraceRecord &record);
+
+    /** Records appended so far. */
+    std::uint64_t recordCount() const { return records; }
+    /** Instructions accounted so far (gaps + data ops). */
+    std::uint64_t instructionCount() const { return instructions; }
+
+    /** Write header + records + index to @p os (call once). */
+    void finish(std::ostream &os);
+
+  private:
+    std::vector<std::uint8_t> body;
+    std::vector<TltIndexEntry> index;
+    std::uint32_t indexStride;
+    std::uint64_t records = 0;
+    std::uint64_t instructions = 0;
+    std::uint64_t lastDataAddr = 0;
+    std::uint64_t lastIFetchAddr = 0;
+    std::uint64_t instrSinceIndex = 0;
+    bool finished = false;
+};
+
+/**
+ * An immutable, fully loaded `.tlt` trace: validated header, record
+ * bytes, and seek index. Cheap to share between any number of
+ * TraceFileSource cursors (each cursor holds only decoder state).
+ */
+class TraceFile
+{
+  public:
+    /** Load and validate @p path (fatal on malformed input). */
+    static TraceFile load(const std::string &path);
+
+    /** Parse an in-memory `.tlt` image (fatal on malformed input). */
+    static TraceFile fromBytes(std::vector<std::uint8_t> bytes,
+                               const std::string &name = "<memory>");
+
+    /** Total records in the trace. */
+    std::uint64_t recordCount() const { return records; }
+    /** Total instructions (sum of gaps plus one per data op). */
+    std::uint64_t instructionCount() const { return instructions; }
+    /** Source path (or synthetic name) for diagnostics. */
+    const std::string &name() const { return sourceName; }
+    /** FNV-1a hash of the complete file image (trace identity). */
+    std::uint64_t contentHash() const { return hash; }
+    /** Seek index (possibly empty for index-less files). */
+    const std::vector<TltIndexEntry> &seekIndex() const { return index; }
+
+  private:
+    friend class TraceFileSource;
+
+    std::vector<std::uint8_t> bytes;
+    std::string sourceName;
+    std::uint64_t records = 0;
+    std::uint64_t instructions = 0;
+    std::uint64_t bodyBegin = 0;
+    std::uint64_t bodyEnd = 0;
+    std::uint64_t hash = 0;
+    std::vector<TltIndexEntry> index;
+};
+
+/**
+ * Replay cursor over a TraceFile implementing cpu::TraceSource.
+ *
+ * The stream is infinite, as the core model requires: reaching the
+ * end of the trace wraps to the beginning (resetting the delta
+ * registers) and increments wrapCount(). Budgeted callers replay the
+ * trace at most once by bounding instructions to
+ * TraceFile::instructionCount().
+ */
+class TraceFileSource : public cpu::TraceSource
+{
+  public:
+    /** @param file Shared trace; must outlive the source. */
+    explicit TraceFileSource(const TraceFile &file);
+
+    cpu::TraceRecord next() override;
+
+    /**
+     * Position the cursor at record @p record_index (0-based),
+     * restoring the exact decoder state a linear replay would have
+     * there: the seek index gets close in O(log n), the remainder is
+     * decoded forward. Asserts @p record_index is within the trace.
+     */
+    void seekToRecord(std::uint64_t record_index);
+
+    /** Index of the record the next next() call returns. */
+    std::uint64_t recordIndex() const { return recIdx; }
+    /** Instructions accounted by records already returned. */
+    std::uint64_t instructionsConsumed() const { return instrIdx; }
+    /** Times the cursor wrapped past the end of the trace. */
+    std::uint64_t wrapCount() const { return wraps; }
+
+  private:
+    const TraceFile &trace;
+    std::uint64_t offset; // byte offset of the next record
+    std::uint64_t recIdx = 0;
+    std::uint64_t instrIdx = 0;
+    std::uint64_t lastDataAddr = 0;
+    std::uint64_t lastIFetchAddr = 0;
+    std::uint64_t wraps = 0;
+};
+
+/**
+ * Parse the documented one-record-per-line text trace format (see
+ * docs/SAMPLING.md: `<gap> L|S|I <hex-block-addr> [flags]`, with `#`
+ * comments) from @p is, appending every record to @p writer.
+ * @return Number of records parsed (fatal on malformed lines, with
+ *         @p name and the line number in the message).
+ */
+std::uint64_t parseTextTrace(std::istream &is, TraceFileWriter &writer,
+                             const std::string &name = "<text>");
+
+/** Emit one record in the text format (inverse of parseTextTrace). */
+void formatTextRecord(std::ostream &os, const cpu::TraceRecord &record);
+
+} // namespace workload
+} // namespace tlsim
+
+#endif // TLSIM_WORKLOAD_TRACEFILE_HH

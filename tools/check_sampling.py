@@ -1,0 +1,90 @@
+#!/usr/bin/env python3
+"""Validate a tlsim-tracerun-v1 stats JSON against the documented
+sampling tolerances (docs/SAMPLING.md).
+
+Run tlsim_repro with --trace ... --trace-validate --stats-json FILE
+(twice against the same --checkpoint-dir if --min-speedup is checked:
+the first run populates the warm checkpoints, the second reaps them),
+then:
+
+    check_sampling.py FILE [--min-speedup X] [--max-ipc-error F]
+                           [--max-miss-error F] [--expect-hits N]
+
+Exits non-zero with a diagnostic when any bound is violated.
+"""
+
+import argparse
+import json
+import sys
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("stats", help="tlsim-tracerun-v1 JSON file")
+    parser.add_argument("--min-speedup", type=float, default=None,
+                        help="minimum full/sampled wall-clock ratio")
+    parser.add_argument("--max-ipc-error", type=float, default=0.10,
+                        help="max |relative IPC error| (default 0.10)")
+    parser.add_argument("--max-miss-error", type=float, default=0.15,
+                        help="max |relative L2-miss-rate error| "
+                             "(default 0.15)")
+    parser.add_argument("--expect-hits", type=int, default=None,
+                        help="exact warm-checkpoint hit count")
+    args = parser.parse_args()
+
+    with open(args.stats, encoding="utf-8") as handle:
+        doc = json.load(handle)
+
+    if doc.get("schema") != "tlsim-tracerun-v1":
+        print(f"unexpected schema: {doc.get('schema')!r}")
+        return 1
+
+    failures = []
+
+    weights = [i["weight"] for i in doc.get("intervals", [])]
+    if weights and abs(sum(weights) - 1.0) > 1e-9:
+        failures.append(f"interval weights sum to {sum(weights)!r}, "
+                        "expected 1")
+
+    if "ipc_rel_error" in doc:
+        err = abs(doc["ipc_rel_error"])
+        print(f"ipc error: {100 * err:.2f}% "
+              f"(bound {100 * args.max_ipc_error:.0f}%)")
+        if err > args.max_ipc_error:
+            failures.append(f"IPC error {err:.4f} exceeds "
+                            f"{args.max_ipc_error}")
+    elif args.min_speedup is not None:
+        failures.append("no validation section in the stats JSON "
+                        "(run with --trace-validate)")
+
+    if "l2_misses_per_1k_rel_error" in doc:
+        err = abs(doc["l2_misses_per_1k_rel_error"])
+        print(f"l2 miss error: {100 * err:.2f}% "
+              f"(bound {100 * args.max_miss_error:.0f}%)")
+        if err > args.max_miss_error:
+            failures.append(f"L2 miss error {err:.4f} exceeds "
+                            f"{args.max_miss_error}")
+
+    if args.min_speedup is not None and "speedup" in doc:
+        print(f"speedup: {doc['speedup']:.2f}x "
+              f"(bound {args.min_speedup:.1f}x)")
+        if doc["speedup"] < args.min_speedup:
+            failures.append(f"speedup {doc['speedup']:.2f}x below "
+                            f"{args.min_speedup}x")
+
+    if args.expect_hits is not None:
+        hits = doc.get("checkpoint", {}).get("hits")
+        print(f"checkpoint hits: {hits} (expected {args.expect_hits})")
+        if hits != args.expect_hits:
+            failures.append(f"checkpoint hits {hits}, expected "
+                            f"{args.expect_hits}")
+
+    for failure in failures:
+        print(f"FAIL: {failure}")
+    if not failures:
+        print("sampling stats within documented tolerances")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,217 @@
+/**
+ * @file
+ * trace_convert — encode, decode, inspect, and synthesize `.tlt`
+ * traces (the compact binary trace format of docs/SAMPLING.md).
+ *
+ * Subcommands:
+ *   encode IN.txt OUT.tlt [--index-stride N]
+ *       Convert the documented text format into a tlt v1 binary.
+ *   decode IN.tlt OUT.txt
+ *       Expand a tlt binary back into the text format.
+ *   info IN.tlt
+ *       Print header counts, content hash, and encoding density.
+ *   synth PROFILE OUT.tlt --instructions N [--seed S]
+ *                         [--index-stride N]
+ *       Capture N instructions of the named synthetic benchmark
+ *       profile (see `tlsim_repro --list` for names) into a tlt
+ *       file — a deterministic stand-in for an external capture.
+ */
+
+#include <cstdint>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <string>
+
+#include "sim/logging.hh"
+#include "workload/generator.hh"
+#include "workload/profile.hh"
+#include "workload/tracefile.hh"
+
+namespace
+{
+
+using namespace tlsim;
+
+int
+usage(std::ostream &os, int code)
+{
+    os << "usage: trace_convert <command> [args]\n"
+          "  encode IN.txt OUT.tlt [--index-stride N]\n"
+          "  decode IN.tlt OUT.txt\n"
+          "  info   IN.tlt\n"
+          "  synth  PROFILE OUT.tlt --instructions N [--seed S]\n"
+          "                         [--index-stride N]\n"
+          "Text format: one record per line, '# ' comments:\n"
+          "  <gap> L|S|I <hex-block-addr> [d][m]\n"
+          "See docs/SAMPLING.md for the binary layout.\n";
+    return code;
+}
+
+std::uint64_t
+parseUint(const std::string &text, const char *what)
+{
+    std::size_t pos = 0;
+    std::uint64_t value = 0;
+    try {
+        value = std::stoull(text, &pos, 0);
+    } catch (...) {
+        pos = 0;
+    }
+    if (pos != text.size() || text.empty())
+        fatal("trace_convert: bad {} '{}'", what, text);
+    return value;
+}
+
+void
+writeFile(const std::string &path, workload::TraceFileWriter &writer)
+{
+    std::ofstream os(path, std::ios::binary | std::ios::trunc);
+    if (!os)
+        fatal("trace_convert: cannot open '{}' for writing", path);
+    writer.finish(os);
+    os.flush();
+    if (!os)
+        fatal("trace_convert: write to '{}' failed", path);
+}
+
+int
+cmdEncode(int argc, char **argv)
+{
+    if (argc < 2)
+        return usage(std::cerr, 2);
+    std::string in = argv[0];
+    std::string out = argv[1];
+    std::uint32_t stride = workload::tltDefaultIndexStride;
+    for (int i = 2; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--index-stride") == 0 &&
+            i + 1 < argc) {
+            stride = static_cast<std::uint32_t>(
+                parseUint(argv[++i], "--index-stride"));
+        } else {
+            return usage(std::cerr, 2);
+        }
+    }
+    std::ifstream is(in);
+    if (!is)
+        fatal("trace_convert: cannot open '{}'", in);
+    workload::TraceFileWriter writer(stride);
+    std::uint64_t records = workload::parseTextTrace(is, writer, in);
+    writeFile(out, writer);
+    std::cout << "encoded " << records << " records, "
+              << writer.instructionCount() << " instructions -> "
+              << out << "\n";
+    return 0;
+}
+
+int
+cmdDecode(int argc, char **argv)
+{
+    if (argc != 2)
+        return usage(std::cerr, 2);
+    workload::TraceFile trace = workload::TraceFile::load(argv[0]);
+    std::ofstream os(argv[1], std::ios::trunc);
+    if (!os)
+        fatal("trace_convert: cannot open '{}' for writing", argv[1]);
+    os << "# tlsim text trace (decoded from " << trace.name()
+       << ")\n";
+    workload::TraceFileSource source(trace);
+    for (std::uint64_t i = 0; i < trace.recordCount(); ++i)
+        workload::formatTextRecord(os, source.next());
+    os.flush();
+    if (!os)
+        fatal("trace_convert: write to '{}' failed", argv[1]);
+    std::cout << "decoded " << trace.recordCount() << " records -> "
+              << argv[1] << "\n";
+    return 0;
+}
+
+int
+cmdInfo(int argc, char **argv)
+{
+    if (argc != 1)
+        return usage(std::cerr, 2);
+    workload::TraceFile trace = workload::TraceFile::load(argv[0]);
+    std::ifstream is(argv[0], std::ios::binary | std::ios::ate);
+    std::uint64_t file_bytes =
+        is ? static_cast<std::uint64_t>(is.tellg()) : 0;
+    double per_record =
+        trace.recordCount()
+            ? static_cast<double>(file_bytes) /
+                  static_cast<double>(trace.recordCount())
+            : 0.0;
+    std::cout << "file:          " << trace.name() << "\n"
+              << "format:        tlt v" << workload::tltVersion
+              << "\n"
+              << "records:       " << trace.recordCount() << "\n"
+              << "instructions:  " << trace.instructionCount() << "\n"
+              << "index entries: " << trace.seekIndex().size() << "\n"
+              << "file bytes:    " << file_bytes << " ("
+              << per_record << " B/record)\n";
+    std::cout << "content hash:  " << std::hex << trace.contentHash()
+              << std::dec << "\n";
+    return 0;
+}
+
+int
+cmdSynth(int argc, char **argv)
+{
+    if (argc < 2)
+        return usage(std::cerr, 2);
+    std::string profile_name = argv[0];
+    std::string out = argv[1];
+    std::uint64_t instructions = 0;
+    std::uint64_t seed = 0;
+    std::uint32_t stride = workload::tltDefaultIndexStride;
+    for (int i = 2; i < argc; ++i) {
+        std::string arg = argv[i];
+        if (arg == "--instructions" && i + 1 < argc) {
+            instructions = parseUint(argv[++i], "--instructions");
+        } else if (arg == "--seed" && i + 1 < argc) {
+            seed = parseUint(argv[++i], "--seed");
+        } else if (arg == "--index-stride" && i + 1 < argc) {
+            stride = static_cast<std::uint32_t>(
+                parseUint(argv[++i], "--index-stride"));
+        } else {
+            return usage(std::cerr, 2);
+        }
+    }
+    if (instructions == 0)
+        fatal("trace_convert: synth requires --instructions N");
+
+    const workload::BenchmarkProfile &profile =
+        workload::profileByName(profile_name);
+    workload::TraceGenerator generator(profile, seed);
+    workload::TraceFileWriter writer(stride);
+    while (writer.instructionCount() < instructions)
+        writer.append(generator.next());
+    writeFile(out, writer);
+    std::cout << "synthesized " << writer.recordCount()
+              << " records, " << writer.instructionCount()
+              << " instructions of '" << profile_name << "' -> "
+              << out << "\n";
+    return 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    if (argc < 2)
+        return usage(std::cerr, 2);
+    std::string command = argv[1];
+    if (command == "--help" || command == "-h")
+        return usage(std::cout, 0);
+    if (command == "encode")
+        return cmdEncode(argc - 2, argv + 2);
+    if (command == "decode")
+        return cmdDecode(argc - 2, argv + 2);
+    if (command == "info")
+        return cmdInfo(argc - 2, argv + 2);
+    if (command == "synth")
+        return cmdSynth(argc - 2, argv + 2);
+    std::cerr << "trace_convert: unknown command '" << command
+              << "'\n";
+    return usage(std::cerr, 2);
+}

@@ -1,0 +1,34 @@
+# ctest driver of the trace_convert round trip: decode the checked-in
+# sample trace to the text format, re-encode it, and require the
+# re-encoded binary to be byte-identical to the original (the encoder
+# is canonical: same records -> same file image).
+#
+# Arguments: -DTRACE_CONVERT=<binary> -DTRACE=<file> -DOUTDIR=<dir>
+
+file(REMOVE_RECURSE "${OUTDIR}")
+file(MAKE_DIRECTORY "${OUTDIR}")
+
+execute_process(
+    COMMAND "${TRACE_CONVERT}" decode "${TRACE}"
+            "${OUTDIR}/decoded.txt"
+    RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+    message(FATAL_ERROR "trace_convert decode failed (${rc})")
+endif()
+
+execute_process(
+    COMMAND "${TRACE_CONVERT}" encode "${OUTDIR}/decoded.txt"
+            "${OUTDIR}/reencoded.tlt"
+    RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+    message(FATAL_ERROR "trace_convert encode failed (${rc})")
+endif()
+
+execute_process(
+    COMMAND "${CMAKE_COMMAND}" -E compare_files "${TRACE}"
+            "${OUTDIR}/reencoded.tlt"
+    RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+    message(FATAL_ERROR
+            "re-encoded trace differs from the original image")
+endif()

@@ -1,0 +1,30 @@
+# ctest driver of the trace-ingestion smoke (see tests/CMakeLists.txt):
+# run the sampled+full validation twice against one checkpoint
+# directory — the first run populates the warm checkpoints and the
+# sampling plan, the second reaps them — leaving warm.json for
+# check_sampling.py to validate speedup and accuracy bounds.
+#
+# Arguments: -DTLSIM_REPRO=<binary> -DTRACE=<file> -DOUTDIR=<dir>
+
+file(REMOVE_RECURSE "${OUTDIR}")
+file(MAKE_DIRECTORY "${OUTDIR}")
+
+set(common
+    --trace "${TRACE}" --intervals 3 --interval-size 50000
+    --checkpoint-dir "${OUTDIR}/warm" --trace-validate --quiet)
+
+execute_process(
+    COMMAND "${TLSIM_REPRO}" ${common}
+            --stats-json "${OUTDIR}/cold.json"
+    RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+    message(FATAL_ERROR "cold trace run failed (${rc})")
+endif()
+
+execute_process(
+    COMMAND "${TLSIM_REPRO}" ${common}
+            --stats-json "${OUTDIR}/warm.json"
+    RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+    message(FATAL_ERROR "warm trace run failed (${rc})")
+endif()
