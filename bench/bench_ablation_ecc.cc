@@ -10,6 +10,7 @@
 #include <iostream>
 
 #include "harness/system.hh"
+#include "mem/dram.hh"
 #include "sim/table.hh"
 #include "tlc/tlccache.hh"
 #include "workload/generator.hh"

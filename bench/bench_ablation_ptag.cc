@@ -9,6 +9,7 @@
 #include <iostream>
 
 #include "harness/system.hh"
+#include "mem/dram.hh"
 #include "nuca/dnuca.hh"
 #include "sim/table.hh"
 #include "tlc/tlccache.hh"

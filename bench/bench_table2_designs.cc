@@ -11,6 +11,7 @@
 
 #include "paperdata.hh"
 #include "harness/system.hh"
+#include "mem/dram.hh"
 #include "nuca/dnuca.hh"
 #include "nuca/snuca.hh"
 #include "phys/technology.hh"

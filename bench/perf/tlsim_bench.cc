@@ -15,6 +15,8 @@
  *   eventq_churn          deschedule-heavy load (heap compaction path)
  *   pulse_sim_cold        one frequency-domain pulse sim, cold caches
  *   physcache_hot         memoized pulse lookups through PhysCache
+ *   ddr_frfcfs            requests/s through the banked "ddr" memory
+ *                         backend's FR-FCFS scheduling hot path
  *   sweep_quickstart      the quickstart sweep, warm physics memo
  *   sweep_quickstart_memocold  same sweep with the memo cleared first
  *   telemetry_overhead    profiler-on / profiler-off wall ratio on the
@@ -49,6 +51,7 @@
 #include <vector>
 
 #include "harness/sweep/sweep.hh"
+#include "mem/ddr.hh"
 #include "phys/geometry.hh"
 #include "phys/physcache.hh"
 #include "phys/pulse.hh"
@@ -426,6 +429,54 @@ benchPhyscacheHot(bool quick)
                   secs};
 }
 
+Kernel
+benchDdrFrfcfs(bool quick)
+{
+    const std::uint64_t requests = quick ? 200'000 : 2'000'000;
+
+    auto start = std::chrono::steady_clock::now();
+    EventQueue eq;
+    tlsim::stats::StatGroup root("bench");
+    tlsim::mem::DdrBackend::Params params;
+    params.tREFI = 2'000; // keep the refresh catch-up path hot
+    tlsim::mem::DdrBackend dram(eq, &root, params);
+
+    // Mixed locality: mostly-sequential streams (row hits) with
+    // random jumps (row misses/conflicts) and 1-in-8 writebacks — the
+    // FR-FCFS pick loop's realistic worst mix. Deterministic LCG so
+    // every run measures the identical request stream.
+    std::uint64_t lcg = 0x9e3779b97f4a7c15ULL;
+    std::uint64_t issued_reads = 0, completed = 0;
+    tlsim::Addr ptr = 0;
+    for (std::uint64_t i = 0; i < requests; ++i) {
+        lcg = lcg * 6364136223846793005ULL + 1442695040888963407ULL;
+        if ((lcg >> 60) != 0)
+            ptr += 1; // sequential: same row per channel, mostly hits
+        else
+            ptr = (lcg >> 20) % 1'000'000; // jump: miss or conflict
+        if ((i & 7) == 7) {
+            dram.write(ptr, eq.now());
+        } else {
+            ++issued_reads;
+            dram.read(ptr, eq.now(),
+                      [&completed](Tick) { ++completed; });
+        }
+        // Drain in small batches so queue depth stays realistic
+        // instead of accumulating the whole stream in the spill.
+        if ((i & 31) == 31)
+            eq.run();
+    }
+    eq.run();
+    double secs = wallSeconds(start);
+
+    if (completed != issued_reads)
+        throw std::runtime_error("ddr_frfcfs lost read callbacks");
+    if (dram.rowHits.value() == 0.0 || dram.rowConflicts.value() == 0.0)
+        throw std::runtime_error("ddr_frfcfs address mix degenerate");
+    return Kernel{"ddr_frfcfs", "reqs_per_sec",
+                  static_cast<double>(requests) / secs, secs};
+}
+
 /**
  * The quickstart sweep: the table6 experiment's spec list on reduced
  * budgets with margin-weighted fault injection enabled, exactly the
@@ -789,6 +840,8 @@ main(int argc, char **argv)
             [&] { return benchPulseSimCold(quick); });
         run("bench:physcache_hot",
             [&] { return benchPhyscacheHot(quick); });
+        run("bench:ddr_frfcfs",
+            [&] { return benchDdrFrfcfs(quick); });
         {
             tlsim::prof::Scope scope("bench:sweep_quickstart");
             auto [hot, cold] = benchSweepQuickstart(quick, jobs);

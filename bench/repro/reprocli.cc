@@ -54,10 +54,14 @@ struct CliOptions
     std::optional<std::uint64_t> warmup;
     std::optional<std::uint64_t> measure;
     std::optional<std::uint64_t> functionalWarm;
+    /** Memory-backend overrides (mem::MemRegistry names/options). */
+    std::optional<std::string> memBackend;
+    std::vector<std::pair<std::string, double>> memOpts;
     /** Fault-injection overrides; any of them enables the fault model. */
     std::optional<double> faultBer;
     std::optional<std::string> faultDeadLinks;
     std::optional<std::string> faultStuckBanks;
+    std::optional<std::string> faultDramStuckBanks;
     bool faultMargin = false;
     /** Telemetry v2: fleet metrics, run ledger, profiler, heatmaps. */
     std::string metricsOut;
@@ -94,6 +98,10 @@ struct CliOptions
             config.measure = *measure;
         if (functionalWarm)
             config.functionalWarm = *functionalWarm;
+        if (memBackend)
+            config.mem.backend = *memBackend;
+        for (const auto &[key, val] : memOpts)
+            config.mem.options[key] = val;
         if (faultBer) {
             config.fault.enabled = true;
             config.fault.bitErrorRate = *faultBer;
@@ -105,6 +113,10 @@ struct CliOptions
         if (faultStuckBanks) {
             config.fault.enabled = true;
             config.fault.stuckBanks = *faultStuckBanks;
+        }
+        if (faultDramStuckBanks) {
+            config.fault.enabled = true;
+            config.fault.dramStuckBanks = *faultDramStuckBanks;
         }
         if (faultMargin) {
             config.fault.enabled = true;
@@ -137,12 +149,18 @@ printUsage(std::ostream &os)
           "  --measure N         measured instructions per run\n"
           "  --funcwarm N        functional-warmup instructions per "
           "run\n"
+          "  --mem NAME          main-memory backend: fixed (default, "
+          "paper machine) or ddr\n"
+          "  --mem-opt K=V       memory-backend option override "
+          "(repeatable, e.g. --mem-opt tCAS=42)\n"
           "  --fault-ber P       per-link transient bit-error "
           "probability (enables fault injection)\n"
           "  --fault-dead-links S  dead-link schedule 'id@tick,...' "
           "(enables fault injection)\n"
           "  --fault-stuck-banks S stuck-bank schedule 'id@tick,...' "
           "(enables fault injection)\n"
+          "  --fault-dram-stuck-banks S stuck DRAM-bank schedule "
+          "'id@tick,...' (enables fault injection)\n"
           "  --fault-margin      scale bit errors by each line's "
           "signal-integrity margin\n"
           "  --quiet             suppress per-run progress\n"
@@ -259,11 +277,26 @@ parseArgs(int argc, char **argv, CliOptions &opts)
         } else if (matchValue(argc, argv, i, "--funcwarm", value)) {
             opts.functionalWarm =
                 std::strtoull(value.c_str(), nullptr, 10);
+        } else if (matchValue(argc, argv, i, "--mem-opt", value)) {
+            std::size_t eq_pos = value.find('=');
+            if (eq_pos == std::string::npos || eq_pos == 0) {
+                std::cerr << "tlsim_repro: --mem-opt expects KEY=VALUE"
+                             ", got '" << value << "'\n";
+                return false;
+            }
+            opts.memOpts.emplace_back(
+                value.substr(0, eq_pos),
+                std::strtod(value.c_str() + eq_pos + 1, nullptr));
+        } else if (matchValue(argc, argv, i, "--mem", value)) {
+            opts.memBackend = value;
         } else if (matchValue(argc, argv, i, "--fault-ber", value)) {
             opts.faultBer = std::strtod(value.c_str(), nullptr);
         } else if (matchValue(argc, argv, i, "--fault-dead-links",
                               value)) {
             opts.faultDeadLinks = value;
+        } else if (matchValue(argc, argv, i,
+                              "--fault-dram-stuck-banks", value)) {
+            opts.faultDramStuckBanks = value;
         } else if (matchValue(argc, argv, i, "--fault-stuck-banks",
                               value)) {
             opts.faultStuckBanks = value;

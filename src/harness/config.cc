@@ -329,6 +329,18 @@ SystemConfig::canonicalKey() const
            << ";fault.crcCycles=" << fault.crcCycles
            << ";fault.watchdogMaxAge=" << fault.watchdogMaxAge
            << ";fault.seed=" << fault.seed;
+        // Printed only when scheduled so fault keys predating the
+        // DRAM-bank schedule are preserved verbatim.
+        if (!fault.dramStuckBanks.empty())
+            os << ";fault.dramStuckBanks=" << fault.dramStuckBanks;
+    }
+    // Same idea for the memory backend: the default ("fixed", no
+    // options) adds nothing, so pre-registry keys (and hashes, and
+    // therefore every cached paper artifact) are preserved verbatim.
+    if (mem != MemConfig{}) {
+        os << ";mem.backend=" << mem.backend << ";mem.options=";
+        for (const auto &[key, value] : mem.options)
+            os << key << ":" << formatDouble(value) << ",";
     }
     return os.str();
 }
@@ -389,6 +401,16 @@ saveConfigJson(const SystemConfig &config, std::ostream &os)
         first = false;
     }
     os << "},\n";
+    os << "  \"mem\": {\"backend\": \"" << config.mem.backend
+       << "\", \"options\": {";
+    first = true;
+    for (const auto &[key, value] : config.mem.options) {
+        if (!first)
+            os << ", ";
+        os << "\"" << key << "\": " << formatDouble(value);
+        first = false;
+    }
+    os << "}},\n";
     os << "  \"functionalWarm\": " << config.functionalWarm << ",\n";
     os << "  \"warmup\": " << config.warmup << ",\n";
     os << "  \"measure\": " << config.measure << ",\n";
@@ -401,6 +423,7 @@ saveConfigJson(const SystemConfig &config, std::ostream &os)
        << (f.deriveFromMargin ? "true" : "false")
        << ", \"deadLinks\": \"" << f.deadLinks << "\""
        << ", \"stuckBanks\": \"" << f.stuckBanks << "\""
+       << ", \"dramStuckBanks\": \"" << f.dramStuckBanks << "\""
        << ", \"maxRetries\": " << f.maxRetries
        << ", \"retryBackoff\": " << f.retryBackoff
        << ", \"requestTimeout\": " << f.requestTimeout
@@ -453,6 +476,22 @@ loadConfigJson(const std::string &text)
         config.l2Options[key] = value.number;
     }
 
+    // Optional so configs written before the memory-backend registry
+    // load (they get the default "fixed" backend).
+    auto mem_it = root.object.find("mem");
+    if (mem_it != root.object.end()) {
+        const JsonValue &m = mem_it->second;
+        if (m.kind != JsonValue::Kind::Object)
+            fatal("config field 'mem' must be an object");
+        config.mem.backend = stringField(m, "backend");
+        const JsonValue &mem_options = objectField(m, "options");
+        for (const auto &[key, value] : mem_options.object) {
+            if (value.kind != JsonValue::Kind::Number)
+                fatal("mem option '{}' must be a number", key);
+            config.mem.options[key] = value.number;
+        }
+    }
+
     config.functionalWarm = u64Field(root, "functionalWarm");
     config.warmup = u64Field(root, "warmup");
     config.measure = u64Field(root, "measure");
@@ -469,6 +508,10 @@ loadConfigJson(const std::string &text)
         config.fault.deriveFromMargin = boolField(f, "deriveFromMargin");
         config.fault.deadLinks = stringField(f, "deadLinks");
         config.fault.stuckBanks = stringField(f, "stuckBanks");
+        // Optional so fault configs predating the DRAM schedule load.
+        if (f.object.count("dramStuckBanks"))
+            config.fault.dramStuckBanks =
+                stringField(f, "dramStuckBanks");
         config.fault.maxRetries = intField(f, "maxRetries");
         config.fault.retryBackoff = u64Field(f, "retryBackoff");
         config.fault.requestTimeout = u64Field(f, "requestTimeout");

@@ -39,6 +39,26 @@ constexpr std::uint64_t defaultWarmup = 3'000'000;
 /** Default measurement interval [instructions]. */
 constexpr std::uint64_t defaultMeasure = 10'000'000;
 
+/**
+ * Main-memory backend selection plus backend-specific options
+ * (mem::MemRegistry names; see mem/membackend.hh). The default —
+ * backend "fixed" with no options — leaves canonicalKey() and every
+ * hash bit-identical to configs predating the backend registry, so
+ * existing cache entries and paper artifacts stay valid. Any other
+ * backend or option changes the machine hash and therefore mints new
+ * ResultCache keys.
+ */
+struct MemConfig
+{
+    /** Backend registry name ("fixed", "ddr"). */
+    std::string backend = "fixed";
+
+    /** Backend-specific overrides (e.g. "tCAS": 42, "fcfs": 1). */
+    conf::OptionMap options;
+
+    bool operator==(const MemConfig &) const = default;
+};
+
 /** One private L1 cache's geometry (paper Table 3 defaults). */
 struct L1Config
 {
@@ -79,6 +99,9 @@ struct SystemConfig
 
     /** Design-specific L2 overrides (e.g. "lineErrorRate": 1e-12). */
     l2::DesignOptions l2Options;
+
+    /** Main-memory backend and its options (machine identity). */
+    MemConfig mem;
 
     /** Functional warmup budget [instructions]. */
     std::uint64_t functionalWarm = defaultFunctionalWarmup;

@@ -4,6 +4,7 @@
 #include <optional>
 
 #include "mem/l2registry.hh"
+#include "mem/memregistry.hh"
 #include "mem/warmstate.hh"
 #include "nuca/dnuca.hh"
 #include "sim/prof/prof.hh"
@@ -73,13 +74,18 @@ System::System(const SystemConfig &config,
       rootGroup("system")
 {
     TLSIM_ASSERT(cfg.cores >= 1, "machine needs at least one core");
-    dramModel = std::make_unique<mem::Dram>(eq, &rootGroup);
+    // The injector precedes the memory backend: banked backends take
+    // a raw Injector pointer for DRAM stuck-bank faults.
     if (cfg.fault.enabled) {
         faultInjector = std::make_unique<fault::Injector>(
             cfg.fault, fault_stream_seed);
         faultWatchdog = std::make_unique<fault::Watchdog>(
             cfg.fault.watchdogMaxAge);
     }
+    dramModel = mem::MemRegistry::build(
+        cfg.mem.backend,
+        mem::MemBuildContext{eq, &rootGroup, cfg.mem.options,
+                             faultInjector.get()});
     l2Cache = l2::Registry::build(
         cfg.design,
         l2::BuildContext{eq, &rootGroup, *dramModel, tech,

@@ -16,7 +16,6 @@
 
 #include "cpu/ooocore.hh"
 #include "harness/config.hh"
-#include "mem/dram.hh"
 #include "mem/l1cache.hh"
 #include "mem/l2cache.hh"
 #include "mem/request.hh"
@@ -96,8 +95,8 @@ class System
     mem::L1Cache &l1d(int i = 0) { return *cores[checkIndex(i)].dcache; }
     /** Core @p i's split L1 instruction cache. */
     mem::L1Cache &l1i(int i = 0) { return *cores[checkIndex(i)].icache; }
-    /** Backing DRAM model. */
-    mem::Dram &dram() { return *dramModel; }
+    /** Backing main-memory model (config.mem selects the backend). */
+    mem::MemBackend &dram() { return *dramModel; }
     /** Root of the machine's statistics tree. */
     stats::StatGroup &root() { return rootGroup; }
     /** The technology node the machine was built for. */
@@ -164,11 +163,12 @@ class System
     EventQueue eq;
     stats::StatGroup rootGroup;
     mem::RequestIdSource requestIds;
-    std::unique_ptr<mem::Dram> dramModel;
-    // Declared before the L2 and cores so it outlives them (the L2
-    // holds a raw Injector pointer, L1s/cores a Watchdog pointer).
+    // Declared before the memory backend, L2, and cores so it
+    // outlives them (banked backends and the L2 hold a raw Injector
+    // pointer, L1s/cores a Watchdog pointer).
     std::unique_ptr<fault::Injector> faultInjector;
     std::unique_ptr<fault::Watchdog> faultWatchdog;
+    std::unique_ptr<mem::MemBackend> dramModel;
     std::unique_ptr<mem::L2Cache> l2Cache;
     std::vector<CoreSlot> cores;
 };

@@ -1,5 +1,6 @@
 #include "mem/dram.hh"
 
+#include "mem/memregistry.hh"
 #include "sim/prof/prof.hh"
 #include "sim/trace/debug.hh"
 #include "sim/trace/tracesink.hh"
@@ -11,12 +12,8 @@ namespace mem
 
 Dram::Dram(EventQueue &eq, stats::StatGroup *parent, Cycles latency_,
            int max_outstanding)
-    : stats::StatGroup("dram", parent), eventq(eq), latency(latency_),
-      maxOutstanding(max_outstanding),
-      reads(this, "reads", "DRAM read requests"),
-      writes(this, "writes", "DRAM writeback requests"),
-      queueDelay(this, "queue_delay",
-                 "cycles spent waiting for an outstanding slot")
+    : MemBackend(eq, parent), latency(latency_),
+      maxOutstanding(max_outstanding)
 {
     for (int i = 0; i < max_outstanding; ++i) {
         finishEvents.emplace_back(*this);
@@ -96,6 +93,29 @@ Dram::finish(Tick now, RespCallback cb)
     if (cb)
         cb(now);
     startNext(now);
+}
+
+/**
+ * Registration hook called from memregistry.cc (see the WHOLE_ARCHIVE
+ * note there). Options: "latency" (cycles, default 300) and
+ * "maxOutstanding" (slots, default 8) — the paper Table 3 machine.
+ */
+void
+registerFixedMemBackend()
+{
+    static const char *const known[] = {"latency", "maxOutstanding",
+                                        nullptr};
+    static const MemRegistrar registrar{
+        "fixed", [](const MemBuildContext &ctx) {
+            conf::rejectUnknownOptions("memory backend 'fixed'",
+                                       ctx.options, known);
+            auto latency = static_cast<Cycles>(
+                conf::optionOr(ctx.options, "latency", 300.0));
+            int slots = static_cast<int>(
+                conf::optionOr(ctx.options, "maxOutstanding", 8.0));
+            return std::make_unique<Dram>(ctx.eq, ctx.parent, latency,
+                                          slots);
+        }};
 }
 
 } // namespace mem

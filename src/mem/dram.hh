@@ -1,7 +1,9 @@
 /**
  * @file
- * Main-memory model: fixed 300-cycle access latency with a limit of
- * 8 outstanding requests (paper Table 3); excess requests queue.
+ * The "fixed" main-memory backend: fixed 300-cycle access latency
+ * with a limit of 8 outstanding requests (paper Table 3); excess
+ * requests queue. This is the default backend and is bit-identical
+ * to the pre-registry hard-wired model.
  */
 
 #ifndef TLSIM_MEM_DRAM_HH
@@ -9,10 +11,9 @@
 
 #include <cstdint>
 #include <deque>
+#include <vector>
 
-#include "mem/request.hh"
-#include "sim/eventq.hh"
-#include "sim/stats.hh"
+#include "mem/membackend.hh"
 
 namespace tlsim
 {
@@ -22,7 +23,7 @@ namespace mem
 /**
  * A bandwidth-limited fixed-latency DRAM.
  */
-class Dram : public stats::StatGroup
+class Dram : public MemBackend
 {
   public:
     /**
@@ -34,31 +35,24 @@ class Dram : public stats::StatGroup
     Dram(EventQueue &eq, stats::StatGroup *parent,
          Cycles latency = 300, int max_outstanding = 8);
 
-    /**
-     * Issue a read; @p cb fires when the data is back on chip.
-     */
-    void read(Addr block_addr, Tick now, RespCallback cb);
+    void read(Addr block_addr, Tick now, RespCallback cb) override;
 
     /**
      * Issue a writeback; fire-and-forget but consumes an outstanding
-     * slot (dirty evictions contend with demand misses).
+     * slot (dirty evictions contend with demand misses). Writebacks
+     * sample queueDelay exactly like reads (regression-tested).
      */
-    void write(Addr block_addr, Tick now);
+    void write(Addr block_addr, Tick now) override;
 
-    /** Requests currently in service. */
-    int inService() const { return outstanding; }
+    /** Requests currently in service (excludes the waiting queue). */
+    int inService() const override { return outstanding; }
+
+    std::string backendName() const override { return "fixed"; }
 
   private:
-    EventQueue &eventq;
     Cycles latency;
     int maxOutstanding;
 
-  public:
-    stats::Scalar reads;
-    stats::Scalar writes;
-    stats::Average queueDelay;
-
-  private:
     struct Pending
     {
         Tick ready; // earliest start (arrival at the controller)

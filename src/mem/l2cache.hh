@@ -10,7 +10,7 @@
 #include <iosfwd>
 #include <string>
 
-#include "mem/dram.hh"
+#include "mem/membackend.hh"
 #include "mem/request.hh"
 #include "sim/eventq.hh"
 #include "sim/stats.hh"
@@ -37,11 +37,11 @@ class L2Cache : public stats::StatGroup
 {
   protected:
     EventQueue &eventq;
-    Dram &dram;
+    MemBackend &dram;
 
   public:
     L2Cache(const std::string &name, EventQueue &eq,
-            stats::StatGroup *parent, Dram &dram_)
+            stats::StatGroup *parent, MemBackend &dram_)
         : stats::StatGroup(name, parent), eventq(eq), dram(dram_),
           requests(this, "requests", "L2 requests received"),
           demandRequests(this, "demand_requests",

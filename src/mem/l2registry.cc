@@ -81,8 +81,7 @@ double
 optionOr(const DesignOptions &options, const std::string &key,
          double fallback)
 {
-    auto it = options.find(key);
-    return it == options.end() ? fallback : it->second;
+    return conf::optionOr(options, key, fallback);
 }
 
 void
@@ -90,26 +89,8 @@ rejectUnknownOptions(const std::string &design,
                      const DesignOptions &options,
                      const char *const *known)
 {
-    for (const auto &[key, value] : options) {
-        bool ok = false;
-        for (const char *const *k = known; *k; ++k) {
-            if (key == *k) {
-                ok = true;
-                break;
-            }
-        }
-        if (!ok) {
-            std::ostringstream accepted;
-            for (const char *const *k = known; *k; ++k) {
-                if (k != known)
-                    accepted << ", ";
-                accepted << *k;
-            }
-            fatal("L2 design '{}' does not accept option '{}' "
-                  "(accepted: {})",
-                  design, key, accepted.str());
-        }
-    }
+    conf::rejectUnknownOptions("L2 design '" + design + "'", options,
+                               known);
 }
 
 } // namespace tlsim::l2

@@ -24,16 +24,13 @@
 #ifndef TLSIM_MEM_L2REGISTRY_HH
 #define TLSIM_MEM_L2REGISTRY_HH
 
-#include <algorithm>
 #include <functional>
-#include <initializer_list>
 #include <memory>
 #include <string>
-#include <unordered_map>
-#include <utility>
 #include <vector>
 
 #include "mem/l2cache.hh"
+#include "mem/options.hh"
 
 namespace tlsim
 {
@@ -54,91 +51,18 @@ namespace l2
 /**
  * Design-specific knobs as a flat name -> value map (e.g.
  * "lineErrorRate": 1e-12, "ways": 8). Designs reject unknown keys so
- * config typos fail loudly.
- *
- * Implemented as a sorted vector rather than std::map: option sets
- * are tiny (a handful of knobs) but consulted on config-hash and
- * build paths, where the flat layout beats pointer-chasing nodes.
- * Iteration stays in sorted key order — SystemConfig::canonicalKey
- * and the JSON writer depend on that, and changing it would silently
- * invalidate every on-disk ResultCache entry.
+ * config typos fail loudly. The implementation (a sorted vector whose
+ * iteration order feeds SystemConfig::canonicalKey) now lives in
+ * conf::OptionMap, shared with the memory-backend registry.
  */
-class DesignOptions
-{
-  public:
-    using value_type = std::pair<std::string, double>;
-    using const_iterator = std::vector<value_type>::const_iterator;
-
-    DesignOptions() = default;
-
-    DesignOptions(std::initializer_list<value_type> init)
-    {
-        for (const auto &kv : init)
-            (*this)[kv.first] = kv.second;
-    }
-
-    /** Insert-or-find, map-style. New keys start at 0.0. */
-    double &
-    operator[](const std::string &key)
-    {
-        auto it = lowerBound(key);
-        if (it == entries.end() || it->first != key)
-            it = entries.insert(it, value_type{key, 0.0});
-        return it->second;
-    }
-
-    const_iterator
-    find(const std::string &key) const
-    {
-        auto it = lowerBound(key);
-        return (it != entries.end() && it->first == key) ? it
-                                                         : entries.end();
-    }
-
-    std::size_t
-    count(const std::string &key) const
-    {
-        return find(key) == entries.end() ? 0 : 1;
-    }
-
-    bool empty() const { return entries.empty(); }
-    std::size_t size() const { return entries.size(); }
-    const_iterator begin() const { return entries.begin(); }
-    const_iterator end() const { return entries.end(); }
-
-    bool operator==(const DesignOptions &other) const = default;
-
-  private:
-    std::vector<value_type>::iterator
-    lowerBound(const std::string &key)
-    {
-        return std::lower_bound(entries.begin(), entries.end(), key,
-                                [](const value_type &e,
-                                   const std::string &k) {
-                                    return e.first < k;
-                                });
-    }
-
-    const_iterator
-    lowerBound(const std::string &key) const
-    {
-        return std::lower_bound(entries.begin(), entries.end(), key,
-                                [](const value_type &e,
-                                   const std::string &k) {
-                                    return e.first < k;
-                                });
-    }
-
-    /** Kept sorted by key at all times. */
-    std::vector<value_type> entries;
-};
+using DesignOptions = conf::OptionMap;
 
 /** Everything a design factory needs to build an L2 instance. */
 struct BuildContext
 {
     EventQueue &eq;
     stats::StatGroup *parent;
-    mem::Dram &dram;
+    mem::MemBackend &dram;
     const phys::Technology &tech;
     const DesignOptions &options;
     /** Per-run fault source; null when fault injection is disabled. */

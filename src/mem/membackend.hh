@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Abstract interface for pluggable main-memory backends.
+ *
+ * Every backend registers in the stats tree as the group "dram" (one
+ * per System) and exposes the same three base counters, so stats JSON
+ * consumers see an identical shape regardless of the model behind the
+ * interface. Backends are built by name through mem::MemRegistry
+ * (see mem/memregistry.hh); the paper's fixed-latency sink is the
+ * default "fixed" backend, the banked FR-FCFS controller is "ddr".
+ */
+
+#ifndef TLSIM_MEM_MEMBACKEND_HH
+#define TLSIM_MEM_MEMBACKEND_HH
+
+#include <string>
+
+#include "mem/request.hh"
+#include "sim/eventq.hh"
+#include "sim/stats.hh"
+
+namespace tlsim
+{
+namespace mem
+{
+
+/**
+ * Base class for all main-memory models.
+ *
+ * A backend receives block-granularity traffic from the L2 designs:
+ * demand reads (callback fires when the data is back on chip) and
+ * fire-and-forget writebacks that contend with reads for the same
+ * controller resources.
+ */
+class MemBackend : public stats::StatGroup
+{
+  public:
+    MemBackend(EventQueue &eq, stats::StatGroup *parent)
+        : stats::StatGroup("dram", parent),
+          reads(this, "reads", "DRAM read requests"),
+          writes(this, "writes", "DRAM writeback requests"),
+          queueDelay(this, "queue_delay",
+                     "cycles spent waiting for an outstanding slot"),
+          eventq(eq)
+    {}
+
+    ~MemBackend() override = default;
+
+    /**
+     * Issue a read; @p cb fires when the data is back on chip.
+     */
+    virtual void read(Addr block_addr, Tick now, RespCallback cb) = 0;
+
+    /**
+     * Issue a writeback; fire-and-forget but consumes controller
+     * resources (dirty evictions contend with demand misses).
+     */
+    virtual void write(Addr block_addr, Tick now) = 0;
+
+    /** Requests accepted by the controller and not yet completed. */
+    virtual int inService() const = 0;
+
+    /** Registry name of the model ("fixed", "ddr"). */
+    virtual std::string backendName() const = 0;
+
+    // Base stats every backend samples: request counts plus the
+    // controller queueing delay (the front-end wait before a request
+    // starts service). Kept to exactly these three in the "fixed"
+    // backend so default stats output is bit-identical to the
+    // pre-registry tree.
+    stats::Scalar reads;
+    stats::Scalar writes;
+    stats::Average queueDelay;
+
+  protected:
+    EventQueue &eventq;
+};
+
+} // namespace mem
+} // namespace tlsim
+
+#endif // TLSIM_MEM_MEMBACKEND_HH

@@ -1,0 +1,102 @@
+#include "mem/memregistry.hh"
+
+#include <algorithm>
+#include <sstream>
+#include <unordered_map>
+#include <utility>
+
+#include "sim/logging.hh"
+
+namespace tlsim::mem
+{
+
+// Registration hooks for the built-in backends, defined in their own
+// translation units (dram.cc, ddr.cc). Referencing them here forces
+// the linker to keep those objects even without WHOLE_ARCHIVE.
+void registerFixedMemBackend();
+void registerDdrMemBackend();
+
+namespace
+{
+
+/**
+ * Function-local static sidesteps init-order races with registrars.
+ * Hashed, not ordered: build() looks a backend up per System
+ * construction, and the few callers that need sorted names
+ * (names(), error messages) sort explicitly.
+ */
+std::unordered_map<std::string, MemFactory> &
+table()
+{
+    static std::unordered_map<std::string, MemFactory> backends;
+    return backends;
+}
+
+/** Idempotently register the built-in backends. */
+void
+ensureBuiltins()
+{
+    static const bool once = [] {
+        registerFixedMemBackend();
+        registerDdrMemBackend();
+        return true;
+    }();
+    (void)once;
+}
+
+std::string
+knownList()
+{
+    std::ostringstream os;
+    bool first = true;
+    for (const auto &name : MemRegistry::names()) {
+        if (!first)
+            os << ", ";
+        os << name;
+        first = false;
+    }
+    return os.str();
+}
+
+} // namespace
+
+void
+MemRegistry::registerBackend(const std::string &name, MemFactory factory)
+{
+    auto [it, inserted] = table().emplace(name, std::move(factory));
+    if (!inserted)
+        fatal("memory backend '{}' registered twice", name);
+}
+
+std::unique_ptr<MemBackend>
+MemRegistry::build(const std::string &name, const MemBuildContext &ctx)
+{
+    ensureBuiltins();
+    auto it = table().find(name);
+    if (it == table().end()) {
+        fatal("unknown memory backend '{}'; known backends: {}", name,
+              knownList());
+    }
+    return it->second(ctx);
+}
+
+bool
+MemRegistry::known(const std::string &name)
+{
+    ensureBuiltins();
+    return table().count(name) != 0;
+}
+
+std::vector<std::string>
+MemRegistry::names()
+{
+    ensureBuiltins();
+    std::vector<std::string> out;
+    out.reserve(table().size());
+    for (const auto &[name, factory] : table())
+        out.push_back(name);
+    std::sort(out.begin(), out.end());
+    return out;
+}
+
+} // namespace tlsim::mem

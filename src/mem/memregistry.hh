@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Self-registering string -> factory registry for main-memory
+ * backends, mirroring the L2 design registry (mem/l2registry.hh).
+ *
+ * Built-in backends register through named hook functions referenced
+ * from the registry translation unit rather than file-scope
+ * registrars: tlsim_mem is linked plainly (no WHOLE_ARCHIVE) by
+ * several targets, so a pure static-initializer registrar could be
+ * dropped by the linker. Out-of-tree or test-local backends can still
+ * use a MemRegistrar, which works from any object the linker keeps.
+ */
+
+#ifndef TLSIM_MEM_MEMREGISTRY_HH
+#define TLSIM_MEM_MEMREGISTRY_HH
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "mem/membackend.hh"
+#include "mem/options.hh"
+
+namespace tlsim
+{
+
+namespace fault
+{
+class Injector;
+} // namespace fault
+
+namespace mem
+{
+
+/** Everything a backend factory needs to build a memory model. */
+struct MemBuildContext
+{
+    EventQueue &eq;
+    stats::StatGroup *parent;
+    const conf::OptionMap &options;
+    /** Per-run fault source; null when fault injection is disabled. */
+    fault::Injector *injector = nullptr;
+};
+
+/** Factory signature each backend registers. */
+using MemFactory =
+    std::function<std::unique_ptr<MemBackend>(const MemBuildContext &)>;
+
+/**
+ * The global backend registry. All members are static; the backing
+ * map is a function-local static so registration from constructors
+ * is order-safe.
+ */
+class MemRegistry
+{
+  public:
+    /**
+     * Register a factory under a backend name; duplicate names are a
+     * fatal error.
+     */
+    static void registerBackend(const std::string &name,
+                                MemFactory factory);
+
+    /**
+     * Build the named backend. Unknown names are a fatal error that
+     * lists every registered backend.
+     */
+    static std::unique_ptr<MemBackend>
+    build(const std::string &name, const MemBuildContext &ctx);
+
+    /** True if a backend with this name has been registered. */
+    static bool known(const std::string &name);
+
+    /** All registered backend names, sorted. */
+    static std::vector<std::string> names();
+};
+
+/** Helper: constructing one registers a backend. */
+struct MemRegistrar
+{
+    MemRegistrar(const std::string &name, MemFactory factory)
+    {
+        MemRegistry::registerBackend(name, std::move(factory));
+    }
+};
+
+} // namespace mem
+} // namespace tlsim
+
+#endif // TLSIM_MEM_MEMREGISTRY_HH

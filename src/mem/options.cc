@@ -1,0 +1,47 @@
+#include "mem/options.hh"
+
+#include <sstream>
+
+#include "sim/logging.hh"
+
+namespace tlsim
+{
+namespace conf
+{
+
+double
+optionOr(const OptionMap &options, const std::string &key,
+         double fallback)
+{
+    auto it = options.find(key);
+    return it == options.end() ? fallback : it->second;
+}
+
+void
+rejectUnknownOptions(const std::string &component,
+                     const OptionMap &options,
+                     const char *const *known)
+{
+    for (const auto &[key, value] : options) {
+        bool ok = false;
+        for (const char *const *k = known; *k; ++k) {
+            if (key == *k) {
+                ok = true;
+                break;
+            }
+        }
+        if (!ok) {
+            std::ostringstream accepted;
+            for (const char *const *k = known; *k; ++k) {
+                if (k != known)
+                    accepted << ", ";
+                accepted << *k;
+            }
+            fatal("{} does not accept option '{}' (accepted: {})",
+                  component, key, accepted.str());
+        }
+    }
+}
+
+} // namespace conf
+} // namespace tlsim

@@ -1,0 +1,123 @@
+/**
+ * @file
+ * Flat name -> value option maps shared by the pluggable component
+ * registries (L2 designs, memory backends).
+ *
+ * Implemented as a sorted vector rather than std::map: option sets
+ * are tiny (a handful of knobs) but consulted on config-hash and
+ * build paths, where the flat layout beats pointer-chasing nodes.
+ * Iteration stays in sorted key order — SystemConfig::canonicalKey
+ * and the JSON writer depend on that, and changing it would silently
+ * invalidate every on-disk ResultCache entry.
+ */
+
+#ifndef TLSIM_MEM_OPTIONS_HH
+#define TLSIM_MEM_OPTIONS_HH
+
+#include <algorithm>
+#include <initializer_list>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace tlsim
+{
+namespace conf
+{
+
+/**
+ * Component-specific knobs as a flat name -> value map (e.g.
+ * "lineErrorRate": 1e-12, "tCAS": 42). Components reject unknown
+ * keys so config typos fail loudly.
+ */
+class OptionMap
+{
+  public:
+    using value_type = std::pair<std::string, double>;
+    using const_iterator = std::vector<value_type>::const_iterator;
+
+    OptionMap() = default;
+
+    OptionMap(std::initializer_list<value_type> init)
+    {
+        for (const auto &kv : init)
+            (*this)[kv.first] = kv.second;
+    }
+
+    /** Insert-or-find, map-style. New keys start at 0.0. */
+    double &
+    operator[](const std::string &key)
+    {
+        auto it = lowerBound(key);
+        if (it == entries.end() || it->first != key)
+            it = entries.insert(it, value_type{key, 0.0});
+        return it->second;
+    }
+
+    const_iterator
+    find(const std::string &key) const
+    {
+        auto it = lowerBound(key);
+        return (it != entries.end() && it->first == key) ? it
+                                                         : entries.end();
+    }
+
+    std::size_t
+    count(const std::string &key) const
+    {
+        return find(key) == entries.end() ? 0 : 1;
+    }
+
+    bool empty() const { return entries.empty(); }
+    std::size_t size() const { return entries.size(); }
+    const_iterator begin() const { return entries.begin(); }
+    const_iterator end() const { return entries.end(); }
+
+    bool operator==(const OptionMap &other) const = default;
+
+  private:
+    std::vector<value_type>::iterator
+    lowerBound(const std::string &key)
+    {
+        return std::lower_bound(entries.begin(), entries.end(), key,
+                                [](const value_type &e,
+                                   const std::string &k) {
+                                    return e.first < k;
+                                });
+    }
+
+    const_iterator
+    lowerBound(const std::string &key) const
+    {
+        return std::lower_bound(entries.begin(), entries.end(), key,
+                                [](const value_type &e,
+                                   const std::string &k) {
+                                    return e.first < k;
+                                });
+    }
+
+    /** Kept sorted by key at all times. */
+    std::vector<value_type> entries;
+};
+
+/**
+ * Fetch an option by key, or the default when absent. Pair with
+ * rejectUnknownOptions so misspelled keys still fail.
+ */
+double optionOr(const OptionMap &options, const std::string &key,
+                double fallback);
+
+/**
+ * Fatal error if @p options contains a key outside @p known
+ * (null-terminated array of option names the component accepts).
+ * @p component is the full label used in the error message, e.g.
+ * "L2 design 'TLC'" or "memory backend 'ddr'".
+ */
+void rejectUnknownOptions(const std::string &component,
+                          const OptionMap &options,
+                          const char *const *known);
+
+} // namespace conf
+} // namespace tlsim
+
+#endif // TLSIM_MEM_OPTIONS_HH

@@ -28,7 +28,7 @@ dataFlits(int flit_bits)
 } // namespace
 
 DnucaCache::DnucaCache(EventQueue &eq, stats::StatGroup *parent,
-                       mem::Dram &dram, const phys::Technology &tech,
+                       mem::MemBackend &dram, const phys::Technology &tech,
                        const DnucaConfig &config,
                        fault::Injector *injector)
     : mem::L2Cache("dnuca", eq, parent, dram), cfg(config),

@@ -64,7 +64,7 @@ class DnucaCache : public mem::L2Cache
   public:
     /** @param injector Per-run fault source; null disables faults. */
     DnucaCache(EventQueue &eq, stats::StatGroup *parent,
-               mem::Dram &dram, const phys::Technology &tech,
+               mem::MemBackend &dram, const phys::Technology &tech,
                const DnucaConfig &config = DnucaConfig{},
                fault::Injector *injector = nullptr);
 

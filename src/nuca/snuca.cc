@@ -28,7 +28,7 @@ dataFlits(int flit_bits)
 } // namespace
 
 SnucaCache::SnucaCache(EventQueue &eq, stats::StatGroup *parent,
-                       mem::Dram &dram, const phys::Technology &tech,
+                       mem::MemBackend &dram, const phys::Technology &tech,
                        const SnucaConfig &config,
                        fault::Injector *injector_)
     : mem::L2Cache("snuca2", eq, parent, dram), cfg(config),

@@ -47,7 +47,7 @@ class SnucaCache : public mem::L2Cache
   public:
     /** @param injector Per-run fault source; null disables faults. */
     SnucaCache(EventQueue &eq, stats::StatGroup *parent,
-               mem::Dram &dram, const phys::Technology &tech,
+               mem::MemBackend &dram, const phys::Technology &tech,
                const SnucaConfig &config = SnucaConfig{},
                fault::Injector *injector = nullptr);
 

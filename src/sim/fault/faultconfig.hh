@@ -59,6 +59,14 @@ struct FaultConfig
     /** Scheduled stuck-at bank faults, same "id@tick,..." encoding. */
     std::string stuckBanks;
 
+    /**
+     * Scheduled stuck-at DRAM bank faults ("id@tick,..."), consumed
+     * by the banked memory backends. Bank ids are channel-major:
+     * channel * banksPerChannel + bank. Ignored by the "fixed"
+     * backend, which has no bank structure.
+     */
+    std::string dramStuckBanks;
+
     /** Bounded retries per request before declaring a timeout. */
     int maxRetries = 4;
 

@@ -90,7 +90,10 @@ Injector::Injector(const FaultConfig &config, std::uint64_t stream_seed)
     : cfg(config), rng(mix(config.seed) ^ mix(stream_seed)),
       deadAt(flatten(parseSchedule(config.deadLinks, "deadLinks"))),
       stuckAt(flatten(parseSchedule(config.stuckBanks, "stuckBanks"))),
-      anyDead(!deadAt.empty()), anyStuck(!stuckAt.empty())
+      dramStuckAt(flatten(
+          parseSchedule(config.dramStuckBanks, "dramStuckBanks"))),
+      anyDead(!deadAt.empty()), anyStuck(!stuckAt.empty()),
+      anyDramStuck(!dramStuckAt.empty())
 {
 }
 

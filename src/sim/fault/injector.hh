@@ -99,6 +99,19 @@ class Injector
         return idx < stuckAt.size() && now >= stuckAt[idx];
     }
 
+    /**
+     * True when DRAM bank @p bank (channel-major global index) is
+     * stuck at tick @p now; consulted by the banked memory backends.
+     */
+    bool
+    dramBankStuck(int bank, Tick now) const
+    {
+        if (!anyDramStuck)
+            return false;
+        auto idx = static_cast<std::size_t>(bank);
+        return idx < dramStuckAt.size() && now >= dramStuckAt[idx];
+    }
+
     /** Any dead-link faults scheduled at all (at any tick)? */
     bool hasDeadLinks() const { return anyDead; }
 
@@ -122,8 +135,10 @@ class Injector
     /** Onset tick per link/bank id; MaxTick = never. */
     std::vector<Tick> deadAt;
     std::vector<Tick> stuckAt;
+    std::vector<Tick> dramStuckAt;
     bool anyDead = false;
     bool anyStuck = false;
+    bool anyDramStuck = false;
     /** Error-rate multiplier per link id; ids past the end are 1.0. */
     std::vector<double> weights;
     std::uint64_t injected = 0;

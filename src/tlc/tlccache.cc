@@ -34,7 +34,7 @@ constexpr int requestBits = 48;
 } // namespace
 
 TlcCache::TlcCache(EventQueue &eq, stats::StatGroup *parent,
-                   mem::Dram &dram, const phys::Technology &tech,
+                   mem::MemBackend &dram, const phys::Technology &tech,
                    const TlcConfig &config, fault::Injector *injector_)
     : mem::L2Cache(config.name, eq, parent, dram), cfg(config),
       floorplan(tech, config),

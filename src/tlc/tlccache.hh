@@ -40,7 +40,7 @@ class TlcCache : public mem::L2Cache
 {
   public:
     /** @param injector Per-run fault source; null disables faults. */
-    TlcCache(EventQueue &eq, stats::StatGroup *parent, mem::Dram &dram,
+    TlcCache(EventQueue &eq, stats::StatGroup *parent, mem::MemBackend &dram,
              const phys::Technology &tech, const TlcConfig &config,
              fault::Injector *injector = nullptr);
 

@@ -39,6 +39,11 @@ fancyConfig()
     config.l1d.mshrs = 16;
     config.l2Options["promoteOnHit"] = 0;
     config.l2Options["insertionBank"] = 3;
+    config.mem.backend = "ddr";
+    config.mem.options["tCAS"] = 36;
+    config.mem.options["channels"] = 4;
+    config.fault.enabled = true;
+    config.fault.dramStuckBanks = "3@1000";
     config.functionalWarm = 1'000'000;
     config.warmup = 10'000;
     config.measure = 50'000;
@@ -114,6 +119,53 @@ TEST(SystemConfig, MachineHashIgnoresDesignAndBudgets)
     cmp.cores = 4;
     EXPECT_NE(base.machineHash(), cmp.machineHash());
     EXPECT_FALSE(cmp.isDefaultMachine());
+}
+
+TEST(SystemConfig, DefaultMemBackendLeavesKeysUntouched)
+{
+    // PR 8 invariant: a default MemConfig must leave cache/spec keys
+    // byte-identical to the pre-registry encoding, so no on-disk
+    // ResultCache entry or paper output is invalidated.
+    SystemConfig config;
+    EXPECT_EQ(config.mem, MemConfig{});
+    EXPECT_EQ(config.canonicalKey().find("mem."), std::string::npos);
+    EXPECT_EQ(config.canonicalKey().find("dramStuckBanks"),
+              std::string::npos);
+    EXPECT_TRUE(config.isDefaultMachine());
+}
+
+TEST(SystemConfig, MemBackendChangesMachineHash)
+{
+    SystemConfig base;
+    SystemConfig ddr = base;
+    ddr.mem.backend = "ddr";
+    EXPECT_NE(base.machineHash(), ddr.machineHash());
+    EXPECT_NE(base.canonicalKey(), ddr.canonicalKey());
+    EXPECT_FALSE(ddr.isDefaultMachine());
+    EXPECT_NE(ddr.canonicalKey().find("mem.backend=ddr"),
+              std::string::npos);
+
+    // Options alone (same backend) mint a different machine too.
+    SystemConfig tuned = ddr;
+    tuned.mem.options["tCAS"] = 36;
+    EXPECT_NE(ddr.machineHash(), tuned.machineHash());
+    EXPECT_NE(ddr.contentHash(), tuned.contentHash());
+}
+
+TEST(SystemConfig, MemConfigRoundTripsThroughJson)
+{
+    SystemConfig config;
+    config.mem.backend = "ddr";
+    config.mem.options["rowBytes"] = 65536;
+    config.mem.options["fcfs"] = 1;
+    config.fault.enabled = true;
+    config.fault.dramStuckBanks = "0@0,17@5000";
+    SystemConfig loaded = loadConfigJson(configToJson(config));
+    EXPECT_EQ(loaded, config);
+    EXPECT_EQ(loaded.mem.backend, "ddr");
+    EXPECT_EQ(loaded.mem.options, config.mem.options);
+    EXPECT_EQ(loaded.fault.dramStuckBanks, "0@0,17@5000");
+    EXPECT_EQ(configToJson(loaded), configToJson(config));
 }
 
 TEST(SystemConfig, LoadRejectsMalformedInput)

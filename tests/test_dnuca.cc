@@ -6,6 +6,7 @@
 
 #include <gtest/gtest.h>
 
+#include "mem/dram.hh"
 #include "nuca/dnuca.hh"
 #include "phys/technology.hh"
 

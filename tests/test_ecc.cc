@@ -5,6 +5,7 @@
 
 #include <gtest/gtest.h>
 
+#include "mem/dram.hh"
 #include "phys/technology.hh"
 #include "tlc/tlccache.hh"
 

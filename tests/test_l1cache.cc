@@ -8,6 +8,7 @@
 
 #include <vector>
 
+#include "mem/dram.hh"
 #include "mem/l1cache.hh"
 #include "mem/l2cache.hh"
 #include "sim/eventq.hh"

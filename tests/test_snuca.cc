@@ -6,6 +6,7 @@
 #include <gtest/gtest.h>
 
 #include "nuca/snuca.hh"
+#include "mem/dram.hh"
 #include "phys/technology.hh"
 
 using namespace tlsim;

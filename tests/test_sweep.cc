@@ -284,6 +284,62 @@ TEST(Sweep, WarmCacheExecutesZeroSimulations)
     }
 }
 
+TEST(Sweep, DdrFaultSweepDeterministic)
+{
+    // PR 8 acceptance: a multi-core, fault-enabled sweep on the "ddr"
+    // backend is byte-identical serial vs parallel and cold vs warm
+    // cache — scheduling reorders and refresh make the model richer,
+    // not less deterministic.
+    auto specs = table6Specs();
+    specs.resize(6);
+    for (RunSpec &spec : specs) {
+        spec.config.cores = 2;
+        spec.config.mem.backend = "ddr";
+        spec.config.mem.options["channels"] = 1;
+        spec.config.mem.options["tREFI"] = 2'000;
+        spec.config.fault.enabled = true;
+        spec.config.fault.dramStuckBanks = "0@0,5@10000";
+    }
+    // The non-default machine mints a content-hash suffix, giving the
+    // backend its own result-cache namespace.
+    EXPECT_NE(specKey(specs[0]).find("/c"), std::string::npos);
+
+    SweepOptions serial;
+    serial.jobs = 1;
+    serial.captureStats = true;
+    serial.verbose = false;
+    serial.cacheDir = freshDir("ddrfault");
+    auto cold = runSweep(specs, serial);
+    EXPECT_EQ(cold.executed, specs.size());
+
+    SweepOptions parallel = serial;
+    parallel.jobs = 8;
+    parallel.cacheDir.clear(); // no cache: force re-execution
+    auto par = runSweep(specs, parallel);
+
+    ASSERT_EQ(cold.results.size(), par.results.size());
+    for (std::size_t i = 0; i < specs.size(); ++i) {
+        EXPECT_EQ(resultJson(specs[i], cold.results[i]),
+                  resultJson(specs[i], par.results[i]))
+            << specKey(specs[i]);
+        EXPECT_EQ(cold.statsJson[i], par.statsJson[i])
+            << specKey(specs[i]);
+    }
+
+    // The controller stats made it into the captured stats tree.
+    EXPECT_NE(cold.statsJson[0].find("row_hits"), std::string::npos);
+    EXPECT_NE(cold.statsJson[0].find("lat_bank"), std::string::npos);
+
+    auto warm = runSweep(specs, serial);
+    EXPECT_EQ(warm.executed, 0u);
+    EXPECT_EQ(warm.cached, specs.size());
+    for (std::size_t i = 0; i < specs.size(); ++i) {
+        EXPECT_EQ(resultJson(specs[i], cold.results[i]),
+                  resultJson(specs[i], warm.results[i]))
+            << specKey(specs[i]);
+    }
+}
+
 TEST(Sweep, MergedStatsEmitsNullForUncapturedRuns)
 {
     RunSpec spec;

@@ -10,6 +10,7 @@
 #include <set>
 
 #include "tlc/tlccache.hh"
+#include "mem/dram.hh"
 #include "phys/technology.hh"
 
 using namespace tlsim;

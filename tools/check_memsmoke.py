@@ -1,0 +1,106 @@
+#!/usr/bin/env python3
+"""Validate the "ddr" memory-backend smoke sweep's stats JSON.
+
+CI runs ``tlsim_repro --mem ddr ... --stats-json FILE`` and feeds the
+file here. The checks pin the controller model's observable behavior:
+
+* every run's stats tree has a ``dram`` group with the ddr counters
+  (``row_hits``, ``row_misses``, ``row_conflicts``, ``refreshes``) and
+  the per-phase latency distributions;
+* aggregated across the sweep, row hits, row misses, row conflicts,
+  and refreshes are all nonzero — the row buffer, the page-policy
+  transitions, and the refresh machinery all actually fired;
+* per run, ``lat_queue``/``lat_bank``/``lat_bus`` carry one sample per
+  serviced request: the exact-sum latency partition covers every
+  request, none double-counted, none dropped. The count may differ
+  from reads + writes by the handful of requests in flight across the
+  measurement boundaries (reads/writes increment at accept, lat_*
+  sample at service, and stats reset between warmup and measure), but
+  only by a sliver of the total.
+
+Only the standard library is used.
+
+Usage:
+  python3 tools/check_memsmoke.py stats.json [--expect-runs N]
+"""
+
+import argparse
+import json
+import sys
+
+DDR_SCALARS = ("row_hits", "row_misses", "row_conflicts", "refreshes")
+DDR_DISTS = ("lat_queue", "lat_bank", "lat_bus")
+
+
+def fail(msg):
+    print(f"check_memsmoke: FAIL: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def scalar(group, name, run):
+    node = group.get(name)
+    if not isinstance(node, dict) or "value" not in node:
+        fail(f"{run}: dram.{name} missing from stats tree")
+    return node["value"]
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("stats", help="stats JSON from --stats-json")
+    parser.add_argument(
+        "--expect-runs",
+        type=int,
+        default=0,
+        help="exact number of runs the sweep must contain (0: any)",
+    )
+    args = parser.parse_args()
+
+    with open(args.stats, encoding="utf-8") as f:
+        doc = json.load(f)
+
+    runs = {k: v for k, v in doc.items() if isinstance(v, dict)}
+    if not runs:
+        fail("no run stats in document")
+    if args.expect_runs and len(runs) != args.expect_runs:
+        fail(f"expected {args.expect_runs} runs, found {len(runs)}")
+
+    totals = dict.fromkeys(DDR_SCALARS, 0)
+    for run, tree in runs.items():
+        dram = tree.get("dram")
+        if not isinstance(dram, dict):
+            fail(f"{run}: no dram group in stats tree")
+        for name in DDR_SCALARS:
+            totals[name] += scalar(dram, name, run)
+
+        requests = scalar(dram, "reads", run) + scalar(
+            dram, "writes", run
+        )
+        in_flight_slack = max(64, requests // 100)
+        for name in DDR_DISTS:
+            node = dram.get(name)
+            if not isinstance(node, dict) or "count" not in node:
+                fail(f"{run}: dram.{name} missing from stats tree")
+            count = node["count"]
+            if abs(count - requests) > in_flight_slack:
+                fail(
+                    f"{run}: dram.{name} count {count} vs reads+writes "
+                    f"{requests} — the latency partition no longer "
+                    f"covers every serviced request"
+                )
+
+    for name, value in totals.items():
+        if value <= 0:
+            fail(
+                f"aggregate dram.{name} is {value}; the smoke sweep "
+                f"never exercised this controller path"
+            )
+
+    print(
+        "check_memsmoke: OK — "
+        + ", ".join(f"{k}={int(v)}" for k, v in totals.items())
+        + f" across {len(runs)} runs"
+    )
+
+
+if __name__ == "__main__":
+    main()
