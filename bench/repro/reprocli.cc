@@ -63,6 +63,14 @@ struct CliOptions
     std::optional<std::string> faultStuckBanks;
     std::optional<std::string> faultDramStuckBanks;
     bool faultMargin = false;
+    /** Robustness (docs/ROBUSTNESS.md). */
+    std::string isolate = "thread";
+    double runTimeoutSec = 0.0;
+    std::uint64_t rlimitCpuSec = 0;
+    std::uint64_t rlimitRssMb = 0;
+    std::string journalPath;
+    bool resume = false;
+    bool fsckCache = false;
     /** Telemetry v2: fleet metrics, run ledger, profiler, heatmaps. */
     std::string metricsOut;
     std::string manifestOut;
@@ -163,6 +171,24 @@ printUsage(std::ostream &os)
           "'id@tick,...' (enables fault injection)\n"
           "  --fault-margin      scale bit errors by each line's "
           "signal-integrity margin\n"
+          "  --isolate MODE      run containment: none, thread "
+          "(default), or process\n"
+          "                      (forked, rlimit-capped child per "
+          "run; crashes become per-run errors)\n"
+          "  --run-timeout SEC   per-run wall-clock timeout (process: "
+          "sandbox kill; thread: watchdog)\n"
+          "  --rlimit-cpu SEC    per-run CPU-seconds cap "
+          "(--isolate=process only)\n"
+          "  --rlimit-rss MB     per-run address-space cap in MiB "
+          "(--isolate=process only)\n"
+          "  --journal FILE      durable write-ahead sweep journal "
+          "(JSONL, fsync'd per record)\n"
+          "  --resume FILE       resume an interrupted sweep from its "
+          "journal (skips completed runs)\n"
+          "  --fsck-cache        validate the result cache, "
+          "quarantine corrupt entries, and exit\n"
+          "                      (exit 0 clean, 2 when entries were "
+          "quarantined)\n"
           "  --quiet             suppress per-run progress\n"
           "  --progress          live one-line sweep progress/ETA on "
           "stderr\n"
@@ -266,6 +292,32 @@ parseArgs(int argc, char **argv, CliOptions &opts)
                    matchValue(argc, argv, i, "--prof-out",
                               opts.profOut)) {
             continue;
+        } else if (std::strcmp(argv[i], "--fsck-cache") == 0) {
+            opts.fsckCache = true;
+        } else if (matchValue(argc, argv, i, "--isolate", value)) {
+            if (value != "none" && value != "thread" &&
+                value != "process") {
+                std::cerr << "tlsim_repro: --isolate expects none, "
+                             "thread, or process, got '"
+                          << value << "'\n";
+                return false;
+            }
+            opts.isolate = value;
+        } else if (matchValue(argc, argv, i, "--run-timeout",
+                              value)) {
+            opts.runTimeoutSec = std::strtod(value.c_str(), nullptr);
+        } else if (matchValue(argc, argv, i, "--rlimit-cpu", value)) {
+            opts.rlimitCpuSec =
+                std::strtoull(value.c_str(), nullptr, 10);
+        } else if (matchValue(argc, argv, i, "--rlimit-rss", value)) {
+            opts.rlimitRssMb =
+                std::strtoull(value.c_str(), nullptr, 10);
+        } else if (matchValue(argc, argv, i, "--journal",
+                              opts.journalPath)) {
+            continue;
+        } else if (matchValue(argc, argv, i, "--resume", value)) {
+            opts.journalPath = value;
+            opts.resume = true;
         } else if (matchValue(argc, argv, i, "--jobs", value)) {
             opts.jobs = std::atoi(value.c_str());
         } else if (matchValue(argc, argv, i, "--cores", value)) {
@@ -598,6 +650,25 @@ reproMain(int argc, char **argv)
     if (!parseArgs(argc, argv, opts))
         return 1;
 
+    if (opts.fsckCache) {
+        std::string dir = resolveCacheDir(opts);
+        if (dir.empty()) {
+            std::cerr << "tlsim_repro: --fsck-cache needs a cache "
+                         "directory (--no-cache given)\n";
+            return 1;
+        }
+        auto report = harness::sweep::fsckCache(dir);
+        for (const auto &problem : report.problems)
+            std::cerr << "  " << problem << "\n";
+        std::cout << "fsck " << dir << ": " << report.scanned
+                  << " scanned, " << report.valid << " valid, "
+                  << report.quarantined << " quarantined";
+        if (report.quarantined > 0)
+            std::cout << " (moved to " << dir << "/quarantine)";
+        std::cout << std::endl;
+        return report.quarantined > 0 ? 2 : 0;
+    }
+
     if (opts.dumpConfig) {
         harness::saveConfigJson(opts.baseConfig(), std::cout);
         return 0;
@@ -666,8 +737,29 @@ reproMain(int argc, char **argv)
     sweep_opts.metricsOut = opts.metricsOut;
     sweep_opts.manifestOut = opts.manifestOut;
     sweep_opts.progress = opts.progress;
+    sweep_opts.isolate =
+        opts.isolate == "none"
+            ? harness::sweep::Isolation::None
+            : opts.isolate == "process"
+                  ? harness::sweep::Isolation::Process
+                  : harness::sweep::Isolation::Thread;
+    sweep_opts.runTimeoutSec = opts.runTimeoutSec;
+    sweep_opts.rlimitCpuSec = opts.rlimitCpuSec;
+    sweep_opts.rlimitRssMb = opts.rlimitRssMb;
+    sweep_opts.journalPath = opts.journalPath;
+    sweep_opts.resume = opts.resume;
 
     auto outcome = harness::sweep::runSweep(specs, sweep_opts);
+
+    if (outcome.interrupted) {
+        std::cerr << "tlsim_repro: sweep interrupted after "
+                  << (outcome.executed + outcome.cached +
+                      outcome.restored)
+                  << "/" << specs.size()
+                  << " runs; resume with --resume "
+                  << opts.journalPath << std::endl;
+        return 130;
+    }
 
     if (!opts.profOut.empty()) {
         prof::setEnabled(false);
@@ -685,6 +777,9 @@ reproMain(int argc, char **argv)
     if (!opts.quiet) {
         std::cerr << "sweep: " << outcome.executed << " simulated, "
                   << outcome.cached << " from cache";
+        if (outcome.restored > 0)
+            std::cerr << ", " << outcome.restored
+                      << " restored from journal";
         if (outcome.failed > 0)
             std::cerr << ", " << outcome.failed << " FAILED";
         if (!cache_dir.empty())

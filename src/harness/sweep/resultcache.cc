@@ -1,12 +1,19 @@
 #include "harness/sweep/resultcache.hh"
 
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <algorithm>
 #include <cctype>
+#include <cerrno>
 #include <cstdlib>
+#include <cstring>
 #include <filesystem>
 #include <fstream>
 #include <limits>
 #include <map>
 #include <sstream>
+#include <vector>
 
 #include "sim/logging.hh"
 #include "sim/trace/tracesink.hh"
@@ -279,20 +286,157 @@ ResultCache::load(const RunSpec &spec) const
 void
 ResultCache::store(const RunSpec &spec, const RunResult &result) const
 {
-    // Write-then-rename so readers never see a torn entry.
+    // Crash-safe commit: write to a per-process tmp name (so two
+    // sweeps sharing the cache never clobber each other's tmp file),
+    // fsync the data, rename over the final name, fsync the
+    // directory. A kill or power cut at any instant leaves either the
+    // old entry, the new entry, or a leftover tmp file that load()
+    // and --fsck-cache ignore — never a torn visible entry.
     std::string final_path = filePath(spec);
-    std::string tmp_path = final_path + ".tmp";
-    {
-        std::ofstream out(tmp_path);
-        if (!out.is_open())
-            fatal("cannot write result cache entry '{}'", tmp_path);
-        writeResultJson(out, spec, result);
+    std::string tmp_path =
+        final_path + ".tmp." + std::to_string(::getpid());
+    std::ostringstream text;
+    writeResultJson(text, spec, result);
+    std::string blob = text.str();
+
+    int fd = ::open(tmp_path.c_str(), O_WRONLY | O_CREAT | O_TRUNC,
+                    0644);
+    if (fd < 0)
+        fatal("cannot write result cache entry '{}': {}", tmp_path,
+              std::strerror(errno));
+    const char *data = blob.data();
+    std::size_t left = blob.size();
+    while (left > 0) {
+        ssize_t n = ::write(fd, data, left);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            int err = errno;
+            ::close(fd);
+            fatal("cannot write result cache entry '{}': {}",
+                  tmp_path, std::strerror(err));
+        }
+        data += n;
+        left -= static_cast<std::size_t>(n);
     }
+    if (::fsync(fd) != 0) {
+        int err = errno;
+        ::close(fd);
+        fatal("cannot sync result cache entry '{}': {}", tmp_path,
+              std::strerror(err));
+    }
+    ::close(fd);
+
     std::error_code ec;
     std::filesystem::rename(tmp_path, final_path, ec);
     if (ec)
         fatal("cannot commit result cache entry '{}': {}", final_path,
               ec.message());
+    int dirfd = ::open(_dir.c_str(), O_RDONLY | O_DIRECTORY);
+    if (dirfd >= 0) {
+        ::fsync(dirfd);
+        ::close(dirfd);
+    }
+}
+
+FsckReport
+fsckCache(const std::string &dir)
+{
+    FsckReport report;
+    std::error_code ec;
+    if (!std::filesystem::is_directory(dir, ec)) {
+        report.problems.push_back("not a directory: " + dir);
+        return report;
+    }
+
+    std::string quarantine_dir = dir + "/quarantine";
+    auto quarantine = [&](const std::filesystem::path &path,
+                          const std::string &why) {
+        std::error_code qec;
+        std::filesystem::create_directories(quarantine_dir, qec);
+        std::filesystem::rename(
+            path, quarantine_dir + "/" + path.filename().string(),
+            qec);
+        if (qec) {
+            report.problems.push_back(
+                path.filename().string() + ": " + why +
+                " (and quarantine failed: " + qec.message() + ")");
+            return;
+        }
+        ++report.quarantined;
+        report.problems.push_back(path.filename().string() + ": " +
+                                  why);
+    };
+
+    std::vector<std::filesystem::path> entries;
+    for (const auto &entry :
+         std::filesystem::directory_iterator(dir, ec)) {
+        if (!entry.is_regular_file())
+            continue; // the quarantine subdir, mainly
+        if (entry.path().extension() != ".json")
+            continue; // leftover .tmp.<pid> files are not entries
+        entries.push_back(entry.path());
+    }
+    std::sort(entries.begin(), entries.end());
+
+    for (const auto &path : entries) {
+        ++report.scanned;
+        std::ifstream in(path);
+        std::ostringstream text;
+        text << in.rdbuf();
+
+        std::map<std::string, std::string> raw;
+        if (!scanFlatObject(text.str(), raw)) {
+            quarantine(path, "unparseable JSON");
+            continue;
+        }
+        auto get = [&](const char *key) -> const std::string * {
+            auto it = raw.find(key);
+            return it == raw.end() ? nullptr : &it->second;
+        };
+        const std::string *schema = get("schema");
+        const std::string *spec = get("spec");
+        const std::string *model = get("model");
+        if (!schema || *schema != "tlsim-runresult-v1") {
+            quarantine(path, "missing or unknown schema");
+            continue;
+        }
+        if (!spec || !model) {
+            quarantine(path, "missing spec/model identity");
+            continue;
+        }
+        // The file name must be the content address of the entry's
+        // own identity (its declared spec + salt, not the current
+        // salt: old-model entries are stale-but-healthy, a mismatch
+        // means the content does not belong to this slot).
+        std::string want = cacheKeyForSpecKey(*spec, *model) + ".json";
+        if (path.filename().string() != want) {
+            quarantine(path, "key/content mismatch (expected '" +
+                                 want + "')");
+            continue;
+        }
+        bool fields_ok = true;
+        for (const auto &field : u64Fields) {
+            if (!get(field.name)) {
+                fields_ok = false;
+                break;
+            }
+        }
+        if (fields_ok) {
+            for (const auto &field : doubleFields) {
+                if (!get(field.name)) {
+                    fields_ok = false;
+                    break;
+                }
+            }
+        }
+        if (!fields_ok || !get("design") || !get("benchmark")) {
+            quarantine(path, "missing required result fields");
+            continue;
+        }
+        ++report.valid;
+    }
+    return report;
 }
 
 } // namespace sweep

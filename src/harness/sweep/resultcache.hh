@@ -14,9 +14,11 @@
 #ifndef TLSIM_HARNESS_SWEEP_RESULTCACHE_HH
 #define TLSIM_HARNESS_SWEEP_RESULTCACHE_HH
 
+#include <cstddef>
 #include <optional>
 #include <ostream>
 #include <string>
+#include <vector>
 
 #include "harness/sweep/runspec.hh"
 #include "harness/system.hh"
@@ -73,6 +75,28 @@ class ResultCache
 
     std::string _dir;
 };
+
+/** What --fsck-cache found in one cache directory. */
+struct FsckReport
+{
+    /** Entries examined (*.json files; tmp leftovers are skipped). */
+    std::size_t scanned = 0;
+    /** Entries that passed every check. */
+    std::size_t valid = 0;
+    /** Entries moved to <dir>/quarantine/. */
+    std::size_t quarantined = 0;
+    /** One human-readable line per problem found. */
+    std::vector<std::string> problems;
+};
+
+/**
+ * Validate every entry in cache directory @p dir: parseable JSON of
+ * the expected schema, all required result fields present, and a file
+ * name that matches the content address of the entry's own declared
+ * spec + model salt. Corrupt entries are moved into
+ * <dir>/quarantine/ (preserved for inspection, invisible to load()).
+ */
+FsckReport fsckCache(const std::string &dir);
 
 } // namespace sweep
 } // namespace harness

@@ -53,12 +53,19 @@ traceSeed(const RunSpec &spec)
 }
 
 std::string
-cacheKey(const RunSpec &spec)
+cacheKeyForSpecKey(const std::string &spec_key,
+                   const std::string &model_salt)
 {
-    std::uint64_t hash = fnv1a(specKey(spec) + '#' + modelVersionSalt);
+    std::uint64_t hash = fnv1a(spec_key + '#' + model_salt);
     std::ostringstream os;
     os << std::hex << std::setw(16) << std::setfill('0') << hash;
     return os.str();
+}
+
+std::string
+cacheKey(const RunSpec &spec)
+{
+    return cacheKeyForSpecKey(specKey(spec), modelVersionSalt);
 }
 
 } // namespace sweep

@@ -85,6 +85,15 @@ std::uint64_t fnv1a(const std::string &text);
  */
 std::string cacheKey(const RunSpec &spec);
 
+/**
+ * cacheKey from an already-computed spec key under an explicit model
+ * salt. Lets --fsck-cache validate an entry's file name against the
+ * spec and salt the entry itself declares (entries from older model
+ * versions are stale, not corrupt).
+ */
+std::string cacheKeyForSpecKey(const std::string &spec_key,
+                               const std::string &model_salt);
+
 } // namespace sweep
 } // namespace harness
 } // namespace tlsim

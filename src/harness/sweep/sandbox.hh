@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Process-level run sandboxing for the sweep runner.
+ *
+ * `--isolate=thread` (the default) contains a run's *exceptions*; it
+ * cannot contain a segfault, an OOM kill, or a runaway loop — any of
+ * those still takes down the whole sweep and every worker's finished
+ * run with it. The Sandbox closes that gap: each spec executes in a
+ * forked child under setrlimit caps (CPU seconds via RLIMIT_CPU,
+ * memory via RLIMIT_AS) plus a parent-side wall-clock timeout, and
+ * marshals its RunResult + captured stats JSON back over a pipe. The
+ * parent turns every way a child can die into a per-run error string
+ * — "signal 11 (Segmentation fault)", "timeout after 30s",
+ * "rss limit 512 MiB exceeded" — and the sweep keeps going.
+ *
+ * Results are byte-identical to in-process execution: the child runs
+ * the exact same executeSpec path and the result round-trips through
+ * the same writeResultJson/readResultJson pair the result cache uses
+ * (test_sweep.cc pins the conformance).
+ *
+ * Fork safety: in process-isolation mode *every* cache miss runs in
+ * a child, so the parent's worker threads never touch the simulator
+ * (PhysCache locks, event queues) — the child can therefore safely
+ * use all of it after fork.
+ */
+
+#ifndef TLSIM_HARNESS_SWEEP_SANDBOX_HH
+#define TLSIM_HARNESS_SWEEP_SANDBOX_HH
+
+#include <cstdint>
+#include <string>
+
+#include "harness/sweep/runspec.hh"
+#include "harness/system.hh"
+
+namespace tlsim
+{
+namespace harness
+{
+namespace sweep
+{
+
+/** Resource caps applied to one sandboxed run. 0 disables a cap. */
+struct SandboxLimits
+{
+    /** Parent-side wall-clock timeout [seconds]. */
+    double wallTimeoutSec = 0.0;
+    /** Child CPU-time cap [seconds] (RLIMIT_CPU, SIGXCPU). */
+    std::uint64_t cpuSeconds = 0;
+    /** Child address-space cap [MiB] (RLIMIT_AS). */
+    std::uint64_t rssMegabytes = 0;
+};
+
+/**
+ * Execute @p spec in a forked, resource-capped child.
+ *
+ * @param capture_stats Capture the run's final stats tree.
+ * @param stats_json [out] The captured stats document ("" on failure
+ *        or when capture is off).
+ * @param limits Resource caps for the child.
+ * @param crashed [out, optional] True when the child died abnormally
+ *        (signal, timeout, malformed marshal) rather than reporting
+ *        a clean in-run error; journals record these as `crashed`.
+ * @return The run's result; on any child death the error field holds
+ *         the verdict and the metrics are zeroed.
+ *
+ * Test hooks (sandboxed children only, matched as substrings of the
+ * spec key; used by tests/test_sweep.cc and tools/check_resume.py):
+ *   TLSIM_TEST_CRASH_SPEC       raise SIGSEGV before simulating
+ *   TLSIM_TEST_HANG_SPEC        spin forever (wall/CPU-cap tests)
+ *   TLSIM_TEST_OOM_SPEC         allocate unboundedly (RSS-cap test)
+ *   TLSIM_TEST_KILL_SWEEP_SPEC  SIGKILL the parent sweep (the
+ *                               crash-resume drill's deterministic
+ *                               mid-flight kill)
+ */
+RunResult runSandboxed(const RunSpec &spec, bool capture_stats,
+                       std::string &stats_json,
+                       const SandboxLimits &limits,
+                       bool *crashed = nullptr);
+
+} // namespace sweep
+} // namespace harness
+} // namespace tlsim
+
+#endif // TLSIM_HARNESS_SWEEP_SANDBOX_HH

@@ -3,13 +3,15 @@
 #include <algorithm>
 #include <atomic>
 #include <chrono>
-#include <fstream>
+#include <csignal>
 #include <iostream>
 #include <mutex>
 #include <optional>
 #include <sstream>
 #include <thread>
 
+#include "harness/sweep/journal.hh"
+#include "harness/sweep/sandbox.hh"
 #include "phys/technology.hh"
 #include "sim/logging.hh"
 #include "sim/metrics/metrics.hh"
@@ -23,17 +25,22 @@ namespace harness
 namespace sweep
 {
 
-namespace
+namespace detail
 {
 
 /** Execute one spec to completion (simulation only, no cache). */
 RunResult
 executeSpec(const RunSpec &spec, bool capture_stats,
-            std::string &stats_json)
+            std::string &stats_json, double run_timeout_sec)
 {
     const auto &profile = workload::profileByName(spec.benchmark);
     std::ostringstream stats;
     RunObserver observer;
+    if (run_timeout_sec > 0.0) {
+        observer.onSystemBuilt = [run_timeout_sec](System &sys) {
+            sys.armRunTimeout(run_timeout_sec);
+        };
+    }
     observer.onMeasureEnd = [&](System &sys) {
         if (capture_stats) {
             sys.root().dumpStatsJson(stats);
@@ -46,6 +53,11 @@ executeSpec(const RunSpec &spec, bool capture_stats,
     return result;
 }
 
+} // namespace detail
+
+namespace
+{
+
 /**
  * Crash-isolated wrapper: a panic or exception escaping one run is
  * captured into the result's error field instead of tearing down the
@@ -53,10 +65,11 @@ executeSpec(const RunSpec &spec, bool capture_stats,
  */
 RunResult
 executeSpecIsolated(const RunSpec &spec, bool capture_stats,
-                    std::string &stats_json)
+                    std::string &stats_json, double run_timeout_sec)
 {
     try {
-        return executeSpec(spec, capture_stats, stats_json);
+        return detail::executeSpec(spec, capture_stats, stats_json,
+                                   run_timeout_sec);
     } catch (const std::exception &e) {
         RunResult failed;
         failed.design = spec.config.design;
@@ -93,6 +106,9 @@ class FleetTelemetry
           runsFailed(registry.counter(
               "tlsim_sweep_runs_total{result=\"failed\"}",
               "Sweep runs by final result")),
+          runsRestored(registry.counter(
+              "tlsim_sweep_runs_total{result=\"restored\"}",
+              "Sweep runs by final result")),
           specsTotal(registry.gauge("tlsim_sweep_specs",
                                     "Specs in the current sweep")),
           specsDone(registry.gauge("tlsim_sweep_done",
@@ -109,13 +125,10 @@ class FleetTelemetry
               "Wall-clock time of executed runs"))
     {
         specsTotal.set(static_cast<double>(total));
-        if (!options.manifestOut.empty()) {
-            manifest.emplace(options.manifestOut, std::ios::trunc);
-            if (!*manifest) {
-                warn("cannot write sweep manifest '{}'",
-                     options.manifestOut);
-                manifest.reset();
-            }
+        if (!options.manifestOut.empty() &&
+            !manifest.open(options.manifestOut, /*append=*/false)) {
+            warn("cannot write sweep manifest '{}'",
+                 options.manifestOut);
         }
     }
 
@@ -126,6 +139,8 @@ class FleetTelemetry
     {
         if (std::string{outcome} == "cached") {
             runsCached.inc();
+        } else if (std::string{outcome} == "restored") {
+            runsRestored.inc();
         } else if (result && !result->error.empty()) {
             runsFailed.inc();
         } else {
@@ -141,29 +156,32 @@ class FleetTelemetry
         if (wall_ms >= 0.0)
             wallMs.observe(static_cast<std::uint64_t>(wall_ms));
 
-        if (manifest) {
-            *manifest << "{\"schema\": \"tlsim-manifest-v1\", "
-                      << "\"spec\": \""
-                      << trace::jsonEscape(specKey(spec))
-                      << "\", \"benchmark\": \""
-                      << trace::jsonEscape(spec.benchmark)
-                      << "\", \"design\": \""
-                      << trace::jsonEscape(spec.config.design)
-                      << "\", \"outcome\": \"" << outcome
-                      << "\", \"wall_ms\": "
-                      << (wall_ms >= 0.0 ? wall_ms : 0.0)
-                      << ", \"retries\": "
-                      << (result ? result->linkRetries : 0.0)
-                      << ", \"timeouts\": "
-                      << (result ? result->linkTimeouts : 0.0)
-                      << ", \"degraded\": "
-                      << (result ? result->degradedRequests : 0.0);
+        if (manifest.ok()) {
+            // Each record is one write(2) + fsync (DurableLineFile):
+            // a killed sweep never leaves a truncated final record.
+            std::ostringstream line;
+            line << "{\"schema\": \"tlsim-manifest-v1\", "
+                 << "\"spec\": \""
+                 << trace::jsonEscape(specKey(spec))
+                 << "\", \"benchmark\": \""
+                 << trace::jsonEscape(spec.benchmark)
+                 << "\", \"design\": \""
+                 << trace::jsonEscape(spec.config.design)
+                 << "\", \"outcome\": \"" << outcome
+                 << "\", \"wall_ms\": "
+                 << (wall_ms >= 0.0 ? wall_ms : 0.0)
+                 << ", \"retries\": "
+                 << (result ? result->linkRetries : 0.0)
+                 << ", \"timeouts\": "
+                 << (result ? result->linkTimeouts : 0.0)
+                 << ", \"degraded\": "
+                 << (result ? result->degradedRequests : 0.0);
             if (result && !result->error.empty()) {
-                *manifest << ", \"error\": \""
-                          << trace::jsonEscape(result->error) << "\"";
+                line << ", \"error\": \""
+                     << trace::jsonEscape(result->error) << "\"";
             }
-            *manifest << "}\n";
-            manifest->flush();
+            line << "}";
+            manifest.writeLine(line.str());
         }
         publish();
     }
@@ -184,12 +202,13 @@ class FleetTelemetry
   private:
     metrics::Registry registry;
     std::string metricsPath;
-    std::optional<std::ofstream> manifest;
+    journal::DurableLineFile manifest;
     bool warnedWrite = false;
 
     metrics::Counter &runsCached;
     metrics::Counter &runsExecuted;
     metrics::Counter &runsFailed;
+    metrics::Counter &runsRestored;
     metrics::Gauge &specsTotal;
     metrics::Gauge &specsDone;
     metrics::Counter &linkRetries;
@@ -243,6 +262,53 @@ class ProgressLine
     bool active = false;
 };
 
+/**
+ * Stop flag shared with the SIGINT/SIGTERM handler. Only armed while
+ * a journaled sweep is running (SignalGuard); an unjournaled sweep
+ * keeps the default die-on-signal behavior.
+ */
+std::atomic<int> stopSignal{0};
+
+extern "C" void
+sweepStopHandler(int sig)
+{
+    stopSignal.store(sig, std::memory_order_relaxed);
+}
+
+/**
+ * Scoped SIGINT/SIGTERM trap: workers observing stopSignal finish
+ * their in-flight run (journaling its outcome) and stop claiming new
+ * ones, so an interrupted journal is a clean resumable prefix.
+ */
+class SignalGuard
+{
+  public:
+    SignalGuard()
+    {
+        stopSignal.store(0, std::memory_order_relaxed);
+        struct sigaction sa = {};
+        sa.sa_handler = sweepStopHandler;
+        sigemptyset(&sa.sa_mask);
+        ::sigaction(SIGINT, &sa, &prevInt);
+        ::sigaction(SIGTERM, &sa, &prevTerm);
+    }
+
+    ~SignalGuard()
+    {
+        ::sigaction(SIGINT, &prevInt, nullptr);
+        ::sigaction(SIGTERM, &prevTerm, nullptr);
+    }
+
+    int signalled() const
+    {
+        return stopSignal.load(std::memory_order_relaxed);
+    }
+
+  private:
+    struct sigaction prevInt;
+    struct sigaction prevTerm;
+};
+
 } // namespace
 
 void
@@ -270,14 +336,60 @@ runSweep(const std::vector<RunSpec> &specs, const SweepOptions &options)
     if (options.progress)
         progress.emplace(specs.size());
 
-    // Resolve warm entries up front, single-threaded: a fully warm
-    // sweep touches no worker machinery and executes 0 simulations.
+    // Journal setup. A resume first replays the existing journal and
+    // revalidates its identity; restored runs then take precedence
+    // over both the cache and execution below.
+    journal::ResumeState resumeState;
+    std::optional<journal::Writer> jw;
+    if (!options.journalPath.empty() && options.resume) {
+        resumeState =
+            journal::loadForResume(options.journalPath, specs);
+        if (!resumeState.ok) {
+            fatal("cannot resume from journal '{}': {}",
+                  options.journalPath, resumeState.error);
+        }
+        jw.emplace(options.journalPath, /*append=*/true);
+        jw->resumed(resumeState.restored,
+                    resumeState.inFlight +
+                        resumeState.requeuedFailures);
+        if (options.verbose) {
+            std::cerr << "  resume: restored " << resumeState.restored
+                      << "/" << specs.size() << " runs ("
+                      << resumeState.inFlight << " in-flight and "
+                      << resumeState.requeuedFailures
+                      << " failed re-queued)" << std::endl;
+        }
+    } else if (!options.journalPath.empty()) {
+        jw.emplace(options.journalPath, /*append=*/false);
+        jw->writeHeader(specs);
+    }
+
+    // Resolve non-executing slots up front, single-threaded, in the
+    // precedence order journal-restored > cache hit > miss queue. A
+    // fully warm or fully restored sweep executes 0 simulations.
     std::vector<std::size_t> misses;
     for (std::size_t i = 0; i < specs.size(); ++i) {
+        if (i < resumeState.runs.size() && resumeState.runs[i]) {
+            journal::RestoredRun &run = *resumeState.runs[i];
+            outcome.results[i] = std::move(run.result);
+            outcome.statsJson[i] = std::move(run.stats);
+            ++outcome.restored;
+            if (telemetry)
+                telemetry->record(specs[i], "restored", -1.0,
+                                  nullptr);
+            continue;
+        }
         if (cache) {
             if (auto hit = cache->load(specs[i])) {
                 outcome.results[i] = std::move(*hit);
                 ++outcome.cached;
+                if (jw) {
+                    std::ostringstream os;
+                    writeResultJson(os, specs[i],
+                                    outcome.results[i]);
+                    jw->done(specKey(specs[i]), "cached", os.str(),
+                             "");
+                }
                 if (telemetry)
                     telemetry->record(specs[i], "cached", -1.0,
                                       nullptr);
@@ -288,6 +400,8 @@ runSweep(const std::vector<RunSpec> &specs, const SweepOptions &options)
     }
 
     if (misses.empty()) {
+        if (jw)
+            jw->complete(0, outcome.cached, 0);
         if (progress) {
             progress->update(specs.size(), outcome.cached, 0, 0.0, 0,
                             1);
@@ -306,14 +420,25 @@ runSweep(const std::vector<RunSpec> &specs, const SweepOptions &options)
         std::min<std::size_t>(static_cast<std::size_t>(jobs),
                               misses.size());
 
+    // Only a journaled sweep traps signals: without a journal there
+    // is nothing resumable to protect, so ^C keeps its usual bite.
+    std::optional<SignalGuard> guard;
+    if (jw)
+        guard.emplace();
+
     std::atomic<std::size_t> next{0};
-    std::mutex io_mutex; // guards progress output and cache stores
+    std::mutex io_mutex; // guards journal/cache/telemetry/progress IO
     std::atomic<std::size_t> done{0};
     std::atomic<std::size_t> failures{0};
     double executedWallMs = 0.0; // under io_mutex
+    std::size_t resolvedBase = outcome.cached + outcome.restored;
 
     auto worker = [&] {
         while (true) {
+            // Drain on SIGINT/SIGTERM: finish (and journal) the run
+            // in hand, claim no new ones.
+            if (guard && guard->signalled())
+                return;
             std::size_t slot = next.fetch_add(1);
             if (slot >= misses.size())
                 return;
@@ -322,12 +447,40 @@ runSweep(const std::vector<RunSpec> &specs, const SweepOptions &options)
             auto start = std::chrono::steady_clock::now();
             if (options.verbose) {
                 std::lock_guard<std::mutex> lock(io_mutex);
-                std::cerr << "  [" << done.load() + outcome.cached
+                std::cerr << "  [" << done.load() + resolvedBase
                           << "/" << specs.size() << "] running "
                           << specKey(spec) << "..." << std::endl;
             }
-            RunResult result = executeSpecIsolated(
-                spec, options.captureStats, outcome.statsJson[i]);
+            if (jw) {
+                std::lock_guard<std::mutex> lock(io_mutex);
+                jw->started(specKey(spec));
+            }
+            bool crashed = false;
+            RunResult result;
+            switch (options.isolate) {
+              case Isolation::None:
+                result = detail::executeSpec(spec,
+                                             options.captureStats,
+                                             outcome.statsJson[i],
+                                             options.runTimeoutSec);
+                break;
+              case Isolation::Thread:
+                result = executeSpecIsolated(spec,
+                                             options.captureStats,
+                                             outcome.statsJson[i],
+                                             options.runTimeoutSec);
+                break;
+              case Isolation::Process: {
+                SandboxLimits limits;
+                limits.wallTimeoutSec = options.runTimeoutSec;
+                limits.cpuSeconds = options.rlimitCpuSec;
+                limits.rssMegabytes = options.rlimitRssMb;
+                result = runSandboxed(spec, options.captureStats,
+                                      outcome.statsJson[i], limits,
+                                      &crashed);
+                break;
+              }
+            }
             auto elapsed =
                 std::chrono::duration_cast<std::chrono::milliseconds>(
                     std::chrono::steady_clock::now() - start);
@@ -340,6 +493,16 @@ runSweep(const std::vector<RunSpec> &specs, const SweepOptions &options)
                 ++failures;
             bool failed_run = !result.error.empty();
             std::string error_text = result.error;
+            if (jw) {
+                if (failed_run) {
+                    jw->failed(specKey(spec), error_text, crashed);
+                } else {
+                    std::ostringstream os;
+                    writeResultJson(os, spec, result);
+                    jw->done(specKey(spec), "executed", os.str(),
+                             outcome.statsJson[i]);
+                }
+            }
             double wall_ms = static_cast<double>(elapsed.count());
             executedWallMs += wall_ms;
             if (telemetry) {
@@ -350,7 +513,7 @@ runSweep(const std::vector<RunSpec> &specs, const SweepOptions &options)
             outcome.results[i] = std::move(result);
             ++done;
             if (options.verbose) {
-                std::cerr << "  [" << done.load() + outcome.cached
+                std::cerr << "  [" << done.load() + resolvedBase
                           << "/" << specs.size() << "] "
                           << (failed_run ? "FAILED " : "finished ")
                           << specKey(spec) << " ("
@@ -360,7 +523,7 @@ runSweep(const std::vector<RunSpec> &specs, const SweepOptions &options)
                 std::cerr << std::endl;
             }
             if (progress) {
-                progress->update(done.load() + outcome.cached,
+                progress->update(done.load() + resolvedBase,
                                  outcome.cached, failures.load(),
                                  executedWallMs, done.load(), workers);
             }
@@ -383,8 +546,20 @@ runSweep(const std::vector<RunSpec> &specs, const SweepOptions &options)
     if (telemetry)
         telemetry->publish();
 
-    outcome.executed = misses.size();
+    outcome.executed = done.load();
     outcome.failed = failures.load();
+    outcome.interrupted = guard && guard->signalled() != 0;
+    if (jw) {
+        if (outcome.interrupted) {
+            std::size_t resolved = resolvedBase + done.load();
+            jw->interrupted(
+                guard->signalled() == SIGINT ? "SIGINT" : "SIGTERM",
+                resolved, specs.size() - resolved);
+        } else {
+            jw->complete(done.load(), outcome.cached,
+                         failures.load());
+        }
+    }
     return outcome;
 }
 

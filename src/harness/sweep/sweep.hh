@@ -36,6 +36,23 @@ namespace harness
 namespace sweep
 {
 
+/**
+ * How a cache-miss run is contained (docs/ROBUSTNESS.md).
+ *
+ * - None: no containment — a panic unwinds the sweep (debugging).
+ * - Thread: in-process try/catch; exceptions/panics become per-run
+ *   errors, but a segfault/OOM/hang still kills the sweep.
+ * - Process: each run executes in a forked, rlimit-capped child
+ *   (sweep/sandbox.hh); any way the run can die becomes a per-run
+ *   error, byte-identical results otherwise.
+ */
+enum class Isolation
+{
+    None,
+    Thread,
+    Process,
+};
+
 /** Knobs of one sweep execution. */
 struct SweepOptions
 {
@@ -61,6 +78,33 @@ struct SweepOptions
     std::string manifestOut;
     /** Live single-line progress/ETA display on stderr. */
     bool progress = false;
+    /** Run containment mode for cache misses. */
+    Isolation isolate = Isolation::Thread;
+    /**
+     * Per-run wall-clock timeout [seconds]; 0 disables. Enforced by
+     * the sandbox parent under Process isolation and by the
+     * fault::Watchdog wall deadline under Thread isolation (polled
+     * from core wait loops, so a run that never waits on memory is
+     * not interruptible in thread mode).
+     */
+    double runTimeoutSec = 0.0;
+    /** Child CPU-seconds cap (Process isolation only; 0 = none). */
+    std::uint64_t rlimitCpuSec = 0;
+    /** Child address-space cap in MiB (Process isolation; 0 = none). */
+    std::uint64_t rlimitRssMb = 0;
+    /**
+     * Write-ahead journal path (sweep/journal.hh). Non-empty enables
+     * journaling, durable per-run transition records, and the
+     * SIGINT/SIGTERM drain-and-record handlers. Empty disables.
+     */
+    std::string journalPath;
+    /**
+     * Resume from journalPath: revalidate the journal's identity
+     * against the spec list, restore `done` runs without executing
+     * them, and re-queue in-flight/failed ones. Identity mismatch is
+     * fatal (a resumed sweep must be the same sweep).
+     */
+    bool resume = false;
 };
 
 /** What a sweep produced, in spec order. */
@@ -83,7 +127,32 @@ struct SweepOutcome
      * field; failed runs are never stored in the result cache.
      */
     std::size_t failed = 0;
+    /** Runs restored from a resumed journal (never re-executed). */
+    std::size_t restored = 0;
+    /**
+     * The sweep was interrupted (SIGINT/SIGTERM with journaling on):
+     * in-flight runs were drained and journaled, the rest were never
+     * dispatched. Resume with SweepOptions::resume.
+     */
+    bool interrupted = false;
 };
+
+namespace detail
+{
+
+/**
+ * Execute one spec in-process with no containment — shared by the
+ * thread-isolation wrapper and the sandbox child (sandbox.cc), which
+ * is what makes process- and thread-isolated results byte-identical.
+ * @p run_timeout_sec > 0 arms the watchdog wall deadline (thread-
+ * mode --run-timeout); the sandbox child passes 0 and lets its
+ * parent keep time.
+ */
+RunResult executeSpec(const RunSpec &spec, bool capture_stats,
+                      std::string &stats_json,
+                      double run_timeout_sec);
+
+} // namespace detail
 
 /**
  * Run every spec (executing cache misses on a pool of

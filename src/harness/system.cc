@@ -135,6 +135,31 @@ System::System(DesignKind kind, const cpu::CoreConfig &core_config)
 System::~System() = default;
 
 void
+System::armRunTimeout(double seconds)
+{
+    if (seconds <= 0.0)
+        return;
+    if (!faultWatchdog) {
+        // No fault-injection watchdog: install one whose tick bound
+        // is unreachable, so the wall deadline is its only trigger.
+        faultWatchdog = std::make_unique<fault::Watchdog>(MaxTick);
+        faultWatchdog->setDiagnostic(
+            [this] { l2Cache->dumpFaultDiagnostic(); });
+        for (std::size_t i = 0; i < cores.size(); ++i) {
+            CoreSlot &slot = cores[i];
+            slot.icache->setWatchdog(
+                faultWatchdog.get(),
+                faultWatchdog->addClient(csprintf("core{}.l1i", i)));
+            slot.dcache->setWatchdog(
+                faultWatchdog.get(),
+                faultWatchdog->addClient(csprintf("core{}.l1d", i)));
+            slot.core->setWatchdog(faultWatchdog.get());
+        }
+    }
+    faultWatchdog->setWallDeadline(seconds);
+}
+
+void
 System::beginMeasurement()
 {
     rootGroup.resetStats();
@@ -269,6 +294,8 @@ runBenchmark(const SystemConfig &config,
         system_storage.emplace(run_config, run_seed);
     }
     System &system = *system_storage;
+    if (observer && observer->onSystemBuilt)
+        observer->onSystemBuilt(system);
     int n = system.numCores();
 
     // Core 0 uses run_seed exactly so single-core runs reproduce the

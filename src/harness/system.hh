@@ -108,6 +108,17 @@ class System
     /** Deadlock watchdog, or null when fault injection is disabled. */
     fault::Watchdog *watchdog() { return faultWatchdog.get(); }
 
+    /**
+     * Arm a wall-clock run timeout (the sweep's --run-timeout under
+     * thread isolation): after @p seconds of real time the watchdog
+     * panics with a catchable "run timeout" error from the cores'
+     * wait loops. Creates and installs a watchdog if fault injection
+     * did not already (with an unreachable tick bound, so the only
+     * added trigger is the wall deadline). Observation only: a run
+     * that beats the deadline is byte-identical to an untimed one.
+     */
+    void armRunTimeout(double seconds);
+
     /** Reset all statistics at a measurement boundary. */
     void beginMeasurement();
 
@@ -237,6 +248,11 @@ struct RunResult
  */
 struct RunObserver
 {
+    /**
+     * Fires right after the System is constructed, before any warmup
+     * or simulation (the sweep arms per-run timeouts here).
+     */
+    std::function<void(System &)> onSystemBuilt;
     /** Fires after beginMeasurement, before the measured run. */
     std::function<void(System &)> onMeasureBegin;
     /** Fires after the measured run and syncStats. */

@@ -29,5 +29,16 @@ Watchdog::fire(Tick now, const char *why)
           why, now, pending.size());
 }
 
+void
+Watchdog::fireWall(Tick now)
+{
+    ++fired;
+    warn("run timeout at t={} ({} outstanding request(s))", now,
+         pending.size());
+    if (diagnostic)
+        diagnostic();
+    panic("run timeout after {}s (wall clock)", wallSeconds);
+}
+
 } // namespace fault
 } // namespace tlsim

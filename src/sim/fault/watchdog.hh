@@ -16,6 +16,7 @@
 #ifndef TLSIM_SIM_FAULT_WATCHDOG_HH
 #define TLSIM_SIM_FAULT_WATCHDOG_HH
 
+#include <chrono>
 #include <cstdint>
 #include <functional>
 #include <map>
@@ -76,12 +77,35 @@ class Watchdog
     std::uint64_t firings() const { return fired; }
 
     /**
+     * Arm a wall-clock deadline (harness --run-timeout under thread
+     * isolation): checkAge additionally panics once @p seconds of
+     * real time elapse, whatever the simulated tick. Observation
+     * only — it never changes simulated behavior, so a run that
+     * finishes under the deadline is byte-identical to an unarmed
+     * one.
+     */
+    void
+    setWallDeadline(double seconds)
+    {
+        wallSeconds = seconds;
+        wallDeadline = std::chrono::steady_clock::now() +
+                       std::chrono::microseconds(
+                           static_cast<long long>(seconds * 1e6));
+        wallArmed = seconds > 0.0;
+    }
+
+    /**
      * Poll while a core is blocked: panics when the oldest
-     * outstanding request is older than the max-age bound.
+     * outstanding request is older than the max-age bound, or when
+     * the wall deadline (if armed) has passed.
      */
     void
     checkAge(Tick now)
     {
+        // Rate-limit the clock read: wait loops poll every cycle.
+        if (wallArmed && (++wallPolls & 0x3ff) == 0 &&
+            std::chrono::steady_clock::now() >= wallDeadline)
+            fireWall(now);
         if (pending.empty())
             return;
         for (const auto &[key, issued] : pending) {
@@ -104,8 +128,13 @@ class Watchdog
 
   private:
     [[noreturn]] void fire(Tick now, const char *why);
+    [[noreturn]] void fireWall(Tick now);
 
     Tick maxAge;
+    bool wallArmed = false;
+    double wallSeconds = 0.0;
+    std::chrono::steady_clock::time_point wallDeadline;
+    std::uint64_t wallPolls = 0;
     std::vector<std::string> clients;
     std::function<void()> diagnostic;
     /** (client, block address) -> issue tick; ordered for stable dumps. */

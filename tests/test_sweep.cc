@@ -8,10 +8,12 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdlib>
 #include <filesystem>
 #include <fstream>
 #include <sstream>
 
+#include "harness/sweep/journal.hh"
 #include "harness/sweep/resultcache.hh"
 #include "harness/sweep/runspec.hh"
 #include "harness/sweep/sweep.hh"
@@ -571,4 +573,382 @@ TEST(Sweep, TypedEventsByteIdenticalToLambdaEvents)
         EXPECT_EQ(typed.statsJson[i], lambda.statsJson[i])
             << specKey(specs[i]);
     }
+}
+
+namespace
+{
+
+/** RAII guard: set one environment variable for a test body. */
+struct SetEnv
+{
+    SetEnv(const char *name_, const std::string &value) : name(name_)
+    {
+        ::setenv(name, value.c_str(), 1);
+    }
+    ~SetEnv() { ::unsetenv(name); }
+    const char *name;
+};
+
+/** A handful of table6 specs: enough coverage, sub-second runtime. */
+std::vector<RunSpec>
+smallSpecs(std::size_t n = 4)
+{
+    auto specs = table6Specs();
+    specs.resize(n);
+    return specs;
+}
+
+SweepOptions
+quietOptions()
+{
+    SweepOptions options;
+    options.jobs = 2;
+    options.captureStats = true;
+    options.verbose = false;
+    return options;
+}
+
+} // namespace
+
+TEST(Robustness, ProcessIsolationByteIdenticalToThread)
+{
+    // The sandbox conformance pin: a forked, pipe-marshalled run is
+    // byte-identical (results AND captured stats) to the same run
+    // executed in-process, under both remaining isolation modes.
+    auto specs = smallSpecs();
+
+    SweepOptions thread = quietOptions();
+    thread.isolate = Isolation::Thread;
+    auto thread_outcome = runSweep(specs, thread);
+
+    SweepOptions none = quietOptions();
+    none.isolate = Isolation::None;
+    auto none_outcome = runSweep(specs, none);
+
+    SweepOptions process = quietOptions();
+    process.isolate = Isolation::Process;
+    auto process_outcome = runSweep(specs, process);
+
+    EXPECT_EQ(process_outcome.failed, 0u);
+    for (std::size_t i = 0; i < specs.size(); ++i) {
+        EXPECT_EQ(resultJson(specs[i], thread_outcome.results[i]),
+                  resultJson(specs[i], process_outcome.results[i]))
+            << specKey(specs[i]);
+        EXPECT_EQ(resultJson(specs[i], none_outcome.results[i]),
+                  resultJson(specs[i], process_outcome.results[i]))
+            << specKey(specs[i]);
+        EXPECT_EQ(thread_outcome.statsJson[i],
+                  process_outcome.statsJson[i])
+            << specKey(specs[i]);
+        EXPECT_FALSE(process_outcome.statsJson[i].empty());
+    }
+    EXPECT_EQ(mergedStatsJson(specs, thread_outcome),
+              mergedStatsJson(specs, process_outcome));
+}
+
+TEST(Robustness, SandboxedCrashIsolatedToOneRun)
+{
+    // Acceptance: a segfaulting run under --isolate=process becomes
+    // one failed run ("signal 11"), and every other run of the sweep
+    // is byte-identical to a fault-free sweep.
+    auto specs = smallSpecs();
+
+    SweepOptions options = quietOptions();
+    options.isolate = Isolation::Process;
+    auto clean = runSweep(specs, options);
+    ASSERT_EQ(clean.failed, 0u);
+
+    std::size_t victim = 1;
+    SweepOutcome crashed;
+    {
+        SetEnv hook("TLSIM_TEST_CRASH_SPEC", specKey(specs[victim]));
+        crashed = runSweep(specs, options);
+    }
+    EXPECT_EQ(crashed.failed, 1u);
+    EXPECT_NE(crashed.results[victim].error.find("signal 11"),
+              std::string::npos)
+        << crashed.results[victim].error;
+    for (std::size_t i = 0; i < specs.size(); ++i) {
+        if (i == victim)
+            continue;
+        EXPECT_EQ(resultJson(specs[i], clean.results[i]),
+                  resultJson(specs[i], crashed.results[i]))
+            << specKey(specs[i]);
+        EXPECT_EQ(clean.statsJson[i], crashed.statsJson[i])
+            << specKey(specs[i]);
+    }
+}
+
+TEST(Robustness, SandboxWallTimeoutKillsHungRun)
+{
+    auto specs = smallSpecs(2);
+
+    SweepOptions options = quietOptions();
+    options.isolate = Isolation::Process;
+    options.runTimeoutSec = 0.25;
+
+    SetEnv hook("TLSIM_TEST_HANG_SPEC", specKey(specs[0]));
+    auto outcome = runSweep(specs, options);
+    EXPECT_EQ(outcome.failed, 1u);
+    EXPECT_NE(outcome.results[0].error.find("timeout after"),
+              std::string::npos)
+        << outcome.results[0].error;
+    EXPECT_TRUE(outcome.results[1].error.empty());
+}
+
+TEST(Robustness, SandboxCpuLimitKillsSpinningRun)
+{
+    auto specs = smallSpecs(1);
+
+    SweepOptions options = quietOptions();
+    options.jobs = 1;
+    options.isolate = Isolation::Process;
+    options.rlimitCpuSec = 1;
+
+    SetEnv hook("TLSIM_TEST_HANG_SPEC", specKey(specs[0]));
+    auto outcome = runSweep(specs, options);
+    EXPECT_EQ(outcome.failed, 1u);
+    EXPECT_NE(outcome.results[0].error.find("cpu limit"),
+              std::string::npos)
+        << outcome.results[0].error;
+}
+
+TEST(Robustness, SandboxRssLimitKillsAllocatingRun)
+{
+    auto specs = smallSpecs(1);
+
+    SweepOptions options = quietOptions();
+    options.jobs = 1;
+    options.isolate = Isolation::Process;
+    options.rlimitRssMb = 256;
+
+    SetEnv hook("TLSIM_TEST_OOM_SPEC", specKey(specs[0]));
+    auto outcome = runSweep(specs, options);
+    EXPECT_EQ(outcome.failed, 1u);
+    EXPECT_NE(outcome.results[0].error.find("rss limit"),
+              std::string::npos)
+        << outcome.results[0].error;
+}
+
+TEST(Robustness, ThreadIsolationRunTimeout)
+{
+    // Thread mode can't fork, so --run-timeout rides the watchdog's
+    // wall deadline, polled from the cores' wait loops.
+    auto specs = smallSpecs(1);
+    specs[0].config.measure = 30'000'000;
+
+    SweepOptions options = quietOptions();
+    options.jobs = 1;
+    options.isolate = Isolation::Thread;
+    options.runTimeoutSec = 0.05;
+
+    auto outcome = runSweep(specs, options);
+    EXPECT_EQ(outcome.failed, 1u);
+    EXPECT_NE(outcome.results[0].error.find("run timeout"),
+              std::string::npos)
+        << outcome.results[0].error;
+}
+
+TEST(Robustness, ArmedButUnfiredTimeoutLeavesResultsAlone)
+{
+    // The watchdog only observes: a run that finishes under its wall
+    // deadline must be byte-identical to an untimed one.
+    auto specs = smallSpecs(2);
+
+    SweepOptions untimed = quietOptions();
+    auto reference = runSweep(specs, untimed);
+
+    SweepOptions timed = quietOptions();
+    timed.runTimeoutSec = 3600.0;
+    auto guarded = runSweep(specs, timed);
+
+    for (std::size_t i = 0; i < specs.size(); ++i) {
+        EXPECT_EQ(resultJson(specs[i], reference.results[i]),
+                  resultJson(specs[i], guarded.results[i]))
+            << specKey(specs[i]);
+        EXPECT_EQ(reference.statsJson[i], guarded.statsJson[i])
+            << specKey(specs[i]);
+    }
+}
+
+TEST(Journal, ResumeRestoresCompletedRunsByteIdentically)
+{
+    auto specs = smallSpecs();
+    std::string dir = freshDir("journal_resume");
+    std::filesystem::create_directories(dir);
+
+    SweepOptions options = quietOptions();
+    options.journalPath = dir + "/sweep.jsonl";
+    auto first = runSweep(specs, options);
+    EXPECT_EQ(first.executed, specs.size());
+
+    // Resume against the completed journal: everything restores,
+    // nothing executes, and the merged stats document (the --stats-
+    // json payload) is byte-identical.
+    options.resume = true;
+    auto resumed = runSweep(specs, options);
+    EXPECT_EQ(resumed.executed, 0u);
+    EXPECT_EQ(resumed.restored, specs.size());
+    for (std::size_t i = 0; i < specs.size(); ++i) {
+        EXPECT_EQ(resultJson(specs[i], first.results[i]),
+                  resultJson(specs[i], resumed.results[i]))
+            << specKey(specs[i]);
+        EXPECT_EQ(first.statsJson[i], resumed.statsJson[i])
+            << specKey(specs[i]);
+    }
+    EXPECT_EQ(mergedStatsJson(specs, first),
+              mergedStatsJson(specs, resumed));
+}
+
+TEST(Journal, ResumeRequeuesInFlightAndTornRecords)
+{
+    auto specs = smallSpecs();
+    std::string dir = freshDir("journal_requeue");
+    std::filesystem::create_directories(dir);
+    std::string path = dir + "/sweep.jsonl";
+
+    SweepOptions options = quietOptions();
+    options.jobs = 1; // deterministic journal order for the cut
+    options.journalPath = path;
+    auto first = runSweep(specs, options);
+    EXPECT_EQ(first.executed, specs.size());
+
+    // Reconstruct a mid-flight kill: keep the header, the first run's
+    // started+done pair, a dangling started for the second run, and a
+    // torn final line.
+    std::vector<std::string> lines;
+    {
+        std::ifstream in(path);
+        std::string line;
+        while (std::getline(in, line))
+            lines.push_back(line);
+    }
+    ASSERT_GE(lines.size(), 4u);
+    std::ofstream out(path, std::ios::trunc);
+    out << lines[0] << "\n"   // header
+        << lines[1] << "\n"   // started #0
+        << lines[2] << "\n"   // done #0
+        << lines[3] << "\n"   // started #1 (in-flight at the "kill")
+        << lines[2].substr(0, lines[2].size() / 2); // torn line
+    out.close();
+
+    auto state = journal::loadForResume(path, specs);
+    ASSERT_TRUE(state.ok) << state.error;
+    EXPECT_EQ(state.restored, 1u);
+    EXPECT_EQ(state.inFlight, 1u);
+
+    options.resume = true;
+    auto resumed = runSweep(specs, options);
+    EXPECT_EQ(resumed.restored, 1u);
+    EXPECT_EQ(resumed.executed, specs.size() - 1);
+    for (std::size_t i = 0; i < specs.size(); ++i) {
+        EXPECT_EQ(resultJson(specs[i], first.results[i]),
+                  resultJson(specs[i], resumed.results[i]))
+            << specKey(specs[i]);
+        EXPECT_EQ(first.statsJson[i], resumed.statsJson[i])
+            << specKey(specs[i]);
+    }
+}
+
+TEST(Journal, RejectsIdentityMismatch)
+{
+    auto specs = smallSpecs();
+    std::string dir = freshDir("journal_identity");
+    std::filesystem::create_directories(dir);
+    std::string path = dir + "/sweep.jsonl";
+
+    SweepOptions options = quietOptions();
+    options.journalPath = path;
+    runSweep(specs, options);
+
+    // Different spec list (one budget moved): same machine, different
+    // identity — the journal must refuse to resume.
+    auto other = specs;
+    other[0].config.measure += 1;
+    auto state = journal::loadForResume(path, other);
+    EXPECT_FALSE(state.ok);
+    EXPECT_NE(state.error.find("identity mismatch"),
+              std::string::npos)
+        << state.error;
+
+    // Different machine: same failure mode.
+    auto cmp = specs;
+    for (auto &spec : cmp)
+        spec.config.cores = 2;
+    state = journal::loadForResume(path, cmp);
+    EXPECT_FALSE(state.ok);
+
+    // A journal with no header is unusable.
+    std::ofstream(path, std::ios::trunc)
+        << "{\"schema\": \"tlsim-journal-v1\", \"event\": "
+           "\"started\", \"spec\": \"x\"}\n";
+    state = journal::loadForResume(path, specs);
+    EXPECT_FALSE(state.ok);
+    EXPECT_NE(state.error.find("header"), std::string::npos);
+}
+
+TEST(Journal, EscapeRoundTripsControlCharacters)
+{
+    std::string nasty = "line1\nline2\t\"quoted\\\"\r\x01\x1f end";
+    EXPECT_EQ(journal::unescapeJson(journal::escapeJson(nasty)),
+              nasty);
+    // The escaped form is single-line (JSONL-safe).
+    EXPECT_EQ(journal::escapeJson(nasty).find('\n'),
+              std::string::npos);
+}
+
+TEST(Fsck, QuarantinesCorruptEntriesOnly)
+{
+    auto specs = smallSpecs(3);
+    std::string dir = freshDir("fsck");
+    ResultCache cache(dir);
+
+    RunResult result;
+    result.design = "TLC";
+    for (const auto &spec : specs) {
+        result.benchmark = spec.benchmark;
+        cache.store(spec, result);
+    }
+
+    // Corrupt entry 0 (truncate), misfile a copy of entry 1 under a
+    // wrong name, and leave a tmp droppings file around.
+    std::string path0 = dir + "/" + cacheKey(specs[0]) + ".json";
+    std::string text0;
+    {
+        std::ifstream in(path0);
+        std::ostringstream os;
+        os << in.rdbuf();
+        text0 = os.str();
+    }
+    std::ofstream(path0, std::ios::trunc)
+        << text0.substr(0, text0.size() / 2);
+    std::string misfiled = dir + "/0123456789abcdef.json";
+    {
+        std::ifstream in(dir + "/" + cacheKey(specs[1]) + ".json");
+        std::ofstream out(misfiled);
+        out << in.rdbuf();
+    }
+    std::ofstream(dir + "/deadbeef.json.tmp.12345") << "partial";
+
+    auto report = fsckCache(dir);
+    EXPECT_EQ(report.scanned, 4u); // 3 entries + the misfiled copy
+    EXPECT_EQ(report.valid, 2u);
+    EXPECT_EQ(report.quarantined, 2u);
+    EXPECT_EQ(report.problems.size(), 2u);
+
+    // Quarantined files moved (preserved, not deleted), healthy ones
+    // stayed, and the cache no longer sees the corrupt entry.
+    EXPECT_FALSE(std::filesystem::exists(path0));
+    EXPECT_TRUE(std::filesystem::exists(
+        dir + "/quarantine/" + cacheKey(specs[0]) + ".json"));
+    EXPECT_TRUE(std::filesystem::exists(
+        dir + "/quarantine/0123456789abcdef.json"));
+    EXPECT_FALSE(cache.load(specs[0]).has_value());
+    EXPECT_TRUE(cache.load(specs[1]).has_value());
+    EXPECT_TRUE(cache.load(specs[2]).has_value());
+
+    // A second pass over the now-clean cache finds nothing to do.
+    auto clean = fsckCache(dir);
+    EXPECT_EQ(clean.scanned, 2u);
+    EXPECT_EQ(clean.quarantined, 0u);
 }

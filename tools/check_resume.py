@@ -1,0 +1,217 @@
+#!/usr/bin/env python3
+"""Crash-resume drill for the tlsim sweep harness.
+
+Exercises the full robustness story end to end against a real
+``tlsim_repro`` binary (docs/ROBUSTNESS.md):
+
+1. **Reference** — run a small sweep under ``--isolate=process`` with
+   no cache and capture the merged stats JSON. This is the ground
+   truth an interrupted-and-resumed sweep must reproduce byte for
+   byte.
+2. **Crash** — rerun the same sweep with a journal and a result
+   cache, with two test hooks armed: one spec raises SIGSEGV in its
+   sandbox child (and must surface as a per-run ``crashed`` record),
+   and the last spec SIGKILLs the whole sweep from its child — a
+   deterministic stand-in for an OOM kill or power cut. The drill
+   asserts the process died by SIGKILL and that the journal is a
+   clean prefix: an identity header plus at least one durable
+   ``done`` record.
+3. **Resume** — ``--resume`` the journal (hooks disarmed). The drill
+   asserts the sweep exits cleanly, that no spec already ``done``
+   before the kill was started again after the ``resumed`` marker,
+   and that the final stats JSON is byte-identical to the reference.
+4. **Fsck** — ``--fsck-cache`` passes on the healthy cache (exit 0),
+   then a deliberately truncated entry is quarantined (exit 2) and a
+   second pass comes back clean.
+
+Exit status is the number of violations, so CI fails on any.
+
+Usage:
+  python3 tools/check_resume.py --repro build/bench/tlsim_repro \
+      --workdir /tmp/drill
+"""
+
+import argparse
+import json
+import os
+import pathlib
+import shutil
+import signal
+import subprocess
+import sys
+
+SWEEP_ARGS = [
+    "--filter", "table6",
+    "--jobs", "2",
+    "--warm", "2000",
+    "--measure", "5000",
+    "--funcwarm", "50000",
+    "--quiet",
+    "--isolate", "process",
+]
+
+
+def run(repro, args, env_extra=None, timeout=600):
+    env = os.environ.copy()
+    for hook in (
+        "TLSIM_TEST_CRASH_SPEC",
+        "TLSIM_TEST_HANG_SPEC",
+        "TLSIM_TEST_OOM_SPEC",
+        "TLSIM_TEST_KILL_SWEEP_SPEC",
+    ):
+        env.pop(hook, None)
+    if env_extra:
+        env.update(env_extra)
+    return subprocess.run(
+        [repro] + args,
+        env=env,
+        stdout=subprocess.PIPE,
+        stderr=subprocess.PIPE,
+        text=True,
+        timeout=timeout,
+    )
+
+
+def journal_records(path):
+    """Parse the journal, tolerating a torn trailing line."""
+    records = []
+    lines = pathlib.Path(path).read_text().splitlines()
+    for i, line in enumerate(lines):
+        if not line:
+            continue
+        try:
+            records.append(json.loads(line))
+        except json.JSONDecodeError:
+            if i == len(lines) - 1:
+                break  # torn trailing line: the expected kill scar
+            raise
+    return records
+
+
+def main() -> int:
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--repro", required=True, help="tlsim_repro path")
+    ap.add_argument("--workdir", required=True)
+    args = ap.parse_args()
+
+    work = pathlib.Path(args.workdir)
+    shutil.rmtree(work, ignore_errors=True)
+    work.mkdir(parents=True)
+    ref_json = work / "ref.json"
+    out_json = work / "out.json"
+    cache = work / "cache"
+    journal = work / "sweep.jsonl"
+
+    errors = []
+
+    def check(cond, message):
+        if not cond:
+            errors.append(message)
+        return cond
+
+    # Phase 1: fault-free reference.
+    ref = run(args.repro, SWEEP_ARGS + [
+        "--no-cache", "--stats-json", str(ref_json)])
+    if not check(ref.returncode == 0,
+                 f"reference sweep failed rc={ref.returncode}: "
+                 f"{ref.stderr[-2000:]}"):
+        return report(errors)
+    spec_keys = list(json.loads(ref_json.read_text()).keys())
+    if not check(len(spec_keys) >= 6,
+                 f"reference produced only {len(spec_keys)} specs"):
+        return report(errors)
+    crash_spec = spec_keys[len(spec_keys) // 3]
+    kill_spec = spec_keys[-1]  # dispatched last: earlier runs finish
+
+    # Phase 2: journaled sweep killed mid-flight, one spec crashing.
+    crash = run(args.repro, SWEEP_ARGS + [
+        "--cache-dir", str(cache),
+        "--journal", str(journal),
+        "--stats-json", str(work / "crash.json")],
+        env_extra={
+            "TLSIM_TEST_CRASH_SPEC": crash_spec,
+            "TLSIM_TEST_KILL_SWEEP_SPEC": kill_spec,
+        })
+    check(crash.returncode == -signal.SIGKILL,
+          f"expected the sweep to die by SIGKILL, got rc="
+          f"{crash.returncode}: {crash.stderr[-2000:]}")
+    check(journal.exists(), "killed sweep left no journal")
+    records = journal_records(journal)
+    check(records and records[0].get("event") == "header",
+          "journal does not start with an identity header")
+    done_before = {r["spec"] for r in records
+                   if r.get("event") == "done"}
+    check(len(done_before) >= 1,
+          "journal has no durable done records before the kill")
+    check(kill_spec not in done_before,
+          "the kill spec cannot have completed")
+    crashed = [r for r in records if r.get("event") == "crashed"]
+    check(any(r.get("spec") == crash_spec for r in crashed),
+          f"no crashed record for {crash_spec}")
+    check(any("signal 11" in r.get("error", "") for r in crashed),
+          "crashed record does not carry the signal verdict")
+
+    # Phase 3: resume, hooks disarmed.
+    resumed = run(args.repro, SWEEP_ARGS + [
+        "--cache-dir", str(cache),
+        "--resume", str(journal),
+        "--stats-json", str(out_json)])
+    check(resumed.returncode == 0,
+          f"resumed sweep failed rc={resumed.returncode}: "
+          f"{resumed.stderr[-2000:]}")
+    records = journal_records(journal)
+    marker = next((i for i, r in enumerate(records)
+                   if r.get("event") == "resumed"), None)
+    if check(marker is not None, "resume wrote no resumed marker"):
+        restarted = {r["spec"] for r in records[marker:]
+                     if r.get("event") == "started"}
+        overlap = done_before & restarted
+        check(not overlap,
+              f"resume re-executed already-done specs: "
+              f"{sorted(overlap)[:3]}")
+    if out_json.exists() and ref_json.exists():
+        check(out_json.read_bytes() == ref_json.read_bytes(),
+              "resumed stats JSON is not byte-identical to the "
+              "fault-free reference")
+    else:
+        check(False, "resumed sweep wrote no stats JSON")
+
+    # Phase 4: cache fsck — clean pass, quarantine, clean again.
+    fsck = run(args.repro, ["--fsck-cache", "--cache-dir", str(cache)])
+    check(fsck.returncode == 0,
+          f"fsck of a healthy cache rc={fsck.returncode}: "
+          f"{fsck.stdout} {fsck.stderr[-500:]}")
+    check("0 quarantined" in fsck.stdout,
+          f"unexpected fsck summary: {fsck.stdout}")
+    entries = sorted(cache.glob("*.json"))
+    if check(bool(entries), "cache has no entries to corrupt"):
+        victim = entries[0]
+        victim.write_bytes(victim.read_bytes()[: victim.stat().st_size // 2])
+        fsck = run(args.repro,
+                   ["--fsck-cache", "--cache-dir", str(cache)])
+        check(fsck.returncode == 2,
+              f"fsck of a corrupt cache rc={fsck.returncode}, "
+              f"expected 2: {fsck.stdout}")
+        check("1 quarantined" in fsck.stdout,
+              f"unexpected fsck summary: {fsck.stdout}")
+        check((cache / "quarantine" / victim.name).exists(),
+              "corrupt entry was not preserved in quarantine/")
+        fsck = run(args.repro,
+                   ["--fsck-cache", "--cache-dir", str(cache)])
+        check(fsck.returncode == 0,
+              "fsck after quarantine should come back clean")
+
+    return report(errors)
+
+
+def report(errors):
+    for err in errors:
+        print(f"FAIL: {err}", file=sys.stderr)
+    if not errors:
+        print("crash-resume drill OK: kill survived, journal "
+              "replayed, stats byte-identical, fsck round-tripped")
+    return len(errors)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -9,8 +9,10 @@ Checks two files produced by ``tlsim_repro``:
   ``_count``, and the run-outcome counters must sum to the sweep size.
 * ``--manifest`` — the per-run JSONL ledger. Every line must be a
   JSON object with the ``tlsim-manifest-v1`` schema tag and the
-  required fields, and outcomes must be one of cached / executed /
-  failed.
+  required fields, outcomes must be one of cached / executed /
+  failed / restored, and the file must end with a newline (the ledger
+  is written one fsync'd line at a time, so a truncated final record
+  means the writer's durability contract broke).
 
 Exit status is the number of violations, so CI fails on any.
 
@@ -43,7 +45,7 @@ MANIFEST_REQUIRED = (
     "timeouts",
     "degraded",
 )
-OUTCOMES = {"cached", "executed", "failed"}
+OUTCOMES = {"cached", "executed", "failed", "restored"}
 
 
 def base_family(name: str) -> str:
@@ -132,6 +134,13 @@ def check_metrics(path: str, errors: list[str]) -> dict:
 def check_manifest(path: str, errors: list[str]) -> int:
     """Validate the JSONL ledger; return the record count."""
     records = 0
+    with open(path, "rb") as f:
+        content = f.read()
+    if content and not content.endswith(b"\n"):
+        errors.append(
+            f"{path}: truncated final record (file does not end "
+            f"with a newline; each line should be one durable write)"
+        )
     with open(path, encoding="utf-8") as f:
         for lineno, raw in enumerate(f, 1):
             line = raw.strip()
