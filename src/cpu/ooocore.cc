@@ -73,10 +73,14 @@ OoOCore::waitForCompletion(std::uint64_t idx)
             // Quiescent queue with requests outstanding, or an
             // over-age request: dump diagnostics and panic (caught
             // by crash-isolated sweeps) instead of asserting blind.
-            if (next == MaxTick)
-                watchdog->onQuiescent(eventq.now());
-            else
+            // A partitioned run's watchdog can instead report window
+            // progress on a seemingly drained queue: re-poll.
+            if (next == MaxTick) {
+                if (watchdog->onQuiescent(eventq.now()))
+                    continue;
+            } else {
                 watchdog->checkAge(eventq.now());
+            }
         }
         TLSIM_ASSERT(next != MaxTick,
                      "deadlock: waiting on instruction {} with an "
@@ -165,10 +169,12 @@ OoOCore::stepIFetch(const TraceRecord &record)
     while (!resolved) {
         Tick next = eventq.nextTick();
         if (watchdog) {
-            if (next == MaxTick)
-                watchdog->onQuiescent(eventq.now());
-            else
+            if (next == MaxTick) {
+                if (watchdog->onQuiescent(eventq.now()))
+                    continue;
+            } else {
                 watchdog->checkAge(eventq.now());
+            }
         }
         TLSIM_ASSERT(next != MaxTick,
                      "deadlock: ifetch miss never completed");

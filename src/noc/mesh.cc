@@ -171,6 +171,12 @@ Mesh::sendToBank(Coord dst, int flits, Tick now, DeliverCallback cb)
                    csprintf("to ({},{})", dst.row, dst.col), now, tail,
                    trace::tid::nocBase);
     }
+    if (bankRouter) [[unlikely]] {
+        // Partitioned run: banks owned by a worker domain take the
+        // delivery there; the router declines for domain-0 banks.
+        if (bankRouter(dst, tail, cb))
+            return;
+    }
     if (useTypedHotPathEvents) {
         eventq.scheduleCallback(tail, std::move(cb));
     } else {

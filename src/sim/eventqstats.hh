@@ -1,0 +1,107 @@
+/**
+ * @file
+ * Event-pool statistics as a StatGroup.
+ *
+ * EventQueue's pooled one-shot machinery already counts allocations,
+ * pool occupancy, and arena-backed placements; PoolStats snapshots
+ * those counters into a stats tree so harnesses (tlsim_bench's
+ * arena_churn kernel, tests) can assert allocation behaviour — e.g.
+ * "the measured phase allocated nothing" — through the same stats
+ * machinery everything else uses. Deliberately not part of a System's
+ * root group: attaching it would change the stats JSON shape, and
+ * allocator behaviour is host-side telemetry, not simulated state.
+ */
+
+#ifndef TLSIM_SIM_EVENTQSTATS_HH
+#define TLSIM_SIM_EVENTQSTATS_HH
+
+#include <string>
+
+#include "sim/eventq.hh"
+#include "sim/stats.hh"
+
+namespace tlsim
+{
+
+/**
+ * Snapshot of one EventQueue's pool counters. Call sample() to
+ * refresh the scalars from the live queue.
+ */
+class PoolStats : public stats::StatGroup
+{
+  private:
+    EventQueue &queue;
+
+  public:
+    explicit PoolStats(EventQueue &eq, std::string name = "eventq_pool",
+                       stats::StatGroup *parent = nullptr)
+        : stats::StatGroup(std::move(name), parent),
+          queue(eq),
+          lambdaAllocated(this, "lambda_allocated",
+                          "LambdaEvents ever allocated"),
+          lambdaPooled(this, "lambda_pooled",
+                       "LambdaEvents resting in the freelist"),
+          lambdaOutstanding(this, "lambda_outstanding",
+                            "LambdaEvents in flight"),
+          lambdaArena(this, "lambda_arena",
+                      "LambdaEvents placement-built in an arena"),
+          callbackAllocated(this, "callback_allocated",
+                            "TickCallbackEvents ever allocated"),
+          callbackPooled(this, "callback_pooled",
+                         "TickCallbackEvents resting in the freelist"),
+          callbackOutstanding(this, "callback_outstanding",
+                              "TickCallbackEvents in flight"),
+          callbackArena(this, "callback_arena",
+                        "TickCallbackEvents placement-built in an "
+                        "arena")
+    {
+        sample();
+    }
+
+    /** Refresh every scalar from the queue's live counters. */
+    void
+    sample()
+    {
+        lambdaAllocated = static_cast<double>(queue.lambdaAllocated());
+        lambdaPooled = static_cast<double>(queue.lambdaPoolSize());
+        lambdaOutstanding =
+            static_cast<double>(queue.lambdaOutstanding());
+        lambdaArena =
+            static_cast<double>(queue.lambdaArenaAllocated());
+        callbackAllocated =
+            static_cast<double>(queue.callbackAllocated());
+        callbackPooled =
+            static_cast<double>(queue.callbackPoolSize());
+        callbackOutstanding =
+            static_cast<double>(queue.callbackOutstanding());
+        callbackArena =
+            static_cast<double>(queue.callbackArenaAllocated());
+    }
+
+    /**
+     * Heap allocations (pool growth outside any arena) since the
+     * last call; the zero-hot-path-allocation assertions diff this
+     * across a measured phase.
+     */
+    std::size_t
+    heapAllocations() const
+    {
+        return (queue.lambdaAllocated() -
+                queue.lambdaArenaAllocated()) +
+               (queue.callbackAllocated() -
+                queue.callbackArenaAllocated());
+    }
+
+    stats::Scalar lambdaAllocated;
+    stats::Scalar lambdaPooled;
+    stats::Scalar lambdaOutstanding;
+    stats::Scalar lambdaArena;
+    stats::Scalar callbackAllocated;
+    stats::Scalar callbackPooled;
+    stats::Scalar callbackOutstanding;
+    stats::Scalar callbackArena;
+};
+
+} // namespace tlsim
+
+#endif // TLSIM_SIM_EVENTQSTATS_HH

@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Partition plan: what an L2 design tells the harness about its
+ * ability to run under partitioned (conservative-PDES) event
+ * execution.
+ *
+ * Kept separate from pdes.hh so mem/l2cache.hh can declare the
+ * partition virtuals without dragging thread machinery into every
+ * cache translation unit.
+ */
+
+#ifndef TLSIM_SIM_PDES_PARTITION_HH
+#define TLSIM_SIM_PDES_PARTITION_HH
+
+#include <string>
+
+#include "sim/types.hh"
+
+namespace tlsim
+{
+namespace pdes
+{
+
+class Executor;
+
+/**
+ * A design's answer to "can you partition into @p domains event
+ * domains?". An inactive plan carries a human-readable reason the
+ * harness logs before falling back to serial execution; serial and
+ * partitioned runs are byte-identical either way, so falling back is
+ * a performance decision, never a correctness one.
+ */
+struct PartitionPlan
+{
+    /**
+     * Worker domains the design wants beyond domain 0 (the master
+     * domain that keeps cores, L1s, DRAM, the mesh links, and every
+     * order-sensitive shared structure). Zero means "run serial".
+     */
+    int workerDomains = 0;
+
+    /**
+     * Conservative lookahead in ticks: the minimum cross-domain
+     * flight latency. Every event a domain-0 dispatch at tick t can
+     * create in a worker domain lands at >= t + lookahead, so all
+     * domains may execute a [t, t + lookahead) window in parallel.
+     */
+    Tick lookahead = 0;
+
+    /** Why the plan is inactive (logged when falling back). */
+    std::string serialReason;
+
+    bool active() const { return workerDomains > 0 && lookahead > 0; }
+};
+
+} // namespace pdes
+} // namespace tlsim
+
+#endif // TLSIM_SIM_PDES_PARTITION_HH

@@ -1,0 +1,259 @@
+/**
+ * @file
+ * Conservative window-barrier PDES executor (see pdes.hh).
+ */
+
+#include "sim/pdes/pdes.hh"
+
+#include <algorithm>
+
+#include "sim/logging.hh"
+#include "sim/prof/prof.hh"
+
+namespace tlsim
+{
+namespace pdes
+{
+
+void *
+Arena::allocateSlow(std::size_t bytes, std::size_t align)
+{
+    // A fresh chunk's base is new[]-aligned (fundamental alignment);
+    // oversized requests get a dedicated chunk.
+    std::size_t size = std::max(chunkBytes, bytes + align);
+    Chunk chunk;
+    chunk.data = std::make_unique<unsigned char[]>(size);
+    chunk.size = size;
+    chunks.push_back(std::move(chunk));
+    Chunk &c = chunks.back();
+    auto base = reinterpret_cast<std::uintptr_t>(c.data.get());
+    std::size_t offset = ((base + align - 1) & ~(align - 1)) - base;
+    c.used = offset + bytes;
+    ++allocationCount;
+    return c.data.get() + offset;
+}
+
+Executor::Executor(EventQueue &master_queue, int worker_domains,
+                   Tick lookahead)
+    : master(master_queue), horizon(lookahead)
+{
+    TLSIM_ASSERT(worker_domains > 0, "executor needs >= 1 worker");
+    TLSIM_ASSERT(lookahead > 0, "executor needs lookahead >= 1");
+    // Stride the master's sequence counter so cross-posted
+    // deliveries own the key slots their worker-side child records
+    // will use (see sequenceStride).
+    master.setSequenceStride(sequenceStride);
+    workers.reserve(static_cast<std::size_t>(worker_domains));
+    for (int w = 0; w < worker_domains; ++w) {
+        auto worker = std::make_unique<Worker>();
+        worker->profName = "pdes:worker" + std::to_string(w);
+        // Worker queues never draw their own sequences: every event
+        // they hold carries a master-space key.
+        worker->queue.setRequireExplicitSequence(true);
+        worker->queue.setAllocHook(Arena::hook, &worker->arena);
+        workers.push_back(std::move(worker));
+    }
+    // Workers 1.. get persistent threads; worker 0 runs each phase
+    // on the master thread (so --domains=2 spawns no threads at all).
+    for (std::size_t w = 1; w < workers.size(); ++w) {
+        Worker &worker = *workers[w];
+        worker.thread =
+            std::thread([this, &worker] { threadMain(worker); });
+    }
+    master.setCoordinator(this);
+}
+
+Executor::~Executor()
+{
+    for (std::size_t w = 1; w < workers.size(); ++w) {
+        Worker &worker = *workers[w];
+        {
+            std::lock_guard<std::mutex> lock(worker.mutex);
+            worker.stop = true;
+        }
+        worker.cv.notify_one();
+        worker.thread.join();
+    }
+    master.setCoordinator(nullptr);
+    master.setSequenceStride(1);
+}
+
+void
+Executor::postToWorker(int w, Tick when, std::function<void(Tick)> fn)
+{
+    // Master-thread only: the sequence draw must happen at the exact
+    // point in the dispatch stream where the serial run would have
+    // scheduled the delivery.
+    Worker &worker = *workers[static_cast<std::size_t>(w)];
+    worker.outbox.push_back(
+        Message{when, master.allocSequence(), std::move(fn)});
+}
+
+void
+Executor::postToMaster(int w, std::function<void(Tick)> fn)
+{
+    // Worker-phase context. The record's key places it immediately
+    // after its triggering delivery's serial dispatch slot: the
+    // delivery carries a master sequence s (s % stride == 0), so
+    // s+1 .. s+stride-1 are unclaimed in the master key space.
+    Worker &worker = *workers[static_cast<std::size_t>(w)];
+    std::uint64_t base = worker.queue.currentDispatchSequence();
+    if (worker.lastDispatchSeq != base) {
+        worker.lastDispatchSeq = base;
+        worker.childIdx = 0;
+    }
+    std::uint64_t child = ++worker.childIdx;
+    TLSIM_ASSERT(child < sequenceStride,
+                 "worker dispatch spawned {} master records; "
+                 "sequenceStride {} leaves room for {}",
+                 child, sequenceStride, sequenceStride - 1);
+    worker.inbox.push_back(
+        Message{worker.queue.now(), base + child, std::move(fn)});
+}
+
+void
+Executor::flushOutboxes()
+{
+    for (auto &worker : workers) {
+        for (Message &msg : worker->outbox) {
+            crossCount++;
+            worker->queue.scheduleCallbackKeyed(msg.when, msg.seq,
+                                                std::move(msg.fn));
+        }
+        worker->outbox.clear();
+    }
+}
+
+void
+Executor::runWorkerSpan(Worker &w, Tick limit)
+{
+    prof::Scope scope(w.profName.c_str());
+    w.processed += w.queue.advanceDirect(limit);
+}
+
+void
+Executor::threadMain(Worker &w)
+{
+    while (true) {
+        Tick limit;
+        std::uint64_t gen;
+        {
+            std::unique_lock<std::mutex> lock(w.mutex);
+            w.cv.wait(lock, [&w] {
+                return w.stop || w.startGen != w.doneGen;
+            });
+            if (w.stop)
+                return;
+            limit = w.target;
+            gen = w.startGen;
+        }
+        runWorkerSpan(w, limit);
+        {
+            std::lock_guard<std::mutex> lock(w.mutex);
+            w.doneGen = gen;
+        }
+        w.cv.notify_one();
+    }
+}
+
+Tick
+Executor::coordNextTick()
+{
+    // Deliveries staged in outboxes must be visible before the
+    // global minimum is computed (the cores call nextTick between
+    // advanceTo calls, after master dispatches may have posted).
+    flushOutboxes();
+    Tick next = master.nextTickDirect();
+    for (auto &worker : workers)
+        next = std::min(next, worker->queue.nextTickDirect());
+    return next;
+}
+
+std::uint64_t
+Executor::coordAdvanceTo(Tick limit)
+{
+    std::uint64_t processed = 0;
+    while (true) {
+        flushOutboxes();
+        Tick t = master.nextTickDirect();
+        for (auto &worker : workers)
+            t = std::min(t, worker->queue.nextTickDirect());
+        if (t == MaxTick || t > limit)
+            break;
+        // Conservative horizon: nothing a dispatch at >= t creates
+        // crosses a domain edge before t + horizon, so [t, hEnd] is
+        // safe to run in parallel. The horizon must ride the
+        // *current* global minimum (not the window entry tick):
+        // records drained at a barrier can trigger master dispatches
+        // that post new deliveries, and those are only guaranteed
+        // beyond the tick they were posted at plus the lookahead.
+        Tick span = limit - t;
+        Tick hEnd = span >= horizon ? t + horizon - 1 : limit;
+        ++windowCount;
+
+        bool any_worker_due = false;
+        for (auto &worker : workers) {
+            if (worker->queue.nextTickDirect() <= hEnd) {
+                any_worker_due = true;
+                break;
+            }
+        }
+        if (!any_worker_due) {
+            // Fast path: the window is master-only. No barrier, no
+            // thread wakeups — a serial-shaped region costs a few
+            // comparisons over plain serial execution.
+            ++fastWindowCount;
+            processed += master.advanceDirect(hEnd);
+            windowGen.fetch_add(1, std::memory_order_release);
+            continue;
+        }
+
+        // Phase 1: every worker domain executes the window; worker 0
+        // on this thread, the rest on theirs.
+        for (std::size_t w = 1; w < workers.size(); ++w) {
+            Worker &worker = *workers[w];
+            {
+                std::lock_guard<std::mutex> lock(worker.mutex);
+                worker.target = hEnd;
+                ++worker.startGen;
+            }
+            worker.cv.notify_one();
+        }
+        runWorkerSpan(*workers[0], hEnd);
+        for (std::size_t w = 1; w < workers.size(); ++w) {
+            Worker &worker = *workers[w];
+            std::unique_lock<std::mutex> lock(worker.mutex);
+            worker.cv.wait(lock, [&worker] {
+                return worker.doneGen == worker.startGen;
+            });
+        }
+
+        // Barrier: merge the worker->master records. Their explicit
+        // keys slot them into the master heap exactly where the
+        // serial run executed the corresponding inline calls, so
+        // drain order is irrelevant.
+        for (auto &worker : workers) {
+            crossCount += worker->inbox.size();
+            for (Message &msg : worker->inbox) {
+                master.scheduleCallbackKeyed(msg.when, msg.seq,
+                                             std::move(msg.fn));
+            }
+            worker->inbox.clear();
+        }
+
+        // Phase 2: the master executes the same window (records
+        // included), posting next-window deliveries into outboxes.
+        processed += master.advanceDirect(hEnd);
+        windowGen.fetch_add(1, std::memory_order_release);
+    }
+    for (auto &worker : workers)
+        processed += worker->processed;
+    for (auto &worker : workers)
+        worker->processed = 0;
+    // Settle the master clock on the limit (nothing left at <= limit).
+    processed += master.advanceDirect(limit);
+    return processed;
+}
+
+} // namespace pdes
+} // namespace tlsim

@@ -1,0 +1,265 @@
+/**
+ * @file
+ * Conservative-PDES partitioned event execution.
+ *
+ * One run's machine is split into event domains: domain 0 (the
+ * "master") keeps the cores, L1s, DRAM, mesh links, and every
+ * order-sensitive shared structure; worker domains own L2 banks whose
+ * only coupling to the rest of the machine is a mesh flight with a
+ * fixed minimum latency. That minimum flight latency is the
+ * conservative lookahead L: no domain-0 dispatch at tick t can create
+ * a worker event before t + L, so all domains may execute the window
+ * [t, t + L) in parallel without null messages (classic
+ * window-barrier PDES a la Chandy/Misra with static lookahead).
+ *
+ * Determinism: serial and partitioned runs are byte-identical. Every
+ * cross-domain message carries an explicit (tick, priority, sequence)
+ * order key in the master queue's sequence space — master draws
+ * sequences with stride `sequenceStride`, leaving the slots between
+ * consecutive draws free for the worker->master records a delivery
+ * spawns. The untouched heap comparator then reproduces the exact
+ * serial dispatch interleaving; thread scheduling can only change
+ * *wall-clock* order inside a window, never the key order anything
+ * observable is processed in.
+ */
+
+#ifndef TLSIM_SIM_PDES_PDES_HH
+#define TLSIM_SIM_PDES_PDES_HH
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "sim/eventq.hh"
+#include "sim/pdes/partition.hh"
+#include "sim/types.hh"
+
+namespace tlsim
+{
+namespace pdes
+{
+
+/**
+ * Chunked bump allocator backing one worker domain's event objects.
+ *
+ * Allocation is a pointer bump (no per-object free); the whole arena
+ * is released when the run's Executor is destroyed. Worker-domain
+ * one-shot events are short-lived and pool-recycled, so the arena's
+ * job is to absorb the pool's initial growth without touching the
+ * global allocator from a worker thread.
+ */
+class Arena
+{
+  public:
+    explicit Arena(std::size_t chunk_bytes = 64 * 1024)
+        : chunkBytes(chunk_bytes)
+    {}
+
+    Arena(const Arena &) = delete;
+    Arena &operator=(const Arena &) = delete;
+
+    /** Bump-allocate @p bytes aligned to @p align. */
+    void *
+    allocate(std::size_t bytes, std::size_t align)
+    {
+        if (!chunks.empty()) {
+            Chunk &c = chunks.back();
+            std::size_t offset = (c.used + align - 1) & ~(align - 1);
+            if (offset + bytes <= c.size) {
+                c.used = offset + bytes;
+                ++allocationCount;
+                return c.data.get() + offset;
+            }
+        }
+        return allocateSlow(bytes, align);
+    }
+
+    /** Objects ever handed out (never individually freed). */
+    std::uint64_t allocations() const { return allocationCount; }
+
+    /** Chunks currently held. */
+    std::size_t chunkCount() const { return chunks.size(); }
+
+    /** Total bytes reserved across all chunks. */
+    std::size_t
+    bytesReserved() const
+    {
+        std::size_t total = 0;
+        for (const Chunk &c : chunks)
+            total += c.size;
+        return total;
+    }
+
+    /** EventQueue::AllocHook adapter (@p ctx is the Arena). */
+    static void *
+    hook(void *ctx, std::size_t bytes, std::size_t align)
+    {
+        return static_cast<Arena *>(ctx)->allocate(bytes, align);
+    }
+
+  private:
+    struct Chunk
+    {
+        std::unique_ptr<unsigned char[]> data;
+        std::size_t used = 0;
+        std::size_t size = 0;
+    };
+
+    void *allocateSlow(std::size_t bytes, std::size_t align);
+
+    std::vector<Chunk> chunks;
+    std::size_t chunkBytes;
+    std::uint64_t allocationCount = 0;
+};
+
+/**
+ * The window-barrier coordinator: owns the worker domains' event
+ * queues (each arena-backed), the per-edge mailboxes, and the worker
+ * threads. Installed on the master queue via
+ * EventQueue::setCoordinator, so the cores' existing
+ * nextTick/advanceTo driving loop runs partitioned without changes.
+ */
+class Executor : public EventCoordinator
+{
+  public:
+    /**
+     * Master sequence stride: implicit draws on the master queue
+     * advance its sequence counter by this much, so a cross-posted
+     * delivery with sequence s leaves slots s+1 .. s+stride-1 free
+     * for the worker->master records that delivery spawns. Serial
+     * runs use stride 1; sequence *values* therefore differ between
+     * serial and partitioned runs, but their order is isomorphic and
+     * the values are never observable.
+     */
+    static constexpr std::uint64_t sequenceStride = 16;
+
+    /**
+     * @param master_queue The machine's (domain-0) event queue.
+     * @param worker_domains Worker domains beyond domain 0 (>= 1).
+     * @param lookahead Conservative window bound in ticks (>= 1):
+     *        the minimum master->worker flight latency.
+     */
+    Executor(EventQueue &master_queue, int worker_domains,
+             Tick lookahead);
+
+    ~Executor() override;
+
+    Executor(const Executor &) = delete;
+    Executor &operator=(const Executor &) = delete;
+
+    /** Worker domains (excluding domain 0). */
+    int workerCount() const { return static_cast<int>(workers.size()); }
+
+    /** Worker domain @p w's event queue. */
+    EventQueue &workerQueue(int w) { return workers[w]->queue; }
+
+    /** The conservative lookahead in ticks. */
+    Tick lookahead() const { return horizon; }
+
+    /**
+     * Post a delivery into worker domain @p w. Master-thread only
+     * (from a domain-0 dispatch or between windows): draws the
+     * delivery's order key from the master sequence counter at the
+     * exact point the serial run would have, and stages it in the
+     * worker's mailbox until the next window edge.
+     */
+    void postToWorker(int w, Tick when, std::function<void(Tick)> fn);
+
+    /**
+     * Post a record from worker domain @p w back to domain 0. Called
+     * from inside a worker-domain dispatch (any phase-1 thread): the
+     * record inherits a key just after its triggering delivery's
+     * serial slot — (current dispatch tick, sequence + 1 + child
+     * index) — so it executes on the master exactly where the serial
+     * run's inline call would have.
+     */
+    void postToMaster(int w, std::function<void(Tick)> fn);
+
+    /**
+     * Barrier generation counter: bumped once per completed window.
+     * The fault watchdog polls it to distinguish "domains still
+     * making progress" from a genuine deadlock.
+     */
+    const std::atomic<std::uint64_t> &
+    windowGeneration() const
+    {
+        return windowGen;
+    }
+
+    /** Windows executed (fast + barrier). */
+    std::uint64_t windows() const { return windowCount; }
+
+    /**
+     * Windows where no worker had work inside the horizon, executed
+     * master-only with no barrier or thread wakeup.
+     */
+    std::uint64_t fastWindows() const { return fastWindowCount; }
+
+    /** Cross-domain messages exchanged (both directions). */
+    std::uint64_t crossMessages() const { return crossCount; }
+
+    // EventCoordinator interface (the master queue delegates here).
+    std::uint64_t coordAdvanceTo(Tick limit) override;
+    Tick coordNextTick() override;
+
+  private:
+    struct Message
+    {
+        Tick when;
+        std::uint64_t seq;
+        std::function<void(Tick)> fn;
+    };
+
+    struct Worker
+    {
+        // The arena outlives the queue: the queue's destructor runs
+        // arena-backed events' destructors in place.
+        Arena arena;
+        EventQueue queue;
+        std::string profName;
+
+        /** Master -> worker, staged until the next window edge. */
+        std::vector<Message> outbox;
+        /** Worker -> master, drained at the window barrier. */
+        std::vector<Message> inbox;
+
+        // Child-record key tracking for postToMaster.
+        std::uint64_t lastDispatchSeq = ~std::uint64_t{0};
+        std::uint64_t childIdx = 0;
+
+        // Phase handoff (workers 1.. run on their own threads;
+        // worker 0 executes on the master thread).
+        std::mutex mutex;
+        std::condition_variable cv;
+        Tick target = 0;
+        std::uint64_t startGen = 0;
+        std::uint64_t doneGen = 0;
+        std::uint64_t processed = 0;
+        bool stop = false;
+        std::thread thread;
+    };
+
+    void threadMain(Worker &w);
+    void runWorkerSpan(Worker &w, Tick limit);
+    void flushOutboxes();
+
+    EventQueue &master;
+    Tick horizon;
+    std::vector<std::unique_ptr<Worker>> workers;
+    std::atomic<std::uint64_t> windowGen{0};
+    std::uint64_t windowCount = 0;
+    std::uint64_t fastWindowCount = 0;
+    std::uint64_t crossCount = 0;
+};
+
+} // namespace pdes
+} // namespace tlsim
+
+#endif // TLSIM_SIM_PDES_PDES_HH

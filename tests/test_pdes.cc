@@ -1,0 +1,353 @@
+/**
+ * @file
+ * Tests for partitioned (conservative-PDES) event execution: the
+ * arena allocator, explicit-sequence keyed scheduling, cross-domain
+ * mailbox ordering through the Executor, the watchdog's domain-aware
+ * quiescence, and — the load-bearing guarantee — byte-identical
+ * results between the serial loop and any worker-domain count, for
+ * every L2 design, with and without fault injection.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "harness/system.hh"
+#include "sim/eventq.hh"
+#include "sim/eventqstats.hh"
+#include "sim/fault/watchdog.hh"
+#include "sim/logging.hh"
+#include "sim/pdes/pdes.hh"
+#include "workload/profile.hh"
+
+using namespace tlsim;
+using namespace tlsim::harness;
+
+// ---------------------------------------------------------------- Arena
+
+TEST(Arena, BumpAllocatesAlignedWithinChunk)
+{
+    pdes::Arena arena(1024);
+    void *a = arena.allocate(24, 8);
+    void *b = arena.allocate(40, 16);
+    ASSERT_NE(a, nullptr);
+    ASSERT_NE(b, nullptr);
+    EXPECT_EQ(reinterpret_cast<std::uintptr_t>(a) % 8, 0u);
+    EXPECT_EQ(reinterpret_cast<std::uintptr_t>(b) % 16, 0u);
+    EXPECT_NE(a, b);
+    EXPECT_EQ(arena.allocations(), 2u);
+    EXPECT_EQ(arena.chunkCount(), 1u);
+}
+
+TEST(Arena, GrowsByChunksAndOversizedRequestsGetTheirOwn)
+{
+    pdes::Arena arena(256);
+    for (int i = 0; i < 32; ++i)
+        arena.allocate(64, 8);
+    EXPECT_GT(arena.chunkCount(), 1u);
+    std::size_t before = arena.chunkCount();
+    void *big = arena.allocate(4096, 64);
+    ASSERT_NE(big, nullptr);
+    EXPECT_EQ(reinterpret_cast<std::uintptr_t>(big) % 64, 0u);
+    EXPECT_GT(arena.chunkCount(), before);
+    EXPECT_GE(arena.bytesReserved(), 4096u);
+}
+
+// ------------------------------------------------- keyed scheduling
+
+TEST(EventQueueKeyed, SameTickExecutesInSequenceOrder)
+{
+    EventQueue eq;
+    std::vector<int> order;
+    // Insert out of sequence order at one tick; the heap comparator
+    // (when, priority, sequence) must restore key order.
+    eq.scheduleCallbackKeyed(10, 7, [&order](Tick) { order.push_back(7); });
+    eq.scheduleCallbackKeyed(10, 3, [&order](Tick) { order.push_back(3); });
+    eq.scheduleCallbackKeyed(10, 5, [&order](Tick) { order.push_back(5); });
+    eq.run(100);
+    EXPECT_EQ(order, (std::vector<int>{3, 5, 7}));
+}
+
+TEST(EventQueueKeyed, SequenceStrideLeavesChildSlots)
+{
+    EventQueue eq;
+    eq.setSequenceStride(pdes::Executor::sequenceStride);
+    std::uint64_t a = eq.allocSequence();
+    std::uint64_t b = eq.allocSequence();
+    EXPECT_EQ(b - a, pdes::Executor::sequenceStride);
+}
+
+TEST(EventQueueStats, PoolStatsSeesArenaAllocations)
+{
+    EventQueue eq;
+    eq.scheduleFunc(1, [] {});
+    eq.run(10);
+    PoolStats heap_stats(eq);
+    EXPECT_GT(heap_stats.heapAllocations(), 0u);
+
+    pdes::Arena arena;
+    EventQueue aq;
+    aq.setAllocHook(pdes::Arena::hook, &arena);
+    for (int i = 0; i < 8; ++i)
+        aq.scheduleCallback(i + 1, [](Tick) {});
+    aq.run(100);
+    PoolStats arena_stats(aq);
+    EXPECT_EQ(arena_stats.heapAllocations(), 0u);
+    EXPECT_GT(arena.allocations(), 0u);
+}
+
+// --------------------------------------------------- executor order
+
+TEST(Executor, CrossDomainMailboxesPreserveKeyOrder)
+{
+    EventQueue eq;
+    std::vector<std::string> order;
+    {
+        pdes::Executor exec(eq, 2, 4);
+        eq.scheduleFunc(10, [&order] { order.push_back("m10"); });
+        // Delivery into worker 0 at t=12 spawns a record back to the
+        // master; a later master event at the same tick must run
+        // after the record (its sequence was drawn later).
+        exec.postToWorker(0, 12, [&order, &exec](Tick t) {
+            EXPECT_EQ(t, 12u);
+            order.push_back("w12");
+            exec.postToMaster(0, [&order](Tick t2) {
+                EXPECT_EQ(t2, 12u);
+                order.push_back("r12a");
+            });
+            exec.postToMaster(0, [&order](Tick) {
+                order.push_back("r12b");
+            });
+        });
+        eq.scheduleFunc(12, [&order] { order.push_back("m12"); });
+        // Second worker gets its own delivery; its tick interleaves
+        // by key with everything above.
+        exec.postToWorker(1, 11, [&order](Tick) {
+            order.push_back("v11");
+        });
+        eq.run(100);
+        EXPECT_EQ(order,
+                  (std::vector<std::string>{"m10", "v11", "w12",
+                                            "r12a", "r12b", "m12"}));
+        EXPECT_GT(exec.windows(), 0u);
+        EXPECT_EQ(exec.crossMessages(), 4u);
+        EXPECT_GT(exec.windowGeneration().load(), 0u);
+    }
+    // Destroying the executor restored the serial queue contract.
+    std::uint64_t s1 = eq.allocSequence();
+    std::uint64_t s2 = eq.allocSequence();
+    EXPECT_EQ(s2 - s1, 1u);
+}
+
+TEST(Executor, DeliveriesToOneWorkerRunInPostOrder)
+{
+    EventQueue eq;
+    std::vector<int> order;
+    {
+        pdes::Executor exec(eq, 1, 2);
+        for (int i = 0; i < 5; ++i)
+            exec.postToWorker(0, 20, [&order, i](Tick) {
+                order.push_back(i);
+            });
+        eq.run(50);
+    }
+    EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+// ------------------------------------------------- watchdog plumbing
+
+TEST(Watchdog, QuiescenceRetriesWhileWindowsAdvance)
+{
+    fault::Watchdog wd(1'000);
+    std::atomic<std::uint64_t> gen{0};
+    wd.attachProgressCounter(&gen);
+    int client = wd.addClient("core0.l1d");
+    wd.onIssue(client, 0x40, 100);
+    gen.store(1);
+    EXPECT_TRUE(wd.onQuiescent(200)); // progress since attach: retry
+    EXPECT_EQ(wd.firings(), 0u);
+    // No further generation bumps: a second quiescence is genuine.
+    EXPECT_THROW(wd.onQuiescent(300), PanicError);
+    EXPECT_EQ(wd.firings(), 1u);
+}
+
+TEST(Watchdog, QuiescenceWithNothingPendingIsFine)
+{
+    fault::Watchdog wd(1'000);
+    std::atomic<std::uint64_t> gen{0};
+    wd.attachProgressCounter(&gen);
+    EXPECT_FALSE(wd.onQuiescent(500));
+    EXPECT_EQ(wd.firings(), 0u);
+}
+
+// ------------------------------------------------ byte-identity runs
+
+namespace
+{
+
+/** Tiny-budget config for one design. */
+SystemConfig
+smallConfig(const std::string &design, int domains)
+{
+    SystemConfig config;
+    config.design = design;
+    config.functionalWarm = 50'000;
+    config.warmup = 2'000;
+    config.measure = 5'000;
+    config.domains = domains;
+    return config;
+}
+
+/** Every RunResult field must match exactly (byte-identity claim). */
+void
+expectIdentical(const RunResult &a, const RunResult &b)
+{
+    EXPECT_EQ(a.cycles, b.cycles);
+    EXPECT_EQ(a.instructions, b.instructions);
+    EXPECT_EQ(a.ipc, b.ipc);
+    EXPECT_EQ(a.l2RequestsPer1k, b.l2RequestsPer1k);
+    EXPECT_EQ(a.l2MissesPer1k, b.l2MissesPer1k);
+    EXPECT_EQ(a.meanLookupLatency, b.meanLookupLatency);
+    EXPECT_EQ(a.predictablePct, b.predictablePct);
+    EXPECT_EQ(a.banksPerRequest, b.banksPerRequest);
+    EXPECT_EQ(a.networkPowerMw, b.networkPowerMw);
+    EXPECT_EQ(a.linkUtilizationPct, b.linkUtilizationPct);
+    EXPECT_EQ(a.closeHitPct, b.closeHitPct);
+    EXPECT_EQ(a.promotesPerInsert, b.promotesPerInsert);
+    EXPECT_EQ(a.fastMissPct, b.fastMissPct);
+    EXPECT_EQ(a.multiMatchPct, b.multiMatchPct);
+    EXPECT_EQ(a.queueWaitMean, b.queueWaitMean);
+    EXPECT_EQ(a.wireMean, b.wireMean);
+    EXPECT_EQ(a.bankMean, b.bankMean);
+    EXPECT_EQ(a.dramMean, b.dramMean);
+    EXPECT_EQ(a.queueWaitSamples, b.queueWaitSamples);
+    EXPECT_EQ(a.wireSamples, b.wireSamples);
+    EXPECT_EQ(a.bankSamples, b.bankSamples);
+    EXPECT_EQ(a.dramSamples, b.dramSamples);
+    EXPECT_EQ(a.linkRetries, b.linkRetries);
+    EXPECT_EQ(a.linkTimeouts, b.linkTimeouts);
+    EXPECT_EQ(a.degradedRequests, b.degradedRequests);
+    EXPECT_EQ(a.faultMean, b.faultMean);
+    EXPECT_EQ(a.faultSamples, b.faultSamples);
+}
+
+/** Observer capturing whether the run's partition was active. */
+struct PartitionProbe
+{
+    bool active = false;
+    std::uint64_t windows = 0;
+    std::uint64_t crossMessages = 0;
+    std::size_t workerHeapAllocations = 0;
+    RunObserver observer;
+
+    PartitionProbe()
+    {
+        observer.onMeasureEnd = [this](System &system) {
+            pdes::Executor *exec = system.partitionExecutor();
+            active = exec != nullptr;
+            if (!exec)
+                return;
+            windows = exec->windows();
+            crossMessages = exec->crossMessages();
+            for (int w = 0; w < exec->workerCount(); ++w) {
+                PoolStats pool(exec->workerQueue(w));
+                workerHeapAllocations += pool.heapAllocations();
+            }
+        };
+    }
+};
+
+} // namespace
+
+TEST(PdesIdentity, SnucaMatchesSerialAtEveryDomainCount)
+{
+    const auto &profile = workload::profileByName("bzip");
+    RunResult serial =
+        runBenchmark(smallConfig("SNUCA2", 1), profile, 3);
+    for (int domains : {2, 4, 8}) {
+        PartitionProbe probe;
+        RunResult par = runBenchmark(smallConfig("SNUCA2", domains),
+                                     profile, 3, &probe.observer);
+        SCOPED_TRACE(domains);
+        expectIdentical(serial, par);
+        EXPECT_TRUE(probe.active);
+        EXPECT_GT(probe.windows, 0u);
+        EXPECT_GT(probe.crossMessages, 0u);
+        // Worker-domain events are arena-backed: the run's hot path
+        // never touched the global allocator from a worker queue.
+        EXPECT_EQ(probe.workerHeapAllocations, 0u);
+    }
+}
+
+TEST(PdesIdentity, SerialFallbackDesignsStayIdentical)
+{
+    // DNUCA and TLC decline to partition; domains > 1 must still
+    // produce the exact serial results (and no executor).
+    const auto &profile = workload::profileByName("oltp");
+    for (const std::string design : {"DNUCA", "TLC"}) {
+        SCOPED_TRACE(design);
+        RunResult serial =
+            runBenchmark(smallConfig(design, 1), profile, 5);
+        PartitionProbe probe;
+        RunResult par = runBenchmark(smallConfig(design, 4), profile,
+                                     5, &probe.observer);
+        expectIdentical(serial, par);
+        EXPECT_FALSE(probe.active);
+    }
+}
+
+TEST(PdesIdentity, DeadLinkFaultsRunPartitionedAndIdentical)
+{
+    // Dead-link detours are domain-0 mesh state; with a zero bit
+    // error rate the partition stays active and byte-identical.
+    const auto &profile = workload::profileByName("apache");
+    SystemConfig serial_config = smallConfig("SNUCA2", 1);
+    serial_config.fault.enabled = true;
+    serial_config.fault.deadLinks = "2@0,9@1000";
+    SystemConfig par_config = serial_config;
+    par_config.domains = 4;
+
+    RunResult serial = runBenchmark(serial_config, profile, 11);
+    PartitionProbe probe;
+    RunResult par =
+        runBenchmark(par_config, profile, 11, &probe.observer);
+    expectIdentical(serial, par);
+    EXPECT_TRUE(probe.active);
+    EXPECT_GT(probe.windows, 0u);
+}
+
+TEST(PdesIdentity, BitErrorFaultsFallBackToSerialAndIdentical)
+{
+    // The CRC-retry path re-reserves bank ports from controller
+    // context with zero lookahead, so BER > 0 declines the plan.
+    const auto &profile = workload::profileByName("bzip");
+    SystemConfig serial_config = smallConfig("SNUCA2", 1);
+    serial_config.fault.enabled = true;
+    serial_config.fault.bitErrorRate = 1e-4;
+    SystemConfig par_config = serial_config;
+    par_config.domains = 4;
+
+    RunResult serial = runBenchmark(serial_config, profile, 13);
+    PartitionProbe probe;
+    RunResult par =
+        runBenchmark(par_config, profile, 13, &probe.observer);
+    expectIdentical(serial, par);
+    EXPECT_FALSE(probe.active);
+}
+
+TEST(PdesConfig, DomainsRoundTripButStayOutOfTheCacheKey)
+{
+    SystemConfig config;
+    config.domains = 6;
+    SystemConfig reloaded = loadConfigJson(configToJson(config));
+    EXPECT_EQ(reloaded.domains, 6);
+
+    SystemConfig serial;
+    EXPECT_EQ(config.canonicalKey(), serial.canonicalKey());
+    EXPECT_EQ(config.contentHash(), serial.contentHash());
+    EXPECT_EQ(config.machineHash(), serial.machineHash());
+    EXPECT_TRUE(config.isDefaultMachine());
+}
